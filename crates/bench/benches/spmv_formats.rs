@@ -1,0 +1,34 @@
+//! Fig. 11/12 analog: SpMV throughput per storage format
+//! (CSR, CSX, SSS-idx, CSX-Sym-idx) on a structural and a high-bandwidth
+//! suite matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use symspmv_harness::kernels::{build_kernel, KernelSpec};
+use symspmv_sparse::dense::seeded_vector;
+use symspmv_sparse::suite;
+
+fn bench_formats(c: &mut Criterion) {
+    let threads = 2;
+    for name in ["hood", "thermal2"] {
+        let m = suite::generate(suite::spec_by_name(name).unwrap(), 0.004);
+        let n = m.coo.nrows() as usize;
+        let mut group = c.benchmark_group(format!("spmv_formats/{name}"));
+        group.sample_size(20);
+        group.throughput(Throughput::Elements(m.coo.nnz() as u64));
+        for spec in KernelSpec::figure11_lineup() {
+            let mut k = build_kernel(spec, &m.coo, threads).unwrap();
+            let mut x = seeded_vector(n, 1);
+            let mut y = vec![0.0; n];
+            group.bench_function(BenchmarkId::from_parameter(spec.name()), |b| {
+                b.iter(|| {
+                    k.spmv(&x, &mut y);
+                    std::mem::swap(&mut x, &mut y);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

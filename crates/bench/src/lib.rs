@@ -1,0 +1,5 @@
+//! Shared helpers for the criterion benchmark suite (see `benches/`).
+//!
+//! Each bench target regenerates one table or figure of the paper; the
+//! heavy lifting lives in `symspmv-harness`, this crate only hosts the
+//! bench binaries.

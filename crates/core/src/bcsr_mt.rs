@@ -1,0 +1,146 @@
+//! Multithreaded BCSR SpMV — the register-blocking baseline (related
+//! work: SPARSITY / OSKI).
+//!
+//! Block rows are partitioned contiguously by stored-element count; each
+//! thread writes only its own rows, so no reduction phase exists. Block
+//! dimensions are auto-tuned at construction unless given explicitly.
+
+use crate::shared::SharedBuf;
+use crate::traits::ParallelSpmv;
+use symspmv_runtime::timing::time_into;
+use symspmv_runtime::{balanced_ranges, PhaseTimes, Range, WorkerPool};
+use symspmv_sparse::bcsr::{choose_block_size, BcsrMatrix, BLOCK_CANDIDATES};
+use symspmv_sparse::{CooMatrix, Val};
+
+/// A block-row-partitioned BCSR kernel.
+pub struct BcsrParallel {
+    bcsr: BcsrMatrix,
+    /// Block-row ranges per thread.
+    parts: Vec<Range>,
+    pool: WorkerPool,
+    times: PhaseTimes,
+}
+
+impl BcsrParallel {
+    /// Builds the kernel, auto-tuning the block dimensions (timed into the
+    /// `preprocess` phase, like the other formats' construction).
+    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Self {
+        let mut times = PhaseTimes::new();
+        let bcsr = time_into(&mut times.preprocess, || {
+            let (br, bc) = choose_block_size(coo, &BLOCK_CANDIDATES);
+            BcsrMatrix::from_coo(coo, br, bc)
+        });
+        Self::from_matrix_with_times(bcsr, nthreads, times)
+    }
+
+    /// Builds the kernel with explicit block dimensions.
+    pub fn with_blocks(coo: &CooMatrix, br: u32, bc: u32, nthreads: usize) -> Self {
+        let mut times = PhaseTimes::new();
+        let bcsr = time_into(&mut times.preprocess, || BcsrMatrix::from_coo(coo, br, bc));
+        Self::from_matrix_with_times(bcsr, nthreads, times)
+    }
+
+    fn from_matrix_with_times(bcsr: BcsrMatrix, nthreads: usize, times: PhaseTimes) -> Self {
+        let parts = balanced_ranges(&bcsr.blockrow_weights(), nthreads);
+        BcsrParallel { bcsr, parts, pool: WorkerPool::new(nthreads), times }
+    }
+
+    /// The underlying BCSR matrix.
+    pub fn matrix(&self) -> &BcsrMatrix {
+        &self.bcsr
+    }
+}
+
+impl ParallelSpmv for BcsrParallel {
+    fn spmv(&mut self, x: &[Val], y: &mut [Val]) {
+        assert_eq!(y.len(), self.bcsr.nrows() as usize);
+        let buf = SharedBuf::new(y);
+        let bcsr = &self.bcsr;
+        let parts = &self.parts;
+        let n = bcsr.nrows() as usize;
+        time_into(&mut self.times.multiply, || {
+            self.pool.run(&|tid| {
+                let part = parts[tid];
+                if part.is_empty() {
+                    return;
+                }
+                let br = bcsr.block_dims().0;
+                let row_lo = (part.start * br) as usize;
+                let row_hi = ((part.end * br) as usize).min(n);
+                // SAFETY: block-row partitions own disjoint row ranges;
+                // spmv_blockrows indexes y absolutely, and this thread's
+                // writes stay within [row_lo, row_hi).
+                let full = unsafe { buf.full_mut() };
+                full[row_lo..row_hi].fill(0.0);
+                bcsr.spmv_blockrows(part.start, part.end, x, full);
+            });
+        });
+    }
+
+    fn n(&self) -> usize {
+        self.bcsr.nrows() as usize
+    }
+
+    fn nnz_full(&self) -> usize {
+        self.bcsr.true_nnz()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.bcsr.size_bytes()
+    }
+
+    fn times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    fn reset_times(&mut self) {
+        self.times = PhaseTimes::new();
+    }
+
+    fn name(&self) -> String {
+        "bcsr".into()
+    }
+
+    fn nthreads(&self) -> usize {
+        self.pool.nthreads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
+
+    #[test]
+    fn parallel_matches_reference() {
+        let coo = symspmv_sparse::gen::block_structural(60, 3, 6.0, 15, 4);
+        let n = coo.nrows() as usize;
+        let x = seeded_vector(n, 3);
+        let mut y_ref = vec![0.0; n];
+        let mut canon = coo.clone();
+        canon.canonicalize();
+        canon.spmv_reference(&x, &mut y_ref);
+        for p in [1usize, 2, 4, 7] {
+            let mut k = BcsrParallel::from_coo(&coo, p);
+            let mut y = vec![f64::NAN; n];
+            k.spmv(&x, &mut y);
+            assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn autotune_picks_blocks_and_preprocess_timed() {
+        let coo = symspmv_sparse::gen::block_structural(40, 3, 8.0, 10, 7);
+        let k = BcsrParallel::from_coo(&coo, 2);
+        assert_eq!(k.matrix().block_dims(), (3, 3));
+        assert!(k.times().preprocess > std::time::Duration::ZERO);
+        assert_eq!(k.name(), "bcsr");
+    }
+
+    #[test]
+    fn explicit_blocks_respected() {
+        let coo = symspmv_sparse::gen::laplacian_2d(10, 10);
+        let k = BcsrParallel::with_blocks(&coo, 2, 2, 2);
+        assert_eq!(k.matrix().block_dims(), (2, 2));
+    }
+}

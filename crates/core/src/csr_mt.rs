@@ -1,0 +1,160 @@
+//! Multithreaded CSR SpMV — the baseline of every figure in §V.
+//!
+//! Rows are partitioned contiguously with non-zero balancing; each thread
+//! computes its own row range, so output writes are trivially disjoint and
+//! no reduction phase exists.
+
+use crate::shared::SharedBuf;
+use crate::traits::ParallelSpmv;
+use symspmv_runtime::{balanced_ranges, partition::csr_row_weights, PhaseTimes, Range, WorkerPool};
+use symspmv_runtime::timing::time_into;
+use symspmv_sparse::{CooMatrix, CsrMatrix, Val};
+
+/// A CSR matrix bound to a worker pool and a static row partition.
+pub struct CsrParallel {
+    csr: CsrMatrix,
+    parts: Vec<Range>,
+    pool: WorkerPool,
+    times: PhaseTimes,
+}
+
+impl CsrParallel {
+    /// Builds the kernel from a CSR matrix for `nthreads` workers.
+    pub fn new(csr: CsrMatrix, nthreads: usize) -> Self {
+        let weights = csr_row_weights(csr.rowptr());
+        let parts = balanced_ranges(&weights, nthreads);
+        CsrParallel { csr, parts, pool: WorkerPool::new(nthreads), times: PhaseTimes::new() }
+    }
+
+    /// Builds the kernel from a COO matrix.
+    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Self {
+        Self::new(CsrMatrix::from_coo(coo), nthreads)
+    }
+
+    /// The row partition in use.
+    pub fn partitions(&self) -> &[Range] {
+        &self.parts
+    }
+
+    /// Immutable access to the underlying CSR matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.csr
+    }
+}
+
+impl ParallelSpmv for CsrParallel {
+    fn spmv(&mut self, x: &[Val], y: &mut [Val]) {
+        assert_eq!(x.len(), self.csr.ncols() as usize);
+        assert_eq!(y.len(), self.csr.nrows() as usize);
+        let buf = SharedBuf::new(y);
+        let csr = &self.csr;
+        let parts = &self.parts;
+        time_into(&mut self.times.multiply, || {
+            self.pool.run(&|tid| {
+                let part = parts[tid];
+                if part.is_empty() {
+                    return;
+                }
+                // SAFETY: partitions tile 0..N disjointly.
+                let my_y =
+                    unsafe { buf.range_mut(part.start as usize, part.end as usize) };
+                // spmv_rows indexes y by absolute row; pass a shifted view.
+                for r in part.start..part.end {
+                    let (cols, vals) = csr.row(r);
+                    let mut acc = 0.0;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        acc += v * x[c as usize];
+                    }
+                    my_y[(r - part.start) as usize] = acc;
+                }
+            });
+        });
+    }
+
+    fn n(&self) -> usize {
+        self.csr.nrows() as usize
+    }
+
+    fn nnz_full(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.csr.size_bytes()
+    }
+
+    fn times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    fn reset_times(&mut self) {
+        self.times = PhaseTimes::new();
+    }
+
+    fn name(&self) -> String {
+        "csr".into()
+    }
+
+    fn nthreads(&self) -> usize {
+        self.pool.nthreads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
+
+    #[test]
+    fn parallel_matches_serial() {
+        let coo = symspmv_sparse::gen::banded_random(500, 20, 8.0, 3);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = seeded_vector(500, 7);
+        let mut y_serial = vec![0.0; 500];
+        csr.spmv(&x, &mut y_serial);
+
+        for p in [1, 2, 3, 8] {
+            let mut k = CsrParallel::from_coo(&coo, p);
+            let mut y = vec![0.0; 500];
+            k.spmv(&x, &mut y);
+            assert_vec_close(&y, &y_serial, 1e-12);
+            assert_eq!(k.nthreads(), p);
+        }
+    }
+
+    #[test]
+    fn repeated_calls_accumulate_time() {
+        let coo = symspmv_sparse::gen::laplacian_2d(20, 20);
+        let mut k = CsrParallel::from_coo(&coo, 2);
+        let x = seeded_vector(400, 1);
+        let mut y = vec![0.0; 400];
+        k.spmv(&x, &mut y);
+        let t1 = k.times().multiply;
+        k.spmv(&x, &mut y);
+        assert!(k.times().multiply >= t1);
+        k.reset_times();
+        assert_eq!(k.times().multiply, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let coo = symspmv_sparse::gen::laplacian_2d(2, 2);
+        let mut k = CsrParallel::from_coo(&coo, 16);
+        let x = vec![1.0; 4];
+        let mut y = vec![0.0; 4];
+        let mut y_ref = vec![0.0; 4];
+        k.spmv(&x, &mut y);
+        CsrMatrix::from_coo(&coo).spmv(&x, &mut y_ref);
+        assert_vec_close(&y, &y_ref, 1e-12);
+    }
+
+    #[test]
+    fn interface_metadata() {
+        let coo = symspmv_sparse::gen::laplacian_2d(10, 10);
+        let k = CsrParallel::from_coo(&coo, 2);
+        assert_eq!(k.n(), 100);
+        assert_eq!(k.name(), "csr");
+        assert_eq!(k.flops(), 2 * k.nnz_full() as u64);
+        assert!(k.size_bytes() > 0);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! The paper's contribution: multithreaded *symmetric* SpMV.
+//!
+//! Storing only the lower triangle halves the memory traffic of SpMV but
+//! introduces transposed writes `y[c] += a·x[r]` that cross thread-partition
+//! boundaries. The standard fix — per-thread local output vectors reduced
+//! after the multiply — costs `Θ(p·N)` extra traffic and stops the kernel
+//! from scaling (§III). This crate implements:
+//!
+//! * [`csr_mt::CsrParallel`] — the unsymmetric CSR baseline every figure
+//!   compares against;
+//! * [`csx_mt::CsxParallel`] — the unsymmetric CSX baseline (Fig. 11/12);
+//! * [`sym::SymSpmv`] — the symmetric kernel over SSS or CSX-Sym storage
+//!   with all three reduction schemes of §III: the naive local-vectors
+//!   method (Alg. 3), the *effective ranges* method of Batista et al., and
+//!   the paper's **local-vectors indexing** scheme;
+//! * [`symbolic`] — the structure-only conflict analysis that builds the
+//!   `(vid, idx)` reduction index and measures the effective-region density
+//!   of Fig. 4;
+//! * [`csx_sym`] — the **CSX-Sym** storage format (§IV-B): per-partition
+//!   CSX encoding of the lower triangle with the boundary-legality rule;
+//! * [`bcsr_mt`] — the auto-tuned register-blocking (BCSR) baseline;
+//! * [`csb_mt`] — the CSB and CSB-Sym comparators from the related work
+//!   (Buluç et al., refs. 8 and 27 of the paper);
+//! * [`sym_color`] — the "colorful" method of Batista et al. (ref. 7,
+//!   §VI): conflict-free row coloring instead of any reduction;
+//! * [`sym_atomic`] — an extension baseline: atomic conflicting updates
+//!   instead of local vectors (the CSB-style alternative discussed in the
+//!   paper's related work, §VI);
+//! * [`ws`] — the working-set models of Eq. 3–6 (Fig. 5).
+
+pub mod bcsr_mt;
+pub mod csb_mt;
+pub mod csr_mt;
+pub mod csx_mt;
+pub mod csx_sym;
+pub mod shared;
+pub mod sym;
+pub mod sym_atomic;
+pub mod sym_color;
+pub mod symbolic;
+pub mod traits;
+pub mod ws;
+
+pub use bcsr_mt::BcsrParallel;
+pub use csb_mt::{CsbParallel, CsbSymParallel};
+pub use csr_mt::CsrParallel;
+pub use csx_mt::CsxParallel;
+pub use csx_sym::CsxSymMatrix;
+pub use sym::{ReductionMethod, SymFormat, SymSpmv};
+pub use sym_atomic::SssAtomicParallel;
+pub use sym_color::SssColorParallel;
+pub use traits::ParallelSpmv;

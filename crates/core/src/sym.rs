@@ -1,0 +1,793 @@
+//! The multithreaded symmetric SpMV engine (§III + §IV).
+//!
+//! [`SymSpmv`] binds a symmetric matrix (stored as SSS or CSX-Sym), a
+//! static nnz-balanced row partition, a [`ReductionMethod`] and a worker
+//! pool, and executes `y = A·x` in two timed phases:
+//!
+//! 1. **multiply** — each thread computes its partition; transposed writes
+//!    that would cross partition boundaries go to local vectors (where they
+//!    go depends on the method);
+//! 2. **reduce** — the local vectors are folded into `y` in parallel.
+//!
+//! The three methods implement Fig. 3 of the paper:
+//!
+//! * [`ReductionMethod::Naive`] — full-length local vector per thread;
+//!   reduction sweeps all `p·N` elements (Alg. 3, `ws = 8pN`, Eq. 3).
+//! * [`ReductionMethod::EffectiveRanges`] — Batista et al.: thread `i`
+//!   writes rows `[start_i, end_i)` directly and keeps a local vector only
+//!   for its effective region `[0, start_i)` (`ws ≈ 4(p−1)N`, Eq. 4).
+//! * [`ReductionMethod::Indexing`] — the paper's contribution: a symbolic
+//!   `(vid, idx)` index enumerates the actually-conflicting elements, and
+//!   the reduction touches only those (`ws ≈ 8(p−1)N·d`, Eq. 6).
+
+use crate::csx_sym::{spmv_sym_stream, spmv_sym_stream_local_only, CsxSymMatrix};
+use crate::shared::SharedBuf;
+use crate::symbolic::{self, ConflictIndex};
+use crate::traits::ParallelSpmv;
+use symspmv_csx::detect::DetectConfig;
+use symspmv_runtime::timing::time_into;
+use symspmv_runtime::{
+    balanced_ranges, partition::symmetric_row_weights, PhaseTimes, Range, WorkerPool,
+};
+use symspmv_sparse::{CooMatrix, SparseError, SssMatrix, Val};
+
+/// How local vectors are organized and reduced (Fig. 3 b/c/d).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionMethod {
+    /// Full-length local vector per thread (Alg. 3).
+    Naive,
+    /// Effective ranges (Batista et al., ref. 7 of the paper).
+    EffectiveRanges,
+    /// Local-vectors indexing (§III-C — the paper's scheme).
+    Indexing,
+}
+
+impl ReductionMethod {
+    /// Short name used in kernel identifiers and reports.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ReductionMethod::Naive => "naive",
+            ReductionMethod::EffectiveRanges => "eff",
+            ReductionMethod::Indexing => "idx",
+        }
+    }
+}
+
+/// Storage format of the symmetric matrix.
+#[derive(Debug, Clone)]
+pub enum SymFormat {
+    /// Symmetric Sparse Skyline (§II-B).
+    Sss,
+    /// CSX-Sym with the given detection configuration (§IV-B).
+    CsxSym(DetectConfig),
+    /// Adaptive extension: per thread chunk, encode CSX-Sym only when the
+    /// substructure coverage reaches `min_coverage`; chunks below it stay
+    /// as plain SSS rows, avoiding the stream-decode cost where the
+    /// compression would not pay (motivated by the `ablation` experiment,
+    /// where delta-only chunks run fastest on scattered matrices).
+    Hybrid {
+        /// Detection configuration for the CSX-Sym candidate encoding.
+        csx: DetectConfig,
+        /// Minimum chunk coverage to adopt the stream encoding.
+        min_coverage: f64,
+    },
+}
+
+enum Storage {
+    Sss(SssMatrix),
+    CsxSym(CsxSymMatrix),
+    /// SSS kept whole; `streams[i]` is the CSX-Sym encoding of chunk `i`
+    /// when it cleared the coverage threshold.
+    Hybrid { sss: SssMatrix, csx: CsxSymMatrix, use_stream: Vec<bool> },
+}
+
+/// The multithreaded symmetric SpMV kernel.
+pub struct SymSpmv {
+    n: usize,
+    nnz_full: usize,
+    parts: Vec<Range>,
+    method: ReductionMethod,
+    storage: Storage,
+    /// Flat backing store for all local vectors.
+    flat: Vec<Val>,
+    /// Per-thread offsets into `flat`.
+    offsets: Vec<usize>,
+    /// Conflict index (Indexing method; empty otherwise).
+    index: ConflictIndex,
+    /// Row chunks for the naive/effective reductions.
+    reduce_chunks: Vec<Range>,
+    pool: WorkerPool,
+    times: PhaseTimes,
+    size_bytes: usize,
+}
+
+impl SymSpmv {
+    /// Builds the kernel from a full symmetric COO matrix.
+    pub fn from_coo(
+        coo: &CooMatrix,
+        nthreads: usize,
+        method: ReductionMethod,
+        format: SymFormat,
+    ) -> Result<Self, SparseError> {
+        let sss = SssMatrix::from_coo(coo, 0.0)?;
+        Ok(Self::from_sss(sss, nthreads, method, format))
+    }
+
+    /// Builds the kernel from an SSS matrix (symmetry already established).
+    ///
+    /// Format preprocessing (CSX-Sym detection/encoding) and the symbolic
+    /// conflict analysis are timed into the `preprocess` phase.
+    pub fn from_sss(
+        sss: SssMatrix,
+        nthreads: usize,
+        method: ReductionMethod,
+        format: SymFormat,
+    ) -> Self {
+        let n = sss.n() as usize;
+        assert!(
+            !(matches!(format, SymFormat::Hybrid { .. }) && method == ReductionMethod::Naive),
+            "the hybrid format supports the direct-write methods only"
+        );
+        let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), nthreads);
+        let mut times = PhaseTimes::new();
+
+        let index = time_into(&mut times.preprocess, || match method {
+            ReductionMethod::Indexing => symbolic::analyze(&sss, &parts),
+            _ => ConflictIndex {
+                entries: Vec::new(),
+                conflicts: vec![Vec::new(); nthreads],
+                splits: vec![0; nthreads + 1],
+                effective_region_len: parts.iter().map(|r| r.start as usize).sum(),
+            },
+        });
+
+        let nnz_full = 2 * sss.lower_nnz() + n;
+        let storage = match &format {
+            SymFormat::Sss => Storage::Sss(sss),
+            SymFormat::CsxSym(cfg) => {
+                let m = time_into(&mut times.preprocess, || {
+                    CsxSymMatrix::from_sss(&sss, &parts, cfg)
+                });
+                Storage::CsxSym(m)
+            }
+            SymFormat::Hybrid { csx, min_coverage } => {
+                let m = time_into(&mut times.preprocess, || {
+                    CsxSymMatrix::from_sss(&sss, &parts, csx)
+                });
+                let use_stream: Vec<bool> =
+                    m.chunks().iter().map(|c| c.coverage >= *min_coverage).collect();
+                Storage::Hybrid { sss, csx: m, use_stream }
+            }
+        };
+        let size_bytes = match &storage {
+            Storage::Sss(s) => s.size_bytes(),
+            Storage::CsxSym(m) => m.size_bytes(),
+            Storage::Hybrid { sss, csx, use_stream } => {
+                // Per-chunk: the stream when adopted, SSS rows otherwise;
+                // the shared dvalues/rowptr overhead counted once via SSS.
+                let mut bytes = 8 * sss.n() as usize + 4 * (sss.n() as usize + 1);
+                for (chunk, &streamed) in csx.chunks().iter().zip(use_stream) {
+                    if streamed {
+                        bytes += chunk.stream.size_bytes();
+                    } else {
+                        bytes += 12 * chunk.stream.values.len();
+                    }
+                }
+                bytes
+            }
+        };
+
+        // Local-vector layout.
+        let (flat_len, offsets) = match method {
+            ReductionMethod::Naive => {
+                let offsets = (0..nthreads).map(|i| i * n).collect();
+                (nthreads * n, offsets)
+            }
+            _ => {
+                let mut offsets = Vec::with_capacity(nthreads);
+                let mut acc = 0usize;
+                for part in &parts {
+                    offsets.push(acc);
+                    acc += part.start as usize;
+                }
+                (acc, offsets)
+            }
+        };
+
+        let reduce_chunks = balanced_ranges(&vec![1u64; n], nthreads);
+
+        SymSpmv {
+            n,
+            nnz_full,
+            parts,
+            method,
+            storage,
+            flat: vec![0.0; flat_len],
+            offsets,
+            index,
+            reduce_chunks,
+            pool: WorkerPool::new(nthreads),
+            times,
+            size_bytes,
+        }
+    }
+
+    /// The row partition in use.
+    pub fn partitions(&self) -> &[Range] {
+        &self.parts
+    }
+
+    /// The reduction method in use.
+    pub fn method(&self) -> ReductionMethod {
+        self.method
+    }
+
+    /// The conflict index (meaningful for the Indexing method).
+    pub fn conflict_index(&self) -> &ConflictIndex {
+        &self.index
+    }
+
+    /// Substructure coverage of the CSX-Sym encoding (0 for SSS).
+    pub fn csx_coverage(&self) -> f64 {
+        match &self.storage {
+            Storage::Sss(_) => 0.0,
+            Storage::CsxSym(m) => m.coverage(),
+            Storage::Hybrid { csx, .. } => csx.coverage(),
+        }
+    }
+
+    /// The CSX-Sym storage, when that format is in use.
+    pub fn csx_sym(&self) -> Option<&CsxSymMatrix> {
+        match &self.storage {
+            Storage::Sss(_) => None,
+            Storage::CsxSym(m) => Some(m),
+            Storage::Hybrid { csx, .. } => Some(csx),
+        }
+    }
+
+    /// For the hybrid format: which chunks adopted the stream encoding.
+    pub fn hybrid_streamed_chunks(&self) -> Option<&[bool]> {
+        match &self.storage {
+            Storage::Hybrid { use_stream, .. } => Some(use_stream),
+            _ => None,
+        }
+    }
+
+    fn multiply(&mut self, x: &[Val], y: &mut [Val]) {
+        let y_buf = SharedBuf::new(y);
+        let flat_buf = SharedBuf::new(&mut self.flat);
+        let parts = &self.parts;
+        let offsets = &self.offsets;
+        let n = self.n;
+        match (&self.storage, self.method) {
+            (Storage::Hybrid { sss, csx, use_stream }, method) => {
+                assert!(
+                    method != ReductionMethod::Naive,
+                    "the hybrid format supports the direct-write methods only"
+                );
+                self.pool.run(&|tid| {
+                    let part = parts[tid];
+                    if part.is_empty() {
+                        return;
+                    }
+                    let split = part.start as usize;
+                    // SAFETY: effective region [off, off+split) is private.
+                    let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + split) };
+                    // SAFETY: direct writes stay in our own rows.
+                    let my_y = unsafe { y_buf.range_mut(split, part.end as usize) };
+                    if use_stream[tid] {
+                        let dv = &csx.dvalues()[split..part.end as usize];
+                        let xs = &x[split..part.end as usize];
+                        for ((slot, &d), &xi) in my_y.iter_mut().zip(dv).zip(xs) {
+                            *slot = d * xi;
+                        }
+                        spmv_sym_stream(&csx.chunks()[tid].stream, x, my_y, split, l);
+                    } else {
+                        sss_multiply_direct(sss, part, x, my_y, l);
+                    }
+                });
+            }
+            (Storage::Sss(sss), ReductionMethod::Naive) => {
+                self.pool.run(&|tid| {
+                    let part = parts[tid];
+                    // SAFETY: region [tid·n, (tid+1)·n) is thread-private.
+                    let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + n) };
+                    let dv = sss.dvalues();
+                    for r in part.start..part.end {
+                        let (cols, vals) = sss.row(r);
+                        let xr = x[r as usize];
+                        let mut acc = dv[r as usize] * xr;
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            acc += v * x[c as usize];
+                            l[c as usize] += v * xr;
+                        }
+                        l[r as usize] += acc;
+                    }
+                });
+            }
+            (Storage::Sss(sss), _) => {
+                self.pool.run(&|tid| {
+                    let part = parts[tid];
+                    if part.is_empty() {
+                        return;
+                    }
+                    let split = part.start as usize;
+                    // SAFETY: effective region [off, off+split) is private.
+                    let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + split) };
+                    // SAFETY: every direct write targets our own rows — the
+                    // row r itself, and transposed targets c ∈ [split, r).
+                    // Taking the range as a plain slice keeps the hot loop
+                    // free of raw-pointer writes the compiler can't reason
+                    // about.
+                    let my_y = unsafe { y_buf.range_mut(split, part.end as usize) };
+                    sss_multiply_direct(sss, part, x, my_y, l);
+                });
+            }
+            (Storage::CsxSym(m), ReductionMethod::Naive) => {
+                self.pool.run(&|tid| {
+                    let part = parts[tid];
+                    // SAFETY: full-length local region is thread-private.
+                    let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + n) };
+                    let dv = m.dvalues();
+                    for r in part.start..part.end {
+                        l[r as usize] += dv[r as usize] * x[r as usize];
+                    }
+                    spmv_sym_stream_local_only(&m.chunks()[tid].stream, x, l);
+                });
+            }
+            (Storage::CsxSym(m), _) => {
+                self.pool.run(&|tid| {
+                    let part = parts[tid];
+                    if part.is_empty() {
+                        return;
+                    }
+                    let split = part.start as usize;
+                    let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + split) };
+                    // SAFETY: the chunk's direct writes all land in our own
+                    // rows (r itself and transposed c ∈ [split, r)).
+                    let my_y = unsafe { y_buf.range_mut(split, part.end as usize) };
+                    let dv = &m.dvalues()[split..part.end as usize];
+                    let xs = &x[split..part.end as usize];
+                    for ((slot, &d), &xi) in my_y.iter_mut().zip(dv).zip(xs) {
+                        *slot = d * xi;
+                    }
+                    spmv_sym_stream(&m.chunks()[tid].stream, x, my_y, split, l);
+                });
+            }
+        }
+    }
+
+    fn reduce(&mut self, y: &mut [Val]) {
+        let y_buf = SharedBuf::new(y);
+        let flat_buf = SharedBuf::new(&mut self.flat);
+        let parts = &self.parts;
+        let offsets = &self.offsets;
+        let p = parts.len();
+        let chunks = &self.reduce_chunks;
+        let n = self.n;
+        match self.method {
+            ReductionMethod::Naive => {
+                self.pool.run(&|tid| {
+                    let chunk = chunks[tid];
+                    for r in chunk.start as usize..chunk.end as usize {
+                        let mut acc = 0.0;
+                        for i in 0..p {
+                            let k = i * n + r;
+                            // SAFETY: row r is owned by this reduction thread.
+                            unsafe {
+                                acc += flat_buf.get(k);
+                                flat_buf.set(k, 0.0);
+                            }
+                        }
+                        unsafe { y_buf.set(r, acc) };
+                    }
+                });
+            }
+            ReductionMethod::EffectiveRanges => {
+                self.pool.run(&|tid| {
+                    let chunk = chunks[tid];
+                    for r in chunk.start as usize..chunk.end as usize {
+                        // SAFETY: row r is owned by this reduction thread.
+                        let mut acc = unsafe { y_buf.get(r) };
+                        for (i, part) in parts.iter().enumerate().skip(1) {
+                            if (part.start as usize) > r {
+                                let k = offsets[i] + r;
+                                unsafe {
+                                    acc += flat_buf.get(k);
+                                    flat_buf.set(k, 0.0);
+                                }
+                            }
+                        }
+                        unsafe { y_buf.set(r, acc) };
+                    }
+                });
+            }
+            ReductionMethod::Indexing => {
+                let entries = &self.index.entries;
+                let splits = &self.index.splits;
+                self.pool.run(&|tid| {
+                    for e in &entries[splits[tid]..splits[tid + 1]] {
+                        let k = offsets[e.vid as usize] + e.idx as usize;
+                        // SAFETY: (vid, idx) pairs are unique and slices
+                        // never share an idx, so both accesses are exclusive.
+                        unsafe {
+                            y_buf.add(e.idx as usize, flat_buf.get(k));
+                            flat_buf.set(k, 0.0);
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// The direct-write SSS multiply body for one partition: row results and
+/// in-partition transposed writes go to `my_y` (the partition's slice of
+/// the output vector, starting at the partition boundary), conflicting
+/// transposed writes to the thread's effective-region `local`.
+fn sss_multiply_direct(
+    sss: &SssMatrix,
+    part: Range,
+    x: &[Val],
+    my_y: &mut [Val],
+    local: &mut [Val],
+) {
+    let split = part.start as usize;
+    let dv = sss.dvalues();
+    for r in part.start..part.end {
+        let (cols, vals) = sss.row(r);
+        let xr = x[r as usize];
+        let mut acc = dv[r as usize] * xr;
+        for (&c, &v) in cols.iter().zip(vals) {
+            let c = c as usize;
+            acc += v * x[c];
+            if c >= split {
+                my_y[c - split] += v * xr;
+            } else {
+                local[c] += v * xr;
+            }
+        }
+        // Assignment is sound: this thread's earlier transposed writes only
+        // target rows below r.
+        my_y[r as usize - split] = acc;
+    }
+}
+
+impl ParallelSpmv for SymSpmv {
+    fn spmv(&mut self, x: &[Val], y: &mut [Val]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let mut multiply = std::mem::take(&mut self.times.multiply);
+        time_into(&mut multiply, || self.multiply(x, y));
+        self.times.multiply = multiply;
+
+        let mut reduce = std::mem::take(&mut self.times.reduce);
+        time_into(&mut reduce, || self.reduce(y));
+        self.times.reduce = reduce;
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn nnz_full(&self) -> usize {
+        self.nnz_full
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    fn times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    fn reset_times(&mut self) {
+        self.times = PhaseTimes::new();
+    }
+
+    fn name(&self) -> String {
+        let fmt = match self.storage {
+            Storage::Sss(_) => "sss",
+            Storage::CsxSym(_) => "csxsym",
+            Storage::Hybrid { .. } => "hybrid",
+        };
+        format!("{fmt}-{}", self.method.tag())
+    }
+
+    fn nthreads(&self) -> usize {
+        self.pool.nthreads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
+
+    fn csx_cfg() -> DetectConfig {
+        DetectConfig { min_coverage: 0.0, ..DetectConfig::default() }
+    }
+
+    fn all_engines(coo: &CooMatrix, p: usize) -> Vec<SymSpmv> {
+        let mut v = Vec::new();
+        for method in [
+            ReductionMethod::Naive,
+            ReductionMethod::EffectiveRanges,
+            ReductionMethod::Indexing,
+        ] {
+            v.push(SymSpmv::from_coo(coo, p, method, SymFormat::Sss).unwrap());
+            v.push(SymSpmv::from_coo(coo, p, method, SymFormat::CsxSym(csx_cfg())).unwrap());
+        }
+        v
+    }
+
+    #[test]
+    fn all_methods_match_serial_sss() {
+        let coo = symspmv_sparse::gen::banded_random(400, 30, 10.0, 42);
+        let n = 400;
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = seeded_vector(n, 5);
+        let mut y_ref = vec![0.0; n];
+        sss.spmv(&x, &mut y_ref);
+
+        for p in [1usize, 2, 3, 7, 8] {
+            for mut eng in all_engines(&coo, p) {
+                let mut y = vec![f64::NAN; n];
+                eng.spmv(&x, &mut y);
+                assert_vec_close(&y, &y_ref, 1e-12);
+                // Second call must give identical results (locals re-zeroed).
+                let mut y2 = vec![f64::NAN; n];
+                eng.spmv(&x, &mut y2);
+                assert_vec_close(&y2, &y_ref, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn high_bandwidth_matrix_all_methods() {
+        // Scattered entries exercise the conflict-heavy path.
+        let coo = symspmv_sparse::gen::mixed_bandwidth(500, 8.0, 0.3, 5, 77);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = seeded_vector(500, 9);
+        let mut y_ref = vec![0.0; 500];
+        sss.spmv(&x, &mut y_ref);
+        for mut eng in all_engines(&coo, 6) {
+            let mut y = vec![0.0; 500];
+            eng.spmv(&x, &mut y);
+            assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn block_matrix_csx_sym_compresses_beyond_sss() {
+        let coo = symspmv_sparse::gen::block_structural(120, 3, 12.0, 20, 3);
+        let sss_eng =
+            SymSpmv::from_coo(&coo, 4, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let csx_eng =
+            SymSpmv::from_coo(&coo, 4, ReductionMethod::Indexing, SymFormat::CsxSym(csx_cfg()))
+                .unwrap();
+        assert!(
+            csx_eng.size_bytes() < sss_eng.size_bytes(),
+            "CSX-Sym {} vs SSS {}",
+            csx_eng.size_bytes(),
+            sss_eng.size_bytes()
+        );
+        assert!(csx_eng.csx_coverage() > 0.5);
+    }
+
+    #[test]
+    fn phase_times_recorded() {
+        let coo = symspmv_sparse::gen::laplacian_2d(30, 30);
+        let mut eng =
+            SymSpmv::from_coo(&coo, 4, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let x = seeded_vector(900, 1);
+        let mut y = vec![0.0; 900];
+        eng.spmv(&x, &mut y);
+        let t = eng.times();
+        assert!(t.multiply > std::time::Duration::ZERO);
+        eng.reset_times();
+        assert_eq!(eng.times().multiply, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn names_identify_configuration() {
+        let coo = symspmv_sparse::gen::laplacian_2d(8, 8);
+        let e1 = SymSpmv::from_coo(&coo, 2, ReductionMethod::Naive, SymFormat::Sss).unwrap();
+        assert_eq!(e1.name(), "sss-naive");
+        let e2 =
+            SymSpmv::from_coo(&coo, 2, ReductionMethod::Indexing, SymFormat::CsxSym(csx_cfg()))
+                .unwrap();
+        assert_eq!(e2.name(), "csxsym-idx");
+    }
+
+    #[test]
+    fn asymmetric_input_rejected() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0);
+        assert!(SymSpmv::from_coo(&coo, 2, ReductionMethod::Naive, SymFormat::Sss).is_err());
+    }
+
+    #[test]
+    fn indexing_working_set_smaller_than_effective() {
+        // The core claim of §III-C: the index touches far fewer elements
+        // than the effective regions contain.
+        let coo = symspmv_sparse::gen::banded_random(2000, 50, 12.0, 8);
+        let eng =
+            SymSpmv::from_coo(&coo, 8, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let ci = eng.conflict_index();
+        assert!(ci.entries.len() < ci.effective_region_len / 2,
+            "index {} vs effective region {}", ci.entries.len(), ci.effective_region_len);
+        assert!(ci.density() < 0.5);
+    }
+
+    #[test]
+    fn identity_matrix_edge_case() {
+        let mut coo = CooMatrix::new(16, 16);
+        for i in 0..16 {
+            coo.push(i, i, 3.0);
+        }
+        for mut eng in all_engines(&coo, 4) {
+            let x = seeded_vector(16, 2);
+            let mut y = vec![0.0; 16];
+            eng.spmv(&x, &mut y);
+            let expect: Vec<f64> = x.iter().map(|v| 3.0 * v).collect();
+            assert_vec_close(&y, &expect, 1e-12);
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
+    use symspmv_sparse::CooMatrix;
+
+    fn methods() -> [ReductionMethod; 3] {
+        [ReductionMethod::Naive, ReductionMethod::EffectiveRanges, ReductionMethod::Indexing]
+    }
+
+    #[test]
+    fn far_more_threads_than_rows() {
+        // Empty trailing partitions must be handled by every method and
+        // both formats.
+        let coo = symspmv_sparse::gen::laplacian_2d(3, 3); // N = 9
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = seeded_vector(9, 1);
+        let mut y_ref = vec![0.0; 9];
+        sss.spmv(&x, &mut y_ref);
+        let dcfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        for method in methods() {
+            for format in [SymFormat::Sss, SymFormat::CsxSym(dcfg.clone())] {
+                let mut eng = SymSpmv::from_coo(&coo, 32, method, format).unwrap();
+                let mut y = vec![f64::NAN; 9];
+                eng.spmv(&x, &mut y);
+                assert_vec_close(&y, &y_ref, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 5.0);
+        for method in methods() {
+            let mut eng = SymSpmv::from_coo(&coo, 2, method, SymFormat::Sss).unwrap();
+            let mut y = vec![0.0];
+            eng.spmv(&[3.0], &mut y);
+            assert_eq!(y, vec![15.0]);
+        }
+    }
+
+    #[test]
+    fn dense_column_zero_matrix() {
+        // Every row couples to row 0: thread 1..p's conflicts all collapse
+        // to a single idx, stressing the split-independence logic.
+        let n = 64u32;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+        }
+        for r in 1..n {
+            coo.push(r, 0, -1.0);
+            coo.push(0, r, -1.0);
+        }
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = seeded_vector(n as usize, 2);
+        let mut y_ref = vec![0.0; n as usize];
+        sss.spmv(&x, &mut y_ref);
+        for p in [2usize, 4, 8] {
+            let mut eng =
+                SymSpmv::from_coo(&coo, p, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+            // Index has exactly p-1 entries, all with idx 0 (minus thread 0).
+            let nonempty =
+                eng.partitions().iter().skip(1).filter(|r| !r.is_empty()).count();
+            assert_eq!(eng.conflict_index().entries.len(), nonempty);
+            let mut y = vec![0.0; n as usize];
+            eng.spmv(&x, &mut y);
+            assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn working_set_allocation_matches_method() {
+        let coo = symspmv_sparse::gen::laplacian_2d(16, 16); // N = 256
+        let naive =
+            SymSpmv::from_coo(&coo, 4, ReductionMethod::Naive, SymFormat::Sss).unwrap();
+        let idx =
+            SymSpmv::from_coo(&coo, 4, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        // Naive allocates p*N local elements; indexing only Σ start_i.
+        assert_eq!(naive.flat.len(), 4 * 256);
+        assert!(idx.flat.len() < 3 * 256, "effective regions are Σ start_i < (p-1)N");
+    }
+}
+
+#[cfg(test)]
+mod hybrid_tests {
+    use super::*;
+    use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
+
+    fn hybrid(threshold: f64) -> SymFormat {
+        SymFormat::Hybrid {
+            csx: DetectConfig { min_coverage: 0.0, ..DetectConfig::default() },
+            min_coverage: threshold,
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_serial_on_mixed_structure() {
+        // Half the rows blocky (high coverage), half scattered: chunks
+        // should split between stream and SSS paths.
+        let blocky = symspmv_sparse::gen::block_structural(60, 3, 8.0, 12, 2);
+        let nb = blocky.nrows();
+        let n = nb + 180;
+        let mut coo = symspmv_sparse::CooMatrix::new(n, n);
+        for (r, c, v) in blocky.iter() {
+            coo.push(r, c, v);
+        }
+        // Scattered tail coupled to itself.
+        for i in nb..n {
+            coo.push(i, i, 5.0);
+            if i >= nb + 7 {
+                coo.push(i, i - 7, -0.5);
+                coo.push(i - 7, i, -0.5);
+            }
+        }
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = seeded_vector(n as usize, 4);
+        let mut y_ref = vec![0.0; n as usize];
+        sss.spmv(&x, &mut y_ref);
+
+        for method in [ReductionMethod::EffectiveRanges, ReductionMethod::Indexing] {
+            let mut eng = SymSpmv::from_coo(&coo, 4, method, hybrid(0.5)).unwrap();
+            let streamed = eng.hybrid_streamed_chunks().unwrap().to_vec();
+            assert!(streamed.iter().any(|&b| b), "blocky chunks should stream");
+            let mut y = vec![f64::NAN; n as usize];
+            eng.spmv(&x, &mut y);
+            assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn hybrid_thresholds_select_paths() {
+        let coo = symspmv_sparse::gen::block_structural(80, 3, 8.0, 16, 3);
+        // Threshold 0: everything streams. Threshold > 1: nothing does.
+        let all = SymSpmv::from_coo(&coo, 3, ReductionMethod::Indexing, hybrid(0.0)).unwrap();
+        assert!(all.hybrid_streamed_chunks().unwrap().iter().all(|&b| b));
+        let none =
+            SymSpmv::from_coo(&coo, 3, ReductionMethod::Indexing, hybrid(1.1)).unwrap();
+        assert!(none.hybrid_streamed_chunks().unwrap().iter().all(|&b| !b));
+        assert_eq!(all.name(), "hybrid-idx");
+        // Size: the no-stream hybrid approximates the SSS size.
+        let sss = SymSpmv::from_coo(&coo, 3, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let ratio = none.size_bytes() as f64 / sss.size_bytes() as f64;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "direct-write methods only")]
+    fn hybrid_rejects_naive() {
+        let coo = symspmv_sparse::gen::laplacian_2d(8, 8);
+        let _ = SymSpmv::from_coo(&coo, 2, ReductionMethod::Naive, hybrid(0.5));
+    }
+}

@@ -1,0 +1,208 @@
+//! Atomic-update symmetric SpMV — an extension baseline.
+//!
+//! The paper's related work (§VI) discusses the CSB-based symmetric kernel
+//! of Buluç et al. (ref. 27 of the paper), which avoids local vectors by issuing *atomic*
+//! updates for conflicting writes, and predicts it is "bound by the atomic
+//! operations" on high-bandwidth matrices. This kernel makes that
+//! comparison concrete: same SSS storage and partitioning as
+//! [`crate::sym::SymSpmv`], but transposed writes that cross the partition
+//! boundary use a compare-exchange loop on the output vector instead of a
+//! local vector — no reduction phase at all.
+
+use crate::shared::SharedBuf;
+use crate::traits::ParallelSpmv;
+use std::sync::atomic::{AtomicU64, Ordering};
+use symspmv_runtime::timing::time_into;
+use symspmv_runtime::{
+    balanced_ranges, partition::symmetric_row_weights, PhaseTimes, Range, WorkerPool,
+};
+use symspmv_sparse::{CooMatrix, SparseError, SssMatrix, Val};
+
+/// Symmetric SpMV over SSS storage with atomic conflicting updates.
+pub struct SssAtomicParallel {
+    sss: SssMatrix,
+    parts: Vec<Range>,
+    pool: WorkerPool,
+    times: PhaseTimes,
+}
+
+impl SssAtomicParallel {
+    /// Builds the kernel from a full symmetric COO matrix.
+    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Result<Self, SparseError> {
+        let sss = SssMatrix::from_coo(coo, 0.0)?;
+        Ok(Self::from_sss(sss, nthreads))
+    }
+
+    /// Builds the kernel from an SSS matrix.
+    pub fn from_sss(sss: SssMatrix, nthreads: usize) -> Self {
+        let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), nthreads);
+        SssAtomicParallel { sss, parts, pool: WorkerPool::new(nthreads), times: PhaseTimes::new() }
+    }
+
+    /// The row partition in use.
+    pub fn partitions(&self) -> &[Range] {
+        &self.parts
+    }
+}
+
+/// Atomically performs `slot += v` on an `f64` viewed as bits.
+#[inline]
+fn atomic_add_f64(slot: &AtomicU64, v: Val) {
+    let mut cur = slot.load(Ordering::Relaxed);
+    loop {
+        let new = f64::from_bits(cur) + v;
+        match slot.compare_exchange_weak(
+            cur,
+            new.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl ParallelSpmv for SssAtomicParallel {
+    fn spmv(&mut self, x: &[Val], y: &mut [Val]) {
+        let n = self.sss.n() as usize;
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let parts = &self.parts;
+        let sss = &self.sss;
+
+        // Phase A: initialize y with the diagonal contribution, row-parallel
+        // (plain writes — each row owned by exactly one thread).
+        let init_chunks = balanced_ranges(&vec![1u64; n], parts.len());
+        let y_buf = SharedBuf::new(y);
+        time_into(&mut self.times.multiply, || {
+            self.pool.run(&|tid| {
+                let chunk = init_chunks[tid];
+                // SAFETY: init chunks tile 0..N disjointly.
+                let my = unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
+                let dv = &sss.dvalues()[chunk.start as usize..chunk.end as usize];
+                let xs = &x[chunk.start as usize..chunk.end as usize];
+                for ((slot, &d), &xi) in my.iter_mut().zip(dv).zip(xs) {
+                    *slot = d * xi;
+                }
+            });
+
+            // Phase B: off-diagonal products. Own-row contributions
+            // accumulate in a register; every write to `y` is atomic,
+            // because any element can simultaneously receive transposed
+            // updates from other threads (mixing plain and atomic accesses
+            // to the same location would be a data race).
+            self.pool.run(&|tid| {
+                let part = parts[tid];
+                // SAFETY: AtomicU64 has the same layout as u64/f64; after
+                // phase A's barrier, all phase-B accesses go through this
+                // atomic view.
+                let y_atomic: &[AtomicU64] = unsafe {
+                    std::slice::from_raw_parts(
+                        y_buf.full_mut().as_ptr() as *const AtomicU64,
+                        n,
+                    )
+                };
+                for r in part.start..part.end {
+                    let (cols, vals) = sss.row(r);
+                    let xr = x[r as usize];
+                    let mut acc = 0.0;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let c = c as usize;
+                        acc += v * x[c];
+                        atomic_add_f64(&y_atomic[c], v * xr);
+                    }
+                    atomic_add_f64(&y_atomic[r as usize], acc);
+                }
+            });
+        });
+    }
+
+    fn n(&self) -> usize {
+        self.sss.n() as usize
+    }
+
+    fn nnz_full(&self) -> usize {
+        2 * self.sss.lower_nnz() + self.sss.n() as usize
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.sss.size_bytes()
+    }
+
+    fn times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    fn reset_times(&mut self) {
+        self.times = PhaseTimes::new();
+    }
+
+    fn name(&self) -> String {
+        "sss-atomic".into()
+    }
+
+    fn nthreads(&self) -> usize {
+        self.pool.nthreads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
+
+    #[test]
+    fn matches_serial_sss() {
+        let coo = symspmv_sparse::gen::banded_random(400, 25, 9.0, 13);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = seeded_vector(400, 3);
+        let mut y_ref = vec![0.0; 400];
+        sss.spmv(&x, &mut y_ref);
+        for p in [1usize, 2, 4, 8] {
+            let mut k = SssAtomicParallel::from_coo(&coo, p).unwrap();
+            let mut y = vec![f64::NAN; 400];
+            k.spmv(&x, &mut y);
+            assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_conflict_matrix_correct_under_contention() {
+        // Column 0 is hit by nearly every row — maximal atomic contention.
+        let mut coo = CooMatrix::new(256, 256);
+        for i in 0..256u32 {
+            coo.push(i, i, 4.0);
+        }
+        for r in 1..256u32 {
+            coo.push(r, 0, 1.0);
+            coo.push(0, r, 1.0);
+        }
+        let x = seeded_vector(256, 5);
+        let mut y_ref = vec![0.0; 256];
+        SssMatrix::from_coo(&coo, 0.0).unwrap().spmv(&x, &mut y_ref);
+        let mut k = SssAtomicParallel::from_coo(&coo, 8).unwrap();
+        // Repeat to give races a chance to surface.
+        for _ in 0..20 {
+            let mut y = vec![0.0; 256];
+            k.spmv(&x, &mut y);
+            assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let slot = AtomicU64::new(1.5f64.to_bits());
+        atomic_add_f64(&slot, 2.25);
+        assert_eq!(f64::from_bits(slot.load(Ordering::Relaxed)), 3.75);
+    }
+
+    #[test]
+    fn interface_metadata() {
+        let coo = symspmv_sparse::gen::laplacian_2d(10, 10);
+        let k = SssAtomicParallel::from_coo(&coo, 2).unwrap();
+        assert_eq!(k.name(), "sss-atomic");
+        assert_eq!(k.n(), 100);
+        assert!(k.size_bytes() > 0);
+    }
+}

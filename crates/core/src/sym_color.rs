@@ -1,0 +1,306 @@
+//! The "colorful" symmetric SpMV (Batista et al. — ref. 7, discussed in
+//! §VI) — the third way to handle the transposed-write conflicts.
+//!
+//! Instead of local vectors or atomics, rows are greedily *colored* so
+//! that no two rows of the same color ever write the same output element
+//! (row `r` writes `y[r]` and `y[c]` for every stored lower element
+//! `(r, c)`). The kernel then processes one color class at a time: within
+//! a class all writes are disjoint, so threads write `y` directly; a
+//! barrier separates classes. There is no reduction phase — the cost moved
+//! into the barriers and the loss of row locality, which is why the paper
+//! reports the method "could not achieve a performance gain over the
+//! typical local vectors method".
+
+use crate::shared::SharedBuf;
+use crate::traits::ParallelSpmv;
+use symspmv_runtime::timing::time_into;
+use symspmv_runtime::{balanced_ranges, PhaseTimes, Range, WorkerPool};
+use symspmv_sparse::{CooMatrix, Idx, SparseError, SssMatrix, Val};
+
+/// Result of the conflict coloring.
+#[derive(Debug, Clone)]
+pub struct Coloring {
+    /// Color of each row.
+    pub color_of: Vec<u32>,
+    /// Rows grouped by color (each group sorted ascending).
+    pub classes: Vec<Vec<Idx>>,
+}
+
+impl Coloring {
+    /// Number of color classes.
+    pub fn ncolors(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Greedily colors the rows of an SSS matrix so no two same-colored rows
+/// share a write target.
+///
+/// Write set of row `r`: `{r} ∪ cols(r)`. Two rows conflict iff their
+/// write sets intersect, i.e. they share a column, or one row's index is
+/// in the other's column set. The single-pass greedy visits rows in
+/// ascending order and tracks, per column, the colors already "attached"
+/// to it; the smallest color attached to none of the row's write targets
+/// is chosen.
+pub fn color_rows(sss: &SssMatrix) -> Coloring {
+    let n = sss.n() as usize;
+    // colors_at[c] = colors of all previously processed rows whose write
+    // set contains c (small Vec: conflict degrees are modest outside hubs).
+    let mut colors_at: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut color_of = vec![0u32; n];
+    // Scratch bitmap of forbidden colors, epoch-versioned to avoid clears.
+    let mut forbidden: Vec<u64> = vec![0; 64];
+    let mut epoch: u64 = 0;
+
+    let mut ncolors = 0u32;
+    for r in 0..n {
+        epoch += 1;
+        let (cols, _) = sss.row(r as Idx);
+        let forbid = |color: u32, forbidden: &mut Vec<u64>| {
+            let idx = color as usize;
+            if idx >= forbidden.len() {
+                forbidden.resize(idx + 1, 0);
+            }
+            forbidden[idx] = epoch;
+        };
+        for &col in &colors_at[r] {
+            forbid(col, &mut forbidden);
+        }
+        for &c in cols {
+            for &col in &colors_at[c as usize] {
+                forbid(col, &mut forbidden);
+            }
+        }
+        let mut chosen = 0u32;
+        while (chosen as usize) < forbidden.len() && forbidden[chosen as usize] == epoch {
+            chosen += 1;
+        }
+        color_of[r] = chosen;
+        ncolors = ncolors.max(chosen + 1);
+        // Attach the chosen color to every write target of this row.
+        colors_at[r].push(chosen);
+        for &c in cols {
+            colors_at[c as usize].push(chosen);
+        }
+    }
+
+    let mut classes: Vec<Vec<Idx>> = vec![Vec::new(); ncolors as usize];
+    for (r, &c) in color_of.iter().enumerate() {
+        classes[c as usize].push(r as Idx);
+    }
+    Coloring { color_of, classes }
+}
+
+/// Symmetric SpMV over SSS storage using conflict coloring — no local
+/// vectors, no atomics, one parallel region (with internal barrier) per
+/// color class.
+pub struct SssColorParallel {
+    sss: SssMatrix,
+    coloring: Coloring,
+    /// Per color class: thread partition over the class's row list.
+    class_parts: Vec<Vec<Range>>,
+    pool: WorkerPool,
+    times: PhaseTimes,
+}
+
+impl SssColorParallel {
+    /// Builds the kernel from a full symmetric COO matrix.
+    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Result<Self, SparseError> {
+        let sss = SssMatrix::from_coo(coo, 0.0)?;
+        Ok(Self::from_sss(sss, nthreads))
+    }
+
+    /// Builds the kernel from SSS storage; the coloring is computed here
+    /// and timed as preprocessing.
+    pub fn from_sss(sss: SssMatrix, nthreads: usize) -> Self {
+        let mut times = PhaseTimes::new();
+        let coloring = time_into(&mut times.preprocess, || color_rows(&sss));
+        let class_parts = coloring
+            .classes
+            .iter()
+            .map(|rows| {
+                let weights: Vec<u64> = rows
+                    .iter()
+                    .map(|&r| {
+                        let (cols, _) = sss.row(r);
+                        2 * cols.len() as u64 + 1
+                    })
+                    .collect();
+                balanced_ranges(&weights, nthreads)
+            })
+            .collect();
+        SssColorParallel {
+            sss,
+            coloring,
+            class_parts,
+            pool: WorkerPool::new(nthreads),
+            times,
+        }
+    }
+
+    /// The conflict coloring in use.
+    pub fn coloring(&self) -> &Coloring {
+        &self.coloring
+    }
+}
+
+impl ParallelSpmv for SssColorParallel {
+    fn spmv(&mut self, x: &[Val], y: &mut [Val]) {
+        let n = self.sss.n() as usize;
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        let y_buf = SharedBuf::new(y);
+        let sss = &self.sss;
+        let coloring = &self.coloring;
+        let class_parts = &self.class_parts;
+
+        time_into(&mut self.times.multiply, || {
+            // Diagonal init, row-parallel.
+            let chunks = balanced_ranges(&vec![1u64; n], self.pool.nthreads());
+            self.pool.run(&|tid| {
+                let chunk = chunks[tid];
+                // SAFETY: chunks tile 0..N disjointly.
+                let my =
+                    unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
+                let dv = &sss.dvalues()[chunk.start as usize..chunk.end as usize];
+                let xs = &x[chunk.start as usize..chunk.end as usize];
+                for ((slot, &d), &xi) in my.iter_mut().zip(dv).zip(xs) {
+                    *slot = d * xi;
+                }
+            });
+
+            // One parallel pass per color class; pool.run is the barrier.
+            for (rows, parts) in coloring.classes.iter().zip(class_parts) {
+                self.pool.run(&|tid| {
+                    let part = parts[tid];
+                    for &r in &rows[part.start as usize..part.end as usize] {
+                        let (cols, vals) = sss.row(r);
+                        let xr = x[r as usize];
+                        let mut acc = 0.0;
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            acc += v * x[c as usize];
+                            // SAFETY: within a color class no two rows share
+                            // a write target, and threads own disjoint rows
+                            // of the class.
+                            unsafe { y_buf.add(c as usize, v * xr) };
+                        }
+                        unsafe { y_buf.add(r as usize, acc) };
+                    }
+                });
+            }
+        });
+    }
+
+    fn n(&self) -> usize {
+        self.sss.n() as usize
+    }
+
+    fn nnz_full(&self) -> usize {
+        2 * self.sss.lower_nnz() + self.sss.n() as usize
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.sss.size_bytes()
+    }
+
+    fn times(&self) -> PhaseTimes {
+        self.times
+    }
+
+    fn reset_times(&mut self) {
+        self.times = PhaseTimes::new();
+    }
+
+    fn name(&self) -> String {
+        "sss-color".into()
+    }
+
+    fn nthreads(&self) -> usize {
+        self.pool.nthreads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
+
+    fn check_coloring_valid(sss: &SssMatrix, coloring: &Coloring) {
+        // Within each class, write sets must be pairwise disjoint.
+        use std::collections::HashSet;
+        for rows in &coloring.classes {
+            let mut seen: HashSet<Idx> = HashSet::new();
+            for &r in rows {
+                let (cols, _) = sss.row(r);
+                assert!(seen.insert(r), "row {r} writes y[{r}] already claimed");
+                for &c in cols {
+                    assert!(seen.insert(c), "class shares write target y[{c}]");
+                }
+            }
+        }
+        // Classes partition the rows.
+        let total: usize = coloring.classes.iter().map(Vec::len).sum();
+        assert_eq!(total, sss.n() as usize);
+    }
+
+    #[test]
+    fn coloring_is_valid_on_banded_matrix() {
+        let coo = symspmv_sparse::gen::banded_random(300, 12, 8.0, 5);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let coloring = color_rows(&sss);
+        check_coloring_valid(&sss, &coloring);
+        assert!(coloring.ncolors() > 1);
+        assert!(
+            coloring.ncolors() < 80,
+            "greedy should stay near the conflict degree: {}",
+            coloring.ncolors()
+        );
+    }
+
+    #[test]
+    fn coloring_on_hub_matrix() {
+        // A hub column forces every hub-touching row into its own class.
+        let mut coo = CooMatrix::new(64, 64);
+        for i in 0..64 {
+            coo.push(i, i, 2.0);
+        }
+        for r in 1..20u32 {
+            coo.push(r, 0, 1.0);
+            coo.push(0, r, 1.0);
+        }
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let coloring = color_rows(&sss);
+        check_coloring_valid(&sss, &coloring);
+        assert!(coloring.ncolors() >= 19, "hub rows mutually conflict");
+    }
+
+    #[test]
+    fn spmv_matches_serial_on_suite_classes() {
+        for coo in [
+            symspmv_sparse::gen::banded_random(400, 20, 9.0, 2),
+            symspmv_sparse::gen::mixed_bandwidth(300, 7.0, 0.5, 10, 4),
+            symspmv_sparse::gen::block_structural(60, 3, 6.0, 12, 6),
+        ] {
+            let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+            let n = sss.n() as usize;
+            let x = seeded_vector(n, 8);
+            let mut y_ref = vec![0.0; n];
+            sss.spmv(&x, &mut y_ref);
+            for p in [1usize, 3, 8] {
+                let mut k = SssColorParallel::from_coo(&coo, p).unwrap();
+                let mut y = vec![f64::NAN; n];
+                k.spmv(&x, &mut y);
+                assert_vec_close(&y, &y_ref, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn preprocessing_recorded_and_named() {
+        let coo = symspmv_sparse::gen::laplacian_2d(20, 20);
+        let k = SssColorParallel::from_coo(&coo, 2).unwrap();
+        assert_eq!(k.name(), "sss-color");
+        assert!(k.times().preprocess > std::time::Duration::ZERO);
+        assert!(k.coloring().ncolors() >= 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! The common kernel interface of the measurement framework (§V-A).
+//!
+//! "We have built a common measurements framework that interfaces with the
+//! storage format implementations through a well-defined sparse matrix-
+//! vector multiplication interface" — this trait is that interface.
+
+use symspmv_runtime::PhaseTimes;
+use symspmv_sparse::Val;
+
+/// A multithreaded SpMV kernel bound to one matrix and one thread count.
+pub trait ParallelSpmv {
+    /// Computes `y = A·x`.
+    fn spmv(&mut self, x: &[Val], y: &mut [Val]);
+
+    /// Matrix dimension `N` (all evaluation matrices are square).
+    fn n(&self) -> usize;
+
+    /// Non-zeros of the represented (full) matrix — defines the kernel's
+    /// flop count as `2·NNZ` for Gflop/s accounting.
+    fn nnz_full(&self) -> usize;
+
+    /// Bytes of the storage representation (compression comparisons).
+    fn size_bytes(&self) -> usize;
+
+    /// Accumulated per-phase times since the last reset.
+    fn times(&self) -> PhaseTimes;
+
+    /// Resets the phase-time accumulators.
+    fn reset_times(&mut self);
+
+    /// Short kernel name for reports (e.g. `"csr"`, `"sss-idx"`).
+    fn name(&self) -> String;
+
+    /// Number of worker threads.
+    fn nthreads(&self) -> usize;
+
+    /// Floating-point operations per SpMV invocation.
+    fn flops(&self) -> u64 {
+        2 * self.nnz_full() as u64
+    }
+}

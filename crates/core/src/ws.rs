@@ -1,0 +1,96 @@
+//! Working-set models of the reduction phase (Eq. 3–6, Fig. 5).
+//!
+//! All values are bytes, assuming 8-byte vector elements and the paper's
+//! 4-byte-`vid` + 4-byte-`idx` index entries. Overheads are usually
+//! reported relative to the serial SSS matrix size (Eq. 2), which is how
+//! Fig. 5 normalizes its y-axis.
+
+use crate::symbolic::ConflictIndex;
+
+/// Eq. 3 — naive local vectors: `ws = 8·p·N`.
+pub fn ws_naive(p: usize, n: usize) -> usize {
+    8 * p * n
+}
+
+/// Eq. 4 — effective ranges: `ws ≈ 4·(p−1)·N`.
+///
+/// The exact value for a concrete partition is `8·Σ start_i`; the paper's
+/// closed form assumes equal row counts. Both are provided: this function
+/// returns the closed form, [`ws_effective_exact`] the partition-exact one.
+pub fn ws_effective(p: usize, n: usize) -> usize {
+    4 * p.saturating_sub(1) * n
+}
+
+/// Partition-exact effective-ranges working set: `8·Σ_i start_i`.
+pub fn ws_effective_exact(effective_region_len: usize) -> usize {
+    8 * effective_region_len
+}
+
+/// Eq. 5/6 — local-vectors indexing: `ws ≈ 8·(p−1)·N·d`, evaluated exactly
+/// from the symbolic index: 8 bytes of index entry plus 8 bytes of touched
+/// local element per conflicting entry.
+pub fn ws_indexing(index: &ConflictIndex) -> usize {
+    16 * index.entries.len()
+}
+
+/// Eq. 6 closed form with an externally supplied density `d`.
+pub fn ws_indexing_model(p: usize, n: usize, density: f64) -> f64 {
+    8.0 * (p.saturating_sub(1) * n) as f64 * density
+}
+
+/// Reduction overhead relative to a matrix size (the Fig. 5 y-axis):
+/// `ws / matrix_bytes`.
+pub fn relative_overhead(ws_bytes: usize, matrix_bytes: usize) -> f64 {
+    ws_bytes as f64 / matrix_bytes.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic;
+    use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights};
+    use symspmv_sparse::SssMatrix;
+
+    #[test]
+    fn closed_forms() {
+        assert_eq!(ws_naive(4, 1000), 32_000);
+        assert_eq!(ws_effective(4, 1000), 12_000);
+        assert_eq!(ws_effective(1, 1000), 0);
+        assert!((ws_indexing_model(4, 1000, 0.1) - 2400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indexing_beats_effective_on_sparse_conflicts() {
+        let coo = symspmv_sparse::gen::banded_random(4096, 64, 10.0, 3);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), 16);
+        let ci = symbolic::analyze(&sss, &parts);
+        let ws_idx = ws_indexing(&ci);
+        let ws_eff = ws_effective_exact(ci.effective_region_len);
+        assert!(
+            ws_idx < ws_eff,
+            "indexing {ws_idx} should undercut effective ranges {ws_eff}"
+        );
+        // And the naive method is the worst of the three.
+        assert!(ws_eff < ws_naive(16, 4096));
+    }
+
+    #[test]
+    fn overhead_normalization() {
+        assert!((relative_overhead(500, 1000) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_overhead(10, 0), 10.0);
+    }
+
+    #[test]
+    fn model_tracks_exact_value() {
+        // ws_indexing == ws_indexing_model when density is measured over
+        // the same effective region length.
+        let coo = symspmv_sparse::gen::mixed_bandwidth(2048, 8.0, 0.5, 32, 9);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), 8);
+        let ci = symbolic::analyze(&sss, &parts);
+        let exact = ws_indexing(&ci) as f64;
+        let model = 16.0 * ci.effective_region_len as f64 * ci.density();
+        assert!((exact - model).abs() / exact.max(1.0) < 1e-9);
+    }
+}

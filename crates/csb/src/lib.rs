@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Compressed Sparse Blocks — the related-work comparator of §VI.
+//!
+//! CSB (Buluç et al., SPAA'09 — ref. 8 of the paper) divides the matrix
+//! into β×β blocks stored block-row-major; within a block, elements are
+//! coordinates with *small* local indices (16 bits here), so the index
+//! storage is roughly halved relative to CSR while supporting both `A·x`
+//! and `Aᵀ·x` efficiently.
+//!
+//! The symmetric variant (Buluç et al., IPDPS'11 — ref. 27) stores the
+//! lower triangle only; transposed updates that stay within a narrow band
+//! of block diagonals go to small per-thread local buffers (a bounded
+//! reduction), while the rare far-flung updates use atomic operations —
+//! the design the paper predicts "is expected to be bound by the atomic
+//! operations" on high-bandwidth matrices, which our experiments can now
+//! test directly against local-vectors indexing.
+//!
+//! Deviation from the original: the original CSB uses Cilk task
+//! parallelism with dynamic blockrow splitting; this implementation uses
+//! the same static nnz-balanced blockrow partitioning as the rest of the
+//! workspace (DESIGN.md substitution S4 applies).
+
+pub mod matrix;
+pub mod sym;
+
+pub use matrix::CsbMatrix;
+pub use sym::CsbSymMatrix;

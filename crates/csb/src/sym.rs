@@ -1,0 +1,143 @@
+//! The symmetric CSB variant (storage side).
+//!
+//! Stores the strict lower triangle in CSB plus a dense diagonal, exactly
+//! like SSS but with block-local indices. The *parallel execution* scheme
+//! of ref. 27 (banded local buffers + atomic far updates) lives in
+//! `symspmv-core::csb_mt`, next to the other kernels; this module provides
+//! the storage, the serial kernel and the structural queries it needs.
+
+use crate::matrix::CsbMatrix;
+use symspmv_sparse::{CooMatrix, Idx, SparseError, SssMatrix, Val};
+
+/// A symmetric matrix as dense diagonal + strict-lower-triangle CSB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsbSymMatrix {
+    n: Idx,
+    dvalues: Vec<Val>,
+    lower: CsbMatrix,
+}
+
+impl CsbSymMatrix {
+    /// Builds from a full symmetric COO matrix (checked).
+    pub fn from_coo(coo: &CooMatrix, beta: Option<u32>) -> Result<Self, SparseError> {
+        let sss = SssMatrix::from_coo(coo, 0.0)?;
+        Ok(Self::from_sss(&sss, beta))
+    }
+
+    /// Builds from SSS storage (symmetry already established).
+    pub fn from_sss(sss: &SssMatrix, beta: Option<u32>) -> Self {
+        let n = sss.n();
+        let mut lower_coo = CooMatrix::with_capacity(n, n, sss.lower_nnz());
+        for r in 0..n {
+            let (cols, vals) = sss.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                lower_coo.push(r, c, v);
+            }
+        }
+        let lower = match beta {
+            Some(b) => CsbMatrix::with_beta(&lower_coo, b),
+            None => CsbMatrix::from_coo(&lower_coo),
+        };
+        CsbSymMatrix { n, dvalues: sss.dvalues().to_vec(), lower }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> Idx {
+        self.n
+    }
+
+    /// Dense diagonal.
+    pub fn dvalues(&self) -> &[Val] {
+        &self.dvalues
+    }
+
+    /// The strict-lower-triangle CSB storage.
+    pub fn lower(&self) -> &CsbMatrix {
+        &self.lower
+    }
+
+    /// Non-zeros of the represented operator (`2·lower + N`, diagonal
+    /// stored densely).
+    pub fn full_nnz(&self) -> usize {
+        2 * self.lower.nnz() + self.n as usize
+    }
+
+    /// Bytes: lower CSB plus the dense diagonal.
+    pub fn size_bytes(&self) -> usize {
+        self.lower.size_bytes() + 8 * self.n as usize
+    }
+
+    /// Serial symmetric SpMV (`y = A·x`).
+    pub fn spmv_serial(&self, x: &[Val], y: &mut [Val]) {
+        let n = self.n as usize;
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        for r in 0..n {
+            y[r] = self.dvalues[r] * x[r];
+        }
+        let beta = self.lower.beta();
+        for bi in 0..self.lower.nbr() {
+            let roff = (bi * beta) as usize;
+            for bj in 0..self.lower.nbc() {
+                let coff = (bj * beta) as usize;
+                for k in self.lower.block_range(bi, bj) {
+                    let (lr, lc, v) = self.element(k);
+                    let (r, c) = (roff + lr, coff + lc);
+                    y[r] += v * x[c];
+                    y[c] += v * x[r];
+                }
+            }
+        }
+    }
+
+    /// Decodes element `k` of the lower CSB: local row, local col, value.
+    #[inline]
+    pub fn element(&self, k: usize) -> (usize, usize, Val) {
+        let li = self.lower_locind()[k];
+        ((li >> 16) as usize, (li & 0xFFFF) as usize, self.lower_values()[k])
+    }
+
+    fn lower_locind(&self) -> &[u32] {
+        // Accessor indirection keeps CsbMatrix's fields private.
+        self.lower.locind_raw()
+    }
+
+    fn lower_values(&self) -> &[Val] {
+        self.lower.values_raw()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
+
+    #[test]
+    fn serial_matches_sss() {
+        let coo = symspmv_sparse::gen::block_structural(50, 3, 8.0, 12, 5);
+        let n = coo.nrows() as usize;
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let sym = CsbSymMatrix::from_sss(&sss, Some(16));
+        let x = seeded_vector(n, 3);
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        sss.spmv(&x, &mut y1);
+        sym.spmv_serial(&x, &mut y2);
+        assert_vec_close(&y1, &y2, 1e-12);
+    }
+
+    #[test]
+    fn sizes_halve_like_sss() {
+        let coo = symspmv_sparse::gen::banded_random(2000, 30, 10.0, 9);
+        let sym = CsbSymMatrix::from_coo(&coo, None).unwrap();
+        let csr_bytes = 12 * sym.full_nnz() + 4 * 2001;
+        assert!(sym.size_bytes() < csr_bytes * 6 / 10);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 2, 1.0);
+        assert!(CsbSymMatrix::from_coo(&coo, None).is_err());
+    }
+}

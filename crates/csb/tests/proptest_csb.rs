@@ -1,0 +1,84 @@
+//! Property tests for the CSB formats.
+
+use proptest::prelude::*;
+use symspmv_csb::{CsbMatrix, CsbSymMatrix};
+use symspmv_sparse::{CooMatrix, Idx, SssMatrix};
+
+fn arb_coo(max_dim: Idx, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    (2..max_dim, 2..max_dim).prop_flat_map(move |(nr, nc)| {
+        proptest::collection::vec((0..nr, 0..nc, -3.0f64..3.0), 0..max_nnz).prop_map(
+            move |trips| {
+                let mut coo = CooMatrix::new(nr, nc);
+                let mut seen = std::collections::HashSet::new();
+                for (r, c, v) in trips {
+                    if v != 0.0 && seen.insert((r, c)) {
+                        coo.push(r, c, v);
+                    }
+                }
+                coo.canonicalize();
+                coo
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip(coo in arb_coo(70, 300), beta_pow in 2u32..7) {
+        let beta = 1u32 << beta_pow;
+        let csb = CsbMatrix::with_beta(&coo, beta);
+        prop_assert_eq!(csb.to_coo(), coo.clone());
+        prop_assert_eq!(csb.nnz(), coo.nnz());
+    }
+
+    #[test]
+    fn spmv_and_transpose_match_reference(coo in arb_coo(60, 250)) {
+        let csb = CsbMatrix::from_coo(&coo);
+        let x = symspmv_sparse::dense::seeded_vector(coo.ncols() as usize, 1);
+        let mut y = vec![0.0; coo.nrows() as usize];
+        let mut y_ref = vec![0.0; coo.nrows() as usize];
+        csb.spmv(&x, &mut y);
+        coo.spmv_reference(&x, &mut y_ref);
+        for (a, b) in y.iter().zip(&y_ref) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+
+        // Aᵀ·x against the transposed reference.
+        let xt = symspmv_sparse::dense::seeded_vector(coo.nrows() as usize, 2);
+        let mut yt = vec![0.0; coo.ncols() as usize];
+        csb.spmv_transpose(&xt, &mut yt);
+        let t = coo.transpose();
+        let mut canon = t.clone();
+        canon.canonicalize();
+        let mut yt_ref = vec![0.0; coo.ncols() as usize];
+        canon.spmv_reference(&xt, &mut yt_ref);
+        for (a, b) in yt.iter().zip(&yt_ref) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sym_serial_matches_sss(n in 3u32..50, edges in proptest::collection::vec((0u32..50, 0u32..50, 0.1f64..2.0), 0..120)) {
+        let mut lower = CooMatrix::new(n, n);
+        let mut seen = std::collections::HashSet::new();
+        for (r, c, v) in edges {
+            let (r, c) = (r % n, c % n);
+            if c < r && seen.insert((r, c)) {
+                lower.push(r, c, -v);
+            }
+        }
+        let full = symspmv_sparse::gen::spd_from_lower(&lower, 1.0);
+        let sss = SssMatrix::from_coo(&full, 0.0).unwrap();
+        let sym = CsbSymMatrix::from_sss(&sss, Some(8));
+        let x = symspmv_sparse::dense::seeded_vector(n as usize, 3);
+        let mut y1 = vec![0.0; n as usize];
+        let mut y2 = vec![0.0; n as usize];
+        sss.spmv(&x, &mut y1);
+        sym.spmv_serial(&x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! Substructure detection (§IV-A, Fig. 6).
+//!
+//! CSX detects instances of several substructure families by transforming
+//! coordinates so that each family becomes a "horizontal run with constant
+//! delta" in the transformed space, extracting maximal runs, and then
+//! greedily resolving conflicts between families by encoding gain. A
+//! sampling-based statistics pass first decides which families are worth
+//! enabling for a given matrix — this is what keeps the preprocessing cost
+//! of §V-E contained.
+
+use crate::pattern::{PatternKind, MAX_RUN_DELTA};
+use std::collections::HashMap;
+use symspmv_sparse::{CooMatrix, Idx, Val};
+
+/// CSR-style index over a canonical COO matrix: O(log row_nnz) membership
+/// and value lookup without hashing. This is what keeps the preprocessing
+/// cost of §V-E in the tens-of-SpMVs range.
+pub struct CooIndex<'a> {
+    coo: &'a CooMatrix,
+    rowptr: Vec<usize>,
+}
+
+impl<'a> CooIndex<'a> {
+    /// Builds the index (the COO must be canonical).
+    pub fn new(coo: &'a CooMatrix) -> Self {
+        debug_assert!(coo.is_canonical());
+        let mut rowptr = vec![0usize; coo.nrows() as usize + 1];
+        for &r in coo.row_indices() {
+            rowptr[r as usize + 1] += 1;
+        }
+        for i in 0..coo.nrows() as usize {
+            rowptr[i + 1] += rowptr[i];
+        }
+        CooIndex { coo, rowptr }
+    }
+
+    /// Triplet index of entry `(r, c)`, if present.
+    #[inline]
+    pub fn entry(&self, r: Idx, c: Idx) -> Option<usize> {
+        if r >= self.coo.nrows() {
+            return None;
+        }
+        let lo = self.rowptr[r as usize];
+        let hi = self.rowptr[r as usize + 1];
+        self.coo.col_indices()[lo..hi].binary_search(&c).ok().map(|k| lo + k)
+    }
+
+    /// True if entry `(r, c)` is structurally present.
+    #[inline]
+    pub fn contains(&self, r: Idx, c: Idx) -> bool {
+        self.entry(r, c).is_some()
+    }
+
+    /// Value of entry `(r, c)`; panics if absent (encoder bug).
+    #[inline]
+    pub fn value_at(&self, r: Idx, c: Idx) -> Val {
+        self.coo.values()[self.entry(r, c).expect("entry must exist")]
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.coo.nnz()
+    }
+}
+
+/// A substructure family that can be enabled for detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Horizontal runs (any delta up to the configured max).
+    Horizontal,
+    /// Vertical runs.
+    Vertical,
+    /// Diagonal runs.
+    Diagonal,
+    /// Anti-diagonal runs.
+    AntiDiagonal,
+    /// Dense blocks of the given dimensions.
+    Block(u8, u8),
+}
+
+/// Detection configuration.
+#[derive(Debug, Clone)]
+pub struct DetectConfig {
+    /// Minimum run length for 1-D substructures (default 4).
+    pub min_run_len: usize,
+    /// Maximum delta distance for 1-D runs (default [`MAX_RUN_DELTA`]).
+    pub max_delta: u8,
+    /// Families considered by the statistics pass.
+    pub candidate_families: Vec<Family>,
+    /// Fraction of rows sampled by the statistics pass (1.0 = full scan).
+    /// The default of 0.05 mirrors the paper's "advanced matrix sampling
+    /// techniques" that keep the §V-E preprocessing cost contained; small
+    /// matrices (< 64 rows) are always fully scanned because sampling works
+    /// on 64-row windows.
+    pub sample_fraction: f64,
+    /// Minimum fraction of (sampled) non-zeros a family must cover to be
+    /// enabled for the final encoding pass.
+    pub min_coverage: f64,
+    /// CSX-Sym boundary (§IV-B): instances whose *column* coordinates fall
+    /// on both sides of this split are rejected, because their transposed
+    /// writes would target both the local and the output vector.
+    pub col_split: Option<Idx>,
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        DetectConfig {
+            min_run_len: 4,
+            max_delta: MAX_RUN_DELTA,
+            candidate_families: vec![
+                Family::Horizontal,
+                Family::Vertical,
+                Family::Diagonal,
+                Family::AntiDiagonal,
+                Family::Block(2, 2),
+                Family::Block(3, 3),
+                Family::Block(2, 3),
+                Family::Block(3, 2),
+                Family::Block(4, 4),
+            ],
+            sample_fraction: 0.05,
+            min_coverage: 0.05,
+            col_split: None,
+        }
+    }
+}
+
+/// One detected substructure instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instance {
+    /// The pattern (family + delta / block dims).
+    pub kind: PatternKind,
+    /// Anchor row (structurally first element).
+    pub row: Idx,
+    /// Anchor column.
+    pub col: Idx,
+    /// Number of elements (≥ 2; ≤ 255 so it fits the unit size byte).
+    pub len: u32,
+}
+
+impl Instance {
+    /// Iterates the element coordinates of this instance.
+    pub fn elements(&self) -> impl Iterator<Item = (Idx, Idx)> + '_ {
+        (0..self.len).map(move |k| self.kind.element(self.row, self.col, k))
+    }
+}
+
+/// The result of detection: accepted instances plus leftover elements.
+#[derive(Debug, Clone)]
+pub struct Detected {
+    /// Accepted instances, sorted by anchor `(row, col)`.
+    pub instances: Vec<Instance>,
+    /// Elements not covered by any instance, sorted row-major.
+    pub leftover: Vec<(Idx, Idx)>,
+    /// Families that survived the statistics pass.
+    pub enabled: Vec<Family>,
+    /// Total non-zeros examined.
+    pub nnz: usize,
+}
+
+impl Detected {
+    /// Fraction of non-zeros covered by substructure instances.
+    pub fn coverage(&self) -> f64 {
+        if self.nnz == 0 {
+            return 0.0;
+        }
+        let covered: usize = self.instances.iter().map(|i| i.len as usize).sum();
+        covered as f64 / self.nnz as f64
+    }
+
+    /// Counts instances per family (for the compression reports).
+    pub fn family_histogram(&self) -> HashMap<Family, usize> {
+        let mut h = HashMap::new();
+        for inst in &self.instances {
+            *h.entry(family_of(inst.kind)).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+fn family_of(kind: PatternKind) -> Family {
+    match kind {
+        PatternKind::Horizontal { .. } => Family::Horizontal,
+        PatternKind::Vertical { .. } => Family::Vertical,
+        PatternKind::Diagonal { .. } => Family::Diagonal,
+        PatternKind::AntiDiagonal { .. } => Family::AntiDiagonal,
+        PatternKind::Block { rows, cols } => Family::Block(rows, cols),
+    }
+}
+
+/// Runs the full detection pipeline: statistics pass (family selection on a
+/// row sample) followed by the encoding pass with the enabled families.
+pub fn analyze(coo: &CooMatrix, config: &DetectConfig) -> Detected {
+    debug_assert!(coo.is_canonical(), "detection expects canonical COO");
+    let enabled = select_families(coo, config);
+    detect_with(coo, config, &enabled)
+}
+
+/// Statistics pass: estimates each candidate family's coverage on a sampled
+/// row window and returns the families above the coverage threshold.
+pub fn select_families(coo: &CooMatrix, config: &DetectConfig) -> Vec<Family> {
+    let sample = sample_matrix(coo, config.sample_fraction);
+    let nnz = sample.nnz().max(1);
+    let membership = CooIndex::new(&sample);
+
+    let mut out = Vec::new();
+    let mut best_block: Option<(Family, usize)> = None;
+    for &fam in &config.candidate_families {
+        let cands = candidates_for(&sample, &membership, fam, config);
+        let covered: usize = cands.iter().map(|i| i.len as usize).sum();
+        if covered as f64 / nnz as f64 >= config.min_coverage {
+            if let Family::Block(..) = fam {
+                // Keep only the dominant block shape: overlapping block
+                // dims mostly compete for the same elements, and scanning
+                // each costs a full membership pass (§V-E budget).
+                if best_block.map(|(_, c)| covered > c).unwrap_or(true) {
+                    best_block = Some((fam, covered));
+                }
+            } else {
+                out.push(fam);
+            }
+        }
+    }
+    if let Some((fam, _)) = best_block {
+        out.push(fam);
+    }
+    out
+}
+
+/// Encoding pass with a fixed set of enabled families.
+pub fn detect_with(coo: &CooMatrix, config: &DetectConfig, enabled: &[Family]) -> Detected {
+    let membership = CooIndex::new(coo);
+
+    // Gather all candidates from the enabled families.
+    let mut candidates: Vec<Instance> = Vec::new();
+    for &fam in enabled {
+        candidates.extend(candidates_for(coo, &membership, fam, config));
+    }
+
+    // Greedy conflict resolution by gain: longer instances first (they save
+    // the most ctl/colind bytes), blocks break ties ahead of runs because
+    // their head is equally small but they also improve value locality.
+    candidates.sort_unstable_by_key(|i| {
+        (
+            std::cmp::Reverse(i.len),
+            match i.kind {
+                PatternKind::Block { .. } => 0u8,
+                _ => 1,
+            },
+            i.row,
+            i.col,
+        )
+    });
+
+    // Per-entry coverage bitmap indexed by triplet position.
+    let mut covered = vec![false; coo.nnz()];
+    let mut accepted: Vec<Instance> = Vec::new();
+    let mut scratch: Vec<usize> = Vec::new();
+    'cand: for inst in candidates {
+        scratch.clear();
+        for (r, c) in inst.elements() {
+            match membership.entry(r, c) {
+                Some(e) if !covered[e] => scratch.push(e),
+                _ => continue 'cand,
+            }
+        }
+        for &e in &scratch {
+            covered[e] = true;
+        }
+        accepted.push(inst);
+    }
+    accepted.sort_unstable_by_key(|i| (i.row, i.col));
+
+    let leftover: Vec<(Idx, Idx)> = coo
+        .iter()
+        .enumerate()
+        .filter(|&(e, _)| !covered[e])
+        .map(|(_, (r, c, _))| (r, c))
+        .collect();
+
+    Detected { instances: accepted, leftover, enabled: enabled.to_vec(), nnz: coo.nnz() }
+}
+
+/// Extracts a row-window sample of the matrix for the statistics pass.
+fn sample_matrix(coo: &CooMatrix, fraction: f64) -> CooMatrix {
+    if fraction >= 1.0 {
+        return coo.clone();
+    }
+    assert!(fraction > 0.0, "sample fraction must be positive");
+    // Deterministic striding: keep windows of 64 consecutive rows, spaced so
+    // that roughly `fraction` of all rows are included. Windows (not single
+    // rows) are required so vertical/diagonal runs remain detectable.
+    let window = 64u64;
+    let period = (window as f64 / fraction).ceil() as u64;
+    let mut out = CooMatrix::with_capacity(
+        coo.nrows(),
+        coo.ncols(),
+        (coo.nnz() as f64 * fraction) as usize + 16,
+    );
+    for (r, c, v) in coo.iter() {
+        if u64::from(r) % period < window {
+            out.push(r, c, v);
+        }
+    }
+    out
+}
+
+/// True if the instance violates the CSX-Sym boundary rule.
+fn straddles_split(inst: &Instance, split: Idx) -> bool {
+    let mut any_lo = false;
+    let mut any_hi = false;
+    for (_, c) in inst.elements() {
+        if c < split {
+            any_lo = true;
+        } else {
+            any_hi = true;
+        }
+    }
+    any_lo && any_hi
+}
+
+/// Generates (possibly overlapping) candidate instances for one family.
+fn candidates_for(
+    coo: &CooMatrix,
+    membership: &CooIndex<'_>,
+    fam: Family,
+    config: &DetectConfig,
+) -> Vec<Instance> {
+    let mut out = match fam {
+        Family::Horizontal => runs_1d(coo, config, fam),
+        Family::Vertical => runs_1d(coo, config, fam),
+        Family::Diagonal => runs_1d(coo, config, fam),
+        Family::AntiDiagonal => runs_1d(coo, config, fam),
+        Family::Block(br, bc) => blocks(coo, membership, br, bc),
+    };
+    if let Some(split) = config.col_split {
+        out.retain(|i| !straddles_split(i, split));
+    }
+    out
+}
+
+/// Extracts maximal constant-delta runs for a 1-D family by transforming
+/// coordinates to `(group, pos)` space.
+fn runs_1d(coo: &CooMatrix, config: &DetectConfig, fam: Family) -> Vec<Instance> {
+    // Transform every element into (group, pos). Within a group, elements
+    // sorted by pos form the candidate sequence.
+    let mut pts: Vec<(i64, i64, Idx, Idx)> = coo
+        .iter()
+        .map(|(r, c, _)| {
+            let (g, p) = match fam {
+                Family::Horizontal => (i64::from(r), i64::from(c)),
+                Family::Vertical => (i64::from(c), i64::from(r)),
+                Family::Diagonal => (i64::from(c) - i64::from(r), i64::from(r)),
+                Family::AntiDiagonal => (i64::from(r) + i64::from(c), i64::from(r)),
+                Family::Block(..) => unreachable!("blocks handled separately"),
+            };
+            (g, p, r, c)
+        })
+        .collect();
+    // Canonical COO is already (r, c)-sorted, which is exactly the
+    // horizontal transform's order — skip the sort for that family.
+    if fam != Family::Horizontal {
+        pts.sort_unstable();
+    }
+
+    let make_kind = |delta: u8| match fam {
+        Family::Horizontal => PatternKind::Horizontal { delta },
+        Family::Vertical => PatternKind::Vertical { delta },
+        Family::Diagonal => PatternKind::Diagonal { delta },
+        Family::AntiDiagonal => PatternKind::AntiDiagonal { delta },
+        Family::Block(..) => unreachable!(),
+    };
+
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < pts.len() {
+        // Find this group's extent.
+        let g = pts[i].0;
+        let mut j = i;
+        while j < pts.len() && pts[j].0 == g {
+            j += 1;
+        }
+        let group = &pts[i..j];
+        // Greedy maximal-run scan inside the group.
+        let mut s = 0usize;
+        while s + 1 < group.len() {
+            let d = group[s + 1].1 - group[s].1;
+            if d < 1 || d > i64::from(config.max_delta) {
+                s += 1;
+                continue;
+            }
+            let mut e = s + 1;
+            while e + 1 < group.len() && group[e + 1].1 - group[e].1 == d {
+                e += 1;
+            }
+            let total = e - s + 1;
+            if total >= config.min_run_len {
+                // Chunk to the 255-element unit size limit.
+                let mut off = 0usize;
+                while total - off >= config.min_run_len.min(2) && off < total {
+                    let chunk = (total - off).min(255);
+                    if chunk < 2 {
+                        break;
+                    }
+                    let anchor = group[s + off];
+                    out.push(Instance {
+                        kind: make_kind(d as u8),
+                        row: anchor.2,
+                        col: anchor.3,
+                        len: chunk as u32,
+                    });
+                    off += chunk;
+                }
+            }
+            s = e + 1;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Generates full dense-block candidates anchored at every possible
+/// top-left element.
+fn blocks(
+    coo: &CooMatrix,
+    membership: &CooIndex<'_>,
+    br: u8,
+    bc: u8,
+) -> Vec<Instance> {
+    let mut out = Vec::new();
+    let kind = PatternKind::Block { rows: br, cols: bc };
+    let len = u32::from(br) * u32::from(bc);
+    for (r, c, _) in coo.iter() {
+        // Quick pruning: only anchor where the element above / left is
+        // absent, so aligned tilings are preferred over every offset.
+        if r > 0 && membership.contains(r - 1, c) && c > 0 && membership.contains(r, c - 1) {
+            continue;
+        }
+        if r + u32::from(br) > coo.nrows() || c + u32::from(bc) > coo.ncols() {
+            continue;
+        }
+        let full = (0..len).all(|k| {
+            let (er, ec) = kind.element(r, c, k);
+            membership.contains(er, ec)
+        });
+        if full {
+            out.push(Instance { kind, row: r, col: c, len });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn coo_from(entries: &[(Idx, Idx)]) -> CooMatrix {
+        let n = entries
+            .iter()
+            .map(|&(r, c)| r.max(c) + 1)
+            .max()
+            .unwrap_or(1);
+        let mut m = CooMatrix::new(n, n);
+        for &(r, c) in entries {
+            m.push(r, c, 1.0);
+        }
+        m.canonicalize();
+        m
+    }
+
+    fn cfg() -> DetectConfig {
+        DetectConfig { min_coverage: 0.0, ..DetectConfig::default() }
+    }
+
+    #[test]
+    fn horizontal_run_detected() {
+        let m = coo_from(&[(0, 2), (0, 3), (0, 4), (0, 5), (0, 6)]);
+        let d = analyze(&m, &cfg());
+        assert_eq!(d.instances.len(), 1);
+        let i = d.instances[0];
+        assert_eq!(i.kind, PatternKind::Horizontal { delta: 1 });
+        assert_eq!((i.row, i.col, i.len), (0, 2, 5));
+        assert!(d.leftover.is_empty());
+        assert!((d.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizontal_with_stride() {
+        let m = coo_from(&[(1, 0), (1, 3), (1, 6), (1, 9)]);
+        let d = analyze(&m, &cfg());
+        assert_eq!(d.instances.len(), 1);
+        assert_eq!(d.instances[0].kind, PatternKind::Horizontal { delta: 3 });
+    }
+
+    #[test]
+    fn vertical_run_detected() {
+        let m = coo_from(&[(2, 1), (3, 1), (4, 1), (5, 1)]);
+        let d = analyze(&m, &cfg());
+        assert_eq!(d.instances.len(), 1);
+        assert_eq!(d.instances[0].kind, PatternKind::Vertical { delta: 1 });
+        assert_eq!(d.instances[0].row, 2);
+    }
+
+    #[test]
+    fn diagonal_and_antidiagonal() {
+        let diag = coo_from(&[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let d = analyze(&diag, &cfg());
+        assert_eq!(d.instances[0].kind, PatternKind::Diagonal { delta: 1 });
+
+        let anti = coo_from(&[(0, 5), (1, 4), (2, 3), (3, 2)]);
+        let d = analyze(&anti, &cfg());
+        assert_eq!(d.instances[0].kind, PatternKind::AntiDiagonal { delta: 1 });
+        // Anchor is the top-right element.
+        assert_eq!((d.instances[0].row, d.instances[0].col), (0, 5));
+    }
+
+    #[test]
+    fn block_detected_and_preferred() {
+        // A full 2x2 block: the block candidate must win over two length-2
+        // horizontal runs (which are below min_run_len anyway).
+        let m = coo_from(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let d = analyze(&m, &cfg());
+        assert_eq!(d.instances.len(), 1);
+        assert_eq!(d.instances[0].kind, PatternKind::Block { rows: 2, cols: 2 });
+        assert!(d.leftover.is_empty());
+    }
+
+    #[test]
+    fn short_runs_left_over() {
+        let m = coo_from(&[(0, 0), (0, 1), (0, 5)]);
+        let d = analyze(&m, &cfg());
+        assert!(d.instances.is_empty());
+        assert_eq!(d.leftover.len(), 3);
+        assert_eq!(d.coverage(), 0.0);
+    }
+
+    #[test]
+    fn no_overlapping_coverage() {
+        // A 4x4 dense block: many candidates overlap; accepted instances
+        // must partition the covered elements.
+        let mut entries = Vec::new();
+        for r in 0..4 {
+            for c in 0..4 {
+                entries.push((r, c));
+            }
+        }
+        let m = coo_from(&entries);
+        let d = analyze(&m, &cfg());
+        let mut seen = HashSet::new();
+        for inst in &d.instances {
+            for (r, c) in inst.elements() {
+                assert!(seen.insert((r, c)), "element ({r},{c}) covered twice");
+            }
+        }
+        for &(r, c) in &d.leftover {
+            assert!(seen.insert((r, c)), "leftover ({r},{c}) also covered");
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn col_split_rejects_straddlers() {
+        let m = coo_from(&[(5, 3), (5, 4), (5, 5), (5, 6)]);
+        let mut c = cfg();
+        c.col_split = Some(5);
+        let d = analyze(&m, &c);
+        assert!(
+            d.instances.is_empty(),
+            "run crossing the split must be rejected: {:?}",
+            d.instances
+        );
+        assert_eq!(d.leftover.len(), 4);
+
+        // Entirely on one side: accepted.
+        c.col_split = Some(10);
+        let d = analyze(&m, &c);
+        assert_eq!(d.instances.len(), 1);
+    }
+
+    #[test]
+    fn family_selection_threshold() {
+        // Dominated by one long horizontal run; vertical coverage is zero.
+        let mut entries: Vec<(Idx, Idx)> = (0..50).map(|c| (0, c)).collect();
+        entries.push((3, 7));
+        let m = coo_from(&entries);
+        let mut c = cfg();
+        c.min_coverage = 0.5;
+        let enabled = select_families(&m, &c);
+        assert!(enabled.contains(&Family::Horizontal));
+        assert!(!enabled.contains(&Family::Vertical));
+    }
+
+    #[test]
+    fn long_runs_chunked_to_255() {
+        let entries: Vec<(Idx, Idx)> = (0..600).map(|c| (0, c)).collect();
+        let m = coo_from(&entries);
+        let d = analyze(&m, &cfg());
+        assert!(d.instances.iter().all(|i| i.len <= 255));
+        let covered: u32 = d.instances.iter().map(|i| i.len).sum();
+        assert_eq!(covered as usize + d.leftover.len(), 600);
+        assert!(covered >= 510, "chunking should keep most elements covered");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_partial() {
+        let entries: Vec<(Idx, Idx)> = (0..4096).map(|i| (i, i / 2)).collect();
+        let m = coo_from(&entries);
+        let s1 = sample_matrix(&m, 0.1);
+        let s2 = sample_matrix(&m, 0.1);
+        assert_eq!(s1, s2);
+        assert!(s1.nnz() < m.nnz());
+        assert!(s1.nnz() > 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! The `ctl` byte-stream encoder/decoder (§IV-A, Fig. 7).
+//!
+//! Stream grammar, per unit:
+//!
+//! ```text
+//! flags: u8          bit 7 = NR (new row), bit 6 = RJMP, bits 0..=5 = id
+//! [rjmp: varint]     present iff RJMP: extra empty rows jumped beyond 1
+//! size:  u8          number of elements in the unit (1..=255)
+//! ucol:  varint      anchor column; absolute after NR, else delta from the
+//!                    previous unit's anchor column in the same row
+//! [body]             delta units only: (size − 1) column deltas of the
+//!                    unit's fixed byte width
+//! ```
+//!
+//! The decoder starts *before* row 0, so the first unit always carries NR.
+//! Values are stored separately, in unit-element order.
+
+use crate::detect::{CooIndex, Detected};
+use crate::pattern::{DeltaWidth, PatternKind};
+use crate::varint::{read_varint, write_varint};
+use symspmv_sparse::{CooMatrix, Idx, Val};
+
+/// Flags-byte bit for "unit starts a new row".
+pub const NR_BIT: u8 = 0x80;
+/// Flags-byte bit for "row jump varint present".
+pub const RJMP_BIT: u8 = 0x40;
+/// Mask extracting the 6-bit pattern id.
+pub const ID_MASK: u8 = 0x3F;
+
+/// An encoded CSX stream: control bytes plus values in unit order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtlStream {
+    /// Control byte stream.
+    pub ctl: Vec<u8>,
+    /// Non-zero values, ordered by unit and element within unit.
+    pub values: Vec<Val>,
+    /// Number of encoded non-zeros.
+    pub nnz: usize,
+}
+
+/// One decoded unit header (used by the generic walker).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitHeader {
+    /// Row the unit is anchored in.
+    pub row: Idx,
+    /// Anchor column.
+    pub col: Idx,
+    /// Substructure pattern, or `None` for a delta unit.
+    pub kind: Option<PatternKind>,
+    /// Delta width for delta units.
+    pub width: DeltaWidth,
+    /// Element count.
+    pub size: u32,
+}
+
+impl CtlStream {
+    /// Encodes a detection result. `values` must index the same canonical
+    /// matrix `det` was produced from.
+    pub fn encode(det: &Detected, values: &CooIndex<'_>) -> CtlStream {
+        // Group instance anchors and leftover elements by row.
+        #[derive(Debug)]
+        enum RowUnit {
+            Inst(crate::detect::Instance),
+            Delta { col: Idx, cols: Vec<Idx>, width: DeltaWidth },
+        }
+        let mut per_row: std::collections::BTreeMap<Idx, Vec<RowUnit>> =
+            std::collections::BTreeMap::new();
+        for inst in &det.instances {
+            per_row.entry(inst.row).or_default().push(RowUnit::Inst(*inst));
+        }
+        // Build delta units from the row-major-sorted leftovers.
+        let mut i = 0usize;
+        while i < det.leftover.len() {
+            let row = det.leftover[i].0;
+            let mut j = i;
+            while j < det.leftover.len() && det.leftover[j].0 == row {
+                j += 1;
+            }
+            let cols: Vec<Idx> = det.leftover[i..j].iter().map(|&(_, c)| c).collect();
+            // Greedy chunking: width fixed by the first delta of the chunk.
+            let mut s = 0usize;
+            while s < cols.len() {
+                let mut e = s + 1;
+                let mut width = DeltaWidth::U8;
+                if e < cols.len() {
+                    width = DeltaWidth::for_delta(cols[e] - cols[e - 1]);
+                    while e < cols.len()
+                        && e - s < 255
+                        && DeltaWidth::for_delta(cols[e] - cols[e - 1]).bytes() <= width.bytes()
+                    {
+                        e += 1;
+                    }
+                }
+                per_row.entry(row).or_default().push(RowUnit::Delta {
+                    col: cols[s],
+                    cols: cols[s..e].to_vec(),
+                    width,
+                });
+                s = e;
+            }
+            i = j;
+        }
+
+        let mut ctl = Vec::new();
+        let mut vals = Vec::with_capacity(det.nnz);
+        let mut prev_row: i64 = -1;
+        for (&row, units) in per_row.iter_mut() {
+            units.sort_by_key(|u| match u {
+                RowUnit::Inst(i) => i.col,
+                RowUnit::Delta { col, .. } => *col,
+            });
+            let mut prev_col: Idx = 0;
+            for (k, unit) in units.iter().enumerate() {
+                let new_row = k == 0;
+                let (anchor_col, id, size) = match unit {
+                    RowUnit::Inst(inst) => (inst.col, inst.kind.id(), inst.len),
+                    RowUnit::Delta { col, cols, width } => {
+                        (*col, PatternKind::delta_id(*width), cols.len() as u32)
+                    }
+                };
+                debug_assert!((1..=255).contains(&size));
+
+                let mut flags = id;
+                let mut rjmp_extra = 0u64;
+                if new_row {
+                    flags |= NR_BIT;
+                    let jump = i64::from(row) - prev_row;
+                    debug_assert!(jump >= 1);
+                    if jump > 1 {
+                        flags |= RJMP_BIT;
+                        rjmp_extra = (jump - 1) as u64;
+                    }
+                }
+                ctl.push(flags);
+                if flags & RJMP_BIT != 0 {
+                    write_varint(&mut ctl, rjmp_extra);
+                }
+                ctl.push(size as u8);
+                let ucol = if new_row {
+                    u64::from(anchor_col)
+                } else {
+                    debug_assert!(anchor_col >= prev_col, "anchors must ascend in a row");
+                    u64::from(anchor_col - prev_col)
+                };
+                write_varint(&mut ctl, ucol);
+
+                match unit {
+                    RowUnit::Inst(inst) => {
+                        for (er, ec) in inst.elements() {
+                            vals.push(values.value_at(er, ec));
+                        }
+                    }
+                    RowUnit::Delta { cols, width, .. } => {
+                        for w in cols.windows(2) {
+                            let d = w[1] - w[0];
+                            match width {
+                                DeltaWidth::U8 => ctl.push(d as u8),
+                                DeltaWidth::U16 => ctl.extend((d as u16).to_le_bytes()),
+                                DeltaWidth::U32 => ctl.extend(d.to_le_bytes()),
+                            }
+                        }
+                        for &c in cols {
+                            vals.push(values.value_at(row, c));
+                        }
+                    }
+                }
+                prev_col = anchor_col;
+                if new_row {
+                    prev_row = i64::from(row);
+                }
+            }
+        }
+        CtlStream { ctl, values: vals, nnz: det.nnz }
+    }
+
+    /// Walks the stream, invoking `on_unit` for each unit header and
+    /// `on_element` for each element `(row, col, value)` in stream order.
+    pub fn walk(
+        &self,
+        mut on_unit: impl FnMut(&UnitHeader),
+        mut on_element: impl FnMut(Idx, Idx, Val),
+    ) {
+        let ctl = &self.ctl;
+        let mut pos = 0usize;
+        let mut vi = 0usize;
+        let mut row: i64 = -1;
+        let mut col: Idx = 0;
+        while pos < ctl.len() {
+            let flags = ctl[pos];
+            pos += 1;
+            if flags & NR_BIT != 0 {
+                let extra = if flags & RJMP_BIT != 0 { read_varint(ctl, &mut pos) } else { 0 };
+                row += 1 + extra as i64;
+                col = 0;
+            }
+            let size = u32::from(ctl[pos]);
+            pos += 1;
+            let ucol = read_varint(ctl, &mut pos) as Idx;
+            let anchor = if flags & NR_BIT != 0 { ucol } else { col + ucol };
+            col = anchor;
+            let id = flags & ID_MASK;
+            let r = row as Idx;
+
+            if let Some(kind) = PatternKind::from_id(id) {
+                on_unit(&UnitHeader {
+                    row: r,
+                    col: anchor,
+                    kind: Some(kind),
+                    width: DeltaWidth::U8,
+                    size,
+                });
+                for k in 0..size {
+                    let (er, ec) = kind.element(r, anchor, k);
+                    on_element(er, ec, self.values[vi]);
+                    vi += 1;
+                }
+            } else {
+                let width = PatternKind::delta_width_from_id(id)
+                    .expect("invalid pattern id in ctl stream");
+                on_unit(&UnitHeader { row: r, col: anchor, kind: None, width, size });
+                let mut c = anchor;
+                on_element(r, c, self.values[vi]);
+                vi += 1;
+                for _ in 1..size {
+                    let d: u32 = match width {
+                        DeltaWidth::U8 => {
+                            let d = u32::from(ctl[pos]);
+                            pos += 1;
+                            d
+                        }
+                        DeltaWidth::U16 => {
+                            let d = u32::from(u16::from_le_bytes([ctl[pos], ctl[pos + 1]]));
+                            pos += 2;
+                            d
+                        }
+                        DeltaWidth::U32 => {
+                            let d = u32::from_le_bytes([
+                                ctl[pos],
+                                ctl[pos + 1],
+                                ctl[pos + 2],
+                                ctl[pos + 3],
+                            ]);
+                            pos += 4;
+                            d
+                        }
+                    };
+                    c += d;
+                    on_element(r, c, self.values[vi]);
+                    vi += 1;
+                }
+            }
+        }
+        debug_assert_eq!(vi, self.values.len(), "value stream length mismatch");
+    }
+
+    /// Decodes the full element list (testing / conversions).
+    pub fn decode_elements(&self) -> Vec<(Idx, Idx, Val)> {
+        let mut out = Vec::with_capacity(self.values.len());
+        self.walk(|_| {}, |r, c, v| out.push((r, c, v)));
+        out
+    }
+
+    /// Total bytes of the representation: ctl stream plus 8-byte values.
+    pub fn size_bytes(&self) -> usize {
+        self.ctl.len() + 8 * self.values.len()
+    }
+}
+
+/// Encodes a canonical COO matrix end-to-end (detect + encode).
+pub fn encode_coo(coo: &CooMatrix, config: &crate::detect::DetectConfig) -> CtlStream {
+    let det = crate::detect::analyze(coo, config);
+    let vm = CooIndex::new(coo);
+    CtlStream::encode(&det, &vm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::DetectConfig;
+
+    fn round_trip(coo: &CooMatrix) {
+        let mut c = coo.clone();
+        c.canonicalize();
+        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let stream = encode_coo(&c, &cfg);
+        let mut decoded = stream.decode_elements();
+        decoded.sort_unstable_by_key(|&(r, col, _)| (r, col));
+        let original: Vec<(Idx, Idx, Val)> = c.iter().collect();
+        assert_eq!(decoded, original, "ctl round trip mismatch");
+    }
+
+    #[test]
+    fn round_trip_simple_patterns() {
+        // Horizontal run + scattered elements + an empty-row gap.
+        let mut coo = CooMatrix::new(10, 10);
+        for c in 2..8 {
+            coo.push(0, c, c as Val);
+        }
+        coo.push(3, 1, -1.0);
+        coo.push(3, 9, -2.0);
+        coo.push(9, 0, 7.0);
+        round_trip(&coo);
+    }
+
+    #[test]
+    fn round_trip_vertical_crossing_rows() {
+        let mut coo = CooMatrix::new(12, 12);
+        for r in 1..9 {
+            coo.push(r, 4, r as Val);
+        }
+        coo.push(2, 7, 1.0);
+        round_trip(&coo);
+    }
+
+    #[test]
+    fn round_trip_blocks_and_diagonals() {
+        let mut coo = CooMatrix::new(16, 16);
+        for r in 0..3 {
+            for c in 0..3 {
+                coo.push(r + 5, c + 5, (r * 3 + c) as Val + 1.0);
+            }
+        }
+        for k in 0..6 {
+            coo.push(k + 8, k, 0.5 * k as Val + 1.0);
+        }
+        round_trip(&coo);
+    }
+
+    #[test]
+    fn round_trip_wide_deltas() {
+        // Deltas requiring u16 and u32 widths.
+        let mut coo = CooMatrix::new(5, 200_000);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 10, 2.0); // u8 delta
+        coo.push(0, 1_000, 3.0); // u16 delta
+        coo.push(0, 150_000, 4.0); // u32 delta
+        round_trip(&coo);
+    }
+
+    #[test]
+    fn round_trip_empty_matrix() {
+        let coo = CooMatrix::new(4, 4);
+        round_trip(&coo);
+        let cfg = DetectConfig::default();
+        let s = encode_coo(&coo, &cfg);
+        assert!(s.ctl.is_empty());
+        assert_eq!(s.size_bytes(), 0);
+    }
+
+    #[test]
+    fn round_trip_single_element() {
+        let mut coo = CooMatrix::new(100, 100);
+        coo.push(57, 93, 3.25);
+        round_trip(&coo);
+    }
+
+    #[test]
+    fn unit_headers_report_rows() {
+        let mut coo = CooMatrix::new(6, 6);
+        coo.push(1, 0, 1.0);
+        coo.push(4, 2, 2.0);
+        coo.canonicalize();
+        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let stream = encode_coo(&coo, &cfg);
+        let mut rows = Vec::new();
+        stream.walk(|u| rows.push(u.row), |_, _, _| {});
+        assert_eq!(rows, vec![1, 4]);
+    }
+
+    #[test]
+    fn compresses_versus_csr() {
+        // A matrix dominated by long horizontal runs must encode far
+        // smaller than CSR's 12 bytes/nnz.
+        let mut coo = CooMatrix::new(64, 512);
+        for r in 0..64u32 {
+            for c in 0..128u32 {
+                coo.push(r, c + (r % 3), (r + c) as Val);
+            }
+        }
+        coo.canonicalize();
+        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let s = encode_coo(&coo, &cfg);
+        let csr_bytes = 12 * coo.nnz() + 4 * 65;
+        assert!(
+            s.size_bytes() < csr_bytes * 3 / 4,
+            "CSX {} vs CSR {csr_bytes}",
+            s.size_bytes()
+        );
+        // Nearly all metadata gone: ctl should be tiny relative to colind.
+        assert!(s.ctl.len() < coo.nnz(), "ctl {} bytes for {} nnz", s.ctl.len(), coo.nnz());
+    }
+
+    #[test]
+    fn round_trip_generated_matrix() {
+        let coo = symspmv_sparse::gen::banded_random(300, 12, 8.0, 5);
+        round_trip(&coo);
+    }
+}
+
+#[cfg(test)]
+mod jump_tests {
+    use super::*;
+    use crate::detect::DetectConfig;
+    use symspmv_sparse::CooMatrix;
+
+    #[test]
+    fn huge_row_jump_uses_multibyte_varint() {
+        // Row jump of ~200k needs a 3-byte varint in the RJMP field.
+        let mut coo = CooMatrix::new(300_000, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(250_000, 2, 2.0);
+        coo.canonicalize();
+        let cfg = DetectConfig::default();
+        let stream = encode_coo(&coo, &cfg);
+        let decoded = stream.decode_elements();
+        assert_eq!(decoded, vec![(0, 1, 1.0), (250_000, 2, 2.0)]);
+    }
+
+    #[test]
+    fn first_unit_far_from_row_zero() {
+        let mut coo = CooMatrix::new(1_000, 3);
+        coo.push(999, 0, 7.0);
+        let cfg = DetectConfig::default();
+        let stream = encode_coo(&coo, &cfg);
+        assert_eq!(stream.decode_elements(), vec![(999, 0, 7.0)]);
+        // Head must carry RJMP (jump of 1000 > 1).
+        assert_ne!(stream.ctl[0] & RJMP_BIT, 0);
+    }
+
+    #[test]
+    fn wide_anchor_column_varint() {
+        let mut coo = CooMatrix::new(2, 3_000_000);
+        coo.push(1, 2_999_999, 4.0);
+        let cfg = DetectConfig::default();
+        let stream = encode_coo(&coo, &cfg);
+        assert_eq!(stream.decode_elements(), vec![(1, 2_999_999, 4.0)]);
+    }
+
+    #[test]
+    fn many_units_in_one_row_use_column_deltas() {
+        // Alternate substructure-eligible runs and isolated elements so
+        // several units share a row; non-first units must decode via the
+        // relative ucol path.
+        let mut coo = CooMatrix::new(2, 4_000);
+        for c in 0..8 {
+            coo.push(0, c * 2, 1.0); // stride-2 horizontal run
+        }
+        coo.push(0, 1_000, 2.0);
+        for c in 0..6 {
+            coo.push(0, 2_000 + c, 3.0); // stride-1 horizontal run
+        }
+        coo.canonicalize();
+        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let stream = encode_coo(&coo, &cfg);
+        let mut units = 0;
+        stream.walk(|_| units += 1, |_, _, _| {});
+        assert!(units >= 3, "expected several units in the row, got {units}");
+        let mut decoded = stream.decode_elements();
+        decoded.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let expect: Vec<(u32, u32, f64)> = coo.iter().collect();
+        assert_eq!(decoded, expect);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! CSX — Compressed Sparse eXtended (§IV-A of the paper; Kourtis et al.,
+//! PPoPP'11).
+//!
+//! CSX discards CSR's `rowptr`/`colind` arrays and instead stores all
+//! location metadata in a variable-length byte stream (`ctl`) of *units*.
+//! A unit is either a detected non-zero *substructure* (horizontal,
+//! vertical, diagonal, anti-diagonal run or a small dense block) whose body
+//! is empty, or a *delta unit* carrying column deltas of a fixed byte
+//! width. Values are stored in a separate array in unit order.
+//!
+//! This crate implements:
+//!
+//! * [`varint`] — the variable-size integers used in unit heads;
+//! * [`pattern`] — the 6-bit pattern-id space;
+//! * [`detect`] — substructure detection via coordinate transforms, with
+//!   the sampling-based type-selection pass the paper's §V-E relies on;
+//! * [`encode`] — the `ctl` byte-stream builder and decoder;
+//! * [`matrix`] — [`matrix::CsxMatrix`], construction from COO/CSR and the
+//!   SpMV kernel.
+//!
+//! The original CSX JIT-compiles its kernels with LLVM; this implementation
+//! uses a monomorphized interpreter instead (DESIGN.md substitution S2).
+
+pub mod detect;
+pub mod encode;
+pub mod matrix;
+pub mod pattern;
+pub mod varint;
+
+pub use detect::{DetectConfig, Detected};
+pub use matrix::{CsxMatrix, CsxStats};
+pub use pattern::PatternKind;

@@ -1,0 +1,396 @@
+//! The CSX matrix type and its SpMV kernel.
+
+use crate::detect::{analyze, CooIndex, DetectConfig};
+use crate::encode::{CtlStream, ID_MASK, NR_BIT, RJMP_BIT};
+use crate::pattern::{DeltaWidth, PatternKind};
+use crate::varint::read_varint;
+use symspmv_sparse::{CooMatrix, CsrMatrix, Idx, Val};
+
+/// Compression statistics of a CSX encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsxStats {
+    /// Bytes of the CSX representation (ctl + values).
+    pub size_bytes: usize,
+    /// Bytes of the equivalent CSR representation (Eq. 1).
+    pub csr_bytes: usize,
+    /// Fraction of non-zeros covered by substructure units.
+    pub coverage: f64,
+    /// Number of substructure units.
+    pub substructure_units: usize,
+    /// Number of delta units.
+    pub delta_units: usize,
+}
+
+impl CsxStats {
+    /// Compression ratio versus CSR: `1 − size/size_CSR` (the paper's
+    /// Table I "C.R." columns, expressed as a fraction).
+    pub fn compression_ratio(&self) -> f64 {
+        1.0 - self.size_bytes as f64 / self.csr_bytes as f64
+    }
+}
+
+/// A sparse matrix in CSX format (unsymmetric variant).
+///
+/// ```
+/// use symspmv_csx::{CsxMatrix, detect::DetectConfig};
+/// use symspmv_sparse::CooMatrix;
+/// let mut a = CooMatrix::new(4, 8);
+/// for c in 0..6 {
+///     a.push(1, c, 1.0); // a horizontal run CSX will encode as one unit
+/// }
+/// a.canonicalize();
+/// let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+/// let m = CsxMatrix::from_coo(&a, &cfg);
+/// assert_eq!(m.stats().substructure_units, 1);
+/// let mut y = vec![0.0; 4];
+/// m.spmv(&vec![1.0; 8], &mut y);
+/// assert_eq!(y[1], 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsxMatrix {
+    nrows: Idx,
+    ncols: Idx,
+    stream: CtlStream,
+    stats: CsxStats,
+}
+
+impl CsxMatrix {
+    /// Encodes a matrix with the given detection configuration.
+    pub fn from_coo(coo: &CooMatrix, config: &DetectConfig) -> Self {
+        let mut c = coo.clone();
+        c.canonicalize();
+        Self::from_canonical_coo(&c, config)
+    }
+
+    /// Encodes an already-canonical COO matrix.
+    pub fn from_canonical_coo(coo: &CooMatrix, config: &DetectConfig) -> Self {
+        let det = analyze(coo, config);
+        let vm = CooIndex::new(coo);
+        let stream = CtlStream::encode(&det, &vm);
+        let mut sub_units = 0usize;
+        let mut delta_units = 0usize;
+        stream.walk(
+            |u| {
+                if u.kind.is_some() {
+                    sub_units += 1;
+                } else {
+                    delta_units += 1;
+                }
+            },
+            |_, _, _| {},
+        );
+        let stats = CsxStats {
+            size_bytes: stream.size_bytes(),
+            csr_bytes: 12 * coo.nnz() + 4 * (coo.nrows() as usize + 1),
+            coverage: det.coverage(),
+            substructure_units: sub_units,
+            delta_units,
+        };
+        CsxMatrix { nrows: coo.nrows(), ncols: coo.ncols(), stream, stats }
+    }
+
+    /// Encodes from CSR (converts through COO).
+    pub fn from_csr(csr: &CsrMatrix, config: &DetectConfig) -> Self {
+        Self::from_canonical_coo(&csr.to_coo(), config)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Idx {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Idx {
+        self.ncols
+    }
+
+    /// Stored non-zero count.
+    pub fn nnz(&self) -> usize {
+        self.stream.values.len()
+    }
+
+    /// Compression statistics.
+    pub fn stats(&self) -> &CsxStats {
+        &self.stats
+    }
+
+    /// The underlying ctl/values stream.
+    pub fn stream(&self) -> &CtlStream {
+        &self.stream
+    }
+
+    /// Serial SpMV: `y += A·x` — note the accumulate semantics; callers
+    /// zero `y` first. Accumulation (instead of assignment) is what lets
+    /// row-partitioned chunks and vertical units compose.
+    pub fn spmv_accumulate(&self, x: &[Val], y: &mut [Val]) {
+        spmv_stream(&self.stream, x, y);
+    }
+
+    /// Serial SpMV: `y = A·x`.
+    pub fn spmv(&self, x: &[Val], y: &mut [Val]) {
+        assert_eq!(x.len(), self.ncols as usize);
+        assert_eq!(y.len(), self.nrows as usize);
+        y.fill(0.0);
+        self.spmv_accumulate(x, y);
+    }
+
+    /// Reconstructs the COO form (testing / verification).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (r, c, v) in self.stream.decode_elements() {
+            coo.push(r, c, v);
+        }
+        coo.canonicalize();
+        coo
+    }
+}
+
+/// The interpreter SpMV kernel over a raw ctl stream (`y += A·x`).
+///
+/// Each pattern id dispatches to a specialized inner loop — the
+/// interpreter stand-in for CSX's LLVM-generated kernels (substitution S2).
+pub fn spmv_stream(stream: &CtlStream, x: &[Val], y: &mut [Val]) {
+    let ctl = &stream.ctl;
+    let values = &stream.values;
+    let mut pos = 0usize;
+    let mut vi = 0usize;
+    let mut row: i64 = -1;
+    let mut col: Idx = 0;
+    while pos < ctl.len() {
+        let flags = ctl[pos];
+        pos += 1;
+        if flags & NR_BIT != 0 {
+            let extra = if flags & RJMP_BIT != 0 { read_varint(ctl, &mut pos) } else { 0 };
+            row += 1 + extra as i64;
+            col = 0;
+        }
+        let size = usize::from(ctl[pos]);
+        pos += 1;
+        let ucol = read_varint(ctl, &mut pos) as Idx;
+        let anchor = if flags & NR_BIT != 0 { ucol } else { col + ucol };
+        col = anchor;
+        let r = row as usize;
+        let id = flags & ID_MASK;
+
+        let unit_vals = &values[vi..vi + size];
+        match PatternKind::from_id(id) {
+            Some(PatternKind::Horizontal { delta }) => {
+                let mut acc = 0.0;
+                let mut c = anchor as usize;
+                for &v in unit_vals {
+                    acc += v * x[c];
+                    c += delta as usize;
+                }
+                y[r] += acc;
+                vi += size;
+            }
+            Some(PatternKind::Vertical { delta }) => {
+                let xc = x[anchor as usize];
+                let mut rr = r;
+                for &v in unit_vals {
+                    y[rr] += v * xc;
+                    rr += delta as usize;
+                }
+                vi += size;
+            }
+            Some(PatternKind::Diagonal { delta }) => {
+                let mut rr = r;
+                let mut c = anchor as usize;
+                for &v in unit_vals {
+                    y[rr] += v * x[c];
+                    rr += delta as usize;
+                    c += delta as usize;
+                }
+                vi += size;
+            }
+            Some(PatternKind::AntiDiagonal { delta }) => {
+                let mut rr = r;
+                let mut c = anchor as usize;
+                for &v in unit_vals {
+                    y[rr] += v * x[c];
+                    rr += delta as usize;
+                    c = c.wrapping_sub(delta as usize);
+                }
+                vi += size;
+            }
+            Some(PatternKind::Block { rows: 3, cols: 3 }) => {
+                // Dominant case on 3-dof structural matrices — unrolled.
+                let base = anchor as usize;
+                let (x0, x1, x2) = (x[base], x[base + 1], x[base + 2]);
+                for (br, v) in unit_vals.chunks_exact(3).enumerate() {
+                    y[r + br] += v[0] * x0 + v[1] * x1 + v[2] * x2;
+                }
+                vi += size;
+            }
+            Some(PatternKind::Block { rows: _, cols }) => {
+                let bc = cols as usize;
+                let base = anchor as usize;
+                for (br, row_vals) in unit_vals.chunks_exact(bc).enumerate() {
+                    let rr = r + br;
+                    let mut acc = 0.0;
+                    for (j, &v) in row_vals.iter().enumerate() {
+                        acc += v * x[base + j];
+                    }
+                    y[rr] += acc;
+                }
+                vi += size;
+            }
+            None => {
+                // Delta unit: slice-based inner loops so the compiler can
+                // hoist the bounds checks out of the body.
+                let width = PatternKind::delta_width_from_id(id)
+                    .expect("invalid pattern id in ctl stream");
+                let mut acc = values[vi] * x[anchor as usize];
+                let mut c = anchor as usize;
+                let rest = &values[vi + 1..vi + size];
+                match width {
+                    DeltaWidth::U8 => {
+                        let body = &ctl[pos..pos + size - 1];
+                        pos += size - 1;
+                        for (&d, &v) in body.iter().zip(rest) {
+                            c += usize::from(d);
+                            acc += v * x[c];
+                        }
+                    }
+                    DeltaWidth::U16 => {
+                        let body = &ctl[pos..pos + 2 * (size - 1)];
+                        pos += 2 * (size - 1);
+                        for (d, &v) in body.chunks_exact(2).zip(rest) {
+                            c += usize::from(u16::from_le_bytes([d[0], d[1]]));
+                            acc += v * x[c];
+                        }
+                    }
+                    DeltaWidth::U32 => {
+                        let body = &ctl[pos..pos + 4 * (size - 1)];
+                        pos += 4 * (size - 1);
+                        for (d, &v) in body.chunks_exact(4).zip(rest) {
+                            c += u32::from_le_bytes([d[0], d[1], d[2], d[3]]) as usize;
+                            acc += v * x[c];
+                        }
+                    }
+                }
+                vi += size;
+                y[r] += acc;
+            }
+        }
+    }
+}
+
+/// Extracts the sub-matrix of rows `[start, end)` as canonical COO —
+/// used to encode per-thread CSX chunks (coordinates stay absolute).
+pub fn rows_submatrix(coo: &CooMatrix, start: Idx, end: Idx) -> CooMatrix {
+    let mut out = CooMatrix::with_capacity(coo.nrows(), coo.ncols(), coo.nnz());
+    for (r, c, v) in coo.iter() {
+        if r >= start && r < end {
+            out.push(r, c, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectConfig {
+        DetectConfig { min_coverage: 0.0, ..DetectConfig::default() }
+    }
+
+    #[test]
+    fn spmv_matches_reference_on_patterns() {
+        let mut coo = CooMatrix::new(20, 20);
+        // Horizontal, vertical, diagonal, block and scattered content.
+        for c in 0..6 {
+            coo.push(0, c, (c + 1) as Val);
+        }
+        for r in 3..9 {
+            coo.push(r, 10, r as Val);
+        }
+        for k in 0..5 {
+            coo.push(10 + k, 2 + k, 1.5);
+        }
+        for r in 0..3 {
+            for c in 0..3 {
+                coo.push(14 + r, 14 + c, (r + c) as Val + 0.5);
+            }
+        }
+        coo.push(19, 0, -3.0);
+        coo.canonicalize();
+
+        let m = CsxMatrix::from_coo(&coo, &cfg());
+        assert_eq!(m.nnz(), coo.nnz());
+        let x = symspmv_sparse::dense::seeded_vector(20, 1);
+        let mut y = vec![0.0; 20];
+        let mut y_ref = vec![0.0; 20];
+        m.spmv(&x, &mut y);
+        coo.spmv_reference(&x, &mut y_ref);
+        symspmv_sparse::dense::assert_vec_close(&y, &y_ref, 1e-12);
+    }
+
+    #[test]
+    fn spmv_matches_on_generated_matrices() {
+        for seed in 0..3u64 {
+            let coo = symspmv_sparse::gen::banded_random(257, 17, 9.0, seed);
+            let m = CsxMatrix::from_coo(&coo, &cfg());
+            let x = symspmv_sparse::dense::seeded_vector(257, seed);
+            let mut y = vec![0.0; 257];
+            let mut y_ref = vec![0.0; 257];
+            m.spmv(&x, &mut y);
+            coo.spmv_reference(&x, &mut y_ref);
+            symspmv_sparse::dense::assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn to_coo_round_trip() {
+        let coo = symspmv_sparse::gen::block_structural(20, 3, 4.0, 6, 3);
+        let m = CsxMatrix::from_coo(&coo, &cfg());
+        let mut orig = coo.clone();
+        orig.canonicalize();
+        assert_eq!(m.to_coo(), orig);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let coo = symspmv_sparse::gen::block_structural(40, 3, 6.0, 10, 4);
+        let m = CsxMatrix::from_coo(&coo, &cfg());
+        let st = m.stats();
+        assert!(st.size_bytes > 0);
+        assert!(st.coverage > 0.3, "block matrix should be well covered: {}", st.coverage);
+        assert!(st.compression_ratio() > 0.0, "CSX should beat CSR here");
+        assert!(st.substructure_units > 0);
+    }
+
+    #[test]
+    fn chunked_rows_compose() {
+        let coo = symspmv_sparse::gen::banded_random(120, 9, 6.0, 9);
+        let mut c = coo.clone();
+        c.canonicalize();
+        let a = CsxMatrix::from_canonical_coo(&rows_submatrix(&c, 0, 60), &cfg());
+        let b = CsxMatrix::from_canonical_coo(&rows_submatrix(&c, 60, 120), &cfg());
+        let x = symspmv_sparse::dense::seeded_vector(120, 2);
+        let mut y = vec![0.0; 120];
+        a.spmv_accumulate(&x, &mut y);
+        b.spmv_accumulate(&x, &mut y);
+        let mut y_ref = vec![0.0; 120];
+        c.spmv_reference(&x, &mut y_ref);
+        symspmv_sparse::dense::assert_vec_close(&y, &y_ref, 1e-12);
+    }
+
+    #[test]
+    fn empty_and_tiny_matrices() {
+        let empty = CooMatrix::new(3, 3);
+        let m = CsxMatrix::from_coo(&empty, &cfg());
+        let x = vec![1.0; 3];
+        let mut y = vec![9.0; 3];
+        m.spmv(&x, &mut y);
+        assert_eq!(y, vec![0.0; 3]);
+
+        let mut one = CooMatrix::new(1, 1);
+        one.push(0, 0, 2.5);
+        let m = CsxMatrix::from_coo(&one, &cfg());
+        let mut y = vec![0.0; 1];
+        m.spmv(&[2.0], &mut y);
+        assert_eq!(y, vec![5.0]);
+    }
+}

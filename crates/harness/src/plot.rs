@@ -1,0 +1,453 @@
+//! Static SVG line charts for the regenerated figures.
+//!
+//! Follows the data-viz method: categorical hues in fixed validated order
+//! (blue, aqua, green, yellow — reordered so the two low-contrast hues are
+//! never adjacent; set validated with the palette validator: CVD ΔE 24.2,
+//! relief rule satisfied by direct end-labels plus the CSV table twin every
+//! figure ships with), 2px round-capped lines, ≥8px end markers with a 2px
+//! surface ring, hairline solid gridlines one step off the surface, text in
+//! text tokens (never the series color), a legend for ≥2 series, one axis.
+
+#![allow(clippy::write_with_newline)] // raw SVG template strings end lines explicitly
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Fixed categorical order (validated; see module docs).
+const SERIES_COLORS: [&str; 4] = ["#2a78d6", "#1baf7a", "#008300", "#eda100"];
+const SURFACE: &str = "#fcfcfb";
+const GRID: &str = "#e8e7e3";
+const TEXT_PRIMARY: &str = "#0b0b0b";
+const TEXT_SECONDARY: &str = "#52514e";
+
+/// One line series: a name and `(x, y)` samples (x strictly increasing).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend / end-label name.
+    pub name: String,
+    /// Samples; x values should be shared across series.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders a line chart as a standalone SVG document.
+///
+/// X positions are *ordinal*: each distinct x value takes one equal slot
+/// (thread counts 1, 2, 4, 8 read evenly spaced, as in the paper's
+/// figures). At most four series are accepted — beyond that the method
+/// calls for small multiples, which the callers honor by splitting.
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    assert!(!series.is_empty() && series.len() <= SERIES_COLORS.len());
+    // Ordinal x slots from the union of x values.
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup();
+    let slot_of = |x: f64| xs.iter().position(|&v| v == x).expect("x value registered") as f64;
+
+    let y_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let y_top = nice_ceil(y_max);
+
+    let (w, h) = (640.0, 400.0);
+    let (ml, mr, mt, mb) = (64.0, 130.0, 54.0, 48.0);
+    let (pw, ph) = (w - ml - mr, h - mt - mb);
+    let px = |slot: f64| ml + pw * slot / (xs.len() - 1).max(1) as f64;
+    let py = |v: f64| mt + ph * (1.0 - v / y_top);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="system-ui, sans-serif">
+<rect width="{w}" height="{h}" fill="{SURFACE}"/>
+<text x="{ml}" y="24" font-size="15" font-weight="600" fill="{TEXT_PRIMARY}">{}</text>
+"#,
+        escape(title)
+    );
+
+    // Legend row — present for ≥2 series (a single series is named by the
+    // title, so a one-swatch box would only restate it).
+    let legend: &[Series] = if series.len() >= 2 { series } else { &[] };
+    let mut lx = ml;
+    for (i, s) in legend.iter().enumerate() {
+        let color = SERIES_COLORS[i];
+        let _ = write!(
+            svg,
+            r#"<circle cx="{:.1}" cy="38" r="4" fill="{color}"/><text x="{:.1}" y="42" font-size="11" fill="{TEXT_SECONDARY}">{}</text>
+"#,
+            lx + 4.0,
+            lx + 12.0,
+            escape(&s.name)
+        );
+        lx += 18.0 + 7.0 * s.name.len() as f64;
+    }
+
+    // Horizontal gridlines + y ticks (clean numbers).
+    for k in 0..=4 {
+        let v = y_top * k as f64 / 4.0;
+        let y = py(v);
+        let _ = write!(
+            svg,
+            r#"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{GRID}" stroke-width="1"/>
+<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end" fill="{TEXT_SECONDARY}">{}</text>
+"#,
+            ml + pw,
+            ml - 8.0,
+            y + 3.5,
+            fmt_tick(v)
+        );
+    }
+    // X ticks.
+    for (i, &x) in xs.iter().enumerate() {
+        let xx = px(i as f64);
+        let _ = write!(
+            svg,
+            r#"<text x="{xx:.1}" y="{:.1}" font-size="10" text-anchor="middle" fill="{TEXT_SECONDARY}">{}</text>
+"#,
+            mt + ph + 16.0,
+            fmt_tick(x)
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="middle" fill="{TEXT_SECONDARY}">{}</text>
+<text x="14" y="{:.1}" font-size="11" text-anchor="middle" fill="{TEXT_SECONDARY}" transform="rotate(-90 14 {:.1})">{}</text>
+"#,
+        ml + pw / 2.0,
+        h - 12.0,
+        escape(x_label),
+        mt + ph / 2.0,
+        mt + ph / 2.0,
+        escape(y_label)
+    );
+
+    // Lines (2px, round join/cap), end markers (r=4 + 2px surface ring),
+    // and direct end-labels in text ink with the colored marker as the key.
+    // When series converge at the right edge the labels would collide;
+    // rather than stacking them apart (which detaches them from their
+    // lines), colliding labels are dropped — the legend carries identity.
+    let mut label_ys: Vec<f64> = Vec::new();
+    for (i, s) in series.iter().enumerate() {
+        let color = SERIES_COLORS[i];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, v)| format!("{:.1},{:.1}", px(slot_of(x)), py(v)))
+            .collect();
+        let _ = write!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>
+"#,
+            path.join(" ")
+        );
+        if let Some(&(x, v)) = s.points.last() {
+            let (cx, cy) = (px(slot_of(x)), py(v));
+            let _ = write!(
+                svg,
+                r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="6" fill="{SURFACE}"/><circle cx="{cx:.1}" cy="{cy:.1}" r="4" fill="{color}"/>
+"#,
+            );
+            let collides =
+                series.len() >= 2 && label_ys.iter().any(|&prev| (prev - cy).abs() < 12.0);
+            if !collides {
+                label_ys.push(cy);
+                let _ = write!(
+                    svg,
+                    r#"<text x="{:.1}" y="{:.1}" font-size="11" fill="{TEXT_PRIMARY}">{} {}</text>
+"#,
+                    cx + 10.0,
+                    cy + 3.5,
+                    escape(&s.name),
+                    fmt_tick(v)
+                );
+            }
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// One stacked bar: a group label and one value per segment series.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Category label under the bar.
+    pub label: String,
+    /// Segment values, one per segment name (same order).
+    pub segments: Vec<f64>,
+}
+
+/// Renders a stacked-bar chart (the Fig. 10 / Fig. 14 form): one bar per
+/// group, segments stacked from a single baseline with 2px surface gaps,
+/// 4px rounded cap on the top segment only, ≤24px bar thickness, legend
+/// for the segment identities, values carried by the y-axis and the CSV
+/// twin (selective labeling — per-segment numbers would flood the chart).
+pub fn stacked_bars(
+    title: &str,
+    y_label: &str,
+    segment_names: &[&str],
+    bars: &[Bar],
+) -> String {
+    assert!(!bars.is_empty() && !segment_names.is_empty());
+    assert!(segment_names.len() <= SERIES_COLORS.len());
+    for b in bars {
+        assert_eq!(b.segments.len(), segment_names.len(), "ragged bar {}", b.label);
+    }
+    let y_top = nice_ceil(
+        bars.iter().map(|b| b.segments.iter().sum::<f64>()).fold(0.0f64, f64::max).max(1e-9),
+    );
+
+    let (w, h) = ((120 + bars.len() * 56).max(400) as f64, 400.0);
+    let (ml, mr, mt, mb) = (64.0, 24.0, 54.0, 64.0);
+    let (pw, ph) = (w - ml - mr, h - mt - mb);
+    let slot = pw / bars.len() as f64;
+    let bar_w = (slot * 0.6).min(24.0);
+    let py = |v: f64| mt + ph * (1.0 - v / y_top);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="system-ui, sans-serif">
+<rect width="{w}" height="{h}" fill="{SURFACE}"/>
+<text x="{ml}" y="24" font-size="15" font-weight="600" fill="{TEXT_PRIMARY}">{}</text>
+"#,
+        escape(title)
+    );
+    // Legend.
+    let mut lx = ml;
+    for (i, name) in segment_names.iter().enumerate() {
+        let color = SERIES_COLORS[i];
+        let _ = write!(
+            svg,
+            r#"<rect x="{:.1}" y="32" width="10" height="10" rx="2" fill="{color}"/><text x="{:.1}" y="41" font-size="11" fill="{TEXT_SECONDARY}">{}</text>
+"#,
+            lx,
+            lx + 14.0,
+            escape(name)
+        );
+        lx += 22.0 + 7.0 * name.len() as f64;
+    }
+    // Gridlines + y ticks.
+    for k in 0..=4 {
+        let v = y_top * k as f64 / 4.0;
+        let y = py(v);
+        let _ = write!(
+            svg,
+            r#"<line x1="{ml}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{GRID}" stroke-width="1"/>
+<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end" fill="{TEXT_SECONDARY}">{}</text>
+"#,
+            ml + pw,
+            ml - 8.0,
+            y + 3.5,
+            fmt_tick(v)
+        );
+    }
+    // Bars.
+    for (bi, bar) in bars.iter().enumerate() {
+        let x0 = ml + slot * bi as f64 + (slot - bar_w) / 2.0;
+        let mut acc = 0.0;
+        let nseg = bar.segments.len();
+        let top_seg = bar
+            .segments
+            .iter()
+            .rposition(|&v| v > 0.0)
+            .unwrap_or(0);
+        for (si, &v) in bar.segments.iter().enumerate() {
+            if v <= 0.0 {
+                continue;
+            }
+            let y1 = py(acc);
+            let y0 = py(acc + v);
+            // 2px surface gap between stacked segments (not at baseline).
+            let gap_top = if si == top_seg { 0.0 } else { 2.0 };
+            let height = (y1 - y0 - gap_top).max(0.5);
+            let rounded = si == top_seg;
+            let _ = write!(
+                svg,
+                r#"<path d="{}" fill="{}"/>
+"#,
+                bar_path(x0, y0, bar_w, height, if rounded { 4.0 } else { 0.0 }),
+                SERIES_COLORS[si]
+            );
+            acc += v;
+            let _ = nseg;
+        }
+        // Category label.
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end" fill="{TEXT_SECONDARY}" transform="rotate(-35 {:.1} {:.1})">{}</text>
+"#,
+            x0 + bar_w / 2.0,
+            mt + ph + 14.0,
+            x0 + bar_w / 2.0,
+            mt + ph + 14.0,
+            escape(&bar.label)
+        );
+    }
+    // Axis label.
+    let _ = write!(
+        svg,
+        r#"<text x="14" y="{:.1}" font-size="11" text-anchor="middle" fill="{TEXT_SECONDARY}" transform="rotate(-90 14 {:.1})">{}</text>
+</svg>
+"#,
+        mt + ph / 2.0,
+        mt + ph / 2.0,
+        escape(y_label)
+    );
+    svg
+}
+
+/// Rect path with rounded top corners (radius `r`), square baseline.
+fn bar_path(x: f64, y: f64, w: f64, h: f64, r: f64) -> String {
+    if r <= 0.0 || h < r {
+        return format!("M{x:.1} {y:.1} h{w:.1} v{h:.1} h-{w:.1} Z");
+    }
+    format!(
+        "M{:.1} {:.1} h{:.1} a{r} {r} 0 0 1 {r} {r} v{:.1} h-{w:.1} v-{:.1} a{r} {r} 0 0 1 {r} -{r} Z",
+        x + r,
+        y,
+        w - 2.0 * r,
+        h - r,
+        h - r,
+    )
+}
+
+fn nice_ceil(v: f64) -> f64 {
+    let mag = 10f64.powf(v.log10().floor());
+    let r = v / mag;
+    let step = if r <= 1.0 {
+        1.0
+    } else if r <= 2.0 {
+        2.0
+    } else if r <= 4.0 {
+        4.0
+    } else if r <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    step * mag
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        let s = format!("{v:.1}");
+        s.strip_suffix(".0").map(str::to_string).unwrap_or(s)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Writes an SVG document to `dir/<name>.svg`.
+pub fn write_svg(dir: &Path, name: &str, svg: &str) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.svg"));
+    std::fs::write(&path, svg)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            Series { name: "csr".into(), points: vec![(1.0, 1.0), (2.0, 1.8), (4.0, 2.5)] },
+            Series { name: "sss-idx".into(), points: vec![(1.0, 1.4), (2.0, 2.6), (4.0, 4.1)] },
+        ]
+    }
+
+    #[test]
+    fn renders_valid_svg_with_marks_and_legend() {
+        let svg = line_chart("Speedup", "threads", "speedup vs serial CSR", &sample());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // End marker = surface ring + colored dot per series.
+        assert_eq!(svg.matches("r=\"6\"").count(), 2);
+        assert_eq!(svg.matches("r=\"4\"").count(), 2 + 2); // legend dots too
+        // Legend names present; text never wears series color directly.
+        assert!(svg.contains(">csr<") || svg.contains(">csr "));
+        assert!(svg.contains(TEXT_SECONDARY));
+    }
+
+    #[test]
+    fn escapes_markup_in_titles() {
+        let s = vec![Series { name: "a<b".into(), points: vec![(1.0, 1.0), (2.0, 2.0)] }];
+        let svg = line_chart("x < y & z", "t", "v", &s);
+        assert!(svg.contains("x &lt; y &amp; z"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn nice_ceiling() {
+        assert_eq!(nice_ceil(0.9), 1.0);
+        assert_eq!(nice_ceil(1.3), 2.0);
+        assert_eq!(nice_ceil(3.7), 4.0);
+        assert_eq!(nice_ceil(7.2), 10.0);
+        assert_eq!(nice_ceil(42.0), 50.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_than_four_series_rejected() {
+        let s: Vec<Series> = (0..5)
+            .map(|i| Series { name: format!("s{i}"), points: vec![(0.0, 1.0), (1.0, 2.0)] })
+            .collect();
+        let _ = line_chart("t", "x", "y", &s);
+    }
+}
+
+#[cfg(test)]
+mod bar_tests {
+    use super::*;
+
+    #[test]
+    fn stacked_bars_render() {
+        let bars = vec![
+            Bar { label: "csr".into(), segments: vec![3.0, 0.0, 1.0] },
+            Bar { label: "sss-idx".into(), segments: vec![2.0, 0.4, 1.0] },
+        ];
+        let svg = stacked_bars("Breakdown", "time (ms)", &["spmv", "reduce", "vecops"], &bars);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // Two bars: csr has 2 nonzero segments, sss-idx has 3.
+        assert_eq!(svg.matches("<path").count(), 5);
+        // Legend square per segment name.
+        assert_eq!(svg.matches("<rect").count(), 1 + 3); // surface + 3 keys
+        assert!(svg.contains(">spmv<"));
+    }
+
+    #[test]
+    fn zero_segments_skipped_entirely() {
+        let bars = vec![Bar { label: "a".into(), segments: vec![0.0, 2.0] }];
+        let svg = stacked_bars("t", "v", &["x", "y"], &bars);
+        assert_eq!(svg.matches("<path").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged bar")]
+    fn ragged_bars_rejected() {
+        let bars = vec![Bar { label: "a".into(), segments: vec![1.0] }];
+        let _ = stacked_bars("t", "v", &["x", "y"], &bars);
+    }
+
+    #[test]
+    fn bar_path_geometry() {
+        let p = bar_path(10.0, 20.0, 20.0, 30.0, 4.0);
+        assert!(p.starts_with("M14.0 20.0"));
+        assert!(p.ends_with('Z'));
+        let square = bar_path(0.0, 0.0, 10.0, 2.0, 4.0); // too short to round
+        assert!(square.contains('v'));
+        assert!(!square.contains('a'));
+    }
+}

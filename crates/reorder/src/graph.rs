@@ -1,0 +1,119 @@
+//! Undirected adjacency graph of a symmetric sparsity pattern.
+
+use symspmv_sparse::{CooMatrix, Idx};
+
+/// CSR-like adjacency structure (no self loops, symmetric edges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjGraph {
+    n: Idx,
+    xadj: Vec<usize>,
+    adj: Vec<Idx>,
+}
+
+impl AdjGraph {
+    /// Builds the adjacency graph of a square matrix's off-diagonal pattern.
+    ///
+    /// The pattern is symmetrized (an edge exists if either `(r, c)` or
+    /// `(c, r)` is present), so structurally unsymmetric inputs are safe.
+    pub fn from_pattern(coo: &CooMatrix) -> Self {
+        assert_eq!(coo.nrows(), coo.ncols(), "adjacency graph needs a square matrix");
+        let n = coo.nrows();
+        // Collect symmetrized, deduplicated edges.
+        let mut edges: Vec<(Idx, Idx)> = Vec::with_capacity(coo.nnz() * 2);
+        for (r, c, _) in coo.iter() {
+            if r != c {
+                edges.push((r, c));
+                edges.push((c, r));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut xadj = vec![0usize; n as usize + 1];
+        for &(r, _) in &edges {
+            xadj[r as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            xadj[i + 1] += xadj[i];
+        }
+        let adj = edges.into_iter().map(|(_, c)| c).collect();
+        AdjGraph { n, xadj, adj }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> Idx {
+        self.n
+    }
+
+    /// Number of (directed) edge slots; each undirected edge counts twice.
+    pub fn edge_slots(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbors of vertex `v`, sorted ascending.
+    pub fn neighbors(&self, v: Idx) -> &[Idx] {
+        &self.adj[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: Idx) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> AdjGraph {
+        // 0 - 1 - 2 - 3 as a symmetric tridiagonal pattern.
+        let mut coo = CooMatrix::new(4, 4);
+        for i in 0..4u32 {
+            coo.push(i, i, 1.0);
+        }
+        for i in 0..3u32 {
+            coo.push(i, i + 1, -1.0);
+            coo.push(i + 1, i, -1.0);
+        }
+        AdjGraph::from_pattern(&coo)
+    }
+
+    #[test]
+    fn structure() {
+        let g = path_graph();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.edge_slots(), 6);
+    }
+
+    #[test]
+    fn self_loops_excluded() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let g = AdjGraph::from_pattern(&coo);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(1), 0);
+    }
+
+    #[test]
+    fn unsymmetric_pattern_symmetrized() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 2, 1.0); // only one direction stored
+        let g = AdjGraph::from_pattern(&coo);
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.neighbors(2), &[0]);
+    }
+
+    #[test]
+    fn duplicate_entries_deduplicated() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 3.0);
+        let g = AdjGraph::from_pattern(&coo);
+        assert_eq!(g.degree(0), 1);
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Bandwidth-reducing matrix reordering.
+//!
+//! Implements the Reverse Cuthill–McKee algorithm the paper uses for its
+//! reduced-bandwidth experiments (§V-D, Table III, Fig. 13), together with
+//! the adjacency-graph and BFS machinery it needs.
+
+pub mod bfs;
+pub mod graph;
+pub mod rcm;
+
+pub use graph::AdjGraph;
+pub use rcm::{rcm_order, rcm_permutation};

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Execution runtime: explicit threading, partitioning and timing.
+//!
+//! The paper parallelizes SpMV with explicit native threads (Pthreads) and
+//! static row partitions, not a work-stealing scheduler — thread identity
+//! matters because each thread owns a local output vector. This crate
+//! provides the equivalent machinery:
+//!
+//! * [`pool::WorkerPool`] — a persistent pool of workers executing the same
+//!   closure with distinct thread ids (SPMD style), with a blocking `run`;
+//! * [`partition`] — contiguous, weight-balanced row partitioning;
+//! * [`timing`] — phase timers for the multiplication/reduction breakdowns
+//!   of Fig. 10 and Fig. 14.
+
+pub mod partition;
+pub mod pool;
+pub mod timing;
+
+#[cfg(test)]
+mod stress_tests;
+
+pub use partition::{balanced_ranges, Range};
+pub use pool::WorkerPool;
+pub use timing::PhaseTimes;

@@ -1,0 +1,206 @@
+//! A persistent SPMD worker pool.
+//!
+//! [`WorkerPool::run`] executes one closure on every worker with the
+//! worker's thread id as argument and blocks until all workers finish —
+//! the shape of every parallel region in the paper's kernels (multiply
+//! phase, then reduction phase). Workers persist across calls, so the
+//! 128-iteration measurement loops do not pay thread-spawn latency.
+//!
+//! # Soundness of the lifetime erasure
+//!
+//! `run` accepts a non-`'static` closure reference and transmutes it to
+//! `'static` before handing it to the workers. This is the classic
+//! scoped-pool argument (cf. `scoped_threadpool`): the closure cannot dangle
+//! because `run` blocks until every worker has acknowledged completion, and
+//! `&mut self` prevents two overlapping `run` calls from interleaving jobs.
+//! A worker panic is caught, forwarded, and re-raised on the caller thread
+//! after all workers have finished the round.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::panic::AssertUnwindSafe;
+use std::thread::JoinHandle;
+
+/// The closure signature workers execute: SPMD body receiving a thread id.
+type SpmdRef<'a> = &'a (dyn Fn(usize) + Sync);
+type SpmdStatic = &'static (dyn Fn(usize) + Sync);
+
+enum Command {
+    Run(SpmdStatic),
+    Shutdown,
+}
+
+/// Outcome of one worker round: `Ok` or a captured panic payload.
+type RoundResult = Result<(), Box<dyn std::any::Any + Send>>;
+
+/// A fixed-size pool of persistent worker threads executing SPMD regions.
+///
+/// ```
+/// use symspmv_runtime::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// let mut pool = WorkerPool::new(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.run(&|tid| {
+///     hits.fetch_add(tid + 1, Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
+/// ```
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+    cmd_txs: Vec<Sender<Command>>,
+    done_rx: Receiver<RoundResult>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `nthreads` workers (ids `0..nthreads`).
+    ///
+    /// Panics if `nthreads == 0`.
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads > 0, "a pool needs at least one worker");
+        let (done_tx, done_rx) = bounded::<RoundResult>(nthreads);
+        let mut cmd_txs = Vec::with_capacity(nthreads);
+        let mut handles = Vec::with_capacity(nthreads);
+        for tid in 0..nthreads {
+            let (tx, rx) = bounded::<Command>(1);
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("symspmv-worker-{tid}"))
+                .spawn(move || worker_loop(tid, rx, done))
+                .expect("failed to spawn worker thread");
+            cmd_txs.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { handles, cmd_txs, done_rx }
+    }
+
+    /// Number of workers.
+    pub fn nthreads(&self) -> usize {
+        self.cmd_txs.len()
+    }
+
+    /// Executes `body(tid)` on every worker and blocks until all complete.
+    ///
+    /// If any worker panics, the panic is re-raised here after the round has
+    /// fully drained (no worker is left running user code).
+    pub fn run<'a>(&mut self, body: SpmdRef<'a>) {
+        // SAFETY: see module docs — we block until every worker reports
+        // completion below, so the erased borrow never outlives the frame,
+        // and `&mut self` serializes rounds.
+        let body_static: SpmdStatic = unsafe { std::mem::transmute(body) };
+        for tx in &self.cmd_txs {
+            tx.send(Command::Run(body_static)).expect("worker hung up");
+        }
+        let mut panic_payload = None;
+        for _ in 0..self.cmd_txs.len() {
+            match self.done_rx.recv().expect("worker hung up") {
+                Ok(()) => {}
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+fn worker_loop(tid: usize, rx: Receiver<Command>, done: Sender<RoundResult>) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Run(body) => {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(tid)));
+                // The caller counts acknowledgements; it cannot have dropped
+                // the receiver mid-round, but a panic on the caller side
+                // after the round is none of our business — ignore failures.
+                let _ = done.send(result);
+            }
+            Command::Shutdown => break,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for tx in &self.cmd_txs {
+            let _ = tx.send(Command::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_threads_run_with_distinct_ids() {
+        let mut pool = WorkerPool::new(4);
+        let mask = AtomicUsize::new(0);
+        pool.run(&|tid| {
+            mask.fetch_or(1 << tid, Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), 0b1111);
+    }
+
+    #[test]
+    fn borrows_stack_data() {
+        let data: Vec<usize> = (0..100).collect();
+        let mut out = vec![0usize; 4];
+        let out_ptr = std::sync::Mutex::new(&mut out);
+        let mut pool = WorkerPool::new(4);
+        pool.run(&|tid| {
+            let chunk: usize = data[tid * 25..(tid + 1) * 25].iter().sum();
+            out_ptr.lock().unwrap()[tid] = chunk;
+        });
+        assert_eq!(out.iter().sum::<usize>(), 4950);
+    }
+
+    #[test]
+    fn sequential_rounds_reuse_workers() {
+        let mut pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(&|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let mut pool = WorkerPool::new(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // Pool is still usable after a panicked round.
+        let counter = AtomicUsize::new(0);
+        pool.run(&|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let mut pool = WorkerPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.run(&|tid| {
+            assert_eq!(tid, 0);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Stress tests for the worker pool (kept out of the unit-test modules so
+//! pool.rs stays focused on behaviour).
+
+#![cfg(test)]
+
+use crate::pool::WorkerPool;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+#[test]
+fn many_rounds_many_threads() {
+    let mut pool = WorkerPool::new(8);
+    let sum = AtomicU64::new(0);
+    for round in 0..200u64 {
+        pool.run(&|tid| {
+            sum.fetch_add(round * 8 + tid as u64, Ordering::Relaxed);
+        });
+    }
+    // Σ_{round} Σ_{tid} (round·8 + tid) = Σ round·64 + 200·28
+    let expect: u64 = (0..200u64).map(|r| r * 64).sum::<u64>() + 200 * 28;
+    assert_eq!(sum.load(Ordering::Relaxed), expect);
+}
+
+#[test]
+fn phases_are_barrier_separated() {
+    // Phase 2 must observe *all* of phase 1's writes — this is the
+    // multiply/reduce contract the symmetric kernels rely on.
+    let mut pool = WorkerPool::new(4);
+    let n = 1024;
+    let mut data = vec![0u64; n];
+    let slot = std::sync::Mutex::new(&mut data);
+    for _ in 0..50 {
+        pool.run(&|tid| {
+            let mut guard = slot.lock().unwrap();
+            let chunk = n / 4;
+            for v in guard[tid * chunk..(tid + 1) * chunk].iter_mut() {
+                *v += 1;
+            }
+        });
+        let check = AtomicUsize::new(0);
+        pool.run(&|tid| {
+            let guard = slot.lock().unwrap();
+            let first = guard[0];
+            if guard.iter().all(|&v| v == first) {
+                check.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = tid;
+        });
+        assert_eq!(check.load(Ordering::Relaxed), 4, "phase-1 writes not visible");
+    }
+}
+
+#[test]
+fn pools_of_every_size_up_to_16() {
+    for p in 1..=16 {
+        let mut pool = WorkerPool::new(p);
+        let mask = AtomicU64::new(0);
+        pool.run(&|tid| {
+            mask.fetch_or(1 << tid, Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), (1u64 << p) - 1, "pool size {p}");
+        assert_eq!(pool.nthreads(), p);
+    }
+}
+
+#[test]
+fn drop_while_idle_is_clean() {
+    for _ in 0..20 {
+        let mut pool = WorkerPool::new(3);
+        pool.run(&|_| {});
+        drop(pool);
+    }
+}

@@ -1,0 +1,224 @@
+//! Non-preconditioned Conjugate Gradient (Alg. 1).
+//!
+//! One SpMV per iteration plus a handful of vector operations — exactly the
+//! cost profile §V-F dissects. (Note: line 8 of the paper's Alg. 1 listing
+//! drops the `A·` factor in the residual update; we implement the standard,
+//! correct recurrence `r ← r − a·A·p`.)
+
+use crate::vecops;
+use symspmv_core::ParallelSpmv;
+use symspmv_runtime::timing::time_into;
+use symspmv_runtime::PhaseTimes;
+use symspmv_sparse::Val;
+
+/// CG stopping configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CgConfig {
+    /// Maximum iterations (the paper's Fig. 14 uses a fixed 2048).
+    pub max_iters: usize,
+    /// Relative residual tolerance `‖r‖/‖b‖`; set to `0.0` to always run
+    /// `max_iters` iterations (fixed-work mode, as in Fig. 14).
+    pub rel_tol: f64,
+    /// Record `‖r‖` after every iteration.
+    pub record_history: bool,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig { max_iters: 1000, rel_tol: 1e-10, record_history: false }
+    }
+}
+
+/// Outcome of a CG solve.
+#[derive(Debug, Clone)]
+pub struct CgResult {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the relative tolerance was reached.
+    pub converged: bool,
+    /// Final residual norm `‖b − A·x‖` (recurrence residual).
+    pub residual_norm: f64,
+    /// Phase breakdown: SpMV multiply + reduce (from the kernel),
+    /// vector operations, and the kernel's preprocessing.
+    pub times: PhaseTimes,
+    /// Residual-norm history (if requested).
+    pub history: Vec<f64>,
+}
+
+/// Solves `A·x = b` with CG, starting from the initial guess in `x`.
+///
+/// The kernel's phase clocks are used to attribute SpMV multiply/reduce
+/// time; vector operations are timed here. The kernel's *pre-existing*
+/// accumulated times (e.g. format preprocessing at construction) are
+/// reported in the `preprocess` slot.
+pub fn cg<K: ParallelSpmv + ?Sized>(
+    kernel: &mut K,
+    b: &[Val],
+    x: &mut [Val],
+    config: &CgConfig,
+) -> CgResult {
+    let n = kernel.n();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+
+    let preexisting = kernel.times();
+    let mut vec_time = std::time::Duration::ZERO;
+
+    // r = b − A·x ; p = r.
+    let mut r = vec![0.0; n];
+    kernel.spmv(x, &mut r);
+    let mut p = time_into(&mut vec_time, || {
+        vecops::sub_from(b, &mut r);
+        r.clone()
+    });
+    let mut ap = vec![0.0; n];
+
+    let b_norm_sq = vecops::norm2_sq(b);
+    let tol_sq = config.rel_tol * config.rel_tol * b_norm_sq;
+    let mut rs_old = vecops::norm2_sq(&r);
+    let mut history = Vec::new();
+    if config.record_history {
+        history.push(rs_old.sqrt());
+    }
+
+    let mut iterations = 0;
+    let mut converged = rs_old <= tol_sq && config.rel_tol > 0.0;
+    while iterations < config.max_iters && !converged {
+        kernel.spmv(&p, &mut ap);
+        time_into(&mut vec_time, || {
+            let pap = vecops::dot(&p, &ap);
+            // A is SPD, so pᵀAp > 0 unless p == 0 (already converged).
+            let alpha = if pap != 0.0 { rs_old / pap } else { 0.0 };
+            vecops::axpy(alpha, &p, x);
+            vecops::axpy(-alpha, &ap, &mut r);
+            let rs_new = vecops::norm2_sq(&r);
+            let beta = if rs_old != 0.0 { rs_new / rs_old } else { 0.0 };
+            vecops::xpby(&r, beta, &mut p);
+            rs_old = rs_new;
+        });
+        if config.record_history {
+            history.push(rs_old.sqrt());
+        }
+        iterations += 1;
+        if config.rel_tol > 0.0 && rs_old <= tol_sq {
+            converged = true;
+        }
+    }
+
+    // Attribute times: SpMV phases accumulated by the kernel during this
+    // solve, vector ops measured here, preprocessing from construction.
+    let after = kernel.times();
+    let times = PhaseTimes {
+        multiply: after.multiply - preexisting.multiply,
+        reduce: after.reduce - preexisting.reduce,
+        vector_ops: vec_time,
+        preprocess: preexisting.preprocess,
+    };
+
+    CgResult { iterations, converged, residual_norm: rs_old.sqrt(), times, history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_core::{CsrParallel, ReductionMethod, SymFormat, SymSpmv};
+    use symspmv_csx::detect::DetectConfig;
+    use symspmv_sparse::dense::seeded_vector;
+    use symspmv_sparse::CooMatrix;
+
+    fn residual(coo: &CooMatrix, x: &[Val], b: &[Val]) -> f64 {
+        let mut ax = vec![0.0; b.len()];
+        let mut c = coo.clone();
+        c.canonicalize();
+        c.spmv_reference(x, &mut ax);
+        ax.iter().zip(b).map(|(a, bb)| (a - bb) * (a - bb)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn solves_laplacian_with_csr() {
+        let coo = symspmv_sparse::gen::laplacian_2d(20, 20);
+        let n = 400;
+        let b = seeded_vector(n, 3);
+        let mut x = vec![0.0; n];
+        let mut k = CsrParallel::from_coo(&coo, 4);
+        let res = cg(&mut k, &b, &mut x, &CgConfig { max_iters: 2000, rel_tol: 1e-10, record_history: true });
+        assert!(res.converged, "CG did not converge: {res:?}");
+        assert!(residual(&coo, &x, &b) < 1e-6);
+        assert!(res.history.len() == res.iterations + 1);
+        // History should broadly decrease.
+        assert!(res.history.last().unwrap() < &res.history[0]);
+    }
+
+    #[test]
+    fn all_symmetric_kernels_agree_with_csr() {
+        let coo = symspmv_sparse::gen::banded_random(300, 15, 6.0, 11);
+        let n = 300;
+        let b = seeded_vector(n, 5);
+        let cfg = CgConfig { max_iters: 1500, rel_tol: 1e-9, record_history: false };
+
+        let mut x_ref = vec![0.0; n];
+        let mut kr = CsrParallel::from_coo(&coo, 3);
+        let rr = cg(&mut kr, &b, &mut x_ref, &cfg);
+        assert!(rr.converged);
+
+        for method in [
+            ReductionMethod::Naive,
+            ReductionMethod::EffectiveRanges,
+            ReductionMethod::Indexing,
+        ] {
+            let mut k = SymSpmv::from_coo(&coo, 3, method, SymFormat::Sss).unwrap();
+            let mut x = vec![0.0; n];
+            let r = cg(&mut k, &b, &mut x, &cfg);
+            assert!(r.converged, "{method:?} failed to converge");
+            for (a, bb) in x.iter().zip(&x_ref) {
+                assert!((a - bb).abs() < 1e-5, "{method:?}: {a} vs {bb}");
+            }
+        }
+
+        let dcfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let mut k =
+            SymSpmv::from_coo(&coo, 3, ReductionMethod::Indexing, SymFormat::CsxSym(dcfg))
+                .unwrap();
+        let mut x = vec![0.0; n];
+        let r = cg(&mut k, &b, &mut x, &cfg);
+        assert!(r.converged);
+        assert!(residual(&coo, &x, &b) < 1e-5);
+        // CSX-Sym construction must show up as preprocessing time.
+        assert!(r.times.preprocess > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn fixed_iteration_mode_runs_exactly_max_iters() {
+        let coo = symspmv_sparse::gen::laplacian_2d(8, 8);
+        let mut k = CsrParallel::from_coo(&coo, 2);
+        let b = vec![1.0; 64];
+        let mut x = vec![0.0; 64];
+        let res = cg(&mut k, &b, &mut x, &CgConfig { max_iters: 50, rel_tol: 0.0, record_history: false });
+        assert_eq!(res.iterations, 50);
+        assert!(!res.converged);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let coo = symspmv_sparse::gen::laplacian_2d(5, 5);
+        let mut k = CsrParallel::from_coo(&coo, 1);
+        let b = vec![0.0; 25];
+        let mut x = vec![0.0; 25];
+        let res = cg(&mut k, &b, &mut x, &CgConfig::default());
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn times_partitioned_by_phase() {
+        let coo = symspmv_sparse::gen::banded_random(600, 10, 6.0, 2);
+        let mut k =
+            SymSpmv::from_coo(&coo, 2, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let b = seeded_vector(600, 1);
+        let mut x = vec![0.0; 600];
+        let res = cg(&mut k, &b, &mut x, &CgConfig { max_iters: 64, rel_tol: 0.0, record_history: false });
+        assert!(res.times.multiply > std::time::Duration::ZERO);
+        assert!(res.times.vector_ops > std::time::Duration::ZERO);
+    }
+}

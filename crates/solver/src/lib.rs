@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Iterative solver layer: the non-preconditioned Conjugate Gradient method
+//! of §II-C / Alg. 1, used by the paper's end-to-end evaluation (§V-F,
+//! Fig. 14).
+//!
+//! The solver is generic over the kernel interface
+//! [`symspmv_core::ParallelSpmv`], so CSR, CSX, SSS (any reduction method)
+//! and CSX-Sym all plug in unchanged, and it keeps the same per-phase
+//! breakdown the paper charts: SpMV multiply, SpMV reduction, vector
+//! operations, and format preprocessing.
+
+pub mod cg;
+pub mod pcg;
+pub mod vecops;
+
+pub use cg::{cg, CgConfig, CgResult};
+pub use pcg::{diagonal_of, pcg_jacobi};

@@ -1,0 +1,296 @@
+//! Blocked Compressed Sparse Row (BCSR) — the register-blocking baseline
+//! of the paper's related work (Im & Yelick's SPARSITY, the OSKI lineage).
+//!
+//! The matrix is tiled with aligned `br × bc` blocks; every block that
+//! contains at least one non-zero is stored *densely* (explicit zero
+//! fill), so the column index cost is paid once per block instead of once
+//! per element. Whether the fill-in pays for the saved indices depends on
+//! the matrix — [`choose_block_size`] estimates the best dimensions the
+//! way auto-tuners do, from the fill ratio.
+
+use crate::coo::CooMatrix;
+use crate::{Idx, Val};
+use std::collections::HashMap;
+
+/// Entries of one block during assembly: (local row, local col, value).
+type BlockEntries = Vec<(u32, u32, Val)>;
+
+/// A sparse matrix in BCSR format with `br × bc` dense blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcsrMatrix {
+    nrows: Idx,
+    ncols: Idx,
+    br: u32,
+    bc: u32,
+    /// Block-row pointers (`nrows.div_ceil(br) + 1` entries).
+    browptr: Vec<Idx>,
+    /// Block-column indices (per stored block).
+    bcolind: Vec<Idx>,
+    /// Dense block payloads, row-major within each block.
+    values: Vec<Val>,
+    /// True non-zeros (pre-fill), for flop accounting.
+    true_nnz: usize,
+}
+
+impl BcsrMatrix {
+    /// Builds a BCSR matrix with the given block dimensions.
+    pub fn from_coo(coo: &CooMatrix, br: u32, bc: u32) -> Self {
+        assert!(br >= 1 && bc >= 1, "block dimensions must be positive");
+        let mut c = coo.clone();
+        c.canonicalize();
+        let nrows = c.nrows();
+        let ncols = c.ncols();
+        let nbrows = nrows.div_ceil(br).max(1);
+
+        // Group entries by (block row, block col).
+        let mut blocks: HashMap<(Idx, Idx), BlockEntries> = HashMap::new();
+        for (r, col, v) in c.iter() {
+            blocks
+                .entry((r / br, col / bc))
+                .or_default()
+                .push((r % br, col % bc, v));
+        }
+        let mut keys: Vec<(Idx, Idx)> = blocks.keys().copied().collect();
+        keys.sort_unstable();
+
+        let bsize = (br * bc) as usize;
+        let mut browptr = vec![0 as Idx; nbrows as usize + 1];
+        let mut bcolind = Vec::with_capacity(keys.len());
+        let mut values = Vec::with_capacity(keys.len() * bsize);
+        for &(bi, bj) in &keys {
+            browptr[bi as usize + 1] += 1;
+            bcolind.push(bj);
+            let mut dense = vec![0.0; bsize];
+            for &(lr, lc, v) in &blocks[&(bi, bj)] {
+                dense[(lr * bc + lc) as usize] += v;
+            }
+            values.extend(dense);
+        }
+        for i in 0..nbrows as usize {
+            browptr[i + 1] += browptr[i];
+        }
+        BcsrMatrix { nrows, ncols, br, bc, browptr, bcolind, values, true_nnz: c.nnz() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> Idx {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> Idx {
+        self.ncols
+    }
+
+    /// Block dimensions `(br, bc)`.
+    pub fn block_dims(&self) -> (u32, u32) {
+        (self.br, self.bc)
+    }
+
+    /// Stored blocks.
+    pub fn nblocks(&self) -> usize {
+        self.bcolind.len()
+    }
+
+    /// True non-zeros (before fill-in).
+    pub fn true_nnz(&self) -> usize {
+        self.true_nnz
+    }
+
+    /// Stored elements including explicit zero fill.
+    pub fn stored_elements(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill ratio: stored elements / true non-zeros (≥ 1).
+    pub fn fill_ratio(&self) -> f64 {
+        self.stored_elements() as f64 / self.true_nnz.max(1) as f64
+    }
+
+    /// Size in bytes: dense payloads + 4-byte block columns + block rowptr.
+    pub fn size_bytes(&self) -> usize {
+        8 * self.values.len() + 4 * self.bcolind.len() + 4 * (self.browptr.len())
+    }
+
+    /// Block-row weights (stored elements per block row) for partitioning.
+    pub fn blockrow_weights(&self) -> Vec<u64> {
+        let bsize = (self.br * self.bc) as u64;
+        self.browptr.windows(2).map(|w| (w[1] - w[0]) as u64 * bsize + 1).collect()
+    }
+
+    /// SpMV over block rows `[bstart, bend)`, writing the corresponding
+    /// rows of `y` (absolute indexing).
+    pub fn spmv_blockrows(&self, bstart: Idx, bend: Idx, x: &[Val], y: &mut [Val]) {
+        let (br, bc) = (self.br as usize, self.bc as usize);
+        for bi in bstart..bend {
+            let row0 = bi as usize * br;
+            let rows_here = br.min(self.nrows as usize - row0);
+            let mut acc = [0.0; 8];
+            debug_assert!(br <= 8, "register-block rows kept small by choose_block_size");
+            let acc = &mut acc[..rows_here.max(1)];
+            for a in acc.iter_mut() {
+                *a = 0.0;
+            }
+            let lo = self.browptr[bi as usize] as usize;
+            let hi = self.browptr[bi as usize + 1] as usize;
+            for k in lo..hi {
+                let col0 = self.bcolind[k] as usize * bc;
+                let block = &self.values[k * br * bc..(k + 1) * br * bc];
+                let cols_here = bc.min(self.ncols as usize - col0);
+                for (lr, a) in acc.iter_mut().enumerate().take(rows_here) {
+                    let brow = &block[lr * bc..lr * bc + cols_here];
+                    let xs = &x[col0..col0 + cols_here];
+                    let mut s = 0.0;
+                    for (&v, &xv) in brow.iter().zip(xs) {
+                        s += v * xv;
+                    }
+                    *a += s;
+                }
+            }
+            for (lr, &a) in acc.iter().enumerate().take(rows_here) {
+                y[row0 + lr] = a;
+            }
+        }
+    }
+
+    /// Serial SpMV: `y = A·x`.
+    pub fn spmv(&self, x: &[Val], y: &mut [Val]) {
+        assert_eq!(x.len(), self.ncols as usize);
+        assert_eq!(y.len(), self.nrows as usize);
+        self.spmv_blockrows(0, self.nrows.div_ceil(self.br), x, y);
+    }
+
+    /// Reconstructs the COO form, dropping fill-in zeros (testing).
+    pub fn to_coo(&self) -> CooMatrix {
+        let (br, bc) = (self.br, self.bc);
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.true_nnz);
+        for bi in 0..(self.browptr.len() - 1) as Idx {
+            let lo = self.browptr[bi as usize] as usize;
+            let hi = self.browptr[bi as usize + 1] as usize;
+            for k in lo..hi {
+                let bj = self.bcolind[k];
+                let block = &self.values[k * (br * bc) as usize..(k + 1) * (br * bc) as usize];
+                for lr in 0..br {
+                    for lc in 0..bc {
+                        let v = block[(lr * bc + lc) as usize];
+                        let (r, c) = (bi * br + lr, bj * bc + lc);
+                        if v != 0.0 && r < self.nrows && c < self.ncols {
+                            coo.push(r, c, v);
+                        }
+                    }
+                }
+            }
+        }
+        coo.canonicalize();
+        coo
+    }
+}
+
+/// Auto-tunes the block dimensions the way SPARSITY/OSKI do: estimate the
+/// fill ratio of each candidate on a row sample and pick the dimensions
+/// minimizing estimated bytes (payload + block indices).
+pub fn choose_block_size(coo: &CooMatrix, candidates: &[(u32, u32)]) -> (u32, u32) {
+    let mut c = coo.clone();
+    c.canonicalize();
+    let mut best = (1, 1);
+    let mut best_cost = f64::INFINITY;
+    for &(br, bc) in candidates {
+        // Count distinct blocks (exact; the sample optimization is not
+        // needed at our scales).
+        let mut blocks = std::collections::HashSet::new();
+        for (r, col, _) in c.iter() {
+            blocks.insert(((r / br) as u64) << 32 | (col / bc) as u64);
+        }
+        let stored = blocks.len() as f64 * (br * bc) as f64;
+        let cost = 8.0 * stored + 4.0 * blocks.len() as f64;
+        if cost < best_cost {
+            best_cost = cost;
+            best = (br, bc);
+        }
+    }
+    best
+}
+
+/// The candidate set auto-tuners conventionally search.
+pub const BLOCK_CANDIDATES: [(u32, u32); 7] =
+    [(1, 1), (2, 2), (3, 3), (4, 4), (2, 1), (1, 2), (6, 6)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{assert_vec_close, seeded_vector};
+
+    #[test]
+    fn round_trip_drops_fill() {
+        let coo = crate::gen::block_structural(20, 3, 4.0, 6, 3);
+        let mut canon = coo.clone();
+        canon.canonicalize();
+        for (br, bc) in [(1, 1), (2, 2), (3, 3), (4, 2)] {
+            let b = BcsrMatrix::from_coo(&coo, br, bc);
+            assert_eq!(b.to_coo(), canon, "block {br}x{bc}");
+            assert_eq!(b.true_nnz(), canon.nnz());
+            assert!(b.fill_ratio() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let coo = crate::gen::banded_random(250, 14, 8.0, 6);
+        let x = seeded_vector(250, 4);
+        let mut y_ref = vec![0.0; 250];
+        coo.spmv_reference(&x, &mut y_ref);
+        for (br, bc) in [(1, 1), (2, 2), (3, 3), (2, 4)] {
+            let b = BcsrMatrix::from_coo(&coo, br, bc);
+            let mut y = vec![f64::NAN; 250];
+            b.spmv(&x, &mut y);
+            assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_by_three_blocks_have_unit_fill_on_block_matrix() {
+        // A 3-dof structural matrix tiles perfectly with aligned 3x3 blocks.
+        let coo = crate::gen::block_structural(30, 3, 6.0, 8, 1);
+        let b = BcsrMatrix::from_coo(&coo, 3, 3);
+        assert!(
+            b.fill_ratio() < 1.35,
+            "block matrix should have low fill: {}",
+            b.fill_ratio()
+        );
+        // 1x1 BCSR degenerates to CSR-equivalent storage.
+        let b1 = BcsrMatrix::from_coo(&coo, 1, 1);
+        assert_eq!(b1.stored_elements(), b1.true_nnz());
+    }
+
+    #[test]
+    fn auto_tuner_prefers_3x3_on_3dof_matrix() {
+        let coo = crate::gen::block_structural(40, 3, 8.0, 10, 2);
+        let (br, bc) = choose_block_size(&coo, &BLOCK_CANDIDATES);
+        assert_eq!((br, bc), (3, 3), "expected 3x3 for a 3-dof FEM matrix");
+    }
+
+    #[test]
+    fn auto_tuner_prefers_1x1_on_scattered_matrix() {
+        let coo = crate::gen::mixed_bandwidth(300, 5.0, 0.3, 8, 3);
+        let (br, bc) = choose_block_size(&coo, &BLOCK_CANDIDATES);
+        assert_eq!((br, bc), (1, 1), "scattered matrices should not block");
+    }
+
+    #[test]
+    fn ragged_edges() {
+        // N not divisible by the block size.
+        let mut coo = CooMatrix::new(7, 7);
+        for i in 0..7 {
+            coo.push(i, i, i as Val + 1.0);
+        }
+        coo.push(6, 0, 2.0);
+        let b = BcsrMatrix::from_coo(&coo, 3, 3);
+        let x = seeded_vector(7, 1);
+        let mut y = vec![0.0; 7];
+        let mut y_ref = vec![0.0; 7];
+        b.spmv(&x, &mut y);
+        coo.canonicalize();
+        coo.spmv_reference(&x, &mut y_ref);
+        assert_vec_close(&y, &y_ref, 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Binary serialization of COO matrices, used to cache generated suite
+//! matrices between experiment invocations.
+//!
+//! Hand-rolled little-endian format (no serialization dependency):
+//!
+//! ```text
+//! magic   8 bytes  "SYMSPMV1"
+//! nrows   u32      ncols u32      nnz u64
+//! rows    nnz × u32
+//! cols    nnz × u32
+//! vals    nnz × f64 (bit pattern)
+//! ```
+//!
+//! The format is an internal cache, not an interchange format — use
+//! MatrixMarket ([`crate::mm`]) to exchange matrices with other tools.
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::{Idx, Val};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SYMSPMV1";
+
+/// Writes a matrix in the binary cache format.
+pub fn write_binary<W: Write>(w: &mut W, coo: &CooMatrix) -> Result<(), SparseError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&coo.nrows().to_le_bytes())?;
+    w.write_all(&coo.ncols().to_le_bytes())?;
+    w.write_all(&(coo.nnz() as u64).to_le_bytes())?;
+    for &r in coo.row_indices() {
+        w.write_all(&r.to_le_bytes())?;
+    }
+    for &c in coo.col_indices() {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    for &v in coo.values() {
+        w.write_all(&v.to_bits().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a matrix from the binary cache format.
+pub fn read_binary<R: Read>(r: &mut R) -> Result<CooMatrix, SparseError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SparseError::Parse { line: 0, msg: "bad cache magic".into() });
+    }
+    let mut b4 = [0u8; 4];
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b4)?;
+    let nrows = Idx::from_le_bytes(b4);
+    r.read_exact(&mut b4)?;
+    let ncols = Idx::from_le_bytes(b4);
+    r.read_exact(&mut b8)?;
+    let nnz = u64::from_le_bytes(b8) as usize;
+
+    // Guard against absurd header values before allocating.
+    if nnz > (1usize << 33) {
+        return Err(SparseError::Parse { line: 0, msg: format!("implausible nnz {nnz}") });
+    }
+    let mut read_u32s = |n: usize| -> Result<Vec<Idx>, SparseError> {
+        let mut buf = vec![0u8; n * 4];
+        r.read_exact(&mut buf)?;
+        Ok(buf.chunks_exact(4).map(|c| Idx::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    };
+    let rows = read_u32s(nnz)?;
+    let cols = read_u32s(nnz)?;
+    let mut buf = vec![0u8; nnz * 8];
+    r.read_exact(&mut buf)?;
+    let vals: Vec<Val> = buf
+        .chunks_exact(8)
+        .map(|c| {
+            Val::from_bits(u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        })
+        .collect();
+    CooMatrix::from_triplets(nrows, ncols, rows, cols, vals)
+}
+
+/// Loads `path` if it exists, otherwise generates the matrix with `gen`,
+/// stores it, and returns it. I/O failures fall back to generation (a cache
+/// must never break the caller).
+pub fn load_or_generate<P: AsRef<Path>>(
+    path: P,
+    generate: impl FnOnce() -> CooMatrix,
+) -> CooMatrix {
+    let path = path.as_ref();
+    if let Ok(mut f) = std::fs::File::open(path) {
+        if let Ok(coo) = read_binary(&mut f) {
+            return coo;
+        }
+    }
+    let coo = generate();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(mut f) = std::fs::File::create(path) {
+        if write_binary(&mut f, &coo).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact() {
+        let coo = crate::gen::banded_random(300, 12, 7.0, 9);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &coo).unwrap();
+        let back = read_binary(&mut &buf[..]).unwrap();
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn bit_exact_values_survive() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, f64::MIN_POSITIVE);
+        coo.push(1, 1, -0.0);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &coo).unwrap();
+        let back = read_binary(&mut &buf[..]).unwrap();
+        assert_eq!(back.values()[0], f64::MIN_POSITIVE);
+        assert!(back.values()[1].to_bits() == (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTMAGIC".to_vec();
+        assert!(read_binary(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let coo = crate::gen::laplacian_2d(5, 5);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &coo).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn load_or_generate_caches() {
+        let dir = std::env::temp_dir().join("symspmv_cache_test");
+        let path = dir.join("m.bin");
+        let _ = std::fs::remove_file(&path);
+        let mut calls = 0;
+        let a = load_or_generate(&path, || {
+            calls += 1;
+            crate::gen::laplacian_2d(6, 6)
+        });
+        assert_eq!(calls, 1);
+        let b = load_or_generate(&path, || {
+            calls += 1;
+            crate::gen::laplacian_2d(6, 6)
+        });
+        assert_eq!(calls, 1, "second load must come from the cache");
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, converting or parsing sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index lies outside the declared dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: u32,
+        /// Column index of the offending entry.
+        col: u32,
+        /// Declared number of rows.
+        nrows: u32,
+        /// Declared number of columns.
+        ncols: u32,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Number of rows.
+        nrows: u32,
+        /// Number of columns.
+        ncols: u32,
+    },
+    /// The operation requires a (numerically) symmetric matrix.
+    NotSymmetric {
+        /// Row of the first asymmetric entry found.
+        row: u32,
+        /// Column of the first asymmetric entry found.
+        col: u32,
+    },
+    /// A MatrixMarket stream could not be parsed.
+    Parse {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// An I/O error occurred while reading or writing a matrix file.
+    Io(String),
+    /// A permutation vector is not a bijection on `0..n`.
+    InvalidPermutation {
+        /// Description of the violation.
+        msg: String,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for a {nrows}x{ncols} matrix"
+            ),
+            SparseError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
+            }
+            SparseError::NotSymmetric { row, col } => {
+                write!(f, "matrix is not symmetric: entry ({row}, {col}) has no symmetric match")
+            }
+            SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            SparseError::Io(msg) => write!(f, "I/O error: {msg}"),
+            SparseError::InvalidPermutation { msg } => write!(f, "invalid permutation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}

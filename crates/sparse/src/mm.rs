@@ -1,0 +1,302 @@
+//! MatrixMarket coordinate-format I/O.
+//!
+//! Supports the subset needed for the paper's matrix suite: `matrix
+//! coordinate` files with `real`, `integer` or `pattern` fields and
+//! `general` or `symmetric` symmetry. Symmetric files are expanded to the
+//! full matrix on load (the storage formats re-extract the lower triangle
+//! themselves).
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::Idx;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Field type of a MatrixMarket file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmField {
+    /// Real-valued entries.
+    Real,
+    /// Integer-valued entries (parsed as f64).
+    Integer,
+    /// Pattern-only entries (values set to 1.0).
+    Pattern,
+}
+
+/// Symmetry declaration of a MatrixMarket file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    /// All entries stored explicitly.
+    General,
+    /// Only the lower triangle stored; mirrored on load.
+    Symmetric,
+}
+
+/// Parsed MatrixMarket header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmHeader {
+    /// Field type (real/integer/pattern).
+    pub field: MmField,
+    /// Symmetry (general/symmetric).
+    pub symmetry: MmSymmetry,
+}
+
+/// Reads a MatrixMarket matrix from any reader.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), SparseError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines().enumerate();
+
+    // Header line.
+    let (lineno, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break (i + 1, line);
+                }
+            }
+            None => {
+                return Err(SparseError::Parse { line: 1, msg: "empty file".into() });
+            }
+        }
+    };
+    let toks: Vec<&str> = header.split_whitespace().collect();
+    if toks.len() < 5 || !toks[0].eq_ignore_ascii_case("%%MatrixMarket") {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: format!("bad MatrixMarket banner: {header:?}"),
+        });
+    }
+    if !toks[1].eq_ignore_ascii_case("matrix") || !toks[2].eq_ignore_ascii_case("coordinate") {
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: "only `matrix coordinate` files are supported".into(),
+        });
+    }
+    let field = match toks[3].to_ascii_lowercase().as_str() {
+        "real" => MmField::Real,
+        "integer" => MmField::Integer,
+        "pattern" => MmField::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported field type {other:?}"),
+            })
+        }
+    };
+    let symmetry = match toks[4].to_ascii_lowercase().as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("unsupported symmetry {other:?}"),
+            })
+        }
+    };
+
+    // Size line (skipping comments).
+    let (size_lineno, size_line) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let t = line.trim();
+                if !t.is_empty() && !t.starts_with('%') {
+                    break (i + 1, line);
+                }
+            }
+            None => {
+                return Err(SparseError::Parse { line: lineno, msg: "missing size line".into() })
+            }
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: size_lineno,
+            msg: format!("size line must have 3 fields, got {:?}", dims.len()),
+        });
+    }
+    let parse_dim = |s: &str, what: &str| -> Result<u64, SparseError> {
+        s.parse::<u64>().map_err(|_| SparseError::Parse {
+            line: size_lineno,
+            msg: format!("bad {what}: {s:?}"),
+        })
+    };
+    let nrows = parse_dim(dims[0], "row count")? as Idx;
+    let ncols = parse_dim(dims[1], "column count")? as Idx;
+    let nnz = parse_dim(dims[2], "nnz count")? as usize;
+
+    let expansion = if symmetry == MmSymmetry::Symmetric { 2 } else { 1 };
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * expansion);
+    let mut seen = 0usize;
+    for (i, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let lineno = i + 1;
+        let r: Idx = it
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&r| r >= 1)
+            .ok_or_else(|| SparseError::Parse { line: lineno, msg: "bad row index".into() })?
+            as Idx
+            - 1;
+        let c: Idx = it
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&c| c >= 1)
+            .ok_or_else(|| SparseError::Parse { line: lineno, msg: "bad column index".into() })?
+            as Idx
+            - 1;
+        let v = match field {
+            MmField::Pattern => 1.0,
+            _ => it
+                .next()
+                .and_then(|s| s.parse::<f64>().ok())
+                .ok_or_else(|| SparseError::Parse { line: lineno, msg: "bad value".into() })?,
+        };
+        if r >= nrows || c >= ncols {
+            return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+        }
+        coo.push(r, c, v);
+        if symmetry == MmSymmetry::Symmetric && r != c {
+            coo.push(c, r, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse {
+            line: size_lineno,
+            msg: format!("declared {nnz} entries but found {seen}"),
+        });
+    }
+    coo.canonicalize();
+    Ok((coo, MmHeader { field, symmetry }))
+}
+
+/// Reads a MatrixMarket matrix from a file path.
+pub fn read_matrix_market_file<P: AsRef<Path>>(
+    path: P,
+) -> Result<(CooMatrix, MmHeader), SparseError> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Writes a matrix in MatrixMarket coordinate format.
+///
+/// When `symmetric` is set, only the lower triangle (incl. diagonal) is
+/// emitted and the header declares `symmetric`; the caller is responsible
+/// for the matrix actually being symmetric.
+pub fn write_matrix_market<W: Write>(
+    w: &mut W,
+    coo: &CooMatrix,
+    symmetric: bool,
+) -> Result<(), SparseError> {
+    let sym = if symmetric { "symmetric" } else { "general" };
+    writeln!(w, "%%MatrixMarket matrix coordinate real {sym}")?;
+    let entries: Vec<(Idx, Idx, f64)> = coo
+        .iter()
+        .filter(|&(r, c, _)| !symmetric || c <= r)
+        .collect();
+    writeln!(w, "{} {} {}", coo.nrows(), coo.ncols(), entries.len())?;
+    for (r, c, v) in entries {
+        writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 2\n\
+                    1 1 1.5\n\
+                    3 2 -2.0\n";
+        let (coo, hdr) = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(hdr.field, MmField::Real);
+        assert_eq!(hdr.symmetry, MmSymmetry::General);
+        assert_eq!(coo.nnz(), 2);
+        assert_eq!(coo.find(0, 0), Some(1.5));
+        assert_eq!(coo.find(2, 1), Some(-2.0));
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 4.0\n\
+                    2 1 1.0\n";
+        let (coo, _) = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(coo.nnz(), 3);
+        assert_eq!(coo.find(0, 1), Some(1.0));
+        assert_eq!(coo.find(1, 0), Some(1.0));
+        assert!(coo.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 1\n\
+                    2 2\n";
+        let (coo, hdr) = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(hdr.field, MmField::Pattern);
+        assert_eq!(coo.find(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn nnz_mismatch_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_banner_rejected() {
+        let text = "%%NotMatrixMarket nope\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn zero_based_indices_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip_symmetric() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 0, -1.0);
+        coo.push(0, 1, -1.0);
+        coo.push(2, 2, 5.0);
+        coo.canonicalize();
+
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &coo, true).unwrap();
+        let (back, hdr) = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(hdr.symmetry, MmSymmetry::Symmetric);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn write_read_round_trip_general() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 1.25);
+        coo.push(1, 0, -7.5);
+        coo.canonicalize();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &coo, false).unwrap();
+        let (back, _) = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back, coo);
+    }
+}

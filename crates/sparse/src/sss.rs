@@ -1,0 +1,294 @@
+//! Symmetric Sparse Skyline — the symmetric baseline format (§II-B).
+//!
+//! SSS stores the main diagonal densely in `dvalues` and the strict lower
+//! triangle in CSR layout. Its size model is Eq. 2 of the paper:
+//! `S_SSS = 6·(NNZ + N) + 4` bytes, where `NNZ` counts the non-zeros of the
+//! *full* matrix.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::SparseError;
+use crate::{Idx, Val};
+
+/// A symmetric sparse matrix in SSS format (diagonal + strict lower CSR).
+///
+/// ```
+/// use symspmv_sparse::{CooMatrix, SssMatrix};
+/// let mut a = CooMatrix::new(2, 2);
+/// a.push(0, 0, 4.0);
+/// a.push(1, 1, 3.0);
+/// a.push(1, 0, 1.0);
+/// a.push(0, 1, 1.0);
+/// let sss = SssMatrix::from_coo(&a, 0.0).unwrap();
+/// assert_eq!(sss.lower_nnz(), 1); // only the strict lower triangle stored
+/// let mut y = vec![0.0; 2];
+/// sss.spmv(&[1.0, 2.0], &mut y); // Alg. 2 of the paper
+/// assert_eq!(y, vec![6.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SssMatrix {
+    n: Idx,
+    dvalues: Vec<Val>,
+    rowptr: Vec<Idx>,
+    colind: Vec<Idx>,
+    values: Vec<Val>,
+}
+
+impl SssMatrix {
+    /// Builds an SSS matrix from a full symmetric COO matrix.
+    ///
+    /// The input must be square and numerically symmetric (checked with
+    /// absolute tolerance `tol`; pass `0.0` for exact symmetry).
+    pub fn from_coo(coo: &CooMatrix, tol: Val) -> Result<Self, SparseError> {
+        let mut c = coo.clone();
+        c.canonicalize();
+        if c.nrows() != c.ncols() {
+            return Err(SparseError::NotSquare { nrows: c.nrows(), ncols: c.ncols() });
+        }
+        if !c.is_symmetric(tol) {
+            // Locate the first offending entry for the error message.
+            for (r, col, v) in c.iter() {
+                if r != col {
+                    let m = c.find(col, r);
+                    if m.is_none() || (m.unwrap() - v).abs() > tol {
+                        return Err(SparseError::NotSymmetric { row: r, col });
+                    }
+                }
+            }
+            unreachable!("is_symmetric and scan disagree");
+        }
+        let (lower, dvalues) = c.split_lower_diag()?;
+        let lower_csr = CsrMatrix::from_coo(&lower);
+        Ok(SssMatrix {
+            n: c.nrows(),
+            dvalues,
+            rowptr: lower_csr.rowptr().to_vec(),
+            colind: lower_csr.colind().to_vec(),
+            values: lower_csr.values().to_vec(),
+        })
+    }
+
+    /// Builds an SSS matrix from triplets describing only the lower triangle
+    /// (diagonal entries included among them), *trusting* symmetry.
+    pub fn from_lower_coo(lower_with_diag: &CooMatrix) -> Result<Self, SparseError> {
+        let mut c = lower_with_diag.clone();
+        c.canonicalize();
+        if c.nrows() != c.ncols() {
+            return Err(SparseError::NotSquare { nrows: c.nrows(), ncols: c.ncols() });
+        }
+        let (lower, dvalues) = c.split_lower_diag()?;
+        let lower_csr = CsrMatrix::from_coo(&lower);
+        Ok(SssMatrix {
+            n: c.nrows(),
+            dvalues,
+            rowptr: lower_csr.rowptr().to_vec(),
+            colind: lower_csr.colind().to_vec(),
+            values: lower_csr.values().to_vec(),
+        })
+    }
+
+    /// Matrix dimension `N`.
+    pub fn n(&self) -> Idx {
+        self.n
+    }
+
+    /// Dense diagonal array (`N` entries, zero where structurally absent).
+    pub fn dvalues(&self) -> &[Val] {
+        &self.dvalues
+    }
+
+    /// Row pointers of the strict lower triangle.
+    pub fn rowptr(&self) -> &[Idx] {
+        &self.rowptr
+    }
+
+    /// Column indices of the strict lower triangle.
+    pub fn colind(&self) -> &[Idx] {
+        &self.colind
+    }
+
+    /// Values of the strict lower triangle.
+    pub fn values(&self) -> &[Val] {
+        &self.values
+    }
+
+    /// Non-zeros stored (strict lower triangle only).
+    pub fn lower_nnz(&self) -> usize {
+        self.colind.len()
+    }
+
+    /// Non-zeros of the represented full matrix, counting the structural
+    /// diagonal entries.
+    pub fn full_nnz(&self) -> usize {
+        let diag_nnz = self.dvalues.iter().filter(|&&d| d != 0.0).count();
+        2 * self.lower_nnz() + diag_nnz
+    }
+
+    /// Size of the representation in bytes — Eq. 2 of the paper:
+    /// `S_SSS = 6·(NNZ + N) + 4`, with `NNZ` the full-matrix non-zero count.
+    ///
+    /// (Derivation: values+colind store `(NNZ − N)/2` entries at 12 bytes
+    /// each, dvalues stores `N` doubles, rowptr `N + 1` four-byte indices.)
+    pub fn size_bytes(&self) -> usize {
+        12 * self.lower_nnz() + 8 * self.n as usize + 4 * (self.n as usize + 1)
+    }
+
+    /// The strict-lower-triangle row `r` (columns and values).
+    pub fn row(&self, r: Idx) -> (&[Idx], &[Val]) {
+        let lo = self.rowptr[r as usize] as usize;
+        let hi = self.rowptr[r as usize + 1] as usize;
+        (&self.colind[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Serial symmetric SpMV (`y = A·x`) — Alg. 2 of the paper.
+    pub fn spmv(&self, x: &[Val], y: &mut [Val]) {
+        let n = self.n as usize;
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        for r in 0..n {
+            y[r] = self.dvalues[r] * x[r];
+        }
+        for r in 0..self.n {
+            let lo = self.rowptr[r as usize] as usize;
+            let hi = self.rowptr[r as usize + 1] as usize;
+            let xr = x[r as usize];
+            let mut acc = 0.0;
+            for j in lo..hi {
+                let c = self.colind[j] as usize;
+                let v = self.values[j];
+                acc += v * x[c];
+                y[c] += v * xr;
+            }
+            y[r as usize] += acc;
+        }
+    }
+
+    /// Reconstructs the full symmetric matrix as COO (for testing and
+    /// cross-format conversions).
+    pub fn to_full_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.n, self.n, self.full_nnz());
+        for (i, &d) in self.dvalues.iter().enumerate() {
+            if d != 0.0 {
+                coo.push(i as Idx, i as Idx, d);
+            }
+        }
+        for r in 0..self.n {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                coo.push(r, c, v);
+                coo.push(c, r, v);
+            }
+        }
+        coo.canonicalize();
+        coo
+    }
+
+    /// Converts to an equivalent full CSR matrix (the unsymmetric baseline
+    /// representation of the same operator).
+    pub fn to_full_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_coo(&self.to_full_coo())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym_coo() -> CooMatrix {
+        // [[4, 1, 0, 0],
+        //  [1, 5, 2, 0],
+        //  [0, 2, 6, 3],
+        //  [0, 0, 3, 7]]
+        let mut m = CooMatrix::new(4, 4);
+        for (r, c, v) in
+            [(0, 0, 4.0), (1, 1, 5.0), (2, 2, 6.0), (3, 3, 7.0), (0, 1, 1.0), (1, 0, 1.0),
+             (1, 2, 2.0), (2, 1, 2.0), (2, 3, 3.0), (3, 2, 3.0)]
+        {
+            m.push(r, c, v);
+        }
+        m
+    }
+
+    #[test]
+    fn construction_from_symmetric() {
+        let sss = SssMatrix::from_coo(&sym_coo(), 0.0).unwrap();
+        assert_eq!(sss.n(), 4);
+        assert_eq!(sss.dvalues(), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(sss.lower_nnz(), 3);
+        assert_eq!(sss.full_nnz(), 10);
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let mut m = sym_coo();
+        m.push(0, 3, 9.0);
+        let res = SssMatrix::from_coo(&m, 0.0);
+        assert!(matches!(res, Err(SparseError::NotSymmetric { .. })));
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let coo = sym_coo();
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let mut y = vec![0.0; 4];
+        let mut y_ref = vec![0.0; 4];
+        sss.spmv(&x, &mut y);
+        let mut c = coo.clone();
+        c.canonicalize();
+        c.spmv_reference(&x, &mut y_ref);
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-12, "{y:?} vs {y_ref:?}");
+        }
+    }
+
+    #[test]
+    fn full_round_trip() {
+        let mut coo = sym_coo();
+        coo.canonicalize();
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        assert_eq!(sss.to_full_coo(), coo);
+    }
+
+    #[test]
+    fn size_model_eq2() {
+        let sss = SssMatrix::from_coo(&sym_coo(), 0.0).unwrap();
+        // 12*3 + 8*4 + 4*5 = 36 + 32 + 20 = 88
+        assert_eq!(sss.size_bytes(), 88);
+        // And Eq. 2's asymptotic claim: roughly half of CSR for NNZ >> N.
+        let csr = sss.to_full_csr();
+        assert!(sss.size_bytes() < csr.size_bytes());
+    }
+
+    #[test]
+    fn missing_diagonal_entries_stored_as_zero() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(1, 0, 2.0);
+        m.push(0, 1, 2.0);
+        let sss = SssMatrix::from_coo(&m, 0.0).unwrap();
+        assert_eq!(sss.dvalues(), &[0.0, 0.0, 0.0]);
+        let x = vec![1.0, 1.0, 1.0];
+        let mut y = vec![0.0; 3];
+        sss.spmv(&x, &mut y);
+        assert_eq!(y, vec![2.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn from_lower_coo_matches_from_coo() {
+        let full = sym_coo();
+        let a = SssMatrix::from_coo(&full, 0.0).unwrap();
+        let (lower, diag) = {
+            let mut c = full.clone();
+            c.canonicalize();
+            c.split_lower_diag().unwrap()
+        };
+        let mut lower_with_diag = lower;
+        for (i, &d) in diag.iter().enumerate() {
+            if d != 0.0 {
+                lower_with_diag.push(i as Idx, i as Idx, d);
+            }
+        }
+        let b = SssMatrix::from_lower_coo(&lower_with_diag).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,109 @@
+//! Structural statistics: bandwidth, row profiles, densities.
+//!
+//! These feed Table I (matrix characteristics), Fig. 4 (density of the
+//! effective regions) and the §V-D discussion of high-bandwidth matrices.
+
+use crate::coo::CooMatrix;
+use crate::Idx;
+
+/// Summary statistics of a sparse matrix's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixStats {
+    /// Matrix dimension (rows).
+    pub nrows: Idx,
+    /// Non-zero count.
+    pub nnz: usize,
+    /// Maximum `|r - c|` over all entries (the matrix bandwidth).
+    pub bandwidth: Idx,
+    /// Mean `|r - c|` over off-diagonal entries.
+    pub avg_entry_distance: f64,
+    /// Mean non-zeros per row.
+    pub avg_row_nnz: f64,
+    /// Maximum non-zeros in any row.
+    pub max_row_nnz: usize,
+    /// Minimum non-zeros in any row.
+    pub min_row_nnz: usize,
+    /// nnz / (nrows·ncols).
+    pub fill: f64,
+}
+
+/// Computes [`MatrixStats`] for a COO matrix.
+pub fn matrix_stats(coo: &CooMatrix) -> MatrixStats {
+    let nrows = coo.nrows();
+    let nnz = coo.nnz();
+    let mut bandwidth = 0;
+    let mut dist_sum = 0.0f64;
+    let mut offdiag = 0usize;
+    let mut row_nnz = vec![0usize; nrows as usize];
+    for (r, c, _) in coo.iter() {
+        let d = r.abs_diff(c);
+        bandwidth = bandwidth.max(d);
+        if d > 0 {
+            dist_sum += d as f64;
+            offdiag += 1;
+        }
+        row_nnz[r as usize] += 1;
+    }
+    let (min_row, max_row) = row_nnz
+        .iter()
+        .fold((usize::MAX, 0usize), |(mn, mx), &k| (mn.min(k), mx.max(k)));
+    MatrixStats {
+        nrows,
+        nnz,
+        bandwidth,
+        avg_entry_distance: if offdiag > 0 { dist_sum / offdiag as f64 } else { 0.0 },
+        avg_row_nnz: nnz as f64 / nrows.max(1) as f64,
+        max_row_nnz: max_row,
+        min_row_nnz: if nrows == 0 { 0 } else { min_row },
+        fill: nnz as f64 / (nrows as f64 * coo.ncols() as f64).max(1.0),
+    }
+}
+
+/// Size of the matrix as the paper's Table I "Size (MiB)" column: the CSR
+/// representation `12·NNZ + 4·(N+1)` in MiB.
+pub fn csr_size_mib(nrows: Idx, nnz: usize) -> f64 {
+    (12 * nnz + 4 * (nrows as usize + 1)) as f64 / (1024.0 * 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_small_matrix() {
+        // [[1, 2, 0], [2, 1, 0], [0, 0, 1]] plus a far entry (0,2)/(2,0).
+        let mut coo = CooMatrix::new(3, 3);
+        for (r, c, v) in
+            [(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 1, 2.0), (1, 0, 2.0), (0, 2, 3.0), (2, 0, 3.0)]
+        {
+            coo.push(r, c, v);
+        }
+        coo.canonicalize();
+        let s = matrix_stats(&coo);
+        assert_eq!(s.nrows, 3);
+        assert_eq!(s.nnz, 7);
+        assert_eq!(s.bandwidth, 2);
+        assert_eq!(s.max_row_nnz, 3);
+        assert_eq!(s.min_row_nnz, 2);
+        assert!((s.avg_row_nnz - 7.0 / 3.0).abs() < 1e-12);
+        // Off-diagonal distances: 1,1,2,2 → mean 1.5
+        assert!((s.avg_entry_distance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_size_matches_eq1() {
+        // 12 * 1_000_000 + 4 * (100_001) bytes.
+        let mib = csr_size_mib(100_000, 1_000_000);
+        let expect = (12_000_000u64 + 400_004) as f64 / (1024.0 * 1024.0);
+        assert!((mib - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let coo = CooMatrix::new(0, 0);
+        let s = matrix_stats(&coo);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.bandwidth, 0);
+        assert_eq!(s.min_row_nnz, 0);
+    }
+}

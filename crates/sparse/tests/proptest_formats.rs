@@ -1,0 +1,117 @@
+//! Property tests for the base formats and permutations.
+
+use proptest::prelude::*;
+use symspmv_sparse::dense::DenseMatrix;
+use symspmv_sparse::{mm, CooMatrix, CsrMatrix, Idx, Permutation, SssMatrix};
+
+fn arb_general(max_dim: Idx, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    (1..max_dim, 1..max_dim).prop_flat_map(move |(nr, nc)| {
+        proptest::collection::vec((0..nr, 0..nc, -5.0f64..5.0), 0..max_nnz).prop_map(
+            move |trips| {
+                let mut coo = CooMatrix::new(nr, nc);
+                for (r, c, v) in trips {
+                    coo.push(r, c, v);
+                }
+                coo.canonicalize();
+                coo
+            },
+        )
+    })
+}
+
+fn arb_symmetric(max_dim: Idx, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
+    (2..max_dim).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 0..max_nnz).prop_map(move |trips| {
+            let mut coo = CooMatrix::new(n, n);
+            // Deduplicate positions: duplicate triplets would be summed in
+            // an unspecified order by canonicalize, so the two mirror
+            // images could round differently and break exact symmetry.
+            let mut seen = std::collections::HashSet::new();
+            for (r, c, v) in trips {
+                if c <= r && v != 0.0 && seen.insert((r, c)) {
+                    coo.push(r, c, v);
+                    if c < r {
+                        coo.push(c, r, v);
+                    }
+                }
+            }
+            coo.canonicalize();
+            coo
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(80))]
+
+    #[test]
+    fn csr_spmv_matches_dense(coo in arb_general(40, 200)) {
+        let d = DenseMatrix::from_coo(&coo);
+        let csr = CsrMatrix::from_coo(&coo);
+        let x = symspmv_sparse::dense::seeded_vector(coo.ncols() as usize, 1);
+        let mut y1 = vec![0.0; coo.nrows() as usize];
+        let mut y2 = vec![0.0; coo.nrows() as usize];
+        d.matvec(&x, &mut y1);
+        csr.spmv(&x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sss_round_trip_and_spmv(coo in arb_symmetric(40, 200)) {
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        prop_assert_eq!(sss.to_full_coo(), coo.clone());
+
+        let n = coo.nrows() as usize;
+        let x = symspmv_sparse::dense::seeded_vector(n, 2);
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        coo.spmv_reference(&x, &mut y1);
+        sss.spmv(&x, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matrix_market_round_trip(coo in arb_general(40, 150)) {
+        let mut buf = Vec::new();
+        mm::write_matrix_market(&mut buf, &coo, false).unwrap();
+        let (back, _) = mm::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_round_trip(coo in arb_symmetric(40, 150)) {
+        let mut buf = Vec::new();
+        mm::write_matrix_market(&mut buf, &coo, true).unwrap();
+        let (back, hdr) = mm::read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(hdr.symmetry, mm::MmSymmetry::Symmetric);
+        prop_assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn permutation_inverse_composes(n in 1u32..60, seed in any::<u64>()) {
+        // Fisher-Yates from a seeded stream.
+        let mut map: Vec<Idx> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n as usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            map.swap(i, j);
+        }
+        let p = Permutation::from_map(map).unwrap();
+        prop_assert_eq!(p.then(&p.inverse()), Permutation::identity(n));
+        prop_assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn canonicalize_idempotent(coo in arb_general(40, 200)) {
+        let mut once = coo.clone();
+        once.canonicalize();
+        let mut twice = once.clone();
+        twice.canonicalize();
+        prop_assert_eq!(once, twice);
+    }
+}

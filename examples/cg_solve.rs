@@ -1,0 +1,63 @@
+//! Solve a sparse SPD linear system with the Conjugate Gradient method
+//! (Alg. 1 of the paper), comparing the CSR baseline against the symmetric
+//! kernels — the §V-F scenario.
+//!
+//! ```sh
+//! cargo run --release --example cg_solve [grid_size] [threads]
+//! ```
+
+use symspmv::core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
+use symspmv::core::CsrParallel;
+use symspmv::csx::detect::DetectConfig;
+use symspmv::solver::{cg, CgConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let grid: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(96);
+    let threads: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    // -Δu = f on a grid x grid domain (5-point stencil), a classic SPD
+    // system from the paper's finite-element motivation.
+    let a = symspmv::sparse::gen::laplacian_2d(grid, grid);
+    let n = a.nrows() as usize;
+    let b = symspmv::sparse::dense::seeded_vector(n, 7);
+    println!("system: N = {n}, NNZ = {}, {threads} threads\n", a.nnz());
+
+    let cfg = CgConfig { max_iters: 4 * n, rel_tol: 1e-8, record_history: false };
+
+    let mut kernels: Vec<Box<dyn ParallelSpmv>> = vec![
+        Box::new(CsrParallel::from_coo(&a, threads)),
+        Box::new(SymSpmv::from_coo(&a, threads, ReductionMethod::Naive, SymFormat::Sss).unwrap()),
+        Box::new(SymSpmv::from_coo(&a, threads, ReductionMethod::Indexing, SymFormat::Sss).unwrap()),
+        Box::new(
+            SymSpmv::from_coo(
+                &a,
+                threads,
+                ReductionMethod::Indexing,
+                SymFormat::CsxSym(DetectConfig::default()),
+            )
+            .unwrap(),
+        ),
+    ];
+
+    println!(
+        "{:>12} {:>7} {:>10} {:>11} {:>11} {:>11} {:>11}",
+        "kernel", "iters", "residual", "spmv(ms)", "reduce(ms)", "vecops(ms)", "total(ms)"
+    );
+    for k in &mut kernels {
+        let mut x = vec![0.0; n];
+        let res = cg(&mut **k, &b, &mut x, &cfg);
+        assert!(res.converged, "{} did not converge", k.name());
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "{:>12} {:>7} {:>10.2e} {:>11.1} {:>11.1} {:>11.1} {:>11.1}",
+            k.name(),
+            res.iterations,
+            res.residual_norm,
+            ms(res.times.multiply),
+            ms(res.times.reduce),
+            ms(res.times.vector_ops),
+            ms(res.times.total()),
+        );
+    }
+}

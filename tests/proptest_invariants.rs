@@ -1,0 +1,132 @@
+//! Property-based invariants over the whole stack (proptest).
+
+use proptest::prelude::*;
+use symspmv::core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
+use symspmv::csx::detect::DetectConfig;
+use symspmv::csx::CsxMatrix;
+use symspmv::reorder::rcm::rcm_permutation;
+use symspmv::sparse::{CooMatrix, CsrMatrix, Permutation, SssMatrix};
+
+/// Strategy: a random symmetric SPD matrix given as (n, lower-triplets).
+fn sym_matrix() -> impl Strategy<Value = CooMatrix> {
+    (4u32..60, proptest::collection::vec((0u32..60, 0u32..60, -1.0f64..-0.01), 0..160)).prop_map(
+        |(n, trips)| {
+            let mut lower = CooMatrix::new(n, n);
+            for (r, c, v) in trips {
+                let (r, c) = (r % n, c % n);
+                if c < r {
+                    lower.push(r, c, v);
+                }
+            }
+            lower.canonicalize();
+            symspmv::sparse::gen::spd_from_lower(&lower, 1.0)
+        },
+    )
+}
+
+fn vec_for(n: usize, seed: u64) -> Vec<f64> {
+    symspmv::sparse::dense::seeded_vector(n, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_kernels_agree_with_reference(coo in sym_matrix(), p in 1usize..5) {
+        let n = coo.nrows() as usize;
+        let x = vec_for(n, 11);
+        let mut y_ref = vec![0.0; n];
+        coo.spmv_reference(&x, &mut y_ref);
+
+        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        for method in [ReductionMethod::Naive, ReductionMethod::EffectiveRanges, ReductionMethod::Indexing] {
+            let mut formats = vec![SymFormat::Sss, SymFormat::CsxSym(cfg.clone())];
+            if method != ReductionMethod::Naive {
+                formats.push(SymFormat::Hybrid { csx: cfg.clone(), min_coverage: 0.5 });
+            }
+            for format in formats {
+                let mut k = SymSpmv::from_coo(&coo, p, method, format).unwrap();
+                let mut y = vec![f64::NAN; n];
+                k.spmv(&x, &mut y);
+                for (a, b) in y.iter().zip(&y_ref) {
+                    prop_assert!((a - b).abs() < 1e-10, "{}: {a} vs {b}", k.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_sss_csx_round_trips(coo in sym_matrix()) {
+        let mut canon = coo.clone();
+        canon.canonicalize();
+        // COO -> CSR -> COO
+        prop_assert_eq!(CsrMatrix::from_coo(&coo).to_coo(), canon.clone());
+        // COO -> SSS -> COO
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        prop_assert_eq!(sss.to_full_coo(), canon.clone());
+        // COO -> CSX -> COO
+        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        prop_assert_eq!(CsxMatrix::from_coo(&coo, &cfg).to_coo(), canon);
+    }
+
+    #[test]
+    fn rcm_is_a_bijection_and_preserves_spmv(coo in sym_matrix()) {
+        let n = coo.nrows();
+        let p = rcm_permutation(&coo).unwrap();
+        prop_assert_eq!(p.then(&p.inverse()), Permutation::identity(n));
+
+        let reordered = p.apply_symmetric(&coo).unwrap();
+        let x = vec_for(n as usize, 3);
+        let mut ax = vec![0.0; n as usize];
+        let mut c = coo.clone();
+        c.canonicalize();
+        c.spmv_reference(&x, &mut ax);
+        let px = p.apply_vec(&x);
+        let mut papx = vec![0.0; n as usize];
+        reordered.spmv_reference(&px, &mut papx);
+        let pax = p.apply_vec(&ax);
+        for (a, b) in papx.iter().zip(&pax) {
+            prop_assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn conflict_index_is_exact(coo in sym_matrix(), p in 2usize..6) {
+        // The symbolic index must contain exactly the (vid, idx) pairs the
+        // multiply phase writes to local vectors.
+        use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights};
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), p);
+        let ci = symspmv::core::symbolic::analyze(&sss, &parts);
+
+        let mut expected = std::collections::BTreeSet::new();
+        for (i, part) in parts.iter().enumerate() {
+            for r in part.start..part.end {
+                let (cols, _) = sss.row(r);
+                for &c in cols {
+                    if c < part.start {
+                        expected.insert((i as u32, c));
+                    }
+                }
+            }
+        }
+        let got: std::collections::BTreeSet<(u32, u32)> =
+            ci.entries.iter().map(|e| (e.vid, e.idx)).collect();
+        // Entries are keyed (idx, vid) but as a set they must match.
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn varint_round_trip(vals in proptest::collection::vec(any::<u64>(), 0..40)) {
+        use symspmv::csx::varint::{read_varint, write_varint};
+        let mut buf = Vec::new();
+        for &v in &vals {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            prop_assert_eq!(read_varint(&buf, &mut pos), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+}
