@@ -1,35 +1,38 @@
 //! Fig. 14 analog: fixed-iteration CG cost per storage format on an
 //! RCM-reordered structural matrix.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symspmv_bench::{black_box, group};
 use symspmv_harness::kernels::{build_kernel, KernelSpec};
 use symspmv_reorder::rcm::rcm_reorder;
+use symspmv_runtime::ExecutionContext;
 use symspmv_solver::{cg, CgConfig};
 use symspmv_sparse::dense::seeded_vector;
 use symspmv_sparse::suite;
 
-fn bench_cg(c: &mut Criterion) {
+fn main() {
     let m = suite::generate(suite::spec_by_name("bmw7st_1").unwrap(), 0.003);
     let coo = rcm_reorder(&m.coo).unwrap();
     let n = coo.nrows() as usize;
     let b_vec = seeded_vector(n, 5);
-    let cfg = CgConfig { max_iters: 32, rel_tol: 0.0, record_history: false };
+    let cfg = CgConfig {
+        max_iters: 32,
+        rel_tol: 0.0,
+        record_history: false,
+    };
 
-    let mut group = c.benchmark_group("cg_32iters/bmw7st_1_rcm");
-    group.sample_size(10);
+    let ctx = ExecutionContext::new(4);
+    let mut g = group("cg_32iters/bmw7st_1_rcm");
+    g.sample_size(10);
     for spec in KernelSpec::figure11_lineup() {
         // Kernel construction (preprocessing) stays outside the timed loop,
         // matching Fig. 14's separate preprocessing bar.
-        let mut k = build_kernel(spec, &coo, 4).unwrap();
-        group.bench_function(BenchmarkId::from_parameter(spec.name()), |bch| {
+        let mut k = build_kernel(spec, &coo, &ctx).unwrap();
+        g.bench_function(spec.name(), |bch| {
             bch.iter(|| {
                 let mut x = vec![0.0; n];
-                cg(&mut *k, &b_vec, &mut x, &cfg)
+                black_box(cg(&mut *k, &b_vec, &mut x, &cfg))
             })
         });
     }
-    group.finish();
+    g.finish();
 }
-
-criterion_group!(benches, bench_cg);
-criterion_main!(benches);

@@ -1,31 +1,34 @@
 //! Table I / §V-E analog: CSX-Sym preprocessing (detection + encoding)
 //! cost, with the serial CSR SpMV as the comparison unit the paper uses.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symspmv_bench::{black_box, group};
 use symspmv_csx::detect::DetectConfig;
 use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights};
 use symspmv_sparse::dense::seeded_vector;
 use symspmv_sparse::suite;
 use symspmv_sparse::{CsrMatrix, SssMatrix};
 
-fn bench_encode(c: &mut Criterion) {
+fn main() {
     for name in ["bmw7st_1", "parabolic_fem"] {
         let m = suite::generate(suite::spec_by_name(name).unwrap(), 0.003);
         let sss = SssMatrix::from_coo(&m.coo, 0.0).unwrap();
         let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), 4);
-        let mut group = c.benchmark_group(format!("csx_encode/{name}"));
-        group.sample_size(10);
+        let mut g = group(format!("csx_encode/{name}"));
+        g.sample_size(10);
 
         // The preprocessing itself (what §V-E prices in serial SpMVs).
         let cfg = DetectConfig::default();
-        group.bench_function("csxsym_preprocess", |b| {
-            b.iter(|| symspmv_core::CsxSymMatrix::from_sss(&sss, &parts, &cfg))
+        g.bench_function("csxsym_preprocess", |b| {
+            b.iter(|| black_box(symspmv_core::CsxSymMatrix::from_sss(&sss, &parts, &cfg)))
         });
 
         // Sampled detection, as CSX uses to bound the preprocessing cost.
-        let sampled = DetectConfig { sample_fraction: 0.25, ..DetectConfig::default() };
-        group.bench_function("csxsym_preprocess_sampled", |b| {
-            b.iter(|| symspmv_core::CsxSymMatrix::from_sss(&sss, &parts, &sampled))
+        let sampled = DetectConfig {
+            sample_fraction: 0.25,
+            ..DetectConfig::default()
+        };
+        g.bench_function("csxsym_preprocess_sampled", |b| {
+            b.iter(|| black_box(symspmv_core::CsxSymMatrix::from_sss(&sss, &parts, &sampled)))
         });
 
         // The measurement unit: one serial CSR SpMV.
@@ -33,15 +36,12 @@ fn bench_encode(c: &mut Criterion) {
         let n = csr.nrows() as usize;
         let mut x = seeded_vector(n, 1);
         let mut y = vec![0.0; n];
-        group.bench_function(BenchmarkId::from_parameter("serial_csr_spmv_unit"), |b| {
+        g.bench_function("serial_csr_spmv_unit", |b| {
             b.iter(|| {
                 csr.spmv(&x, &mut y);
                 std::mem::swap(&mut x, &mut y);
             })
         });
-        group.finish();
+        g.finish();
     }
 }
-
-criterion_group!(benches, bench_encode);
-criterion_main!(benches);

@@ -2,37 +2,34 @@
 //! storage, at a multithreaded configuration where the reduction cost
 //! separates them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use symspmv_bench::group;
 use symspmv_core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
+use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::dense::seeded_vector;
 use symspmv_sparse::suite;
 
-fn bench_reductions(c: &mut Criterion) {
-    let threads = 4;
+fn main() {
+    let ctx = ExecutionContext::new(4);
     for name in ["hood", "G3_circuit"] {
         let m = suite::generate(suite::spec_by_name(name).unwrap(), 0.004);
         let n = m.coo.nrows() as usize;
-        let mut group = c.benchmark_group(format!("reduction_methods/{name}"));
-        group.sample_size(20);
-        group.throughput(Throughput::Elements(m.coo.nnz() as u64));
+        let mut g = group(format!("reduction_methods/{name}"));
+        g.sample_size(20).throughput_elements(m.coo.nnz() as u64);
         for method in [
             ReductionMethod::Naive,
             ReductionMethod::EffectiveRanges,
             ReductionMethod::Indexing,
         ] {
-            let mut k = SymSpmv::from_coo(&m.coo, threads, method, SymFormat::Sss).unwrap();
+            let mut k = SymSpmv::from_coo(&m.coo, &ctx, method, SymFormat::Sss).unwrap();
             let mut x = seeded_vector(n, 1);
             let mut y = vec![0.0; n];
-            group.bench_function(BenchmarkId::from_parameter(method.tag()), |b| {
+            g.bench_function(method.tag(), |b| {
                 b.iter(|| {
                     k.spmv(&x, &mut y);
                     std::mem::swap(&mut x, &mut y);
                 })
             });
         }
-        group.finish();
+        g.finish();
     }
 }
-
-criterion_group!(benches, bench_reductions);
-criterion_main!(benches);

@@ -1,37 +1,37 @@
 //! Table III / Fig. 13 analog: the RCM reordering cost itself, and
 //! symmetric SpMV before vs after reordering on a high-bandwidth matrix.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use symspmv_bench::{black_box, group};
 use symspmv_core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv_reorder::rcm::rcm_reorder;
+use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::dense::seeded_vector;
 use symspmv_sparse::suite;
 
-fn bench_reorder(c: &mut Criterion) {
+fn main() {
     let m = suite::generate(suite::spec_by_name("thermal2").unwrap(), 0.004);
     let n = m.coo.nrows() as usize;
 
-    let mut group = c.benchmark_group("reorder");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(m.coo.nnz() as u64));
+    let mut g = group("reorder");
+    g.sample_size(10).throughput_elements(m.coo.nnz() as u64);
 
-    group.bench_function("rcm_compute", |b| b.iter(|| rcm_reorder(&m.coo).unwrap()));
+    g.bench_function("rcm_compute", |b| {
+        b.iter(|| black_box(rcm_reorder(&m.coo).unwrap()))
+    });
 
+    let ctx = ExecutionContext::new(4);
     let reordered = rcm_reorder(&m.coo).unwrap();
     for (label, coo) in [("original", &m.coo), ("rcm", &reordered)] {
         let mut k =
-            SymSpmv::from_coo(coo, 4, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+            SymSpmv::from_coo(coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
         let mut x = seeded_vector(n, 1);
         let mut y = vec![0.0; n];
-        group.bench_function(format!("sss_idx_spmv/{label}"), |b| {
+        g.bench_function(format!("sss_idx_spmv/{label}"), |b| {
             b.iter(|| {
                 k.spmv(&x, &mut y);
                 std::mem::swap(&mut x, &mut y);
             })
         });
     }
-    group.finish();
+    g.finish();
 }
-
-criterion_group!(benches, bench_reorder);
-criterion_main!(benches);

@@ -2,23 +2,24 @@
 //! The paper's claim is that the naive reduction's cost grows with the
 //! thread count while the indexing scheme's stays flat.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use symspmv_bench::group;
 use symspmv_core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
+use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::dense::seeded_vector;
 use symspmv_sparse::suite;
 
-fn bench_scaling(c: &mut Criterion) {
+fn main() {
     let m = suite::generate(suite::spec_by_name("offshore").unwrap(), 0.006);
     let n = m.coo.nrows() as usize;
-    let mut group = c.benchmark_group("scaling/offshore");
-    group.sample_size(15);
-    group.throughput(Throughput::Elements(m.coo.nnz() as u64));
+    let mut g = group("scaling/offshore");
+    g.sample_size(15).throughput_elements(m.coo.nnz() as u64);
     for p in [1usize, 2, 4, 8] {
+        let ctx = ExecutionContext::new(p);
         for method in [ReductionMethod::Naive, ReductionMethod::Indexing] {
-            let mut k = SymSpmv::from_coo(&m.coo, p, method, SymFormat::Sss).unwrap();
+            let mut k = SymSpmv::from_coo(&m.coo, &ctx, method, SymFormat::Sss).unwrap();
             let mut x = seeded_vector(n, 1);
             let mut y = vec![0.0; n];
-            group.bench_function(BenchmarkId::new(method.tag(), p), |b| {
+            g.bench_function(format!("{}/p={p}", method.tag()), |b| {
                 b.iter(|| {
                     k.spmv(&x, &mut y);
                     std::mem::swap(&mut x, &mut y);
@@ -26,8 +27,5 @@ fn bench_scaling(c: &mut Criterion) {
             });
         }
     }
-    group.finish();
+    g.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

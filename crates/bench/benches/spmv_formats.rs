@@ -2,33 +2,30 @@
 //! (CSR, CSX, SSS-idx, CSX-Sym-idx) on a structural and a high-bandwidth
 //! suite matrix.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use symspmv_bench::group;
 use symspmv_harness::kernels::{build_kernel, KernelSpec};
+use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::dense::seeded_vector;
 use symspmv_sparse::suite;
 
-fn bench_formats(c: &mut Criterion) {
-    let threads = 2;
+fn main() {
+    let ctx = ExecutionContext::new(2);
     for name in ["hood", "thermal2"] {
         let m = suite::generate(suite::spec_by_name(name).unwrap(), 0.004);
         let n = m.coo.nrows() as usize;
-        let mut group = c.benchmark_group(format!("spmv_formats/{name}"));
-        group.sample_size(20);
-        group.throughput(Throughput::Elements(m.coo.nnz() as u64));
+        let mut g = group(format!("spmv_formats/{name}"));
+        g.sample_size(20).throughput_elements(m.coo.nnz() as u64);
         for spec in KernelSpec::figure11_lineup() {
-            let mut k = build_kernel(spec, &m.coo, threads).unwrap();
+            let mut k = build_kernel(spec, &m.coo, &ctx).unwrap();
             let mut x = seeded_vector(n, 1);
             let mut y = vec![0.0; n];
-            group.bench_function(BenchmarkId::from_parameter(spec.name()), |b| {
+            g.bench_function(spec.name(), |b| {
                 b.iter(|| {
                     k.spmv(&x, &mut y);
                     std::mem::swap(&mut x, &mut y);
                 })
             });
         }
-        group.finish();
+        g.finish();
     }
 }
-
-criterion_group!(benches, bench_formats);
-criterion_main!(benches);

@@ -1,5 +1,166 @@
-//! Shared helpers for the criterion benchmark suite (see `benches/`).
+//! Minimal self-contained benchmark harness for the `benches/` targets.
 //!
-//! Each bench target regenerates one table or figure of the paper; the
-//! heavy lifting lives in `symspmv-harness`, this crate only hosts the
-//! bench binaries.
+//! The build environment is offline, so the usual criterion dependency is
+//! replaced by this small shim that keeps the slice of its API the bench
+//! binaries use: named groups, per-function samples with a calibration
+//! pass, and element throughput. Each bench target is a plain `fn main`
+//! binary (`harness = false`) that regenerates one table or figure of the
+//! paper; the heavy lifting lives in `symspmv-harness`.
+//!
+//! Sample counts can be overridden with `SYMSPMV_BENCH_SAMPLES` (useful
+//! for smoke-running every target quickly: set it to `2`).
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the compiler fence against dead-code elimination.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to each bench routine; `iter` times a batch of calls.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine `iters` times and records the wall-clock total.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of benchmark functions sharing display settings.
+pub struct BenchGroup {
+    sample_size: usize,
+    elements: Option<u64>,
+}
+
+/// Opens a benchmark group and prints its header.
+pub fn group(name: impl Into<String>) -> BenchGroup {
+    let name = name.into();
+    println!("\n{name}");
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "  benchmark", "median/iter", "best/iter"
+    );
+    BenchGroup {
+        sample_size: default_samples(10),
+        elements: None,
+    }
+}
+
+fn default_samples(fallback: usize) -> usize {
+    std::env::var("SYMSPMV_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(fallback)
+        .max(2)
+}
+
+/// Per-sample target duration picked by the calibration pass.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+/// Upper bound on calibrated iterations per sample.
+const MAX_ITERS: u64 = 10_000;
+
+impl BenchGroup {
+    /// Number of timed samples per bench function (env override wins).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = default_samples(n);
+        self
+    }
+
+    /// Report element throughput (e.g. non-zeros per second) per function.
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
+        self.elements = Some(n);
+        self
+    }
+
+    /// Calibrates, samples, and prints one result row.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up doubles as the calibration probe.
+        let mut probe = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut probe);
+        let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos())
+            .max(1)
+            .min(MAX_ITERS as u128) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+
+        let mut line = format!(
+            "  {:<42} {:>12} {:>12}",
+            id.to_string(),
+            fmt_time(median),
+            fmt_time(best)
+        );
+        if let Some(e) = self.elements {
+            line.push_str(&format!("  {:>9.1} Melem/s", e as f64 / median / 1e6));
+        }
+        println!("{line}");
+    }
+
+    /// Closes the group (header/footer symmetry with the criterion API).
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_reporting_run() {
+        let mut g = group("selftest");
+        g.sample_size(2).throughput_elements(1000);
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_spans_units() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

@@ -7,8 +7,10 @@
 
 use crate::shared::SharedBuf;
 use crate::traits::ParallelSpmv;
+use std::borrow::Cow;
+use std::sync::Arc;
 use symspmv_runtime::timing::time_into;
-use symspmv_runtime::{balanced_ranges, PhaseTimes, Range, WorkerPool};
+use symspmv_runtime::{balanced_ranges, ExecutionContext, PhaseTimes, Range};
 use symspmv_sparse::bcsr::{choose_block_size, BcsrMatrix, BLOCK_CANDIDATES};
 use symspmv_sparse::{CooMatrix, Val};
 
@@ -17,32 +19,41 @@ pub struct BcsrParallel {
     bcsr: BcsrMatrix,
     /// Block-row ranges per thread.
     parts: Vec<Range>,
-    pool: WorkerPool,
+    ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
 }
 
 impl BcsrParallel {
     /// Builds the kernel, auto-tuning the block dimensions (timed into the
     /// `preprocess` phase, like the other formats' construction).
-    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Self {
+    pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Self {
         let mut times = PhaseTimes::new();
         let bcsr = time_into(&mut times.preprocess, || {
             let (br, bc) = choose_block_size(coo, &BLOCK_CANDIDATES);
             BcsrMatrix::from_coo(coo, br, bc)
         });
-        Self::from_matrix_with_times(bcsr, nthreads, times)
+        Self::from_matrix_with_times(bcsr, ctx, times)
     }
 
     /// Builds the kernel with explicit block dimensions.
-    pub fn with_blocks(coo: &CooMatrix, br: u32, bc: u32, nthreads: usize) -> Self {
+    pub fn with_blocks(coo: &CooMatrix, br: u32, bc: u32, ctx: &Arc<ExecutionContext>) -> Self {
         let mut times = PhaseTimes::new();
         let bcsr = time_into(&mut times.preprocess, || BcsrMatrix::from_coo(coo, br, bc));
-        Self::from_matrix_with_times(bcsr, nthreads, times)
+        Self::from_matrix_with_times(bcsr, ctx, times)
     }
 
-    fn from_matrix_with_times(bcsr: BcsrMatrix, nthreads: usize, times: PhaseTimes) -> Self {
-        let parts = balanced_ranges(&bcsr.blockrow_weights(), nthreads);
-        BcsrParallel { bcsr, parts, pool: WorkerPool::new(nthreads), times }
+    fn from_matrix_with_times(
+        bcsr: BcsrMatrix,
+        ctx: &Arc<ExecutionContext>,
+        times: PhaseTimes,
+    ) -> Self {
+        let parts = balanced_ranges(&bcsr.blockrow_weights(), ctx.nthreads());
+        BcsrParallel {
+            bcsr,
+            parts,
+            ctx: Arc::clone(ctx),
+            times,
+        }
     }
 
     /// The underlying BCSR matrix.
@@ -59,7 +70,7 @@ impl ParallelSpmv for BcsrParallel {
         let parts = &self.parts;
         let n = bcsr.nrows() as usize;
         time_into(&mut self.times.multiply, || {
-            self.pool.run(&|tid| {
+            self.ctx.run(&|tid| {
                 let part = parts[tid];
                 if part.is_empty() {
                     return;
@@ -97,12 +108,12 @@ impl ParallelSpmv for BcsrParallel {
         self.times = PhaseTimes::new();
     }
 
-    fn name(&self) -> String {
-        "bcsr".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("bcsr")
     }
 
-    fn nthreads(&self) -> usize {
-        self.pool.nthreads()
+    fn context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 }
 
@@ -121,7 +132,8 @@ mod tests {
         canon.canonicalize();
         canon.spmv_reference(&x, &mut y_ref);
         for p in [1usize, 2, 4, 7] {
-            let mut k = BcsrParallel::from_coo(&coo, p);
+            let ctx = ExecutionContext::new(p);
+            let mut k = BcsrParallel::from_coo(&coo, &ctx);
             let mut y = vec![f64::NAN; n];
             k.spmv(&x, &mut y);
             assert_vec_close(&y, &y_ref, 1e-12);
@@ -131,7 +143,7 @@ mod tests {
     #[test]
     fn autotune_picks_blocks_and_preprocess_timed() {
         let coo = symspmv_sparse::gen::block_structural(40, 3, 8.0, 10, 7);
-        let k = BcsrParallel::from_coo(&coo, 2);
+        let k = BcsrParallel::from_coo(&coo, &ExecutionContext::new(2));
         assert_eq!(k.matrix().block_dims(), (3, 3));
         assert!(k.times().preprocess > std::time::Duration::ZERO);
         assert_eq!(k.name(), "bcsr");
@@ -140,7 +152,7 @@ mod tests {
     #[test]
     fn explicit_blocks_respected() {
         let coo = symspmv_sparse::gen::laplacian_2d(10, 10);
-        let k = BcsrParallel::with_blocks(&coo, 2, 2, 2);
+        let k = BcsrParallel::with_blocks(&coo, 2, 2, &ExecutionContext::new(2));
         assert_eq!(k.matrix().block_dims(), (2, 2));
     }
 }

@@ -13,10 +13,12 @@
 
 use crate::shared::SharedBuf;
 use crate::traits::ParallelSpmv;
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use symspmv_csb::{CsbMatrix, CsbSymMatrix};
 use symspmv_runtime::timing::time_into;
-use symspmv_runtime::{balanced_ranges, PhaseTimes, Range, WorkerPool};
+use symspmv_runtime::{balanced_ranges, ExecutionContext, PhaseTimes, Range};
 use symspmv_sparse::{CooMatrix, SparseError, Val};
 
 /// Blockrow-partitioned unsymmetric CSB SpMV.
@@ -24,16 +26,21 @@ pub struct CsbParallel {
     csb: CsbMatrix,
     /// Blockrow ranges per thread.
     parts: Vec<Range>,
-    pool: WorkerPool,
+    ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
 }
 
 impl CsbParallel {
     /// Builds the kernel (automatic β).
-    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Self {
+    pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Self {
         let csb = CsbMatrix::from_coo(coo);
-        let parts = balanced_ranges(&csb.blockrow_weights(), nthreads);
-        CsbParallel { csb, parts, pool: WorkerPool::new(nthreads), times: PhaseTimes::new() }
+        let parts = balanced_ranges(&csb.blockrow_weights(), ctx.nthreads());
+        CsbParallel {
+            csb,
+            parts,
+            ctx: Arc::clone(ctx),
+            times: PhaseTimes::new(),
+        }
     }
 
     /// The underlying CSB matrix.
@@ -50,7 +57,7 @@ impl ParallelSpmv for CsbParallel {
         let parts = &self.parts;
         let n = csb.nrows();
         time_into(&mut self.times.multiply, || {
-            self.pool.run(&|tid| {
+            self.ctx.run(&|tid| {
                 let part = parts[tid];
                 if part.is_empty() {
                     return;
@@ -90,12 +97,12 @@ impl ParallelSpmv for CsbParallel {
         self.times = PhaseTimes::new();
     }
 
-    fn name(&self) -> String {
-        "csb".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("csb")
     }
 
-    fn nthreads(&self) -> usize {
-        self.pool.nthreads()
+    fn context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 }
 
@@ -105,8 +112,7 @@ fn atomic_add_f64(slot: &AtomicU64, v: Val) {
     let mut cur = slot.load(Ordering::Relaxed);
     loop {
         let new = f64::from_bits(cur) + v;
-        match slot.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
-        {
+        match slot.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(seen) => cur = seen,
         }
@@ -122,29 +128,30 @@ pub struct CsbSymParallel {
     row_starts: Vec<usize>,
     /// Band width (rows below the partition start buffered locally).
     band: usize,
-    /// Flat band buffers, `band` elements per thread.
-    bands: Vec<Val>,
     /// Row chunks for the band reduction and the diagonal init.
     chunks: Vec<Range>,
-    pool: WorkerPool,
+    ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
 }
 
 impl CsbSymParallel {
     /// Builds the kernel from a full symmetric COO matrix.
-    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Result<Self, SparseError> {
+    pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Result<Self, SparseError> {
         let sym = CsbSymMatrix::from_coo(coo, None)?;
-        Ok(Self::from_matrix(sym, nthreads))
+        Ok(Self::from_matrix(sym, ctx))
     }
 
     /// Builds the kernel from prepared CSB-Sym storage.
-    pub fn from_matrix(sym: CsbSymMatrix, nthreads: usize) -> Self {
+    pub fn from_matrix(sym: CsbSymMatrix, ctx: &Arc<ExecutionContext>) -> Self {
+        let nthreads = ctx.nthreads();
         let lower = sym.lower();
         let beta = lower.beta();
         let parts = balanced_ranges(&lower.blockrow_weights(), nthreads);
         let n = sym.n() as usize;
-        let row_starts: Vec<usize> =
-            parts.iter().map(|p| ((p.start * beta) as usize).min(n)).collect();
+        let row_starts: Vec<usize> = parts
+            .iter()
+            .map(|p| ((p.start * beta) as usize).min(n))
+            .collect();
         // "Three innermost block diagonals" ≈ a band of two block rows.
         let band = (2 * beta as usize).min(n);
         let chunks = balanced_ranges(&vec![1u64; n], nthreads);
@@ -153,9 +160,8 @@ impl CsbSymParallel {
             parts,
             row_starts,
             band,
-            bands: vec![0.0; band * nthreads],
             chunks,
-            pool: WorkerPool::new(nthreads),
+            ctx: Arc::clone(ctx),
             times: PhaseTimes::new(),
         }
     }
@@ -172,7 +178,10 @@ impl ParallelSpmv for CsbSymParallel {
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
         let y_buf = SharedBuf::new(y);
-        let bands_buf = SharedBuf::new(&mut self.bands);
+        // Band buffers come from the shared arena: leased zeroed, returned
+        // zeroed by the phase-C fold.
+        let mut bands = self.ctx.lease(self.band * self.parts.len());
+        let bands_buf = SharedBuf::new(&mut bands);
         let sym = &self.sym;
         let parts = &self.parts;
         let row_starts = &self.row_starts;
@@ -182,11 +191,10 @@ impl ParallelSpmv for CsbSymParallel {
 
         // Phase A: diagonal init, row-parallel plain writes.
         time_into(&mut self.times.multiply, || {
-            self.pool.run(&|tid| {
+            self.ctx.run(&|tid| {
                 let chunk = chunks[tid];
                 // SAFETY: chunks tile 0..N disjointly.
-                let my =
-                    unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
+                let my = unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
                 let dv = &sym.dvalues()[chunk.start as usize..chunk.end as usize];
                 let xs = &x[chunk.start as usize..chunk.end as usize];
                 for ((slot, &d), &xi) in my.iter_mut().zip(dv).zip(xs) {
@@ -197,7 +205,7 @@ impl ParallelSpmv for CsbSymParallel {
             // Phase B: off-diagonal products. All y updates are atomic
             // (any row may receive far transposed updates from any
             // thread); band-local transposed updates go to plain buffers.
-            self.pool.run(&|tid| {
+            self.ctx.run(&|tid| {
                 let part = parts[tid];
                 if part.is_empty() {
                     return;
@@ -207,8 +215,7 @@ impl ParallelSpmv for CsbSymParallel {
                 let start = row_starts[tid];
                 let band_lo = start.saturating_sub(band);
                 // SAFETY: band region tid is thread-private.
-                let my_band =
-                    unsafe { bands_buf.range_mut(tid * band, (tid + 1) * band) };
+                let my_band = unsafe { bands_buf.range_mut(tid * band, (tid + 1) * band) };
                 // SAFETY: AtomicU64 shares u64/f64 layout; phase A ended
                 // with a barrier, phase C starts with one.
                 let y_atomic: &[AtomicU64] = unsafe {
@@ -246,7 +253,7 @@ impl ParallelSpmv for CsbSymParallel {
         // covered by several threads' bands, each chunk row is owned by
         // exactly one reduction thread).
         time_into(&mut self.times.reduce, || {
-            self.pool.run(&|tid| {
+            self.ctx.run(&|tid| {
                 let chunk = chunks[tid];
                 for (i, &start) in row_starts.iter().enumerate().take(p).skip(1) {
                     let band_lo = start.saturating_sub(band);
@@ -292,12 +299,12 @@ impl ParallelSpmv for CsbSymParallel {
         self.times = PhaseTimes::new();
     }
 
-    fn name(&self) -> String {
-        "csb-sym".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("csb-sym")
     }
 
-    fn nthreads(&self) -> usize {
-        self.pool.nthreads()
+    fn context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 }
 
@@ -315,7 +322,8 @@ mod tests {
         let mut y_ref = vec![0.0; 500];
         csb.spmv(&x, &mut y_ref);
         for p in [1usize, 2, 4, 8] {
-            let mut k = CsbParallel::from_coo(&coo, p);
+            let ctx = ExecutionContext::new(p);
+            let mut k = CsbParallel::from_coo(&coo, &ctx);
             let mut y = vec![f64::NAN; 500];
             k.spmv(&x, &mut y);
             assert_vec_close(&y, &y_ref, 1e-12);
@@ -330,7 +338,8 @@ mod tests {
         let mut y_ref = vec![0.0; 600];
         sss.spmv(&x, &mut y_ref);
         for p in [1usize, 2, 3, 8] {
-            let mut k = CsbSymParallel::from_coo(&coo, p).unwrap();
+            let ctx = ExecutionContext::new(p);
+            let mut k = CsbSymParallel::from_coo(&coo, &ctx).unwrap();
             let mut y = vec![f64::NAN; 600];
             k.spmv(&x, &mut y);
             assert_vec_close(&y, &y_ref, 1e-12);
@@ -349,7 +358,8 @@ mod tests {
         let x = seeded_vector(400, 9);
         let mut y_ref = vec![0.0; 400];
         sss.spmv(&x, &mut y_ref);
-        let mut k = CsbSymParallel::from_coo(&coo, 5).unwrap();
+        let ctx = ExecutionContext::new(5);
+        let mut k = CsbSymParallel::from_coo(&coo, &ctx).unwrap();
         for _ in 0..10 {
             let mut y = vec![0.0; 400];
             k.spmv(&x, &mut y);
@@ -360,9 +370,10 @@ mod tests {
     #[test]
     fn interface_metadata() {
         let coo = symspmv_sparse::gen::laplacian_2d(12, 12);
-        let k = CsbParallel::from_coo(&coo, 2);
+        let ctx = ExecutionContext::new(2);
+        let k = CsbParallel::from_coo(&coo, &ctx);
         assert_eq!(k.name(), "csb");
-        let ks = CsbSymParallel::from_coo(&coo, 2).unwrap();
+        let ks = CsbSymParallel::from_coo(&coo, &ctx).unwrap();
         assert_eq!(ks.name(), "csb-sym");
         assert!(ks.band() > 0);
         assert!(ks.size_bytes() < k.size_bytes());

@@ -6,29 +6,38 @@
 
 use crate::shared::SharedBuf;
 use crate::traits::ParallelSpmv;
-use symspmv_runtime::{balanced_ranges, partition::csr_row_weights, PhaseTimes, Range, WorkerPool};
+use std::borrow::Cow;
+use std::sync::Arc;
 use symspmv_runtime::timing::time_into;
+use symspmv_runtime::{
+    balanced_ranges, partition::csr_row_weights, ExecutionContext, PhaseTimes, Range,
+};
 use symspmv_sparse::{CooMatrix, CsrMatrix, Val};
 
-/// A CSR matrix bound to a worker pool and a static row partition.
+/// A CSR matrix bound to an execution context and a static row partition.
 pub struct CsrParallel {
     csr: CsrMatrix,
     parts: Vec<Range>,
-    pool: WorkerPool,
+    ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
 }
 
 impl CsrParallel {
-    /// Builds the kernel from a CSR matrix for `nthreads` workers.
-    pub fn new(csr: CsrMatrix, nthreads: usize) -> Self {
+    /// Builds the kernel from a CSR matrix on the given context's workers.
+    pub fn new(csr: CsrMatrix, ctx: &Arc<ExecutionContext>) -> Self {
         let weights = csr_row_weights(csr.rowptr());
-        let parts = balanced_ranges(&weights, nthreads);
-        CsrParallel { csr, parts, pool: WorkerPool::new(nthreads), times: PhaseTimes::new() }
+        let parts = balanced_ranges(&weights, ctx.nthreads());
+        CsrParallel {
+            csr,
+            parts,
+            ctx: Arc::clone(ctx),
+            times: PhaseTimes::new(),
+        }
     }
 
     /// Builds the kernel from a COO matrix.
-    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Self {
-        Self::new(CsrMatrix::from_coo(coo), nthreads)
+    pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Self {
+        Self::new(CsrMatrix::from_coo(coo), ctx)
     }
 
     /// The row partition in use.
@@ -50,14 +59,13 @@ impl ParallelSpmv for CsrParallel {
         let csr = &self.csr;
         let parts = &self.parts;
         time_into(&mut self.times.multiply, || {
-            self.pool.run(&|tid| {
+            self.ctx.run(&|tid| {
                 let part = parts[tid];
                 if part.is_empty() {
                     return;
                 }
                 // SAFETY: partitions tile 0..N disjointly.
-                let my_y =
-                    unsafe { buf.range_mut(part.start as usize, part.end as usize) };
+                let my_y = unsafe { buf.range_mut(part.start as usize, part.end as usize) };
                 // spmv_rows indexes y by absolute row; pass a shifted view.
                 for r in part.start..part.end {
                     let (cols, vals) = csr.row(r);
@@ -91,12 +99,12 @@ impl ParallelSpmv for CsrParallel {
         self.times = PhaseTimes::new();
     }
 
-    fn name(&self) -> String {
-        "csr".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("csr")
     }
 
-    fn nthreads(&self) -> usize {
-        self.pool.nthreads()
+    fn context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 }
 
@@ -114,7 +122,8 @@ mod tests {
         csr.spmv(&x, &mut y_serial);
 
         for p in [1, 2, 3, 8] {
-            let mut k = CsrParallel::from_coo(&coo, p);
+            let ctx = ExecutionContext::new(p);
+            let mut k = CsrParallel::from_coo(&coo, &ctx);
             let mut y = vec![0.0; 500];
             k.spmv(&x, &mut y);
             assert_vec_close(&y, &y_serial, 1e-12);
@@ -125,7 +134,8 @@ mod tests {
     #[test]
     fn repeated_calls_accumulate_time() {
         let coo = symspmv_sparse::gen::laplacian_2d(20, 20);
-        let mut k = CsrParallel::from_coo(&coo, 2);
+        let ctx = ExecutionContext::new(2);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
         let x = seeded_vector(400, 1);
         let mut y = vec![0.0; 400];
         k.spmv(&x, &mut y);
@@ -139,7 +149,8 @@ mod tests {
     #[test]
     fn more_threads_than_rows() {
         let coo = symspmv_sparse::gen::laplacian_2d(2, 2);
-        let mut k = CsrParallel::from_coo(&coo, 16);
+        let ctx = ExecutionContext::new(16);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
         let x = vec![1.0; 4];
         let mut y = vec![0.0; 4];
         let mut y_ref = vec![0.0; 4];
@@ -151,10 +162,21 @@ mod tests {
     #[test]
     fn interface_metadata() {
         let coo = symspmv_sparse::gen::laplacian_2d(10, 10);
-        let k = CsrParallel::from_coo(&coo, 2);
+        let ctx = ExecutionContext::new(2);
+        let k = CsrParallel::from_coo(&coo, &ctx);
         assert_eq!(k.n(), 100);
         assert_eq!(k.name(), "csr");
         assert_eq!(k.flops(), 2 * k.nnz_full() as u64);
         assert!(k.size_bytes() > 0);
+    }
+
+    #[test]
+    fn kernels_share_one_pool() {
+        let coo = symspmv_sparse::gen::laplacian_2d(8, 8);
+        let ctx = ExecutionContext::new(4);
+        let before = symspmv_runtime::WorkerPool::pools_created();
+        let _a = CsrParallel::from_coo(&coo, &ctx);
+        let _b = CsrParallel::from_coo(&coo, &ctx);
+        assert_eq!(symspmv_runtime::WorkerPool::pools_created(), before);
     }
 }

@@ -6,26 +6,29 @@
 
 use crate::shared::SharedBuf;
 use crate::traits::ParallelSpmv;
+use std::borrow::Cow;
+use std::sync::Arc;
 use symspmv_csx::detect::DetectConfig;
 use symspmv_csx::matrix::{rows_submatrix, spmv_stream, CsxMatrix};
 use symspmv_runtime::timing::time_into;
-use symspmv_runtime::{balanced_ranges, PhaseTimes, Range, WorkerPool};
+use symspmv_runtime::{balanced_ranges, ExecutionContext, PhaseTimes, Range};
 use symspmv_sparse::{CooMatrix, Val};
 
-/// A row-partitioned CSX matrix bound to a worker pool.
+/// A row-partitioned CSX matrix bound to an execution context.
 pub struct CsxParallel {
     n: usize,
     nnz: usize,
     parts: Vec<Range>,
     chunks: Vec<CsxMatrix>,
-    pool: WorkerPool,
+    ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
 }
 
 impl CsxParallel {
     /// Encodes `coo` into per-thread CSX chunks (preprocessing is timed
     /// into the `preprocess` phase, cf. §V-E).
-    pub fn from_coo(coo: &CooMatrix, nthreads: usize, config: &DetectConfig) -> Self {
+    pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>, config: &DetectConfig) -> Self {
+        let nthreads = ctx.nthreads();
         let mut c = coo.clone();
         c.canonicalize();
         // Row weights from the canonical triplets.
@@ -51,7 +54,7 @@ impl CsxParallel {
             nnz: c.nnz(),
             parts,
             chunks,
-            pool: WorkerPool::new(nthreads),
+            ctx: Arc::clone(ctx),
             times,
         }
     }
@@ -74,7 +77,7 @@ impl ParallelSpmv for CsxParallel {
         let parts = &self.parts;
         let chunks = &self.chunks;
         time_into(&mut self.times.multiply, || {
-            self.pool.run(&|tid| {
+            self.ctx.run(&|tid| {
                 let part = parts[tid];
                 if part.is_empty() {
                     return;
@@ -84,7 +87,8 @@ impl ParallelSpmv for CsxParallel {
                 // though the kernel receives the full-length view it only
                 // ever writes our rows.
                 unsafe {
-                    buf.range_mut(part.start as usize, part.end as usize).fill(0.0);
+                    buf.range_mut(part.start as usize, part.end as usize)
+                        .fill(0.0);
                     spmv_stream(chunks[tid].stream(), x, buf.full_mut());
                 }
             });
@@ -111,12 +115,12 @@ impl ParallelSpmv for CsxParallel {
         self.times = PhaseTimes::new();
     }
 
-    fn name(&self) -> String {
-        "csx".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("csx")
     }
 
-    fn nthreads(&self) -> usize {
-        self.pool.nthreads()
+    fn context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 }
 
@@ -127,7 +131,10 @@ mod tests {
     use symspmv_sparse::CsrMatrix;
 
     fn cfg() -> DetectConfig {
-        DetectConfig { min_coverage: 0.0, ..DetectConfig::default() }
+        DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        }
     }
 
     #[test]
@@ -138,7 +145,8 @@ mod tests {
         let mut y_ref = vec![0.0; 500];
         csr.spmv(&x, &mut y_ref);
         for p in [1, 2, 5, 8] {
-            let mut k = CsxParallel::from_coo(&coo, p, &cfg());
+            let ctx = ExecutionContext::new(p);
+            let mut k = CsxParallel::from_coo(&coo, &ctx, &cfg());
             let mut y = vec![f64::NAN; 500];
             k.spmv(&x, &mut y);
             assert_vec_close(&y, &y_ref, 1e-12);
@@ -148,7 +156,7 @@ mod tests {
     #[test]
     fn preprocessing_time_recorded() {
         let coo = symspmv_sparse::gen::block_structural(80, 3, 8.0, 16, 1);
-        let k = CsxParallel::from_coo(&coo, 4, &cfg());
+        let k = CsxParallel::from_coo(&coo, &ExecutionContext::new(4), &cfg());
         assert!(k.times().preprocess > std::time::Duration::ZERO);
         assert!(k.coverage() > 0.3);
     }
@@ -156,7 +164,7 @@ mod tests {
     #[test]
     fn compresses_block_matrices() {
         let coo = symspmv_sparse::gen::block_structural(100, 3, 10.0, 20, 2);
-        let k = CsxParallel::from_coo(&coo, 2, &cfg());
+        let k = CsxParallel::from_coo(&coo, &ExecutionContext::new(2), &cfg());
         let csr = CsrMatrix::from_coo(&coo);
         assert!(k.size_bytes() < csr.size_bytes());
     }

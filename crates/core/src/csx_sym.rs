@@ -51,12 +51,19 @@ impl CsxSymMatrix {
                 }
             }
             sub.canonicalize();
-            let cfg = DetectConfig { col_split: Some(part.start), ..config.clone() };
+            let cfg = DetectConfig {
+                col_split: Some(part.start),
+                ..config.clone()
+            };
             let det = analyze(&sub, &cfg);
             let coverage = det.coverage();
             let vm = CooIndex::new(&sub);
             let stream = CtlStream::encode(&det, &vm);
-            chunks.push(CsxSymChunk { part: *part, stream, coverage });
+            chunks.push(CsxSymChunk {
+                part: *part,
+                stream,
+                coverage,
+            });
         }
         CsxSymMatrix {
             n: sss.n(),
@@ -94,7 +101,10 @@ impl CsxSymMatrix {
 
     /// Bytes of the representation: all ctl streams, all values, dvalues.
     pub fn size_bytes(&self) -> usize {
-        self.chunks.iter().map(|c| c.stream.size_bytes()).sum::<usize>()
+        self.chunks
+            .iter()
+            .map(|c| c.stream.size_bytes())
+            .sum::<usize>()
             + 8 * self.n as usize
     }
 
@@ -172,14 +182,22 @@ pub fn spmv_sym_stream(
         let flags = ctl[pos];
         pos += 1;
         if flags & NR_BIT != 0 {
-            let extra = if flags & RJMP_BIT != 0 { read_varint(ctl, &mut pos) } else { 0 };
+            let extra = if flags & RJMP_BIT != 0 {
+                read_varint(ctl, &mut pos)
+            } else {
+                0
+            };
             row += 1 + extra as i64;
             col = 0;
         }
         let size = usize::from(ctl[pos]);
         pos += 1;
         let ucol = read_varint(ctl, &mut pos) as Idx;
-        let anchor = if flags & NR_BIT != 0 { ucol } else { col + ucol };
+        let anchor = if flags & NR_BIT != 0 {
+            ucol
+        } else {
+            col + ucol
+        };
         col = anchor;
         let r = row as usize;
         let id = flags & ID_MASK;
@@ -287,8 +305,7 @@ pub fn spmv_sym_stream(
             vi += size;
         } else {
             // Delta unit: per-element side check, slice-based decode.
-            let width =
-                PatternKind::delta_width_from_id(id).expect("invalid pattern id");
+            let width = PatternKind::delta_width_from_id(id).expect("invalid pattern id");
             let xr = x[r];
             let mut acc = 0.0;
             let mut c = anchor as usize;
@@ -353,7 +370,10 @@ mod tests {
     use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
 
     fn cfg() -> DetectConfig {
-        DetectConfig { min_coverage: 0.0, ..DetectConfig::default() }
+        DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        }
     }
 
     fn build(coo: &CooMatrix, p: usize) -> (SssMatrix, Vec<Range>, CsxSymMatrix) {
@@ -417,8 +437,7 @@ mod tests {
         for r in 0..n {
             y[r] = m.dvalues()[r] * x[r];
         }
-        let mut locals: Vec<Vec<f64>> =
-            parts.iter().map(|p| vec![0.0; p.start as usize]).collect();
+        let mut locals: Vec<Vec<f64>> = parts.iter().map(|p| vec![0.0; p.start as usize]).collect();
         for (i, chunk) in m.chunks().iter().enumerate() {
             let (start, end) = (parts[i].start as usize, parts[i].end as usize);
             spmv_sym_stream(&chunk.stream, &x, &mut y[start..end], start, &mut locals[i]);
@@ -458,8 +477,14 @@ mod tests {
         let (_, _, m) = build(&coo, 4);
         let cr = m.compression_ratio();
         let max = m.max_compression_ratio();
-        assert!(cr > 0.30, "CSX-Sym should compress well on block matrices: {cr}");
-        assert!(cr <= max + 1e-9, "cr {cr} cannot beat the no-metadata floor {max}");
+        assert!(
+            cr > 0.30,
+            "CSX-Sym should compress well on block matrices: {cr}"
+        );
+        assert!(
+            cr <= max + 1e-9,
+            "cr {cr} cannot beat the no-metadata floor {max}"
+        );
         assert!(max < 0.70, "max CR is bounded by ~2/3: {max}");
         // SSS achieves at most 50% (paper, Table I caption): CSX-Sym must
         // beat it here.

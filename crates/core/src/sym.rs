@@ -1,37 +1,44 @@
 //! The multithreaded symmetric SpMV engine (§III + §IV).
 //!
 //! [`SymSpmv`] binds a symmetric matrix (stored as SSS or CSX-Sym), a
-//! static nnz-balanced row partition, a [`ReductionMethod`] and a worker
-//! pool, and executes `y = A·x` in two timed phases:
+//! static nnz-balanced row partition and a [`ReductionStrategy`] borrowed
+//! from the shared [`ExecutionContext`], and executes `y = A·x` in two
+//! timed phases:
 //!
 //! 1. **multiply** — each thread computes its partition; transposed writes
 //!    that would cross partition boundaries go to local vectors (where they
-//!    go depends on the method);
-//! 2. **reduce** — the local vectors are folded into `y` in parallel.
+//!    go depends on the strategy's layout);
+//! 2. **reduce** — the local vectors are folded into `y` in parallel by the
+//!    strategy.
 //!
-//! The three methods implement Fig. 3 of the paper:
-//!
-//! * [`ReductionMethod::Naive`] — full-length local vector per thread;
-//!   reduction sweeps all `p·N` elements (Alg. 3, `ws = 8pN`, Eq. 3).
-//! * [`ReductionMethod::EffectiveRanges`] — Batista et al.: thread `i`
-//!   writes rows `[start_i, end_i)` directly and keeps a local vector only
-//!   for its effective region `[0, start_i)` (`ws ≈ 4(p−1)N`, Eq. 4).
-//! * [`ReductionMethod::Indexing`] — the paper's contribution: a symbolic
-//!   `(vid, idx)` index enumerates the actually-conflicting elements, and
-//!   the reduction touches only those (`ws ≈ 8(p−1)N·d`, Eq. 6).
+//! The three built-in strategies implement Fig. 3 of the paper (see
+//! `symspmv_runtime::reduction` for the details); [`ReductionMethod`] is
+//! the enum-shaped convenience handle that maps onto the registry names
+//! (`"naive"`, `"eff"`, `"idx"`). The local vectors themselves are leased
+//! from the context's buffer arena per call, so consecutive invocations —
+//! and different kernels sharing one context — recycle the same
+//! first-touch-initialized pages.
 
 use crate::csx_sym::{spmv_sym_stream, spmv_sym_stream_local_only, CsxSymMatrix};
 use crate::shared::SharedBuf;
 use crate::symbolic::{self, ConflictIndex};
 use crate::traits::ParallelSpmv;
+use std::borrow::Cow;
+use std::sync::Arc;
 use symspmv_csx::detect::DetectConfig;
+use symspmv_runtime::reduction::ReduceJob;
 use symspmv_runtime::timing::time_into;
 use symspmv_runtime::{
-    balanced_ranges, partition::symmetric_row_weights, PhaseTimes, Range, WorkerPool,
+    balanced_ranges, partition::symmetric_row_weights, ExecutionContext, PhaseTimes, Range,
+    ReductionStrategy,
 };
 use symspmv_sparse::{CooMatrix, SparseError, SssMatrix, Val};
 
 /// How local vectors are organized and reduced (Fig. 3 b/c/d).
+///
+/// Each variant names a strategy pre-registered with every
+/// [`ExecutionContext`]; custom strategies registered later are reachable
+/// through [`SymSpmv::from_sss_named`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReductionMethod {
     /// Full-length local vector per thread (Alg. 3).
@@ -43,7 +50,8 @@ pub enum ReductionMethod {
 }
 
 impl ReductionMethod {
-    /// Short name used in kernel identifiers and reports.
+    /// Short name used in kernel identifiers, reports, and as the registry
+    /// key of the corresponding built-in [`ReductionStrategy`].
     pub fn tag(self) -> &'static str {
         match self {
             ReductionMethod::Naive => "naive",
@@ -78,7 +86,11 @@ enum Storage {
     CsxSym(CsxSymMatrix),
     /// SSS kept whole; `streams[i]` is the CSX-Sym encoding of chunk `i`
     /// when it cleared the coverage threshold.
-    Hybrid { sss: SssMatrix, csx: CsxSymMatrix, use_stream: Vec<bool> },
+    Hybrid {
+        sss: SssMatrix,
+        csx: CsxSymMatrix,
+        use_stream: Vec<bool>,
+    },
 }
 
 /// The multithreaded symmetric SpMV kernel.
@@ -87,16 +99,18 @@ pub struct SymSpmv {
     nnz_full: usize,
     parts: Vec<Range>,
     method: ReductionMethod,
+    strategy: Arc<dyn ReductionStrategy>,
     storage: Storage,
-    /// Flat backing store for all local vectors.
-    flat: Vec<Val>,
-    /// Per-thread offsets into `flat`.
+    /// Length of the flat local-vectors store the strategy's layout needs;
+    /// the store itself is leased from the context's arena per spmv call.
+    local_len: usize,
+    /// Per-thread offsets into the leased local store.
     offsets: Vec<usize>,
-    /// Conflict index (Indexing method; empty otherwise).
+    /// Conflict index (index-consuming strategies; empty otherwise).
     index: ConflictIndex,
     /// Row chunks for the naive/effective reductions.
     reduce_chunks: Vec<Range>,
-    pool: WorkerPool,
+    ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
     size_bytes: usize,
 }
@@ -105,40 +119,83 @@ impl SymSpmv {
     /// Builds the kernel from a full symmetric COO matrix.
     pub fn from_coo(
         coo: &CooMatrix,
-        nthreads: usize,
+        ctx: &Arc<ExecutionContext>,
         method: ReductionMethod,
         format: SymFormat,
     ) -> Result<Self, SparseError> {
         let sss = SssMatrix::from_coo(coo, 0.0)?;
-        Ok(Self::from_sss(sss, nthreads, method, format))
+        Ok(Self::from_sss(sss, ctx, method, format))
     }
 
     /// Builds the kernel from an SSS matrix (symmetry already established).
     ///
-    /// Format preprocessing (CSX-Sym detection/encoding) and the symbolic
-    /// conflict analysis are timed into the `preprocess` phase.
+    /// The reduction strategy is looked up in the context's registry by the
+    /// method's tag. Format preprocessing (CSX-Sym detection/encoding) and
+    /// the symbolic conflict analysis are timed into the `preprocess`
+    /// phase.
     pub fn from_sss(
         sss: SssMatrix,
-        nthreads: usize,
+        ctx: &Arc<ExecutionContext>,
         method: ReductionMethod,
         format: SymFormat,
     ) -> Self {
+        let strategy = ctx
+            .reduction(method.tag())
+            .expect("built-in reduction strategy missing from the context registry");
+        Self::build(sss, ctx, method, strategy, format)
+    }
+
+    /// Builds the kernel with a reduction strategy selected from the
+    /// context's registry by name — the route for strategies registered
+    /// beyond the three built-ins.
+    ///
+    /// Returns `None` when no strategy of that name is registered.
+    pub fn from_sss_named(
+        sss: SssMatrix,
+        ctx: &Arc<ExecutionContext>,
+        strategy_name: &str,
+        format: SymFormat,
+    ) -> Option<Self> {
+        let strategy = ctx.reduction(strategy_name)?;
+        // Classify the custom strategy into the nearest paper family so
+        // `method()` keeps reporting something meaningful.
+        let method = if !strategy.direct_write() {
+            ReductionMethod::Naive
+        } else if strategy.needs_index() {
+            ReductionMethod::Indexing
+        } else {
+            ReductionMethod::EffectiveRanges
+        };
+        Some(Self::build(sss, ctx, method, strategy, format))
+    }
+
+    fn build(
+        sss: SssMatrix,
+        ctx: &Arc<ExecutionContext>,
+        method: ReductionMethod,
+        strategy: Arc<dyn ReductionStrategy>,
+        format: SymFormat,
+    ) -> Self {
         let n = sss.n() as usize;
+        let nthreads = ctx.nthreads();
         assert!(
-            !(matches!(format, SymFormat::Hybrid { .. }) && method == ReductionMethod::Naive),
+            !matches!(format, SymFormat::Hybrid { .. }) || strategy.direct_write(),
             "the hybrid format supports the direct-write methods only"
         );
         let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), nthreads);
         let mut times = PhaseTimes::new();
 
-        let index = time_into(&mut times.preprocess, || match method {
-            ReductionMethod::Indexing => symbolic::analyze(&sss, &parts),
-            _ => ConflictIndex {
-                entries: Vec::new(),
-                conflicts: vec![Vec::new(); nthreads],
-                splits: vec![0; nthreads + 1],
-                effective_region_len: parts.iter().map(|r| r.start as usize).sum(),
-            },
+        let index = time_into(&mut times.preprocess, || {
+            if strategy.needs_index() {
+                symbolic::analyze(&sss, &parts)
+            } else {
+                ConflictIndex {
+                    entries: Vec::new(),
+                    conflicts: vec![Vec::new(); nthreads],
+                    splits: vec![0; nthreads + 1],
+                    effective_region_len: parts.iter().map(|r| r.start as usize).sum(),
+                }
+            }
         });
 
         let nnz_full = 2 * sss.lower_nnz() + n;
@@ -154,15 +211,26 @@ impl SymSpmv {
                 let m = time_into(&mut times.preprocess, || {
                     CsxSymMatrix::from_sss(&sss, &parts, csx)
                 });
-                let use_stream: Vec<bool> =
-                    m.chunks().iter().map(|c| c.coverage >= *min_coverage).collect();
-                Storage::Hybrid { sss, csx: m, use_stream }
+                let use_stream: Vec<bool> = m
+                    .chunks()
+                    .iter()
+                    .map(|c| c.coverage >= *min_coverage)
+                    .collect();
+                Storage::Hybrid {
+                    sss,
+                    csx: m,
+                    use_stream,
+                }
             }
         };
         let size_bytes = match &storage {
             Storage::Sss(s) => s.size_bytes(),
             Storage::CsxSym(m) => m.size_bytes(),
-            Storage::Hybrid { sss, csx, use_stream } => {
+            Storage::Hybrid {
+                sss,
+                csx,
+                use_stream,
+            } => {
                 // Per-chunk: the stream when adopted, SSS rows otherwise;
                 // the shared dvalues/rowptr overhead counted once via SSS.
                 let mut bytes = 8 * sss.n() as usize + 4 * (sss.n() as usize + 1);
@@ -177,23 +245,7 @@ impl SymSpmv {
             }
         };
 
-        // Local-vector layout.
-        let (flat_len, offsets) = match method {
-            ReductionMethod::Naive => {
-                let offsets = (0..nthreads).map(|i| i * n).collect();
-                (nthreads * n, offsets)
-            }
-            _ => {
-                let mut offsets = Vec::with_capacity(nthreads);
-                let mut acc = 0usize;
-                for part in &parts {
-                    offsets.push(acc);
-                    acc += part.start as usize;
-                }
-                (acc, offsets)
-            }
-        };
-
+        let layout = strategy.layout(n, &parts);
         let reduce_chunks = balanced_ranges(&vec![1u64; n], nthreads);
 
         SymSpmv {
@@ -201,12 +253,13 @@ impl SymSpmv {
             nnz_full,
             parts,
             method,
+            strategy,
             storage,
-            flat: vec![0.0; flat_len],
-            offsets,
+            local_len: layout.flat_len,
+            offsets: layout.offsets,
             index,
             reduce_chunks,
-            pool: WorkerPool::new(nthreads),
+            ctx: Arc::clone(ctx),
             times,
             size_bytes,
         }
@@ -217,12 +270,25 @@ impl SymSpmv {
         &self.parts
     }
 
-    /// The reduction method in use.
+    /// The reduction method in use (the paper family; custom registry
+    /// strategies report their nearest built-in).
     pub fn method(&self) -> ReductionMethod {
         self.method
     }
 
-    /// The conflict index (meaningful for the Indexing method).
+    /// The reduction strategy driving the fold phase.
+    pub fn strategy(&self) -> &Arc<dyn ReductionStrategy> {
+        &self.strategy
+    }
+
+    /// Elements of local-vector store leased from the arena per call —
+    /// `p·N` for the naive layout, `Σ start_i` for the effective layouts
+    /// (the working-set term of Eqs. 3/4/6).
+    pub fn local_len(&self) -> usize {
+        self.local_len
+    }
+
+    /// The conflict index (meaningful for index-consuming strategies).
     pub fn conflict_index(&self) -> &ConflictIndex {
         &self.index
     }
@@ -253,19 +319,23 @@ impl SymSpmv {
         }
     }
 
-    fn multiply(&mut self, x: &[Val], y: &mut [Val]) {
+    fn multiply(&self, x: &[Val], y: &mut [Val], flat_buf: SharedBuf<'_>) {
         let y_buf = SharedBuf::new(y);
-        let flat_buf = SharedBuf::new(&mut self.flat);
         let parts = &self.parts;
         let offsets = &self.offsets;
         let n = self.n;
-        match (&self.storage, self.method) {
-            (Storage::Hybrid { sss, csx, use_stream }, method) => {
+        let direct = self.strategy.direct_write();
+        match &self.storage {
+            Storage::Hybrid {
+                sss,
+                csx,
+                use_stream,
+            } => {
                 assert!(
-                    method != ReductionMethod::Naive,
+                    direct,
                     "the hybrid format supports the direct-write methods only"
                 );
-                self.pool.run(&|tid| {
+                self.ctx.run(&|tid| {
                     let part = parts[tid];
                     if part.is_empty() {
                         return;
@@ -287,8 +357,8 @@ impl SymSpmv {
                     }
                 });
             }
-            (Storage::Sss(sss), ReductionMethod::Naive) => {
-                self.pool.run(&|tid| {
+            Storage::Sss(sss) if !direct => {
+                self.ctx.run(&|tid| {
                     let part = parts[tid];
                     // SAFETY: region [tid·n, (tid+1)·n) is thread-private.
                     let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + n) };
@@ -305,8 +375,8 @@ impl SymSpmv {
                     }
                 });
             }
-            (Storage::Sss(sss), _) => {
-                self.pool.run(&|tid| {
+            Storage::Sss(sss) => {
+                self.ctx.run(&|tid| {
                     let part = parts[tid];
                     if part.is_empty() {
                         return;
@@ -323,8 +393,8 @@ impl SymSpmv {
                     sss_multiply_direct(sss, part, x, my_y, l);
                 });
             }
-            (Storage::CsxSym(m), ReductionMethod::Naive) => {
-                self.pool.run(&|tid| {
+            Storage::CsxSym(m) if !direct => {
+                self.ctx.run(&|tid| {
                     let part = parts[tid];
                     // SAFETY: full-length local region is thread-private.
                     let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + n) };
@@ -335,8 +405,8 @@ impl SymSpmv {
                     spmv_sym_stream_local_only(&m.chunks()[tid].stream, x, l);
                 });
             }
-            (Storage::CsxSym(m), _) => {
-                self.pool.run(&|tid| {
+            Storage::CsxSym(m) => {
+                self.ctx.run(&|tid| {
                     let part = parts[tid];
                     if part.is_empty() {
                         return;
@@ -357,67 +427,18 @@ impl SymSpmv {
         }
     }
 
-    fn reduce(&mut self, y: &mut [Val]) {
-        let y_buf = SharedBuf::new(y);
-        let flat_buf = SharedBuf::new(&mut self.flat);
-        let parts = &self.parts;
-        let offsets = &self.offsets;
-        let p = parts.len();
-        let chunks = &self.reduce_chunks;
-        let n = self.n;
-        match self.method {
-            ReductionMethod::Naive => {
-                self.pool.run(&|tid| {
-                    let chunk = chunks[tid];
-                    for r in chunk.start as usize..chunk.end as usize {
-                        let mut acc = 0.0;
-                        for i in 0..p {
-                            let k = i * n + r;
-                            // SAFETY: row r is owned by this reduction thread.
-                            unsafe {
-                                acc += flat_buf.get(k);
-                                flat_buf.set(k, 0.0);
-                            }
-                        }
-                        unsafe { y_buf.set(r, acc) };
-                    }
-                });
-            }
-            ReductionMethod::EffectiveRanges => {
-                self.pool.run(&|tid| {
-                    let chunk = chunks[tid];
-                    for r in chunk.start as usize..chunk.end as usize {
-                        // SAFETY: row r is owned by this reduction thread.
-                        let mut acc = unsafe { y_buf.get(r) };
-                        for (i, part) in parts.iter().enumerate().skip(1) {
-                            if (part.start as usize) > r {
-                                let k = offsets[i] + r;
-                                unsafe {
-                                    acc += flat_buf.get(k);
-                                    flat_buf.set(k, 0.0);
-                                }
-                            }
-                        }
-                        unsafe { y_buf.set(r, acc) };
-                    }
-                });
-            }
-            ReductionMethod::Indexing => {
-                let entries = &self.index.entries;
-                let splits = &self.index.splits;
-                self.pool.run(&|tid| {
-                    for e in &entries[splits[tid]..splits[tid + 1]] {
-                        let k = offsets[e.vid as usize] + e.idx as usize;
-                        // SAFETY: (vid, idx) pairs are unique and slices
-                        // never share an idx, so both accesses are exclusive.
-                        unsafe {
-                            y_buf.add(e.idx as usize, flat_buf.get(k));
-                            flat_buf.set(k, 0.0);
-                        }
-                    }
-                });
-            }
-        }
+    fn reduce(&self, y: &mut [Val], flat_buf: SharedBuf<'_>) {
+        let job = ReduceJob {
+            y: SharedBuf::new(y),
+            locals: flat_buf,
+            n: self.n,
+            parts: &self.parts,
+            offsets: &self.offsets,
+            row_chunks: &self.reduce_chunks,
+            entries: &self.index.entries,
+            splits: &self.index.splits,
+        };
+        self.ctx.with_pool(|pool| self.strategy.reduce(pool, &job));
     }
 }
 
@@ -457,12 +478,20 @@ impl ParallelSpmv for SymSpmv {
     fn spmv(&mut self, x: &[Val], y: &mut [Val]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
+        // The lease must borrow the local Arc, not `self.ctx`, so the
+        // timed phases below can still borrow `self`.
+        let ctx = Arc::clone(&self.ctx);
+        let mut locals = ctx.lease(self.local_len);
+        let flat_buf = SharedBuf::new(&mut locals);
+
         let mut multiply = std::mem::take(&mut self.times.multiply);
-        time_into(&mut multiply, || self.multiply(x, y));
+        time_into(&mut multiply, || self.multiply(x, y, flat_buf));
         self.times.multiply = multiply;
 
         let mut reduce = std::mem::take(&mut self.times.reduce);
-        time_into(&mut reduce, || self.reduce(y));
+        // The strategy re-zeroes every local element the multiply phase
+        // wrote, which is exactly what the lease contract requires.
+        time_into(&mut reduce, || self.reduce(y, flat_buf));
         self.times.reduce = reduce;
     }
 
@@ -486,17 +515,27 @@ impl ParallelSpmv for SymSpmv {
         self.times = PhaseTimes::new();
     }
 
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         let fmt = match self.storage {
             Storage::Sss(_) => "sss",
             Storage::CsxSym(_) => "csxsym",
             Storage::Hybrid { .. } => "hybrid",
         };
-        format!("{fmt}-{}", self.method.tag())
+        match (fmt, self.strategy.name()) {
+            ("sss", "naive") => Cow::Borrowed("sss-naive"),
+            ("sss", "eff") => Cow::Borrowed("sss-eff"),
+            ("sss", "idx") => Cow::Borrowed("sss-idx"),
+            ("csxsym", "naive") => Cow::Borrowed("csxsym-naive"),
+            ("csxsym", "eff") => Cow::Borrowed("csxsym-eff"),
+            ("csxsym", "idx") => Cow::Borrowed("csxsym-idx"),
+            ("hybrid", "eff") => Cow::Borrowed("hybrid-eff"),
+            ("hybrid", "idx") => Cow::Borrowed("hybrid-idx"),
+            (fmt, tag) => Cow::Owned(format!("{fmt}-{tag}")),
+        }
     }
 
-    fn nthreads(&self) -> usize {
-        self.pool.nthreads()
+    fn context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 }
 
@@ -506,18 +545,21 @@ mod tests {
     use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
 
     fn csx_cfg() -> DetectConfig {
-        DetectConfig { min_coverage: 0.0, ..DetectConfig::default() }
+        DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        }
     }
 
-    fn all_engines(coo: &CooMatrix, p: usize) -> Vec<SymSpmv> {
+    fn all_engines(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Vec<SymSpmv> {
         let mut v = Vec::new();
         for method in [
             ReductionMethod::Naive,
             ReductionMethod::EffectiveRanges,
             ReductionMethod::Indexing,
         ] {
-            v.push(SymSpmv::from_coo(coo, p, method, SymFormat::Sss).unwrap());
-            v.push(SymSpmv::from_coo(coo, p, method, SymFormat::CsxSym(csx_cfg())).unwrap());
+            v.push(SymSpmv::from_coo(coo, ctx, method, SymFormat::Sss).unwrap());
+            v.push(SymSpmv::from_coo(coo, ctx, method, SymFormat::CsxSym(csx_cfg())).unwrap());
         }
         v
     }
@@ -532,7 +574,8 @@ mod tests {
         sss.spmv(&x, &mut y_ref);
 
         for p in [1usize, 2, 3, 7, 8] {
-            for mut eng in all_engines(&coo, p) {
+            let ctx = ExecutionContext::new(p);
+            for mut eng in all_engines(&coo, &ctx) {
                 let mut y = vec![f64::NAN; n];
                 eng.spmv(&x, &mut y);
                 assert_vec_close(&y, &y_ref, 1e-12);
@@ -552,7 +595,8 @@ mod tests {
         let x = seeded_vector(500, 9);
         let mut y_ref = vec![0.0; 500];
         sss.spmv(&x, &mut y_ref);
-        for mut eng in all_engines(&coo, 6) {
+        let ctx = ExecutionContext::new(6);
+        for mut eng in all_engines(&coo, &ctx) {
             let mut y = vec![0.0; 500];
             eng.spmv(&x, &mut y);
             assert_vec_close(&y, &y_ref, 1e-12);
@@ -562,11 +606,16 @@ mod tests {
     #[test]
     fn block_matrix_csx_sym_compresses_beyond_sss() {
         let coo = symspmv_sparse::gen::block_structural(120, 3, 12.0, 20, 3);
+        let ctx = ExecutionContext::new(4);
         let sss_eng =
-            SymSpmv::from_coo(&coo, 4, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
-        let csx_eng =
-            SymSpmv::from_coo(&coo, 4, ReductionMethod::Indexing, SymFormat::CsxSym(csx_cfg()))
-                .unwrap();
+            SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let csx_eng = SymSpmv::from_coo(
+            &coo,
+            &ctx,
+            ReductionMethod::Indexing,
+            SymFormat::CsxSym(csx_cfg()),
+        )
+        .unwrap();
         assert!(
             csx_eng.size_bytes() < sss_eng.size_bytes(),
             "CSX-Sym {} vs SSS {}",
@@ -579,8 +628,9 @@ mod tests {
     #[test]
     fn phase_times_recorded() {
         let coo = symspmv_sparse::gen::laplacian_2d(30, 30);
+        let ctx = ExecutionContext::new(4);
         let mut eng =
-            SymSpmv::from_coo(&coo, 4, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+            SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
         let x = seeded_vector(900, 1);
         let mut y = vec![0.0; 900];
         eng.spmv(&x, &mut y);
@@ -593,11 +643,20 @@ mod tests {
     #[test]
     fn names_identify_configuration() {
         let coo = symspmv_sparse::gen::laplacian_2d(8, 8);
-        let e1 = SymSpmv::from_coo(&coo, 2, ReductionMethod::Naive, SymFormat::Sss).unwrap();
+        let ctx = ExecutionContext::new(2);
+        let e1 = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Naive, SymFormat::Sss).unwrap();
         assert_eq!(e1.name(), "sss-naive");
-        let e2 =
-            SymSpmv::from_coo(&coo, 2, ReductionMethod::Indexing, SymFormat::CsxSym(csx_cfg()))
-                .unwrap();
+        assert!(
+            matches!(e1.name(), Cow::Borrowed(_)),
+            "built-in names must not allocate"
+        );
+        let e2 = SymSpmv::from_coo(
+            &coo,
+            &ctx,
+            ReductionMethod::Indexing,
+            SymFormat::CsxSym(csx_cfg()),
+        )
+        .unwrap();
         assert_eq!(e2.name(), "csxsym-idx");
     }
 
@@ -605,7 +664,8 @@ mod tests {
     fn asymmetric_input_rejected() {
         let mut coo = CooMatrix::new(3, 3);
         coo.push(0, 1, 1.0);
-        assert!(SymSpmv::from_coo(&coo, 2, ReductionMethod::Naive, SymFormat::Sss).is_err());
+        let ctx = ExecutionContext::new(2);
+        assert!(SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Naive, SymFormat::Sss).is_err());
     }
 
     #[test]
@@ -613,11 +673,15 @@ mod tests {
         // The core claim of §III-C: the index touches far fewer elements
         // than the effective regions contain.
         let coo = symspmv_sparse::gen::banded_random(2000, 50, 12.0, 8);
-        let eng =
-            SymSpmv::from_coo(&coo, 8, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let ctx = ExecutionContext::new(8);
+        let eng = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
         let ci = eng.conflict_index();
-        assert!(ci.entries.len() < ci.effective_region_len / 2,
-            "index {} vs effective region {}", ci.entries.len(), ci.effective_region_len);
+        assert!(
+            ci.entries.len() < ci.effective_region_len / 2,
+            "index {} vs effective region {}",
+            ci.entries.len(),
+            ci.effective_region_len
+        );
         assert!(ci.density() < 0.5);
     }
 
@@ -627,13 +691,56 @@ mod tests {
         for i in 0..16 {
             coo.push(i, i, 3.0);
         }
-        for mut eng in all_engines(&coo, 4) {
+        let ctx = ExecutionContext::new(4);
+        for mut eng in all_engines(&coo, &ctx) {
             let x = seeded_vector(16, 2);
             let mut y = vec![0.0; 16];
             eng.spmv(&x, &mut y);
             let expect: Vec<f64> = x.iter().map(|v| 3.0 * v).collect();
             assert_vec_close(&y, &expect, 1e-12);
         }
+    }
+
+    #[test]
+    fn strategies_resolved_from_registry() {
+        // A custom strategy registered with the context is reachable by
+        // name and drives the kernel end to end.
+        struct Renamed(symspmv_runtime::reduction::NaiveReduction);
+        impl ReductionStrategy for Renamed {
+            fn name(&self) -> &'static str {
+                "naive-v2"
+            }
+            fn direct_write(&self) -> bool {
+                self.0.direct_write()
+            }
+            fn layout(&self, n: usize, parts: &[Range]) -> symspmv_runtime::reduction::LocalLayout {
+                self.0.layout(n, parts)
+            }
+            fn reduce(&self, pool: &mut symspmv_runtime::WorkerPool, job: &ReduceJob<'_>) {
+                self.0.reduce(pool, job)
+            }
+        }
+
+        let coo = symspmv_sparse::gen::banded_random(200, 12, 6.0, 11);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = seeded_vector(200, 3);
+        let mut y_ref = vec![0.0; 200];
+        sss.spmv(&x, &mut y_ref);
+
+        let ctx = ExecutionContext::new(3);
+        assert!(
+            SymSpmv::from_sss_named(sss.clone(), &ctx, "naive-v2", SymFormat::Sss).is_none(),
+            "unregistered names must be rejected"
+        );
+        ctx.register_reduction(Arc::new(Renamed(
+            symspmv_runtime::reduction::NaiveReduction,
+        )));
+        let mut eng = SymSpmv::from_sss_named(sss, &ctx, "naive-v2", SymFormat::Sss).unwrap();
+        assert_eq!(eng.name(), "sss-naive-v2");
+        assert_eq!(eng.method(), ReductionMethod::Naive);
+        let mut y = vec![0.0; 200];
+        eng.spmv(&x, &mut y);
+        assert_vec_close(&y, &y_ref, 1e-12);
     }
 }
 
@@ -644,7 +751,11 @@ mod edge_tests {
     use symspmv_sparse::CooMatrix;
 
     fn methods() -> [ReductionMethod; 3] {
-        [ReductionMethod::Naive, ReductionMethod::EffectiveRanges, ReductionMethod::Indexing]
+        [
+            ReductionMethod::Naive,
+            ReductionMethod::EffectiveRanges,
+            ReductionMethod::Indexing,
+        ]
     }
 
     #[test]
@@ -656,10 +767,14 @@ mod edge_tests {
         let x = seeded_vector(9, 1);
         let mut y_ref = vec![0.0; 9];
         sss.spmv(&x, &mut y_ref);
-        let dcfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let dcfg = DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        };
+        let ctx = ExecutionContext::new(32);
         for method in methods() {
             for format in [SymFormat::Sss, SymFormat::CsxSym(dcfg.clone())] {
-                let mut eng = SymSpmv::from_coo(&coo, 32, method, format).unwrap();
+                let mut eng = SymSpmv::from_coo(&coo, &ctx, method, format).unwrap();
                 let mut y = vec![f64::NAN; 9];
                 eng.spmv(&x, &mut y);
                 assert_vec_close(&y, &y_ref, 1e-12);
@@ -671,8 +786,9 @@ mod edge_tests {
     fn one_by_one_matrix() {
         let mut coo = CooMatrix::new(1, 1);
         coo.push(0, 0, 5.0);
+        let ctx = ExecutionContext::new(2);
         for method in methods() {
-            let mut eng = SymSpmv::from_coo(&coo, 2, method, SymFormat::Sss).unwrap();
+            let mut eng = SymSpmv::from_coo(&coo, &ctx, method, SymFormat::Sss).unwrap();
             let mut y = vec![0.0];
             eng.spmv(&[3.0], &mut y);
             assert_eq!(y, vec![15.0]);
@@ -697,11 +813,16 @@ mod edge_tests {
         let mut y_ref = vec![0.0; n as usize];
         sss.spmv(&x, &mut y_ref);
         for p in [2usize, 4, 8] {
+            let ctx = ExecutionContext::new(p);
             let mut eng =
-                SymSpmv::from_coo(&coo, p, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+                SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
             // Index has exactly p-1 entries, all with idx 0 (minus thread 0).
-            let nonempty =
-                eng.partitions().iter().skip(1).filter(|r| !r.is_empty()).count();
+            let nonempty = eng
+                .partitions()
+                .iter()
+                .skip(1)
+                .filter(|r| !r.is_empty())
+                .count();
             assert_eq!(eng.conflict_index().entries.len(), nonempty);
             let mut y = vec![0.0; n as usize];
             eng.spmv(&x, &mut y);
@@ -712,13 +833,15 @@ mod edge_tests {
     #[test]
     fn working_set_allocation_matches_method() {
         let coo = symspmv_sparse::gen::laplacian_2d(16, 16); // N = 256
-        let naive =
-            SymSpmv::from_coo(&coo, 4, ReductionMethod::Naive, SymFormat::Sss).unwrap();
-        let idx =
-            SymSpmv::from_coo(&coo, 4, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
-        // Naive allocates p*N local elements; indexing only Σ start_i.
-        assert_eq!(naive.flat.len(), 4 * 256);
-        assert!(idx.flat.len() < 3 * 256, "effective regions are Σ start_i < (p-1)N");
+        let ctx = ExecutionContext::new(4);
+        let naive = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Naive, SymFormat::Sss).unwrap();
+        let idx = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        // Naive leases p*N local elements; indexing only Σ start_i.
+        assert_eq!(naive.local_len(), 4 * 256);
+        assert!(
+            idx.local_len() < 3 * 256,
+            "effective regions are Σ start_i < (p-1)N"
+        );
     }
 }
 
@@ -729,7 +852,10 @@ mod hybrid_tests {
 
     fn hybrid(threshold: f64) -> SymFormat {
         SymFormat::Hybrid {
-            csx: DetectConfig { min_coverage: 0.0, ..DetectConfig::default() },
+            csx: DetectConfig {
+                min_coverage: 0.0,
+                ..DetectConfig::default()
+            },
             min_coverage: threshold,
         }
     }
@@ -758,8 +884,9 @@ mod hybrid_tests {
         let mut y_ref = vec![0.0; n as usize];
         sss.spmv(&x, &mut y_ref);
 
+        let ctx = ExecutionContext::new(4);
         for method in [ReductionMethod::EffectiveRanges, ReductionMethod::Indexing] {
-            let mut eng = SymSpmv::from_coo(&coo, 4, method, hybrid(0.5)).unwrap();
+            let mut eng = SymSpmv::from_coo(&coo, &ctx, method, hybrid(0.5)).unwrap();
             let streamed = eng.hybrid_streamed_chunks().unwrap().to_vec();
             assert!(streamed.iter().any(|&b| b), "blocky chunks should stream");
             let mut y = vec![f64::NAN; n as usize];
@@ -771,15 +898,15 @@ mod hybrid_tests {
     #[test]
     fn hybrid_thresholds_select_paths() {
         let coo = symspmv_sparse::gen::block_structural(80, 3, 8.0, 16, 3);
+        let ctx = ExecutionContext::new(3);
         // Threshold 0: everything streams. Threshold > 1: nothing does.
-        let all = SymSpmv::from_coo(&coo, 3, ReductionMethod::Indexing, hybrid(0.0)).unwrap();
+        let all = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, hybrid(0.0)).unwrap();
         assert!(all.hybrid_streamed_chunks().unwrap().iter().all(|&b| b));
-        let none =
-            SymSpmv::from_coo(&coo, 3, ReductionMethod::Indexing, hybrid(1.1)).unwrap();
+        let none = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, hybrid(1.1)).unwrap();
         assert!(none.hybrid_streamed_chunks().unwrap().iter().all(|&b| !b));
         assert_eq!(all.name(), "hybrid-idx");
         // Size: the no-stream hybrid approximates the SSS size.
-        let sss = SymSpmv::from_coo(&coo, 3, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let sss = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
         let ratio = none.size_bytes() as f64 / sss.size_bytes() as f64;
         assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
     }
@@ -788,6 +915,7 @@ mod hybrid_tests {
     #[should_panic(expected = "direct-write methods only")]
     fn hybrid_rejects_naive() {
         let coo = symspmv_sparse::gen::laplacian_2d(8, 8);
-        let _ = SymSpmv::from_coo(&coo, 2, ReductionMethod::Naive, hybrid(0.5));
+        let ctx = ExecutionContext::new(2);
+        let _ = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Naive, hybrid(0.5));
     }
 }

@@ -11,10 +11,12 @@
 
 use crate::shared::SharedBuf;
 use crate::traits::ParallelSpmv;
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use symspmv_runtime::timing::time_into;
 use symspmv_runtime::{
-    balanced_ranges, partition::symmetric_row_weights, PhaseTimes, Range, WorkerPool,
+    balanced_ranges, partition::symmetric_row_weights, ExecutionContext, PhaseTimes, Range,
 };
 use symspmv_sparse::{CooMatrix, SparseError, SssMatrix, Val};
 
@@ -22,21 +24,26 @@ use symspmv_sparse::{CooMatrix, SparseError, SssMatrix, Val};
 pub struct SssAtomicParallel {
     sss: SssMatrix,
     parts: Vec<Range>,
-    pool: WorkerPool,
+    ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
 }
 
 impl SssAtomicParallel {
     /// Builds the kernel from a full symmetric COO matrix.
-    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Result<Self, SparseError> {
+    pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Result<Self, SparseError> {
         let sss = SssMatrix::from_coo(coo, 0.0)?;
-        Ok(Self::from_sss(sss, nthreads))
+        Ok(Self::from_sss(sss, ctx))
     }
 
     /// Builds the kernel from an SSS matrix.
-    pub fn from_sss(sss: SssMatrix, nthreads: usize) -> Self {
-        let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), nthreads);
-        SssAtomicParallel { sss, parts, pool: WorkerPool::new(nthreads), times: PhaseTimes::new() }
+    pub fn from_sss(sss: SssMatrix, ctx: &Arc<ExecutionContext>) -> Self {
+        let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), ctx.nthreads());
+        SssAtomicParallel {
+            sss,
+            parts,
+            ctx: Arc::clone(ctx),
+            times: PhaseTimes::new(),
+        }
     }
 
     /// The row partition in use.
@@ -51,12 +58,7 @@ fn atomic_add_f64(slot: &AtomicU64, v: Val) {
     let mut cur = slot.load(Ordering::Relaxed);
     loop {
         let new = f64::from_bits(cur) + v;
-        match slot.compare_exchange_weak(
-            cur,
-            new.to_bits(),
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-        ) {
+        match slot.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(seen) => cur = seen,
         }
@@ -76,7 +78,7 @@ impl ParallelSpmv for SssAtomicParallel {
         let init_chunks = balanced_ranges(&vec![1u64; n], parts.len());
         let y_buf = SharedBuf::new(y);
         time_into(&mut self.times.multiply, || {
-            self.pool.run(&|tid| {
+            self.ctx.run(&|tid| {
                 let chunk = init_chunks[tid];
                 // SAFETY: init chunks tile 0..N disjointly.
                 let my = unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
@@ -92,16 +94,13 @@ impl ParallelSpmv for SssAtomicParallel {
             // because any element can simultaneously receive transposed
             // updates from other threads (mixing plain and atomic accesses
             // to the same location would be a data race).
-            self.pool.run(&|tid| {
+            self.ctx.run(&|tid| {
                 let part = parts[tid];
                 // SAFETY: AtomicU64 has the same layout as u64/f64; after
                 // phase A's barrier, all phase-B accesses go through this
                 // atomic view.
                 let y_atomic: &[AtomicU64] = unsafe {
-                    std::slice::from_raw_parts(
-                        y_buf.full_mut().as_ptr() as *const AtomicU64,
-                        n,
-                    )
+                    std::slice::from_raw_parts(y_buf.full_mut().as_ptr() as *const AtomicU64, n)
                 };
                 for r in part.start..part.end {
                     let (cols, vals) = sss.row(r);
@@ -138,12 +137,12 @@ impl ParallelSpmv for SssAtomicParallel {
         self.times = PhaseTimes::new();
     }
 
-    fn name(&self) -> String {
-        "sss-atomic".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("sss-atomic")
     }
 
-    fn nthreads(&self) -> usize {
-        self.pool.nthreads()
+    fn context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 }
 
@@ -160,7 +159,8 @@ mod tests {
         let mut y_ref = vec![0.0; 400];
         sss.spmv(&x, &mut y_ref);
         for p in [1usize, 2, 4, 8] {
-            let mut k = SssAtomicParallel::from_coo(&coo, p).unwrap();
+            let ctx = ExecutionContext::new(p);
+            let mut k = SssAtomicParallel::from_coo(&coo, &ctx).unwrap();
             let mut y = vec![f64::NAN; 400];
             k.spmv(&x, &mut y);
             assert_vec_close(&y, &y_ref, 1e-12);
@@ -181,7 +181,8 @@ mod tests {
         let x = seeded_vector(256, 5);
         let mut y_ref = vec![0.0; 256];
         SssMatrix::from_coo(&coo, 0.0).unwrap().spmv(&x, &mut y_ref);
-        let mut k = SssAtomicParallel::from_coo(&coo, 8).unwrap();
+        let ctx = ExecutionContext::new(8);
+        let mut k = SssAtomicParallel::from_coo(&coo, &ctx).unwrap();
         // Repeat to give races a chance to surface.
         for _ in 0..20 {
             let mut y = vec![0.0; 256];
@@ -200,7 +201,7 @@ mod tests {
     #[test]
     fn interface_metadata() {
         let coo = symspmv_sparse::gen::laplacian_2d(10, 10);
-        let k = SssAtomicParallel::from_coo(&coo, 2).unwrap();
+        let k = SssAtomicParallel::from_coo(&coo, &ExecutionContext::new(2)).unwrap();
         assert_eq!(k.name(), "sss-atomic");
         assert_eq!(k.n(), 100);
         assert!(k.size_bytes() > 0);

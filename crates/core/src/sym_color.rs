@@ -13,8 +13,10 @@
 
 use crate::shared::SharedBuf;
 use crate::traits::ParallelSpmv;
+use std::borrow::Cow;
+use std::sync::Arc;
 use symspmv_runtime::timing::time_into;
-use symspmv_runtime::{balanced_ranges, PhaseTimes, Range, WorkerPool};
+use symspmv_runtime::{balanced_ranges, ExecutionContext, PhaseTimes, Range};
 use symspmv_sparse::{CooMatrix, Idx, SparseError, SssMatrix, Val};
 
 /// Result of the conflict coloring.
@@ -99,20 +101,21 @@ pub struct SssColorParallel {
     coloring: Coloring,
     /// Per color class: thread partition over the class's row list.
     class_parts: Vec<Vec<Range>>,
-    pool: WorkerPool,
+    ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
 }
 
 impl SssColorParallel {
     /// Builds the kernel from a full symmetric COO matrix.
-    pub fn from_coo(coo: &CooMatrix, nthreads: usize) -> Result<Self, SparseError> {
+    pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Result<Self, SparseError> {
         let sss = SssMatrix::from_coo(coo, 0.0)?;
-        Ok(Self::from_sss(sss, nthreads))
+        Ok(Self::from_sss(sss, ctx))
     }
 
     /// Builds the kernel from SSS storage; the coloring is computed here
     /// and timed as preprocessing.
-    pub fn from_sss(sss: SssMatrix, nthreads: usize) -> Self {
+    pub fn from_sss(sss: SssMatrix, ctx: &Arc<ExecutionContext>) -> Self {
+        let nthreads = ctx.nthreads();
         let mut times = PhaseTimes::new();
         let coloring = time_into(&mut times.preprocess, || color_rows(&sss));
         let class_parts = coloring
@@ -133,7 +136,7 @@ impl SssColorParallel {
             sss,
             coloring,
             class_parts,
-            pool: WorkerPool::new(nthreads),
+            ctx: Arc::clone(ctx),
             times,
         }
     }
@@ -156,12 +159,11 @@ impl ParallelSpmv for SssColorParallel {
 
         time_into(&mut self.times.multiply, || {
             // Diagonal init, row-parallel.
-            let chunks = balanced_ranges(&vec![1u64; n], self.pool.nthreads());
-            self.pool.run(&|tid| {
+            let chunks = balanced_ranges(&vec![1u64; n], self.ctx.nthreads());
+            self.ctx.run(&|tid| {
                 let chunk = chunks[tid];
                 // SAFETY: chunks tile 0..N disjointly.
-                let my =
-                    unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
+                let my = unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
                 let dv = &sss.dvalues()[chunk.start as usize..chunk.end as usize];
                 let xs = &x[chunk.start as usize..chunk.end as usize];
                 for ((slot, &d), &xi) in my.iter_mut().zip(dv).zip(xs) {
@@ -169,9 +171,9 @@ impl ParallelSpmv for SssColorParallel {
                 }
             });
 
-            // One parallel pass per color class; pool.run is the barrier.
+            // One parallel pass per color class; each run is the barrier.
             for (rows, parts) in coloring.classes.iter().zip(class_parts) {
-                self.pool.run(&|tid| {
+                self.ctx.run(&|tid| {
                     let part = parts[tid];
                     for &r in &rows[part.start as usize..part.end as usize] {
                         let (cols, vals) = sss.row(r);
@@ -211,12 +213,12 @@ impl ParallelSpmv for SssColorParallel {
         self.times = PhaseTimes::new();
     }
 
-    fn name(&self) -> String {
-        "sss-color".into()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("sss-color")
     }
 
-    fn nthreads(&self) -> usize {
-        self.pool.nthreads()
+    fn context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
     }
 }
 
@@ -287,7 +289,8 @@ mod tests {
             let mut y_ref = vec![0.0; n];
             sss.spmv(&x, &mut y_ref);
             for p in [1usize, 3, 8] {
-                let mut k = SssColorParallel::from_coo(&coo, p).unwrap();
+                let ctx = ExecutionContext::new(p);
+                let mut k = SssColorParallel::from_coo(&coo, &ctx).unwrap();
                 let mut y = vec![f64::NAN; n];
                 k.spmv(&x, &mut y);
                 assert_vec_close(&y, &y_ref, 1e-12);
@@ -298,7 +301,7 @@ mod tests {
     #[test]
     fn preprocessing_recorded_and_named() {
         let coo = symspmv_sparse::gen::laplacian_2d(20, 20);
-        let k = SssColorParallel::from_coo(&coo, 2).unwrap();
+        let k = SssColorParallel::from_coo(&coo, &ExecutionContext::new(2)).unwrap();
         assert_eq!(k.name(), "sss-color");
         assert!(k.times().preprocess > std::time::Duration::ZERO);
         assert!(k.coloring().ncolors() >= 2);

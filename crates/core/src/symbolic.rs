@@ -11,17 +11,11 @@
 use symspmv_runtime::{balanced_ranges, Range};
 use symspmv_sparse::{Idx, SssMatrix};
 
-/// One entry of the reduction index: local vector id + element index.
-///
-/// The paper stores both fields in four bytes each ("we use generously four
-/// bytes for the vid field"); we mirror that layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct IndexEntry {
-    /// Local-vector (thread) id.
-    pub vid: Idx,
-    /// Row index inside the local vector (== output-vector row).
-    pub idx: Idx,
-}
+// The entry type lives in the runtime crate next to the reduction
+// strategies that consume it; re-exported here so the analysis API is
+// self-contained. The paper stores both fields in four bytes each ("we use
+// generously four bytes for the vid field"); the layout mirrors that.
+pub use symspmv_runtime::reduction::IndexEntry;
 
 /// The symbolic analysis result driving the indexing reduction.
 #[derive(Debug, Clone)]
@@ -103,13 +97,23 @@ pub fn analyze(sss: &SssMatrix, parts: &[Range]) -> ConflictIndex {
     let mut entries: Vec<IndexEntry> = conflicts
         .iter()
         .enumerate()
-        .flat_map(|(i, rows)| rows.iter().map(move |&c| IndexEntry { vid: i as Idx, idx: c }))
+        .flat_map(|(i, rows)| {
+            rows.iter().map(move |&c| IndexEntry {
+                vid: i as Idx,
+                idx: c,
+            })
+        })
         .collect();
     entries.sort_unstable_by_key(|e| (e.idx, e.vid));
 
     let splits = split_entries(&entries, p);
     let effective_region_len = parts.iter().map(|r| r.start as usize).sum();
-    ConflictIndex { entries, conflicts, splits, effective_region_len }
+    ConflictIndex {
+        entries,
+        conflicts,
+        splits,
+        effective_region_len,
+    }
 }
 
 /// Splits the sorted index into `p` balanced slices, moving each boundary
@@ -150,7 +154,16 @@ mod tests {
     }
 
     fn parts2(n: Idx) -> Vec<Range> {
-        vec![Range { start: 0, end: n / 2 }, Range { start: n / 2, end: n }]
+        vec![
+            Range {
+                start: 0,
+                end: n / 2,
+            },
+            Range {
+                start: n / 2,
+                end: n,
+            },
+        ]
     }
 
     #[test]
@@ -200,7 +213,10 @@ mod tests {
         let lower: Vec<(Idx, Idx)> = lower.into_iter().filter(|&(r, c)| c < r).collect();
         let sss = sss_from_lower(&lower, 16);
         let parts: Vec<Range> = (0..4)
-            .map(|i| Range { start: i * 4, end: (i + 1) * 4 })
+            .map(|i| Range {
+                start: i * 4,
+                end: (i + 1) * 4,
+            })
             .collect();
         let ci = analyze(&sss, &parts);
         assert_eq!(ci.splits.len(), 5);
@@ -258,8 +274,10 @@ mod packed_tests {
     fn packed_layout_saves_three_eighths() {
         let coo = symspmv_sparse::gen::mixed_bandwidth(512, 8.0, 0.4, 8, 3);
         let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
-        let parts =
-            balanced_ranges(&symspmv_runtime::partition::symmetric_row_weights(sss.rowptr()), 8);
+        let parts = balanced_ranges(
+            &symspmv_runtime::partition::symmetric_row_weights(sss.rowptr()),
+            8,
+        );
         let ci = analyze(&sss, &parts);
         assert!(ci.index_bytes() > 0);
         assert_eq!(ci.index_bytes_packed(8), ci.index_bytes() / 8 * 5);

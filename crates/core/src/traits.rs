@@ -4,10 +4,14 @@
 //! storage format implementations through a well-defined sparse matrix-
 //! vector multiplication interface" — this trait is that interface.
 
-use symspmv_runtime::PhaseTimes;
+use std::borrow::Cow;
+use std::sync::Arc;
+use symspmv_runtime::{ExecutionContext, PhaseTimes};
 use symspmv_sparse::Val;
 
-/// A multithreaded SpMV kernel bound to one matrix and one thread count.
+/// A multithreaded SpMV kernel bound to one matrix and one
+/// [`ExecutionContext`] (which supplies the shared worker pool and buffer
+/// arena).
 pub trait ParallelSpmv {
     /// Computes `y = A·x`.
     fn spmv(&mut self, x: &[Val], y: &mut [Val]);
@@ -28,11 +32,18 @@ pub trait ParallelSpmv {
     /// Resets the phase-time accumulators.
     fn reset_times(&mut self);
 
-    /// Short kernel name for reports (e.g. `"csr"`, `"sss-idx"`).
-    fn name(&self) -> String;
+    /// Short kernel name for reports (e.g. `"csr"`, `"sss-idx"`). Borrowed
+    /// (`'static`) for every built-in kernel so report loops do not
+    /// allocate.
+    fn name(&self) -> Cow<'static, str>;
+
+    /// The execution context this kernel borrows its pool and buffers from.
+    fn context(&self) -> &Arc<ExecutionContext>;
 
     /// Number of worker threads.
-    fn nthreads(&self) -> usize;
+    fn nthreads(&self) -> usize {
+        self.context().nthreads()
+    }
 
     /// Floating-point operations per SpMV invocation.
     fn flops(&self) -> u64 {

@@ -38,7 +38,10 @@ impl CsbMatrix {
 
     /// Builds a CSB matrix with an explicit block size β (≤ 65 536).
     pub fn with_beta(coo: &CooMatrix, beta: u32) -> Self {
-        assert!(beta > 0 && beta <= 1 << 16, "beta must fit 16-bit local indices");
+        assert!(
+            beta > 0 && beta <= 1 << 16,
+            "beta must fit 16-bit local indices"
+        );
         let mut c = coo.clone();
         c.canonicalize();
         let nrows = c.nrows();
@@ -71,7 +74,16 @@ impl CsbMatrix {
             locind[k] = (lr << 16) | lc;
             values[k] = v;
         }
-        CsbMatrix { nrows, ncols, beta, nbr, nbc, blk_ptr, locind, values }
+        CsbMatrix {
+            nrows,
+            ncols,
+            beta,
+            nbr,
+            nbc,
+            blk_ptr,
+            locind,
+            values,
+        }
     }
 
     /// Number of rows.

@@ -38,7 +38,11 @@ impl CsbSymMatrix {
             Some(b) => CsbMatrix::with_beta(&lower_coo, b),
             None => CsbMatrix::from_coo(&lower_coo),
         };
-        CsbSymMatrix { n, dvalues: sss.dvalues().to_vec(), lower }
+        CsbSymMatrix {
+            n,
+            dvalues: sss.dvalues().to_vec(),
+            lower,
+        }
     }
 
     /// Matrix dimension.
@@ -94,7 +98,11 @@ impl CsbSymMatrix {
     #[inline]
     pub fn element(&self, k: usize) -> (usize, usize, Val) {
         let li = self.lower_locind()[k];
-        ((li >> 16) as usize, (li & 0xFFFF) as usize, self.lower_values()[k])
+        (
+            (li >> 16) as usize,
+            (li & 0xFFFF) as usize,
+            self.lower_values()[k],
+        )
     }
 
     fn lower_locind(&self) -> &[u32] {

@@ -1,40 +1,49 @@
-//! Property tests for the CSB formats.
+//! Randomized tests for the CSB formats.
+//!
+//! Formerly proptest-based; now driven by the workspace's own seeded
+//! [`StdRng`] so the coverage survives without external crates and every
+//! case is exactly reproducible from its loop index.
 
-use proptest::prelude::*;
 use symspmv_csb::{CsbMatrix, CsbSymMatrix};
+use symspmv_sparse::rng::StdRng;
 use symspmv_sparse::{CooMatrix, Idx, SssMatrix};
 
-fn arb_coo(max_dim: Idx, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
-    (2..max_dim, 2..max_dim).prop_flat_map(move |(nr, nc)| {
-        proptest::collection::vec((0..nr, 0..nc, -3.0f64..3.0), 0..max_nnz).prop_map(
-            move |trips| {
-                let mut coo = CooMatrix::new(nr, nc);
-                let mut seen = std::collections::HashSet::new();
-                for (r, c, v) in trips {
-                    if v != 0.0 && seen.insert((r, c)) {
-                        coo.push(r, c, v);
-                    }
-                }
-                coo.canonicalize();
-                coo
-            },
-        )
-    })
+const CASES: u64 = 64;
+
+fn random_coo(rng: &mut StdRng, max_dim: Idx, max_nnz: usize) -> CooMatrix {
+    let nr = rng.random_range(2..max_dim);
+    let nc = rng.random_range(2..max_dim);
+    let mut coo = CooMatrix::new(nr, nc);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..rng.random_range(0..=max_nnz) {
+        let r = rng.random_range(0..nr);
+        let c = rng.random_range(0..nc);
+        let v = rng.random_range(-3.0..3.0);
+        if v != 0.0 && seen.insert((r, c)) {
+            coo.push(r, c, v);
+        }
+    }
+    coo.canonicalize();
+    coo
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn round_trip(coo in arb_coo(70, 300), beta_pow in 2u32..7) {
-        let beta = 1u32 << beta_pow;
+#[test]
+fn round_trip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x50_0000 + case);
+        let coo = random_coo(&mut rng, 70, 300);
+        let beta = 1u32 << rng.random_range(2u32..7);
         let csb = CsbMatrix::with_beta(&coo, beta);
-        prop_assert_eq!(csb.to_coo(), coo.clone());
-        prop_assert_eq!(csb.nnz(), coo.nnz());
+        assert_eq!(csb.to_coo(), coo, "case {case} (beta {beta})");
+        assert_eq!(csb.nnz(), coo.nnz(), "case {case}");
     }
+}
 
-    #[test]
-    fn spmv_and_transpose_match_reference(coo in arb_coo(60, 250)) {
+#[test]
+fn spmv_and_transpose_match_reference() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x60_0000 + case);
+        let coo = random_coo(&mut rng, 60, 250);
         let csb = CsbMatrix::from_coo(&coo);
         let x = symspmv_sparse::dense::seeded_vector(coo.ncols() as usize, 1);
         let mut y = vec![0.0; coo.nrows() as usize];
@@ -42,7 +51,7 @@ proptest! {
         csb.spmv(&x, &mut y);
         coo.spmv_reference(&x, &mut y_ref);
         for (a, b) in y.iter().zip(&y_ref) {
-            prop_assert!((a - b).abs() < 1e-10);
+            assert!((a - b).abs() < 1e-10, "case {case}");
         }
 
         // Aᵀ·x against the transposed reference.
@@ -55,16 +64,22 @@ proptest! {
         let mut yt_ref = vec![0.0; coo.ncols() as usize];
         canon.spmv_reference(&xt, &mut yt_ref);
         for (a, b) in yt.iter().zip(&yt_ref) {
-            prop_assert!((a - b).abs() < 1e-10);
+            assert!((a - b).abs() < 1e-10, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn sym_serial_matches_sss(n in 3u32..50, edges in proptest::collection::vec((0u32..50, 0u32..50, 0.1f64..2.0), 0..120)) {
+#[test]
+fn sym_serial_matches_sss() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x70_0000 + case);
+        let n = rng.random_range(3u32..50);
         let mut lower = CooMatrix::new(n, n);
         let mut seen = std::collections::HashSet::new();
-        for (r, c, v) in edges {
-            let (r, c) = (r % n, c % n);
+        for _ in 0..rng.random_range(0usize..120) {
+            let r = rng.random_range(0..n);
+            let c = rng.random_range(0..n);
+            let v = rng.random_range(0.1..2.0);
             if c < r && seen.insert((r, c)) {
                 lower.push(r, c, -v);
             }
@@ -78,7 +93,7 @@ proptest! {
         sss.spmv(&x, &mut y1);
         sym.spmv_serial(&x, &mut y2);
         for (a, b) in y1.iter().zip(&y2) {
-            prop_assert!((a - b).abs() < 1e-10);
+            assert!((a - b).abs() < 1e-10, "case {case}");
         }
     }
 }

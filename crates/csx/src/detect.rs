@@ -42,7 +42,10 @@ impl<'a> CooIndex<'a> {
         }
         let lo = self.rowptr[r as usize];
         let hi = self.rowptr[r as usize + 1];
-        self.coo.col_indices()[lo..hi].binary_search(&c).ok().map(|k| lo + k)
+        self.coo.col_indices()[lo..hi]
+            .binary_search(&c)
+            .ok()
+            .map(|k| lo + k)
     }
 
     /// True if entry `(r, c)` is structurally present.
@@ -278,7 +281,12 @@ pub fn detect_with(coo: &CooMatrix, config: &DetectConfig, enabled: &[Family]) -
         .map(|(_, (r, c, _))| (r, c))
         .collect();
 
-    Detected { instances: accepted, leftover, enabled: enabled.to_vec(), nnz: coo.nnz() }
+    Detected {
+        instances: accepted,
+        leftover,
+        enabled: enabled.to_vec(),
+        nnz: coo.nnz(),
+    }
 }
 
 /// Extracts a row-window sample of the matrix for the statistics pass.
@@ -421,12 +429,7 @@ fn runs_1d(coo: &CooMatrix, config: &DetectConfig, fam: Family) -> Vec<Instance>
 
 /// Generates full dense-block candidates anchored at every possible
 /// top-left element.
-fn blocks(
-    coo: &CooMatrix,
-    membership: &CooIndex<'_>,
-    br: u8,
-    bc: u8,
-) -> Vec<Instance> {
+fn blocks(coo: &CooMatrix, membership: &CooIndex<'_>, br: u8, bc: u8) -> Vec<Instance> {
     let mut out = Vec::new();
     let kind = PatternKind::Block { rows: br, cols: bc };
     let len = u32::from(br) * u32::from(bc);
@@ -444,7 +447,12 @@ fn blocks(
             membership.contains(er, ec)
         });
         if full {
-            out.push(Instance { kind, row: r, col: c, len });
+            out.push(Instance {
+                kind,
+                row: r,
+                col: c,
+                len,
+            });
         }
     }
     out
@@ -470,7 +478,10 @@ mod tests {
     }
 
     fn cfg() -> DetectConfig {
-        DetectConfig { min_coverage: 0.0, ..DetectConfig::default() }
+        DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        }
     }
 
     #[test]

@@ -61,12 +61,19 @@ impl CtlStream {
         #[derive(Debug)]
         enum RowUnit {
             Inst(crate::detect::Instance),
-            Delta { col: Idx, cols: Vec<Idx>, width: DeltaWidth },
+            Delta {
+                col: Idx,
+                cols: Vec<Idx>,
+                width: DeltaWidth,
+            },
         }
         let mut per_row: std::collections::BTreeMap<Idx, Vec<RowUnit>> =
             std::collections::BTreeMap::new();
         for inst in &det.instances {
-            per_row.entry(inst.row).or_default().push(RowUnit::Inst(*inst));
+            per_row
+                .entry(inst.row)
+                .or_default()
+                .push(RowUnit::Inst(*inst));
         }
         // Build delta units from the row-major-sorted leftovers.
         let mut i = 0usize;
@@ -170,7 +177,11 @@ impl CtlStream {
                 }
             }
         }
-        CtlStream { ctl, values: vals, nnz: det.nnz }
+        CtlStream {
+            ctl,
+            values: vals,
+            nnz: det.nnz,
+        }
     }
 
     /// Walks the stream, invoking `on_unit` for each unit header and
@@ -189,14 +200,22 @@ impl CtlStream {
             let flags = ctl[pos];
             pos += 1;
             if flags & NR_BIT != 0 {
-                let extra = if flags & RJMP_BIT != 0 { read_varint(ctl, &mut pos) } else { 0 };
+                let extra = if flags & RJMP_BIT != 0 {
+                    read_varint(ctl, &mut pos)
+                } else {
+                    0
+                };
                 row += 1 + extra as i64;
                 col = 0;
             }
             let size = u32::from(ctl[pos]);
             pos += 1;
             let ucol = read_varint(ctl, &mut pos) as Idx;
-            let anchor = if flags & NR_BIT != 0 { ucol } else { col + ucol };
+            let anchor = if flags & NR_BIT != 0 {
+                ucol
+            } else {
+                col + ucol
+            };
             col = anchor;
             let id = flags & ID_MASK;
             let r = row as Idx;
@@ -215,9 +234,15 @@ impl CtlStream {
                     vi += 1;
                 }
             } else {
-                let width = PatternKind::delta_width_from_id(id)
-                    .expect("invalid pattern id in ctl stream");
-                on_unit(&UnitHeader { row: r, col: anchor, kind: None, width, size });
+                let width =
+                    PatternKind::delta_width_from_id(id).expect("invalid pattern id in ctl stream");
+                on_unit(&UnitHeader {
+                    row: r,
+                    col: anchor,
+                    kind: None,
+                    width,
+                    size,
+                });
                 let mut c = anchor;
                 on_element(r, c, self.values[vi]);
                 vi += 1;
@@ -281,7 +306,10 @@ mod tests {
     fn round_trip(coo: &CooMatrix) {
         let mut c = coo.clone();
         c.canonicalize();
-        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let cfg = DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        };
         let stream = encode_coo(&c, &cfg);
         let mut decoded = stream.decode_elements();
         decoded.sort_unstable_by_key(|&(r, col, _)| (r, col));
@@ -360,7 +388,10 @@ mod tests {
         coo.push(1, 0, 1.0);
         coo.push(4, 2, 2.0);
         coo.canonicalize();
-        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let cfg = DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        };
         let stream = encode_coo(&coo, &cfg);
         let mut rows = Vec::new();
         stream.walk(|u| rows.push(u.row), |_, _, _| {});
@@ -378,7 +409,10 @@ mod tests {
             }
         }
         coo.canonicalize();
-        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let cfg = DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        };
         let s = encode_coo(&coo, &cfg);
         let csr_bytes = 12 * coo.nnz() + 4 * 65;
         assert!(
@@ -387,7 +421,12 @@ mod tests {
             s.size_bytes()
         );
         // Nearly all metadata gone: ctl should be tiny relative to colind.
-        assert!(s.ctl.len() < coo.nnz(), "ctl {} bytes for {} nnz", s.ctl.len(), coo.nnz());
+        assert!(
+            s.ctl.len() < coo.nnz(),
+            "ctl {} bytes for {} nnz",
+            s.ctl.len(),
+            coo.nnz()
+        );
     }
 
     #[test]
@@ -450,7 +489,10 @@ mod jump_tests {
             coo.push(0, 2_000 + c, 3.0); // stride-1 horizontal run
         }
         coo.canonicalize();
-        let cfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
+        let cfg = DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        };
         let stream = encode_coo(&coo, &cfg);
         let mut units = 0;
         stream.walk(|_| units += 1, |_, _, _| {});

@@ -86,7 +86,12 @@ impl CsxMatrix {
             substructure_units: sub_units,
             delta_units,
         };
-        CsxMatrix { nrows: coo.nrows(), ncols: coo.ncols(), stream, stats }
+        CsxMatrix {
+            nrows: coo.nrows(),
+            ncols: coo.ncols(),
+            stream,
+            stats,
+        }
     }
 
     /// Encodes from CSR (converts through COO).
@@ -160,14 +165,22 @@ pub fn spmv_stream(stream: &CtlStream, x: &[Val], y: &mut [Val]) {
         let flags = ctl[pos];
         pos += 1;
         if flags & NR_BIT != 0 {
-            let extra = if flags & RJMP_BIT != 0 { read_varint(ctl, &mut pos) } else { 0 };
+            let extra = if flags & RJMP_BIT != 0 {
+                read_varint(ctl, &mut pos)
+            } else {
+                0
+            };
             row += 1 + extra as i64;
             col = 0;
         }
         let size = usize::from(ctl[pos]);
         pos += 1;
         let ucol = read_varint(ctl, &mut pos) as Idx;
-        let anchor = if flags & NR_BIT != 0 { ucol } else { col + ucol };
+        let anchor = if flags & NR_BIT != 0 {
+            ucol
+        } else {
+            col + ucol
+        };
         col = anchor;
         let r = row as usize;
         let id = flags & ID_MASK;
@@ -238,8 +251,8 @@ pub fn spmv_stream(stream: &CtlStream, x: &[Val], y: &mut [Val]) {
             None => {
                 // Delta unit: slice-based inner loops so the compiler can
                 // hoist the bounds checks out of the body.
-                let width = PatternKind::delta_width_from_id(id)
-                    .expect("invalid pattern id in ctl stream");
+                let width =
+                    PatternKind::delta_width_from_id(id).expect("invalid pattern id in ctl stream");
                 let mut acc = values[vi] * x[anchor as usize];
                 let mut c = anchor as usize;
                 let rest = &values[vi + 1..vi + size];
@@ -293,7 +306,10 @@ mod tests {
     use super::*;
 
     fn cfg() -> DetectConfig {
-        DetectConfig { min_coverage: 0.0, ..DetectConfig::default() }
+        DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        }
     }
 
     #[test]
@@ -356,7 +372,11 @@ mod tests {
         let m = CsxMatrix::from_coo(&coo, &cfg());
         let st = m.stats();
         assert!(st.size_bytes > 0);
-        assert!(st.coverage > 0.3, "block matrix should be well covered: {}", st.coverage);
+        assert!(
+            st.coverage > 0.3,
+            "block matrix should be well covered: {}",
+            st.coverage
+        );
         assert!(st.compression_ratio() > 0.0, "CSX should beat CSR here");
         assert!(st.substructure_units > 0);
     }

@@ -120,7 +120,10 @@ impl PatternKind {
             28..=35 => Some(PatternKind::AntiDiagonal { delta: id - 28 + 1 }),
             36..=44 => {
                 let k = id - 36;
-                Some(PatternKind::Block { rows: k / 3 + 2, cols: k % 3 + 2 })
+                Some(PatternKind::Block {
+                    rows: k / 3 + 2,
+                    cols: k % 3 + 2,
+                })
             }
             _ => None,
         }
@@ -156,12 +159,8 @@ impl PatternKind {
             PatternKind::Horizontal { delta } => (row, col + k * delta as u32),
             PatternKind::Vertical { delta } => (row + k * delta as u32, col),
             PatternKind::Diagonal { delta } => (row + k * delta as u32, col + k * delta as u32),
-            PatternKind::AntiDiagonal { delta } => {
-                (row + k * delta as u32, col - k * delta as u32)
-            }
-            PatternKind::Block { cols, .. } => {
-                (row + k / cols as u32, col + k % cols as u32)
-            }
+            PatternKind::AntiDiagonal { delta } => (row + k * delta as u32, col - k * delta as u32),
+            PatternKind::Block { cols, .. } => (row + k / cols as u32, col + k % cols as u32),
         }
     }
 }

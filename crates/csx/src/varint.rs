@@ -58,7 +58,17 @@ mod tests {
 
     #[test]
     fn round_trip_boundaries() {
-        for v in [0u64, 1, 127, 128, 129, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_varint(&mut buf, v);
             assert_eq!(buf.len(), varint_len(v), "length model for {v}");

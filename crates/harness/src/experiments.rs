@@ -9,10 +9,11 @@ use crate::framework::{measure, serial_csr_spmv_time, Measurement};
 use crate::kernels::{build_kernel, experiment_detect_config, KernelSpec};
 use crate::report::{f, geomean, pct, Table};
 use std::path::PathBuf;
-use symspmv_core::{symbolic, ws, ReductionMethod, SymSpmv};
+use std::sync::Arc;
 use symspmv_core::SymFormat;
+use symspmv_core::{symbolic, ws, ReductionMethod, SymSpmv};
 use symspmv_reorder::rcm::rcm_reorder;
-use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights};
+use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights, ExecutionContext};
 use symspmv_sparse::stats::csr_size_mib;
 use symspmv_sparse::suite::SuiteMatrix;
 use symspmv_sparse::{CooMatrix, CsrMatrix, SssMatrix};
@@ -39,7 +40,9 @@ impl Default for ExpConfig {
         ExpConfig {
             scale: 0.02,
             iterations: 128,
-            max_threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4),
+            max_threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
             out_dir: PathBuf::from("results"),
             matrices: Vec::new(),
             cg_iters: 512,
@@ -96,8 +99,16 @@ fn sss_of(coo: &CooMatrix) -> SssMatrix {
 pub fn table1(cfg: &ExpConfig) {
     println!("== Table I: matrix suite and compression ratios ==\n");
     let mut t = Table::new(&[
-        "matrix", "rows", "nonzeros", "size(MiB)", "CR(CSX-Sym)", "CR(max)",
-        "paper CR(CSX-Sym)", "paper CR(max)", "coverage", "problem",
+        "matrix",
+        "rows",
+        "nonzeros",
+        "size(MiB)",
+        "CR(CSX-Sym)",
+        "CR(max)",
+        "paper CR(CSX-Sym)",
+        "paper CR(max)",
+        "coverage",
+        "problem",
     ]);
     for m in cfg.suite() {
         let sss = sss_of(&m.coo);
@@ -126,8 +137,10 @@ pub fn table1(cfg: &ExpConfig) {
 pub fn fig4(cfg: &ExpConfig) {
     println!("== Fig. 4: effective-region density vs thread count ==\n");
     let suite = cfg.suite();
-    let structures: Vec<(String, SssMatrix)> =
-        suite.iter().map(|m| (m.spec.name.to_string(), sss_of(&m.coo))).collect();
+    let structures: Vec<(String, SssMatrix)> = suite
+        .iter()
+        .map(|m| (m.spec.name.to_string(), sss_of(&m.coo)))
+        .collect();
 
     let ps = [2usize, 4, 8, 16, 24, 32, 64, 128, 256];
     let mut t = Table::new(&["threads", "avg density", "min", "max"]);
@@ -158,9 +171,18 @@ pub fn fig4(cfg: &ExpConfig) {
         "threads",
         "density",
         &[
-            crate::plot::Series { name: "avg".into(), points: density_series.clone() },
-            crate::plot::Series { name: "min".into(), points: density_min },
-            crate::plot::Series { name: "max".into(), points: density_max },
+            crate::plot::Series {
+                name: "avg".into(),
+                points: density_series.clone(),
+            },
+            crate::plot::Series {
+                name: "min".into(),
+                points: density_min,
+            },
+            crate::plot::Series {
+                name: "max".into(),
+                points: density_max,
+            },
         ],
     );
     if let Ok(path) = crate::plot::write_svg(&cfg.out_dir, "fig4", &svg) {
@@ -185,7 +207,10 @@ pub fn fig5(cfg: &ExpConfig) {
             let ci = symbolic::analyze(sss, &parts);
             let s = sss.size_bytes();
             o_naive.push(ws::relative_overhead(ws::ws_naive(p, n), s));
-            o_eff.push(ws::relative_overhead(ws::ws_effective_exact(ci.effective_region_len), s));
+            o_eff.push(ws::relative_overhead(
+                ws::ws_effective_exact(ci.effective_region_len),
+                s,
+            ));
             o_idx.push(ws::relative_overhead(ws::ws_indexing(&ci), s));
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -204,7 +229,10 @@ pub fn fig5(cfg: &ExpConfig) {
     let series: Vec<crate::plot::Series> = names
         .iter()
         .zip(&svg_series)
-        .map(|(n, pts)| crate::plot::Series { name: (*n).into(), points: pts.clone() })
+        .map(|(n, pts)| crate::plot::Series {
+            name: (*n).into(),
+            points: pts.clone(),
+        })
         .collect();
     let svg = crate::plot::line_chart(
         "Fig. 5 — reduction working-set overhead (x of S_SSS, suite average)",
@@ -218,24 +246,25 @@ pub fn fig5(cfg: &ExpConfig) {
     println!("(paper: indexing overhead stabilizes around 15% at 24 threads)\n");
 }
 
-/// Runs one (matrix, lineup) sweep; returns rows of measurements.
+/// Runs one (matrix, lineup) sweep; returns rows of measurements. One
+/// execution context — and therefore one worker pool — per thread count,
+/// shared by every kernel in the lineup.
 fn sweep(
     coo: &CooMatrix,
     lineup: &[KernelSpec],
-    threads: &[usize],
+    ctxs: &[Arc<ExecutionContext>],
     iterations: usize,
 ) -> Vec<(usize, Vec<Measurement>)> {
-    threads
-        .iter()
-        .map(|&p| {
+    ctxs.iter()
+        .map(|ctx| {
             let ms = lineup
                 .iter()
                 .map(|&spec| {
-                    let mut k = build_kernel(spec, coo, p).expect("kernel build");
+                    let mut k = build_kernel(spec, coo, ctx).expect("kernel build");
                     measure(&mut *k, iterations)
                 })
                 .collect();
-            (p, ms)
+            (ctx.nthreads(), ms)
         })
         .collect()
 }
@@ -244,9 +273,12 @@ fn speedup_figure(cfg: &ExpConfig, name: &str, title: &str, lineup: Vec<KernelSp
     println!("== {title} ==\n");
     let suite = cfg.suite();
     let threads = cfg.thread_sweep();
+    let ctxs: Vec<Arc<ExecutionContext>> =
+        threads.iter().map(|&p| ExecutionContext::new(p)).collect();
+    let serial_ctx = ExecutionContext::new(1);
 
     let mut header = vec!["matrix".to_string(), "threads".to_string()];
-    header.extend(lineup.iter().map(|s| s.name()));
+    header.extend(lineup.iter().map(|s| s.name().to_string()));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&header_refs);
 
@@ -255,10 +287,13 @@ fn speedup_figure(cfg: &ExpConfig, name: &str, title: &str, lineup: Vec<KernelSp
 
     for m in &suite {
         // Serial CSR is the speedup baseline.
-        let mut base = build_kernel(KernelSpec::Csr, &m.coo, 1).unwrap();
+        let mut base = build_kernel(KernelSpec::Csr, &m.coo, &serial_ctx).unwrap();
         let base_t = measure(&mut *base, cfg.iterations).wall;
         drop(base);
-        for (pi, (p, ms)) in sweep(&m.coo, &lineup, &threads, cfg.iterations).iter().enumerate() {
+        for (pi, (p, ms)) in sweep(&m.coo, &lineup, &ctxs, cfg.iterations)
+            .iter()
+            .enumerate()
+        {
             let mut row = vec![m.spec.name.to_string(), p.to_string()];
             for (ki, meas) in ms.iter().enumerate() {
                 let s = base_t.as_secs_f64() / meas.wall.as_secs_f64();
@@ -273,7 +308,10 @@ fn speedup_figure(cfg: &ExpConfig, name: &str, title: &str, lineup: Vec<KernelSp
     let mut s = Table::new(&header_refs);
     let mut svg_series: Vec<crate::plot::Series> = lineup
         .iter()
-        .map(|k| crate::plot::Series { name: k.name(), points: Vec::new() })
+        .map(|k| crate::plot::Series {
+            name: k.name().to_string(),
+            points: Vec::new(),
+        })
         .collect();
     for (pi, &p) in threads.iter().enumerate() {
         let mut row = vec!["GEOMEAN".to_string(), p.to_string()];
@@ -311,9 +349,16 @@ pub fn fig9(cfg: &ExpConfig) {
 
 /// E5 — Fig. 10: execution-time breakdown at max threads.
 pub fn fig10(cfg: &ExpConfig) {
-    println!("== Fig. 10: symmetric SpMV time breakdown at {} threads ==\n", cfg.max_threads);
+    println!(
+        "== Fig. 10: symmetric SpMV time breakdown at {} threads ==\n",
+        cfg.max_threads
+    );
     let mut t = Table::new(&[
-        "matrix", "method", "multiply(ms)", "reduce(ms)", "reduce share",
+        "matrix",
+        "method",
+        "multiply(ms)",
+        "reduce(ms)",
+        "reduce share",
     ]);
     let methods = [
         ReductionMethod::Naive,
@@ -321,10 +366,10 @@ pub fn fig10(cfg: &ExpConfig) {
         ReductionMethod::Indexing,
     ];
     let mut bars: Vec<Vec<crate::plot::Bar>> = vec![Vec::new(); methods.len()];
+    let ctx = ExecutionContext::new(cfg.max_threads);
     for m in cfg.suite() {
         for (mi, &method) in methods.iter().enumerate() {
-            let mut k =
-                SymSpmv::from_coo(&m.coo, cfg.max_threads, method, SymFormat::Sss).unwrap();
+            let mut k = SymSpmv::from_coo(&m.coo, &ctx, method, SymFormat::Sss).unwrap();
             let meas = measure(&mut k, cfg.iterations);
             let mult = meas.times.multiply.as_secs_f64() * 1e3;
             let red = meas.times.reduce.as_secs_f64() * 1e3;
@@ -385,12 +430,17 @@ fn permatrix_gflops(cfg: &ExpConfig, name: &str, title: &str, reorder: bool) {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&header_refs);
     let mut best_counts = vec![0usize; lineup.len()];
+    let ctx = ExecutionContext::new(cfg.max_threads);
     for m in cfg.suite() {
-        let coo = if reorder { rcm_reorder(&m.coo).unwrap() } else { m.coo.clone() };
+        let coo = if reorder {
+            rcm_reorder(&m.coo).unwrap()
+        } else {
+            m.coo.clone()
+        };
         let mut row = vec![m.spec.name.to_string()];
         let mut vals = Vec::new();
         for &spec in &lineup {
-            let mut k = build_kernel(spec, &coo, cfg.max_threads).unwrap();
+            let mut k = build_kernel(spec, &coo, &ctx).unwrap();
             let meas = measure(&mut *k, cfg.iterations);
             vals.push(meas.gflops);
             row.push(f(meas.gflops, 2));
@@ -406,7 +456,11 @@ fn permatrix_gflops(cfg: &ExpConfig, name: &str, title: &str, reorder: bool) {
     }
     cfg.emit(name, &t);
     for (i, spec) in lineup.iter().enumerate() {
-        println!("  {} is fastest on {} matrices", spec.name(), best_counts[i]);
+        println!(
+            "  {} is fastest on {} matrices",
+            spec.name(),
+            best_counts[i]
+        );
     }
     println!();
 }
@@ -416,7 +470,10 @@ pub fn fig12(cfg: &ExpConfig) {
     permatrix_gflops(
         cfg,
         "fig12",
-        &format!("Fig. 12: per-matrix SpMV performance at {} threads", cfg.max_threads),
+        &format!(
+            "Fig. 12: per-matrix SpMV performance at {} threads",
+            cfg.max_threads
+        ),
         false,
     );
     println!("(paper: CSX-Sym best on 8/12 matrices; high-bandwidth cases favor CSR)\n");
@@ -424,27 +481,34 @@ pub fn fig12(cfg: &ExpConfig) {
 
 /// E8 — Table III: SpMV improvement from RCM reordering.
 pub fn table3(cfg: &ExpConfig) {
-    println!("== Table III: SpMV improvement due to RCM reordering ({} threads) ==\n", cfg.max_threads);
+    println!(
+        "== Table III: SpMV improvement due to RCM reordering ({} threads) ==\n",
+        cfg.max_threads
+    );
     let lineup = KernelSpec::figure11_lineup();
     let paper_dunnington = [22.0, 63.0, 92.2, 106.8];
     let paper_gainestown = [11.1, 14.0, 43.6, 48.5];
     let mut t = Table::new(&[
-        "format", "measured improvement", "paper (Dunnington)", "paper (Gainestown)",
+        "format",
+        "measured improvement",
+        "paper (Dunnington)",
+        "paper (Gainestown)",
     ]);
     let suite = cfg.suite();
+    let ctx = ExecutionContext::new(cfg.max_threads);
     for (ki, &spec) in lineup.iter().enumerate() {
         let mut ratios = Vec::new();
         for m in &suite {
             let reordered = rcm_reorder(&m.coo).unwrap();
-            let mut k0 = build_kernel(spec, &m.coo, cfg.max_threads).unwrap();
+            let mut k0 = build_kernel(spec, &m.coo, &ctx).unwrap();
             let g0 = measure(&mut *k0, cfg.iterations).gflops;
             drop(k0);
-            let mut k1 = build_kernel(spec, &reordered, cfg.max_threads).unwrap();
+            let mut k1 = build_kernel(spec, &reordered, &ctx).unwrap();
             let g1 = measure(&mut *k1, cfg.iterations).gflops;
             ratios.push(g1 / g0);
         }
         t.row(vec![
-            spec.name(),
+            spec.name().to_string(),
             pct(geomean(&ratios) - 1.0),
             format!("{:.1}%", paper_dunnington[ki]),
             format!("{:.1}%", paper_gainestown[ki]),
@@ -472,17 +536,14 @@ pub fn preproc(cfg: &ExpConfig) {
     let mut t = Table::new(&["matrix", "original", "RCM-reordered"]);
     let mut orig_units = Vec::new();
     let mut reord_units = Vec::new();
+    let ctx = ExecutionContext::new(cfg.max_threads);
     for m in cfg.suite() {
         let mut units = Vec::new();
         for coo in [m.coo.clone(), rcm_reorder(&m.coo).unwrap()] {
             let csr = CsrMatrix::from_coo(&coo);
             let unit = serial_csr_spmv_time(&csr, 8);
-            let k = build_kernel(
-                KernelSpec::CsxSym(ReductionMethod::Indexing),
-                &coo,
-                cfg.max_threads,
-            )
-            .unwrap();
+            let k =
+                build_kernel(KernelSpec::CsxSym(ReductionMethod::Indexing), &coo, &ctx).unwrap();
             let pre = k.times().preprocess;
             units.push(pre.as_secs_f64() / unit.as_secs_f64().max(1e-12));
         }
@@ -491,7 +552,11 @@ pub fn preproc(cfg: &ExpConfig) {
         t.row(vec![m.spec.name.into(), f(units[0], 1), f(units[1], 1)]);
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    t.row(vec!["AVERAGE".into(), f(avg(&orig_units), 1), f(avg(&reord_units), 1)]);
+    t.row(vec![
+        "AVERAGE".into(),
+        f(avg(&orig_units), 1),
+        f(avg(&reord_units), 1),
+    ]);
     cfg.emit("preproc", &t);
     println!("(paper: 49/94 serial SpMVs on Dunnington/Gainestown; 59/115 reordered)\n");
 }
@@ -504,7 +569,13 @@ pub fn fig14(cfg: &ExpConfig) {
     );
     let lineup = KernelSpec::figure11_lineup();
     let mut t = Table::new(&[
-        "matrix", "format", "spmv(ms)", "reduce(ms)", "vecops(ms)", "preproc(ms)", "total(ms)",
+        "matrix",
+        "format",
+        "spmv(ms)",
+        "reduce(ms)",
+        "vecops(ms)",
+        "preproc(ms)",
+        "total(ms)",
     ]);
     let cg_cfg = symspmv_solver::CgConfig {
         max_iters: cfg.cg_iters,
@@ -512,12 +583,13 @@ pub fn fig14(cfg: &ExpConfig) {
         record_history: false,
     };
     let mut bars: Vec<Vec<crate::plot::Bar>> = vec![Vec::new(); lineup.len()];
+    let ctx = ExecutionContext::new(cfg.max_threads);
     for m in cfg.suite() {
         let coo = rcm_reorder(&m.coo).unwrap();
         let n = coo.nrows() as usize;
         let b = symspmv_sparse::dense::seeded_vector(n, 0xC6);
         for (ki, &spec) in lineup.iter().enumerate() {
-            let mut k = build_kernel(spec, &coo, cfg.max_threads).unwrap();
+            let mut k = build_kernel(spec, &coo, &ctx).unwrap();
             let mut x = vec![0.0; n];
             let res = symspmv_solver::cg(&mut *k, &b, &mut x, &cg_cfg);
             let ms = |d: std::time::Duration| f(d.as_secs_f64() * 1e3, 1);
@@ -533,7 +605,7 @@ pub fn fig14(cfg: &ExpConfig) {
             });
             t.row(vec![
                 m.spec.name.into(),
-                spec.name(),
+                spec.name().to_string(),
                 ms(res.times.multiply),
                 ms(res.times.reduce),
                 ms(res.times.vector_ops),
@@ -575,13 +647,40 @@ pub fn ablation(cfg: &ExpConfig) {
 
     let variants: Vec<(&str, DetectConfig)> = vec![
         ("default", DetectConfig::default()),
-        ("min_run_len=2", DetectConfig { min_run_len: 2, ..DetectConfig::default() }),
-        ("min_run_len=8", DetectConfig { min_run_len: 8, ..DetectConfig::default() }),
-        ("sample=25%", DetectConfig { sample_fraction: 0.25, ..DetectConfig::default() }),
-        ("sample=5%", DetectConfig { sample_fraction: 0.05, ..DetectConfig::default() }),
+        (
+            "min_run_len=2",
+            DetectConfig {
+                min_run_len: 2,
+                ..DetectConfig::default()
+            },
+        ),
+        (
+            "min_run_len=8",
+            DetectConfig {
+                min_run_len: 8,
+                ..DetectConfig::default()
+            },
+        ),
+        (
+            "sample=25%",
+            DetectConfig {
+                sample_fraction: 0.25,
+                ..DetectConfig::default()
+            },
+        ),
+        (
+            "sample=5%",
+            DetectConfig {
+                sample_fraction: 0.05,
+                ..DetectConfig::default()
+            },
+        ),
         (
             "delta-only",
-            DetectConfig { candidate_families: vec![], ..DetectConfig::default() },
+            DetectConfig {
+                candidate_families: vec![],
+                ..DetectConfig::default()
+            },
         ),
         (
             "blocks-only",
@@ -611,14 +710,19 @@ pub fn ablation(cfg: &ExpConfig) {
     ];
 
     let mut t = Table::new(&[
-        "matrix", "config", "CR", "coverage", "preproc(units)", "Gflop/s",
+        "matrix",
+        "config",
+        "CR",
+        "coverage",
+        "preproc(units)",
+        "Gflop/s",
     ]);
+    let ctx = ExecutionContext::new(cfg.max_threads);
     for name in ["hood", "thermal2"] {
         let spec = symspmv_sparse::suite::spec_by_name(name).expect("suite name");
         let m = symspmv_sparse::suite::generate(spec, cfg.scale);
         let sss = sss_of(&m.coo);
-        let parts =
-            balanced_ranges(&symmetric_row_weights(sss.rowptr()), cfg.max_threads);
+        let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), cfg.max_threads);
         let csr = CsrMatrix::from_coo(&m.coo);
         let unit = serial_csr_spmv_time(&csr, 8);
         for (label, dcfg) in &variants {
@@ -627,7 +731,7 @@ pub fn ablation(cfg: &ExpConfig) {
             let pre = t0.elapsed();
             let mut k = SymSpmv::from_sss(
                 sss.clone(),
-                cfg.max_threads,
+                &ctx,
                 ReductionMethod::Indexing,
                 SymFormat::CsxSym(dcfg.clone()),
             );
@@ -650,16 +754,20 @@ pub fn ablation(cfg: &ExpConfig) {
 /// (banded locals + atomics) and the pure-atomics kernel, per matrix at
 /// max threads.
 pub fn related(cfg: &ExpConfig) {
-    println!("== Extension: related-work comparison (§VI) at {} threads ==\n", cfg.max_threads);
+    println!(
+        "== Extension: related-work comparison (§VI) at {} threads ==\n",
+        cfg.max_threads
+    );
     let lineup = KernelSpec::related_work_lineup();
     let mut header = vec!["matrix".to_string()];
     header.extend(lineup.iter().map(|s| format!("{} Gflop/s", s.name())));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&header_refs);
+    let ctx = ExecutionContext::new(cfg.max_threads);
     for m in cfg.suite() {
         let mut row = vec![m.spec.name.to_string()];
         for &spec in &lineup {
-            let mut k = build_kernel(spec, &m.coo, cfg.max_threads).unwrap();
+            let mut k = build_kernel(spec, &m.coo, &ctx).unwrap();
             row.push(f(measure(&mut *k, cfg.iterations).gflops, 2));
         }
         t.row(row);
@@ -683,15 +791,18 @@ pub fn atomics(cfg: &ExpConfig) {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&header_refs);
     for name in ["hood", "thermal2"] {
-        let Some(spec) = symspmv_sparse::suite::spec_by_name(name) else { continue };
+        let Some(spec) = symspmv_sparse::suite::spec_by_name(name) else {
+            continue;
+        };
         if !cfg.matrices.is_empty() && !cfg.matrices.iter().any(|m| m == name) {
             continue;
         }
         let m = symspmv_sparse::suite::generate(spec, cfg.scale);
         for &p in &cfg.thread_sweep() {
+            let ctx = ExecutionContext::new(p);
             let mut row = vec![name.to_string(), p.to_string()];
             for &ks in &lineup {
-                let mut k = build_kernel(ks, &m.coo, p).unwrap();
+                let mut k = build_kernel(ks, &m.coo, &ctx).unwrap();
                 row.push(f(measure(&mut *k, cfg.iterations).gflops, 2));
             }
             t.row(row);
@@ -708,14 +819,34 @@ pub fn atomics(cfg: &ExpConfig) {
 pub fn verify(cfg: &ExpConfig) {
     println!("== Verify: all kernels vs reference on the full suite ==\n");
     let specs: Vec<KernelSpec> = [
-        "csr", "csx", "bcsr", "csb", "csb-sym", "sss-naive", "sss-eff", "sss-idx",
-        "sss-atomic", "sss-color", "csxsym-naive", "csxsym-eff", "csxsym-idx", "hybrid-idx",
+        "csr",
+        "csx",
+        "bcsr",
+        "csb",
+        "csb-sym",
+        "sss-naive",
+        "sss-eff",
+        "sss-idx",
+        "sss-atomic",
+        "sss-color",
+        "csxsym-naive",
+        "csxsym-eff",
+        "csxsym-idx",
+        "hybrid-idx",
     ]
     .iter()
     .map(|s| KernelSpec::parse(s).expect("known spec"))
     .collect();
     let threads: Vec<usize> = vec![1, 2, cfg.max_threads.max(3)];
-    let mut t = Table::new(&["matrix", "kernels", "thread counts", "max |rel err|", "status"]);
+    let ctxs: Vec<Arc<ExecutionContext>> =
+        threads.iter().map(|&p| ExecutionContext::new(p)).collect();
+    let mut t = Table::new(&[
+        "matrix",
+        "kernels",
+        "thread counts",
+        "max |rel err|",
+        "status",
+    ]);
     let mut failures = 0usize;
     for m in cfg.suite() {
         let n = m.coo.nrows() as usize;
@@ -724,8 +855,8 @@ pub fn verify(cfg: &ExpConfig) {
         m.coo.spmv_reference(&x, &mut y_ref);
         let mut worst = 0.0f64;
         for &spec in &specs {
-            for &p in &threads {
-                let mut k = build_kernel(spec, &m.coo, p).expect("build");
+            for ctx in &ctxs {
+                let mut k = build_kernel(spec, &m.coo, ctx).expect("build");
                 let mut y = vec![f64::NAN; n];
                 k.spmv(&x, &mut y);
                 worst = worst.max(symspmv_sparse::dense::max_rel_diff(&y, &y_ref));
@@ -762,7 +893,10 @@ pub fn machine(cfg: &ExpConfig) {
 /// directory, without re-measuring. Covers fig4, fig5 and the geomean
 /// speedup figures (fig9/fig11).
 pub fn plot(cfg: &ExpConfig) {
-    println!("== Re-rendering figures from {} ==\n", cfg.out_dir.display());
+    println!(
+        "== Re-rendering figures from {} ==\n",
+        cfg.out_dir.display()
+    );
     let read = |name: &str| -> Option<(Vec<String>, Vec<Vec<String>>)> {
         let text = std::fs::read_to_string(cfg.out_dir.join(format!("{name}.csv"))).ok()?;
         crate::report::parse_csv(&text)
@@ -772,10 +906,20 @@ pub fn plot(cfg: &ExpConfig) {
     // fig4 / fig5: first column is the thread count, remaining columns are
     // series.
     for (name, title, ylab) in [
-        ("fig4", "Fig. 4 — effective-region density vs thread count (suite average)", "density"),
-        ("fig5", "Fig. 5 — reduction working-set overhead (x of S_SSS, suite average)", "overhead / S_SSS"),
+        (
+            "fig4",
+            "Fig. 4 — effective-region density vs thread count (suite average)",
+            "density",
+        ),
+        (
+            "fig5",
+            "Fig. 5 — reduction working-set overhead (x of S_SSS, suite average)",
+            "overhead / S_SSS",
+        ),
     ] {
-        let Some((hdr, rows)) = read(name) else { continue };
+        let Some((hdr, rows)) = read(name) else {
+            continue;
+        };
         let series: Vec<crate::plot::Series> = hdr[1..]
             .iter()
             .enumerate()
@@ -806,10 +950,18 @@ pub fn plot(cfg: &ExpConfig) {
 
     // fig9 / fig11 geomean tables: columns are matrix, threads, kernels...
     for (name, title) in [
-        ("fig9", "Fig. 9 — reduction-method speedup (geomean, baseline: serial CSR)"),
-        ("fig11", "Fig. 11 — format speedup (geomean, baseline: serial CSR)"),
+        (
+            "fig9",
+            "Fig. 9 — reduction-method speedup (geomean, baseline: serial CSR)",
+        ),
+        (
+            "fig11",
+            "Fig. 11 — format speedup (geomean, baseline: serial CSR)",
+        ),
     ] {
-        let Some((hdr, rows)) = read(name) else { continue };
+        let Some((hdr, rows)) = read(name) else {
+            continue;
+        };
         if hdr.len() < 3 {
             continue;
         }
@@ -834,8 +986,7 @@ pub fn plot(cfg: &ExpConfig) {
         if series.is_empty() {
             continue;
         }
-        let svg =
-            crate::plot::line_chart(title, "threads", "speedup vs serial CSR", &series);
+        let svg = crate::plot::line_chart(title, "threads", "speedup vs serial CSR", &series);
         if let Ok(path) = crate::plot::write_svg(&cfg.out_dir, name, &svg) {
             println!("[svg written to {}]", path.display());
             rendered += 1;
@@ -870,7 +1021,11 @@ mod config_tests {
     #[test]
     fn thread_sweep_covers_powers_and_max() {
         let sweep = |max_threads| {
-            ExpConfig { max_threads, ..ExpConfig::default() }.thread_sweep()
+            ExpConfig {
+                max_threads,
+                ..ExpConfig::default()
+            }
+            .thread_sweep()
         };
         assert_eq!(sweep(6), vec![1, 2, 4, 6]);
         assert_eq!(sweep(8), vec![1, 2, 4, 8]);

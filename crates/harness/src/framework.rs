@@ -1,9 +1,9 @@
 //! The §V-A measurement loop.
 
+use std::time::{Duration, Instant};
 use symspmv_core::ParallelSpmv;
 use symspmv_runtime::PhaseTimes;
 use symspmv_sparse::dense::seeded_vector;
-use std::time::{Duration, Instant};
 
 /// Default iteration count used throughout the paper's evaluation.
 pub const DEFAULT_ITERATIONS: usize = 128;
@@ -71,7 +71,7 @@ pub fn measure<K: ParallelSpmv + ?Sized>(kernel: &mut K, iterations: usize) -> M
     times.preprocess = preprocess;
     let flops = kernel.flops() as f64 * iterations as f64;
     Measurement {
-        kernel: kernel.name(),
+        kernel: kernel.name().into_owned(),
         nthreads: kernel.nthreads(),
         iterations,
         wall,
@@ -101,12 +101,14 @@ pub fn serial_csr_spmv_time(csr: &symspmv_sparse::CsrMatrix, iterations: usize) 
 mod tests {
     use super::*;
     use symspmv_core::CsrParallel;
+    use symspmv_runtime::ExecutionContext;
     use symspmv_sparse::CsrMatrix;
 
     #[test]
     fn measurement_produces_sane_numbers() {
         let coo = symspmv_sparse::gen::laplacian_2d(40, 40);
-        let mut k = CsrParallel::from_coo(&coo, 2);
+        let ctx = ExecutionContext::new(2);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
         let m = measure(&mut k, 16);
         assert_eq!(m.iterations, 16);
         assert_eq!(m.kernel, "csr");

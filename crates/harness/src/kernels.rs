@@ -1,10 +1,10 @@
 //! Kernel factory: builds any evaluated format+method combination from a
 //! symmetric COO matrix.
 
-use symspmv_core::{
-    CsrParallel, CsxParallel, ParallelSpmv, ReductionMethod, SymFormat, SymSpmv,
-};
+use std::sync::Arc;
+use symspmv_core::{CsrParallel, CsxParallel, ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv_csx::detect::DetectConfig;
+use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::{CooMatrix, SparseError};
 
 /// The kernel configurations the evaluation section compares.
@@ -35,19 +35,27 @@ pub enum KernelSpec {
 }
 
 impl KernelSpec {
-    /// Spec name matching the kernels' `name()` output.
-    pub fn name(&self) -> String {
+    /// Spec name matching the kernels' `name()` output. Static — report
+    /// loops over lineups never allocate for names.
+    pub fn name(&self) -> &'static str {
+        use ReductionMethod::{EffectiveRanges as Eff, Indexing as Idx, Naive};
         match self {
-            KernelSpec::Csr => "csr".into(),
-            KernelSpec::Csx => "csx".into(),
-            KernelSpec::Sss(m) => format!("sss-{}", m.tag()),
-            KernelSpec::SssAtomic => "sss-atomic".into(),
-            KernelSpec::Csb => "csb".into(),
-            KernelSpec::Bcsr => "bcsr".into(),
-            KernelSpec::SssColor => "sss-color".into(),
-            KernelSpec::Hybrid(m) => format!("hybrid-{}", m.tag()),
-            KernelSpec::CsbSym => "csb-sym".into(),
-            KernelSpec::CsxSym(m) => format!("csxsym-{}", m.tag()),
+            KernelSpec::Csr => "csr",
+            KernelSpec::Csx => "csx",
+            KernelSpec::Sss(Naive) => "sss-naive",
+            KernelSpec::Sss(Eff) => "sss-eff",
+            KernelSpec::Sss(Idx) => "sss-idx",
+            KernelSpec::SssAtomic => "sss-atomic",
+            KernelSpec::Csb => "csb",
+            KernelSpec::Bcsr => "bcsr",
+            KernelSpec::SssColor => "sss-color",
+            KernelSpec::Hybrid(Naive) => "hybrid-naive",
+            KernelSpec::Hybrid(Eff) => "hybrid-eff",
+            KernelSpec::Hybrid(Idx) => "hybrid-idx",
+            KernelSpec::CsbSym => "csb-sym",
+            KernelSpec::CsxSym(Naive) => "csxsym-naive",
+            KernelSpec::CsxSym(Eff) => "csxsym-eff",
+            KernelSpec::CsxSym(Idx) => "csxsym-idx",
         }
     }
 
@@ -125,37 +133,34 @@ pub fn experiment_detect_config() -> DetectConfig {
     DetectConfig::default()
 }
 
-/// Builds a kernel for `spec` over `coo` with `nthreads` workers.
+/// Builds a kernel for `spec` over `coo` on the shared execution context.
+/// Every kernel built from the same context borrows the same worker pool
+/// and buffer arena.
 pub fn build_kernel(
     spec: KernelSpec,
     coo: &CooMatrix,
-    nthreads: usize,
+    ctx: &Arc<ExecutionContext>,
 ) -> Result<Box<dyn ParallelSpmv>, SparseError> {
     let cfg = experiment_detect_config();
     Ok(match spec {
-        KernelSpec::Csr => Box::new(CsrParallel::from_coo(coo, nthreads)),
-        KernelSpec::Csx => Box::new(CsxParallel::from_coo(coo, nthreads, &cfg)),
-        KernelSpec::Sss(m) => Box::new(SymSpmv::from_coo(coo, nthreads, m, SymFormat::Sss)?),
-        KernelSpec::CsxSym(m) => {
-            Box::new(SymSpmv::from_coo(coo, nthreads, m, SymFormat::CsxSym(cfg))?)
-        }
-        KernelSpec::SssAtomic => {
-            Box::new(symspmv_core::SssAtomicParallel::from_coo(coo, nthreads)?)
-        }
-        KernelSpec::Csb => Box::new(symspmv_core::CsbParallel::from_coo(coo, nthreads)),
-        KernelSpec::Bcsr => Box::new(symspmv_core::BcsrParallel::from_coo(coo, nthreads)),
-        KernelSpec::SssColor => {
-            Box::new(symspmv_core::SssColorParallel::from_coo(coo, nthreads)?)
-        }
+        KernelSpec::Csr => Box::new(CsrParallel::from_coo(coo, ctx)),
+        KernelSpec::Csx => Box::new(CsxParallel::from_coo(coo, ctx, &cfg)),
+        KernelSpec::Sss(m) => Box::new(SymSpmv::from_coo(coo, ctx, m, SymFormat::Sss)?),
+        KernelSpec::CsxSym(m) => Box::new(SymSpmv::from_coo(coo, ctx, m, SymFormat::CsxSym(cfg))?),
+        KernelSpec::SssAtomic => Box::new(symspmv_core::SssAtomicParallel::from_coo(coo, ctx)?),
+        KernelSpec::Csb => Box::new(symspmv_core::CsbParallel::from_coo(coo, ctx)),
+        KernelSpec::Bcsr => Box::new(symspmv_core::BcsrParallel::from_coo(coo, ctx)),
+        KernelSpec::SssColor => Box::new(symspmv_core::SssColorParallel::from_coo(coo, ctx)?),
         KernelSpec::Hybrid(m) => Box::new(SymSpmv::from_coo(
             coo,
-            nthreads,
+            ctx,
             m,
-            SymFormat::Hybrid { csx: cfg, min_coverage: 0.5 },
+            SymFormat::Hybrid {
+                csx: cfg,
+                min_coverage: 0.5,
+            },
         )?),
-        KernelSpec::CsbSym => {
-            Box::new(symspmv_core::CsbSymParallel::from_coo(coo, nthreads)?)
-        }
+        KernelSpec::CsbSym => Box::new(symspmv_core::CsbSymParallel::from_coo(coo, ctx)?),
     })
 }
 
@@ -179,7 +184,7 @@ mod tests {
             KernelSpec::Bcsr,
             KernelSpec::SssColor,
         ] {
-            assert_eq!(KernelSpec::parse(&spec.name()), Some(spec));
+            assert_eq!(KernelSpec::parse(spec.name()), Some(spec));
         }
         assert_eq!(KernelSpec::parse("nope"), None);
         assert_eq!(KernelSpec::parse("sss-bogus"), None);
@@ -196,12 +201,16 @@ mod tests {
 
         let mut all = KernelSpec::figure9_lineup();
         all.extend(KernelSpec::figure11_lineup());
+        let ctx = ExecutionContext::new(3);
+        let before = symspmv_runtime::WorkerPool::pools_created();
         for spec in all {
-            let mut k = build_kernel(spec, &coo, 3).unwrap();
+            let mut k = build_kernel(spec, &coo, &ctx).unwrap();
             let mut y = vec![f64::NAN; 200];
             k.spmv(&x, &mut y);
             assert_vec_close(&y, &y_ref, 1e-12);
             assert_eq!(k.name(), spec.name());
         }
+        // The whole factory sweep ran on the context's single pool.
+        assert_eq!(symspmv_runtime::WorkerPool::pools_created(), before);
     }
 }

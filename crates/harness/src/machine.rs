@@ -6,7 +6,9 @@ use std::time::Instant;
 
 /// One row of host information.
 fn read_trimmed(path: &str) -> Option<String> {
-    std::fs::read_to_string(path).ok().map(|s| s.trim().to_string())
+    std::fs::read_to_string(path)
+        .ok()
+        .map(|s| s.trim().to_string())
 }
 
 /// CPU model name from /proc/cpuinfo (Linux).
@@ -68,13 +70,24 @@ pub fn describe() -> Table {
     t.row(vec!["cpu model".into(), cpu_model()]);
     t.row(vec![
         "available parallelism".into(),
-        std::thread::available_parallelism().map(|p| p.get().to_string()).unwrap_or("?".into()),
+        std::thread::available_parallelism()
+            .map(|p| p.get().to_string())
+            .unwrap_or("?".into()),
     ]);
     for (level, ctype, size) in caches() {
-        t.row(vec![format!("L{level} {} cache", ctype.to_lowercase()), size]);
+        t.row(vec![
+            format!("L{level} {} cache", ctype.to_lowercase()),
+            size,
+        ]);
     }
-    t.row(vec!["triad bandwidth (GB/s)".into(), format!("{:.2}", triad_bandwidth_gbs())]);
-    t.row(vec!["paper platform A".into(), "Dunnington: 4x6 cores, 5.4 GB/s sustained".into()]);
+    t.row(vec![
+        "triad bandwidth (GB/s)".into(),
+        format!("{:.2}", triad_bandwidth_gbs()),
+    ]);
+    t.row(vec![
+        "paper platform A".into(),
+        "Dunnington: 4x6 cores, 5.4 GB/s sustained".into(),
+    ]);
     t.row(vec![
         "paper platform B".into(),
         "Gainestown: 2x4 cores (16 threads), 2x15.5 GB/s sustained".into(),

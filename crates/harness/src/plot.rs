@@ -38,7 +38,10 @@ pub struct Series {
 pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
     assert!(!series.is_empty() && series.len() <= SERIES_COLORS.len());
     // Ordinal x slots from the union of x values.
-    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
     xs.sort_by(f64::total_cmp);
     xs.dedup();
     let slot_of = |x: f64| xs.iter().position(|&v| v == x).expect("x value registered") as f64;
@@ -183,19 +186,22 @@ pub struct Bar {
 /// 4px rounded cap on the top segment only, ≤24px bar thickness, legend
 /// for the segment identities, values carried by the y-axis and the CSV
 /// twin (selective labeling — per-segment numbers would flood the chart).
-pub fn stacked_bars(
-    title: &str,
-    y_label: &str,
-    segment_names: &[&str],
-    bars: &[Bar],
-) -> String {
+pub fn stacked_bars(title: &str, y_label: &str, segment_names: &[&str], bars: &[Bar]) -> String {
     assert!(!bars.is_empty() && !segment_names.is_empty());
     assert!(segment_names.len() <= SERIES_COLORS.len());
     for b in bars {
-        assert_eq!(b.segments.len(), segment_names.len(), "ragged bar {}", b.label);
+        assert_eq!(
+            b.segments.len(),
+            segment_names.len(),
+            "ragged bar {}",
+            b.label
+        );
     }
     let y_top = nice_ceil(
-        bars.iter().map(|b| b.segments.iter().sum::<f64>()).fold(0.0f64, f64::max).max(1e-9),
+        bars.iter()
+            .map(|b| b.segments.iter().sum::<f64>())
+            .fold(0.0f64, f64::max)
+            .max(1e-9),
     );
 
     let (w, h) = ((120 + bars.len() * 56).max(400) as f64, 400.0);
@@ -248,11 +254,7 @@ pub fn stacked_bars(
         let x0 = ml + slot * bi as f64 + (slot - bar_w) / 2.0;
         let mut acc = 0.0;
         let nseg = bar.segments.len();
-        let top_seg = bar
-            .segments
-            .iter()
-            .rposition(|&v| v > 0.0)
-            .unwrap_or(0);
+        let top_seg = bar.segments.iter().rposition(|&v| v > 0.0).unwrap_or(0);
         for (si, &v) in bar.segments.iter().enumerate() {
             if v <= 0.0 {
                 continue;
@@ -344,7 +346,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Writes an SVG document to `dir/<name>.svg`.
@@ -361,8 +365,14 @@ mod tests {
 
     fn sample() -> Vec<Series> {
         vec![
-            Series { name: "csr".into(), points: vec![(1.0, 1.0), (2.0, 1.8), (4.0, 2.5)] },
-            Series { name: "sss-idx".into(), points: vec![(1.0, 1.4), (2.0, 2.6), (4.0, 4.1)] },
+            Series {
+                name: "csr".into(),
+                points: vec![(1.0, 1.0), (2.0, 1.8), (4.0, 2.5)],
+            },
+            Series {
+                name: "sss-idx".into(),
+                points: vec![(1.0, 1.4), (2.0, 2.6), (4.0, 4.1)],
+            },
         ]
     }
 
@@ -375,14 +385,17 @@ mod tests {
         // End marker = surface ring + colored dot per series.
         assert_eq!(svg.matches("r=\"6\"").count(), 2);
         assert_eq!(svg.matches("r=\"4\"").count(), 2 + 2); // legend dots too
-        // Legend names present; text never wears series color directly.
+                                                           // Legend names present; text never wears series color directly.
         assert!(svg.contains(">csr<") || svg.contains(">csr "));
         assert!(svg.contains(TEXT_SECONDARY));
     }
 
     #[test]
     fn escapes_markup_in_titles() {
-        let s = vec![Series { name: "a<b".into(), points: vec![(1.0, 1.0), (2.0, 2.0)] }];
+        let s = vec![Series {
+            name: "a<b".into(),
+            points: vec![(1.0, 1.0), (2.0, 2.0)],
+        }];
         let svg = line_chart("x < y & z", "t", "v", &s);
         assert!(svg.contains("x &lt; y &amp; z"));
         assert!(!svg.contains("a<b"));
@@ -401,7 +414,10 @@ mod tests {
     #[should_panic]
     fn more_than_four_series_rejected() {
         let s: Vec<Series> = (0..5)
-            .map(|i| Series { name: format!("s{i}"), points: vec![(0.0, 1.0), (1.0, 2.0)] })
+            .map(|i| Series {
+                name: format!("s{i}"),
+                points: vec![(0.0, 1.0), (1.0, 2.0)],
+            })
             .collect();
         let _ = line_chart("t", "x", "y", &s);
     }
@@ -414,10 +430,21 @@ mod bar_tests {
     #[test]
     fn stacked_bars_render() {
         let bars = vec![
-            Bar { label: "csr".into(), segments: vec![3.0, 0.0, 1.0] },
-            Bar { label: "sss-idx".into(), segments: vec![2.0, 0.4, 1.0] },
+            Bar {
+                label: "csr".into(),
+                segments: vec![3.0, 0.0, 1.0],
+            },
+            Bar {
+                label: "sss-idx".into(),
+                segments: vec![2.0, 0.4, 1.0],
+            },
         ];
-        let svg = stacked_bars("Breakdown", "time (ms)", &["spmv", "reduce", "vecops"], &bars);
+        let svg = stacked_bars(
+            "Breakdown",
+            "time (ms)",
+            &["spmv", "reduce", "vecops"],
+            &bars,
+        );
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         // Two bars: csr has 2 nonzero segments, sss-idx has 3.
@@ -429,7 +456,10 @@ mod bar_tests {
 
     #[test]
     fn zero_segments_skipped_entirely() {
-        let bars = vec![Bar { label: "a".into(), segments: vec![0.0, 2.0] }];
+        let bars = vec![Bar {
+            label: "a".into(),
+            segments: vec![0.0, 2.0],
+        }];
         let svg = stacked_bars("t", "v", &["x", "y"], &bars);
         assert_eq!(svg.matches("<path").count(), 1);
     }
@@ -437,7 +467,10 @@ mod bar_tests {
     #[test]
     #[should_panic(expected = "ragged bar")]
     fn ragged_bars_rejected() {
-        let bars = vec![Bar { label: "a".into(), segments: vec![1.0] }];
+        let bars = vec![Bar {
+            label: "a".into(),
+            segments: vec![1.0],
+        }];
         let _ = stacked_bars("t", "v", &["x", "y"], &bars);
     }
 

@@ -29,7 +29,10 @@ fn unknown_flag_rejected() {
 
 #[test]
 fn bad_matrix_name_lists_valid_names() {
-    let out = bin().args(["table1", "--matrix", "not_a_matrix"]).output().unwrap();
+    let out = bin()
+        .args(["table1", "--matrix", "not_a_matrix"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("ldoor"), "should list valid names: {err}");
@@ -59,7 +62,11 @@ fn table1_runs_end_to_end() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("hood"));
     assert!(stdout.contains("CR(CSX-Sym)"));
@@ -72,7 +79,15 @@ fn fig5_writes_csv_and_svg() {
     let dir = std::env::temp_dir().join("symspmv_cli_fig5");
     let _ = std::fs::remove_dir_all(&dir);
     let out = bin()
-        .args(["fig5", "--scale", "0.002", "--matrix", "nd12k", "--out", dir.to_str().unwrap()])
+        .args([
+            "fig5",
+            "--scale",
+            "0.002",
+            "--matrix",
+            "nd12k",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());

@@ -16,7 +16,11 @@ impl AdjGraph {
     /// The pattern is symmetrized (an edge exists if either `(r, c)` or
     /// `(c, r)` is present), so structurally unsymmetric inputs are safe.
     pub fn from_pattern(coo: &CooMatrix) -> Self {
-        assert_eq!(coo.nrows(), coo.ncols(), "adjacency graph needs a square matrix");
+        assert_eq!(
+            coo.nrows(),
+            coo.ncols(),
+            "adjacency graph needs a square matrix"
+        );
         let n = coo.nrows();
         // Collect symmetrized, deduplicated edges.
         let mut edges: Vec<(Idx, Idx)> = Vec::with_capacity(coo.nnz() * 2);

@@ -34,7 +34,12 @@ pub fn rcm_order(g: &AdjGraph) -> Vec<Idx> {
             let v = order[head];
             head += 1;
             nbrs.clear();
-            nbrs.extend(g.neighbors(v).iter().copied().filter(|&w| !visited[w as usize]));
+            nbrs.extend(
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| !visited[w as usize]),
+            );
             nbrs.sort_unstable_by_key(|&w| (g.degree(w), w));
             for &w in &nbrs {
                 visited[w as usize] = true;
@@ -50,7 +55,10 @@ pub fn rcm_order(g: &AdjGraph) -> Vec<Idx> {
 /// Computes the RCM permutation (`new = perm[old]`) of a matrix's pattern.
 pub fn rcm_permutation(coo: &CooMatrix) -> Result<Permutation, SparseError> {
     if coo.nrows() != coo.ncols() {
-        return Err(SparseError::NotSquare { nrows: coo.nrows(), ncols: coo.ncols() });
+        return Err(SparseError::NotSquare {
+            nrows: coo.nrows(),
+            ncols: coo.ncols(),
+        });
     }
     let g = AdjGraph::from_pattern(coo);
     Permutation::from_order(&rcm_order(&g))
@@ -100,7 +108,10 @@ mod tests {
         let scramble = Permutation::from_map(map).unwrap();
         let scrambled = scramble.apply_symmetric(&tri).unwrap();
         let before = matrix_stats(&scrambled).bandwidth;
-        assert!(before > 10, "scramble should blow up the bandwidth, got {before}");
+        assert!(
+            before > 10,
+            "scramble should blow up the bandwidth, got {before}"
+        );
 
         let reordered = rcm_reorder(&scrambled).unwrap();
         let after = matrix_stats(&reordered).bandwidth;

@@ -1,0 +1,390 @@
+//! The shared execution context: one pool, one buffer arena, one ledger.
+//!
+//! Every multithreaded kernel used to construct its own [`WorkerPool`] and
+//! allocate its own local-vector buffers, so a harness sweep over six
+//! formats spawned six pools and the CG solver could not amortize setup
+//! across iterations. [`ExecutionContext`] centralizes the three shared
+//! concerns:
+//!
+//! * the **worker pool** — created once, borrowed by every kernel;
+//! * the **buffer arena** — recycled, first-touch-initialized `f64`
+//!   buffers for local output vectors and solver scratch;
+//! * the **phase-time ledger** — a cross-kernel [`PhaseTimes`] accumulator;
+//!
+//! plus a registry of named [`ReductionStrategy`] objects so the symmetric
+//! kernels select their reduction (naive / effective-ranges / indexing) by
+//! name instead of hard-coding the three variants.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use crate::pool::WorkerPool;
+use crate::reduction::{
+    EffectiveRangesReduction, IndexingReduction, NaiveReduction, ReductionStrategy,
+};
+use crate::timing::PhaseTimes;
+
+/// Locks a mutex, tolerating poisoning.
+///
+/// A worker panic re-raised inside [`ExecutionContext::with_pool`] poisons
+/// the pool mutex while the pool itself is designed to survive the round;
+/// honoring the poison flag would turn one caught panic into a permanently
+/// unusable context.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Recycled `f64` buffers, handed out as [`BufferLease`]s.
+///
+/// Invariant: every free buffer is entirely zero. Kernel-local leases rely
+/// on the reduction phase re-zeroing what it wrote (the cheap path — no
+/// per-call memset); scratch leases are scrubbed on drop.
+#[derive(Default)]
+struct BufferArena {
+    free: Vec<Vec<f64>>,
+}
+
+impl BufferArena {
+    /// Takes the best free buffer for a request of `len` elements: the
+    /// smallest one that already covers it, else the largest (to minimize
+    /// growth), else a fresh empty vector. Longer buffers are truncated —
+    /// the dropped tail is zero by the arena invariant.
+    fn acquire(&mut self, len: usize) -> Vec<f64> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            let better = match best {
+                None => true,
+                Some(j) => {
+                    let (bi, bj) = (buf.len(), self.free[j].len());
+                    if bj >= len {
+                        bi >= len && bi < bj
+                    } else {
+                        bi > bj
+                    }
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut buf = self.free.swap_remove(i);
+                buf.truncate(len);
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn release(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+}
+
+/// The shared runtime layer: one pool, one arena, one ledger, and the
+/// reduction-strategy registry.
+///
+/// Constructed once per run with [`ExecutionContext::new`] and passed to
+/// every kernel as `Arc<ExecutionContext>`; interior mutability (mutexes)
+/// keeps the public surface `&self` so many kernels can hold the context
+/// at once while `run` still serializes parallel regions.
+pub struct ExecutionContext {
+    nthreads: usize,
+    pool: Mutex<WorkerPool>,
+    arena: Mutex<BufferArena>,
+    ledger: Mutex<PhaseTimes>,
+    strategies: RwLock<HashMap<&'static str, Arc<dyn ReductionStrategy>>>,
+}
+
+impl ExecutionContext {
+    /// Creates a context with its single `nthreads`-worker pool and the
+    /// three paper reduction strategies pre-registered (`"naive"`, `"eff"`,
+    /// `"idx"`).
+    ///
+    /// Panics if `nthreads == 0`.
+    pub fn new(nthreads: usize) -> Arc<Self> {
+        let ctx = ExecutionContext {
+            nthreads,
+            pool: Mutex::new(WorkerPool::new(nthreads)),
+            arena: Mutex::new(BufferArena::default()),
+            ledger: Mutex::new(PhaseTimes::new()),
+            strategies: RwLock::new(HashMap::new()),
+        };
+        ctx.register_reduction(Arc::new(NaiveReduction));
+        ctx.register_reduction(Arc::new(EffectiveRangesReduction));
+        ctx.register_reduction(Arc::new(IndexingReduction));
+        Arc::new(ctx)
+    }
+
+    /// Number of workers in the shared pool.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Executes `body(tid)` on every worker of the shared pool, blocking
+    /// until the round completes. Panics from workers propagate exactly as
+    /// with [`WorkerPool::run`].
+    pub fn run(&self, body: &(dyn Fn(usize) + Sync)) {
+        lock_ignore_poison(&self.pool).run(body);
+    }
+
+    /// Runs `f` with exclusive access to the shared pool, for callers (like
+    /// reduction strategies) that issue several rounds back to back.
+    pub fn with_pool<R>(&self, f: impl FnOnce(&mut WorkerPool) -> R) -> R {
+        f(&mut lock_ignore_poison(&self.pool))
+    }
+
+    /// Leases a zeroed buffer of `len` elements for kernel local vectors.
+    ///
+    /// The lessee must return the buffer all-zero (the reduction phase
+    /// re-zeroes exactly what the multiply phase wrote, so this costs
+    /// nothing extra); debug builds verify the contract on drop. Buffer
+    /// growth is zero-initialized in parallel on the pool so pages are
+    /// first touched by the threads that will use them.
+    pub fn lease(&self, len: usize) -> BufferLease<'_> {
+        self.lease_inner(len, false)
+    }
+
+    /// Leases a zeroed scratch buffer that is scrubbed (re-zeroed) when the
+    /// lease drops — for lessees like the CG solver whose buffers end the
+    /// lease holding arbitrary data.
+    pub fn lease_scratch(&self, len: usize) -> BufferLease<'_> {
+        self.lease_inner(len, true)
+    }
+
+    fn lease_inner(&self, len: usize, scrub_on_drop: bool) -> BufferLease<'_> {
+        let mut buf = lock_ignore_poison(&self.arena).acquire(len);
+        if buf.len() < len {
+            self.first_touch_extend(&mut buf, len);
+        }
+        debug_assert!(
+            buf.iter().all(|&v| v == 0.0),
+            "arena handed out a dirty buffer"
+        );
+        BufferLease {
+            buf,
+            ctx: self,
+            scrub_on_drop,
+        }
+    }
+
+    /// Extends `buf` to `len` elements, zero-initializing the new region in
+    /// parallel so each worker first-touches the pages of the partition it
+    /// will later write (NUMA-friendly page placement).
+    fn first_touch_extend(&self, buf: &mut Vec<f64>, len: usize) {
+        let old = buf.len();
+        buf.reserve_exact(len - old);
+        let base = buf.as_mut_ptr() as usize;
+        let total = len - old;
+        self.with_pool(|pool| {
+            let p = pool.nthreads();
+            pool.run(&|tid| {
+                let lo = old + total * tid / p;
+                let hi = old + total * (tid + 1) / p;
+                // SAFETY: [lo, hi) regions are disjoint across threads and
+                // lie within the capacity reserved above; writing zeros to
+                // uninitialized f64 memory is valid initialization.
+                unsafe { std::ptr::write_bytes((base as *mut f64).add(lo), 0, hi - lo) };
+            });
+        });
+        // SAFETY: all of [old, len) was just initialized.
+        unsafe { buf.set_len(len) };
+    }
+
+    fn return_buffer(&self, buf: Vec<f64>) {
+        lock_ignore_poison(&self.arena).release(buf);
+    }
+
+    /// Number of free buffers currently held by the arena (test hook).
+    pub fn arena_free_buffers(&self) -> usize {
+        lock_ignore_poison(&self.arena).free.len()
+    }
+
+    /// Adds a per-kernel or per-solve [`PhaseTimes`] delta to the ledger.
+    pub fn ledger_add(&self, delta: &PhaseTimes) {
+        lock_ignore_poison(&self.ledger).accumulate(delta);
+    }
+
+    /// A snapshot of the accumulated cross-kernel phase times.
+    pub fn ledger(&self) -> PhaseTimes {
+        *lock_ignore_poison(&self.ledger)
+    }
+
+    /// Clears the ledger.
+    pub fn reset_ledger(&self) {
+        *lock_ignore_poison(&self.ledger) = PhaseTimes::new();
+    }
+
+    /// Registers (or replaces) a reduction strategy under its own name.
+    pub fn register_reduction(&self, strategy: Arc<dyn ReductionStrategy>) {
+        self.strategies
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(strategy.name(), strategy);
+    }
+
+    /// Looks up a reduction strategy by name (`"naive"`, `"eff"`, `"idx"`,
+    /// or anything registered later).
+    pub fn reduction(&self, name: &str) -> Option<Arc<dyn ReductionStrategy>> {
+        self.strategies
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Names of all registered reduction strategies, sorted.
+    pub fn reduction_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self
+            .strategies
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .copied()
+            .collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// A checked-out arena buffer; derefs to `[f64]` and returns itself to the
+/// arena on drop.
+pub struct BufferLease<'a> {
+    buf: Vec<f64>,
+    ctx: &'a ExecutionContext,
+    scrub_on_drop: bool,
+}
+
+impl std::ops::Deref for BufferLease<'_> {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BufferLease<'_> {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.buf
+    }
+}
+
+impl Drop for BufferLease<'_> {
+    fn drop(&mut self) {
+        if self.scrub_on_drop {
+            self.buf.fill(0.0);
+        } else if !std::thread::panicking() {
+            debug_assert!(
+                self.buf.iter().all(|&v| v == 0.0),
+                "buffer lease returned dirty; the lessee must re-zero what it wrote"
+            );
+        }
+        self.ctx.return_buffer(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn context_creates_exactly_one_pool() {
+        let before = WorkerPool::pools_created();
+        let ctx = ExecutionContext::new(4);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..5 {
+            ctx.run(&|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 20);
+        assert_eq!(WorkerPool::pools_created(), before + 1);
+    }
+
+    #[test]
+    fn leases_recycle_buffers() {
+        let ctx = ExecutionContext::new(2);
+        {
+            let lease = ctx.lease(128);
+            assert_eq!(lease.len(), 128);
+            assert!(lease.iter().all(|&v| v == 0.0));
+        }
+        assert_eq!(ctx.arena_free_buffers(), 1);
+        {
+            // Same-size request reuses the returned buffer.
+            let _lease = ctx.lease(128);
+            assert_eq!(ctx.arena_free_buffers(), 0);
+        }
+        {
+            // A smaller request truncates rather than allocating anew.
+            let lease = ctx.lease(64);
+            assert_eq!(lease.len(), 64);
+            assert_eq!(ctx.arena_free_buffers(), 0);
+        }
+    }
+
+    #[test]
+    fn scratch_lease_scrubs_on_drop() {
+        let ctx = ExecutionContext::new(2);
+        {
+            let mut s = ctx.lease_scratch(32);
+            s.fill(7.5);
+        }
+        // The scrubbed buffer comes back zeroed for the next lessee.
+        let lease = ctx.lease(32);
+        assert!(lease.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn lease_growth_is_zeroed() {
+        let ctx = ExecutionContext::new(3);
+        drop(ctx.lease(10));
+        let lease = ctx.lease(1000);
+        assert_eq!(lease.len(), 1000);
+        assert!(lease.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn builtin_strategies_registered() {
+        let ctx = ExecutionContext::new(1);
+        assert_eq!(ctx.reduction_names(), vec!["eff", "idx", "naive"]);
+        assert!(ctx.reduction("idx").unwrap().needs_index());
+        assert!(!ctx.reduction("naive").unwrap().direct_write());
+        assert!(ctx.reduction("nope").is_none());
+    }
+
+    #[test]
+    fn ledger_accumulates_across_kernels() {
+        let ctx = ExecutionContext::new(1);
+        let mut t = PhaseTimes::new();
+        t.multiply = std::time::Duration::from_millis(5);
+        ctx.ledger_add(&t);
+        ctx.ledger_add(&t);
+        assert_eq!(ctx.ledger().multiply, std::time::Duration::from_millis(10));
+        ctx.reset_ledger();
+        assert_eq!(ctx.ledger(), PhaseTimes::new());
+    }
+
+    #[test]
+    fn pool_survives_worker_panic_through_context() {
+        let ctx = ExecutionContext::new(2);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.run(&|tid| {
+                if tid == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // The poisoned pool mutex must not brick the context.
+        let hits = AtomicUsize::new(0);
+        ctx.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

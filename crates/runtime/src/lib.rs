@@ -1,6 +1,7 @@
 #![warn(missing_docs)]
 
-//! Execution runtime: explicit threading, partitioning and timing.
+//! Execution runtime: explicit threading, partitioning, timing, and the
+//! shared execution context.
 //!
 //! The paper parallelizes SpMV with explicit native threads (Pthreads) and
 //! static row partitions, not a work-stealing scheduler — thread identity
@@ -9,17 +10,29 @@
 //!
 //! * [`pool::WorkerPool`] — a persistent pool of workers executing the same
 //!   closure with distinct thread ids (SPMD style), with a blocking `run`;
+//! * [`context::ExecutionContext`] — the shared runtime layer: one pool,
+//!   one recycled first-touch buffer arena, one cross-kernel phase-time
+//!   ledger, and the [`reduction::ReductionStrategy`] registry;
+//! * [`reduction`] — the three symmetric reduction strategies of Fig. 3
+//!   (naive / effective-ranges / local-vectors indexing) as trait objects;
+//! * [`shared`] — the `SharedBuf` escape hatch for disjoint parallel writes;
 //! * [`partition`] — contiguous, weight-balanced row partitioning;
 //! * [`timing`] — phase timers for the multiplication/reduction breakdowns
 //!   of Fig. 10 and Fig. 14.
 
+pub mod context;
 pub mod partition;
 pub mod pool;
+pub mod reduction;
+pub mod shared;
 pub mod timing;
 
 #[cfg(test)]
 mod stress_tests;
 
+pub use context::{BufferLease, ExecutionContext};
 pub use partition::{balanced_ranges, Range};
 pub use pool::WorkerPool;
+pub use reduction::{IndexEntry, LocalLayout, ReduceJob, ReductionStrategy};
+pub use shared::SharedBuf;
 pub use timing::PhaseTimes;

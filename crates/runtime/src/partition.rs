@@ -57,7 +57,10 @@ pub fn balanced_ranges(weights: &[u64], p: usize) -> Vec<Range> {
             acc += weights[row];
             row += 1;
         }
-        ranges.push(Range { start: start as u32, end: row as u32 });
+        ranges.push(Range {
+            start: start as u32,
+            end: row as u32,
+        });
     }
     debug_assert_eq!(ranges.last().map(|r| r.end as usize), Some(n));
     ranges
@@ -76,7 +79,10 @@ pub fn symmetric_row_weights(rowptr: &[u32]) -> Vec<u64> {
 /// Per-row weight model for the unsymmetric CSR kernel: one FMA per stored
 /// non-zero (plus a small constant for the row loop overhead).
 pub fn csr_row_weights(rowptr: &[u32]) -> Vec<u64> {
-    rowptr.windows(2).map(|w| (w[1] - w[0]) as u64 + 1).collect()
+    rowptr
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as u64 + 1)
+        .collect()
 }
 
 #[cfg(test)]

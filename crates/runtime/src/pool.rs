@@ -16,9 +16,17 @@
 //! A worker panic is caught, forwarded, and re-raised on the caller thread
 //! after all workers have finished the round.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
+
+/// Global count of pools ever constructed in this process.
+///
+/// The [`ExecutionContext`](crate::ExecutionContext) refactor promises that a
+/// whole harness sweep (or a full CG solve) creates exactly one pool; tests
+/// assert that promise by sampling this counter before and after.
+static POOLS_CREATED: AtomicUsize = AtomicUsize::new(0);
 
 /// The closure signature workers execute: SPMD body receiving a thread id.
 type SpmdRef<'a> = &'a (dyn Fn(usize) + Sync);
@@ -46,7 +54,7 @@ type RoundResult = Result<(), Box<dyn std::any::Any + Send>>;
 /// ```
 pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
-    cmd_txs: Vec<Sender<Command>>,
+    cmd_txs: Vec<SyncSender<Command>>,
     done_rx: Receiver<RoundResult>,
 }
 
@@ -56,11 +64,12 @@ impl WorkerPool {
     /// Panics if `nthreads == 0`.
     pub fn new(nthreads: usize) -> Self {
         assert!(nthreads > 0, "a pool needs at least one worker");
-        let (done_tx, done_rx) = bounded::<RoundResult>(nthreads);
+        POOLS_CREATED.fetch_add(1, Ordering::Relaxed);
+        let (done_tx, done_rx) = sync_channel::<RoundResult>(nthreads);
         let mut cmd_txs = Vec::with_capacity(nthreads);
         let mut handles = Vec::with_capacity(nthreads);
         for tid in 0..nthreads {
-            let (tx, rx) = bounded::<Command>(1);
+            let (tx, rx) = sync_channel::<Command>(1);
             let done = done_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("symspmv-worker-{tid}"))
@@ -69,12 +78,21 @@ impl WorkerPool {
             cmd_txs.push(tx);
             handles.push(handle);
         }
-        WorkerPool { handles, cmd_txs, done_rx }
+        WorkerPool {
+            handles,
+            cmd_txs,
+            done_rx,
+        }
     }
 
     /// Number of workers.
     pub fn nthreads(&self) -> usize {
         self.cmd_txs.len()
+    }
+
+    /// How many pools have ever been constructed in this process.
+    pub fn pools_created() -> usize {
+        POOLS_CREATED.load(Ordering::Relaxed)
     }
 
     /// Executes `body(tid)` on every worker and blocks until all complete.
@@ -102,7 +120,7 @@ impl WorkerPool {
     }
 }
 
-fn worker_loop(tid: usize, rx: Receiver<Command>, done: Sender<RoundResult>) {
+fn worker_loop(tid: usize, rx: Receiver<Command>, done: SyncSender<RoundResult>) {
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Run(body) => {
@@ -185,6 +203,46 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn multiple_worker_panics_reraise_exactly_once_and_pool_survives() {
+        // Regression test for the panic path: even when *every* worker
+        // panics in the same round, the caller sees exactly one re-raised
+        // panic (not one per worker), and the pool stays usable afterwards.
+        let mut pool = WorkerPool::new(4);
+        let raised = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|tid| panic!("worker {tid} failed"));
+        }));
+        if res.is_err() {
+            raised.fetch_add(1, Ordering::Relaxed);
+        }
+        assert_eq!(raised.load(Ordering::Relaxed), 1);
+        let payload = res.unwrap_err();
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| panic!("unexpected payload type"));
+        assert!(msg.contains("failed"), "payload: {msg}");
+
+        // The round fully drained: a subsequent run executes on all workers
+        // without deadlocking or seeing stale panic payloads.
+        for _ in 0..3 {
+            let counter = AtomicUsize::new(0);
+            pool.run(&|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 4);
+        }
+    }
+
+    #[test]
+    fn pool_creation_counter_increments() {
+        let before = WorkerPool::pools_created();
+        let _a = WorkerPool::new(1);
+        let _b = WorkerPool::new(2);
+        assert!(WorkerPool::pools_created() >= before + 2);
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Pluggable reduction strategies for symmetric kernels (Fig. 3 b/c/d).
+//!
+//! The paper's insight (§III) is that *how* transposed contributions are
+//! folded back into the output vector is a scheduling concern layered over
+//! the storage format, not part of it: SSS, CSX-Sym and the hybrid format
+//! all produce the same local-vector writes and can share one reduction
+//! implementation. This module captures that split as a trait object:
+//!
+//! * [`NaiveReduction`] — full-length local vector per thread; the
+//!   reduction sweeps all `p·N` elements (Alg. 3, `ws = 8pN`, Eq. 3).
+//! * [`EffectiveRangesReduction`] — Batista et al.: thread `i` writes rows
+//!   `[start_i, end_i)` directly and keeps a local vector only for its
+//!   effective region `[0, start_i)` (`ws ≈ 4(p−1)N`, Eq. 4).
+//! * [`IndexingReduction`] — the paper's contribution: a symbolic
+//!   `(vid, idx)` index enumerates the actually-conflicting elements and
+//!   the reduction touches only those (`ws ≈ 8(p−1)N·d`, Eq. 6).
+//!
+//! Strategies are registered with an
+//! [`ExecutionContext`](crate::ExecutionContext) by name, so kernels select
+//! them at construction time and new strategies (e.g. a coloring-based or
+//! NUMA-aware fold) plug in without touching any format code.
+
+use crate::partition::Range;
+use crate::pool::WorkerPool;
+use crate::shared::SharedBuf;
+
+/// One conflicting local-vector element: thread (vector id) and row index.
+///
+/// Produced by the symbolic analysis (§III-C); sorted by `(idx, vid)` so a
+/// parallel reduction can split the entry list by output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Local vector id (the writing thread).
+    pub vid: u32,
+    /// Row index within that local vector.
+    pub idx: u32,
+}
+
+/// The local-vector layout a strategy requires from its kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalLayout {
+    /// Total length of the flat backing store for all local vectors.
+    pub flat_len: usize,
+    /// Per-thread offsets into the flat store.
+    pub offsets: Vec<usize>,
+}
+
+/// Everything a reduction needs from the kernel for one fold.
+///
+/// The buffers are [`SharedBuf`] views because the reduction itself runs
+/// SPMD on the pool; the disjointness argument is the strategy's to uphold
+/// (each output row is owned by exactly one reducing thread).
+pub struct ReduceJob<'a> {
+    /// The output vector `y` (length `n`).
+    pub y: SharedBuf<'a>,
+    /// The flat local-vectors store, laid out per [`LocalLayout`].
+    pub locals: SharedBuf<'a>,
+    /// Matrix dimension.
+    pub n: usize,
+    /// The multiply-phase row partition (one entry per thread).
+    pub parts: &'a [Range],
+    /// Per-thread offsets into `locals`.
+    pub offsets: &'a [usize],
+    /// Row chunks assigned to reducing threads (naive/effective sweeps).
+    pub row_chunks: &'a [Range],
+    /// Conflict index entries (empty unless the strategy needs them).
+    pub entries: &'a [IndexEntry],
+    /// Per-thread splits into `entries` (`splits.len() == nthreads + 1`).
+    pub splits: &'a [usize],
+}
+
+/// A pluggable local-vectors reduction (Fig. 3 b/c/d).
+///
+/// Implementations must leave every element of `job.locals` that they are
+/// responsible for **zeroed** after [`reduce`](ReductionStrategy::reduce)
+/// returns — the buffer arena's reuse contract depends on it.
+pub trait ReductionStrategy: Send + Sync {
+    /// Stable identifier used as the registry key (e.g. `"idx"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the multiply phase writes its own rows directly into `y`
+    /// (effective-ranges layout) rather than into a full local vector.
+    fn direct_write(&self) -> bool;
+
+    /// Whether the strategy consumes the symbolic conflict index.
+    fn needs_index(&self) -> bool {
+        false
+    }
+
+    /// Local-vector layout for a given dimension and partition.
+    fn layout(&self, n: usize, parts: &[Range]) -> LocalLayout;
+
+    /// Folds the local vectors into `job.y` on the pool, re-zeroing the
+    /// local elements it touches.
+    fn reduce(&self, pool: &mut WorkerPool, job: &ReduceJob<'_>);
+}
+
+/// Prefix-sum layout shared by the direct-write strategies: thread `i`
+/// keeps a local vector only for its effective region `[0, start_i)`.
+fn effective_layout(parts: &[Range]) -> LocalLayout {
+    let mut offsets = Vec::with_capacity(parts.len());
+    let mut acc = 0usize;
+    for part in parts {
+        offsets.push(acc);
+        acc += part.start as usize;
+    }
+    LocalLayout {
+        flat_len: acc,
+        offsets,
+    }
+}
+
+/// Full-length local vector per thread (Alg. 3 of the paper).
+pub struct NaiveReduction;
+
+impl ReductionStrategy for NaiveReduction {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn direct_write(&self) -> bool {
+        false
+    }
+
+    fn layout(&self, n: usize, parts: &[Range]) -> LocalLayout {
+        let offsets = (0..parts.len()).map(|i| i * n).collect();
+        LocalLayout {
+            flat_len: parts.len() * n,
+            offsets,
+        }
+    }
+
+    fn reduce(&self, pool: &mut WorkerPool, job: &ReduceJob<'_>) {
+        let p = job.parts.len();
+        let n = job.n;
+        let chunks = job.row_chunks;
+        let y_buf = job.y;
+        let flat_buf = job.locals;
+        pool.run(&|tid| {
+            let chunk = chunks[tid];
+            for r in chunk.start as usize..chunk.end as usize {
+                let mut acc = 0.0;
+                for i in 0..p {
+                    let k = i * n + r;
+                    // SAFETY: row r is owned by this reduction thread.
+                    unsafe {
+                        acc += flat_buf.get(k);
+                        flat_buf.set(k, 0.0);
+                    }
+                }
+                unsafe { y_buf.set(r, acc) };
+            }
+        });
+    }
+}
+
+/// Effective ranges (Batista et al., ref. 7 of the paper).
+pub struct EffectiveRangesReduction;
+
+impl ReductionStrategy for EffectiveRangesReduction {
+    fn name(&self) -> &'static str {
+        "eff"
+    }
+
+    fn direct_write(&self) -> bool {
+        true
+    }
+
+    fn layout(&self, _n: usize, parts: &[Range]) -> LocalLayout {
+        effective_layout(parts)
+    }
+
+    fn reduce(&self, pool: &mut WorkerPool, job: &ReduceJob<'_>) {
+        let parts = job.parts;
+        let offsets = job.offsets;
+        let chunks = job.row_chunks;
+        let y_buf = job.y;
+        let flat_buf = job.locals;
+        pool.run(&|tid| {
+            let chunk = chunks[tid];
+            for r in chunk.start as usize..chunk.end as usize {
+                // SAFETY: row r is owned by this reduction thread.
+                let mut acc = unsafe { y_buf.get(r) };
+                for (i, part) in parts.iter().enumerate().skip(1) {
+                    if (part.start as usize) > r {
+                        let k = offsets[i] + r;
+                        unsafe {
+                            acc += flat_buf.get(k);
+                            flat_buf.set(k, 0.0);
+                        }
+                    }
+                }
+                unsafe { y_buf.set(r, acc) };
+            }
+        });
+    }
+}
+
+/// Local-vectors indexing (§III-C — the paper's scheme).
+pub struct IndexingReduction;
+
+impl ReductionStrategy for IndexingReduction {
+    fn name(&self) -> &'static str {
+        "idx"
+    }
+
+    fn direct_write(&self) -> bool {
+        true
+    }
+
+    fn needs_index(&self) -> bool {
+        true
+    }
+
+    fn layout(&self, _n: usize, parts: &[Range]) -> LocalLayout {
+        effective_layout(parts)
+    }
+
+    fn reduce(&self, pool: &mut WorkerPool, job: &ReduceJob<'_>) {
+        let entries = job.entries;
+        let splits = job.splits;
+        let offsets = job.offsets;
+        let y_buf = job.y;
+        let flat_buf = job.locals;
+        pool.run(&|tid| {
+            for e in &entries[splits[tid]..splits[tid + 1]] {
+                let k = offsets[e.vid as usize] + e.idx as usize;
+                // SAFETY: (vid, idx) pairs are unique and slices never
+                // share an idx, so both accesses are exclusive.
+                unsafe {
+                    y_buf.add(e.idx as usize, flat_buf.get(k));
+                    flat_buf.set(k, 0.0);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balanced_ranges;
+
+    #[test]
+    fn layouts_match_methods() {
+        let parts = vec![
+            Range { start: 0, end: 4 },
+            Range { start: 4, end: 8 },
+            Range { start: 8, end: 10 },
+        ];
+        let naive = NaiveReduction.layout(10, &parts);
+        assert_eq!(naive.flat_len, 30);
+        assert_eq!(naive.offsets, vec![0, 10, 20]);
+
+        let eff = EffectiveRangesReduction.layout(10, &parts);
+        assert_eq!(eff.flat_len, 12); // Σ start_i = 0 + 4 + 8
+        assert_eq!(eff.offsets, vec![0, 0, 4]);
+        assert_eq!(eff, IndexingReduction.layout(10, &parts));
+    }
+
+    #[test]
+    fn naive_reduce_folds_and_rezeroes() {
+        let n = 6;
+        let parts = balanced_ranges(&vec![1u64; n], 2);
+        let chunks = balanced_ranges(&vec![1u64; n], 2);
+        let layout = NaiveReduction.layout(n, &parts);
+        let mut locals = vec![1.0; layout.flat_len];
+        let mut y = vec![0.0; n];
+        let mut pool = WorkerPool::new(2);
+        let job = ReduceJob {
+            y: SharedBuf::new(&mut y),
+            locals: SharedBuf::new(&mut locals),
+            n,
+            parts: &parts,
+            offsets: &layout.offsets,
+            row_chunks: &chunks,
+            entries: &[],
+            splits: &[],
+        };
+        NaiveReduction.reduce(&mut pool, &job);
+        assert!(y.iter().all(|&v| v == 2.0), "{y:?}");
+        assert!(locals.iter().all(|&v| v == 0.0));
+    }
+}

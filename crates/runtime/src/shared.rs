@@ -1,0 +1,139 @@
+//! Shared-mutable buffers for partitioned parallel writes.
+//!
+//! The SPMD kernels write disjoint regions of the output vector and of the
+//! flat local-vectors buffer from multiple worker threads. Rust cannot see
+//! the disjointness, so this module provides a deliberately small unsafe
+//! escape hatch: a `Sync` view over a `&mut [f64]` whose methods document
+//! the aliasing contract the kernels uphold.
+
+use std::marker::PhantomData;
+
+/// A raw shared view over a mutable slice, writable from many threads.
+///
+/// # Safety contract
+///
+/// Callers must guarantee that no element is accessed concurrently by two
+/// threads within one parallel region. The symmetric kernels satisfy this
+/// structurally: direct writes target each thread's own row range, local
+/// writes target each thread's own region of the flat buffer, and reduction
+/// splits never share an output row between threads.
+#[derive(Clone, Copy)]
+pub struct SharedBuf<'a> {
+    ptr: *mut f64,
+    len: usize,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: access disjointness is delegated to callers per the struct docs.
+unsafe impl Send for SharedBuf<'_> {}
+unsafe impl Sync for SharedBuf<'_> {}
+
+impl<'a> SharedBuf<'a> {
+    /// Wraps a mutable slice.
+    pub fn new(slice: &'a mut [f64]) -> Self {
+        SharedBuf {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty underlying slice.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a mutable subslice `[lo, hi)`.
+    ///
+    /// # Safety
+    /// The range must be in bounds and not concurrently accessed by any
+    /// other thread for the lifetime of the returned slice.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // the documented escape hatch: caller-proven disjointness
+    pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [f64] {
+        debug_assert!(lo <= hi && hi <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
+    }
+
+    /// Returns the whole underlying slice.
+    ///
+    /// # Safety
+    /// The caller must only touch elements it owns within the current
+    /// parallel region, exactly as with [`SharedBuf::range_mut`]; the full
+    /// view exists for kernels that index by absolute position.
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // see range_mut
+    pub unsafe fn full_mut(&self) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+
+    /// Adds `v` to element `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and not concurrently accessed by another thread.
+    #[inline]
+    pub unsafe fn add(&self, i: usize, v: f64) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) += v;
+    }
+
+    /// Stores `v` into element `i`.
+    ///
+    /// # Safety
+    /// Same as [`SharedBuf::add`].
+    #[inline]
+    pub unsafe fn set(&self, i: usize, v: f64) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = v;
+    }
+
+    /// Reads element `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds; concurrent *writers* to `i` are forbidden.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> f64 {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkerPool;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0.0; 40];
+        let buf = SharedBuf::new(&mut data);
+        let mut pool = WorkerPool::new(4);
+        pool.run(&|tid| {
+            // Each thread owns rows [tid*10, tid*10+10).
+            let s = unsafe { buf.range_mut(tid * 10, tid * 10 + 10) };
+            for (k, slot) in s.iter_mut().enumerate() {
+                *slot = (tid * 10 + k) as f64;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut data = vec![1.0, 2.0];
+        let buf = SharedBuf::new(&mut data);
+        unsafe {
+            buf.add(0, 0.5);
+            buf.set(1, 7.0);
+            assert_eq!(buf.get(0), 1.5);
+        }
+        assert_eq!(data, vec![1.5, 7.0]);
+    }
+}

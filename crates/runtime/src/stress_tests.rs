@@ -45,7 +45,11 @@ fn phases_are_barrier_separated() {
             }
             let _ = tid;
         });
-        assert_eq!(check.load(Ordering::Relaxed), 4, "phase-1 writes not visible");
+        assert_eq!(
+            check.load(Ordering::Relaxed),
+            4,
+            "phase-1 writes not visible"
+        );
     }
 }
 
@@ -57,7 +61,11 @@ fn pools_of_every_size_up_to_16() {
         pool.run(&|tid| {
             mask.fetch_or(1 << tid, Ordering::Relaxed);
         });
-        assert_eq!(mask.load(Ordering::Relaxed), (1u64 << p) - 1, "pool size {p}");
+        assert_eq!(
+            mask.load(Ordering::Relaxed),
+            (1u64 << p) - 1,
+            "pool size {p}"
+        );
         assert_eq!(pool.nthreads(), p);
     }
 }

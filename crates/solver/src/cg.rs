@@ -4,8 +4,15 @@
 //! cost profile §V-F dissects. (Note: line 8 of the paper's Alg. 1 listing
 //! drops the `A·` factor in the residual update; we implement the standard,
 //! correct recurrence `r ← r − a·A·p`.)
+//!
+//! The solver runs entirely on the kernel's [`ExecutionContext`]: the
+//! residual/direction/product vectors are scratch leases from the context's
+//! arena (recycled across solves), the vector operations run on the same
+//! worker pool as the SpMV, and the per-phase breakdown is accumulated into
+//! the context's ledger.
 
 use crate::vecops;
+use std::sync::Arc;
 use symspmv_core::ParallelSpmv;
 use symspmv_runtime::timing::time_into;
 use symspmv_runtime::PhaseTimes;
@@ -25,7 +32,11 @@ pub struct CgConfig {
 
 impl Default for CgConfig {
     fn default() -> Self {
-        CgConfig { max_iters: 1000, rel_tol: 1e-10, record_history: false }
+        CgConfig {
+            max_iters: 1000,
+            rel_tol: 1e-10,
+            record_history: false,
+        }
     }
 }
 
@@ -50,7 +61,8 @@ pub struct CgResult {
 /// The kernel's phase clocks are used to attribute SpMV multiply/reduce
 /// time; vector operations are timed here. The kernel's *pre-existing*
 /// accumulated times (e.g. format preprocessing at construction) are
-/// reported in the `preprocess` slot.
+/// reported in the `preprocess` slot. The solve's breakdown is also added
+/// to the context ledger.
 pub fn cg<K: ParallelSpmv + ?Sized>(
     kernel: &mut K,
     b: &[Val],
@@ -60,22 +72,24 @@ pub fn cg<K: ParallelSpmv + ?Sized>(
     let n = kernel.n();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
+    let ctx = Arc::clone(kernel.context());
 
     let preexisting = kernel.times();
     let mut vec_time = std::time::Duration::ZERO;
 
-    // r = b − A·x ; p = r.
-    let mut r = vec![0.0; n];
+    // r = b − A·x ; p = r. All three work vectors are arena scratch.
+    let mut r = ctx.lease_scratch(n);
+    let mut p = ctx.lease_scratch(n);
+    let mut ap = ctx.lease_scratch(n);
     kernel.spmv(x, &mut r);
-    let mut p = time_into(&mut vec_time, || {
+    time_into(&mut vec_time, || {
         vecops::sub_from(b, &mut r);
-        r.clone()
+        p.copy_from_slice(&r);
     });
-    let mut ap = vec![0.0; n];
 
-    let b_norm_sq = vecops::norm2_sq(b);
+    let b_norm_sq = vecops::norm2_sq(&ctx, b);
     let tol_sq = config.rel_tol * config.rel_tol * b_norm_sq;
-    let mut rs_old = vecops::norm2_sq(&r);
+    let mut rs_old = vecops::norm2_sq(&ctx, &r);
     let mut history = Vec::new();
     if config.record_history {
         history.push(rs_old.sqrt());
@@ -86,14 +100,14 @@ pub fn cg<K: ParallelSpmv + ?Sized>(
     while iterations < config.max_iters && !converged {
         kernel.spmv(&p, &mut ap);
         time_into(&mut vec_time, || {
-            let pap = vecops::dot(&p, &ap);
+            let pap = vecops::dot(&ctx, &p, &ap);
             // A is SPD, so pᵀAp > 0 unless p == 0 (already converged).
             let alpha = if pap != 0.0 { rs_old / pap } else { 0.0 };
-            vecops::axpy(alpha, &p, x);
-            vecops::axpy(-alpha, &ap, &mut r);
-            let rs_new = vecops::norm2_sq(&r);
+            vecops::axpy(&ctx, alpha, &p, x);
+            vecops::axpy(&ctx, -alpha, &ap, &mut r);
+            let rs_new = vecops::norm2_sq(&ctx, &r);
             let beta = if rs_old != 0.0 { rs_new / rs_old } else { 0.0 };
-            vecops::xpby(&r, beta, &mut p);
+            vecops::xpby(&ctx, &r, beta, &mut p);
             rs_old = rs_new;
         });
         if config.record_history {
@@ -114,8 +128,15 @@ pub fn cg<K: ParallelSpmv + ?Sized>(
         vector_ops: vec_time,
         preprocess: preexisting.preprocess,
     };
+    ctx.ledger_add(&times);
 
-    CgResult { iterations, converged, residual_norm: rs_old.sqrt(), times, history }
+    CgResult {
+        iterations,
+        converged,
+        residual_norm: rs_old.sqrt(),
+        times,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +144,7 @@ mod tests {
     use super::*;
     use symspmv_core::{CsrParallel, ReductionMethod, SymFormat, SymSpmv};
     use symspmv_csx::detect::DetectConfig;
+    use symspmv_runtime::{ExecutionContext, WorkerPool};
     use symspmv_sparse::dense::seeded_vector;
     use symspmv_sparse::CooMatrix;
 
@@ -131,7 +153,11 @@ mod tests {
         let mut c = coo.clone();
         c.canonicalize();
         c.spmv_reference(x, &mut ax);
-        ax.iter().zip(b).map(|(a, bb)| (a - bb) * (a - bb)).sum::<f64>().sqrt()
+        ax.iter()
+            .zip(b)
+            .map(|(a, bb)| (a - bb) * (a - bb))
+            .sum::<f64>()
+            .sqrt()
     }
 
     #[test]
@@ -140,8 +166,18 @@ mod tests {
         let n = 400;
         let b = seeded_vector(n, 3);
         let mut x = vec![0.0; n];
-        let mut k = CsrParallel::from_coo(&coo, 4);
-        let res = cg(&mut k, &b, &mut x, &CgConfig { max_iters: 2000, rel_tol: 1e-10, record_history: true });
+        let ctx = ExecutionContext::new(4);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let res = cg(
+            &mut k,
+            &b,
+            &mut x,
+            &CgConfig {
+                max_iters: 2000,
+                rel_tol: 1e-10,
+                record_history: true,
+            },
+        );
         assert!(res.converged, "CG did not converge: {res:?}");
         assert!(residual(&coo, &x, &b) < 1e-6);
         assert!(res.history.len() == res.iterations + 1);
@@ -154,10 +190,15 @@ mod tests {
         let coo = symspmv_sparse::gen::banded_random(300, 15, 6.0, 11);
         let n = 300;
         let b = seeded_vector(n, 5);
-        let cfg = CgConfig { max_iters: 1500, rel_tol: 1e-9, record_history: false };
+        let cfg = CgConfig {
+            max_iters: 1500,
+            rel_tol: 1e-9,
+            record_history: false,
+        };
+        let ctx = ExecutionContext::new(3);
 
         let mut x_ref = vec![0.0; n];
-        let mut kr = CsrParallel::from_coo(&coo, 3);
+        let mut kr = CsrParallel::from_coo(&coo, &ctx);
         let rr = cg(&mut kr, &b, &mut x_ref, &cfg);
         assert!(rr.converged);
 
@@ -166,7 +207,7 @@ mod tests {
             ReductionMethod::EffectiveRanges,
             ReductionMethod::Indexing,
         ] {
-            let mut k = SymSpmv::from_coo(&coo, 3, method, SymFormat::Sss).unwrap();
+            let mut k = SymSpmv::from_coo(&coo, &ctx, method, SymFormat::Sss).unwrap();
             let mut x = vec![0.0; n];
             let r = cg(&mut k, &b, &mut x, &cfg);
             assert!(r.converged, "{method:?} failed to converge");
@@ -175,10 +216,17 @@ mod tests {
             }
         }
 
-        let dcfg = DetectConfig { min_coverage: 0.0, ..DetectConfig::default() };
-        let mut k =
-            SymSpmv::from_coo(&coo, 3, ReductionMethod::Indexing, SymFormat::CsxSym(dcfg))
-                .unwrap();
+        let dcfg = DetectConfig {
+            min_coverage: 0.0,
+            ..DetectConfig::default()
+        };
+        let mut k = SymSpmv::from_coo(
+            &coo,
+            &ctx,
+            ReductionMethod::Indexing,
+            SymFormat::CsxSym(dcfg),
+        )
+        .unwrap();
         let mut x = vec![0.0; n];
         let r = cg(&mut k, &b, &mut x, &cfg);
         assert!(r.converged);
@@ -190,10 +238,20 @@ mod tests {
     #[test]
     fn fixed_iteration_mode_runs_exactly_max_iters() {
         let coo = symspmv_sparse::gen::laplacian_2d(8, 8);
-        let mut k = CsrParallel::from_coo(&coo, 2);
+        let ctx = ExecutionContext::new(2);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
         let b = vec![1.0; 64];
         let mut x = vec![0.0; 64];
-        let res = cg(&mut k, &b, &mut x, &CgConfig { max_iters: 50, rel_tol: 0.0, record_history: false });
+        let res = cg(
+            &mut k,
+            &b,
+            &mut x,
+            &CgConfig {
+                max_iters: 50,
+                rel_tol: 0.0,
+                record_history: false,
+            },
+        );
         assert_eq!(res.iterations, 50);
         assert!(!res.converged);
     }
@@ -201,7 +259,8 @@ mod tests {
     #[test]
     fn zero_rhs_converges_immediately() {
         let coo = symspmv_sparse::gen::laplacian_2d(5, 5);
-        let mut k = CsrParallel::from_coo(&coo, 1);
+        let ctx = ExecutionContext::new(1);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
         let b = vec![0.0; 25];
         let mut x = vec![0.0; 25];
         let res = cg(&mut k, &b, &mut x, &CgConfig::default());
@@ -211,14 +270,59 @@ mod tests {
     }
 
     #[test]
-    fn times_partitioned_by_phase() {
+    fn times_partitioned_by_phase_and_ledgered() {
         let coo = symspmv_sparse::gen::banded_random(600, 10, 6.0, 2);
+        let ctx = ExecutionContext::new(2);
         let mut k =
-            SymSpmv::from_coo(&coo, 2, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+            SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
         let b = seeded_vector(600, 1);
         let mut x = vec![0.0; 600];
-        let res = cg(&mut k, &b, &mut x, &CgConfig { max_iters: 64, rel_tol: 0.0, record_history: false });
+        ctx.reset_ledger();
+        let res = cg(
+            &mut k,
+            &b,
+            &mut x,
+            &CgConfig {
+                max_iters: 64,
+                rel_tol: 0.0,
+                record_history: false,
+            },
+        );
         assert!(res.times.multiply > std::time::Duration::ZERO);
         assert!(res.times.vector_ops > std::time::Duration::ZERO);
+        // The solve's breakdown lands on the shared context ledger.
+        assert_eq!(ctx.ledger().multiply, res.times.multiply);
+    }
+
+    #[test]
+    fn full_solve_creates_exactly_one_pool_and_recycles_scratch() {
+        let coo = symspmv_sparse::gen::banded_random(500, 12, 6.0, 9);
+        let before = WorkerPool::pools_created();
+        let ctx = ExecutionContext::new(4);
+        let mut k =
+            SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let b = seeded_vector(500, 2);
+        let mut x = vec![0.0; 500];
+        let cfg = CgConfig {
+            max_iters: 32,
+            rel_tol: 0.0,
+            record_history: false,
+        };
+        let res1 = cg(&mut k, &b, &mut x, &cfg);
+        assert_eq!(
+            WorkerPool::pools_created(),
+            before + 1,
+            "a full CG solve must run on exactly one pool"
+        );
+        // A second solve leases the same scratch buffers back out of the
+        // arena and reaches the identical iterate.
+        let free_between = ctx.arena_free_buffers();
+        let mut x2 = vec![0.0; 500];
+        let res2 = cg(&mut k, &b, &mut x2, &cfg);
+        assert_eq!(ctx.arena_free_buffers(), free_between);
+        assert_eq!(res1.iterations, res2.iterations);
+        for (a, bb) in x.iter().zip(&x2) {
+            assert_eq!(a, bb, "scratch reuse must not change the iterates");
+        }
     }
 }

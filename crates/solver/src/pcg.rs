@@ -10,6 +10,7 @@
 
 use crate::cg::{CgConfig, CgResult};
 use crate::vecops;
+use std::sync::Arc;
 use symspmv_core::ParallelSpmv;
 use symspmv_runtime::timing::time_into;
 use symspmv_runtime::PhaseTimes;
@@ -49,26 +50,32 @@ pub fn pcg_jacobi<K: ParallelSpmv + ?Sized>(
     assert_eq!(diag.len(), n);
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
-    assert!(diag.iter().all(|&d| d > 0.0), "Jacobi needs a positive diagonal");
+    assert!(
+        diag.iter().all(|&d| d > 0.0),
+        "Jacobi needs a positive diagonal"
+    );
+    let ctx = Arc::clone(kernel.context());
     let inv_diag: Vec<Val> = diag.iter().map(|d| 1.0 / d).collect();
 
     let preexisting = kernel.times();
     let mut vec_time = std::time::Duration::ZERO;
 
-    let mut r = vec![0.0; n];
+    // All four work vectors are scratch leases from the context arena.
+    let mut r = ctx.lease_scratch(n);
+    let mut z = ctx.lease_scratch(n);
+    let mut p = ctx.lease_scratch(n);
+    let mut ap = ctx.lease_scratch(n);
     kernel.spmv(x, &mut r);
-    let mut z = vec![0.0; n];
-    let mut p = time_into(&mut vec_time, || {
+    time_into(&mut vec_time, || {
         vecops::sub_from(b, &mut r);
         apply_jacobi(&inv_diag, &r, &mut z);
-        z.clone()
+        p.copy_from_slice(&z);
     });
-    let mut ap = vec![0.0; n];
 
-    let b_norm_sq = vecops::norm2_sq(b);
+    let b_norm_sq = vecops::norm2_sq(&ctx, b);
     let tol_sq = config.rel_tol * config.rel_tol * b_norm_sq;
-    let mut rz = vecops::dot(&r, &z);
-    let mut r_norm_sq = vecops::norm2_sq(&r);
+    let mut rz = vecops::dot(&ctx, &r, &z);
+    let mut r_norm_sq = vecops::norm2_sq(&ctx, &r);
     let mut history = Vec::new();
     if config.record_history {
         history.push(r_norm_sq.sqrt());
@@ -79,16 +86,16 @@ pub fn pcg_jacobi<K: ParallelSpmv + ?Sized>(
     while iterations < config.max_iters && !converged {
         kernel.spmv(&p, &mut ap);
         time_into(&mut vec_time, || {
-            let pap = vecops::dot(&p, &ap);
+            let pap = vecops::dot(&ctx, &p, &ap);
             let alpha = if pap != 0.0 { rz / pap } else { 0.0 };
-            vecops::axpy(alpha, &p, x);
-            vecops::axpy(-alpha, &ap, &mut r);
+            vecops::axpy(&ctx, alpha, &p, x);
+            vecops::axpy(&ctx, -alpha, &ap, &mut r);
             apply_jacobi(&inv_diag, &r, &mut z);
-            let rz_new = vecops::dot(&r, &z);
+            let rz_new = vecops::dot(&ctx, &r, &z);
             let beta = if rz != 0.0 { rz_new / rz } else { 0.0 };
-            vecops::xpby(&z, beta, &mut p);
+            vecops::xpby(&ctx, &z, beta, &mut p);
             rz = rz_new;
-            r_norm_sq = vecops::norm2_sq(&r);
+            r_norm_sq = vecops::norm2_sq(&ctx, &r);
         });
         if config.record_history {
             history.push(r_norm_sq.sqrt());
@@ -106,7 +113,14 @@ pub fn pcg_jacobi<K: ParallelSpmv + ?Sized>(
         vector_ops: vec_time,
         preprocess: preexisting.preprocess,
     };
-    CgResult { iterations, converged, residual_norm: r_norm_sq.sqrt(), times, history }
+    ctx.ledger_add(&times);
+    CgResult {
+        iterations,
+        converged,
+        residual_norm: r_norm_sq.sqrt(),
+        times,
+        history,
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +128,7 @@ mod tests {
     use super::*;
     use crate::cg::cg;
     use symspmv_core::CsrParallel;
+    use symspmv_runtime::ExecutionContext;
     use symspmv_sparse::dense::seeded_vector;
 
     /// A badly scaled SPD matrix: Laplacian with row/col scaling, where
@@ -135,15 +150,20 @@ mod tests {
         let coo = scaled_laplacian(16);
         let n = coo.nrows() as usize;
         let b = seeded_vector(n, 3);
-        let cfg = CgConfig { max_iters: 6000, rel_tol: 1e-10, record_history: false };
+        let cfg = CgConfig {
+            max_iters: 6000,
+            rel_tol: 1e-10,
+            record_history: false,
+        };
 
-        let mut k1 = CsrParallel::from_coo(&coo, 2);
+        let ctx = ExecutionContext::new(2);
+        let mut k1 = CsrParallel::from_coo(&coo, &ctx);
         let mut x_cg = vec![0.0; n];
         let res_cg = cg(&mut k1, &b, &mut x_cg, &cfg);
         assert!(res_cg.converged);
 
         let diag = diagonal_of(&coo);
-        let mut k2 = CsrParallel::from_coo(&coo, 2);
+        let mut k2 = CsrParallel::from_coo(&coo, &ctx);
         let mut x_pcg = vec![0.0; n];
         let res_pcg = pcg_jacobi(&mut k2, &diag, &b, &mut x_pcg, &cfg);
         assert!(res_pcg.converged);
@@ -158,14 +178,19 @@ mod tests {
         let coo = scaled_laplacian(20);
         let n = coo.nrows() as usize;
         let b = seeded_vector(n, 7);
-        let cfg = CgConfig { max_iters: 20_000, rel_tol: 1e-8, record_history: false };
+        let cfg = CgConfig {
+            max_iters: 20_000,
+            rel_tol: 1e-8,
+            record_history: false,
+        };
         let diag = diagonal_of(&coo);
 
-        let mut k1 = CsrParallel::from_coo(&coo, 2);
+        let ctx = ExecutionContext::new(2);
+        let mut k1 = CsrParallel::from_coo(&coo, &ctx);
         let mut x1 = vec![0.0; n];
         let plain = cg(&mut k1, &b, &mut x1, &cfg);
 
-        let mut k2 = CsrParallel::from_coo(&coo, 2);
+        let mut k2 = CsrParallel::from_coo(&coo, &ctx);
         let mut x2 = vec![0.0; n];
         let pre = pcg_jacobi(&mut k2, &diag, &b, &mut x2, &cfg);
 
@@ -195,7 +220,7 @@ mod tests {
         coo.push(1, 0, 1.0);
         coo.push(0, 1, 1.0);
         let diag = diagonal_of(&coo); // diag[1] == 0
-        let mut k = CsrParallel::from_coo(&coo, 1);
+        let mut k = CsrParallel::from_coo(&coo, &ExecutionContext::new(1));
         let b = vec![1.0, 1.0];
         let mut x = vec![0.0, 0.0];
         let _ = pcg_jacobi(&mut k, &diag, &b, &mut x, &CgConfig::default());

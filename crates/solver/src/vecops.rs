@@ -1,66 +1,87 @@
 //! Dense vector kernels used by CG.
 //!
-//! Small vectors run serially; larger ones use rayon's parallel chunks.
-//! (The paper's CG parallelizes these with the same pthreads as the SpMV;
-//! rayon here is the idiomatic Rust equivalent — DESIGN.md S4.)
+//! Small vectors run serially; larger ones run SPMD on the shared
+//! [`ExecutionContext`] pool — the same workers that execute the SpMV, as
+//! in the paper's pthreads CG (DESIGN.md S4). Using the context instead of
+//! a separate thread-pool library keeps the whole solve on one pool.
 
-use rayon::prelude::*;
+use symspmv_runtime::{ExecutionContext, SharedBuf};
 use symspmv_sparse::Val;
 
 /// Below this length every kernel runs serially — parallel overhead would
 /// dominate.
 pub const PAR_THRESHOLD: usize = 1 << 14;
 
-const CHUNK: usize = 1 << 12;
+/// Even [lo, hi) split of `len` elements for worker `tid` of `p`.
+fn span(len: usize, tid: usize, p: usize) -> (usize, usize) {
+    (len * tid / p, len * (tid + 1) / p)
+}
 
 /// Dot product `aᵀ·b`.
-pub fn dot(a: &[Val], b: &[Val]) -> Val {
+pub fn dot(ctx: &ExecutionContext, a: &[Val], b: &[Val]) -> Val {
     assert_eq!(a.len(), b.len());
     if a.len() < PAR_THRESHOLD {
-        a.iter().zip(b).map(|(x, y)| x * y).sum()
-    } else {
-        a.par_chunks(CHUNK)
-            .zip(b.par_chunks(CHUNK))
-            .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| x * y).sum::<Val>())
-            .sum()
+        return a.iter().zip(b).map(|(x, y)| x * y).sum();
     }
+    let p = ctx.nthreads();
+    let mut partials = vec![0.0; p];
+    let pb = SharedBuf::new(&mut partials);
+    ctx.run(&|tid| {
+        let (lo, hi) = span(a.len(), tid, p);
+        let s: Val = a[lo..hi].iter().zip(&b[lo..hi]).map(|(x, y)| x * y).sum();
+        // SAFETY: slot tid is thread-private.
+        unsafe { pb.set(tid, s) };
+    });
+    partials.iter().sum()
 }
 
 /// Squared Euclidean norm.
-pub fn norm2_sq(a: &[Val]) -> Val {
-    dot(a, a)
+pub fn norm2_sq(ctx: &ExecutionContext, a: &[Val]) -> Val {
+    dot(ctx, a, a)
 }
 
 /// `y += alpha·x`.
-pub fn axpy(alpha: Val, x: &[Val], y: &mut [Val]) {
+pub fn axpy(ctx: &ExecutionContext, alpha: Val, x: &[Val], y: &mut [Val]) {
     assert_eq!(x.len(), y.len());
     if x.len() < PAR_THRESHOLD {
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += alpha * xi;
         }
-    } else {
-        y.par_chunks_mut(CHUNK).zip(x.par_chunks(CHUNK)).for_each(|(cy, cx)| {
-            for (yi, xi) in cy.iter_mut().zip(cx) {
-                *yi += alpha * xi;
-            }
-        });
+        return;
     }
+    let p = ctx.nthreads();
+    let len = y.len();
+    let yb = SharedBuf::new(y);
+    ctx.run(&|tid| {
+        let (lo, hi) = span(len, tid, p);
+        // SAFETY: spans tile 0..len disjointly.
+        let cy = unsafe { yb.range_mut(lo, hi) };
+        for (yi, xi) in cy.iter_mut().zip(&x[lo..hi]) {
+            *yi += alpha * xi;
+        }
+    });
 }
 
 /// `p = r + beta·p` (the CG direction update).
-pub fn xpby(r: &[Val], beta: Val, p: &mut [Val]) {
+pub fn xpby(ctx: &ExecutionContext, r: &[Val], beta: Val, p: &mut [Val]) {
     assert_eq!(r.len(), p.len());
     if r.len() < PAR_THRESHOLD {
         for (pi, ri) in p.iter_mut().zip(r) {
             *pi = ri + beta * *pi;
         }
-    } else {
-        p.par_chunks_mut(CHUNK).zip(r.par_chunks(CHUNK)).for_each(|(cp, cr)| {
-            for (pi, ri) in cp.iter_mut().zip(cr) {
-                *pi = ri + beta * *pi;
-            }
-        });
+        return;
     }
+    let nt = ctx.nthreads();
+    let len = p.len();
+    let pb = SharedBuf::new(p);
+    ctx.run(&|tid| {
+        let (lo, hi) = span(len, tid, nt);
+        // SAFETY: spans tile 0..len disjointly.
+        let cp = unsafe { pb.range_mut(lo, hi) };
+        for (pi, ri) in cp.iter_mut().zip(&r[lo..hi]) {
+            *pi = ri + beta * *pi;
+        }
+    });
 }
 
 /// `y = x - y` in place on `y` (used for `r = b - A·x`).
@@ -74,43 +95,68 @@ pub fn sub_from(x: &[Val], y: &mut [Val]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
+    fn ctx() -> Arc<ExecutionContext> {
+        ExecutionContext::new(3)
+    }
 
     #[test]
     fn dot_small_and_large_agree() {
+        let ctx = ctx();
         let n = PAR_THRESHOLD + 17;
         let a: Vec<Val> = (0..n).map(|i| (i % 7) as Val - 3.0).collect();
         let b: Vec<Val> = (0..n).map(|i| (i % 5) as Val - 2.0).collect();
         let serial: Val = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        let par = dot(&a, &b);
+        let par = dot(&ctx, &a, &b);
         assert!((serial - par).abs() < 1e-6 * serial.abs().max(1.0));
         // Small path.
-        assert_eq!(dot(&a[..100], &b[..100]),
-            a[..100].iter().zip(&b[..100]).map(|(x, y)| x * y).sum::<Val>());
+        assert_eq!(
+            dot(&ctx, &a[..100], &b[..100]),
+            a[..100]
+                .iter()
+                .zip(&b[..100])
+                .map(|(x, y)| x * y)
+                .sum::<Val>()
+        );
     }
 
     #[test]
     fn axpy_updates() {
+        let ctx = ctx();
         let x = vec![1.0, 2.0, 3.0];
         let mut y = vec![10.0, 20.0, 30.0];
-        axpy(2.0, &x, &mut y);
+        axpy(&ctx, 2.0, &x, &mut y);
         assert_eq!(y, vec![12.0, 24.0, 36.0]);
     }
 
     #[test]
     fn axpy_large_path() {
+        let ctx = ctx();
         let n = PAR_THRESHOLD * 2;
         let x = vec![1.0; n];
         let mut y = vec![0.5; n];
-        axpy(-0.5, &x, &mut y);
+        axpy(&ctx, -0.5, &x, &mut y);
         assert!(y.iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn xpby_direction_update() {
+        let ctx = ctx();
         let r = vec![1.0, 1.0];
         let mut p = vec![4.0, -2.0];
-        xpby(&r, 0.5, &mut p);
+        xpby(&ctx, &r, 0.5, &mut p);
         assert_eq!(p, vec![3.0, 0.0]);
+    }
+
+    #[test]
+    fn xpby_large_path() {
+        let ctx = ctx();
+        let n = PAR_THRESHOLD * 2 + 5;
+        let r = vec![1.0; n];
+        let mut p = vec![4.0; n];
+        xpby(&ctx, &r, 0.5, &mut p);
+        assert!(p.iter().all(|&v| v == 3.0));
     }
 
     #[test]
@@ -123,7 +169,8 @@ mod tests {
 
     #[test]
     fn norm_is_dot_with_self() {
+        let ctx = ctx();
         let a = vec![3.0, 4.0];
-        assert_eq!(norm2_sq(&a), 25.0);
+        assert_eq!(norm2_sq(&ctx, &a), 25.0);
     }
 }

@@ -69,7 +69,16 @@ impl BcsrMatrix {
         for i in 0..nbrows as usize {
             browptr[i + 1] += browptr[i];
         }
-        BcsrMatrix { nrows, ncols, br, bc, browptr, bcolind, values, true_nnz: c.nnz() }
+        BcsrMatrix {
+            nrows,
+            ncols,
+            br,
+            bc,
+            browptr,
+            bcolind,
+            values,
+            true_nnz: c.nnz(),
+        }
     }
 
     /// Number of rows.
@@ -115,7 +124,10 @@ impl BcsrMatrix {
     /// Block-row weights (stored elements per block row) for partitioning.
     pub fn blockrow_weights(&self) -> Vec<u64> {
         let bsize = (self.br * self.bc) as u64;
-        self.browptr.windows(2).map(|w| (w[1] - w[0]) as u64 * bsize + 1).collect()
+        self.browptr
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u64 * bsize + 1)
+            .collect()
     }
 
     /// SpMV over block rows `[bstart, bend)`, writing the corresponding
@@ -126,7 +138,10 @@ impl BcsrMatrix {
             let row0 = bi as usize * br;
             let rows_here = br.min(self.nrows as usize - row0);
             let mut acc = [0.0; 8];
-            debug_assert!(br <= 8, "register-block rows kept small by choose_block_size");
+            debug_assert!(
+                br <= 8,
+                "register-block rows kept small by choose_block_size"
+            );
             let acc = &mut acc[..rows_here.max(1)];
             for a in acc.iter_mut() {
                 *a = 0.0;

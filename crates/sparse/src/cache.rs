@@ -45,7 +45,10 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<CooMatrix, SparseError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(SparseError::Parse { line: 0, msg: "bad cache magic".into() });
+        return Err(SparseError::Parse {
+            line: 0,
+            msg: "bad cache magic".into(),
+        });
     }
     let mut b4 = [0u8; 4];
     let mut b8 = [0u8; 8];
@@ -58,12 +61,18 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<CooMatrix, SparseError> {
 
     // Guard against absurd header values before allocating.
     if nnz > (1usize << 33) {
-        return Err(SparseError::Parse { line: 0, msg: format!("implausible nnz {nnz}") });
+        return Err(SparseError::Parse {
+            line: 0,
+            msg: format!("implausible nnz {nnz}"),
+        });
     }
     let mut read_u32s = |n: usize| -> Result<Vec<Idx>, SparseError> {
         let mut buf = vec![0u8; n * 4];
         r.read_exact(&mut buf)?;
-        Ok(buf.chunks_exact(4).map(|c| Idx::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+        Ok(buf
+            .chunks_exact(4)
+            .map(|c| Idx::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
     };
     let rows = read_u32s(nnz)?;
     let cols = read_u32s(nnz)?;
@@ -72,7 +81,9 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<CooMatrix, SparseError> {
     let vals: Vec<Val> = buf
         .chunks_exact(8)
         .map(|c| {
-            Val::from_bits(u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            Val::from_bits(u64::from_le_bytes([
+                c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+            ]))
         })
         .collect();
     CooMatrix::from_triplets(nrows, ncols, rows, cols, vals)

@@ -32,7 +32,13 @@ pub struct CooMatrix {
 impl CooMatrix {
     /// Creates an empty matrix with the given dimensions.
     pub fn new(nrows: Idx, ncols: Idx) -> Self {
-        CooMatrix { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Creates an empty matrix with room reserved for `cap` entries.
@@ -57,14 +63,33 @@ impl CooMatrix {
         cols: Vec<Idx>,
         vals: Vec<Val>,
     ) -> Result<Self, SparseError> {
-        assert_eq!(rows.len(), cols.len(), "triplet slices must agree in length");
-        assert_eq!(rows.len(), vals.len(), "triplet slices must agree in length");
+        assert_eq!(
+            rows.len(),
+            cols.len(),
+            "triplet slices must agree in length"
+        );
+        assert_eq!(
+            rows.len(),
+            vals.len(),
+            "triplet slices must agree in length"
+        );
         for (&r, &c) in rows.iter().zip(&cols) {
             if r >= nrows || c >= ncols {
-                return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows,
+                    ncols,
+                });
             }
         }
-        Ok(CooMatrix { nrows, ncols, rows, cols, vals })
+        Ok(CooMatrix {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        })
     }
 
     /// Number of rows.
@@ -84,7 +109,10 @@ impl CooMatrix {
 
     /// Appends a triplet. Panics if out of bounds (construction-time bug).
     pub fn push(&mut self, row: Idx, col: Idx, val: Val) {
-        assert!(row < self.nrows && col < self.ncols, "entry ({row}, {col}) out of bounds");
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "entry ({row}, {col}) out of bounds"
+        );
         self.rows.push(row);
         self.cols.push(col);
         self.vals.push(val);
@@ -107,7 +135,11 @@ impl CooMatrix {
 
     /// Iterates over `(row, col, value)` triplets in storage order.
     pub fn iter(&self) -> impl Iterator<Item = (Idx, Idx, Val)> + '_ {
-        self.rows.iter().zip(&self.cols).zip(&self.vals).map(|((&r, &c), &v)| (r, c, v))
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
     }
 
     /// Sorts triplets row-major and sums duplicates in place.
@@ -187,7 +219,10 @@ impl CooMatrix {
     /// matrix is not square.
     pub fn split_lower_diag(&self) -> Result<(CooMatrix, Vec<Val>), SparseError> {
         if self.nrows != self.ncols {
-            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
         }
         let n = self.nrows as usize;
         let mut diag = vec![0.0; n];
@@ -206,7 +241,10 @@ impl CooMatrix {
     /// lower triangle (plus diagonal), mirroring off-diagonal entries.
     pub fn symmetrize_from_lower(&self) -> Result<CooMatrix, SparseError> {
         if self.nrows != self.ncols {
-            return Err(SparseError::NotSquare { nrows: self.nrows, ncols: self.ncols });
+            return Err(SparseError::NotSquare {
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
         }
         let mut full = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz() * 2);
         for (r, c, v) in self.iter() {

@@ -60,7 +60,13 @@ impl CsrMatrix {
         debug_assert_eq!(colind.len(), values.len());
         debug_assert_eq!(*rowptr.last().unwrap_or(&0) as usize, colind.len());
         debug_assert!(colind.iter().all(|&c| c < ncols));
-        CsrMatrix { nrows, ncols, rowptr, colind, values }
+        CsrMatrix {
+            nrows,
+            ncols,
+            rowptr,
+            colind,
+            values,
+        }
     }
 
     /// Number of rows.

@@ -15,7 +15,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// A zero matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        DenseMatrix { nrows, ncols, data: vec![0.0; nrows * ncols] }
+        DenseMatrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
     }
 
     /// Materializes a COO matrix densely.
@@ -50,8 +54,7 @@ impl DenseMatrix {
     /// True if `self` is exactly symmetric.
     pub fn is_symmetric(&self) -> bool {
         self.nrows == self.ncols
-            && (0..self.nrows)
-                .all(|r| (0..r).all(|c| self[(r, c)] == self[(c, r)]))
+            && (0..self.nrows).all(|r| (0..r).all(|c| self[(r, c)] == self[(c, r)]))
     }
 }
 
@@ -70,7 +73,13 @@ impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
 
 /// Asserts two vectors are element-wise equal within `tol` (test helper).
 pub fn assert_vec_close(a: &[Val], b: &[Val], tol: Val) {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b).enumerate() {
         assert!(
             (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),

@@ -49,7 +49,12 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
                 f,
                 "entry ({row}, {col}) out of bounds for a {nrows}x{ncols} matrix"
             ),
@@ -57,7 +62,10 @@ impl fmt::Display for SparseError {
                 write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
             }
             SparseError::NotSymmetric { row, col } => {
-                write!(f, "matrix is not symmetric: entry ({row}, {col}) has no symmetric match")
+                write!(
+                    f,
+                    "matrix is not symmetric: entry ({row}, {col}) has no symmetric match"
+                )
             }
             SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             SparseError::Io(msg) => write!(f, "I/O error: {msg}"),

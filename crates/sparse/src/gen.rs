@@ -13,9 +13,8 @@
 //! experiments of §V-F converge).
 
 use crate::coo::CooMatrix;
+use crate::rng::StdRng;
 use crate::{Idx, Val};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Mirrors a strict-lower-triangle COO and adds a dominant diagonal,
 /// producing a symmetric positive-definite matrix.
@@ -24,7 +23,10 @@ use rand::{RngExt, SeedableRng};
 /// full row, which makes the matrix strictly diagonally dominant with
 /// positive diagonal, hence SPD.
 pub fn spd_from_lower(lower: &CooMatrix, shift: Val) -> CooMatrix {
-    assert!(shift > 0.0, "shift must be positive for positive definiteness");
+    assert!(
+        shift > 0.0,
+        "shift must be positive for positive definiteness"
+    );
     let n = lower.nrows();
     let mut lower = lower.clone();
     lower.canonicalize();
@@ -233,13 +235,7 @@ pub fn mixed_bandwidth(
 /// global. The result is usually combined with [`scramble`] so the latent
 /// locality is hidden behind a bad numbering, which RCM can then recover
 /// (§V-D).
-pub fn power_law(
-    n: Idx,
-    nnz_per_row: f64,
-    hub_frac: f64,
-    local_band: Idx,
-    seed: u64,
-) -> CooMatrix {
+pub fn power_law(n: Idx, nnz_per_row: f64, hub_frac: f64, local_band: Idx, seed: u64) -> CooMatrix {
     assert!(n >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
     let hubs = ((n as f64 * hub_frac).ceil() as Idx).max(1);
@@ -280,7 +276,11 @@ pub fn scramble_nodes_windowed(
 ) -> CooMatrix {
     use crate::perm::Permutation;
     let n = coo.nrows();
-    assert_eq!(n % block, 0, "dimension must be a whole number of node blocks");
+    assert_eq!(
+        n % block,
+        0,
+        "dimension must be a whole number of node blocks"
+    );
     let nodes = n / block;
     let window = window_nodes.max(2);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -408,7 +408,10 @@ mod tests {
     fn mixed_bandwidth_has_far_entries() {
         let a = mixed_bandwidth(500, 8.0, 0.5, 5, 3);
         check_spd_structure(&a);
-        let far = a.iter().filter(|&(r, c, _)| (r as i64 - c as i64).abs() > 50).count();
+        let far = a
+            .iter()
+            .filter(|&(r, c, _)| (r as i64 - c as i64).abs() > 50)
+            .count();
         assert!(far > 0, "expected scattered (high-bandwidth) entries");
     }
 
@@ -484,10 +487,16 @@ mod windowed_tests {
         let s = scramble_nodes_windowed(&a, 3, 50, 9);
         let bw_a = matrix_stats(&a).bandwidth;
         let bw_s = matrix_stats(&s).bandwidth;
-        assert!(bw_s > bw_a, "scramble should worsen the numbering: {bw_a} -> {bw_s}");
+        assert!(
+            bw_s > bw_a,
+            "scramble should worsen the numbering: {bw_a} -> {bw_s}"
+        );
         // And RCM-style recovery is possible in principle: the scramble is
         // windowed, so two neighbors end up at most ~2 windows apart.
-        assert!(bw_s <= bw_a + 2 * 50 * 3 + 3, "bounded displacement: {bw_s}");
+        assert!(
+            bw_s <= bw_a + 2 * 50 * 3 + 3,
+            "bounded displacement: {bw_s}"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod error;
 pub mod gen;
 pub mod mm;
 pub mod perm;
+pub mod rng;
 pub mod sss;
 pub mod stats;
 pub mod suite;

@@ -56,7 +56,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
                 }
             }
             None => {
-                return Err(SparseError::Parse { line: 1, msg: "empty file".into() });
+                return Err(SparseError::Parse {
+                    line: 1,
+                    msg: "empty file".into(),
+                });
             }
         }
     };
@@ -106,7 +109,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
                 }
             }
             None => {
-                return Err(SparseError::Parse { line: lineno, msg: "missing size line".into() })
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    msg: "missing size line".into(),
+                })
             }
         }
     };
@@ -127,7 +133,11 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
     let ncols = parse_dim(dims[1], "column count")? as Idx;
     let nnz = parse_dim(dims[2], "nnz count")? as usize;
 
-    let expansion = if symmetry == MmSymmetry::Symmetric { 2 } else { 1 };
+    let expansion = if symmetry == MmSymmetry::Symmetric {
+        2
+    } else {
+        1
+    };
     let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * expansion);
     let mut seen = 0usize;
     for (i, line) in lines {
@@ -142,25 +152,37 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
             .next()
             .and_then(|s| s.parse::<u64>().ok())
             .filter(|&r| r >= 1)
-            .ok_or_else(|| SparseError::Parse { line: lineno, msg: "bad row index".into() })?
-            as Idx
+            .ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                msg: "bad row index".into(),
+            })? as Idx
             - 1;
         let c: Idx = it
             .next()
             .and_then(|s| s.parse::<u64>().ok())
             .filter(|&c| c >= 1)
-            .ok_or_else(|| SparseError::Parse { line: lineno, msg: "bad column index".into() })?
-            as Idx
+            .ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                msg: "bad column index".into(),
+            })? as Idx
             - 1;
         let v = match field {
             MmField::Pattern => 1.0,
             _ => it
                 .next()
                 .and_then(|s| s.parse::<f64>().ok())
-                .ok_or_else(|| SparseError::Parse { line: lineno, msg: "bad value".into() })?,
+                .ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    msg: "bad value".into(),
+                })?,
         };
         if r >= nrows || c >= ncols {
-            return Err(SparseError::IndexOutOfBounds { row: r, col: c, nrows, ncols });
+            return Err(SparseError::IndexOutOfBounds {
+                row: r,
+                col: c,
+                nrows,
+                ncols,
+            });
         }
         coo.push(r, c, v);
         if symmetry == MmSymmetry::Symmetric && r != c {

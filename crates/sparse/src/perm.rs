@@ -16,7 +16,9 @@ pub struct Permutation {
 impl Permutation {
     /// The identity permutation on `0..n`.
     pub fn identity(n: Idx) -> Self {
-        Permutation { perm: (0..n).collect() }
+        Permutation {
+            perm: (0..n).collect(),
+        }
     }
 
     /// Builds a permutation from a `new = perm[old]` map, validating that it
@@ -94,7 +96,9 @@ impl Permutation {
     /// Composition `other ∘ self` (apply `self` first).
     pub fn then(&self, other: &Permutation) -> Permutation {
         assert_eq!(self.len(), other.len());
-        Permutation { perm: self.perm.iter().map(|&m| other.apply(m)).collect() }
+        Permutation {
+            perm: self.perm.iter().map(|&m| other.apply(m)).collect(),
+        }
     }
 
     /// Symmetric reordering of a square matrix: entry `(r, c)` moves to
@@ -102,9 +106,16 @@ impl Permutation {
     /// that sends old row `i` to new row `perm[i]`.
     pub fn apply_symmetric(&self, coo: &CooMatrix) -> Result<CooMatrix, SparseError> {
         if coo.nrows() != coo.ncols() {
-            return Err(SparseError::NotSquare { nrows: coo.nrows(), ncols: coo.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: coo.nrows(),
+                ncols: coo.ncols(),
+            });
         }
-        assert_eq!(coo.nrows() as usize, self.len(), "permutation size mismatch");
+        assert_eq!(
+            coo.nrows() as usize,
+            self.len(),
+            "permutation size mismatch"
+        );
         let mut out = CooMatrix::with_capacity(coo.nrows(), coo.ncols(), coo.nnz());
         for (r, c, v) in coo.iter() {
             out.push(self.apply(r), self.apply(c), v);
@@ -161,7 +172,13 @@ mod tests {
     fn symmetric_reorder_preserves_spectrum_sample() {
         // Reordering preserves symmetry and the multiset of values.
         let mut coo = CooMatrix::new(3, 3);
-        for (r, c, v) in [(0, 0, 1.0), (1, 1, 2.0), (2, 2, 3.0), (0, 2, 5.0), (2, 0, 5.0)] {
+        for (r, c, v) in [
+            (0, 0, 1.0),
+            (1, 1, 2.0),
+            (2, 2, 3.0),
+            (0, 2, 5.0),
+            (2, 0, 5.0),
+        ] {
             coo.push(r, c, v);
         }
         coo.canonicalize();
@@ -179,9 +196,14 @@ mod tests {
     fn reorder_commutes_with_spmv() {
         // (P A Pᵀ)(P x) = P (A x).
         let mut coo = CooMatrix::new(4, 4);
-        for (r, c, v) in
-            [(0, 0, 2.0), (1, 1, 3.0), (2, 2, 4.0), (3, 3, 5.0), (0, 3, 1.0), (3, 0, 1.0)]
-        {
+        for (r, c, v) in [
+            (0, 0, 2.0),
+            (1, 1, 3.0),
+            (2, 2, 4.0),
+            (3, 3, 5.0),
+            (0, 3, 1.0),
+            (3, 0, 1.0),
+        ] {
             coo.push(r, c, v);
         }
         coo.canonicalize();

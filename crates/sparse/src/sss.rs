@@ -43,7 +43,10 @@ impl SssMatrix {
         let mut c = coo.clone();
         c.canonicalize();
         if c.nrows() != c.ncols() {
-            return Err(SparseError::NotSquare { nrows: c.nrows(), ncols: c.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: c.nrows(),
+                ncols: c.ncols(),
+            });
         }
         if !c.is_symmetric(tol) {
             // Locate the first offending entry for the error message.
@@ -74,7 +77,10 @@ impl SssMatrix {
         let mut c = lower_with_diag.clone();
         c.canonicalize();
         if c.nrows() != c.ncols() {
-            return Err(SparseError::NotSquare { nrows: c.nrows(), ncols: c.ncols() });
+            return Err(SparseError::NotSquare {
+                nrows: c.nrows(),
+                ncols: c.ncols(),
+            });
         }
         let (lower, dvalues) = c.split_lower_diag()?;
         let lower_csr = CsrMatrix::from_coo(&lower);
@@ -200,10 +206,18 @@ mod tests {
         //  [0, 2, 6, 3],
         //  [0, 0, 3, 7]]
         let mut m = CooMatrix::new(4, 4);
-        for (r, c, v) in
-            [(0, 0, 4.0), (1, 1, 5.0), (2, 2, 6.0), (3, 3, 7.0), (0, 1, 1.0), (1, 0, 1.0),
-             (1, 2, 2.0), (2, 1, 2.0), (2, 3, 3.0), (3, 2, 3.0)]
-        {
+        for (r, c, v) in [
+            (0, 0, 4.0),
+            (1, 1, 5.0),
+            (2, 2, 6.0),
+            (3, 3, 7.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 2, 2.0),
+            (2, 1, 2.0),
+            (2, 3, 3.0),
+            (3, 2, 3.0),
+        ] {
             m.push(r, c, v);
         }
         m

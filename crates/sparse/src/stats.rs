@@ -51,7 +51,11 @@ pub fn matrix_stats(coo: &CooMatrix) -> MatrixStats {
         nrows,
         nnz,
         bandwidth,
-        avg_entry_distance: if offdiag > 0 { dist_sum / offdiag as f64 } else { 0.0 },
+        avg_entry_distance: if offdiag > 0 {
+            dist_sum / offdiag as f64
+        } else {
+            0.0
+        },
         avg_row_nnz: nnz as f64 / nrows.max(1) as f64,
         max_row_nnz: max_row,
         min_row_nnz: if nrows == 0 { 0 } else { min_row },
@@ -73,9 +77,15 @@ mod tests {
     fn stats_on_small_matrix() {
         // [[1, 2, 0], [2, 1, 0], [0, 0, 1]] plus a far entry (0,2)/(2,0).
         let mut coo = CooMatrix::new(3, 3);
-        for (r, c, v) in
-            [(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0), (0, 1, 2.0), (1, 0, 2.0), (0, 2, 3.0), (2, 0, 3.0)]
-        {
+        for (r, c, v) in [
+            (0, 0, 1.0),
+            (1, 1, 1.0),
+            (2, 2, 1.0),
+            (0, 1, 2.0),
+            (1, 0, 2.0),
+            (0, 2, 3.0),
+            (2, 0, 3.0),
+        ] {
             coo.push(r, c, v);
         }
         coo.canonicalize();

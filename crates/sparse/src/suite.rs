@@ -83,7 +83,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 49.6,
         paper_cr_max: 63.6,
         problem: "C.F.D.",
-        class: StructureClass::MixedBandwidth { local_frac: 0.80, band_frac: 1.0 / 64.0 },
+        class: StructureClass::MixedBandwidth {
+            local_frac: 0.80,
+            band_frac: 1.0 / 64.0,
+        },
         seed: 0xA001,
     },
     SuiteSpec {
@@ -94,7 +97,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 56.1,
         paper_cr_max: 65.3,
         problem: "E/M",
-        class: StructureClass::MixedBandwidth { local_frac: 0.90, band_frac: 1.0 / 32.0 },
+        class: StructureClass::MixedBandwidth {
+            local_frac: 0.90,
+            band_frac: 1.0 / 32.0,
+        },
         seed: 0xA002,
     },
     SuiteSpec {
@@ -105,7 +111,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 63.9,
         paper_cr_max: 66.4,
         problem: "F.E.M.",
-        class: StructureClass::BlockStructural { node_degree: 23.0, band_frac: 1.0 / 20.0 },
+        class: StructureClass::BlockStructural {
+            node_degree: 23.0,
+            band_frac: 1.0 / 20.0,
+        },
         seed: 0xA003,
     },
     SuiteSpec {
@@ -116,7 +125,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 64.4,
         paper_cr_max: 66.2,
         problem: "Structural",
-        class: StructureClass::BlockStructural { node_degree: 16.3, band_frac: 1.0 / 40.0 },
+        class: StructureClass::BlockStructural {
+            node_degree: 16.3,
+            band_frac: 1.0 / 40.0,
+        },
         seed: 0xA004,
     },
     SuiteSpec {
@@ -138,7 +150,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 53.4,
         paper_cr_max: 63.6,
         problem: "Thermal",
-        class: StructureClass::MixedBandwidth { local_frac: 0.88, band_frac: 1.0 / 48.0 },
+        class: StructureClass::MixedBandwidth {
+            local_frac: 0.88,
+            band_frac: 1.0 / 48.0,
+        },
         seed: 0xA006,
     },
     SuiteSpec {
@@ -149,7 +164,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 65.1,
         paper_cr_max: 66.4,
         problem: "Structural",
-        class: StructureClass::BlockStructural { node_degree: 22.8, band_frac: 1.0 / 30.0 },
+        class: StructureClass::BlockStructural {
+            node_degree: 22.8,
+            band_frac: 1.0 / 30.0,
+        },
         seed: 0xA007,
     },
     SuiteSpec {
@@ -160,7 +178,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 64.4,
         paper_cr_max: 66.2,
         problem: "Structural",
-        class: StructureClass::BlockStructural { node_degree: 15.3, band_frac: 1.0 / 40.0 },
+        class: StructureClass::BlockStructural {
+            node_degree: 15.3,
+            band_frac: 1.0 / 40.0,
+        },
         seed: 0xA008,
     },
     SuiteSpec {
@@ -171,7 +192,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 64.9,
         paper_cr_max: 66.6,
         problem: "Structural",
-        class: StructureClass::BlockStructural { node_degree: 72.9, band_frac: 1.0 / 10.0 },
+        class: StructureClass::BlockStructural {
+            node_degree: 72.9,
+            band_frac: 1.0 / 10.0,
+        },
         seed: 0xA009,
     },
     SuiteSpec {
@@ -182,7 +206,9 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 64.9,
         paper_cr_max: 66.6,
         problem: "2D/3D",
-        class: StructureClass::DenseBand { band_frac: 1.0 / 8.0 },
+        class: StructureClass::DenseBand {
+            band_frac: 1.0 / 8.0,
+        },
         seed: 0xA00A,
     },
     SuiteSpec {
@@ -193,7 +219,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 64.7,
         paper_cr_max: 66.4,
         problem: "Structural",
-        class: StructureClass::BlockStructural { node_degree: 23.4, band_frac: 1.0 / 40.0 },
+        class: StructureClass::BlockStructural {
+            node_degree: 23.4,
+            band_frac: 1.0 / 40.0,
+        },
         seed: 0xA00B,
     },
     SuiteSpec {
@@ -204,7 +233,10 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_csx_sym: 64.5,
         paper_cr_max: 66.2,
         problem: "Structural",
-        class: StructureClass::BlockStructural { node_degree: 15.3, band_frac: 1.0 / 40.0 },
+        class: StructureClass::BlockStructural {
+            node_degree: 15.3,
+            band_frac: 1.0 / 40.0,
+        },
         seed: 0xA00C,
     },
 ];
@@ -229,7 +261,10 @@ pub fn generate(spec: &SuiteSpec, scale: f64) -> SuiteMatrix {
     let nnz_per_row = spec.paper_nnz_per_row().min(n_target as f64 / 4.0);
 
     let coo = match spec.class {
-        StructureClass::BlockStructural { node_degree, band_frac } => {
+        StructureClass::BlockStructural {
+            node_degree,
+            band_frac,
+        } => {
             let block = 3;
             let nodes = (n_target.div_ceil(block)).max(8);
             let node_band = (((nodes as f64) * band_frac) as Idx).max(4);
@@ -239,7 +274,10 @@ pub fn generate(spec: &SuiteSpec, scale: f64) -> SuiteMatrix {
             let window = (nodes / 8).max(8);
             gen::scramble_nodes_windowed(&a, block, window, spec.seed ^ 0x3A3A)
         }
-        StructureClass::MixedBandwidth { local_frac, band_frac } => {
+        StructureClass::MixedBandwidth {
+            local_frac,
+            band_frac,
+        } => {
             let hbw = (((n_target as f64) * band_frac) as Idx).max(2);
             let local = gen::mixed_bandwidth(n_target, nnz_per_row, local_frac, hbw, spec.seed);
             gen::scramble(&local, spec.seed ^ 0x5C5C)

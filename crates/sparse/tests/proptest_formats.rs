@@ -1,67 +1,76 @@
-//! Property tests for the base formats and permutations.
+//! Randomized property tests for the base formats and permutations.
+//!
+//! Formerly proptest-based; now driven by the workspace's own seeded
+//! [`StdRng`] so the property coverage survives without external crates
+//! and every case is exactly reproducible from its loop index.
 
-use proptest::prelude::*;
 use symspmv_sparse::dense::DenseMatrix;
-use symspmv_sparse::{mm, CooMatrix, CsrMatrix, Idx, Permutation, SssMatrix};
+use symspmv_sparse::rng::StdRng;
+use symspmv_sparse::{mm, CooMatrix, Idx, Permutation, SssMatrix};
 
-fn arb_general(max_dim: Idx, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
-    (1..max_dim, 1..max_dim).prop_flat_map(move |(nr, nc)| {
-        proptest::collection::vec((0..nr, 0..nc, -5.0f64..5.0), 0..max_nnz).prop_map(
-            move |trips| {
-                let mut coo = CooMatrix::new(nr, nc);
-                for (r, c, v) in trips {
-                    coo.push(r, c, v);
-                }
-                coo.canonicalize();
-                coo
-            },
-        )
-    })
+const CASES: u64 = 80;
+
+fn random_general(rng: &mut StdRng, max_dim: Idx, max_nnz: usize) -> CooMatrix {
+    let nr = rng.random_range(1..max_dim);
+    let nc = rng.random_range(1..max_dim);
+    let nnz = rng.random_range(0..=max_nnz);
+    let mut coo = CooMatrix::new(nr, nc);
+    for _ in 0..nnz {
+        let r = rng.random_range(0..nr);
+        let c = rng.random_range(0..nc);
+        coo.push(r, c, rng.random_range(-5.0..5.0));
+    }
+    coo.canonicalize();
+    coo
 }
 
-fn arb_symmetric(max_dim: Idx, max_nnz: usize) -> impl Strategy<Value = CooMatrix> {
-    (2..max_dim).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n, 0..n, -5.0f64..5.0), 0..max_nnz).prop_map(move |trips| {
-            let mut coo = CooMatrix::new(n, n);
-            // Deduplicate positions: duplicate triplets would be summed in
-            // an unspecified order by canonicalize, so the two mirror
-            // images could round differently and break exact symmetry.
-            let mut seen = std::collections::HashSet::new();
-            for (r, c, v) in trips {
-                if c <= r && v != 0.0 && seen.insert((r, c)) {
-                    coo.push(r, c, v);
-                    if c < r {
-                        coo.push(c, r, v);
-                    }
-                }
+fn random_symmetric(rng: &mut StdRng, max_dim: Idx, max_nnz: usize) -> CooMatrix {
+    let n = rng.random_range(2..max_dim);
+    let mut coo = CooMatrix::new(n, n);
+    // Deduplicate positions: duplicate triplets would be summed in an
+    // unspecified order by canonicalize, so the two mirror images could
+    // round differently and break exact symmetry.
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..rng.random_range(0..=max_nnz) {
+        let r = rng.random_range(0..n);
+        let c = rng.random_range(0..n);
+        let v = rng.random_range(-5.0..5.0);
+        if c <= r && v != 0.0 && seen.insert((r, c)) {
+            coo.push(r, c, v);
+            if c < r {
+                coo.push(c, r, v);
             }
-            coo.canonicalize();
-            coo
-        })
-    })
+        }
+    }
+    coo.canonicalize();
+    coo
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(80))]
-
-    #[test]
-    fn csr_spmv_matches_dense(coo in arb_general(40, 200)) {
+#[test]
+fn csr_spmv_matches_dense() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1000 + case);
+        let coo = random_general(&mut rng, 40, 200);
         let d = DenseMatrix::from_coo(&coo);
-        let csr = CsrMatrix::from_coo(&coo);
+        let csr = symspmv_sparse::CsrMatrix::from_coo(&coo);
         let x = symspmv_sparse::dense::seeded_vector(coo.ncols() as usize, 1);
         let mut y1 = vec![0.0; coo.nrows() as usize];
         let mut y2 = vec![0.0; coo.nrows() as usize];
         d.matvec(&x, &mut y1);
         csr.spmv(&x, &mut y2);
         for (a, b) in y1.iter().zip(&y2) {
-            prop_assert!((a - b).abs() < 1e-10);
+            assert!((a - b).abs() < 1e-10, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn sss_round_trip_and_spmv(coo in arb_symmetric(40, 200)) {
+#[test]
+fn sss_round_trip_and_spmv() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x2000 + case);
+        let coo = random_symmetric(&mut rng, 40, 200);
         let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
-        prop_assert_eq!(sss.to_full_coo(), coo.clone());
+        assert_eq!(sss.to_full_coo(), coo, "case {case}");
 
         let n = coo.nrows() as usize;
         let x = symspmv_sparse::dense::seeded_vector(n, 2);
@@ -70,48 +79,66 @@ proptest! {
         coo.spmv_reference(&x, &mut y1);
         sss.spmv(&x, &mut y2);
         for (a, b) in y1.iter().zip(&y2) {
-            prop_assert!((a - b).abs() < 1e-10);
+            assert!((a - b).abs() < 1e-10, "case {case}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn matrix_market_round_trip(coo in arb_general(40, 150)) {
+#[test]
+fn matrix_market_round_trip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x3000 + case);
+        let coo = random_general(&mut rng, 40, 150);
         let mut buf = Vec::new();
         mm::write_matrix_market(&mut buf, &coo, false).unwrap();
         let (back, _) = mm::read_matrix_market(&buf[..]).unwrap();
-        prop_assert_eq!(back, coo);
+        assert_eq!(back, coo, "case {case}");
     }
+}
 
-    #[test]
-    fn matrix_market_symmetric_round_trip(coo in arb_symmetric(40, 150)) {
+#[test]
+fn matrix_market_symmetric_round_trip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x4000 + case);
+        let coo = random_symmetric(&mut rng, 40, 150);
         let mut buf = Vec::new();
         mm::write_matrix_market(&mut buf, &coo, true).unwrap();
         let (back, hdr) = mm::read_matrix_market(&buf[..]).unwrap();
-        prop_assert_eq!(hdr.symmetry, mm::MmSymmetry::Symmetric);
-        prop_assert_eq!(back, coo);
+        assert_eq!(hdr.symmetry, mm::MmSymmetry::Symmetric, "case {case}");
+        assert_eq!(back, coo, "case {case}");
     }
+}
 
-    #[test]
-    fn permutation_inverse_composes(n in 1u32..60, seed in any::<u64>()) {
-        // Fisher-Yates from a seeded stream.
+#[test]
+fn permutation_inverse_composes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5000 + case);
+        let n = rng.random_range(1u32..60);
+        // Fisher-Yates from the seeded stream.
         let mut map: Vec<Idx> = (0..n).collect();
-        let mut state = seed;
         for i in (1..n as usize).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let j = (state >> 33) as usize % (i + 1);
+            let j = rng.random_range(0..=i);
             map.swap(i, j);
         }
         let p = Permutation::from_map(map).unwrap();
-        prop_assert_eq!(p.then(&p.inverse()), Permutation::identity(n));
-        prop_assert_eq!(p.inverse().inverse(), p);
+        assert_eq!(
+            p.then(&p.inverse()),
+            Permutation::identity(n),
+            "case {case}"
+        );
+        assert_eq!(p.inverse().inverse(), p, "case {case}");
     }
+}
 
-    #[test]
-    fn canonicalize_idempotent(coo in arb_general(40, 200)) {
+#[test]
+fn canonicalize_idempotent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6000 + case);
+        let coo = random_general(&mut rng, 40, 200);
         let mut once = coo.clone();
         once.canonicalize();
         let mut twice = once.clone();
         twice.canonicalize();
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}");
     }
 }

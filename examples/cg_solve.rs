@@ -6,9 +6,10 @@
 //! cargo run --release --example cg_solve [grid_size] [threads]
 //! ```
 
-use symspmv::core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv::core::CsrParallel;
+use symspmv::core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv::csx::detect::DetectConfig;
+use symspmv::runtime::ExecutionContext;
 use symspmv::solver::{cg, CgConfig};
 
 fn main() {
@@ -23,16 +24,23 @@ fn main() {
     let b = symspmv::sparse::dense::seeded_vector(n, 7);
     println!("system: N = {n}, NNZ = {}, {threads} threads\n", a.nnz());
 
-    let cfg = CgConfig { max_iters: 4 * n, rel_tol: 1e-8, record_history: false };
+    // One context: every kernel below shares its worker pool and arena.
+    let ctx = ExecutionContext::new(threads);
+
+    let cfg = CgConfig {
+        max_iters: 4 * n,
+        rel_tol: 1e-8,
+        record_history: false,
+    };
 
     let mut kernels: Vec<Box<dyn ParallelSpmv>> = vec![
-        Box::new(CsrParallel::from_coo(&a, threads)),
-        Box::new(SymSpmv::from_coo(&a, threads, ReductionMethod::Naive, SymFormat::Sss).unwrap()),
-        Box::new(SymSpmv::from_coo(&a, threads, ReductionMethod::Indexing, SymFormat::Sss).unwrap()),
+        Box::new(CsrParallel::from_coo(&a, &ctx)),
+        Box::new(SymSpmv::from_coo(&a, &ctx, ReductionMethod::Naive, SymFormat::Sss).unwrap()),
+        Box::new(SymSpmv::from_coo(&a, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap()),
         Box::new(
             SymSpmv::from_coo(
                 &a,
-                threads,
+                &ctx,
                 ReductionMethod::Indexing,
                 SymFormat::CsxSym(DetectConfig::default()),
             )

@@ -45,7 +45,10 @@ fn main() {
     let (name, mut coo) = load(std::env::args().nth(1));
     coo.canonicalize();
     let stats = symspmv::sparse::stats::matrix_stats(&coo);
-    println!("\nmatrix {name}: N = {}, NNZ = {}, bandwidth = {}\n", stats.nrows, stats.nnz, stats.bandwidth);
+    println!(
+        "\nmatrix {name}: N = {}, NNZ = {}, bandwidth = {}\n",
+        stats.nrows, stats.nnz, stats.bandwidth
+    );
 
     let csr = CsrMatrix::from_coo(&coo);
     let csr_bytes = csr.size_bytes();
@@ -95,7 +98,10 @@ fn main() {
                     l.canonicalize();
                     l
                 },
-                &DetectConfig { min_coverage: 0.0, ..DetectConfig::default() },
+                &DetectConfig {
+                    min_coverage: 0.0,
+                    ..DetectConfig::default()
+                },
             );
             println!("\nsubstructure histogram (lower triangle):");
             let mut hist: Vec<(Family, usize)> = det.family_histogram().into_iter().collect();

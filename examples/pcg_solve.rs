@@ -10,6 +10,7 @@
 //! ```
 
 use symspmv::core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
+use symspmv::runtime::ExecutionContext;
 use symspmv::solver::{cg, diagonal_of, pcg_jacobi, CgConfig};
 use symspmv::sparse::CooMatrix;
 
@@ -36,13 +37,21 @@ fn main() {
     let n = a.nrows() as usize;
     let b = symspmv::sparse::dense::seeded_vector(n, 13);
     let diag = diagonal_of(&a);
-    let cfg = CgConfig { max_iters: 20 * n, rel_tol: 1e-8, record_history: false };
+    let cfg = CgConfig {
+        max_iters: 20 * n,
+        rel_tol: 1e-8,
+        record_history: false,
+    };
 
     println!("badly scaled Laplacian: N = {n}, NNZ = {}\n", a.nnz());
-    println!("{:>10} {:>14} {:>8} {:>12}", "solver", "kernel", "iters", "total(ms)");
+    println!(
+        "{:>10} {:>14} {:>8} {:>12}",
+        "solver", "kernel", "iters", "total(ms)"
+    );
 
+    let ctx = ExecutionContext::new(threads);
     let mut kernel =
-        SymSpmv::from_coo(&a, threads, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        SymSpmv::from_coo(&a, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
 
     let mut x = vec![0.0; n];
     let plain = cg(&mut kernel, &b, &mut x, &cfg);

@@ -7,6 +7,7 @@
 
 use symspmv::core::{CsrParallel, ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv::csx::detect::DetectConfig;
+use symspmv::runtime::ExecutionContext;
 use symspmv::sparse::{CooMatrix, SssMatrix};
 
 fn main() {
@@ -22,18 +23,23 @@ fn main() {
     let sss = SssMatrix::from_coo(&a, 0.0).expect("matrix is symmetric");
     let mut y_ref = vec![0.0; n];
     sss.spmv(&x, &mut y_ref);
-    println!("SSS stores {} bytes vs CSR {} bytes", sss.size_bytes(), sss.to_full_csr().size_bytes());
+    println!(
+        "SSS stores {} bytes vs CSR {} bytes",
+        sss.size_bytes(),
+        sss.to_full_csr().size_bytes()
+    );
 
     // The multithreaded kernels: CSR baseline, symmetric SSS with the
     // paper's local-vectors indexing, and CSX-Sym.
     let threads = 4;
+    let ctx = ExecutionContext::new(threads);
     let mut kernels: Vec<Box<dyn ParallelSpmv>> = vec![
-        Box::new(CsrParallel::from_coo(&a, threads)),
-        Box::new(SymSpmv::from_coo(&a, threads, ReductionMethod::Indexing, SymFormat::Sss).unwrap()),
+        Box::new(CsrParallel::from_coo(&a, &ctx)),
+        Box::new(SymSpmv::from_coo(&a, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap()),
         Box::new(
             SymSpmv::from_coo(
                 &a,
-                threads,
+                &ctx,
                 ReductionMethod::Indexing,
                 SymFormat::CsxSym(DetectConfig::default()),
             )

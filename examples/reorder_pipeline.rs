@@ -11,7 +11,7 @@ use symspmv::core::{symbolic, ParallelSpmv, ReductionMethod, SymFormat, SymSpmv}
 use symspmv::reorder::rcm::{rcm_permutation, rcm_reorder};
 use symspmv::sparse::stats::matrix_stats;
 use symspmv::sparse::SssMatrix;
-use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights};
+use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights, ExecutionContext};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -28,12 +28,18 @@ fn main() {
     let reordered = rcm_reorder(&a).expect("square symmetric input");
     let rcm_time = t0.elapsed();
 
-    println!("RCM reordering of N = {n} took {:.1} ms\n", rcm_time.as_secs_f64() * 1e3);
+    println!(
+        "RCM reordering of N = {n} took {:.1} ms\n",
+        rcm_time.as_secs_f64() * 1e3
+    );
     println!("{:>22} {:>12} {:>12}", "", "original", "RCM");
 
     let s0 = matrix_stats(&a);
     let s1 = matrix_stats(&reordered);
-    println!("{:>22} {:>12} {:>12}", "bandwidth", s0.bandwidth, s1.bandwidth);
+    println!(
+        "{:>22} {:>12} {:>12}",
+        "bandwidth", s0.bandwidth, s1.bandwidth
+    );
     println!(
         "{:>22} {:>12.1} {:>12.1}",
         "avg |r-c| distance", s0.avg_entry_distance, s1.avg_entry_distance
@@ -50,12 +56,18 @@ fn main() {
     let (e0, d0) = d(&a);
     let (e1, d1) = d(&reordered);
     println!("{:>22} {:>12} {:>12}", "index entries", e0, e1);
-    println!("{:>22} {:>11.1}% {:>11.1}%", "effective density", d0 * 100.0, d1 * 100.0);
+    println!(
+        "{:>22} {:>11.1}% {:>11.1}%",
+        "effective density",
+        d0 * 100.0,
+        d1 * 100.0
+    );
 
-    // Throughput before and after.
+    // Throughput before and after, on one shared context.
+    let ctx = ExecutionContext::new(threads);
     let gflops = |coo: &symspmv::sparse::CooMatrix| {
         let mut k =
-            SymSpmv::from_coo(coo, threads, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+            SymSpmv::from_coo(coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
         let x = symspmv::sparse::dense::seeded_vector(n as usize, 1);
         let mut y = vec![0.0; n as usize];
         k.spmv(&x, &mut y); // warm-up
@@ -79,5 +91,8 @@ fn main() {
 
     // Sanity: the permutation really is a bijection round-tripping SpMV.
     let p = rcm_permutation(&a).unwrap();
-    assert_eq!(p.then(&p.inverse()).as_map(), symspmv::sparse::Permutation::identity(n).as_map());
+    assert_eq!(
+        p.then(&p.inverse()).as_map(),
+        symspmv::sparse::Permutation::identity(n).as_map()
+    );
 }

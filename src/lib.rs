@@ -13,16 +13,21 @@
 //! ```
 //! use symspmv::core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 //! use symspmv::csx::detect::DetectConfig;
+//! use symspmv::runtime::ExecutionContext;
 //!
 //! // A symmetric positive-definite matrix (2-D Laplacian).
 //! let a = symspmv::sparse::gen::laplacian_2d(32, 32);
 //! let n = a.nrows() as usize;
 //!
+//! // One execution context owns the worker pool, the buffer arena, and
+//! // the reduction-strategy registry shared by kernels and solver alike.
+//! let ctx = ExecutionContext::new(4);
+//!
 //! // The paper's fastest configuration: CSX-Sym storage plus the
-//! // local-vectors indexing reduction, on 4 threads.
+//! // local-vectors indexing reduction.
 //! let mut kernel = SymSpmv::from_coo(
 //!     &a,
-//!     4,
+//!     &ctx,
 //!     ReductionMethod::Indexing,
 //!     SymFormat::CsxSym(DetectConfig::default()),
 //! )

@@ -1,14 +1,24 @@
 //! Pathological-structure battery: every kernel must handle the shapes
 //! that break naive partitioning, conflict analysis, or detection logic.
 
+use symspmv::runtime::ExecutionContext;
 use symspmv::sparse::dense::{assert_vec_close, seeded_vector};
 use symspmv::sparse::{CooMatrix, Idx};
 use symspmv_harness::kernels::{build_kernel, KernelSpec};
 
 fn specs() -> Vec<KernelSpec> {
     [
-        "csr", "csx", "bcsr", "csb", "csb-sym", "sss-naive", "sss-eff", "sss-idx",
-        "sss-atomic", "sss-color", "csxsym-idx",
+        "csr",
+        "csx",
+        "bcsr",
+        "csb",
+        "csb-sym",
+        "sss-naive",
+        "sss-eff",
+        "sss-idx",
+        "sss-atomic",
+        "sss-color",
+        "csxsym-idx",
     ]
     .iter()
     .map(|s| KernelSpec::parse(s).unwrap())
@@ -22,9 +32,10 @@ fn check_all(name: &str, coo: &CooMatrix) {
     let mut canon = coo.clone();
     canon.canonicalize();
     canon.spmv_reference(&x, &mut y_ref);
-    for spec in specs() {
-        for p in [1usize, 3, 7] {
-            let mut k = build_kernel(spec, coo, p)
+    for p in [1usize, 3, 7] {
+        let ctx = ExecutionContext::new(p);
+        for spec in specs() {
+            let mut k = build_kernel(spec, coo, &ctx)
                 .unwrap_or_else(|e| panic!("{name}/{}/{p}: build failed: {e}", spec.name()));
             let mut y = vec![f64::NAN; n];
             k.spmv(&x, &mut y);
@@ -104,8 +115,12 @@ fn single_dense_block() {
 fn empty_leading_and_trailing_rows() {
     // Long empty stretches exercise the RJMP path and empty partitions.
     let mut coo = CooMatrix::new(500, 500);
-    for (r, c, v) in [(200u32, 200u32, 5.0), (201, 200, -1.0), (200, 201, -1.0), (201, 201, 5.0)]
-    {
+    for (r, c, v) in [
+        (200u32, 200u32, 5.0),
+        (201, 200, -1.0),
+        (200, 201, -1.0),
+        (201, 201, 5.0),
+    ] {
         coo.push(r, c, v);
     }
     check_all("empty_stretches", &coo);

@@ -2,6 +2,7 @@
 //! thread count must compute the same product as the dense reference, on
 //! representatives of every suite structure class.
 
+use symspmv::runtime::ExecutionContext;
 use symspmv::sparse::dense::{assert_vec_close, seeded_vector};
 use symspmv::sparse::suite;
 use symspmv_harness::kernels::{build_kernel, KernelSpec};
@@ -45,8 +46,9 @@ fn suite_classes_all_kernels_all_thread_counts() {
         let x = seeded_vector(n, 0x77);
         let y_ref = reference(&m.coo, &x);
         for p in [1usize, 2, 5, 8] {
+            let ctx = ExecutionContext::new(p);
             for ks in all_specs() {
-                let mut k = build_kernel(ks, &m.coo, p).unwrap();
+                let mut k = build_kernel(ks, &m.coo, &ctx).unwrap();
                 let mut y = vec![f64::NAN; n];
                 k.spmv(&x, &mut y);
                 assert_vec_close(&y, &y_ref, 1e-11);
@@ -61,8 +63,9 @@ fn repeated_invocations_are_stable() {
     // iterations with vector swapping must match 20 serial applications.
     let m = suite::generate(suite::spec_by_name("offshore").unwrap(), 0.004);
     let n = m.coo.nrows() as usize;
+    let ctx = ExecutionContext::new(4);
     for ks in all_specs() {
-        let mut k = build_kernel(ks, &m.coo, 4).unwrap();
+        let mut k = build_kernel(ks, &m.coo, &ctx).unwrap();
         let mut x = seeded_vector(n, 1);
         let mut y = vec![0.0; n];
         let mut x_ref = x.clone();
@@ -88,9 +91,10 @@ fn repeated_invocations_are_stable() {
 fn size_ordering_matches_paper_on_structural_matrices() {
     // CSX-Sym < SSS < CSR in bytes on a block-structural matrix.
     let m = suite::generate(suite::spec_by_name("hood").unwrap(), 0.01);
-    let csr = build_kernel(KernelSpec::Csr, &m.coo, 2).unwrap();
-    let sss = build_kernel(KernelSpec::parse("sss-idx").unwrap(), &m.coo, 2).unwrap();
-    let csx_sym = build_kernel(KernelSpec::parse("csxsym-idx").unwrap(), &m.coo, 2).unwrap();
+    let ctx = ExecutionContext::new(2);
+    let csr = build_kernel(KernelSpec::Csr, &m.coo, &ctx).unwrap();
+    let sss = build_kernel(KernelSpec::parse("sss-idx").unwrap(), &m.coo, &ctx).unwrap();
+    let csx_sym = build_kernel(KernelSpec::parse("csxsym-idx").unwrap(), &m.coo, &ctx).unwrap();
     assert!(csx_sym.size_bytes() < sss.size_bytes());
     assert!(sss.size_bytes() < csr.size_bytes());
     // SSS halves CSR asymptotically.
@@ -102,8 +106,11 @@ fn size_ordering_matches_paper_on_structural_matrices() {
 fn flop_accounting_consistent_across_formats() {
     let m = suite::generate(suite::spec_by_name("consph").unwrap(), 0.004);
     let specs = all_specs();
-    let flops: Vec<u64> =
-        specs.iter().map(|&s| build_kernel(s, &m.coo, 2).unwrap().flops()).collect();
+    let ctx = ExecutionContext::new(2);
+    let flops: Vec<u64> = specs
+        .iter()
+        .map(|&s| build_kernel(s, &m.coo, &ctx).unwrap().flops())
+        .collect();
     // Symmetric formats count the dense diagonal, CSR counts stored nnz —
     // they must agree within the diagonal contribution.
     let max = *flops.iter().max().unwrap();

@@ -32,9 +32,12 @@ fn file_round_trip_drives_kernels() {
     // Build every kernel from the loaded matrix and cross-check.
     let x = seeded_vector(n, 2);
     let mut y_ref = vec![0.0; n];
-    SssMatrix::from_coo(&loaded, 0.0).unwrap().spmv(&x, &mut y_ref);
+    SssMatrix::from_coo(&loaded, 0.0)
+        .unwrap()
+        .spmv(&x, &mut y_ref);
+    let ctx = symspmv::runtime::ExecutionContext::new(3);
     for spec in KernelSpec::figure11_lineup() {
-        let mut k = build_kernel(spec, &loaded, 3).unwrap();
+        let mut k = build_kernel(spec, &loaded, &ctx).unwrap();
         let mut y = vec![0.0; n];
         k.spmv(&x, &mut y);
         assert_vec_close(&y, &y_ref, 1e-12);
