@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Minimal self-contained benchmark harness for the `benches/` targets.
 //!
 //! The build environment is offline, so the usual criterion dependency is
@@ -105,7 +106,7 @@ impl BenchGroup {
             routine(&mut b);
             samples.push(b.elapsed.as_secs_f64() / iters as f64);
         }
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
         let best = samples[0];
 

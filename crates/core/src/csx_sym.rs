@@ -305,7 +305,8 @@ pub fn spmv_sym_stream(
             vi += size;
         } else {
             // Delta unit: per-element side check, slice-based decode.
-            let width = PatternKind::delta_width_from_id(id).expect("invalid pattern id");
+            let width = PatternKind::delta_width_from_id(id)
+                .unwrap_or_else(|| unreachable!("invalid pattern id in ctl stream"));
             let xr = x[r];
             let mut acc = 0.0;
             let mut c = anchor as usize;

@@ -1,0 +1,195 @@
+//! The workspace-wide error taxonomy.
+//!
+//! [`SymSpmvError`] is the one error type callers above the format layer
+//! (kernels, solvers, the harness) need to handle. It classifies every
+//! failure into a small set of recoverable categories:
+//!
+//! * **`Parse`** — the input file could not be read or understood
+//!   (I/O failures, malformed MatrixMarket syntax);
+//! * **`InvalidStructure`** — the file parsed but describes a matrix the
+//!   requested format rejects: asymmetry, out-of-range or duplicate
+//!   indices, non-finite values, index overflow;
+//! * **`NotSpd` / `Diverged` / `NonFiniteResidual`** — a solver detected
+//!   numerical breakdown instead of silently emitting garbage;
+//! * **`WorkerPanicked`** — a pool worker died mid-kernel; the round
+//!   drained, the context healed, and the panic is reported as data;
+//! * **`UnknownStrategy`** — a reduction strategy name not present in the
+//!   context registry.
+//!
+//! `From<SparseError>` performs the `Parse` vs `InvalidStructure`
+//! classification, so `?` works across the crate boundary.
+
+use std::fmt;
+use symspmv_runtime::WorkerPanicInfo;
+use symspmv_sparse::SparseError;
+
+/// Structured error for every failure mode of the symmetric-SpMV stack.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SymSpmvError {
+    /// The input could not be read or parsed (I/O or syntax).
+    Parse(SparseError),
+    /// The input parsed but fails structural validation for the requested
+    /// format (asymmetry, bad indices, duplicates, non-finite values…).
+    InvalidStructure(SparseError),
+    /// CG breakdown: the operator is not symmetric positive definite
+    /// (`pᵀAp ≤ 0` with a non-negligible residual).
+    NotSpd {
+        /// Iteration at which the breakdown was detected.
+        iteration: usize,
+        /// The offending curvature value `pᵀAp`.
+        pap: f64,
+    },
+    /// The iteration stopped making progress and the residual grew beyond
+    /// the divergence threshold.
+    Diverged {
+        /// Iteration at which divergence was detected.
+        iteration: usize,
+        /// Relative residual norm at that iteration.
+        relative_residual: f64,
+    },
+    /// The residual became NaN or infinite.
+    NonFiniteResidual {
+        /// Iteration at which the residual left the finite range.
+        iteration: usize,
+    },
+    /// A worker thread panicked during a parallel kernel; the pool drained
+    /// the round and remains usable.
+    WorkerPanicked {
+        /// Thread id of the worker that died.
+        tid: usize,
+        /// Rendered panic message.
+        message: String,
+    },
+    /// No reduction strategy of this name is registered with the context.
+    UnknownStrategy {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for SymSpmvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymSpmvError::Parse(e) => write!(f, "failed to read matrix: {e}"),
+            SymSpmvError::InvalidStructure(e) => write!(f, "invalid matrix structure: {e}"),
+            SymSpmvError::NotSpd { iteration, pap } => write!(
+                f,
+                "CG breakdown at iteration {iteration}: matrix is not positive definite \
+                 (p^T A p = {pap:e})"
+            ),
+            SymSpmvError::Diverged {
+                iteration,
+                relative_residual,
+            } => write!(
+                f,
+                "solver diverged at iteration {iteration} \
+                 (relative residual {relative_residual:e})"
+            ),
+            SymSpmvError::NonFiniteResidual { iteration } => {
+                write!(f, "residual became non-finite at iteration {iteration}")
+            }
+            SymSpmvError::WorkerPanicked { tid, message } => {
+                write!(f, "worker thread {tid} panicked during a kernel: {message}")
+            }
+            SymSpmvError::UnknownStrategy { name } => {
+                write!(f, "no reduction strategy named {name:?} is registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymSpmvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SymSpmvError::Parse(e) | SymSpmvError::InvalidStructure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SparseError> for SymSpmvError {
+    /// Classifies a [`SparseError`]: structural rejections become
+    /// [`SymSpmvError::InvalidStructure`], I/O and syntax failures become
+    /// [`SymSpmvError::Parse`].
+    fn from(e: SparseError) -> Self {
+        if e.is_structural() {
+            SymSpmvError::InvalidStructure(e)
+        } else {
+            SymSpmvError::Parse(e)
+        }
+    }
+}
+
+impl From<WorkerPanicInfo> for SymSpmvError {
+    fn from(info: WorkerPanicInfo) -> Self {
+        SymSpmvError::WorkerPanicked {
+            tid: info.tid,
+            message: info.message,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_errors_classify_by_structure() {
+        let io_like = SparseError::Parse {
+            line: 3,
+            msg: "bad value".into(),
+        };
+        assert!(matches!(
+            SymSpmvError::from(io_like),
+            SymSpmvError::Parse(_)
+        ));
+
+        let structural = SparseError::NotSymmetric { row: 1, col: 2 };
+        assert!(matches!(
+            SymSpmvError::from(structural),
+            SymSpmvError::InvalidStructure(_)
+        ));
+    }
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = SymSpmvError::NotSpd {
+            iteration: 7,
+            pap: -1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("iteration 7"), "{msg}");
+        assert!(msg.contains("not positive definite"), "{msg}");
+
+        let w = SymSpmvError::WorkerPanicked {
+            tid: 2,
+            message: "index out of bounds".into(),
+        };
+        assert!(w.to_string().contains("worker thread 2"));
+    }
+
+    #[test]
+    fn worker_panic_info_converts() {
+        let info = WorkerPanicInfo {
+            tid: 5,
+            message: "boom".into(),
+        };
+        assert_eq!(
+            SymSpmvError::from(info),
+            SymSpmvError::WorkerPanicked {
+                tid: 5,
+                message: "boom".into()
+            }
+        );
+    }
+
+    #[test]
+    fn source_chains_to_sparse_error() {
+        use std::error::Error;
+        let e = SymSpmvError::InvalidStructure(SparseError::NotSymmetric { row: 0, col: 1 });
+        assert!(e.source().is_some());
+        let n = SymSpmvError::NonFiniteResidual { iteration: 1 };
+        assert!(n.source().is_none());
+    }
+}

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 //! The paper's contribution: multithreaded *symmetric* SpMV.
@@ -35,6 +36,7 @@ pub mod csb_mt;
 pub mod csr_mt;
 pub mod csx_mt;
 pub mod csx_sym;
+pub mod error;
 pub mod shared;
 pub mod sym;
 pub mod sym_atomic;
@@ -48,6 +50,7 @@ pub use csb_mt::{CsbParallel, CsbSymParallel};
 pub use csr_mt::CsrParallel;
 pub use csx_mt::CsxParallel;
 pub use csx_sym::CsxSymMatrix;
+pub use error::SymSpmvError;
 pub use sym::{ReductionMethod, SymFormat, SymSpmv};
 pub use sym_atomic::SssAtomicParallel;
 pub use sym_color::SssColorParallel;

@@ -20,6 +20,7 @@
 //! first-touch-initialized pages.
 
 use crate::csx_sym::{spmv_sym_stream, spmv_sym_stream_local_only, CsxSymMatrix};
+use crate::error::SymSpmvError;
 use crate::shared::SharedBuf;
 use crate::symbolic::{self, ConflictIndex};
 use crate::traits::ParallelSpmv;
@@ -127,6 +128,20 @@ impl SymSpmv {
         Ok(Self::from_sss(sss, ctx, method, format))
     }
 
+    /// Fully validated constructor for matrices from outside the process:
+    /// beyond [`SymSpmv::from_coo`]'s square/symmetry checks, rejects
+    /// non-finite values, duplicate coordinates and index overflow, and
+    /// reports everything as a classified [`SymSpmvError`].
+    pub fn try_from_coo(
+        coo: &CooMatrix,
+        ctx: &Arc<ExecutionContext>,
+        method: ReductionMethod,
+        format: SymFormat,
+    ) -> Result<Self, SymSpmvError> {
+        let sss = SssMatrix::try_from_coo(coo, 0.0)?;
+        Ok(Self::from_sss(sss, ctx, method, format))
+    }
+
     /// Builds the kernel from an SSS matrix (symmetry already established).
     ///
     /// The reduction strategy is looked up in the context's registry by the
@@ -139,9 +154,11 @@ impl SymSpmv {
         method: ReductionMethod,
         format: SymFormat,
     ) -> Self {
-        let strategy = ctx
-            .reduction(method.tag())
-            .expect("built-in reduction strategy missing from the context registry");
+        // The three built-ins are registered at context creation and the
+        // registry never removes entries, so the lookup cannot fail.
+        let strategy = ctx.reduction(method.tag()).unwrap_or_else(|| {
+            unreachable!("built-in reduction strategy missing from the context registry")
+        });
         Self::build(sss, ctx, method, strategy, format)
     }
 
@@ -167,6 +184,22 @@ impl SymSpmv {
             ReductionMethod::EffectiveRanges
         };
         Some(Self::build(sss, ctx, method, strategy, format))
+    }
+
+    /// Like [`SymSpmv::from_sss_named`], but an unregistered strategy name
+    /// is reported as [`SymSpmvError::UnknownStrategy`] instead of `None` —
+    /// for callers resolving user-supplied names.
+    pub fn try_from_sss_named(
+        sss: SssMatrix,
+        ctx: &Arc<ExecutionContext>,
+        strategy_name: &str,
+        format: SymFormat,
+    ) -> Result<Self, SymSpmvError> {
+        Self::from_sss_named(sss, ctx, strategy_name, format).ok_or_else(|| {
+            SymSpmvError::UnknownStrategy {
+                name: strategy_name.to_string(),
+            }
+        })
     }
 
     fn build(
@@ -741,6 +774,100 @@ mod tests {
         let mut y = vec![0.0; 200];
         eng.spmv(&x, &mut y);
         assert_vec_close(&y, &y_ref, 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod error_taxonomy_tests {
+    use super::*;
+    use symspmv_sparse::dense::seeded_vector;
+
+    // SymSpmv has no Debug impl, so Result::unwrap_err is unavailable.
+    fn expect_err<T>(res: Result<T, SymSpmvError>) -> SymSpmvError {
+        match res {
+            Err(e) => e,
+            Ok(_) => panic!("construction must fail"),
+        }
+    }
+
+    #[test]
+    fn try_from_coo_rejects_nonfinite_and_asymmetric() {
+        let ctx = ExecutionContext::new(2);
+        let mut bad = CooMatrix::new(2, 2);
+        bad.push(0, 0, f64::NAN);
+        let err = expect_err(SymSpmv::try_from_coo(
+            &bad,
+            &ctx,
+            ReductionMethod::Naive,
+            SymFormat::Sss,
+        ));
+        assert!(
+            matches!(
+                err,
+                SymSpmvError::InvalidStructure(SparseError::NonFiniteValue { .. })
+            ),
+            "{err:?}"
+        );
+
+        let mut asym = CooMatrix::new(2, 2);
+        asym.push(0, 1, 1.0);
+        let err = expect_err(SymSpmv::try_from_coo(
+            &asym,
+            &ctx,
+            ReductionMethod::Naive,
+            SymFormat::Sss,
+        ));
+        assert!(matches!(err, SymSpmvError::InvalidStructure(_)), "{err:?}");
+    }
+
+    #[test]
+    fn try_from_sss_named_reports_unknown_strategy() {
+        let coo = symspmv_sparse::gen::laplacian_2d(6, 6);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let ctx = ExecutionContext::new(2);
+        let err = expect_err(SymSpmv::try_from_sss_named(
+            sss.clone(),
+            &ctx,
+            "no-such",
+            SymFormat::Sss,
+        ));
+        assert_eq!(
+            err,
+            SymSpmvError::UnknownStrategy {
+                name: "no-such".into()
+            }
+        );
+        assert!(SymSpmv::try_from_sss_named(sss, &ctx, "idx", SymFormat::Sss).is_ok());
+    }
+
+    #[test]
+    fn injected_multiply_panic_surfaces_as_worker_panicked() {
+        let coo = symspmv_sparse::gen::banded_random(300, 20, 8.0, 17);
+        let ctx = ExecutionContext::new(4);
+        let mut eng =
+            SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+        let x = seeded_vector(300, 3);
+        let mut y = vec![0.0; 300];
+        // Warm up so the arena holds the local-vector buffer (no first-touch
+        // rounds interleave with the armed round below).
+        eng.try_spmv(&x, &mut y).unwrap();
+
+        // Next pool round is the multiply phase of the next spmv.
+        ctx.fault_plan().arm_worker_panic(2, 0);
+        let err = eng.try_spmv(&x, &mut y).unwrap_err();
+        assert!(
+            matches!(err, SymSpmvError::WorkerPanicked { tid: 2, .. }),
+            "{err:?}"
+        );
+        assert!(ctx.arena_all_free_zero(), "arena dirty after worker death");
+
+        // The same engine and context recover and compute correctly.
+        let mut y_after = vec![0.0; 300];
+        eng.try_spmv(&x, &mut y_after).unwrap();
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let mut y_ref = vec![0.0; 300];
+        sss.spmv(&x, &mut y_ref);
+        symspmv_sparse::dense::assert_vec_close(&y_after, &y_ref, 1e-12);
     }
 }
 

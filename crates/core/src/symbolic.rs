@@ -129,7 +129,9 @@ fn split_entries(entries: &[IndexEntry], p: usize) -> Vec<usize> {
         while b > 0 && b < entries.len() && entries[b].idx == entries[b - 1].idx {
             b += 1;
         }
-        let b = b.min(entries.len()).max(*splits.last().unwrap());
+        let b = b
+            .min(entries.len())
+            .max(splits.last().copied().unwrap_or(0));
         splits.push(b);
     }
     splits.push(entries.len());

@@ -4,6 +4,7 @@
 //! storage format implementations through a well-defined sparse matrix-
 //! vector multiplication interface" — this trait is that interface.
 
+use crate::error::SymSpmvError;
 use std::borrow::Cow;
 use std::sync::Arc;
 use symspmv_runtime::{ExecutionContext, PhaseTimes};
@@ -15,6 +16,28 @@ use symspmv_sparse::Val;
 pub trait ParallelSpmv {
     /// Computes `y = A·x`.
     fn spmv(&mut self, x: &[Val], y: &mut [Val]);
+
+    /// Computes `y = A·x`, converting a worker-thread panic into a
+    /// structured [`SymSpmvError::WorkerPanicked`] instead of unwinding.
+    ///
+    /// On `Err`, the context's pool has fully drained the failed round and
+    /// the buffer arena invariant holds, so the kernel and context remain
+    /// usable; `y` holds unspecified partial results. Panics raised on the
+    /// *calling* thread (e.g. dimension-mismatch assertions) are not worker
+    /// deaths and continue to unwind.
+    fn try_spmv(&mut self, x: &[Val], y: &mut [Val]) -> Result<(), SymSpmvError> {
+        let ctx = Arc::clone(self.context());
+        // Clear any stale record so a pre-existing panic from an unrelated
+        // kernel on the same context is not misattributed to this call.
+        let _ = ctx.take_last_panic();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.spmv(x, y))) {
+            Ok(()) => Ok(()),
+            Err(payload) => match ctx.take_last_panic() {
+                Some(info) => Err(SymSpmvError::from(info)),
+                None => std::panic::resume_unwind(payload),
+            },
+        }
+    }
 
     /// Matrix dimension `N` (all evaluation matrices are square).
     fn n(&self) -> usize;

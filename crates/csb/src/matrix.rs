@@ -1,6 +1,7 @@
 //! The unsymmetric CSB matrix.
 
-use symspmv_sparse::{CooMatrix, Idx, Val};
+use symspmv_sparse::validate::{validate_coo, CooChecks};
+use symspmv_sparse::{CooMatrix, Idx, SparseError, Val};
 
 /// Default block-size exponent selection: β = 2^k with β ≈ √N, clamped to
 /// 16-bit local indices (β ≤ 65 536).
@@ -34,6 +35,28 @@ impl CsbMatrix {
     /// Builds a CSB matrix with an automatically chosen block size.
     pub fn from_coo(coo: &CooMatrix) -> Self {
         Self::with_beta(coo, default_beta(coo.nrows().max(coo.ncols()).max(1)))
+    }
+
+    /// Fully validated constructor for matrices from outside the process:
+    /// rejects out-of-range indices, non-finite values and duplicate
+    /// coordinates with a structured [`SparseError`] instead of producing a
+    /// silently wrong encoding. `beta` of `None` selects the default block
+    /// size; an explicit block size must fit 16-bit local indices.
+    pub fn try_from_coo(coo: &CooMatrix, beta: Option<u32>) -> Result<Self, SparseError> {
+        if let Some(b) = beta {
+            if b == 0 || b > 1 << 16 {
+                return Err(SparseError::InvalidArgument {
+                    msg: format!("CSB block size must be in 1..=65536, got {b}"),
+                });
+            }
+        }
+        let mut c = coo.clone();
+        c.canonicalize();
+        validate_coo(&c, &CooChecks::unsymmetric_format())?;
+        Ok(match beta {
+            Some(b) => Self::with_beta(&c, b),
+            None => Self::from_coo(&c),
+        })
     }
 
     /// Builds a CSB matrix with an explicit block size β (≤ 65 536).

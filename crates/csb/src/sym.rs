@@ -24,6 +24,22 @@ impl CsbSymMatrix {
         Ok(Self::from_sss(&sss, beta))
     }
 
+    /// Fully validated constructor for matrices from outside the process:
+    /// beyond [`CsbSymMatrix::from_coo`]'s square/symmetry checks, rejects
+    /// non-finite values, duplicate coordinates, index overflow and an
+    /// out-of-range block size with a structured [`SparseError`].
+    pub fn try_from_coo(coo: &CooMatrix, beta: Option<u32>) -> Result<Self, SparseError> {
+        if let Some(b) = beta {
+            if b == 0 || b > 1 << 16 {
+                return Err(SparseError::InvalidArgument {
+                    msg: format!("CSB block size must be in 1..=65536, got {b}"),
+                });
+            }
+        }
+        let sss = SssMatrix::try_from_coo(coo, 0.0)?;
+        Ok(Self::from_sss(&sss, beta))
+    }
+
     /// Builds from SSS storage (symmetry already established).
     pub fn from_sss(sss: &SssMatrix, beta: Option<u32>) -> Self {
         let n = sss.n();

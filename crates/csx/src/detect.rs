@@ -57,7 +57,10 @@ impl<'a> CooIndex<'a> {
     /// Value of entry `(r, c)`; panics if absent (encoder bug).
     #[inline]
     pub fn value_at(&self, r: Idx, c: Idx) -> Val {
-        self.coo.values()[self.entry(r, c).expect("entry must exist")]
+        let k = self
+            .entry(r, c)
+            .unwrap_or_else(|| unreachable!("entry ({r}, {c}) absent from the detector's COO"));
+        self.coo.values()[k]
     }
 
     /// Stored entries.

@@ -234,8 +234,8 @@ impl CtlStream {
                     vi += 1;
                 }
             } else {
-                let width =
-                    PatternKind::delta_width_from_id(id).expect("invalid pattern id in ctl stream");
+                let width = PatternKind::delta_width_from_id(id)
+                    .unwrap_or_else(|| unreachable!("invalid pattern id in ctl stream"));
                 on_unit(&UnitHeader {
                     row: r,
                     col: anchor,

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 //! CSX — Compressed Sparse eXtended (§IV-A of the paper; Kourtis et al.,

@@ -4,7 +4,8 @@ use crate::detect::{analyze, CooIndex, DetectConfig};
 use crate::encode::{CtlStream, ID_MASK, NR_BIT, RJMP_BIT};
 use crate::pattern::{DeltaWidth, PatternKind};
 use crate::varint::read_varint;
-use symspmv_sparse::{CooMatrix, CsrMatrix, Idx, Val};
+use symspmv_sparse::validate::{validate_coo, CooChecks};
+use symspmv_sparse::{CooMatrix, CsrMatrix, Idx, SparseError, Val};
 
 /// Compression statistics of a CSX encoding.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +98,16 @@ impl CsxMatrix {
     /// Encodes from CSR (converts through COO).
     pub fn from_csr(csr: &CsrMatrix, config: &DetectConfig) -> Self {
         Self::from_canonical_coo(&csr.to_coo(), config)
+    }
+
+    /// Fully validated constructor for matrices from outside the process:
+    /// rejects out-of-range indices, non-finite values and duplicate
+    /// coordinates with a structured [`SparseError`] before encoding.
+    pub fn try_from_coo(coo: &CooMatrix, config: &DetectConfig) -> Result<Self, SparseError> {
+        let mut c = coo.clone();
+        c.canonicalize();
+        validate_coo(&c, &CooChecks::unsymmetric_format())?;
+        Ok(Self::from_canonical_coo(&c, config))
     }
 
     /// Number of rows.
@@ -251,8 +262,8 @@ pub fn spmv_stream(stream: &CtlStream, x: &[Val], y: &mut [Val]) {
             None => {
                 // Delta unit: slice-based inner loops so the compiler can
                 // hoist the bounds checks out of the body.
-                let width =
-                    PatternKind::delta_width_from_id(id).expect("invalid pattern id in ctl stream");
+                let width = PatternKind::delta_width_from_id(id)
+                    .unwrap_or_else(|| unreachable!("invalid pattern id in ctl stream"));
                 let mut acc = values[vi] * x[anchor as usize];
                 let mut c = anchor as usize;
                 let rest = &values[vi + 1..vi + size];

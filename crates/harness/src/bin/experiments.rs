@@ -108,7 +108,7 @@ fn main() -> ExitCode {
         cfg.scale, cfg.iterations, cfg.max_threads
     );
 
-    match cmd.as_str() {
+    let run = match cmd.as_str() {
         "table1" => experiments::table1(&cfg),
         "fig4" => experiments::fig4(&cfg),
         "fig5" => experiments::fig5(&cfg),
@@ -128,6 +128,12 @@ fn main() -> ExitCode {
         "machine" => experiments::machine(&cfg),
         "all" => experiments::all(&cfg),
         _ => return usage(),
+    };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
-    ExitCode::SUCCESS
 }

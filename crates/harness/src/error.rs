@@ -1,0 +1,110 @@
+//! Error type for the experiment drivers.
+//!
+//! Drivers return `Result<(), HarnessError>` so the `experiments` binary can
+//! print one actionable message and exit nonzero instead of panicking
+//! mid-sweep. Every variant says what the user can do about it.
+
+use std::path::PathBuf;
+use symspmv_core::SymSpmvError;
+
+/// What went wrong while running an experiment driver.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// Writing a CSV/SVG report (or the suite cache) failed.
+    Io {
+        /// The path being written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A matrix could not be prepared or a kernel could not be built on it.
+    Matrix {
+        /// What was being built ("csx-sym kernel", "RCM reorder", …).
+        what: String,
+        /// The suite matrix involved.
+        matrix: String,
+        /// The structured cause.
+        source: SymSpmvError,
+    },
+    /// The `verify` driver found kernels disagreeing with the reference.
+    VerificationFailed {
+        /// Number of suite matrices with at least one mismatching kernel.
+        failures: usize,
+    },
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Io { path, source } => write!(
+                fm,
+                "cannot write {}: {source} (is --out pointing at a writable directory?)",
+                path.display()
+            ),
+            HarnessError::Matrix {
+                what,
+                matrix,
+                source,
+            } => write!(fm, "building {what} for matrix {matrix:?} failed: {source}"),
+            HarnessError::VerificationFailed { failures } => write!(
+                fm,
+                "{failures} suite matrices FAILED kernel-vs-reference verification \
+                 (see the table above for the offending rows)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Io { source, .. } => Some(source),
+            HarnessError::Matrix { source, .. } => Some(source),
+            HarnessError::VerificationFailed { .. } => None,
+        }
+    }
+}
+
+impl HarnessError {
+    /// Wraps a structured sparse/kernel error with driver context.
+    pub fn matrix(
+        what: impl Into<String>,
+        matrix: impl Into<String>,
+        source: impl Into<SymSpmvError>,
+    ) -> Self {
+        HarnessError::Matrix {
+            what: what.into(),
+            matrix: matrix.into(),
+            source: source.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_sparse::SparseError;
+
+    #[test]
+    fn messages_are_actionable() {
+        let e = HarnessError::Io {
+            path: PathBuf::from("/nope/out.csv"),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("/nope/out.csv"));
+        assert!(msg.contains("--out"));
+
+        let e = HarnessError::matrix(
+            "sss kernel",
+            "hood",
+            SparseError::NotSymmetric { row: 1, col: 2 },
+        );
+        assert!(e.to_string().contains("hood"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = HarnessError::VerificationFailed { failures: 2 };
+        assert!(e.to_string().contains("2 suite matrices"));
+    }
+}

@@ -5,6 +5,7 @@
 //! columns where the paper states them, so EXPERIMENTS.md can be filled
 //! from a single run.
 
+use crate::error::HarnessError;
 use crate::framework::{measure, serial_csr_spmv_time, Measurement};
 use crate::kernels::{build_kernel, experiment_detect_config, KernelSpec};
 use crate::report::{f, geomean, pct, Table};
@@ -82,21 +83,41 @@ impl ExpConfig {
         v
     }
 
-    fn emit(&self, name: &str, table: &Table) {
+    fn emit(&self, name: &str, table: &Table) -> Result<(), HarnessError> {
         println!("{}", table.render());
-        match table.write_csv(&self.out_dir, name) {
-            Ok(p) => println!("[csv written to {}]\n", p.display()),
-            Err(e) => eprintln!("[csv write failed: {e}]\n"),
-        }
+        let p = table
+            .write_csv(&self.out_dir, name)
+            .map_err(|source| HarnessError::Io {
+                path: self.out_dir.join(format!("{name}.csv")),
+                source,
+            })?;
+        println!("[csv written to {}]\n", p.display());
+        Ok(())
     }
 }
 
-fn sss_of(coo: &CooMatrix) -> SssMatrix {
-    SssMatrix::from_coo(coo, 0.0).expect("suite matrices are symmetric")
+fn sss_of(coo: &CooMatrix, name: &str) -> Result<SssMatrix, HarnessError> {
+    SssMatrix::from_coo(coo, 0.0).map_err(|e| HarnessError::matrix("SSS structure", name, e))
+}
+
+/// Builds a kernel with driver context attached to any failure.
+fn kernel_of(
+    spec: KernelSpec,
+    coo: &CooMatrix,
+    ctx: &Arc<ExecutionContext>,
+    matrix: &str,
+) -> Result<Box<dyn symspmv_core::ParallelSpmv>, HarnessError> {
+    build_kernel(spec, coo, ctx)
+        .map_err(|e| HarnessError::matrix(format!("{} kernel", spec.name()), matrix, e))
+}
+
+/// RCM-reorders with driver context attached to any failure.
+fn rcm_of(coo: &CooMatrix, matrix: &str) -> Result<CooMatrix, HarnessError> {
+    rcm_reorder(coo).map_err(|e| HarnessError::matrix("RCM reorder", matrix, e))
 }
 
 /// E1 — Table I: suite characteristics and compression ratios.
-pub fn table1(cfg: &ExpConfig) {
+pub fn table1(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!("== Table I: matrix suite and compression ratios ==\n");
     let mut t = Table::new(&[
         "matrix",
@@ -111,7 +132,7 @@ pub fn table1(cfg: &ExpConfig) {
         "problem",
     ]);
     for m in cfg.suite() {
-        let sss = sss_of(&m.coo);
+        let sss = sss_of(&m.coo, m.spec.name)?;
         let n = sss.n();
         // Table I measures pure format compression: single partition.
         let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), 1);
@@ -130,17 +151,17 @@ pub fn table1(cfg: &ExpConfig) {
             m.spec.problem.into(),
         ]);
     }
-    cfg.emit("table1", &t);
+    cfg.emit("table1", &t)
 }
 
 /// E2 — Fig. 4: density of the effective regions versus thread count.
-pub fn fig4(cfg: &ExpConfig) {
+pub fn fig4(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!("== Fig. 4: effective-region density vs thread count ==\n");
     let suite = cfg.suite();
     let structures: Vec<(String, SssMatrix)> = suite
         .iter()
-        .map(|m| (m.spec.name.to_string(), sss_of(&m.coo)))
-        .collect();
+        .map(|m| Ok((m.spec.name.to_string(), sss_of(&m.coo, m.spec.name)?)))
+        .collect::<Result<_, HarnessError>>()?;
 
     let ps = [2usize, 4, 8, 16, 24, 32, 64, 128, 256];
     let mut t = Table::new(&["threads", "avg density", "min", "max"]);
@@ -164,8 +185,13 @@ pub fn fig4(cfg: &ExpConfig) {
         density_max.push((p as f64, max));
         t.row(vec![p.to_string(), pct(avg), pct(min), pct(max)]);
     }
-    cfg.emit("fig4", &t);
-    let _ = per_matrix.write_csv(&cfg.out_dir, "fig4_per_matrix");
+    cfg.emit("fig4", &t)?;
+    per_matrix
+        .write_csv(&cfg.out_dir, "fig4_per_matrix")
+        .map_err(|source| HarnessError::Io {
+            path: cfg.out_dir.join("fig4_per_matrix.csv"),
+            source,
+        })?;
     let svg = crate::plot::line_chart(
         "Fig. 4 — effective-region density vs thread count (suite average)",
         "threads",
@@ -189,13 +215,17 @@ pub fn fig4(cfg: &ExpConfig) {
         println!("[svg written to {}]\n", path.display());
     }
     println!("(paper: avg density 10.7% at 24 threads, 2.6% at 256 threads)\n");
+    Ok(())
 }
 
 /// E3 — Fig. 5: reduction-phase working-set overhead versus thread count.
-pub fn fig5(cfg: &ExpConfig) {
+pub fn fig5(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!("== Fig. 5: reduction working-set overhead (relative to S_SSS) ==\n");
     let suite = cfg.suite();
-    let structures: Vec<SssMatrix> = suite.iter().map(|m| sss_of(&m.coo)).collect();
+    let structures: Vec<SssMatrix> = suite
+        .iter()
+        .map(|m| sss_of(&m.coo, m.spec.name))
+        .collect::<Result<_, HarnessError>>()?;
     let ps = [2usize, 4, 8, 12, 16, 24, 32, 64];
     let mut t = Table::new(&["threads", "naive", "effective", "indexing"]);
     let mut svg_series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
@@ -224,7 +254,7 @@ pub fn fig5(cfg: &ExpConfig) {
             pct(avg(&o_idx)),
         ]);
     }
-    cfg.emit("fig5", &t);
+    cfg.emit("fig5", &t)?;
     let names = ["naive", "effective", "indexing"];
     let series: Vec<crate::plot::Series> = names
         .iter()
@@ -244,6 +274,7 @@ pub fn fig5(cfg: &ExpConfig) {
         println!("[svg written to {}]\n", path.display());
     }
     println!("(paper: indexing overhead stabilizes around 15% at 24 threads)\n");
+    Ok(())
 }
 
 /// Runs one (matrix, lineup) sweep; returns rows of measurements. One
@@ -251,25 +282,31 @@ pub fn fig5(cfg: &ExpConfig) {
 /// shared by every kernel in the lineup.
 fn sweep(
     coo: &CooMatrix,
+    matrix: &str,
     lineup: &[KernelSpec],
     ctxs: &[Arc<ExecutionContext>],
     iterations: usize,
-) -> Vec<(usize, Vec<Measurement>)> {
+) -> Result<Vec<(usize, Vec<Measurement>)>, HarnessError> {
     ctxs.iter()
         .map(|ctx| {
             let ms = lineup
                 .iter()
                 .map(|&spec| {
-                    let mut k = build_kernel(spec, coo, ctx).expect("kernel build");
-                    measure(&mut *k, iterations)
+                    let mut k = kernel_of(spec, coo, ctx, matrix)?;
+                    Ok(measure(&mut *k, iterations))
                 })
-                .collect();
-            (ctx.nthreads(), ms)
+                .collect::<Result<_, HarnessError>>()?;
+            Ok((ctx.nthreads(), ms))
         })
         .collect()
 }
 
-fn speedup_figure(cfg: &ExpConfig, name: &str, title: &str, lineup: Vec<KernelSpec>) {
+fn speedup_figure(
+    cfg: &ExpConfig,
+    name: &str,
+    title: &str,
+    lineup: Vec<KernelSpec>,
+) -> Result<(), HarnessError> {
     println!("== {title} ==\n");
     let suite = cfg.suite();
     let threads = cfg.thread_sweep();
@@ -287,10 +324,10 @@ fn speedup_figure(cfg: &ExpConfig, name: &str, title: &str, lineup: Vec<KernelSp
 
     for m in &suite {
         // Serial CSR is the speedup baseline.
-        let mut base = build_kernel(KernelSpec::Csr, &m.coo, &serial_ctx).unwrap();
+        let mut base = kernel_of(KernelSpec::Csr, &m.coo, &serial_ctx, m.spec.name)?;
         let base_t = measure(&mut *base, cfg.iterations).wall;
         drop(base);
-        for (pi, (p, ms)) in sweep(&m.coo, &lineup, &ctxs, cfg.iterations)
+        for (pi, (p, ms)) in sweep(&m.coo, m.spec.name, &lineup, &ctxs, cfg.iterations)?
             .iter()
             .enumerate()
         {
@@ -303,7 +340,7 @@ fn speedup_figure(cfg: &ExpConfig, name: &str, title: &str, lineup: Vec<KernelSp
             t.row(row);
         }
     }
-    cfg.emit(&format!("{name}_per_matrix"), &t);
+    cfg.emit(&format!("{name}_per_matrix"), &t)?;
 
     let mut s = Table::new(&header_refs);
     let mut svg_series: Vec<crate::plot::Series> = lineup
@@ -322,7 +359,7 @@ fn speedup_figure(cfg: &ExpConfig, name: &str, title: &str, lineup: Vec<KernelSp
         }
         s.row(row);
     }
-    cfg.emit(name, &s);
+    cfg.emit(name, &s)?;
     if svg_series.len() <= 4 && threads.len() >= 2 {
         let svg = crate::plot::line_chart(
             &format!("{title} — geometric mean over the suite"),
@@ -334,21 +371,23 @@ fn speedup_figure(cfg: &ExpConfig, name: &str, title: &str, lineup: Vec<KernelSp
             println!("[svg written to {}]\n", path.display());
         }
     }
+    Ok(())
 }
 
 /// E4 — Fig. 9: speedup of the local-vector reduction methods vs CSR.
-pub fn fig9(cfg: &ExpConfig) {
+pub fn fig9(cfg: &ExpConfig) -> Result<(), HarnessError> {
     speedup_figure(
         cfg,
         "fig9",
         "Fig. 9: symmetric SpMV speedup, reduction methods (baseline: serial CSR)",
         KernelSpec::figure9_lineup(),
-    );
+    )?;
     println!("(paper: sss-idx >2x over CSR on the SMP system; naive/eff collapse at high p)\n");
+    Ok(())
 }
 
 /// E5 — Fig. 10: execution-time breakdown at max threads.
-pub fn fig10(cfg: &ExpConfig) {
+pub fn fig10(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!(
         "== Fig. 10: symmetric SpMV time breakdown at {} threads ==\n",
         cfg.max_threads
@@ -369,7 +408,8 @@ pub fn fig10(cfg: &ExpConfig) {
     let ctx = ExecutionContext::new(cfg.max_threads);
     for m in cfg.suite() {
         for (mi, &method) in methods.iter().enumerate() {
-            let mut k = SymSpmv::from_coo(&m.coo, &ctx, method, SymFormat::Sss).unwrap();
+            let mut k = SymSpmv::from_coo(&m.coo, &ctx, method, SymFormat::Sss)
+                .map_err(|e| HarnessError::matrix("SSS kernel", m.spec.name, e))?;
             let meas = measure(&mut k, cfg.iterations);
             let mult = meas.times.multiply.as_secs_f64() * 1e3;
             let red = meas.times.reduce.as_secs_f64() * 1e3;
@@ -386,7 +426,7 @@ pub fn fig10(cfg: &ExpConfig) {
             ]);
         }
     }
-    cfg.emit("fig10", &t);
+    cfg.emit("fig10", &t)?;
     for (mi, method) in methods.iter().enumerate() {
         if bars[mi].is_empty() {
             continue;
@@ -408,21 +448,28 @@ pub fn fig10(cfg: &ExpConfig) {
     }
     println!();
     println!("(paper: indexing keeps the reduction share minimal at 24 threads)\n");
+    Ok(())
 }
 
 /// E6 — Fig. 11: CSX-Sym speedup versus CSR/CSX/SSS-idx.
-pub fn fig11(cfg: &ExpConfig) {
+pub fn fig11(cfg: &ExpConfig) -> Result<(), HarnessError> {
     speedup_figure(
         cfg,
         "fig11",
         "Fig. 11: symmetric SpMV speedup with CSX-Sym (baseline: serial CSR)",
         KernelSpec::figure11_lineup(),
-    );
+    )?;
     println!("(paper: CSX-Sym adds 43.4% over SSS-idx on the SMP system, ~10% on NUMA)\n");
+    Ok(())
 }
 
 /// Per-matrix Gflop/s table at max threads for a lineup (Fig. 12 / 13).
-fn permatrix_gflops(cfg: &ExpConfig, name: &str, title: &str, reorder: bool) {
+fn permatrix_gflops(
+    cfg: &ExpConfig,
+    name: &str,
+    title: &str,
+    reorder: bool,
+) -> Result<(), HarnessError> {
     println!("== {title} ==\n");
     let lineup = KernelSpec::figure11_lineup();
     let mut header = vec!["matrix".to_string()];
@@ -433,28 +480,24 @@ fn permatrix_gflops(cfg: &ExpConfig, name: &str, title: &str, reorder: bool) {
     let ctx = ExecutionContext::new(cfg.max_threads);
     for m in cfg.suite() {
         let coo = if reorder {
-            rcm_reorder(&m.coo).unwrap()
+            rcm_of(&m.coo, m.spec.name)?
         } else {
             m.coo.clone()
         };
         let mut row = vec![m.spec.name.to_string()];
         let mut vals = Vec::new();
         for &spec in &lineup {
-            let mut k = build_kernel(spec, &coo, &ctx).unwrap();
+            let mut k = kernel_of(spec, &coo, &ctx, m.spec.name)?;
             let meas = measure(&mut *k, cfg.iterations);
             vals.push(meas.gflops);
             row.push(f(meas.gflops, 2));
         }
-        let best = vals
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap();
-        best_counts[best] += 1;
+        if let Some((best, _)) = vals.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) {
+            best_counts[best] += 1;
+        }
         t.row(row);
     }
-    cfg.emit(name, &t);
+    cfg.emit(name, &t)?;
     for (i, spec) in lineup.iter().enumerate() {
         println!(
             "  {} is fastest on {} matrices",
@@ -463,10 +506,11 @@ fn permatrix_gflops(cfg: &ExpConfig, name: &str, title: &str, reorder: bool) {
         );
     }
     println!();
+    Ok(())
 }
 
 /// E7 — Fig. 12: per-matrix performance at max threads.
-pub fn fig12(cfg: &ExpConfig) {
+pub fn fig12(cfg: &ExpConfig) -> Result<(), HarnessError> {
     permatrix_gflops(
         cfg,
         "fig12",
@@ -475,12 +519,13 @@ pub fn fig12(cfg: &ExpConfig) {
             cfg.max_threads
         ),
         false,
-    );
+    )?;
     println!("(paper: CSX-Sym best on 8/12 matrices; high-bandwidth cases favor CSR)\n");
+    Ok(())
 }
 
 /// E8 — Table III: SpMV improvement from RCM reordering.
-pub fn table3(cfg: &ExpConfig) {
+pub fn table3(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!(
         "== Table III: SpMV improvement due to RCM reordering ({} threads) ==\n",
         cfg.max_threads
@@ -499,11 +544,11 @@ pub fn table3(cfg: &ExpConfig) {
     for (ki, &spec) in lineup.iter().enumerate() {
         let mut ratios = Vec::new();
         for m in &suite {
-            let reordered = rcm_reorder(&m.coo).unwrap();
-            let mut k0 = build_kernel(spec, &m.coo, &ctx).unwrap();
+            let reordered = rcm_of(&m.coo, m.spec.name)?;
+            let mut k0 = kernel_of(spec, &m.coo, &ctx, m.spec.name)?;
             let g0 = measure(&mut *k0, cfg.iterations).gflops;
             drop(k0);
-            let mut k1 = build_kernel(spec, &reordered, &ctx).unwrap();
+            let mut k1 = kernel_of(spec, &reordered, &ctx, m.spec.name)?;
             let g1 = measure(&mut *k1, cfg.iterations).gflops;
             ratios.push(g1 / g0);
         }
@@ -514,11 +559,11 @@ pub fn table3(cfg: &ExpConfig) {
             format!("{:.1}%", paper_gainestown[ki]),
         ]);
     }
-    cfg.emit("table3", &t);
+    cfg.emit("table3", &t)
 }
 
 /// E9 — Fig. 13: per-matrix performance on RCM-reordered matrices.
-pub fn fig13(cfg: &ExpConfig) {
+pub fn fig13(cfg: &ExpConfig) -> Result<(), HarnessError> {
     permatrix_gflops(
         cfg,
         "fig13",
@@ -527,11 +572,11 @@ pub fn fig13(cfg: &ExpConfig) {
             cfg.max_threads
         ),
         true,
-    );
+    )
 }
 
 /// E10 — §V-E: preprocessing cost of CSX-Sym in serial-CSR-SpMV units.
-pub fn preproc(cfg: &ExpConfig) {
+pub fn preproc(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!("== §V-E: CSX-Sym preprocessing cost (units: serial CSR SpMV) ==\n");
     let mut t = Table::new(&["matrix", "original", "RCM-reordered"]);
     let mut orig_units = Vec::new();
@@ -539,11 +584,15 @@ pub fn preproc(cfg: &ExpConfig) {
     let ctx = ExecutionContext::new(cfg.max_threads);
     for m in cfg.suite() {
         let mut units = Vec::new();
-        for coo in [m.coo.clone(), rcm_reorder(&m.coo).unwrap()] {
+        for coo in [m.coo.clone(), rcm_of(&m.coo, m.spec.name)?] {
             let csr = CsrMatrix::from_coo(&coo);
             let unit = serial_csr_spmv_time(&csr, 8);
-            let k =
-                build_kernel(KernelSpec::CsxSym(ReductionMethod::Indexing), &coo, &ctx).unwrap();
+            let k = kernel_of(
+                KernelSpec::CsxSym(ReductionMethod::Indexing),
+                &coo,
+                &ctx,
+                m.spec.name,
+            )?;
             let pre = k.times().preprocess;
             units.push(pre.as_secs_f64() / unit.as_secs_f64().max(1e-12));
         }
@@ -557,12 +606,13 @@ pub fn preproc(cfg: &ExpConfig) {
         f(avg(&orig_units), 1),
         f(avg(&reord_units), 1),
     ]);
-    cfg.emit("preproc", &t);
+    cfg.emit("preproc", &t)?;
     println!("(paper: 49/94 serial SpMVs on Dunnington/Gainestown; 59/115 reordered)\n");
+    Ok(())
 }
 
 /// E11 — Fig. 14: CG execution-time breakdown on RCM-reordered matrices.
-pub fn fig14(cfg: &ExpConfig) {
+pub fn fig14(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!(
         "== Fig. 14: CG time breakdown, {} iterations, RCM-reordered, {} threads ==\n",
         cfg.cg_iters, cfg.max_threads
@@ -585,11 +635,11 @@ pub fn fig14(cfg: &ExpConfig) {
     let mut bars: Vec<Vec<crate::plot::Bar>> = vec![Vec::new(); lineup.len()];
     let ctx = ExecutionContext::new(cfg.max_threads);
     for m in cfg.suite() {
-        let coo = rcm_reorder(&m.coo).unwrap();
+        let coo = rcm_of(&m.coo, m.spec.name)?;
         let n = coo.nrows() as usize;
         let b = symspmv_sparse::dense::seeded_vector(n, 0xC6);
         for (ki, &spec) in lineup.iter().enumerate() {
-            let mut k = build_kernel(spec, &coo, &ctx).unwrap();
+            let mut k = kernel_of(spec, &coo, &ctx, m.spec.name)?;
             let mut x = vec![0.0; n];
             let res = symspmv_solver::cg(&mut *k, &b, &mut x, &cg_cfg);
             let ms = |d: std::time::Duration| f(d.as_secs_f64() * 1e3, 1);
@@ -614,7 +664,7 @@ pub fn fig14(cfg: &ExpConfig) {
             ]);
         }
     }
-    cfg.emit("fig14", &t);
+    cfg.emit("fig14", &t)?;
     for (ki, spec) in lineup.iter().enumerate() {
         if bars[ki].is_empty() {
             continue;
@@ -636,12 +686,13 @@ pub fn fig14(cfg: &ExpConfig) {
     }
     println!();
     println!("(paper: >50% CG improvement from symmetric formats on large matrices;\n CSX-Sym preprocessing amortizes only on the larger ones)\n");
+    Ok(())
 }
 
 /// Extension — ablation of the CSX-Sym detection configuration: which
 /// substructure families and preprocessing settings buy the compression,
 /// and what they cost (the design-choice study DESIGN.md calls out).
-pub fn ablation(cfg: &ExpConfig) {
+pub fn ablation(cfg: &ExpConfig) -> Result<(), HarnessError> {
     use symspmv_csx::detect::{DetectConfig, Family};
     println!("== Ablation: CSX-Sym detection configuration ==\n");
 
@@ -719,9 +770,11 @@ pub fn ablation(cfg: &ExpConfig) {
     ]);
     let ctx = ExecutionContext::new(cfg.max_threads);
     for name in ["hood", "thermal2"] {
-        let spec = symspmv_sparse::suite::spec_by_name(name).expect("suite name");
+        let Some(spec) = symspmv_sparse::suite::spec_by_name(name) else {
+            continue;
+        };
         let m = symspmv_sparse::suite::generate(spec, cfg.scale);
-        let sss = sss_of(&m.coo);
+        let sss = sss_of(&m.coo, name)?;
         let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), cfg.max_threads);
         let csr = CsrMatrix::from_coo(&m.coo);
         let unit = serial_csr_spmv_time(&csr, 8);
@@ -746,14 +799,14 @@ pub fn ablation(cfg: &ExpConfig) {
             ]);
         }
     }
-    cfg.emit("ablation", &t);
+    cfg.emit("ablation", &t)
 }
 
 /// Extension — the related-work comparison of §VI: the paper's best
 /// configurations (SSS-idx, CSX-Sym-idx) against CSB, symmetric CSB
 /// (banded locals + atomics) and the pure-atomics kernel, per matrix at
 /// max threads.
-pub fn related(cfg: &ExpConfig) {
+pub fn related(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!(
         "== Extension: related-work comparison (§VI) at {} threads ==\n",
         cfg.max_threads
@@ -767,19 +820,20 @@ pub fn related(cfg: &ExpConfig) {
     for m in cfg.suite() {
         let mut row = vec![m.spec.name.to_string()];
         for &spec in &lineup {
-            let mut k = build_kernel(spec, &m.coo, &ctx).unwrap();
+            let mut k = kernel_of(spec, &m.coo, &ctx, m.spec.name)?;
             row.push(f(measure(&mut *k, cfg.iterations).gflops, 2));
         }
         t.row(row);
     }
-    cfg.emit("related", &t);
+    cfg.emit("related", &t)?;
     println!("(paper §VI: CSB-sym's atomics bind on high-bandwidth matrices;\n the colorful method never beat local vectors)\n");
+    Ok(())
 }
 
 /// Extension — atomic-update symmetric SpMV versus the local-vector
 /// methods (the CSB-style alternative the paper's related work predicts is
 /// "bound by the atomic operations" on high-bandwidth matrices).
-pub fn atomics(cfg: &ExpConfig) {
+pub fn atomics(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!("== Extension: atomic updates vs local-vector reductions ==\n");
     let lineup = vec![
         KernelSpec::Sss(ReductionMethod::Naive),
@@ -802,21 +856,22 @@ pub fn atomics(cfg: &ExpConfig) {
             let ctx = ExecutionContext::new(p);
             let mut row = vec![name.to_string(), p.to_string()];
             for &ks in &lineup {
-                let mut k = build_kernel(ks, &m.coo, &ctx).unwrap();
+                let mut k = kernel_of(ks, &m.coo, &ctx, name)?;
                 row.push(f(measure(&mut *k, cfg.iterations).gflops, 2));
             }
             t.row(row);
         }
     }
-    cfg.emit("atomics", &t);
+    cfg.emit("atomics", &t)?;
     println!("(expectation: atomics competitive at low thread counts and on\n low-conflict matrices, degrading with contention — §VI)\n");
+    Ok(())
 }
 
 /// Extension — end-to-end self-check: every kernel spec x several thread
-/// counts against the dense reference on every suite matrix. Exits the
-/// process with a nonzero status on any mismatch, so it can serve as a
-/// post-install smoke test.
-pub fn verify(cfg: &ExpConfig) {
+/// counts against the dense reference on every suite matrix. Returns
+/// [`HarnessError::VerificationFailed`] on any mismatch (the binary turns
+/// that into a nonzero exit), so it can serve as a post-install smoke test.
+pub fn verify(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!("== Verify: all kernels vs reference on the full suite ==\n");
     let specs: Vec<KernelSpec> = [
         "csr",
@@ -835,7 +890,7 @@ pub fn verify(cfg: &ExpConfig) {
         "hybrid-idx",
     ]
     .iter()
-    .map(|s| KernelSpec::parse(s).expect("known spec"))
+    .filter_map(|s| KernelSpec::parse(s))
     .collect();
     let threads: Vec<usize> = vec![1, 2, cfg.max_threads.max(3)];
     let ctxs: Vec<Arc<ExecutionContext>> =
@@ -856,7 +911,7 @@ pub fn verify(cfg: &ExpConfig) {
         let mut worst = 0.0f64;
         for &spec in &specs {
             for ctx in &ctxs {
-                let mut k = build_kernel(spec, &m.coo, ctx).expect("build");
+                let mut k = kernel_of(spec, &m.coo, ctx, m.spec.name)?;
                 let mut y = vec![f64::NAN; n];
                 k.spmv(&x, &mut y);
                 worst = worst.max(symspmv_sparse::dense::max_rel_diff(&y, &y_ref));
@@ -874,25 +929,25 @@ pub fn verify(cfg: &ExpConfig) {
             if ok { "ok".into() } else { "FAIL".into() },
         ]);
     }
-    cfg.emit("verify", &t);
+    cfg.emit("verify", &t)?;
     if failures > 0 {
-        eprintln!("{failures} matrices FAILED verification");
-        std::process::exit(1);
+        return Err(HarnessError::VerificationFailed { failures });
     }
     println!("all kernels agree on all suite matrices \u{2713}\n");
+    Ok(())
 }
 
 /// Extension — host characterization (Table II substitute).
-pub fn machine(cfg: &ExpConfig) {
+pub fn machine(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!("== Host platform (Table II substitute) ==\n");
     let t = crate::machine::describe();
-    cfg.emit("machine", &t);
+    cfg.emit("machine", &t)
 }
 
 /// Extension — re-render the SVG figures from existing CSVs in the output
 /// directory, without re-measuring. Covers fig4, fig5 and the geomean
 /// speedup figures (fig9/fig11).
-pub fn plot(cfg: &ExpConfig) {
+pub fn plot(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!(
         "== Re-rendering figures from {} ==\n",
         cfg.out_dir.display()
@@ -993,25 +1048,26 @@ pub fn plot(cfg: &ExpConfig) {
         }
     }
     println!("{rendered} figures rendered\n");
+    Ok(())
 }
 
-/// Runs every experiment in paper order.
-pub fn all(cfg: &ExpConfig) {
-    machine(cfg);
-    table1(cfg);
-    fig4(cfg);
-    fig5(cfg);
-    fig9(cfg);
-    fig10(cfg);
-    fig11(cfg);
-    fig12(cfg);
-    table3(cfg);
-    fig13(cfg);
-    preproc(cfg);
-    fig14(cfg);
-    ablation(cfg);
-    atomics(cfg);
-    related(cfg);
+/// Runs every experiment in paper order, stopping at the first failure.
+pub fn all(cfg: &ExpConfig) -> Result<(), HarnessError> {
+    machine(cfg)?;
+    table1(cfg)?;
+    fig4(cfg)?;
+    fig5(cfg)?;
+    fig9(cfg)?;
+    fig10(cfg)?;
+    fig11(cfg)?;
+    fig12(cfg)?;
+    table3(cfg)?;
+    fig13(cfg)?;
+    preproc(cfg)?;
+    fig14(cfg)?;
+    ablation(cfg)?;
+    atomics(cfg)?;
+    related(cfg)
 }
 
 #[cfg(test)]

@@ -54,8 +54,8 @@ pub fn measure<K: ParallelSpmv + ?Sized>(kernel: &mut K, iterations: usize) -> M
     std::mem::swap(&mut x, &mut y);
     let preprocess = kernel.times().preprocess;
 
-    let mut best: Option<(Duration, symspmv_runtime::PhaseTimes)> = None;
-    for _ in 0..MEASURE_REPEATS {
+    let mut best = (Duration::MAX, PhaseTimes::default());
+    for _ in 0..MEASURE_REPEATS.max(1) {
         kernel.reset_times();
         let t0 = Instant::now();
         for _ in 0..iterations {
@@ -63,11 +63,11 @@ pub fn measure<K: ParallelSpmv + ?Sized>(kernel: &mut K, iterations: usize) -> M
             std::mem::swap(&mut x, &mut y);
         }
         let wall = t0.elapsed();
-        if best.map(|(w, _)| wall < w).unwrap_or(true) {
-            best = Some((wall, kernel.times()));
+        if wall < best.0 {
+            best = (wall, kernel.times());
         }
     }
-    let (wall, mut times) = best.expect("at least one repetition");
+    let (wall, mut times) = best;
     times.preprocess = preprocess;
     let flops = kernel.flops() as f64 * iterations as f64;
     Measurement {

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 //! Measurement framework and experiment drivers (§V).
 //!
 //! The paper's methodology: "we performed 128 consecutive SpM×V operations
@@ -7,6 +8,7 @@
 //! format factory; [`experiments`] regenerates every table and figure of
 //! the evaluation section (see DESIGN.md §6 for the index).
 
+pub mod error;
 pub mod experiments;
 pub mod framework;
 pub mod kernels;
@@ -14,5 +16,6 @@ pub mod machine;
 pub mod plot;
 pub mod report;
 
+pub use error::HarnessError;
 pub use framework::{measure, Measurement};
 pub use kernels::{build_kernel, KernelSpec};

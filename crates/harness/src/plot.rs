@@ -44,7 +44,12 @@ pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) 
         .collect();
     xs.sort_by(f64::total_cmp);
     xs.dedup();
-    let slot_of = |x: f64| xs.iter().position(|&v| v == x).expect("x value registered") as f64;
+    let slot_of = |x: f64| {
+        xs.iter()
+            .position(|&v| v == x)
+            .unwrap_or_else(|| unreachable!("xs is the union of all series x values"))
+            as f64
+    };
 
     let y_max = series
         .iter()

@@ -65,10 +65,9 @@ pub fn pseudo_peripheral(g: &AdjGraph, start: Idx) -> Idx {
             _ => return root,
         };
         // Minimum-degree vertex of the deepest level.
-        let &cand = last
-            .iter()
-            .min_by_key(|&&v| g.degree(v))
-            .expect("non-empty level");
+        let Some(&cand) = last.iter().min_by_key(|&&v| g.degree(v)) else {
+            unreachable!("level checked non-empty above");
+        };
         scratch.fill(false);
         let ls2 = level_structure(g, cand, &mut scratch);
         if ls2.eccentricity() > ls.eccentricity() {

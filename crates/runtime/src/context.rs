@@ -16,9 +16,12 @@
 //! name instead of hard-coding the three variants.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-use crate::pool::WorkerPool;
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::fault::FaultPlan;
+use crate::pool::{WorkerPanic, WorkerPanicInfo, WorkerPool};
 use crate::reduction::{
     EffectiveRangesReduction, IndexingReduction, NaiveReduction, ReductionStrategy,
 };
@@ -97,6 +100,12 @@ pub struct ExecutionContext {
     arena: Mutex<BufferArena>,
     ledger: Mutex<PhaseTimes>,
     strategies: RwLock<HashMap<&'static str, Arc<dyn ReductionStrategy>>>,
+    /// Leases returned holding non-zero data on the normal (non-panicking,
+    /// non-scratch) path. Each one is a broken lease contract; the drop
+    /// path heals the buffer (re-zeroes it) and counts it here.
+    dirty_returns: AtomicUsize,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Arc<FaultPlan>,
 }
 
 impl ExecutionContext {
@@ -106,12 +115,21 @@ impl ExecutionContext {
     ///
     /// Panics if `nthreads == 0`.
     pub fn new(nthreads: usize) -> Arc<Self> {
+        #[cfg(any(test, feature = "fault-injection"))]
+        let fault = FaultPlan::new();
+        #[allow(unused_mut)]
+        let mut pool = WorkerPool::new(nthreads);
+        #[cfg(any(test, feature = "fault-injection"))]
+        pool.set_fault_plan(Arc::clone(&fault));
         let ctx = ExecutionContext {
             nthreads,
-            pool: Mutex::new(WorkerPool::new(nthreads)),
+            pool: Mutex::new(pool),
             arena: Mutex::new(BufferArena::default()),
             ledger: Mutex::new(PhaseTimes::new()),
             strategies: RwLock::new(HashMap::new()),
+            dirty_returns: AtomicUsize::new(0),
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault,
         };
         ctx.register_reduction(Arc::new(NaiveReduction));
         ctx.register_reduction(Arc::new(EffectiveRangesReduction));
@@ -126,9 +144,36 @@ impl ExecutionContext {
 
     /// Executes `body(tid)` on every worker of the shared pool, blocking
     /// until the round completes. Panics from workers propagate exactly as
-    /// with [`WorkerPool::run`].
+    /// with [`WorkerPool::run`]; a record stays readable via
+    /// [`ExecutionContext::take_last_panic`].
+    ///
+    /// The re-raise happens *after* the pool guard is released, so this
+    /// path never poisons the pool mutex.
     pub fn run(&self, body: &(dyn Fn(usize) + Sync)) {
-        lock_ignore_poison(&self.pool).run(body);
+        if let Err(p) = self.try_run(body) {
+            p.resume();
+        }
+    }
+
+    /// Like [`ExecutionContext::run`], but a worker panic is returned as a
+    /// [`WorkerPanic`] value instead of being re-raised. On `Err` the round
+    /// has fully drained and the context is immediately reusable.
+    pub fn try_run(&self, body: &(dyn Fn(usize) + Sync)) -> Result<(), WorkerPanic> {
+        lock_ignore_poison(&self.pool).try_run(body)
+    }
+
+    /// Takes (and clears) the record of the most recent worker panic on the
+    /// shared pool — including panics raised inside
+    /// [`ExecutionContext::with_pool`] rounds (e.g. a reduction strategy).
+    pub fn take_last_panic(&self) -> Option<WorkerPanicInfo> {
+        lock_ignore_poison(&self.pool).take_last_panic()
+    }
+
+    /// The fault plan consulted by the shared pool and the lease return
+    /// path; arm faults on it to test recovery behaviour.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn fault_plan(&self) -> &Arc<FaultPlan> {
+        &self.fault
     }
 
     /// Runs `f` with exclusive access to the shared pool, for callers (like
@@ -203,6 +248,22 @@ impl ExecutionContext {
         lock_ignore_poison(&self.arena).free.len()
     }
 
+    /// Whether every free buffer in the arena is entirely zero — the arena
+    /// invariant that recovery tests assert after panicked or corrupted
+    /// rounds.
+    pub fn arena_all_free_zero(&self) -> bool {
+        lock_ignore_poison(&self.arena)
+            .free
+            .iter()
+            .all(|buf| buf.iter().all(|&v| v == 0.0))
+    }
+
+    /// How many leases came back dirty on the normal return path (broken
+    /// lease contracts, healed and counted rather than recycled).
+    pub fn dirty_lease_returns(&self) -> usize {
+        self.dirty_returns.load(Ordering::Relaxed)
+    }
+
     /// Adds a per-kernel or per-solve [`PhaseTimes`] delta to the ledger.
     pub fn ledger_add(&self, delta: &PhaseTimes) {
         lock_ignore_poison(&self.ledger).accumulate(delta);
@@ -273,14 +334,46 @@ impl std::ops::DerefMut for BufferLease<'_> {
 }
 
 impl Drop for BufferLease<'_> {
+    /// Returns the buffer to the arena, upholding the all-free-buffers-are-
+    /// zero invariant on *every* path:
+    ///
+    /// * scratch leases and leases dropped during a panic unwind are
+    ///   scrubbed wholesale — an unwinding kernel has abandoned its buffers
+    ///   in an arbitrary state, and handing that state to the next lessee
+    ///   would corrupt unrelated results long after the panic was caught;
+    /// * normal kernel leases are verified and healed: any stray non-zero
+    ///   value is zeroed and the violation counted
+    ///   ([`ExecutionContext::dirty_lease_returns`]). Debug builds flag the
+    ///   broken contract unless the dirt was deliberately injected by the
+    ///   fault plan.
     fn drop(&mut self) {
-        if self.scrub_on_drop {
+        #[allow(unused_mut)]
+        let mut injected = false;
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(v) = self.ctx.fault.lease_return_hook() {
+            let n = self.buf.len();
+            if n > 0 {
+                self.buf[n / 2] = v;
+                injected = true;
+            }
+        }
+        if self.scrub_on_drop || std::thread::panicking() {
             self.buf.fill(0.0);
-        } else if !std::thread::panicking() {
-            debug_assert!(
-                self.buf.iter().all(|&v| v == 0.0),
-                "buffer lease returned dirty; the lessee must re-zero what it wrote"
-            );
+        } else {
+            let mut dirty = false;
+            for v in self.buf.iter_mut() {
+                if *v != 0.0 {
+                    *v = 0.0;
+                    dirty = true;
+                }
+            }
+            if dirty {
+                self.ctx.dirty_returns.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(
+                    injected,
+                    "buffer lease returned dirty; the lessee must re-zero what it wrote"
+                );
+            }
         }
         self.ctx.return_buffer(std::mem::take(&mut self.buf));
     }
@@ -367,6 +460,90 @@ mod tests {
         assert_eq!(ctx.ledger().multiply, std::time::Duration::from_millis(10));
         ctx.reset_ledger();
         assert_eq!(ctx.ledger(), PhaseTimes::new());
+    }
+
+    #[test]
+    fn try_run_surfaces_worker_panics_as_values() {
+        let ctx = ExecutionContext::new(3);
+        let err = ctx
+            .try_run(&|tid| {
+                if tid == 1 {
+                    panic!("kernel died");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.tid(), 1);
+        assert!(err.message().contains("kernel died"));
+        // Clean rounds afterwards; last_panic was recorded and is takeable.
+        let info = ctx.take_last_panic().expect("panic recorded");
+        assert_eq!(info.tid, 1);
+        assert_eq!(ctx.take_last_panic(), None);
+        ctx.try_run(&|_| {}).expect("context reusable");
+    }
+
+    #[test]
+    fn with_pool_panics_are_recorded_too() {
+        // Reduction strategies run rounds through with_pool; a panic there
+        // must still be attributable after the unwind is caught.
+        let ctx = ExecutionContext::new(2);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ctx.with_pool(|pool| {
+                pool.run(&|tid| {
+                    if tid == 0 {
+                        panic!("reduction died");
+                    }
+                });
+            });
+        }));
+        assert!(res.is_err());
+        let info = ctx.take_last_panic().expect("panic recorded");
+        assert_eq!(info.tid, 0);
+        assert!(info.message.contains("reduction died"));
+    }
+
+    #[test]
+    fn lease_dropped_during_unwind_is_scrubbed() {
+        let ctx = ExecutionContext::new(2);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut lease = ctx.lease(64);
+            lease.fill(3.25); // kernel wrote, then dies mid-flight
+            panic!("kernel died holding a dirty lease");
+        }));
+        assert!(res.is_err());
+        // The buffer went back to the arena scrubbed, not dirty.
+        assert_eq!(ctx.arena_free_buffers(), 1);
+        assert!(ctx.arena_all_free_zero());
+        // And the next lessee observes zeros.
+        let lease = ctx.lease(64);
+        assert!(lease.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn injected_lease_corruption_is_healed_and_counted() {
+        let ctx = ExecutionContext::new(2);
+        ctx.fault_plan().arm_corrupt_lease(0, 9.75);
+        drop(ctx.lease(32));
+        assert_eq!(ctx.fault_plan().fired(), 1);
+        assert_eq!(ctx.dirty_lease_returns(), 1);
+        assert!(ctx.arena_all_free_zero());
+        // Subsequent clean returns do not bump the counter.
+        drop(ctx.lease(32));
+        assert_eq!(ctx.dirty_lease_returns(), 1);
+    }
+
+    #[test]
+    fn fault_plan_panic_surfaces_through_context_run() {
+        let ctx = ExecutionContext::new(4);
+        ctx.fault_plan().arm_worker_panic(3, 0);
+        let err = ctx.try_run(&|_| {}).unwrap_err();
+        assert_eq!(err.tid(), 3);
+        assert!(err.message().contains("injected fault"));
+        // Fully recovered: same context runs a clean round.
+        let hits = AtomicUsize::new(0);
+        ctx.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 //! Execution runtime: explicit threading, partitioning, timing, and the
@@ -18,9 +19,15 @@
 //! * [`shared`] — the `SharedBuf` escape hatch for disjoint parallel writes;
 //! * [`partition`] — contiguous, weight-balanced row partitioning;
 //! * [`timing`] — phase timers for the multiplication/reduction breakdowns
-//!   of Fig. 10 and Fig. 14.
+//!   of Fig. 10 and Fig. 14;
+//! * `fault` *(tests / `fault-injection` feature)* — deterministic fault
+//!   injection: make a chosen worker panic or stall in a chosen round, or
+//!   corrupt a buffer on its way back to the arena, so recovery paths can
+//!   be exercised on purpose.
 
 pub mod context;
+#[cfg(any(test, feature = "fault-injection"))]
+pub mod fault;
 pub mod partition;
 pub mod pool;
 pub mod reduction;
@@ -31,8 +38,10 @@ pub mod timing;
 mod stress_tests;
 
 pub use context::{BufferLease, ExecutionContext};
+#[cfg(any(test, feature = "fault-injection"))]
+pub use fault::FaultPlan;
 pub use partition::{balanced_ranges, Range};
-pub use pool::WorkerPool;
+pub use pool::{WorkerPanic, WorkerPanicInfo, WorkerPool};
 pub use reduction::{IndexEntry, LocalLayout, ReduceJob, ReductionStrategy};
 pub use shared::SharedBuf;
 pub use timing::PhaseTimes;

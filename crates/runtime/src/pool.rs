@@ -16,10 +16,16 @@
 //! A worker panic is caught, forwarded, and re-raised on the caller thread
 //! after all workers have finished the round.
 
+use std::any::Any;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::thread::JoinHandle;
+
+#[cfg(any(test, feature = "fault-injection"))]
+use crate::fault::FaultPlan;
+#[cfg(any(test, feature = "fault-injection"))]
+use std::sync::Arc;
 
 /// Global count of pools ever constructed in this process.
 ///
@@ -37,8 +43,84 @@ enum Command {
     Shutdown,
 }
 
-/// Outcome of one worker round: `Ok` or a captured panic payload.
-type RoundResult = Result<(), Box<dyn std::any::Any + Send>>;
+/// Outcome of one worker round: `Ok` or the panicking worker's id with the
+/// captured panic payload.
+type RoundResult = Result<(), (usize, Box<dyn Any + Send>)>;
+
+/// Best-effort human-readable rendering of a panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A worker panic captured by [`WorkerPool::try_run`]: which worker died
+/// and the payload it died with.
+///
+/// The round is guaranteed to have fully drained before this value exists —
+/// no worker is still executing user code — so the caller may safely reuse
+/// the pool, [`resume`](WorkerPanic::resume) the unwind, or convert the
+/// panic into a structured error.
+pub struct WorkerPanic {
+    tid: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+impl WorkerPanic {
+    /// Thread id of the worker that panicked (first one, if several did).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The panic message, when the payload was a string (the common case);
+    /// a placeholder otherwise.
+    pub fn message(&self) -> String {
+        panic_message(&*self.payload)
+    }
+
+    /// A plain-data snapshot (tid + message) of this panic.
+    pub fn info(&self) -> WorkerPanicInfo {
+        WorkerPanicInfo {
+            tid: self.tid,
+            message: self.message(),
+        }
+    }
+
+    /// Continues unwinding on the current thread with the original payload.
+    pub fn resume(self) -> ! {
+        std::panic::resume_unwind(self.payload)
+    }
+
+    /// Consumes the capture, yielding the raw panic payload.
+    pub fn into_payload(self) -> Box<dyn Any + Send> {
+        self.payload
+    }
+}
+
+impl std::fmt::Debug for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPanic")
+            .field("tid", &self.tid)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+/// Plain-data record of the most recent worker panic (tid + message),
+/// retained by the pool so panics re-raised through several layers (e.g. a
+/// reduction strategy running rounds inside `with_pool`) can still be
+/// reported as structured errors by the outermost caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanicInfo {
+    /// Thread id of the worker that panicked.
+    pub tid: usize,
+    /// Rendered panic message.
+    pub message: String,
+}
 
 /// A fixed-size pool of persistent worker threads executing SPMD regions.
 ///
@@ -56,6 +138,9 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     cmd_txs: Vec<SyncSender<Command>>,
     done_rx: Receiver<RoundResult>,
+    last_panic: Option<WorkerPanicInfo>,
+    #[cfg(any(test, feature = "fault-injection"))]
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl WorkerPool {
@@ -74,7 +159,7 @@ impl WorkerPool {
             let handle = std::thread::Builder::new()
                 .name(format!("symspmv-worker-{tid}"))
                 .spawn(move || worker_loop(tid, rx, done))
-                .expect("failed to spawn worker thread");
+                .unwrap_or_else(|e| panic!("failed to spawn worker thread {tid}: {e}"));
             cmd_txs.push(tx);
             handles.push(handle);
         }
@@ -82,6 +167,9 @@ impl WorkerPool {
             handles,
             cmd_txs,
             done_rx,
+            last_panic: None,
+            #[cfg(any(test, feature = "fault-injection"))]
+            fault: None,
         }
     }
 
@@ -98,25 +186,80 @@ impl WorkerPool {
     /// Executes `body(tid)` on every worker and blocks until all complete.
     ///
     /// If any worker panics, the panic is re-raised here after the round has
-    /// fully drained (no worker is left running user code).
+    /// fully drained (no worker is left running user code). A record of the
+    /// panic remains readable via [`WorkerPool::take_last_panic`].
     pub fn run<'a>(&mut self, body: SpmdRef<'a>) {
+        if let Err(p) = self.try_run(body) {
+            p.resume();
+        }
+    }
+
+    /// Like [`WorkerPool::run`], but a worker panic is returned as a
+    /// [`WorkerPanic`] value instead of being re-raised. On `Err` the round
+    /// has fully drained and the pool is immediately reusable.
+    pub fn try_run<'a>(&mut self, body: SpmdRef<'a>) -> Result<(), WorkerPanic> {
+        #[cfg(any(test, feature = "fault-injection"))]
+        if let Some(plan) = &self.fault {
+            let plan = Arc::clone(plan);
+            let round = plan.begin_round();
+            let wrapped = move |tid: usize| {
+                plan.worker_hook(round, tid);
+                body(tid);
+            };
+            return self.dispatch(&wrapped);
+        }
+        self.dispatch(body)
+    }
+
+    fn dispatch<'a>(&mut self, body: SpmdRef<'a>) -> Result<(), WorkerPanic> {
         // SAFETY: see module docs — we block until every worker reports
         // completion below, so the erased borrow never outlives the frame,
         // and `&mut self` serializes rounds.
         let body_static: SpmdStatic = unsafe { std::mem::transmute(body) };
         for tx in &self.cmd_txs {
-            tx.send(Command::Run(body_static)).expect("worker hung up");
+            // Workers only exit on an explicit Shutdown (they catch kernel
+            // panics), so a closed channel mid-round cannot happen.
+            tx.send(Command::Run(body_static))
+                .unwrap_or_else(|_| unreachable!("worker command channel closed mid-round"));
         }
-        let mut panic_payload = None;
+        let mut first: Option<WorkerPanic> = None;
         for _ in 0..self.cmd_txs.len() {
-            match self.done_rx.recv().expect("worker hung up") {
+            let round = self
+                .done_rx
+                .recv()
+                .unwrap_or_else(|_| unreachable!("worker result channel closed mid-round"));
+            match round {
                 Ok(()) => {}
-                Err(p) => panic_payload = Some(p),
+                Err((tid, payload)) => {
+                    if first.is_none() {
+                        first = Some(WorkerPanic { tid, payload });
+                    }
+                }
             }
         }
-        if let Some(p) = panic_payload {
-            std::panic::resume_unwind(p);
+        match first {
+            Some(p) => {
+                self.last_panic = Some(p.info());
+                Err(p)
+            }
+            None => Ok(()),
         }
+    }
+
+    /// Takes (and clears) the record of the most recent worker panic.
+    ///
+    /// Set by both [`WorkerPool::run`] and [`WorkerPool::try_run`]; lets a
+    /// caller that caught a re-raised panic several layers up recover which
+    /// worker died without threading the payload through those layers.
+    pub fn take_last_panic(&mut self) -> Option<WorkerPanicInfo> {
+        self.last_panic.take()
+    }
+
+    /// Attaches a fault plan consulted at the start of every round; workers
+    /// then apply any fault armed for their (round, tid) coordinate.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(plan);
     }
 }
 
@@ -124,7 +267,8 @@ fn worker_loop(tid: usize, rx: Receiver<Command>, done: SyncSender<RoundResult>)
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Run(body) => {
-                let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(tid)));
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(tid)))
+                    .map_err(|payload| (tid, payload));
                 // The caller counts acknowledgements; it cannot have dropped
                 // the receiver mid-round, but a panic on the caller side
                 // after the round is none of our business — ignore failures.
@@ -249,6 +393,61 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn try_run_reports_tid_and_message_and_records_last_panic() {
+        let mut pool = WorkerPool::new(4);
+        let res = pool.try_run(&|tid| {
+            if tid == 2 {
+                panic!("round failed on {tid}");
+            }
+        });
+        let p = res.unwrap_err();
+        assert_eq!(p.tid(), 2);
+        assert!(p.message().contains("round failed on 2"), "{}", p.message());
+        let info = pool.take_last_panic().expect("panic must be recorded");
+        assert_eq!(info.tid, 2);
+        assert!(info.message.contains("round failed"));
+        assert_eq!(pool.take_last_panic(), None, "take clears the record");
+
+        // The pool is reusable straight off the Err path.
+        let counter = AtomicUsize::new(0);
+        pool.try_run(&|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("clean round after a panicked one");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn run_also_records_last_panic() {
+        let mut pool = WorkerPool::new(2);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|tid| {
+                if tid == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        let info = pool.take_last_panic().expect("run must record the panic");
+        assert_eq!(info.tid, 1);
+    }
+
+    #[test]
+    fn fault_plan_kills_the_chosen_worker_in_the_chosen_round() {
+        let plan = crate::fault::FaultPlan::new();
+        let mut pool = WorkerPool::new(3);
+        pool.set_fault_plan(Arc::clone(&plan));
+        plan.arm_worker_panic(1, 1); // second round from now
+
+        pool.try_run(&|_| {}).expect("round 0 is clean");
+        let p = pool.try_run(&|_| {}).unwrap_err();
+        assert_eq!(p.tid(), 1);
+        assert!(p.message().contains("injected fault"), "{}", p.message());
+        assert_eq!(plan.fired(), 1);
+        pool.try_run(&|_| {}).expect("round 2 is clean again");
     }
 
     #[test]

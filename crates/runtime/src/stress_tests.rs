@@ -71,6 +71,46 @@ fn pools_of_every_size_up_to_16() {
 }
 
 #[test]
+fn double_fault_rounds_leave_pool_usable_without_respawn() {
+    // Two *consecutive* panicked rounds — the second fault hits while the
+    // pool is freshly recovered from the first — must not wedge any worker,
+    // leak a stale panic payload, or force a pool re-creation.
+    let plan = crate::fault::FaultPlan::new();
+    let mut pool = WorkerPool::new(4);
+    pool.set_fault_plan(std::sync::Arc::clone(&plan));
+
+    let ids_of_round = |pool: &mut WorkerPool| {
+        let ids = std::sync::Mutex::new(vec![None; 4]);
+        pool.try_run(&|tid| {
+            ids.lock().unwrap()[tid] = Some(std::thread::current().id());
+        })
+        .expect("clean round");
+        ids.into_inner().unwrap()
+    };
+
+    let ids_before = ids_of_round(&mut pool);
+    let created_before = WorkerPool::pools_created();
+    plan.arm_worker_panic(0, 0);
+    plan.arm_worker_panic(3, 1);
+
+    let p0 = pool.try_run(&|_| {}).unwrap_err();
+    assert_eq!(p0.tid(), 0);
+    let p1 = pool.try_run(&|_| {}).unwrap_err();
+    assert_eq!(p1.tid(), 3);
+    assert_eq!(plan.fired(), 2);
+
+    // A clean round runs on *the same four OS threads* as before the
+    // faults: recovery reused the workers, it did not respawn anything.
+    let ids_after = ids_of_round(&mut pool);
+    assert_eq!(ids_before, ids_after, "workers were respawned");
+    assert_eq!(
+        WorkerPool::pools_created(),
+        created_before,
+        "recovery must not create a new pool"
+    );
+}
+
+#[test]
 fn drop_while_idle_is_clean() {
     for _ in 0..20 {
         let mut pool = WorkerPool::new(3);

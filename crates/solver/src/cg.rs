@@ -13,10 +13,16 @@
 
 use crate::vecops;
 use std::sync::Arc;
-use symspmv_core::ParallelSpmv;
+use symspmv_core::{ParallelSpmv, SymSpmvError};
 use symspmv_runtime::timing::time_into;
 use symspmv_runtime::PhaseTimes;
 use symspmv_sparse::Val;
+
+/// Residual growth (in norms, relative to the initial residual) beyond
+/// which the iteration is declared divergent. CG on an SPD system is
+/// monotone in the A-norm; eight orders of magnitude of growth in the
+/// 2-norm means the recurrence has left SPD territory.
+pub(crate) const DIVERGENCE_GROWTH: f64 = 1e8;
 
 /// CG stopping configuration.
 #[derive(Debug, Clone, Copy)]
@@ -40,13 +46,49 @@ impl Default for CgConfig {
     }
 }
 
-/// Outcome of a CG solve.
+/// How a solve ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SolveStatus {
+    /// The relative residual tolerance was reached.
+    Converged,
+    /// The iteration budget ran out before the tolerance was reached (this
+    /// is the *expected* outcome in fixed-work mode, `rel_tol == 0`).
+    MaxIterations,
+    /// Breakdown: `pᵀAp ≤ 0` with a non-zero residual — the operator is
+    /// not symmetric positive definite.
+    NotSpd {
+        /// The offending curvature value.
+        pap: f64,
+    },
+    /// The residual norm grew more than [`DIVERGENCE_GROWTH`]× over its
+    /// initial value.
+    Diverged {
+        /// Residual growth factor `‖r_k‖ / ‖r_0‖` at detection.
+        growth: f64,
+    },
+    /// The residual or curvature became NaN or infinite.
+    NonFiniteResidual,
+}
+
+impl SolveStatus {
+    /// Whether this status is a numerical failure (breakdown, divergence,
+    /// non-finite values) as opposed to a normal termination.
+    pub fn is_breakdown(&self) -> bool {
+        !matches!(self, SolveStatus::Converged | SolveStatus::MaxIterations)
+    }
+}
+
+/// Outcome of a CG/PCG solve.
 #[derive(Debug, Clone)]
-pub struct CgResult {
+pub struct SolveOutcome {
     /// Iterations executed.
     pub iterations: usize,
-    /// Whether the relative tolerance was reached.
+    /// Whether the relative tolerance was reached (equivalent to
+    /// `status == SolveStatus::Converged`; kept for call-site brevity).
     pub converged: bool,
+    /// How the solve ended, including numerical-breakdown detail.
+    pub status: SolveStatus,
     /// Final residual norm `‖b − A·x‖` (recurrence residual).
     pub residual_norm: f64,
     /// Phase breakdown: SpMV multiply + reduce (from the kernel),
@@ -54,6 +96,32 @@ pub struct CgResult {
     pub times: PhaseTimes,
     /// Residual-norm history (if requested).
     pub history: Vec<f64>,
+}
+
+/// Former name of [`SolveOutcome`].
+pub type CgResult = SolveOutcome;
+
+impl SolveOutcome {
+    /// Converts a breakdown status into the corresponding
+    /// [`SymSpmvError`], passing normal terminations (converged or
+    /// max-iterations) through as `Ok` — for callers that treat numerical
+    /// failure as an error rather than a report.
+    pub fn into_result(self) -> Result<SolveOutcome, SymSpmvError> {
+        match self.status {
+            SolveStatus::NotSpd { pap } => Err(SymSpmvError::NotSpd {
+                iteration: self.iterations,
+                pap,
+            }),
+            SolveStatus::Diverged { growth } => Err(SymSpmvError::Diverged {
+                iteration: self.iterations,
+                relative_residual: growth,
+            }),
+            SolveStatus::NonFiniteResidual => Err(SymSpmvError::NonFiniteResidual {
+                iteration: self.iterations,
+            }),
+            _ => Ok(self),
+        }
+    }
 }
 
 /// Solves `A·x = b` with CG, starting from the initial guess in `x`.
@@ -95,21 +163,47 @@ pub fn cg<K: ParallelSpmv + ?Sized>(
         history.push(rs_old.sqrt());
     }
 
+    let rs_initial = rs_old;
     let mut iterations = 0;
     let mut converged = rs_old <= tol_sq && config.rel_tol > 0.0;
+    let mut breakdown: Option<SolveStatus> = None;
     while iterations < config.max_iters && !converged {
         kernel.spmv(&p, &mut ap);
         time_into(&mut vec_time, || {
             let pap = vecops::dot(&ctx, &p, &ap);
-            // A is SPD, so pᵀAp > 0 unless p == 0 (already converged).
+            if !pap.is_finite() {
+                breakdown = Some(SolveStatus::NonFiniteResidual);
+                return;
+            }
+            // A SPD guarantees pᵀAp > 0 unless p == 0 (residual already
+            // zero); a non-positive curvature with residual left means the
+            // operator is not SPD — report it instead of emitting garbage.
+            if pap <= 0.0 && rs_old > 0.0 {
+                breakdown = Some(SolveStatus::NotSpd { pap });
+                return;
+            }
             let alpha = if pap != 0.0 { rs_old / pap } else { 0.0 };
             vecops::axpy(&ctx, alpha, &p, x);
             vecops::axpy(&ctx, -alpha, &ap, &mut r);
             let rs_new = vecops::norm2_sq(&ctx, &r);
+            if !rs_new.is_finite() {
+                breakdown = Some(SolveStatus::NonFiniteResidual);
+                return;
+            }
+            if rs_initial > 0.0 && rs_new > DIVERGENCE_GROWTH * DIVERGENCE_GROWTH * rs_initial {
+                breakdown = Some(SolveStatus::Diverged {
+                    growth: (rs_new / rs_initial).sqrt(),
+                });
+                rs_old = rs_new;
+                return;
+            }
             let beta = if rs_old != 0.0 { rs_new / rs_old } else { 0.0 };
             vecops::xpby(&ctx, &r, beta, &mut p);
             rs_old = rs_new;
         });
+        if breakdown.is_some() {
+            break;
+        }
         if config.record_history {
             history.push(rs_old.sqrt());
         }
@@ -130,9 +224,15 @@ pub fn cg<K: ParallelSpmv + ?Sized>(
     };
     ctx.ledger_add(&times);
 
-    CgResult {
+    let status = breakdown.unwrap_or(if converged {
+        SolveStatus::Converged
+    } else {
+        SolveStatus::MaxIterations
+    });
+    SolveOutcome {
         iterations,
         converged,
+        status,
         residual_norm: rs_old.sqrt(),
         times,
         history,
@@ -292,6 +392,76 @@ mod tests {
         assert!(res.times.vector_ops > std::time::Duration::ZERO);
         // The solve's breakdown lands on the shared context ledger.
         assert_eq!(ctx.ledger().multiply, res.times.multiply);
+    }
+
+    #[test]
+    fn negative_definite_operator_reports_not_spd() {
+        // -Laplacian is negative definite: pᵀAp < 0 on the very first
+        // iteration. The old solver would silently emit garbage iterates.
+        let base = symspmv_sparse::gen::laplacian_2d(8, 8);
+        let mut coo = CooMatrix::new(64, 64);
+        for (r, c, v) in base.iter() {
+            coo.push(r, c, -v);
+        }
+        coo.canonicalize();
+        let ctx = ExecutionContext::new(2);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let b = seeded_vector(64, 4);
+        let mut x = vec![0.0; 64];
+        let res = cg(&mut k, &b, &mut x, &CgConfig::default());
+        assert!(!res.converged);
+        assert!(res.status.is_breakdown());
+        match res.status {
+            SolveStatus::NotSpd { pap } => assert!(pap < 0.0),
+            other => panic!("expected NotSpd, got {other:?}"),
+        }
+        match res.into_result() {
+            Err(SymSpmvError::NotSpd { pap, .. }) => assert!(pap < 0.0),
+            other => panic!("expected SymSpmvError::NotSpd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_in_matrix_reports_non_finite_not_garbage() {
+        // A NaN planted in the operator poisons the first curvature dot
+        // product; the solver must say so instead of iterating on NaNs.
+        let mut coo = symspmv_sparse::gen::laplacian_2d(6, 6);
+        coo.push(0, 0, f64::NAN);
+        coo.canonicalize();
+        let ctx = ExecutionContext::new(2);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let b = seeded_vector(36, 8);
+        let mut x = vec![0.0; 36];
+        let res = cg(&mut k, &b, &mut x, &CgConfig::default());
+        assert_eq!(res.status, SolveStatus::NonFiniteResidual);
+        assert!(matches!(
+            res.into_result(),
+            Err(SymSpmvError::NonFiniteResidual { .. })
+        ));
+    }
+
+    #[test]
+    fn normal_terminations_pass_through_into_result() {
+        let coo = symspmv_sparse::gen::laplacian_2d(5, 5);
+        let ctx = ExecutionContext::new(1);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let b = seeded_vector(25, 6);
+        let mut x = vec![0.0; 25];
+        let res = cg(&mut k, &b, &mut x, &CgConfig::default());
+        assert_eq!(res.status, SolveStatus::Converged);
+        assert!(!res.status.is_breakdown());
+        let ok = res.into_result().expect("converged solve is Ok");
+        assert!(ok.converged);
+
+        // Diverged statuses map to the taxonomy with the growth factor.
+        let mut diverged = ok;
+        diverged.status = SolveStatus::Diverged { growth: 1e9 };
+        match diverged.into_result() {
+            Err(SymSpmvError::Diverged {
+                relative_residual, ..
+            }) => assert_eq!(relative_residual, 1e9),
+            other => panic!("expected Diverged, got {other:?}"),
+        }
     }
 
     #[test]

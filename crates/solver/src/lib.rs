@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 //! Iterative solver layer: the non-preconditioned Conjugate Gradient method
@@ -14,5 +15,5 @@ pub mod cg;
 pub mod pcg;
 pub mod vecops;
 
-pub use cg::{cg, CgConfig, CgResult};
+pub use cg::{cg, CgConfig, CgResult, SolveOutcome, SolveStatus};
 pub use pcg::{diagonal_of, pcg_jacobi};

@@ -8,7 +8,7 @@
 //! to preconditioned iterations (the `vector_ops` phase absorbs the
 //! preconditioner application).
 
-use crate::cg::{CgConfig, CgResult};
+use crate::cg::{CgConfig, SolveOutcome, SolveStatus, DIVERGENCE_GROWTH};
 use crate::vecops;
 use std::sync::Arc;
 use symspmv_core::ParallelSpmv;
@@ -45,7 +45,7 @@ pub fn pcg_jacobi<K: ParallelSpmv + ?Sized>(
     b: &[Val],
     x: &mut [Val],
     config: &CgConfig,
-) -> CgResult {
+) -> SolveOutcome {
     let n = kernel.n();
     assert_eq!(diag.len(), n);
     assert_eq!(b.len(), n);
@@ -81,12 +81,22 @@ pub fn pcg_jacobi<K: ParallelSpmv + ?Sized>(
         history.push(r_norm_sq.sqrt());
     }
 
+    let rs_initial = r_norm_sq;
     let mut iterations = 0;
     let mut converged = config.rel_tol > 0.0 && r_norm_sq <= tol_sq;
+    let mut breakdown: Option<SolveStatus> = None;
     while iterations < config.max_iters && !converged {
         kernel.spmv(&p, &mut ap);
         time_into(&mut vec_time, || {
             let pap = vecops::dot(&ctx, &p, &ap);
+            if !pap.is_finite() {
+                breakdown = Some(SolveStatus::NonFiniteResidual);
+                return;
+            }
+            if pap <= 0.0 && r_norm_sq > 0.0 {
+                breakdown = Some(SolveStatus::NotSpd { pap });
+                return;
+            }
             let alpha = if pap != 0.0 { rz / pap } else { 0.0 };
             vecops::axpy(&ctx, alpha, &p, x);
             vecops::axpy(&ctx, -alpha, &ap, &mut r);
@@ -96,7 +106,19 @@ pub fn pcg_jacobi<K: ParallelSpmv + ?Sized>(
             vecops::xpby(&ctx, &z, beta, &mut p);
             rz = rz_new;
             r_norm_sq = vecops::norm2_sq(&ctx, &r);
+            if !r_norm_sq.is_finite() {
+                breakdown = Some(SolveStatus::NonFiniteResidual);
+            } else if rs_initial > 0.0
+                && r_norm_sq > DIVERGENCE_GROWTH * DIVERGENCE_GROWTH * rs_initial
+            {
+                breakdown = Some(SolveStatus::Diverged {
+                    growth: (r_norm_sq / rs_initial).sqrt(),
+                });
+            }
         });
+        if breakdown.is_some() {
+            break;
+        }
         if config.record_history {
             history.push(r_norm_sq.sqrt());
         }
@@ -114,9 +136,15 @@ pub fn pcg_jacobi<K: ParallelSpmv + ?Sized>(
         preprocess: preexisting.preprocess,
     };
     ctx.ledger_add(&times);
-    CgResult {
+    let status = breakdown.unwrap_or(if converged {
+        SolveStatus::Converged
+    } else {
+        SolveStatus::MaxIterations
+    });
+    SolveOutcome {
         iterations,
         converged,
+        status,
         residual_norm: r_norm_sq.sqrt(),
         times,
         history,
@@ -201,6 +229,27 @@ mod tests {
             pre.iterations,
             plain.iterations
         );
+    }
+
+    #[test]
+    fn pcg_reports_not_spd_on_indefinite_operator() {
+        // A saddle matrix with positive diagonal sneaks past the Jacobi
+        // precondition check but is indefinite; the curvature test catches it.
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(0, 1, 4.0);
+        coo.push(1, 0, 4.0);
+        coo.canonicalize();
+        let diag = diagonal_of(&coo);
+        let ctx = ExecutionContext::new(1);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let b = vec![1.0, -1.0];
+        let mut x = vec![0.0, 0.0];
+        let res = pcg_jacobi(&mut k, &diag, &b, &mut x, &CgConfig::default());
+        assert!(res.status.is_breakdown());
+        assert!(matches!(res.status, SolveStatus::NotSpd { pap } if pap < 0.0));
+        assert!(res.into_result().is_err());
     }
 
     #[test]

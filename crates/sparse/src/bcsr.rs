@@ -9,6 +9,8 @@
 //! way auto-tuners do, from the fill ratio.
 
 use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::validate::{validate_coo, CooChecks};
 use crate::{Idx, Val};
 use std::collections::HashMap;
 
@@ -33,6 +35,30 @@ pub struct BcsrMatrix {
 }
 
 impl BcsrMatrix {
+    /// Validated constructor: rejects degenerate block dimensions and
+    /// structurally invalid input (non-finite values, index overflow) with
+    /// a structured [`SparseError`] instead of panicking.
+    pub fn try_from_coo(coo: &CooMatrix, br: u32, bc: u32) -> Result<Self, SparseError> {
+        if br == 0 || bc == 0 {
+            return Err(SparseError::InvalidArgument {
+                msg: format!("block dimensions must be positive, got {br}x{bc}"),
+            });
+        }
+        // The dense payload of one block is indexed as `lr·bc + lc`; keep
+        // the product inside u32 so local offsets cannot wrap.
+        if br as u64 * bc as u64 > u32::MAX as u64 {
+            return Err(SparseError::IndexOverflow {
+                what: "block area (br*bc)",
+                value: br as u64 * bc as u64,
+                max: u32::MAX as u64,
+            });
+        }
+        let mut c = coo.clone();
+        c.canonicalize();
+        validate_coo(&c, &CooChecks::unsymmetric_format())?;
+        Ok(Self::from_coo(&c, br, bc))
+    }
+
     /// Builds a BCSR matrix with the given block dimensions.
     pub fn from_coo(coo: &CooMatrix, br: u32, bc: u32) -> Self {
         assert!(br >= 1 && bc >= 1, "block dimensions must be positive");

@@ -161,9 +161,9 @@ impl CooMatrix {
         let mut vals = Vec::with_capacity(n);
         for &i in &order {
             let (r, c, v) = (self.rows[i], self.cols[i], self.vals[i]);
-            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
-                if lr == r && lc == c {
-                    *vals.last_mut().expect("vals tracks rows") += v;
+            if rows.last() == Some(&r) && cols.last() == Some(&c) {
+                if let Some(last) = vals.last_mut() {
+                    *last += v;
                     continue;
                 }
             }

@@ -5,6 +5,8 @@
 //! `S_CSR = 12·NNZ + 4·(N+1)` bytes.
 
 use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::validate::{validate_coo, CooChecks};
 use crate::{Idx, Val};
 
 /// A sparse matrix in Compressed Sparse Row format.
@@ -23,6 +25,19 @@ impl CsrMatrix {
         let mut coo = coo.clone();
         coo.canonicalize();
         Self::from_canonical_coo(&coo)
+    }
+
+    /// Validated constructor: canonicalizes a copy, then checks the input
+    /// for non-finite values and index overflow before building.
+    ///
+    /// Prefer this over [`CsrMatrix::from_coo`] for matrices arriving from
+    /// outside the process (files, network, user code): a malformed input
+    /// yields a structured [`SparseError`] instead of a downstream panic.
+    pub fn try_from_coo(coo: &CooMatrix) -> Result<Self, SparseError> {
+        let mut coo = coo.clone();
+        coo.canonicalize();
+        validate_coo(&coo, &CooChecks::unsymmetric_format())?;
+        Ok(Self::from_canonical_coo(&coo))
     }
 
     /// Builds a CSR matrix from an already-canonical COO matrix without

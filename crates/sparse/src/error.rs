@@ -1,9 +1,16 @@
 //! Error type shared by the sparse substrate.
+//!
+//! [`SparseError`] is the base of the workspace error taxonomy: every
+//! structural defect a matrix can arrive with — parse failures, bad
+//! indices, asymmetry, non-finite values, index-width overflow — maps to a
+//! structured variant here, and the higher layers (`symspmv-core`'s
+//! `SymSpmvError`) classify these variants instead of re-deriving them.
 
 use std::fmt;
 
 /// Errors produced while constructing, converting or parsing sparse matrices.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SparseError {
     /// An entry's row or column index lies outside the declared dimensions.
     IndexOutOfBounds {
@@ -44,6 +51,55 @@ pub enum SparseError {
         /// Description of the violation.
         msg: String,
     },
+    /// An entry's value is NaN or infinite.
+    NonFiniteValue {
+        /// Row index of the offending entry.
+        row: u32,
+        /// Column index of the offending entry.
+        col: u32,
+        /// The offending value (rendered; NaN compares unequal so the
+        /// variant stores the bit-identical `f64`).
+        value: f64,
+    },
+    /// The same `(row, col)` coordinate appears more than once where a
+    /// canonical (duplicate-free) matrix is required.
+    DuplicateEntry {
+        /// Row index of the duplicated coordinate.
+        row: u32,
+        /// Column index of the duplicated coordinate.
+        col: u32,
+    },
+    /// Triplets are not sorted row-major where canonical order is required.
+    UnsortedTriplets {
+        /// Position (triplet index) of the first out-of-order entry.
+        position: usize,
+    },
+    /// A dimension or entry count does not fit the 4-byte index type (or
+    /// `usize` for counts) used by every storage format.
+    IndexOverflow {
+        /// What overflowed (e.g. `"row count"`).
+        what: &'static str,
+        /// The declared value.
+        value: u64,
+        /// The largest representable value.
+        max: u64,
+    },
+    /// A constructor argument (block size, tolerance, …) is out of its
+    /// valid domain.
+    InvalidArgument {
+        /// Description of the violation.
+        msg: String,
+    },
+    /// A `symmetric` MatrixMarket file stored an upper-triangle entry; the
+    /// format mandates lower-triangle-only storage.
+    UpperTriangleInSymmetric {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// Row index (0-based) of the offending entry.
+        row: u32,
+        /// Column index (0-based) of the offending entry.
+        col: u32,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -70,6 +126,23 @@ impl fmt::Display for SparseError {
             SparseError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             SparseError::Io(msg) => write!(f, "I/O error: {msg}"),
             SparseError::InvalidPermutation { msg } => write!(f, "invalid permutation: {msg}"),
+            SparseError::NonFiniteValue { row, col, value } => {
+                write!(f, "entry ({row}, {col}) has non-finite value {value}")
+            }
+            SparseError::DuplicateEntry { row, col } => {
+                write!(f, "coordinate ({row}, {col}) appears more than once")
+            }
+            SparseError::UnsortedTriplets { position } => {
+                write!(f, "triplets not in row-major order at position {position}")
+            }
+            SparseError::IndexOverflow { what, value, max } => {
+                write!(f, "{what} {value} exceeds the index limit {max}")
+            }
+            SparseError::InvalidArgument { msg } => write!(f, "invalid argument: {msg}"),
+            SparseError::UpperTriangleInSymmetric { line, row, col } => write!(
+                f,
+                "line {line}: entry ({row}, {col}) lies in the upper triangle of a `symmetric` file (lower-triangle storage is mandatory)"
+            ),
         }
     }
 }
@@ -79,5 +152,14 @@ impl std::error::Error for SparseError {}
 impl From<std::io::Error> for SparseError {
     fn from(e: std::io::Error) -> Self {
         SparseError::Io(e.to_string())
+    }
+}
+
+impl SparseError {
+    /// True for variants describing a structurally invalid matrix (as
+    /// opposed to parse/I/O failures): bad indices, asymmetry, duplicates,
+    /// non-finite values, overflow.
+    pub fn is_structural(&self) -> bool {
+        !matches!(self, SparseError::Parse { .. } | SparseError::Io(_))
     }
 }

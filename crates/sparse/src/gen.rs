@@ -300,8 +300,10 @@ pub fn scramble_nodes_windowed(
             map[old_node * block as usize + d as usize] = new_node * block + d;
         }
     }
-    let p = Permutation::from_map(map).expect("windowed shuffle is a bijection");
-    p.apply_symmetric(coo).expect("square input")
+    let p = Permutation::from_map(map)
+        .unwrap_or_else(|_| unreachable!("windowed shuffle is a bijection"));
+    p.apply_symmetric(coo)
+        .unwrap_or_else(|_| unreachable!("generator matrices are square"))
 }
 
 /// Symmetrically permutes a matrix with a random (seeded) permutation —
@@ -317,8 +319,10 @@ pub fn scramble(coo: &CooMatrix, seed: u64) -> CooMatrix {
         let j = rng.random_range(0..=i);
         map.swap(i, j);
     }
-    let p = Permutation::from_map(map).expect("shuffle is a bijection");
-    p.apply_symmetric(coo).expect("square input")
+    let p = Permutation::from_map(map)
+        .unwrap_or_else(|_| unreachable!("Fisher-Yates shuffle is a bijection"));
+    p.apply_symmetric(coo)
+        .unwrap_or_else(|_| unreachable!("generator matrices are square"))
 }
 
 #[cfg(test)]

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 #![warn(missing_docs)]
 
 //! Sparse-matrix substrate for the `symspmv` workspace.
@@ -35,6 +36,7 @@ pub mod rng;
 pub mod sss;
 pub mod stats;
 pub mod suite;
+pub mod validate;
 
 pub use bcsr::BcsrMatrix;
 pub use coo::CooMatrix;

@@ -8,6 +8,7 @@
 
 use crate::coo::CooMatrix;
 use crate::error::SparseError;
+use crate::validate::checked_idx;
 use crate::Idx;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
@@ -129,16 +130,27 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
             msg: format!("bad {what}: {s:?}"),
         })
     };
-    let nrows = parse_dim(dims[0], "row count")? as Idx;
-    let ncols = parse_dim(dims[1], "column count")? as Idx;
-    let nnz = parse_dim(dims[2], "nnz count")? as usize;
+    // The casts are checked: a file declaring dimensions beyond the 4-byte
+    // index type must fail loudly, not truncate into a smaller matrix.
+    let nrows = checked_idx(parse_dim(dims[0], "row count")?, "row count")?;
+    let ncols = checked_idx(parse_dim(dims[1], "column count")?, "column count")?;
+    let nnz64 = parse_dim(dims[2], "nnz count")?;
+    let nnz = usize::try_from(nnz64).map_err(|_| SparseError::IndexOverflow {
+        what: "nnz count",
+        value: nnz64,
+        max: usize::MAX as u64,
+    })?;
 
-    let expansion = if symmetry == MmSymmetry::Symmetric {
+    let expansion: usize = if symmetry == MmSymmetry::Symmetric {
         2
     } else {
         1
     };
-    let mut coo = CooMatrix::with_capacity(nrows, ncols, nnz * expansion);
+    // Cap the pre-reservation so a lying header cannot OOM the process
+    // before a single entry is read; the vectors grow on demand past this.
+    const MAX_PREALLOC_ENTRIES: usize = 1 << 24;
+    let cap = nnz.saturating_mul(expansion).min(MAX_PREALLOC_ENTRIES);
+    let mut coo = CooMatrix::with_capacity(nrows, ncols, cap);
     let mut seen = 0usize;
     for (i, line) in lines {
         let line = line?;
@@ -148,24 +160,19 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
         }
         let mut it = t.split_whitespace();
         let lineno = i + 1;
-        let r: Idx = it
-            .next()
-            .and_then(|s| s.parse::<u64>().ok())
-            .filter(|&r| r >= 1)
-            .ok_or_else(|| SparseError::Parse {
-                line: lineno,
-                msg: "bad row index".into(),
-            })? as Idx
-            - 1;
-        let c: Idx = it
-            .next()
-            .and_then(|s| s.parse::<u64>().ok())
-            .filter(|&c| c >= 1)
-            .ok_or_else(|| SparseError::Parse {
-                line: lineno,
-                msg: "bad column index".into(),
-            })? as Idx
-            - 1;
+        let mut index = |what: &'static str| -> Result<Idx, SparseError> {
+            let raw = it
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .filter(|&v| v >= 1)
+                .ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    msg: format!("bad {what}"),
+                })?;
+            checked_idx(raw - 1, what)
+        };
+        let r = index("row index")?;
+        let c = index("column index")?;
         let v = match field {
             MmField::Pattern => 1.0,
             _ => it
@@ -176,12 +183,37 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
                     msg: "bad value".into(),
                 })?,
         };
+        if !v.is_finite() {
+            return Err(SparseError::NonFiniteValue {
+                row: r,
+                col: c,
+                value: v,
+            });
+        }
         if r >= nrows || c >= ncols {
             return Err(SparseError::IndexOutOfBounds {
                 row: r,
                 col: c,
                 nrows,
                 ncols,
+            });
+        }
+        if symmetry == MmSymmetry::Symmetric && c > r {
+            // The MatrixMarket spec mandates lower-triangle-only storage
+            // for `symmetric` files; mirroring an upper entry anyway would
+            // silently double-count it against its lower twin.
+            return Err(SparseError::UpperTriangleInSymmetric {
+                line: lineno,
+                row: r,
+                col: c,
+            });
+        }
+        if seen == nnz {
+            // Fail fast on the first surplus entry instead of buffering an
+            // unbounded tail.
+            return Err(SparseError::Parse {
+                line: lineno,
+                msg: format!("more entries than the declared {nnz}"),
             });
         }
         coo.push(r, c, v);
@@ -193,7 +225,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
     if seen != nnz {
         return Err(SparseError::Parse {
             line: size_lineno,
-            msg: format!("declared {nnz} entries but found {seen}"),
+            msg: format!("truncated file: declared {nnz} entries but found {seen}"),
         });
     }
     coo.canonicalize();

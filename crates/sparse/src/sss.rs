@@ -8,6 +8,7 @@
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
+use crate::validate::{validate_coo, CooChecks};
 use crate::{Idx, Val};
 
 /// A symmetric sparse matrix in SSS format (diagonal + strict lower CSR).
@@ -53,7 +54,7 @@ impl SssMatrix {
             for (r, col, v) in c.iter() {
                 if r != col {
                     let m = c.find(col, r);
-                    if m.is_none() || (m.unwrap() - v).abs() > tol {
+                    if m.is_none_or(|w| (w - v).abs() > tol) {
                         return Err(SparseError::NotSymmetric { row: r, col });
                     }
                 }
@@ -69,6 +70,28 @@ impl SssMatrix {
             colind: lower_csr.colind().to_vec(),
             values: lower_csr.values().to_vec(),
         })
+    }
+
+    /// Fully validated constructor: beyond [`SssMatrix::from_coo`]'s
+    /// square/symmetric checks, rejects non-finite values, duplicate
+    /// coordinates and index overflow with a structured [`SparseError`].
+    ///
+    /// This is the entry point for matrices from outside the process;
+    /// `from_coo` remains for trusted (generated) inputs.
+    pub fn try_from_coo(coo: &CooMatrix, tol: Val) -> Result<Self, SparseError> {
+        if !tol.is_finite() || tol < 0.0 {
+            return Err(SparseError::InvalidArgument {
+                msg: format!("symmetry tolerance must be finite and >= 0, got {tol}"),
+            });
+        }
+        let mut c = coo.clone();
+        c.canonicalize();
+        let checks = CooChecks {
+            symmetric: Some(tol),
+            ..CooChecks::symmetric_format()
+        };
+        validate_coo(&c, &checks)?;
+        Self::from_coo(&c, tol)
     }
 
     /// Builds an SSS matrix from triplets describing only the lower triangle

@@ -1,0 +1,222 @@
+//! Structural validation of COO inputs — the checks behind every
+//! `try_from_coo` constructor.
+//!
+//! RACE-style pipelines treat input validation as a first-class
+//! preprocessing stage: a malformed matrix must surface as a structured
+//! [`SparseError`] *before* any kernel touches it, never as a panic inside
+//! a parallel region. This module centralizes the checks so each storage
+//! format states its requirements declaratively.
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::{Idx, Val};
+
+/// Which structural properties a constructor requires of its input.
+///
+/// `CooChecks::default()` checks only universal well-formedness (finite
+/// values, in-range indices); builders add the properties their format
+/// needs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CooChecks {
+    /// Require `nrows == ncols`.
+    pub square: bool,
+    /// Require numeric symmetry within this absolute tolerance.
+    pub symmetric: Option<Val>,
+    /// Require row-major sorted triplets with no duplicate coordinates.
+    pub canonical: bool,
+}
+
+impl CooChecks {
+    /// The requirements of the symmetric formats (SSS, CSX-Sym, CSB-Sym):
+    /// square, exactly symmetric, canonical.
+    pub fn symmetric_format() -> Self {
+        CooChecks {
+            square: true,
+            symmetric: Some(0.0),
+            canonical: true,
+        }
+    }
+
+    /// The requirements of the unsymmetric formats (CSR, BCSR, CSB, CSX):
+    /// canonical triplets, nothing more.
+    pub fn unsymmetric_format() -> Self {
+        CooChecks {
+            square: false,
+            symmetric: None,
+            canonical: true,
+        }
+    }
+}
+
+/// Validates `coo` against `checks`, returning the first violation found.
+///
+/// Checks run cheapest-first: dimension/overflow guards, then a single
+/// pass over the triplets (bounds, finiteness, order, duplicates), then
+/// the `O(nnz·log nnz)` symmetry scan when requested.
+pub fn validate_coo(coo: &CooMatrix, checks: &CooChecks) -> Result<(), SparseError> {
+    if checks.square && coo.nrows() != coo.ncols() {
+        return Err(SparseError::NotSquare {
+            nrows: coo.nrows(),
+            ncols: coo.ncols(),
+        });
+    }
+    // The flat index `r·ncols + c` and the CSR rowptr both index with
+    // `usize`; nnz itself must also be addressable. On 32-bit targets a
+    // huge nnz could overflow downstream `usize` arithmetic.
+    if coo.nnz() as u64 > u32::MAX as u64 {
+        return Err(SparseError::IndexOverflow {
+            what: "non-zero count",
+            value: coo.nnz() as u64,
+            max: u32::MAX as u64,
+        });
+    }
+
+    let rows = coo.row_indices();
+    let cols = coo.col_indices();
+    let vals = coo.values();
+    let (nrows, ncols) = (coo.nrows(), coo.ncols());
+    // The symmetry scan binary-searches and therefore needs canonical
+    // order; requesting it implies the canonicity check.
+    let canonical = checks.canonical || checks.symmetric.is_some();
+    let mut prev: Option<(Idx, Idx)> = None;
+    for (i, ((&r, &c), &v)) in rows.iter().zip(cols).zip(vals).enumerate() {
+        if r >= nrows || c >= ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row: r,
+                col: c,
+                nrows,
+                ncols,
+            });
+        }
+        if !v.is_finite() {
+            return Err(SparseError::NonFiniteValue {
+                row: r,
+                col: c,
+                value: v,
+            });
+        }
+        if canonical {
+            if let Some(p) = prev {
+                if p == (r, c) {
+                    return Err(SparseError::DuplicateEntry { row: r, col: c });
+                }
+                if p > (r, c) {
+                    return Err(SparseError::UnsortedTriplets { position: i });
+                }
+            }
+            prev = Some((r, c));
+        }
+    }
+
+    if let Some(tol) = checks.symmetric {
+        if !coo.is_symmetric(tol) {
+            // Locate the first offending entry for the error message.
+            for (r, c, v) in coo.iter() {
+                if r == c {
+                    continue;
+                }
+                match coo.find(c, r) {
+                    Some(w) if (w - v).abs() <= tol => {}
+                    _ => return Err(SparseError::NotSymmetric { row: r, col: c }),
+                }
+            }
+            return Err(SparseError::NotSymmetric { row: 0, col: 0 });
+        }
+    }
+    Ok(())
+}
+
+/// Converts a `u64` (as parsed from external input) into the 4-byte index
+/// type, reporting [`SparseError::IndexOverflow`] with context on failure.
+pub fn checked_idx(value: u64, what: &'static str) -> Result<Idx, SparseError> {
+    Idx::try_from(value).map_err(|_| SparseError::IndexOverflow {
+        what,
+        value,
+        max: Idx::MAX as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym3() -> CooMatrix {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 0, 2.0);
+        m.push(0, 1, 1.0);
+        m.push(1, 0, 1.0);
+        m.push(2, 2, 4.0);
+        m.canonicalize();
+        m
+    }
+
+    #[test]
+    fn well_formed_passes_all_checks() {
+        let m = sym3();
+        assert!(validate_coo(&m, &CooChecks::symmetric_format()).is_ok());
+        assert!(validate_coo(&m, &CooChecks::unsymmetric_format()).is_ok());
+    }
+
+    #[test]
+    fn nan_and_inf_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut m = sym3();
+            m.push(2, 1, bad);
+            m.push(1, 2, bad);
+            let err = validate_coo(&m, &CooChecks::default()).unwrap_err();
+            assert!(
+                matches!(err, SparseError::NonFiniteValue { .. }),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_rejected_when_canonical_required() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(0, 0, 2.0);
+        let err = validate_coo(&m, &CooChecks::unsymmetric_format()).unwrap_err();
+        assert_eq!(err, SparseError::DuplicateEntry { row: 0, col: 0 });
+        // Without the canonical requirement duplicates are tolerated.
+        assert!(validate_coo(&m, &CooChecks::default()).is_ok());
+    }
+
+    #[test]
+    fn unsorted_rejected_when_canonical_required() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(1, 1, 1.0);
+        m.push(0, 0, 2.0);
+        let err = validate_coo(&m, &CooChecks::unsymmetric_format()).unwrap_err();
+        assert_eq!(err, SparseError::UnsortedTriplets { position: 1 });
+    }
+
+    #[test]
+    fn asymmetric_rejected() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 1, 1.0);
+        m.canonicalize();
+        let err = validate_coo(&m, &CooChecks::symmetric_format()).unwrap_err();
+        assert!(matches!(err, SparseError::NotSymmetric { row: 0, col: 1 }));
+    }
+
+    #[test]
+    fn non_square_rejected_for_symmetric_format() {
+        let m = CooMatrix::new(2, 3);
+        let err = validate_coo(&m, &CooChecks::symmetric_format()).unwrap_err();
+        assert!(matches!(err, SparseError::NotSquare { .. }));
+    }
+
+    #[test]
+    fn checked_idx_reports_overflow() {
+        assert_eq!(checked_idx(7, "row count"), Ok(7));
+        let err = checked_idx(u64::from(Idx::MAX) + 1, "row count").unwrap_err();
+        assert!(matches!(
+            err,
+            SparseError::IndexOverflow {
+                what: "row count",
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,143 @@
+//! The ISSUE acceptance test for the fault-injection runtime: a worker
+//! panic deliberately injected into the *reduction* phase of a symmetric
+//! SpMV must be caught and surfaced as [`SymSpmvError::WorkerPanicked`],
+//! and a follow-up SpMV on the very same [`ExecutionContext`] must produce
+//! results bit-identical to a fresh context — the dying worker leaves no
+//! trace in the pool, the arena, or the output.
+//!
+//! The fault hooks are compiled in via this package's dev-dependency on
+//! `symspmv-runtime` with the `fault-injection` feature.
+
+use symspmv::core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv, SymSpmvError};
+use symspmv::runtime::ExecutionContext;
+use symspmv::sparse::dense::seeded_vector;
+use symspmv::sparse::CooMatrix;
+
+fn test_matrix() -> CooMatrix {
+    symspmv::sparse::gen::banded_random(600, 25, 9.0, 23)
+}
+
+/// One spmv on a warmed-up context spans exactly two pool rounds: the
+/// multiply (`ctx.run`) and the reduction (`strategy.reduce` issues one
+/// `pool.run`). Arming a fault `in_rounds = 1` from "now" therefore lands
+/// it in the reduction phase of the next spmv.
+const REDUCTION_ROUND_OFFSET: usize = 1;
+
+#[test]
+fn reduction_phase_panic_is_caught_and_context_recovers_bit_identical() {
+    let coo = test_matrix();
+    let n = coo.nrows() as usize;
+    let x = seeded_vector(n, 11);
+
+    for method in [
+        ReductionMethod::Naive,
+        ReductionMethod::EffectiveRanges,
+        ReductionMethod::Indexing,
+    ] {
+        let ctx = ExecutionContext::new(4);
+        let mut eng = SymSpmv::try_from_coo(&coo, &ctx, method, SymFormat::Sss)
+            .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+
+        // Warm up: the arena now holds the local-vector buffer, so the next
+        // spmv issues no extra first-touch rounds that would shift the
+        // armed round.
+        let mut y_warm = vec![0.0; n];
+        eng.try_spmv(&x, &mut y_warm).expect("warm-up spmv");
+
+        // Kill worker 2 in the reduction phase of the next spmv.
+        ctx.fault_plan().arm_worker_panic(2, REDUCTION_ROUND_OFFSET);
+        let mut y_doomed = vec![0.0; n];
+        let err = match eng.try_spmv(&x, &mut y_doomed) {
+            Err(e) => e,
+            Ok(()) => panic!("{method:?}: armed reduction panic did not surface"),
+        };
+        match &err {
+            SymSpmvError::WorkerPanicked { tid, message } => {
+                assert_eq!(*tid, 2, "{method:?}: wrong worker blamed: {err}");
+                assert!(
+                    message.contains("injected fault"),
+                    "{method:?}: panic payload lost: {message}"
+                );
+            }
+            other => panic!("{method:?}: expected WorkerPanicked, got {other:?}"),
+        }
+        assert_eq!(
+            ctx.fault_plan().fired(),
+            1,
+            "{method:?}: the armed fault must fire exactly once"
+        );
+
+        // `try_spmv` consumed the pool's panic record to build the error,
+        // so no stale record lingers to be misattributed to a later call.
+        assert_eq!(ctx.take_last_panic(), None);
+
+        // The arena healed: every free buffer is back to all-zeros, so the
+        // next lease cannot observe the half-reduced garbage.
+        assert!(
+            ctx.arena_all_free_zero(),
+            "{method:?}: arena dirty after a panicked reduction"
+        );
+
+        // Recovery: the SAME engine on the SAME context must now agree
+        // bit-for-bit with a fresh context running the same kernel.
+        let mut y_recovered = vec![0.0; n];
+        eng.try_spmv(&x, &mut y_recovered)
+            .unwrap_or_else(|e| panic!("{method:?}: context not reusable: {e}"));
+
+        let fresh_ctx = ExecutionContext::new(4);
+        let mut fresh_eng = SymSpmv::try_from_coo(&coo, &fresh_ctx, method, SymFormat::Sss)
+            .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+        let mut y_fresh = vec![0.0; n];
+        fresh_eng.try_spmv(&x, &mut y_fresh).expect("fresh spmv");
+
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&y_recovered),
+            bits(&y_fresh),
+            "{method:?}: recovered context diverges from a fresh one"
+        );
+        // And from its own pre-fault answer.
+        assert_eq!(bits(&y_recovered), bits(&y_warm));
+    }
+}
+
+#[test]
+fn panic_in_one_kernel_does_not_poison_siblings_on_the_shared_context() {
+    // Two kernels share one context; a worker death inside the first must
+    // leave the second computing bit-identical results.
+    let coo = test_matrix();
+    let n = coo.nrows() as usize;
+    let x = seeded_vector(n, 29);
+
+    let ctx = ExecutionContext::new(3);
+    let mut victim = SymSpmv::try_from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss)
+        .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+    let mut sibling =
+        SymSpmv::try_from_coo(&coo, &ctx, ReductionMethod::EffectiveRanges, SymFormat::Sss)
+            .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+
+    let mut y_before = vec![0.0; n];
+    sibling.try_spmv(&x, &mut y_before).expect("baseline spmv");
+
+    let mut y = vec![0.0; n];
+    victim.try_spmv(&x, &mut y).expect("warm-up spmv");
+    ctx.fault_plan().arm_worker_panic(1, REDUCTION_ROUND_OFFSET);
+    assert!(
+        matches!(
+            victim.try_spmv(&x, &mut y),
+            Err(SymSpmvError::WorkerPanicked { tid: 1, .. })
+        ),
+        "armed reduction panic did not surface as WorkerPanicked"
+    );
+    let _ = ctx.take_last_panic();
+
+    let mut y_after = vec![0.0; n];
+    sibling.try_spmv(&x, &mut y_after).expect("sibling spmv");
+    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&y_after),
+        bits(&y_before),
+        "sibling kernel corrupted by another kernel's worker death"
+    );
+    assert!(ctx.arena_all_free_zero());
+}

@@ -1,0 +1,106 @@
+//! Table-driven corpus of malformed MatrixMarket files.
+//!
+//! Every fixture in `tests/fixtures/malformed/` must produce a *structured*
+//! [`SparseError`] — never a panic, never a silently wrong matrix. The
+//! table below pins the expected error class per file; a fixture on disk
+//! with no table entry fails the test, so the corpus cannot rot.
+
+use std::path::PathBuf;
+use symspmv::core::SymSpmvError;
+use symspmv::sparse::{mm, SparseError};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("malformed")
+}
+
+/// Expected error class for one fixture.
+enum Expect {
+    Parse,
+    NonFinite,
+    OutOfBounds,
+    UpperTriangle,
+    Overflow,
+}
+
+impl Expect {
+    fn matches(&self, err: &SparseError) -> bool {
+        match self {
+            Expect::Parse => matches!(err, SparseError::Parse { .. }),
+            Expect::NonFinite => matches!(err, SparseError::NonFiniteValue { .. }),
+            Expect::OutOfBounds => matches!(err, SparseError::IndexOutOfBounds { .. }),
+            Expect::UpperTriangle => matches!(err, SparseError::UpperTriangleInSymmetric { .. }),
+            Expect::Overflow => matches!(err, SparseError::IndexOverflow { .. }),
+        }
+    }
+}
+
+const TABLE: &[(&str, Expect)] = &[
+    ("empty.mtx", Expect::Parse),
+    ("bad_banner.mtx", Expect::Parse),
+    ("not_coordinate.mtx", Expect::Parse),
+    ("bad_field.mtx", Expect::Parse),
+    ("bad_symmetry.mtx", Expect::Parse),
+    ("missing_size.mtx", Expect::Parse),
+    ("bad_size_line.mtx", Expect::Parse),
+    ("truncated.mtx", Expect::Parse),
+    ("surplus_entries.mtx", Expect::Parse),
+    ("zero_index.mtx", Expect::Parse),
+    ("bad_value.mtx", Expect::Parse),
+    ("index_out_of_bounds.mtx", Expect::OutOfBounds),
+    ("upper_triangle_symmetric.mtx", Expect::UpperTriangle),
+    ("nan_value.mtx", Expect::NonFinite),
+    ("inf_value.mtx", Expect::NonFinite),
+    ("index_overflow.mtx", Expect::Overflow),
+    ("lying_huge_nnz.mtx", Expect::Parse),
+];
+
+#[test]
+fn every_malformed_fixture_yields_a_structured_error() {
+    for (name, expect) in TABLE {
+        let path = corpus_dir().join(name);
+        let result = std::panic::catch_unwind(|| mm::read_matrix_market_file(&path))
+            .unwrap_or_else(|_| panic!("{name}: the reader PANICKED instead of returning Err"));
+        let err = match result {
+            Err(e) => e,
+            Ok(_) => panic!("{name}: parsed successfully but should have been rejected"),
+        };
+        assert!(
+            expect.matches(&err),
+            "{name}: wrong error class, got {err:?} ({err})"
+        );
+        // The Display form must be non-empty and not a Debug dump.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+#[test]
+fn corpus_is_fully_covered_by_the_table() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(corpus_dir())
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable dir entry").file_name().into_string())
+        .map(|n| n.expect("utf-8 file name"))
+        .collect();
+    on_disk.sort();
+    let mut in_table: Vec<String> = TABLE.iter().map(|(n, _)| n.to_string()).collect();
+    in_table.sort();
+    assert_eq!(
+        on_disk, in_table,
+        "tests/fixtures/malformed/ and the test table must list the same files"
+    );
+}
+
+#[test]
+fn parse_errors_classify_as_parse_in_the_taxonomy() {
+    let err = mm::read_matrix_market_file(corpus_dir().join("truncated.mtx")).unwrap_err();
+    assert!(matches!(SymSpmvError::from(err), SymSpmvError::Parse(_)));
+
+    let err =
+        mm::read_matrix_market_file(corpus_dir().join("index_out_of_bounds.mtx")).unwrap_err();
+    assert!(matches!(
+        SymSpmvError::from(err),
+        SymSpmvError::InvalidStructure(_)
+    ));
+}
