@@ -47,7 +47,9 @@ impl BcsrParallel {
         ctx: &Arc<ExecutionContext>,
         times: PhaseTimes,
     ) -> Self {
-        let parts = balanced_ranges(&bcsr.blockrow_weights(), ctx.nthreads());
+        let weights = bcsr.blockrow_weights();
+        let parts = balanced_ranges(&weights, ctx.nthreads());
+        crate::plan::debug_certify_rows(weights.len() as u32, &parts, "bcsr-mt");
         BcsrParallel {
             bcsr,
             parts,
@@ -78,7 +80,8 @@ impl ParallelSpmv for BcsrParallel {
                 let br = bcsr.block_dims().0;
                 let row_lo = (part.start * br) as usize;
                 let row_hi = ((part.end * br) as usize).min(n);
-                // SAFETY: block-row partitions own disjoint row ranges;
+                // SAFETY(cert: disjoint-direct): block-row partitions own
+                // disjoint row ranges;
                 // spmv_blockrows indexes y absolutely, and this thread's
                 // writes stay within [row_lo, row_hi).
                 let full = unsafe { buf.full_mut() };

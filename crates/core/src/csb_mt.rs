@@ -34,7 +34,9 @@ impl CsbParallel {
     /// Builds the kernel (automatic β).
     pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Self {
         let csb = CsbMatrix::from_coo(coo);
-        let parts = balanced_ranges(&csb.blockrow_weights(), ctx.nthreads());
+        let weights = csb.blockrow_weights();
+        let parts = balanced_ranges(&weights, ctx.nthreads());
+        crate::plan::debug_certify_rows(weights.len() as u32, &parts, "csb-mt");
         CsbParallel {
             csb,
             parts,
@@ -65,7 +67,8 @@ impl ParallelSpmv for CsbParallel {
                 let beta = csb.beta();
                 let row_lo = (part.start * beta) as usize;
                 let row_hi = ((part.end * beta).min(n)) as usize;
-                // SAFETY: blockrow partitions own disjoint row ranges.
+                // SAFETY(cert: disjoint-direct): blockrow partitions own
+                // disjoint row ranges.
                 let my = unsafe { buf.range_mut(row_lo, row_hi) };
                 my.fill(0.0);
                 for bi in part.start..part.end {
@@ -146,7 +149,9 @@ impl CsbSymParallel {
         let nthreads = ctx.nthreads();
         let lower = sym.lower();
         let beta = lower.beta();
-        let parts = balanced_ranges(&lower.blockrow_weights(), nthreads);
+        let weights = lower.blockrow_weights();
+        let parts = balanced_ranges(&weights, nthreads);
+        crate::plan::debug_certify_rows(weights.len() as u32, &parts, "csb-sym");
         let n = sym.n() as usize;
         let row_starts: Vec<usize> = parts
             .iter()
@@ -193,7 +198,7 @@ impl ParallelSpmv for CsbSymParallel {
         time_into(&mut self.times.multiply, || {
             self.ctx.run(&|tid| {
                 let chunk = chunks[tid];
-                // SAFETY: chunks tile 0..N disjointly.
+                // SAFETY(cert: disjoint-direct): chunks tile 0..N disjointly.
                 let my = unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
                 let dv = &sym.dvalues()[chunk.start as usize..chunk.end as usize];
                 let xs = &x[chunk.start as usize..chunk.end as usize];
@@ -214,10 +219,12 @@ impl ParallelSpmv for CsbSymParallel {
                 let beta = lower.beta();
                 let start = row_starts[tid];
                 let band_lo = start.saturating_sub(band);
-                // SAFETY: band region tid is thread-private.
+                // SAFETY(cert: band-private): band region tid is
+                // thread-private until the merge barrier.
                 let my_band = unsafe { bands_buf.range_mut(tid * band, (tid + 1) * band) };
-                // SAFETY: AtomicU64 shares u64/f64 layout; phase A ended
-                // with a barrier, phase C starts with one.
+                // SAFETY(cert: atomic-view): AtomicU64 shares u64/f64
+                // layout; phase A ended with a barrier, phase C starts
+                // with one.
                 let y_atomic: &[AtomicU64] = unsafe {
                     std::slice::from_raw_parts(y_buf.full_mut().as_ptr() as *const AtomicU64, n)
                 };
@@ -264,8 +271,9 @@ impl ParallelSpmv for CsbSymParallel {
                     }
                     for r in lo..hi {
                         let k = i * band + (r - band_lo);
-                        // SAFETY: row r belongs to this reduction thread;
-                        // band slot (i, r) is visited exactly once.
+                        // SAFETY(cert: reduction-slice): row r belongs to
+                        // this reduction thread; band slot (i, r) is
+                        // visited exactly once.
                         unsafe {
                             let v = bands_buf.get(k);
                             if v != 0.0 {

@@ -27,6 +27,7 @@ impl CsrParallel {
     pub fn new(csr: CsrMatrix, ctx: &Arc<ExecutionContext>) -> Self {
         let weights = csr_row_weights(csr.rowptr());
         let parts = balanced_ranges(&weights, ctx.nthreads());
+        crate::plan::debug_certify_rows(csr.nrows(), &parts, "csr-mt");
         CsrParallel {
             csr,
             parts,
@@ -64,7 +65,8 @@ impl ParallelSpmv for CsrParallel {
                 if part.is_empty() {
                     return;
                 }
-                // SAFETY: partitions tile 0..N disjointly.
+                // SAFETY(cert: disjoint-direct): partitions tile 0..N
+                // disjointly (certify_rows, debug-asserted at build).
                 let my_y = unsafe { buf.range_mut(part.start as usize, part.end as usize) };
                 // spmv_rows indexes y by absolute row; pass a shifted view.
                 for r in part.start..part.end {

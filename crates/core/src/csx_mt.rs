@@ -40,6 +40,7 @@ impl CsxParallel {
             *w += 1;
         }
         let parts = balanced_ranges(&weights, nthreads);
+        crate::plan::debug_certify_rows(c.nrows(), &parts, "csx-mt");
 
         let mut times = PhaseTimes::new();
         let chunks = time_into(&mut times.preprocess, || {
@@ -82,10 +83,10 @@ impl ParallelSpmv for CsxParallel {
                 if part.is_empty() {
                     return;
                 }
-                // SAFETY: partitions tile 0..N disjointly; the chunk's
-                // elements all have rows inside this partition, so even
-                // though the kernel receives the full-length view it only
-                // ever writes our rows.
+                // SAFETY(cert: disjoint-direct): partitions tile 0..N
+                // disjointly; the chunk's elements all have rows inside
+                // this partition, so even though the kernel receives the
+                // full-length view it only ever writes our rows.
                 unsafe {
                     buf.range_mut(part.start as usize, part.end as usize)
                         .fill(0.0);

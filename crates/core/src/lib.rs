@@ -37,6 +37,7 @@ pub mod csr_mt;
 pub mod csx_mt;
 pub mod csx_sym;
 pub mod error;
+pub mod plan;
 pub mod shared;
 pub mod sym;
 pub mod sym_atomic;
@@ -51,6 +52,7 @@ pub use csr_mt::CsrParallel;
 pub use csx_mt::CsxParallel;
 pub use csx_sym::CsxSymMatrix;
 pub use error::SymSpmvError;
+pub use plan::CachedSymPlan;
 pub use sym::{ReductionMethod, SymFormat, SymSpmv};
 pub use sym_atomic::SssAtomicParallel;
 pub use sym_color::SssColorParallel;

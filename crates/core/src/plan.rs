@@ -1,0 +1,246 @@
+//! Memoized, race-certified symmetric-SpMV plans.
+//!
+//! Everything [`super::sym::SymSpmv`] derives from the matrix structure and
+//! the thread count — the balanced row partition, the local-vector layout,
+//! the conflict index, the reduction chunks — is bundled into one immutable
+//! [`CachedSymPlan`] and memoized in the [`ExecutionContext`] plan cache
+//! under `(matrix fingerprint, nthreads, strategy tag)`. Building a second
+//! engine for the same configuration (a strategy sweep, a solver restart)
+//! reuses the plan wholesale; switching only the strategy still reuses the
+//! shared row partition through the `"parts"` pseudo-strategy namespace.
+//!
+//! Every plan carries the [`RaceCertificate`] proving its write sets are
+//! race-free; the certificate is produced by `symspmv-verify` at plan time
+//! (amortized by the cache) and re-validated by the kernel in debug builds
+//! before every dispatch.
+
+use crate::symbolic::{self, ConflictIndex};
+use std::any::Any;
+use std::sync::Arc;
+use symspmv_runtime::{
+    balanced_ranges, partition::symmetric_row_weights, ExecutionContext, PlanKey, Range,
+    ReductionStrategy,
+};
+use symspmv_sparse::SssMatrix;
+use symspmv_verify::{certify_sym, RaceCertificate, SymPlanRef, SymStrategyKind};
+
+/// The pseudo-strategy namespace under which the shared row partition is
+/// memoized: every strategy for the same (matrix, nthreads) pair reuses it.
+const PARTS_NAMESPACE: &str = "parts";
+
+/// One fully-derived, certified plan for a (matrix, nthreads, strategy)
+/// configuration.
+#[derive(Debug)]
+pub struct CachedSymPlan {
+    /// Structural fingerprint of the matrix the plan was derived from.
+    pub fingerprint: u64,
+    /// nnz-balanced row partition (shared across strategies).
+    pub parts: Arc<Vec<Range>>,
+    /// Per-thread offsets into the flat leased local store.
+    pub offsets: Vec<usize>,
+    /// Length of the flat local store the layout needs.
+    pub local_len: usize,
+    /// Conflict index (index-consuming strategies; empty otherwise).
+    pub index: ConflictIndex,
+    /// Row chunks of the naive/effective reduce phase.
+    pub reduce_chunks: Vec<Range>,
+    /// The machine-checked race-freedom proof for this plan.
+    pub cert: RaceCertificate,
+}
+
+impl CachedSymPlan {
+    /// Derives (or retrieves from the context's plan cache) the certified
+    /// plan for `sss` under `strategy` with the context's thread count.
+    pub fn obtain(
+        sss: &SssMatrix,
+        ctx: &Arc<ExecutionContext>,
+        strategy: &Arc<dyn ReductionStrategy>,
+    ) -> Arc<CachedSymPlan> {
+        let fingerprint = sss.fingerprint();
+        let nthreads = ctx.nthreads();
+        let key = PlanKey {
+            matrix: fingerprint,
+            nthreads,
+            strategy: strategy.name().to_string(),
+        };
+        if let Some(hit) = ctx.plan_cache_get(&key) {
+            if let Ok(plan) = Arc::downcast::<CachedSymPlan>(hit) {
+                return plan;
+            }
+        }
+        let plan = Arc::new(Self::derive(sss, ctx, strategy, fingerprint));
+        ctx.plan_cache_put(key, Arc::clone(&plan) as Arc<dyn Any + Send + Sync>);
+        plan
+    }
+
+    fn derive(
+        sss: &SssMatrix,
+        ctx: &Arc<ExecutionContext>,
+        strategy: &Arc<dyn ReductionStrategy>,
+        fingerprint: u64,
+    ) -> CachedSymPlan {
+        let n = sss.n() as usize;
+        let nthreads = ctx.nthreads();
+
+        // The partition depends only on (matrix, nthreads): share it across
+        // strategy switches through the pseudo-strategy namespace.
+        let parts_key = PlanKey {
+            matrix: fingerprint,
+            nthreads,
+            strategy: PARTS_NAMESPACE.to_string(),
+        };
+        let parts: Arc<Vec<Range>> = ctx
+            .plan_cache_get(&parts_key)
+            .and_then(|hit| Arc::downcast::<Vec<Range>>(hit).ok())
+            .unwrap_or_else(|| {
+                let p = Arc::new(balanced_ranges(
+                    &symmetric_row_weights(sss.rowptr()),
+                    nthreads,
+                ));
+                ctx.plan_cache_put(parts_key, Arc::clone(&p) as Arc<dyn Any + Send + Sync>);
+                p
+            });
+
+        let index = if strategy.needs_index() {
+            symbolic::analyze(sss, &parts)
+        } else {
+            ConflictIndex {
+                entries: Vec::new(),
+                conflicts: vec![Vec::new(); nthreads],
+                splits: vec![0; nthreads + 1],
+                effective_region_len: parts.iter().map(|r| r.start as usize).sum(),
+            }
+        };
+        let layout = strategy.layout(n, &parts);
+        let reduce_chunks = balanced_ranges(&vec![1u64; n], nthreads);
+
+        let kind = if !strategy.direct_write() {
+            SymStrategyKind::Naive
+        } else if strategy.needs_index() {
+            SymStrategyKind::Indexing
+        } else {
+            SymStrategyKind::EffectiveRanges
+        };
+        let cert = match certify_sym(
+            sss,
+            &SymPlanRef {
+                parts: &parts,
+                offsets: &layout.offsets,
+                local_len: layout.flat_len,
+                strategy: kind,
+                entries: &index.entries,
+                splits: &index.splits,
+                row_chunks: &reduce_chunks,
+            },
+        ) {
+            Ok(cert) => cert,
+            // The plan was just derived from the structure by construction;
+            // a certification failure here is a bug in the planner (or the
+            // verifier), never a user-input condition.
+            Err(e) => unreachable!("freshly derived plan failed race certification: {e}"),
+        };
+
+        CachedSymPlan {
+            fingerprint,
+            parts,
+            offsets: layout.offsets,
+            local_len: layout.flat_len,
+            index,
+            reduce_chunks,
+            cert,
+        }
+    }
+}
+
+/// Debug-build dispatch gate for the plain row-partitioned kernels (CSR,
+/// CSX chunks, BCSR block rows, CSB block rows): asserts the partition
+/// tiles `0..n` disjointly, naming the kernel family in the panic. Free in
+/// release builds.
+#[inline]
+pub fn debug_certify_rows(n: u32, parts: &[Range], family: &str) {
+    #[cfg(not(debug_assertions))]
+    let _ = (n, parts, family);
+    #[cfg(debug_assertions)]
+    if let Err(e) = symspmv_verify::certify_rows(0, n, parts, family) {
+        unreachable!("{family}: partition failed race certification: {e}");
+    }
+}
+
+/// Debug-build certification of a greedy coloring: no two rows of one
+/// class may share a write target. Free in release builds.
+#[inline]
+pub fn debug_certify_color(sss: &SssMatrix, classes: &[Vec<u32>]) {
+    #[cfg(not(debug_assertions))]
+    let _ = (sss, classes);
+    #[cfg(debug_assertions)]
+    if let Err(e) = symspmv_verify::certify_color(sss, classes) {
+        unreachable!("coloring failed race certification: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::ReductionMethod;
+
+    fn strategy(ctx: &Arc<ExecutionContext>, m: ReductionMethod) -> Arc<dyn ReductionStrategy> {
+        ctx.reduction(m.tag()).unwrap()
+    }
+
+    #[test]
+    fn same_configuration_reuses_plan() {
+        let coo = symspmv_sparse::gen::banded_random(300, 16, 8.0, 3);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let ctx = ExecutionContext::new(4);
+        let s = strategy(&ctx, ReductionMethod::Indexing);
+        let a = CachedSymPlan::obtain(&sss, &ctx, &s);
+        let b = CachedSymPlan::obtain(&sss, &ctx, &s);
+        assert!(Arc::ptr_eq(&a, &b), "second obtain must hit the cache");
+        assert!(ctx.plan_cache_hits() >= 1);
+    }
+
+    #[test]
+    fn strategy_switch_shares_the_partition() {
+        let coo = symspmv_sparse::gen::banded_random(300, 16, 8.0, 3);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let ctx = ExecutionContext::new(4);
+        let idx = CachedSymPlan::obtain(&sss, &ctx, &strategy(&ctx, ReductionMethod::Indexing));
+        let eff = CachedSymPlan::obtain(
+            &sss,
+            &ctx,
+            &strategy(&ctx, ReductionMethod::EffectiveRanges),
+        );
+        assert!(
+            Arc::ptr_eq(&idx.parts, &eff.parts),
+            "strategies must share the row partition"
+        );
+        assert_ne!(idx.cert.strategy, eff.cert.strategy);
+    }
+
+    #[test]
+    fn different_matrices_get_distinct_plans() {
+        let a = SssMatrix::from_coo(&symspmv_sparse::gen::laplacian_2d(12, 12), 0.0).unwrap();
+        let b = SssMatrix::from_coo(&symspmv_sparse::gen::laplacian_2d(13, 13), 0.0).unwrap();
+        let ctx = ExecutionContext::new(2);
+        let s = strategy(&ctx, ReductionMethod::EffectiveRanges);
+        let pa = CachedSymPlan::obtain(&a, &ctx, &s);
+        let pb = CachedSymPlan::obtain(&b, &ctx, &s);
+        assert_ne!(pa.fingerprint, pb.fingerprint);
+        assert!(!Arc::ptr_eq(&pa, &pb));
+    }
+
+    #[test]
+    fn certificates_validate_for_their_own_configuration_only() {
+        let coo = symspmv_sparse::gen::laplacian_2d(16, 16);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let ctx = ExecutionContext::new(4);
+        let plan = CachedSymPlan::obtain(&sss, &ctx, &strategy(&ctx, ReductionMethod::Indexing));
+        plan.cert
+            .validate_for(sss.fingerprint(), 4, "sym-sss", "idx")
+            .unwrap();
+        assert!(plan
+            .cert
+            .validate_for(sss.fingerprint(), 8, "sym-sss", "idx")
+            .is_err());
+    }
+}

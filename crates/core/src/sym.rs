@@ -21,18 +21,16 @@
 
 use crate::csx_sym::{spmv_sym_stream, spmv_sym_stream_local_only, CsxSymMatrix};
 use crate::error::SymSpmvError;
+use crate::plan::CachedSymPlan;
 use crate::shared::SharedBuf;
-use crate::symbolic::{self, ConflictIndex};
+use crate::symbolic::ConflictIndex;
 use crate::traits::ParallelSpmv;
 use std::borrow::Cow;
 use std::sync::Arc;
 use symspmv_csx::detect::DetectConfig;
 use symspmv_runtime::reduction::ReduceJob;
 use symspmv_runtime::timing::time_into;
-use symspmv_runtime::{
-    balanced_ranges, partition::symmetric_row_weights, ExecutionContext, PhaseTimes, Range,
-    ReductionStrategy,
-};
+use symspmv_runtime::{ExecutionContext, PhaseTimes, Range, ReductionStrategy};
 use symspmv_sparse::{CooMatrix, SparseError, SssMatrix, Val};
 
 /// How local vectors are organized and reduced (Fig. 3 b/c/d).
@@ -98,19 +96,13 @@ enum Storage {
 pub struct SymSpmv {
     n: usize,
     nnz_full: usize,
-    parts: Vec<Range>,
     method: ReductionMethod,
     strategy: Arc<dyn ReductionStrategy>,
     storage: Storage,
-    /// Length of the flat local-vectors store the strategy's layout needs;
-    /// the store itself is leased from the context's arena per spmv call.
-    local_len: usize,
-    /// Per-thread offsets into the leased local store.
-    offsets: Vec<usize>,
-    /// Conflict index (index-consuming strategies; empty otherwise).
-    index: ConflictIndex,
-    /// Row chunks for the naive/effective reductions.
-    reduce_chunks: Vec<Range>,
+    /// The certified, context-memoized plan: row partition, local-vector
+    /// layout, conflict index, reduction chunks and the race certificate.
+    /// The local store itself is leased from the arena per spmv call.
+    plan: Arc<CachedSymPlan>,
     ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
     size_bytes: usize,
@@ -210,26 +202,20 @@ impl SymSpmv {
         format: SymFormat,
     ) -> Self {
         let n = sss.n() as usize;
-        let nthreads = ctx.nthreads();
         assert!(
             !matches!(format, SymFormat::Hybrid { .. }) || strategy.direct_write(),
             "the hybrid format supports the direct-write methods only"
         );
-        let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), nthreads);
         let mut times = PhaseTimes::new();
 
-        let index = time_into(&mut times.preprocess, || {
-            if strategy.needs_index() {
-                symbolic::analyze(&sss, &parts)
-            } else {
-                ConflictIndex {
-                    entries: Vec::new(),
-                    conflicts: vec![Vec::new(); nthreads],
-                    splits: vec![0; nthreads + 1],
-                    effective_region_len: parts.iter().map(|r| r.start as usize).sum(),
-                }
-            }
+        // Partition, layout, conflict index and race certificate all come
+        // from the context-memoized plan: a repeat build for the same
+        // (matrix, nthreads, strategy) reuses it wholesale and the
+        // preprocess phase records (almost) nothing.
+        let plan = time_into(&mut times.preprocess, || {
+            CachedSymPlan::obtain(&sss, ctx, &strategy)
         });
+        let parts = Arc::clone(&plan.parts);
 
         let nnz_full = 2 * sss.lower_nnz() + n;
         let storage = match &format {
@@ -278,20 +264,28 @@ impl SymSpmv {
             }
         };
 
-        let layout = strategy.layout(n, &parts);
-        let reduce_chunks = balanced_ranges(&vec![1u64; n], nthreads);
+        // The write-set certificate covers the partition and reduction for
+        // any storage; the CSX-Sym boundary rule (§IV-B) is an additional
+        // per-stream obligation, checked here while the encoding is fresh.
+        #[cfg(debug_assertions)]
+        if let Storage::CsxSym(m) | Storage::Hybrid { csx: m, .. } = &storage {
+            if let Err(e) = symspmv_verify::certify_csx_chunks(
+                m.chunks().iter().map(|c| &c.stream),
+                &parts,
+                plan.fingerprint,
+                n as u32,
+            ) {
+                unreachable!("CSX-Sym encoding failed boundary certification: {e}");
+            }
+        }
 
         SymSpmv {
             n,
             nnz_full,
-            parts,
             method,
             strategy,
             storage,
-            local_len: layout.flat_len,
-            offsets: layout.offsets,
-            index,
-            reduce_chunks,
+            plan,
             ctx: Arc::clone(ctx),
             times,
             size_bytes,
@@ -300,7 +294,17 @@ impl SymSpmv {
 
     /// The row partition in use.
     pub fn partitions(&self) -> &[Range] {
-        &self.parts
+        &self.plan.parts
+    }
+
+    /// The certified plan this kernel dispatches with.
+    pub fn plan(&self) -> &Arc<CachedSymPlan> {
+        &self.plan
+    }
+
+    /// The race certificate proving the plan's write sets are disjoint.
+    pub fn certificate(&self) -> &symspmv_verify::RaceCertificate {
+        &self.plan.cert
     }
 
     /// The reduction method in use (the paper family; custom registry
@@ -318,12 +322,12 @@ impl SymSpmv {
     /// `p·N` for the naive layout, `Σ start_i` for the effective layouts
     /// (the working-set term of Eqs. 3/4/6).
     pub fn local_len(&self) -> usize {
-        self.local_len
+        self.plan.local_len
     }
 
     /// The conflict index (meaningful for index-consuming strategies).
     pub fn conflict_index(&self) -> &ConflictIndex {
-        &self.index
+        &self.plan.index
     }
 
     /// Substructure coverage of the CSX-Sym encoding (0 for SSS).
@@ -354,8 +358,8 @@ impl SymSpmv {
 
     fn multiply(&self, x: &[Val], y: &mut [Val], flat_buf: SharedBuf<'_>) {
         let y_buf = SharedBuf::new(y);
-        let parts = &self.parts;
-        let offsets = &self.offsets;
+        let parts: &[Range] = &self.plan.parts;
+        let offsets = &self.plan.offsets;
         let n = self.n;
         let direct = self.strategy.direct_write();
         match &self.storage {
@@ -374,9 +378,11 @@ impl SymSpmv {
                         return;
                     }
                     let split = part.start as usize;
-                    // SAFETY: effective region [off, off+split) is private.
+                    // SAFETY(cert: effective-region): region [off, off+split)
+                    // is this thread's declared slice of the leased store.
                     let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + split) };
-                    // SAFETY: direct writes stay in our own rows.
+                    // SAFETY(cert: disjoint-direct): direct writes stay in
+                    // our own rows.
                     let my_y = unsafe { y_buf.range_mut(split, part.end as usize) };
                     if use_stream[tid] {
                         let dv = &csx.dvalues()[split..part.end as usize];
@@ -393,7 +399,8 @@ impl SymSpmv {
             Storage::Sss(sss) if !direct => {
                 self.ctx.run(&|tid| {
                     let part = parts[tid];
-                    // SAFETY: region [tid·n, (tid+1)·n) is thread-private.
+                    // SAFETY(cert: effective-region): the naive layout gives
+                    // this thread the private region [tid·n, (tid+1)·n).
                     let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + n) };
                     let dv = sss.dvalues();
                     for r in part.start..part.end {
@@ -415,13 +422,14 @@ impl SymSpmv {
                         return;
                     }
                     let split = part.start as usize;
-                    // SAFETY: effective region [off, off+split) is private.
+                    // SAFETY(cert: effective-region): region [off, off+split)
+                    // is this thread's declared slice of the leased store.
                     let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + split) };
-                    // SAFETY: every direct write targets our own rows — the
-                    // row r itself, and transposed targets c ∈ [split, r).
-                    // Taking the range as a plain slice keeps the hot loop
-                    // free of raw-pointer writes the compiler can't reason
-                    // about.
+                    // SAFETY(cert: disjoint-direct): every direct write
+                    // targets our own rows — the row r itself, and transposed
+                    // targets c ∈ [split, r). Taking the range as a plain
+                    // slice keeps the hot loop free of raw-pointer writes the
+                    // compiler can't reason about.
                     let my_y = unsafe { y_buf.range_mut(split, part.end as usize) };
                     sss_multiply_direct(sss, part, x, my_y, l);
                 });
@@ -429,7 +437,8 @@ impl SymSpmv {
             Storage::CsxSym(m) if !direct => {
                 self.ctx.run(&|tid| {
                     let part = parts[tid];
-                    // SAFETY: full-length local region is thread-private.
+                    // SAFETY(cert: effective-region): the naive layout gives
+                    // this thread the full-length private region.
                     let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + n) };
                     let dv = m.dvalues();
                     for r in part.start..part.end {
@@ -445,9 +454,13 @@ impl SymSpmv {
                         return;
                     }
                     let split = part.start as usize;
+                    // SAFETY(cert: effective-region): region [off, off+split)
+                    // is this thread's declared slice of the leased store.
                     let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + split) };
-                    // SAFETY: the chunk's direct writes all land in our own
-                    // rows (r itself and transposed c ∈ [split, r)).
+                    // SAFETY(cert: disjoint-direct): the chunk's direct
+                    // writes all land in our own rows (r itself and
+                    // transposed c ∈ [split, r)); the csx-boundary check
+                    // keeps encoded patterns from crossing the split.
                     let my_y = unsafe { y_buf.range_mut(split, part.end as usize) };
                     let dv = &m.dvalues()[split..part.end as usize];
                     let xs = &x[split..part.end as usize];
@@ -465,13 +478,26 @@ impl SymSpmv {
             y: SharedBuf::new(y),
             locals: flat_buf,
             n: self.n,
-            parts: &self.parts,
-            offsets: &self.offsets,
-            row_chunks: &self.reduce_chunks,
-            entries: &self.index.entries,
-            splits: &self.index.splits,
+            parts: &self.plan.parts,
+            offsets: &self.plan.offsets,
+            row_chunks: &self.plan.reduce_chunks,
+            entries: &self.plan.index.entries,
+            splits: &self.plan.index.splits,
         };
         self.ctx.with_pool(|pool| self.strategy.reduce(pool, &job));
+    }
+
+    /// Whether the reduce phase has any work at all: with one thread (or a
+    /// degenerate partition) the direct-write layouts declare an empty
+    /// conflict region, and an index-consuming strategy with zero conflict
+    /// entries folds nothing — either way the multiply phase already left
+    /// `y` complete and the leased store untouched (all-zero), so the
+    /// reduction round is skipped entirely.
+    fn reduce_has_work(&self) -> bool {
+        if self.plan.local_len == 0 {
+            return false;
+        }
+        !(self.strategy.needs_index() && self.plan.index.entries.is_empty())
     }
 }
 
@@ -511,21 +537,40 @@ impl ParallelSpmv for SymSpmv {
     fn spmv(&mut self, x: &[Val], y: &mut [Val]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
+
+        // Dispatch gate: the memoized certificate must describe exactly
+        // this configuration. Catches a plan reused across a renumbering
+        // or a thread-count change (debug builds only; the re-fingerprint
+        // walks the structure).
+        #[cfg(debug_assertions)]
+        if let Storage::Sss(sss) | Storage::Hybrid { sss, .. } = &self.storage {
+            if let Err(e) = self.plan.cert.validate_for(
+                sss.fingerprint(),
+                self.ctx.nthreads(),
+                "sym-sss",
+                &self.plan.cert.strategy,
+            ) {
+                unreachable!("dispatching with a stale race certificate: {e}");
+            }
+        }
+
         // The lease must borrow the local Arc, not `self.ctx`, so the
         // timed phases below can still borrow `self`.
         let ctx = Arc::clone(&self.ctx);
-        let mut locals = ctx.lease(self.local_len);
+        let mut locals = ctx.lease(self.plan.local_len);
         let flat_buf = SharedBuf::new(&mut locals);
 
         let mut multiply = std::mem::take(&mut self.times.multiply);
         time_into(&mut multiply, || self.multiply(x, y, flat_buf));
         self.times.multiply = multiply;
 
-        let mut reduce = std::mem::take(&mut self.times.reduce);
-        // The strategy re-zeroes every local element the multiply phase
-        // wrote, which is exactly what the lease contract requires.
-        time_into(&mut reduce, || self.reduce(y, flat_buf));
-        self.times.reduce = reduce;
+        if self.reduce_has_work() {
+            let mut reduce = std::mem::take(&mut self.times.reduce);
+            // The strategy re-zeroes every local element the multiply phase
+            // wrote, which is exactly what the lease contract requires.
+            time_into(&mut reduce, || self.reduce(y, flat_buf));
+            self.times.reduce = reduce;
+        }
     }
 
     fn n(&self) -> usize {
@@ -907,6 +952,48 @@ mod edge_tests {
                 assert_vec_close(&y, &y_ref, 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn single_thread_skips_reduction_phase() {
+        // p = 1: the conflict region is empty (no row can conflict with a
+        // partition that owns everything), so the direct-write methods must
+        // run the multiply round only — no reduction round, no reduce time.
+        let coo = symspmv_sparse::gen::banded_random(200, 12, 6.0, 21);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = seeded_vector(200, 7);
+        let mut y_ref = vec![0.0; 200];
+        sss.spmv(&x, &mut y_ref);
+
+        for method in [ReductionMethod::EffectiveRanges, ReductionMethod::Indexing] {
+            let ctx = ExecutionContext::new(1);
+            let mut eng = SymSpmv::from_coo(&coo, &ctx, method, SymFormat::Sss).unwrap();
+            assert_eq!(eng.local_len(), 0, "p=1 must declare no conflict region");
+            assert!(eng.conflict_index().entries.is_empty());
+
+            let rounds_before = ctx.pool_rounds();
+            let mut y = vec![f64::NAN; 200];
+            eng.spmv(&x, &mut y);
+            assert_vec_close(&y, &y_ref, 1e-12);
+            assert_eq!(
+                ctx.pool_rounds() - rounds_before,
+                1,
+                "{method:?}: p=1 spmv must dispatch the multiply round only"
+            );
+            assert_eq!(eng.times().reduce, std::time::Duration::ZERO);
+        }
+
+        // The naive method still needs its fold with p = 1 — everything
+        // goes through the local vector.
+        let ctx = ExecutionContext::new(1);
+        let mut eng =
+            SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Naive, SymFormat::Sss).unwrap();
+        assert_eq!(eng.local_len(), 200);
+        let rounds_before = ctx.pool_rounds();
+        let mut y = vec![f64::NAN; 200];
+        eng.spmv(&x, &mut y);
+        assert_vec_close(&y, &y_ref, 1e-12);
+        assert!(ctx.pool_rounds() - rounds_before >= 2);
     }
 
     #[test]

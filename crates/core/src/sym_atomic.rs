@@ -38,6 +38,7 @@ impl SssAtomicParallel {
     /// Builds the kernel from an SSS matrix.
     pub fn from_sss(sss: SssMatrix, ctx: &Arc<ExecutionContext>) -> Self {
         let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), ctx.nthreads());
+        crate::plan::debug_certify_rows(sss.n(), &parts, "sym-atomic");
         SssAtomicParallel {
             sss,
             parts,
@@ -80,7 +81,8 @@ impl ParallelSpmv for SssAtomicParallel {
         time_into(&mut self.times.multiply, || {
             self.ctx.run(&|tid| {
                 let chunk = init_chunks[tid];
-                // SAFETY: init chunks tile 0..N disjointly.
+                // SAFETY(cert: disjoint-direct): init chunks tile 0..N
+                // disjointly.
                 let my = unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
                 let dv = &sss.dvalues()[chunk.start as usize..chunk.end as usize];
                 let xs = &x[chunk.start as usize..chunk.end as usize];
@@ -96,9 +98,9 @@ impl ParallelSpmv for SssAtomicParallel {
             // to the same location would be a data race).
             self.ctx.run(&|tid| {
                 let part = parts[tid];
-                // SAFETY: AtomicU64 has the same layout as u64/f64; after
-                // phase A's barrier, all phase-B accesses go through this
-                // atomic view.
+                // SAFETY(cert: atomic-view): AtomicU64 has the same layout
+                // as u64/f64; after phase A's barrier, all phase-B
+                // accesses go through this atomic view.
                 let y_atomic: &[AtomicU64] = unsafe {
                     std::slice::from_raw_parts(y_buf.full_mut().as_ptr() as *const AtomicU64, n)
                 };

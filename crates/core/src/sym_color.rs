@@ -118,6 +118,7 @@ impl SssColorParallel {
         let nthreads = ctx.nthreads();
         let mut times = PhaseTimes::new();
         let coloring = time_into(&mut times.preprocess, || color_rows(&sss));
+        crate::plan::debug_certify_color(&sss, &coloring.classes);
         let class_parts = coloring
             .classes
             .iter()
@@ -162,7 +163,7 @@ impl ParallelSpmv for SssColorParallel {
             let chunks = balanced_ranges(&vec![1u64; n], self.ctx.nthreads());
             self.ctx.run(&|tid| {
                 let chunk = chunks[tid];
-                // SAFETY: chunks tile 0..N disjointly.
+                // SAFETY(cert: disjoint-direct): chunks tile 0..N disjointly.
                 let my = unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
                 let dv = &sss.dvalues()[chunk.start as usize..chunk.end as usize];
                 let xs = &x[chunk.start as usize..chunk.end as usize];
@@ -181,11 +182,13 @@ impl ParallelSpmv for SssColorParallel {
                         let mut acc = 0.0;
                         for (&c, &v) in cols.iter().zip(vals) {
                             acc += v * x[c as usize];
-                            // SAFETY: within a color class no two rows share
-                            // a write target, and threads own disjoint rows
-                            // of the class.
+                            // SAFETY(cert: color-class): within a color
+                            // class no two rows share a write target, and
+                            // threads own disjoint rows of the class.
                             unsafe { y_buf.add(c as usize, v * xr) };
                         }
+                        // SAFETY(cert: color-class): row r's own slot is
+                        // part of its write set, disjoint within the class.
                         unsafe { y_buf.add(r as usize, acc) };
                     }
                 });

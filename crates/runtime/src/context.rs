@@ -15,6 +15,7 @@
 //! kernels select their reduction (naive / effective-ranges / indexing) by
 //! name instead of hard-coding the three variants.
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
@@ -87,6 +88,25 @@ impl BufferArena {
     }
 }
 
+/// Cache key for partition plans and race certificates: the matrix is
+/// identified by its structural fingerprint, and a plan is only reusable
+/// for the exact (thread count, strategy) pair it was computed for.
+///
+/// The `strategy` slot doubles as a namespace: strategy-independent
+/// artifacts (e.g. the bare row partition, which every strategy shares)
+/// are cached under reserved pseudo-strategy names like `"parts"`, so a
+/// strategy *switch* on the same matrix re-derives only the
+/// strategy-specific pieces.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Structural fingerprint of the matrix (values excluded).
+    pub matrix: u64,
+    /// Number of worker threads the plan partitions for.
+    pub nthreads: usize,
+    /// Strategy tag (or pseudo-strategy namespace) the artifact belongs to.
+    pub strategy: String,
+}
+
 /// The shared runtime layer: one pool, one arena, one ledger, and the
 /// reduction-strategy registry.
 ///
@@ -104,6 +124,12 @@ pub struct ExecutionContext {
     /// non-scratch) path. Each one is a broken lease contract; the drop
     /// path heals the buffer (re-zeroes it) and counts it here.
     dirty_returns: AtomicUsize,
+    /// Memoized partition plans and race certificates, keyed by
+    /// [`PlanKey`]. Values are type-erased so the runtime does not need to
+    /// know the kernel crates' plan types.
+    plans: Mutex<HashMap<PlanKey, Arc<dyn Any + Send + Sync>>>,
+    plan_hits: AtomicUsize,
+    plan_misses: AtomicUsize,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: Arc<FaultPlan>,
 }
@@ -128,6 +154,9 @@ impl ExecutionContext {
             ledger: Mutex::new(PhaseTimes::new()),
             strategies: RwLock::new(HashMap::new()),
             dirty_returns: AtomicUsize::new(0),
+            plans: Mutex::new(HashMap::new()),
+            plan_hits: AtomicUsize::new(0),
+            plan_misses: AtomicUsize::new(0),
             #[cfg(any(test, feature = "fault-injection"))]
             fault,
         };
@@ -182,6 +211,53 @@ impl ExecutionContext {
         f(&mut lock_ignore_poison(&self.pool))
     }
 
+    /// Number of rounds ever dispatched on the shared pool (see
+    /// [`WorkerPool::rounds_run`]).
+    pub fn pool_rounds(&self) -> usize {
+        lock_ignore_poison(&self.pool).rounds_run()
+    }
+
+    /// Looks up a memoized plan artifact; counts a hit or a miss.
+    ///
+    /// The value is type-erased — callers downcast to their own plan type
+    /// (a foreign entry under the same key would be a fingerprint
+    /// collision between kernels, which the `strategy` namespace prevents).
+    pub fn plan_cache_get(&self, key: &PlanKey) -> Option<Arc<dyn Any + Send + Sync>> {
+        let found = lock_ignore_poison(&self.plans).get(key).cloned();
+        match &found {
+            Some(_) => self.plan_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.plan_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Memoizes a plan artifact under `key` (last writer wins).
+    pub fn plan_cache_put(&self, key: PlanKey, plan: Arc<dyn Any + Send + Sync>) {
+        lock_ignore_poison(&self.plans).insert(key, plan);
+    }
+
+    /// Entries currently memoized.
+    pub fn plan_cache_len(&self) -> usize {
+        lock_ignore_poison(&self.plans).len()
+    }
+
+    /// Cache hits observed by [`ExecutionContext::plan_cache_get`].
+    pub fn plan_cache_hits(&self) -> usize {
+        self.plan_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses observed by [`ExecutionContext::plan_cache_get`].
+    pub fn plan_cache_misses(&self) -> usize {
+        self.plan_misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all memoized plans (certificates included) — for tests and
+    /// for callers that renumber matrices in place and want to prove the
+    /// stale-certificate path.
+    pub fn clear_plan_cache(&self) {
+        lock_ignore_poison(&self.plans).clear();
+    }
+
     /// Leases a zeroed buffer of `len` elements for kernel local vectors.
     ///
     /// The lessee must return the buffer all-zero (the reduction phase
@@ -229,13 +305,15 @@ impl ExecutionContext {
             pool.run(&|tid| {
                 let lo = old + total * tid / p;
                 let hi = old + total * (tid + 1) / p;
-                // SAFETY: [lo, hi) regions are disjoint across threads and
-                // lie within the capacity reserved above; writing zeros to
-                // uninitialized f64 memory is valid initialization.
+                // SAFETY(cert: first-touch): [lo, hi) regions are disjoint
+                // across threads and lie within the capacity reserved
+                // above; writing zeros to uninitialized f64 memory is valid
+                // initialization.
                 unsafe { std::ptr::write_bytes((base as *mut f64).add(lo), 0, hi - lo) };
             });
         });
-        // SAFETY: all of [old, len) was just initialized.
+        // SAFETY(cert: first-touch): all of [old, len) was initialized by
+        // the parallel round above, which has fully drained.
         unsafe { buf.set_len(len) };
     }
 
@@ -375,6 +453,10 @@ impl Drop for BufferLease<'_> {
                 );
             }
         }
+        // The lease is over: drop its shadow-memory entries so recycled
+        // buffers do not alias earlier lessees' footprints.
+        #[cfg(feature = "race-detector")]
+        crate::race::forget_range(self.buf.as_ptr() as usize, self.buf.len());
         self.ctx.return_buffer(std::mem::take(&mut self.buf));
     }
 }

@@ -23,13 +23,19 @@
 //! * `fault` *(tests / `fault-injection` feature)* — deterministic fault
 //!   injection: make a chosen worker panic or stall in a chosen round, or
 //!   corrupt a buffer on its way back to the arena, so recovery paths can
-//!   be exercised on purpose.
+//!   be exercised on purpose;
+//! * `race` *(`race-detector` feature)* — a shadow-memory dynamic race
+//!   detector mirroring every `SharedBuf` write with (round, worker)
+//!   attribution, used to adversarially cross-validate the static race
+//!   certificates emitted by the `symspmv-verify` crate.
 
 pub mod context;
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod fault;
 pub mod partition;
 pub mod pool;
+#[cfg(feature = "race-detector")]
+pub mod race;
 pub mod reduction;
 pub mod shared;
 pub mod timing;
@@ -37,7 +43,7 @@ pub mod timing;
 #[cfg(test)]
 mod stress_tests;
 
-pub use context::{BufferLease, ExecutionContext};
+pub use context::{BufferLease, ExecutionContext, PlanKey};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::FaultPlan;
 pub use partition::{balanced_ranges, Range};

@@ -139,6 +139,8 @@ pub struct WorkerPool {
     cmd_txs: Vec<SyncSender<Command>>,
     done_rx: Receiver<RoundResult>,
     last_panic: Option<WorkerPanicInfo>,
+    /// Rounds dispatched on this pool (including panicked ones).
+    rounds: usize,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: Option<Arc<FaultPlan>>,
 }
@@ -168,9 +170,19 @@ impl WorkerPool {
             cmd_txs,
             done_rx,
             last_panic: None,
+            rounds: 0,
             #[cfg(any(test, feature = "fault-injection"))]
             fault: None,
         }
+    }
+
+    /// Number of rounds ever dispatched on this pool.
+    ///
+    /// Kernel tests use the delta across a call to pin down exactly which
+    /// phases ran — e.g. that a `p = 1` symmetric spmv skips the reduction
+    /// round entirely.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds
     }
 
     /// Number of workers.
@@ -212,9 +224,33 @@ impl WorkerPool {
     }
 
     fn dispatch<'a>(&mut self, body: SpmdRef<'a>) -> Result<(), WorkerPanic> {
-        // SAFETY: see module docs — we block until every worker reports
-        // completion below, so the erased borrow never outlives the frame,
-        // and `&mut self` serializes rounds.
+        self.rounds += 1;
+        #[cfg(feature = "race-detector")]
+        {
+            // Tag every worker with its (tid, round-epoch) identity for the
+            // shadow-memory detector, then run the round through the normal
+            // path. The tag is cleared even when the body panics — the
+            // worker loop catches the unwind, so the closure's own cleanup
+            // would be skipped; an explicit drop guard is not needed because
+            // a stale tag is overwritten at the next round start and workers
+            // never write between rounds.
+            let epoch = crate::race::next_epoch();
+            let traced = move |tid: usize| {
+                crate::race::set_current(tid, epoch);
+                body(tid);
+                crate::race::clear_current();
+            };
+            return self.dispatch_inner(&traced);
+        }
+        #[cfg(not(feature = "race-detector"))]
+        self.dispatch_inner(body)
+    }
+
+    fn dispatch_inner<'a>(&mut self, body: SpmdRef<'a>) -> Result<(), WorkerPanic> {
+        // SAFETY(cert: pool-barrier): the classic scoped-pool argument (see
+        // module docs) — the erased borrow cannot dangle because this frame
+        // blocks until every worker acknowledges completion below, and
+        // `&mut self` serializes rounds so no other job aliases the slot.
         let body_static: SpmdStatic = unsafe { std::mem::transmute(body) };
         for tx in &self.cmd_txs {
             // Workers only exit on an explicit Shutdown (they catch kernel

@@ -142,12 +142,14 @@ impl ReductionStrategy for NaiveReduction {
                 let mut acc = 0.0;
                 for i in 0..p {
                     let k = i * n + r;
-                    // SAFETY: row r is owned by this reduction thread.
+                    // SAFETY(cert: reduction-slice): row r is owned by this
+                    // reduction thread's chunk; slot (i, r) is visited once.
                     unsafe {
                         acc += flat_buf.get(k);
                         flat_buf.set(k, 0.0);
                     }
                 }
+                // SAFETY(cert: reduction-slice): row r is ours to fold.
                 unsafe { y_buf.set(r, acc) };
             }
         });
@@ -179,17 +181,21 @@ impl ReductionStrategy for EffectiveRangesReduction {
         pool.run(&|tid| {
             let chunk = chunks[tid];
             for r in chunk.start as usize..chunk.end as usize {
-                // SAFETY: row r is owned by this reduction thread.
+                // SAFETY(cert: reduction-slice): row r is owned by this
+                // reduction thread's chunk.
                 let mut acc = unsafe { y_buf.get(r) };
                 for (i, part) in parts.iter().enumerate().skip(1) {
                     if (part.start as usize) > r {
                         let k = offsets[i] + r;
+                        // SAFETY(cert: reduction-slice): slot (i, r) of the
+                        // effective regions belongs to row r's folder alone.
                         unsafe {
                             acc += flat_buf.get(k);
                             flat_buf.set(k, 0.0);
                         }
                     }
                 }
+                // SAFETY(cert: reduction-slice): row r is ours to fold.
                 unsafe { y_buf.set(r, acc) };
             }
         });
@@ -225,8 +231,9 @@ impl ReductionStrategy for IndexingReduction {
         pool.run(&|tid| {
             for e in &entries[splits[tid]..splits[tid + 1]] {
                 let k = offsets[e.vid as usize] + e.idx as usize;
-                // SAFETY: (vid, idx) pairs are unique and slices never
-                // share an idx, so both accesses are exclusive.
+                // SAFETY(cert: reduction-slice): (vid, idx) pairs are unique
+                // and slices never share an idx, so both accesses are
+                // exclusive.
                 unsafe {
                     y_buf.add(e.idx as usize, flat_buf.get(k));
                     flat_buf.set(k, 0.0);

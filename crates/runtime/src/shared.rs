@@ -24,8 +24,11 @@ pub struct SharedBuf<'a> {
     _marker: PhantomData<&'a mut [f64]>,
 }
 
-// SAFETY: access disjointness is delegated to callers per the struct docs.
+// SAFETY(cert: caller-disjoint): access disjointness is delegated to
+// callers per the struct docs; every kernel call site names the certificate
+// invariant that proves its own disjointness.
 unsafe impl Send for SharedBuf<'_> {}
+// SAFETY(cert: caller-disjoint): as above.
 unsafe impl Sync for SharedBuf<'_> {}
 
 impl<'a> SharedBuf<'a> {
@@ -57,6 +60,8 @@ impl<'a> SharedBuf<'a> {
     #[allow(clippy::mut_from_ref)] // the documented escape hatch: caller-proven disjointness
     pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [f64] {
         debug_assert!(lo <= hi && hi <= self.len);
+        #[cfg(feature = "race-detector")]
+        crate::race::record_write_range(self.ptr.add(lo) as usize, hi - lo);
         std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo)
     }
 
@@ -66,6 +71,10 @@ impl<'a> SharedBuf<'a> {
     /// The caller must only touch elements it owns within the current
     /// parallel region, exactly as with [`SharedBuf::range_mut`]; the full
     /// view exists for kernels that index by absolute position.
+    ///
+    /// Under the `race-detector` feature this method records *no* shadow
+    /// writes — the full view cannot be attributed to a footprint; the
+    /// callers' disjointness is covered by the static certificates instead.
     #[inline]
     #[allow(clippy::mut_from_ref)] // see range_mut
     pub unsafe fn full_mut(&self) -> &mut [f64] {
@@ -79,6 +88,8 @@ impl<'a> SharedBuf<'a> {
     #[inline]
     pub unsafe fn add(&self, i: usize, v: f64) {
         debug_assert!(i < self.len);
+        #[cfg(feature = "race-detector")]
+        crate::race::record_write(self.ptr.add(i) as usize);
         *self.ptr.add(i) += v;
     }
 
@@ -89,6 +100,8 @@ impl<'a> SharedBuf<'a> {
     #[inline]
     pub unsafe fn set(&self, i: usize, v: f64) {
         debug_assert!(i < self.len);
+        #[cfg(feature = "race-detector")]
+        crate::race::record_write(self.ptr.add(i) as usize);
         *self.ptr.add(i) = v;
     }
 
@@ -114,7 +127,8 @@ mod tests {
         let buf = SharedBuf::new(&mut data);
         let mut pool = WorkerPool::new(4);
         pool.run(&|tid| {
-            // Each thread owns rows [tid*10, tid*10+10).
+            // SAFETY(cert: test-only): each thread owns rows
+            // [tid*10, tid*10+10) — manifestly disjoint.
             let s = unsafe { buf.range_mut(tid * 10, tid * 10 + 10) };
             for (k, slot) in s.iter_mut().enumerate() {
                 *slot = (tid * 10 + k) as f64;
@@ -129,6 +143,7 @@ mod tests {
     fn elementwise_ops() {
         let mut data = vec![1.0, 2.0];
         let buf = SharedBuf::new(&mut data);
+        // SAFETY(cert: test-only): single-threaded access.
         unsafe {
             buf.add(0, 0.5);
             buf.set(1, 7.0);

@@ -5,7 +5,8 @@
 //! drops the `A·` factor in the residual update; we implement the standard,
 //! correct recurrence `r ← r − a·A·p`.)
 //!
-//! The solver runs entirely on the kernel's [`ExecutionContext`]: the
+//! The solver runs entirely on the kernel's
+//! [`ExecutionContext`](symspmv_runtime::ExecutionContext): the
 //! residual/direction/product vectors are scratch leases from the context's
 //! arena (recycled across solves), the vector operations run on the same
 //! worker pool as the SpMV, and the per-phase breakdown is accumulated into
@@ -61,7 +62,7 @@ pub enum SolveStatus {
         /// The offending curvature value.
         pap: f64,
     },
-    /// The residual norm grew more than [`DIVERGENCE_GROWTH`]× over its
+    /// The residual norm grew more than `DIVERGENCE_GROWTH` (1e8)× over its
     /// initial value.
     Diverged {
         /// Residual growth factor `‖r_k‖ / ‖r_0‖` at detection.

@@ -38,7 +38,7 @@ fn apply_jacobi(inv_diag: &[Val], r: &[Val], z: &mut [Val]) {
 /// Solves `A·x = b` with Jacobi-preconditioned CG.
 ///
 /// `diag` must be the diagonal of `A` (see [`diagonal_of`]); all entries
-/// must be positive (A is SPD). Phase accounting matches [`crate::cg`].
+/// must be positive (A is SPD). Phase accounting matches [`mod@crate::cg`].
 pub fn pcg_jacobi<K: ParallelSpmv + ?Sized>(
     kernel: &mut K,
     diag: &[Val],

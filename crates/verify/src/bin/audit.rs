@@ -1,0 +1,73 @@
+//! Workspace unsafe-audit binary: `cargo run -p symspmv-verify --bin audit`.
+//!
+//! Walks every `.rs` file from the workspace root, prints each `unsafe`
+//! site with its certificate invariant, and exits non-zero if any site is
+//! unannotated, names an unknown invariant, or is an `unsafe fn` without a
+//! `# Safety` doc section.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use symspmv_verify::audit::{audit_workspace, UnsafeKind};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/verify; the workspace root is two up.
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args_os()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(workspace_root);
+    let report = match audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut blocks = 0usize;
+    let mut fns = 0usize;
+    for site in &report.sites {
+        match site.kind {
+            UnsafeKind::Fn | UnsafeKind::Trait => fns += 1,
+            UnsafeKind::Block | UnsafeKind::Impl => blocks += 1,
+        }
+        let tag = site.invariant.as_deref().unwrap_or(
+            if matches!(site.kind, UnsafeKind::Fn | UnsafeKind::Trait) {
+                "# Safety doc"
+            } else {
+                "-"
+            },
+        );
+        println!(
+            "{}:{}: {:?} [{}]",
+            site.file.display(),
+            site.line,
+            site.kind,
+            tag
+        );
+    }
+
+    let violations: Vec<_> = report.violations().collect();
+    println!(
+        "\naudit: {} unsafe sites ({blocks} blocks/impls, {fns} fns/traits), {} violations",
+        report.sites.len(),
+        violations.len()
+    );
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for site in violations {
+            if let Some(v) = &site.violation {
+                eprintln!("audit: {}:{}: {v}", site.file.display(), site.line);
+            }
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,287 @@
+//! The serializable proof object emitted by the write-set verifier.
+//!
+//! A [`RaceCertificate`] records *what was proved about which
+//! configuration*: the structural fingerprint of the matrix, the thread
+//! count and strategy the plan was computed for, the invariants that were
+//! established, and the footprint statistics (direct rows, effective-region
+//! elements, conflict entries) the proofs rest on. `ExecutionContext`
+//! memoizes certificates next to the plans they certify, and kernels assert
+//! [`RaceCertificate::validate_for`] in debug builds before dispatch — a
+//! certificate reused after renumbering, or across a thread-count or
+//! strategy switch, is rejected as [`VerifyError::StaleCertificate`].
+//!
+//! The text format is a simple `key=value` line protocol (std-only, no
+//! serde): stable field order on write, order-insensitive on read.
+
+use crate::error::VerifyError;
+
+/// A machine-checked proof that one (matrix, nthreads, strategy) plan is
+/// free of write-write races.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceCertificate {
+    /// Structural fingerprint of the matrix the plan was verified against.
+    pub fingerprint: u64,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Thread count the plan partitions for.
+    pub nthreads: usize,
+    /// Kernel family (`"sym-sss"`, `"sym-color"`, `"csx-sym"`, `"rows"`…).
+    pub family: String,
+    /// Reduction strategy tag (`"naive"`, `"eff"`, `"idx"`; empty when the
+    /// family has no strategy dimension).
+    pub strategy: String,
+    /// Names of the certificate invariants established by the verifier —
+    /// the same names `SAFETY(cert: …)` annotations reference.
+    pub invariants: Vec<String>,
+    /// Rows covered by direct (in-partition) writes.
+    pub direct_rows: usize,
+    /// Total elements of the declared local/effective regions, `Σ start_i`
+    /// for the effective layouts (the working-set term of Eqs. 3–6).
+    pub local_elems: usize,
+    /// Distinct conflicting entries across all threads (the `(vid, idx)`
+    /// index size for the indexing strategy).
+    pub conflict_entries: usize,
+}
+
+impl RaceCertificate {
+    /// Effective-region density `d` (Fig. 4): conflicting entries over
+    /// total effective-region length. Matches
+    /// `ConflictIndex::density` exactly — both are the same integer ratio.
+    pub fn density(&self) -> f64 {
+        if self.local_elems == 0 {
+            0.0
+        } else {
+            self.conflict_entries as f64 / self.local_elems as f64
+        }
+    }
+
+    /// Whether the certificate names `invariant` among its proofs.
+    pub fn proves(&self, invariant: &str) -> bool {
+        self.invariants.iter().any(|i| i == invariant)
+    }
+
+    /// Checks that this certificate describes exactly the configuration
+    /// about to be dispatched.
+    pub fn validate_for(
+        &self,
+        fingerprint: u64,
+        nthreads: usize,
+        family: &str,
+        strategy: &str,
+    ) -> Result<(), VerifyError> {
+        if self.fingerprint != fingerprint {
+            return Err(VerifyError::StaleCertificate {
+                field: "fingerprint",
+                expected: self.fingerprint,
+                actual: fingerprint,
+            });
+        }
+        if self.nthreads != nthreads {
+            return Err(VerifyError::StaleCertificate {
+                field: "nthreads",
+                expected: self.nthreads as u64,
+                actual: nthreads as u64,
+            });
+        }
+        if self.family != family {
+            return Err(VerifyError::StaleCertificate {
+                field: "family",
+                expected: str_tag(&self.family),
+                actual: str_tag(family),
+            });
+        }
+        if self.strategy != strategy {
+            return Err(VerifyError::StaleCertificate {
+                field: "strategy",
+                expected: str_tag(&self.strategy),
+                actual: str_tag(strategy),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes to the `key=value` text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str("certificate=race-v1\n");
+        s.push_str(&format!("fingerprint={:#018x}\n", self.fingerprint));
+        s.push_str(&format!("n={}\n", self.n));
+        s.push_str(&format!("nthreads={}\n", self.nthreads));
+        s.push_str(&format!("family={}\n", self.family));
+        s.push_str(&format!("strategy={}\n", self.strategy));
+        s.push_str(&format!("invariants={}\n", self.invariants.join(",")));
+        s.push_str(&format!("direct_rows={}\n", self.direct_rows));
+        s.push_str(&format!("local_elems={}\n", self.local_elems));
+        s.push_str(&format!("conflict_entries={}\n", self.conflict_entries));
+        s
+    }
+
+    /// Parses the text format produced by [`RaceCertificate::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, VerifyError> {
+        let mut cert = RaceCertificate {
+            fingerprint: 0,
+            n: 0,
+            nthreads: 0,
+            family: String::new(),
+            strategy: String::new(),
+            invariants: Vec::new(),
+            direct_rows: 0,
+            local_elems: 0,
+            conflict_entries: 0,
+        };
+        let mut header_seen = false;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| malformed(lineno, line))?;
+            match key {
+                "certificate" => {
+                    if value != "race-v1" {
+                        return Err(malformed(lineno, line));
+                    }
+                    header_seen = true;
+                }
+                "fingerprint" => {
+                    let hex = value.trim_start_matches("0x");
+                    cert.fingerprint =
+                        u64::from_str_radix(hex, 16).map_err(|_| malformed(lineno, line))?;
+                }
+                "n" => cert.n = parse_usize(value, lineno, line)?,
+                "nthreads" => cert.nthreads = parse_usize(value, lineno, line)?,
+                "family" => cert.family = value.to_string(),
+                "strategy" => cert.strategy = value.to_string(),
+                "invariants" => {
+                    cert.invariants = value
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                }
+                "direct_rows" => cert.direct_rows = parse_usize(value, lineno, line)?,
+                "local_elems" => cert.local_elems = parse_usize(value, lineno, line)?,
+                "conflict_entries" => cert.conflict_entries = parse_usize(value, lineno, line)?,
+                _ => return Err(malformed(lineno, line)),
+            }
+        }
+        if !header_seen {
+            return Err(VerifyError::MalformedPlan {
+                reason: "certificate text missing `certificate=race-v1` header".to_string(),
+            });
+        }
+        Ok(cert)
+    }
+}
+
+/// A short stable tag of a string for [`VerifyError::StaleCertificate`]'s
+/// numeric expected/actual slots (FNV-1a, like the matrix fingerprint).
+fn str_tag(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn parse_usize(value: &str, lineno: usize, line: &str) -> Result<usize, VerifyError> {
+    value.parse().map_err(|_| malformed(lineno, line))
+}
+
+fn malformed(lineno: usize, line: &str) -> VerifyError {
+    VerifyError::MalformedPlan {
+        reason: format!("certificate text line {}: `{line}`", lineno + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RaceCertificate {
+        RaceCertificate {
+            fingerprint: 0xdead_beef_1234_5678,
+            n: 1024,
+            nthreads: 4,
+            family: "sym-sss".to_string(),
+            strategy: "idx".to_string(),
+            invariants: vec![
+                "disjoint-direct".to_string(),
+                "effective-region".to_string(),
+                "reduction-slice".to_string(),
+            ],
+            direct_rows: 1024,
+            local_elems: 1536,
+            conflict_entries: 96,
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let cert = sample();
+        let parsed = RaceCertificate::from_text(&cert.to_text()).unwrap();
+        assert_eq!(parsed, cert);
+        assert!(parsed.proves("disjoint-direct"));
+        assert!(!parsed.proves("color-class"));
+        assert!((parsed.density() - 96.0 / 1536.0).abs() == 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_every_mismatch_dimension() {
+        let cert = sample();
+        assert!(cert
+            .validate_for(cert.fingerprint, 4, "sym-sss", "idx")
+            .is_ok());
+        assert!(matches!(
+            cert.validate_for(1, 4, "sym-sss", "idx"),
+            Err(VerifyError::StaleCertificate {
+                field: "fingerprint",
+                ..
+            })
+        ));
+        assert!(matches!(
+            cert.validate_for(cert.fingerprint, 8, "sym-sss", "idx"),
+            Err(VerifyError::StaleCertificate {
+                field: "nthreads",
+                ..
+            })
+        ));
+        assert!(matches!(
+            cert.validate_for(cert.fingerprint, 4, "sym-color", "idx"),
+            Err(VerifyError::StaleCertificate {
+                field: "family",
+                ..
+            })
+        ));
+        assert!(matches!(
+            cert.validate_for(cert.fingerprint, 4, "sym-sss", "eff"),
+            Err(VerifyError::StaleCertificate {
+                field: "strategy",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn malformed_texts_rejected() {
+        for bad in [
+            "",
+            "fingerprint=0x10\nn=4\n",               // missing header
+            "certificate=race-v2\n",                 // wrong version
+            "certificate=race-v1\nn=notanumber\n",   // bad number
+            "certificate=race-v1\nunknown_key=1\n",  // unknown key
+            "certificate=race-v1\nno equals sign\n", // not key=value
+        ] {
+            assert!(
+                matches!(
+                    RaceCertificate::from_text(bad),
+                    Err(VerifyError::MalformedPlan { .. })
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+#![warn(missing_docs)]
+
+//! Race certification for the symmetric SpMV kernels.
+//!
+//! The paper's symmetric kernels are race-free *by construction* — the
+//! local-vectors method gives every thread a private landing zone for
+//! transposed writes, and the reduction phase re-partitions the fold so no
+//! output element is touched twice (§III). This crate turns that
+//! construction argument into a machine-checked artifact, in three layers:
+//!
+//! 1. **Plan-time write-set verifier** ([`writeset`], [`csx_check`]) —
+//!    computes each thread's exact write footprint per phase from the
+//!    matrix structure and the partition plan, and proves disjointness,
+//!    containment and coverage. The proof is a serializable
+//!    [`RaceCertificate`] that `ExecutionContext` memoizes per
+//!    (matrix fingerprint, nthreads, strategy) and kernels re-validate in
+//!    debug builds before every dispatch.
+//! 2. **Shadow-memory race detector** (`symspmv-runtime`'s `race` module,
+//!    behind the `race-detector` feature) — dynamic cross-validation: the
+//!    same corrupted plans the verifier rejects must also produce observed
+//!    write-write collisions when actually dispatched.
+//! 3. **Unsafe-audit lint** ([`audit`]) — every `unsafe` block in the
+//!    workspace must carry a `SAFETY(cert: <invariant>)` comment naming
+//!    one of the invariants the verifier establishes
+//!    ([`audit::KNOWN_INVARIANTS`]), closing the loop between the proofs
+//!    and the code that relies on them.
+
+pub mod audit;
+pub mod certificate;
+pub mod csx_check;
+pub mod error;
+pub mod writeset;
+
+pub use certificate::RaceCertificate;
+pub use csx_check::{certify_csx_chunk, certify_csx_chunks};
+pub use error::VerifyError;
+pub use writeset::{certify_color, certify_rows, certify_sym, SymPlanRef, SymStrategyKind};

@@ -1,0 +1,283 @@
+//! Mutation-kill suite: six deliberately corrupted plans, each of which the
+//! verifier must reject — and each with a *distinct* [`VerifyError`]
+//! variant, proving the taxonomy actually discriminates failure modes
+//! instead of funnelling everything into one generic error.
+
+use std::sync::Arc;
+use symspmv_core::symbolic;
+use symspmv_csx::encode::encode_coo;
+use symspmv_csx::DetectConfig;
+use symspmv_runtime::reduction::{IndexingReduction, ReductionStrategy};
+use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights, Range};
+use symspmv_sparse::{CooMatrix, Permutation, SssMatrix};
+use symspmv_verify::{
+    certify_color, certify_csx_chunk, certify_sym, RaceCertificate, SymPlanRef, SymStrategyKind,
+    VerifyError,
+};
+
+/// A banded symmetric test matrix with cross-partition conflicts.
+fn matrix(n: u32) -> SssMatrix {
+    let coo = symspmv_sparse::gen::banded_random(n, 12, 6.0, 99);
+    SssMatrix::from_coo(&coo, 0.0).unwrap()
+}
+
+struct GoodPlan {
+    parts: Vec<Range>,
+    offsets: Vec<usize>,
+    local_len: usize,
+    entries: Vec<symspmv_runtime::reduction::IndexEntry>,
+    splits: Vec<usize>,
+    row_chunks: Vec<Range>,
+}
+
+/// Derives a correct indexing-strategy plan the mutations start from.
+fn good_plan(sss: &SssMatrix, p: usize) -> GoodPlan {
+    let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), p);
+    let index = symbolic::analyze(sss, &parts);
+    let strategy: Arc<dyn ReductionStrategy> = Arc::new(IndexingReduction);
+    let layout = strategy.layout(sss.n() as usize, &parts);
+    let row_chunks = balanced_ranges(&vec![1u64; sss.n() as usize], p);
+    GoodPlan {
+        parts,
+        offsets: layout.offsets,
+        local_len: layout.flat_len,
+        entries: index.entries,
+        splits: index.splits,
+        row_chunks,
+    }
+}
+
+fn certify(
+    sss: &SssMatrix,
+    plan: &GoodPlan,
+    kind: SymStrategyKind,
+) -> Result<RaceCertificate, VerifyError> {
+    certify_sym(
+        sss,
+        &SymPlanRef {
+            parts: &plan.parts,
+            offsets: &plan.offsets,
+            local_len: plan.local_len,
+            strategy: kind,
+            entries: &plan.entries,
+            splits: &plan.splits,
+            row_chunks: &plan.row_chunks,
+        },
+    )
+}
+
+#[test]
+fn unmutated_plan_certifies() {
+    let sss = matrix(256);
+    let plan = good_plan(&sss, 4);
+    let cert = certify(&sss, &plan, SymStrategyKind::Indexing).unwrap();
+    assert!(cert.proves("disjoint-direct"));
+    assert!(cert.proves("reduction-slice"));
+}
+
+/// Mutation 1 — off-by-one partition boundary: thread 1 starts one row
+/// late, leaving a row nobody owns.
+#[test]
+fn mutation_shifted_boundary_leaves_gap() {
+    let sss = matrix(256);
+    let mut plan = good_plan(&sss, 4);
+    let orphan = plan.parts[1].start;
+    plan.parts[1].start += 1;
+    let err = certify(&sss, &plan, SymStrategyKind::Indexing).unwrap_err();
+    assert_eq!(err, VerifyError::PartitionGap { at: orphan });
+}
+
+/// Mutation 2 — duplicated row: thread 1 reaches one row into thread 0's
+/// partition, so both threads write it directly.
+#[test]
+fn mutation_stolen_row_overlaps_direct_writes() {
+    let sss = matrix(256);
+    let mut plan = good_plan(&sss, 4);
+    plan.parts[1].start -= 1;
+    let err = certify(&sss, &plan, SymStrategyKind::Indexing).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::OverlappingDirectWrites {
+                first: 0,
+                second: 1,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+/// Mutation 3 — bad color: move a row into a class whose rows share one of
+/// its write targets.
+#[test]
+fn mutation_bad_color_conflicts() {
+    let sss = matrix(256);
+    let coloring = symspmv_core::sym_color::color_rows(&sss);
+    assert!(certify_color(&sss, &coloring.classes).is_ok());
+
+    // Find a row coupled to another row and force them into one class.
+    let mut classes = coloring.classes.clone();
+    let (victim, neighbor) = (0..sss.n())
+        .find_map(|r| sss.row(r).0.first().map(|&c| (r, c)))
+        .expect("banded matrix has off-diagonal entries");
+    for class in &mut classes {
+        class.retain(|&r| r != victim);
+    }
+    let home = classes
+        .iter()
+        .position(|c| c.contains(&neighbor))
+        .expect("neighbor is colored");
+    classes[home].push(victim);
+    classes[home].sort_unstable();
+    let err = certify_color(&sss, &classes).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::ColoringConflict { .. }),
+        "{err:?}"
+    );
+}
+
+/// Mutation 4 — straddling CSX pattern: an encoding computed without the
+/// chunk's column split produces a substructure whose transposed writes
+/// fall on both sides of the local-vs-direct boundary.
+#[test]
+fn mutation_straddling_csx_pattern() {
+    let n = 64u32;
+    let mut coo = CooMatrix::new(n, n);
+    // A horizontal run in row 40 crossing the split at 32.
+    for c in 28..36 {
+        coo.push(40, c, 1.0);
+    }
+    let stream = encode_coo(&coo, &DetectConfig::default()); // no col_split
+    let err = certify_csx_chunk(&stream, Range { start: 32, end: n }, 1).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::StraddlingPattern { split: 32, .. }),
+        "{err:?}"
+    );
+
+    // The split-aware encoding of the same rows is accepted.
+    let legal = encode_coo(
+        &coo,
+        &DetectConfig {
+            col_split: Some(32),
+            ..DetectConfig::default()
+        },
+    );
+    certify_csx_chunk(&legal, Range { start: 32, end: n }, 1).unwrap();
+}
+
+/// Mutation 5 — overlapping reduction slice: move a split boundary so two
+/// threads' reduction slices share an `idx` value (both would fold — and
+/// re-zero — the same output element).
+#[test]
+fn mutation_overlapping_reduction_slice() {
+    // Every row couples to row 0, so each non-first partition contributes
+    // an entry with idx 0 and the index groups them adjacently.
+    let n = 64u32;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0);
+    }
+    for r in 1..n {
+        coo.push(r, 0, -1.0);
+        coo.push(0, r, -1.0);
+    }
+    let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+    let mut plan = good_plan(&sss, 4);
+    assert!(plan.entries.iter().filter(|e| e.idx == 0).count() >= 2);
+    assert!(certify(&sss, &plan, SymStrategyKind::Indexing).is_ok());
+
+    // The analyzer placed all idx-0 entries in one slice; force a split
+    // boundary between two of them.
+    plan.splits = vec![
+        0,
+        1,
+        plan.entries.len(),
+        plan.entries.len(),
+        plan.entries.len(),
+    ];
+    let err = certify(&sss, &plan, SymStrategyKind::Indexing).unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::ReductionSliceOverlap {
+            idx: 0,
+            first: 0,
+            second: 1
+        }
+    );
+}
+
+/// Mutation 6 — stale certificate: a certificate minted for the original
+/// numbering is presented after the matrix was renumbered.
+#[test]
+fn mutation_stale_certificate_after_renumbering() {
+    let n = 256u32;
+    let coo = symspmv_sparse::gen::banded_random(n, 12, 6.0, 99);
+    let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+    let plan = good_plan(&sss, 4);
+    let cert = certify(&sss, &plan, SymStrategyKind::Indexing).unwrap();
+    cert.validate_for(sss.fingerprint(), 4, "sym-sss", "idx")
+        .unwrap();
+
+    // Renumber with a reversal permutation; same values, new structure.
+    let order: Vec<u32> = (0..n).rev().collect();
+    let perm = Permutation::from_order(&order).unwrap();
+    let renumbered = SssMatrix::from_coo(&perm.apply_symmetric(&coo).unwrap(), 0.0).unwrap();
+    assert_ne!(sss.fingerprint(), renumbered.fingerprint());
+
+    let err = cert
+        .validate_for(renumbered.fingerprint(), 4, "sym-sss", "idx")
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::StaleCertificate {
+                field: "fingerprint",
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+/// The six mutations map onto six *distinct* variants — the discriminants
+/// of the errors above are pairwise different.
+#[test]
+fn mutations_produce_distinct_variants() {
+    use std::mem::discriminant;
+    let variants = [
+        discriminant(&VerifyError::PartitionGap { at: 0 }),
+        discriminant(&VerifyError::OverlappingDirectWrites {
+            row: 0,
+            first: 0,
+            second: 0,
+        }),
+        discriminant(&VerifyError::ColoringConflict {
+            color: 0,
+            row_a: 0,
+            row_b: 0,
+            target: 0,
+        }),
+        discriminant(&VerifyError::StraddlingPattern {
+            tid: 0,
+            row: 0,
+            col: 0,
+            split: 0,
+        }),
+        discriminant(&VerifyError::ReductionSliceOverlap {
+            idx: 0,
+            first: 0,
+            second: 0,
+        }),
+        discriminant(&VerifyError::StaleCertificate {
+            field: "",
+            expected: 0,
+            actual: 0,
+        }),
+    ];
+    for (i, a) in variants.iter().enumerate() {
+        for b in variants.iter().skip(i + 1) {
+            assert_ne!(a, b);
+        }
+    }
+}

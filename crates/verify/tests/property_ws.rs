@@ -1,0 +1,153 @@
+//! Property test: the verifier's footprint statistics agree with the
+//! paper's working-set models (`ws.rs`, Eq. 3–6) to *exact integer
+//! equality* — the two implementations derive the same quantities through
+//! entirely different code paths (symbolic analysis in `symspmv-core`,
+//! independent structure re-walk in `symspmv-verify`), so agreement on
+//! random partitions is strong evidence both are right.
+
+use std::sync::Arc;
+use symspmv_core::{symbolic, ws};
+use symspmv_runtime::reduction::{
+    EffectiveRangesReduction, IndexingReduction, NaiveReduction, ReductionStrategy,
+};
+use symspmv_runtime::{balanced_ranges, Range};
+use symspmv_sparse::rng::StdRng;
+use symspmv_sparse::suite::generate_suite;
+use symspmv_sparse::SssMatrix;
+use symspmv_verify::{certify_sym, SymPlanRef, SymStrategyKind};
+
+/// A random valid tiling of `0..n` into `p` ranges (possibly with empty
+/// trailing parts, like `balanced_ranges` produces for small matrices).
+fn random_partition(rng: &mut StdRng, n: u32, p: usize) -> Vec<Range> {
+    let mut cuts: Vec<u32> = (0..p - 1).map(|_| rng.random_range(0..n + 1)).collect();
+    cuts.sort_unstable();
+    let mut parts = Vec::with_capacity(p);
+    let mut lo = 0u32;
+    for &cut in &cuts {
+        parts.push(Range {
+            start: lo,
+            end: cut,
+        });
+        lo = cut;
+    }
+    parts.push(Range { start: lo, end: n });
+    parts
+}
+
+fn plan_for(
+    sss: &SssMatrix,
+    parts: &[Range],
+    strategy: &dyn ReductionStrategy,
+) -> (symbolic::ConflictIndex, Vec<usize>, usize) {
+    let nthreads = parts.len();
+    let index = if strategy.needs_index() {
+        symbolic::analyze(sss, parts)
+    } else {
+        symbolic::ConflictIndex {
+            entries: Vec::new(),
+            conflicts: vec![Vec::new(); nthreads],
+            splits: vec![0; nthreads + 1],
+            effective_region_len: parts.iter().map(|r| r.start as usize).sum(),
+        }
+    };
+    let layout = strategy.layout(sss.n() as usize, parts);
+    (index, layout.offsets, layout.flat_len)
+}
+
+#[test]
+fn verifier_statistics_match_ws_models_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+    let naive: Arc<dyn ReductionStrategy> = Arc::new(NaiveReduction);
+    let eff: Arc<dyn ReductionStrategy> = Arc::new(EffectiveRangesReduction);
+    let idx: Arc<dyn ReductionStrategy> = Arc::new(IndexingReduction);
+
+    for m in generate_suite(0.002) {
+        let sss = SssMatrix::from_coo(&m.coo, 0.0).unwrap();
+        let n = sss.n();
+        for p in [2usize, 3, 5, 8] {
+            // One balanced and two random partitions per (matrix, p).
+            let mut partitions = vec![balanced_ranges(&vec![1u64; n as usize], p)];
+            for _ in 0..2 {
+                partitions.push(random_partition(&mut rng, n, p));
+            }
+            for parts in partitions {
+                let row_chunks = balanced_ranges(&vec![1u64; n as usize], p);
+
+                // Indexing: conflict_entries == |index|, local_elems ==
+                // effective_region_len, density identical — so Eq. 5/6
+                // evaluate identically from either side.
+                let (index, offsets, local_len) = plan_for(&sss, &parts, idx.as_ref());
+                let cert = certify_sym(
+                    &sss,
+                    &SymPlanRef {
+                        parts: &parts,
+                        offsets: &offsets,
+                        local_len,
+                        strategy: SymStrategyKind::Indexing,
+                        entries: &index.entries,
+                        splits: &index.splits,
+                        row_chunks: &row_chunks,
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{}/p={p}: {e}", m.spec.name));
+                assert_eq!(cert.conflict_entries, index.entries.len());
+                assert_eq!(cert.local_elems, index.effective_region_len);
+                assert_eq!(
+                    16 * cert.conflict_entries,
+                    ws::ws_indexing(&index),
+                    "{}: Eq. 5/6 working set must match",
+                    m.spec.name
+                );
+                assert!((cert.density() - index.density()).abs() == 0.0);
+
+                // Effective ranges: local_elems == Σ start_i == Eq. 4 exact.
+                let (index_e, offsets, local_len) = plan_for(&sss, &parts, eff.as_ref());
+                let cert = certify_sym(
+                    &sss,
+                    &SymPlanRef {
+                        parts: &parts,
+                        offsets: &offsets,
+                        local_len,
+                        strategy: SymStrategyKind::EffectiveRanges,
+                        entries: &[],
+                        splits: &[],
+                        row_chunks: &row_chunks,
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{}/p={p}: {e}", m.spec.name));
+                assert_eq!(
+                    ws::ws_effective_exact(cert.local_elems),
+                    ws::ws_effective_exact(index_e.effective_region_len),
+                    "{}: Eq. 4 exact working set must match",
+                    m.spec.name
+                );
+                assert_eq!(
+                    8 * cert.local_elems,
+                    ws::ws_effective_exact(cert.local_elems)
+                );
+
+                // Naive: local_elems == p·N, so Eq. 3 is 8·local_elems.
+                let (_, offsets, local_len) = plan_for(&sss, &parts, naive.as_ref());
+                let cert = certify_sym(
+                    &sss,
+                    &SymPlanRef {
+                        parts: &parts,
+                        offsets: &offsets,
+                        local_len,
+                        strategy: SymStrategyKind::Naive,
+                        entries: &[],
+                        splits: &[],
+                        row_chunks: &row_chunks,
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{}/p={p}: {e}", m.spec.name));
+                assert_eq!(
+                    8 * cert.local_elems,
+                    ws::ws_naive(p, n as usize),
+                    "{}: Eq. 3 working set must match",
+                    m.spec.name
+                );
+            }
+        }
+    }
+}
