@@ -1,7 +1,7 @@
 //! Fig. 14 analog: fixed-iteration CG cost per storage format on an
 //! RCM-reordered structural matrix.
 
-use symspmv_bench::{black_box, group};
+use symspmv_bench::{black_box, Target};
 use symspmv_harness::kernels::{build_kernel, KernelSpec};
 use symspmv_reorder::rcm::rcm_reorder;
 use symspmv_runtime::ExecutionContext;
@@ -21,12 +21,20 @@ fn main() {
     };
 
     let ctx = ExecutionContext::new(4);
-    let mut g = group("cg_32iters/bmw7st_1_rcm");
-    g.sample_size(10);
+    let mut t = Target::new("cg");
+    let mut g = t.group("cg_32iters/bmw7st_1_rcm");
+    // The solver accounts multiply/reduce/vector-ops through the context
+    // ledger, so the breakdown comes from snapshots around each row.
+    g.sample_size(10).context(&ctx);
     for spec in KernelSpec::figure11_lineup() {
         // Kernel construction (preprocessing) stays outside the timed loop,
         // matching Fig. 14's separate preprocessing bar.
         let mut k = build_kernel(spec, &coo, &ctx).unwrap();
+        // 32 CG iterations: one SpMV plus the vector-op tail each.
+        g.model(
+            cfg.max_iters as u64 * 2 * k.nnz_full() as u64,
+            cfg.max_iters as u64 * (k.size_bytes() + 16 * n) as u64,
+        );
         g.bench_function(spec.name(), |bch| {
             bch.iter(|| {
                 let mut x = vec![0.0; n];
@@ -35,4 +43,5 @@ fn main() {
         });
     }
     g.finish();
+    t.finish().unwrap();
 }

@@ -1,7 +1,7 @@
 //! Table I / §V-E analog: CSX-Sym preprocessing (detection + encoding)
 //! cost, with the serial CSR SpMV as the comparison unit the paper uses.
 
-use symspmv_bench::{black_box, group};
+use symspmv_bench::{black_box, Target};
 use symspmv_csx::detect::DetectConfig;
 use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights};
 use symspmv_sparse::dense::seeded_vector;
@@ -9,11 +9,12 @@ use symspmv_sparse::suite;
 use symspmv_sparse::{CsrMatrix, SssMatrix};
 
 fn main() {
+    let mut t = Target::new("csx_encode");
     for name in ["bmw7st_1", "parabolic_fem"] {
         let m = suite::generate(suite::spec_by_name(name).unwrap(), 0.003);
         let sss = SssMatrix::from_coo(&m.coo, 0.0).unwrap();
         let parts = balanced_ranges(&symmetric_row_weights(sss.rowptr()), 4);
-        let mut g = group(format!("csx_encode/{name}"));
+        let mut g = t.group(format!("csx_encode/{name}"));
         g.sample_size(10);
 
         // The preprocessing itself (what §V-E prices in serial SpMVs).
@@ -36,6 +37,8 @@ fn main() {
         let n = csr.nrows() as usize;
         let mut x = seeded_vector(n, 1);
         let mut y = vec![0.0; n];
+        g.throughput_elements(m.coo.nnz() as u64);
+        g.model(2 * m.coo.nnz() as u64, (csr.size_bytes() + 16 * n) as u64);
         g.bench_function("serial_csr_spmv_unit", |b| {
             b.iter(|| {
                 csr.spmv(&x, &mut y);
@@ -44,4 +47,5 @@ fn main() {
         });
         g.finish();
     }
+    t.finish().unwrap();
 }

@@ -2,7 +2,7 @@
 //! storage, at a multithreaded configuration where the reduction cost
 //! separates them.
 
-use symspmv_bench::group;
+use symspmv_bench::Target;
 use symspmv_core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::dense::seeded_vector;
@@ -10,10 +10,11 @@ use symspmv_sparse::suite;
 
 fn main() {
     let ctx = ExecutionContext::new(4);
+    let mut t = Target::new("reduction_methods");
     for name in ["hood", "G3_circuit"] {
         let m = suite::generate(suite::spec_by_name(name).unwrap(), 0.004);
         let n = m.coo.nrows() as usize;
-        let mut g = group(format!("reduction_methods/{name}"));
+        let mut g = t.group(format!("reduction_methods/{name}"));
         g.sample_size(20).throughput_elements(m.coo.nnz() as u64);
         for method in [
             ReductionMethod::Naive,
@@ -23,13 +24,18 @@ fn main() {
             let mut k = SymSpmv::from_coo(&m.coo, &ctx, method, SymFormat::Sss).unwrap();
             let mut x = seeded_vector(n, 1);
             let mut y = vec![0.0; n];
+            g.model(2 * k.nnz_full() as u64, (k.size_bytes() + 16 * n) as u64);
+            k.reset_times();
             g.bench_function(method.tag(), |b| {
                 b.iter(|| {
                     k.spmv(&x, &mut y);
                     std::mem::swap(&mut x, &mut y);
                 })
             });
+            // The multiply/reduce split is the entire point of Fig. 10.
+            g.phases_for_last(k.times());
         }
         g.finish();
     }
+    t.finish().unwrap();
 }

@@ -2,7 +2,7 @@
 //! alternatives (BCSR, CSB, symmetric CSB, pure atomics) on one structural
 //! and one high-bandwidth matrix.
 
-use symspmv_bench::group;
+use symspmv_bench::Target;
 use symspmv_harness::kernels::{build_kernel, KernelSpec};
 use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::dense::seeded_vector;
@@ -10,22 +10,27 @@ use symspmv_sparse::suite;
 
 fn main() {
     let ctx = ExecutionContext::new(4);
+    let mut t = Target::new("related_work");
     for name in ["bmw7st_1", "G3_circuit"] {
         let m = suite::generate(suite::spec_by_name(name).unwrap(), 0.004);
         let n = m.coo.nrows() as usize;
-        let mut g = group(format!("related_work/{name}"));
+        let mut g = t.group(format!("related_work/{name}"));
         g.sample_size(15).throughput_elements(m.coo.nnz() as u64);
         for spec in KernelSpec::related_work_lineup() {
             let mut k = build_kernel(spec, &m.coo, &ctx).unwrap();
             let mut x = seeded_vector(n, 1);
             let mut y = vec![0.0; n];
+            g.model(2 * k.nnz_full() as u64, (k.size_bytes() + 16 * n) as u64);
+            k.reset_times();
             g.bench_function(spec.name(), |b| {
                 b.iter(|| {
                     k.spmv(&x, &mut y);
                     std::mem::swap(&mut x, &mut y);
                 })
             });
+            g.phases_for_last(k.times());
         }
         g.finish();
     }
+    t.finish().unwrap();
 }

@@ -1,7 +1,7 @@
 //! Table III / Fig. 13 analog: the RCM reordering cost itself, and
 //! symmetric SpMV before vs after reordering on a high-bandwidth matrix.
 
-use symspmv_bench::{black_box, group};
+use symspmv_bench::{black_box, Target};
 use symspmv_core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv_reorder::rcm::rcm_reorder;
 use symspmv_runtime::ExecutionContext;
@@ -12,7 +12,8 @@ fn main() {
     let m = suite::generate(suite::spec_by_name("thermal2").unwrap(), 0.004);
     let n = m.coo.nrows() as usize;
 
-    let mut g = group("reorder");
+    let mut t = Target::new("reorder");
+    let mut g = t.group("reorder");
     g.sample_size(10).throughput_elements(m.coo.nnz() as u64);
 
     g.bench_function("rcm_compute", |b| {
@@ -26,12 +27,16 @@ fn main() {
             SymSpmv::from_coo(coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
         let mut x = seeded_vector(n, 1);
         let mut y = vec![0.0; n];
+        g.model(2 * k.nnz_full() as u64, (k.size_bytes() + 16 * n) as u64);
+        k.reset_times();
         g.bench_function(format!("sss_idx_spmv/{label}"), |b| {
             b.iter(|| {
                 k.spmv(&x, &mut y);
                 std::mem::swap(&mut x, &mut y);
             })
         });
+        g.phases_for_last(k.times());
     }
     g.finish();
+    t.finish().unwrap();
 }

@@ -2,7 +2,7 @@
 //! The paper's claim is that the naive reduction's cost grows with the
 //! thread count while the indexing scheme's stays flat.
 
-use symspmv_bench::group;
+use symspmv_bench::Target;
 use symspmv_core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::dense::seeded_vector;
@@ -11,7 +11,8 @@ use symspmv_sparse::suite;
 fn main() {
     let m = suite::generate(suite::spec_by_name("offshore").unwrap(), 0.006);
     let n = m.coo.nrows() as usize;
-    let mut g = group("scaling/offshore");
+    let mut t = Target::new("scaling");
+    let mut g = t.group("scaling/offshore");
     g.sample_size(15).throughput_elements(m.coo.nnz() as u64);
     for p in [1usize, 2, 4, 8] {
         let ctx = ExecutionContext::new(p);
@@ -19,13 +20,18 @@ fn main() {
             let mut k = SymSpmv::from_coo(&m.coo, &ctx, method, SymFormat::Sss).unwrap();
             let mut x = seeded_vector(n, 1);
             let mut y = vec![0.0; n];
+            g.model(2 * k.nnz_full() as u64, (k.size_bytes() + 16 * n) as u64);
+            k.reset_times();
             g.bench_function(format!("{}/p={p}", method.tag()), |b| {
                 b.iter(|| {
                     k.spmv(&x, &mut y);
                     std::mem::swap(&mut x, &mut y);
                 })
             });
+            // Reduce-phase share per thread count is the Fig. 9 story.
+            g.phases_for_last(k.times());
         }
     }
     g.finish();
+    t.finish().unwrap();
 }

@@ -1,0 +1,356 @@
+//! `bench-ci` — the perf regression gate.
+//!
+//! Runs a curated smoke subset of the bench suite on small deterministic
+//! suite matrices, emits `BENCH_ci.json`, and compares the result against
+//! the committed `bench/baseline.json` under the noise-robust rule in
+//! [`symspmv_bench::regress`].
+//!
+//! Exit codes: `0` within noise, `1` regression (or lost coverage, or a
+//! failed self-test), `2` usage/IO error, `3` improvement or new bench —
+//! refresh the baseline with `--write-baseline`.
+//!
+//! ```text
+//! cargo run --release -p symspmv-bench --bin bench-ci                  # gate
+//! cargo run --release -p symspmv-bench --bin bench-ci -- --write-baseline
+//! cargo run --release -p symspmv-bench --bin bench-ci -- --self-test   # gate the gate
+//! ```
+//!
+//! `SYMSPMV_BENCH_SAMPLES` pins the per-bench sample count (CI sets it for
+//! determinism), `SYMSPMV_BENCH_DIR` the artifact directory, and
+//! `SYMSPMV_BENCH_RTOL` / `SYMSPMV_BENCH_MADK` the gate tolerances.
+
+use std::path::PathBuf;
+
+use symspmv_bench::regress::{compare, GateConfig, Verdict};
+use symspmv_bench::{bench_dir, black_box, write_report, Target};
+use symspmv_core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
+use symspmv_harness::kernels::{build_kernel, KernelSpec};
+use symspmv_harness::ledger::{BenchReport, SampleSet};
+use symspmv_harness::machine::MachineInfo;
+use symspmv_harness::report::ledger_table;
+use symspmv_runtime::ExecutionContext;
+use symspmv_solver::{cg, CgConfig};
+use symspmv_sparse::dense::seeded_vector;
+use symspmv_sparse::suite;
+
+/// Default committed baseline location, relative to the workspace root.
+const BASELINE: &str = "bench/baseline.json";
+
+fn main() {
+    std::process::exit(run());
+}
+
+struct Args {
+    write_baseline: bool,
+    self_test: bool,
+    baseline: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        write_baseline: false,
+        self_test: false,
+        baseline: PathBuf::from(BASELINE),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--write-baseline" => args.write_baseline = true,
+            "--self-test" => args.self_test = true,
+            "--baseline" => {
+                args.baseline = it
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--baseline needs a path")?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bench-ci: perf smoke benches + statistical regression gate\n\n\
+                     \t--write-baseline   run the smoke suite and (re)write the baseline\n\
+                     \t--baseline PATH    baseline to gate against (default {BASELINE})\n\
+                     \t--self-test        verify the gate trips on synthetic shifts\n\n\
+                     exit codes: 0 ok, 1 regression, 2 usage/io, 3 refresh baseline"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> i32 {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench-ci: {e}");
+            return 2;
+        }
+    };
+
+    if args.self_test {
+        return self_test();
+    }
+
+    let report = run_smoke();
+    println!("\n{}", ledger_table(&report).render());
+
+    // Always emit the artifact, gate or not — CI uploads it either way.
+    match write_report(&report, &bench_dir()) {
+        Ok(path) => println!("ledger: {}", path.display()),
+        Err(e) => {
+            eprintln!("bench-ci: cannot write ledger: {e}");
+            return 2;
+        }
+    }
+
+    if args.write_baseline {
+        if let Some(dir) = args.baseline.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("bench-ci: cannot create {}: {e}", dir.display());
+                return 2;
+            }
+        }
+        let text = match report.to_json() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-ci: cannot serialize baseline: {e}");
+                return 2;
+            }
+        };
+        if let Err(e) = std::fs::write(&args.baseline, text) {
+            eprintln!("bench-ci: cannot write {}: {e}", args.baseline.display());
+            return 2;
+        }
+        println!("baseline written: {}", args.baseline.display());
+        return 0;
+    }
+
+    let baseline_text = match std::fs::read_to_string(&args.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench-ci: cannot read baseline {}: {e}\n\
+                 seed one with `cargo run --release -p symspmv-bench --bin bench-ci -- --write-baseline`",
+                args.baseline.display()
+            );
+            return 2;
+        }
+    };
+    let baseline = match BenchReport::from_json(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-ci: baseline is not a valid ledger: {e}");
+            return 2;
+        }
+    };
+
+    let cfg = GateConfig::from_env();
+    println!(
+        "gate: rel_tol={:.0}%, mad_k={}, floor={:.0}ns (baseline rev {})",
+        cfg.rel_tol * 100.0,
+        cfg.mad_k,
+        cfg.abs_floor * 1e9,
+        baseline.machine.git_rev
+    );
+    let cmp = compare(&baseline, &report, &cfg);
+    println!("\n{}", cmp.table().render());
+    println!("{}", cmp.summary());
+    match cmp.exit_code() {
+        0 => println!("gate: PASS"),
+        1 => println!("gate: FAIL — median shifted beyond the noise band"),
+        3 => println!("gate: IMPROVED — refresh bench/baseline.json with --write-baseline"),
+        _ => {}
+    }
+    cmp.exit_code()
+}
+
+/// The curated smoke subset: small, deterministic, one representative per
+/// measurement family (format lineup, reduction methods, solver).
+fn run_smoke() -> BenchReport {
+    let mut t = Target::new("ci");
+    let ctx = ExecutionContext::new(2);
+
+    // Family 1: the Fig. 11 format lineup on a structural matrix.
+    let m = suite::generate(
+        suite::spec_by_name("hood").unwrap_or(&suite::SUITE[0]),
+        0.004,
+    );
+    let n = m.coo.nrows() as usize;
+    {
+        let mut g = t.group("ci/spmv/hood");
+        g.throughput_elements(m.coo.nnz() as u64);
+        for spec in [
+            KernelSpec::Csr,
+            KernelSpec::Sss(ReductionMethod::Indexing),
+            KernelSpec::CsxSym(ReductionMethod::Indexing),
+        ] {
+            let Ok(mut k) = build_kernel(spec, &m.coo, &ctx) else {
+                continue; // surfaces as a Vanished row against the baseline
+            };
+            let mut x = seeded_vector(n, 1);
+            let mut y = vec![0.0; n];
+            g.model(2 * k.nnz_full() as u64, (k.size_bytes() + 16 * n) as u64);
+            k.reset_times();
+            g.bench_function(spec.name(), |b| {
+                b.iter(|| {
+                    k.spmv(&x, &mut y);
+                    std::mem::swap(&mut x, &mut y);
+                })
+            });
+            g.phases_for_last(k.times());
+        }
+        g.finish();
+    }
+
+    // Family 2: the three reduction methods on a scattered matrix.
+    let m2 = suite::generate(
+        suite::spec_by_name("G3_circuit").unwrap_or(&suite::SUITE[0]),
+        0.002,
+    );
+    let n2 = m2.coo.nrows() as usize;
+    {
+        let mut g = t.group("ci/reduction/G3_circuit");
+        g.throughput_elements(m2.coo.nnz() as u64);
+        for method in [
+            ReductionMethod::Naive,
+            ReductionMethod::EffectiveRanges,
+            ReductionMethod::Indexing,
+        ] {
+            let Ok(mut k) = SymSpmv::from_coo(&m2.coo, &ctx, method, SymFormat::Sss) else {
+                continue;
+            };
+            let mut x = seeded_vector(n2, 1);
+            let mut y = vec![0.0; n2];
+            g.model(2 * k.nnz_full() as u64, (k.size_bytes() + 16 * n2) as u64);
+            k.reset_times();
+            g.bench_function(method.tag(), |b| {
+                b.iter(|| {
+                    k.spmv(&x, &mut y);
+                    std::mem::swap(&mut x, &mut y);
+                })
+            });
+            g.phases_for_last(k.times());
+        }
+        g.finish();
+    }
+
+    // Family 3: a short fixed-iteration CG solve (vector-op phases come
+    // from the context ledger).
+    {
+        let mut g = t.group("ci/cg/hood");
+        g.context(&ctx);
+        let cfg = CgConfig {
+            max_iters: 8,
+            rel_tol: 0.0,
+            record_history: false,
+        };
+        if let Ok(mut k) =
+            SymSpmv::from_coo(&m.coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss)
+        {
+            let b_vec = seeded_vector(n, 5);
+            g.model(
+                cfg.max_iters as u64 * 2 * k.nnz_full() as u64,
+                cfg.max_iters as u64 * (k.size_bytes() + 16 * n) as u64,
+            );
+            g.bench_function("sss-idx", |bch| {
+                bch.iter(|| {
+                    let mut x = vec![0.0; n];
+                    black_box(cg(&mut k, &b_vec, &mut x, &cfg))
+                })
+            });
+        }
+        g.finish();
+    }
+
+    t.report()
+}
+
+/// Verifies the gate itself on synthetic distributions: a known median
+/// shift must trip it, a within-noise shift must pass, and an improvement
+/// must produce the update-baseline exit code. Exit 0 when all three hold.
+fn self_test() -> i32 {
+    fn synth(id: &str, median_us: f64) -> SampleSet {
+        let m = median_us * 1e-6;
+        SampleSet {
+            group: "selftest".into(),
+            id: id.into(),
+            iters: 100,
+            samples: vec![0.98 * m, 0.99 * m, m, 1.01 * m, 1.02 * m],
+            elements: None,
+            flops: None,
+            bytes: None,
+            phases: None,
+        }
+    }
+    fn rep(samples: Vec<SampleSet>) -> BenchReport {
+        BenchReport {
+            target: "selftest".into(),
+            machine: MachineInfo::for_tests(),
+            samples,
+        }
+    }
+
+    let cfg = GateConfig::default();
+    let base = rep(vec![
+        synth("shifted", 100.0),
+        synth("steady", 100.0),
+        synth("faster", 100.0),
+    ]);
+    // +60 % regression, +5 % noise, −50 % improvement.
+    let cur = rep(vec![
+        synth("shifted", 160.0),
+        synth("steady", 105.0),
+        synth("faster", 50.0),
+    ]);
+
+    let cmp = compare(&base, &cur, &cfg);
+    println!("{}", cmp.table().render());
+    let verdict_of = |id: &str| {
+        cmp.rows
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.verdict)
+            .unwrap_or(Verdict::NoData)
+    };
+
+    let mut ok = true;
+    let mut check = |what: &str, got: bool| {
+        println!("self-test: {what}: {}", if got { "ok" } else { "FAIL" });
+        ok &= got;
+    };
+    check(
+        "synthetic +60% median shift trips the gate",
+        verdict_of("shifted") == Verdict::Regression,
+    );
+    check(
+        "within-noise +5% shift passes",
+        verdict_of("steady") == Verdict::Pass,
+    );
+    check(
+        "−50% improvement detected",
+        verdict_of("faster") == Verdict::Improvement,
+    );
+    check("regression dominates the exit code", cmp.exit_code() == 1);
+    let improved_only = compare(
+        &rep(vec![synth("faster", 100.0)]),
+        &rep(vec![synth("faster", 50.0)]),
+        &cfg,
+    );
+    check(
+        "improvement-only run requests a baseline refresh (exit 3)",
+        improved_only.exit_code() == 3,
+    );
+    let vanished = compare(&base, &rep(vec![synth("steady", 100.0)]), &cfg);
+    check(
+        "lost bench coverage fails the gate",
+        vanished.exit_code() == 1,
+    );
+
+    if ok {
+        println!("self-test: all gate behaviours verified");
+        0
+    } else {
+        1
+    }
+}

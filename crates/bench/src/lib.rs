@@ -3,15 +3,29 @@
 //!
 //! The build environment is offline, so the usual criterion dependency is
 //! replaced by this small shim that keeps the slice of its API the bench
-//! binaries use: named groups, per-function samples with a calibration
-//! pass, and element throughput. Each bench target is a plain `fn main`
-//! binary (`harness = false`) that regenerates one table or figure of the
-//! paper; the heavy lifting lives in `symspmv-harness`.
+//! binaries use — named groups, per-function samples with a calibration
+//! pass, element throughput — and adds what criterion never had here: a
+//! **structured ledger**. Every [`BenchGroup::bench_function`] run records
+//! a [`SampleSet`] (all raw samples, the size model for GFLOP/s and
+//! effective GB/s, optional per-phase breakdown), and [`Target::finish`]
+//! serializes the machine-annotated [`BenchReport`] to
+//! `BENCH_<target>.json` next to the human-readable stdout table. The
+//! `bench-ci` binary replays a smoke subset of these records against
+//! `bench/baseline.json` (see [`regress`]).
 //!
 //! Sample counts can be overridden with `SYMSPMV_BENCH_SAMPLES` (useful
-//! for smoke-running every target quickly: set it to `2`).
+//! for smoke-running every target quickly: set it to `2`); the emission
+//! directory with `SYMSPMV_BENCH_DIR` (default: current directory).
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use symspmv_harness::ledger::{BenchReport, PhaseBreakdown, SampleSet};
+use symspmv_harness::machine::MachineInfo;
+use symspmv_runtime::{ExecutionContext, PhaseTimes};
+
+pub mod regress;
 
 /// Re-export of the compiler fence against dead-code elimination.
 pub fn black_box<T>(x: T) -> T {
@@ -35,24 +49,94 @@ impl Bencher {
     }
 }
 
-/// A named collection of benchmark functions sharing display settings.
-pub struct BenchGroup {
-    sample_size: usize,
-    elements: Option<u64>,
+/// One bench binary's run: collects every group's [`SampleSet`] and writes
+/// the `BENCH_<name>.json` artifact at the end.
+pub struct Target {
+    name: String,
+    samples: Vec<SampleSet>,
 }
 
-/// Opens a benchmark group and prints its header.
-pub fn group(name: impl Into<String>) -> BenchGroup {
-    let name = name.into();
-    println!("\n{name}");
-    println!(
-        "{:<44} {:>12} {:>12}",
-        "  benchmark", "median/iter", "best/iter"
-    );
-    BenchGroup {
-        sample_size: default_samples(10),
-        elements: None,
+impl Target {
+    /// Opens a ledger for the named bench target.
+    pub fn new(name: impl Into<String>) -> Target {
+        Target {
+            name: name.into(),
+            samples: Vec::new(),
+        }
     }
+
+    /// Opens a benchmark group and prints its header.
+    pub fn group(&mut self, name: impl Into<String>) -> BenchGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        println!(
+            "{:<44} {:>12} {:>12}",
+            "  benchmark", "median/iter", "best/iter"
+        );
+        BenchGroup {
+            target: self,
+            name,
+            sample_size: default_samples(10),
+            elements: None,
+            flops: None,
+            bytes: None,
+            ctx: None,
+            last_total_iters: 0,
+        }
+    }
+
+    /// The machine-annotated report accumulated so far (consumes the
+    /// target; used by `bench-ci`, which compares in-memory).
+    pub fn report(self) -> BenchReport {
+        BenchReport {
+            target: self.name,
+            machine: MachineInfo::detect(),
+            samples: self.samples,
+        }
+    }
+
+    /// Serializes the report into `dir/BENCH_<target>.json`.
+    pub fn write_to(self, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+        let report = self.report();
+        write_report(&report, dir)
+    }
+
+    /// Serializes the report into `$SYMSPMV_BENCH_DIR/BENCH_<target>.json`
+    /// (current directory when unset) and prints the path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let path = self.write_to(&bench_dir())?;
+        println!("\nledger: {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Writes an already-built report into `dir` under its canonical name.
+pub fn write_report(report: &BenchReport, dir: &std::path::Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(report.file_name());
+    let text = report.to_json().map_err(std::io::Error::other)?;
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// The bench artifact directory: `SYMSPMV_BENCH_DIR` or `.`.
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os("SYMSPMV_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// A named collection of benchmark functions sharing display settings and
+/// recording into the parent [`Target`]'s ledger.
+pub struct BenchGroup<'a> {
+    target: &'a mut Target,
+    name: String,
+    sample_size: usize,
+    elements: Option<u64>,
+    flops: Option<u64>,
+    bytes: Option<u64>,
+    ctx: Option<Arc<ExecutionContext>>,
+    last_total_iters: u64,
 }
 
 fn default_samples(fallback: usize) -> usize {
@@ -68,7 +152,7 @@ const TARGET_SAMPLE: Duration = Duration::from_millis(5);
 /// Upper bound on calibrated iterations per sample.
 const MAX_ITERS: u64 = 10_000;
 
-impl BenchGroup {
+impl BenchGroup<'_> {
     /// Number of timed samples per bench function (env override wins).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = default_samples(n);
@@ -76,12 +160,33 @@ impl BenchGroup {
     }
 
     /// Report element throughput (e.g. non-zeros per second) per function.
+    /// Sticky for the whole group.
     pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
         self.elements = Some(n);
         self
     }
 
-    /// Calibrates, samples, and prints one result row.
+    /// Declares the size model of the **next** `bench_function` call:
+    /// floating-point operations and bytes moved per iteration. One-shot —
+    /// each kernel's storage size differs, so a stale model must not leak
+    /// onto the next row.
+    pub fn model(&mut self, flops_per_iter: u64, bytes_per_iter: u64) -> &mut Self {
+        self.flops = Some(flops_per_iter);
+        self.bytes = Some(bytes_per_iter);
+        self
+    }
+
+    /// Attaches an execution context whose [`PhaseTimes`] ledger is
+    /// snapshot-and-reset around every `bench_function`, recording the
+    /// per-phase breakdown of routines that account through the context
+    /// (the CG solver does). Kernels that keep kernel-local accumulators
+    /// use [`BenchGroup::phases_for_last`] instead.
+    pub fn context(&mut self, ctx: &Arc<ExecutionContext>) -> &mut Self {
+        self.ctx = Some(Arc::clone(ctx));
+        self
+    }
+
+    /// Calibrates, samples, records one [`SampleSet`], and prints one row.
     pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut routine: F)
     where
         F: FnMut(&mut Bencher),
@@ -97,6 +202,12 @@ impl BenchGroup {
             .max(1)
             .min(MAX_ITERS as u128) as u64;
 
+        // Phase accounting starts after the warm-up so a context-attached
+        // breakdown covers exactly the timed iterations.
+        if let Some(ctx) = &self.ctx {
+            let _ = ctx.take_snapshot();
+        }
+
         let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let mut b = Bencher {
@@ -106,36 +217,68 @@ impl BenchGroup {
             routine(&mut b);
             samples.push(b.elapsed.as_secs_f64() / iters as f64);
         }
-        samples.sort_by(f64::total_cmp);
-        let median = samples[samples.len() / 2];
-        let best = samples[0];
 
-        let mut line = format!(
-            "  {:<42} {:>12} {:>12}",
-            id.to_string(),
-            fmt_time(median),
-            fmt_time(best)
-        );
-        if let Some(e) = self.elements {
-            line.push_str(&format!("  {:>9.1} Melem/s", e as f64 / median / 1e6));
+        let timed_iters = iters * self.sample_size as u64;
+        self.last_total_iters = timed_iters + 1; // + the calibration pass
+        let phases = self
+            .ctx
+            .as_ref()
+            .map(|ctx| PhaseBreakdown::from_times(&ctx.take_snapshot(), timed_iters));
+
+        let set = SampleSet {
+            group: self.name.clone(),
+            id: id.to_string(),
+            iters,
+            samples,
+            elements: self.elements,
+            flops: self.flops.take(),
+            bytes: self.bytes.take(),
+            phases,
+        };
+        print_row(&set);
+        self.target.samples.push(set);
+    }
+
+    /// Attaches a kernel-local [`PhaseTimes`] accumulation to the most
+    /// recent `bench_function` row. The caller resets the kernel's
+    /// accumulators *before* the `bench_function` call, so the breakdown
+    /// covers the calibration pass plus every timed iteration.
+    pub fn phases_for_last(&mut self, times: PhaseTimes) {
+        let iters = self.last_total_iters;
+        if let Some(last) = self.target.samples.last_mut() {
+            last.phases = Some(PhaseBreakdown::from_times(&times, iters));
         }
-        println!("{line}");
     }
 
     /// Closes the group (header/footer symmetry with the criterion API).
     pub fn finish(self) {}
 }
 
-fn fmt_time(secs: f64) -> String {
-    if secs < 1e-6 {
-        format!("{:.1} ns", secs * 1e9)
-    } else if secs < 1e-3 {
-        format!("{:.2} µs", secs * 1e6)
-    } else if secs < 1.0 {
-        format!("{:.3} ms", secs * 1e3)
-    } else {
-        format!("{secs:.3} s")
+fn print_row(set: &SampleSet) {
+    let Some(stats) = set.stats() else {
+        println!("  {:<42} {:>12}", set.id, "no samples");
+        return;
+    };
+    let mut line = format!(
+        "  {:<42} {:>12} {:>12}",
+        set.id,
+        fmt_time(stats.median),
+        fmt_time(stats.min)
+    );
+    if let Some(e) = set.elements {
+        line.push_str(&format!("  {:>9.1} Melem/s", e as f64 / stats.median / 1e6));
     }
+    if let Some(g) = set.gflops() {
+        line.push_str(&format!("  {g:>6.2} GFLOP/s"));
+    }
+    if let Some(g) = set.effective_gbs() {
+        line.push_str(&format!("  {g:>6.2} GB/s"));
+    }
+    println!("{line}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    symspmv_harness::report::fmt_secs(secs)
 }
 
 #[cfg(test)]
@@ -143,9 +286,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn calibration_and_reporting_run() {
-        let mut g = group("selftest");
+    fn calibration_and_recording_run() {
+        let mut t = Target::new("selftest");
+        let mut g = t.group("selftest/group");
         g.sample_size(2).throughput_elements(1000);
+        g.model(2000, 16_000);
         let mut calls = 0u64;
         g.bench_function("noop", |b| {
             b.iter(|| {
@@ -153,15 +298,78 @@ mod tests {
                 black_box(calls)
             })
         });
-        assert!(calls > 0);
+        // A second function without a model must not inherit the first's.
+        g.bench_function("noop2", |b| b.iter(|| black_box(1)));
         g.finish();
+        assert!(calls > 0);
+
+        let report = t.report();
+        assert_eq!(report.target, "selftest");
+        assert_eq!(report.samples.len(), 2);
+        let first = &report.samples[0];
+        assert_eq!(first.group, "selftest/group");
+        assert_eq!(first.id, "noop");
+        assert_eq!(first.samples.len(), 2);
+        assert_eq!(first.flops, Some(2000));
+        assert!(first.gflops().is_some());
+        let second = &report.samples[1];
+        assert_eq!(second.flops, None, "model must be one-shot");
+        assert_eq!(second.elements, Some(1000), "elements are sticky");
     }
 
     #[test]
-    fn time_formatting_spans_units() {
-        assert!(fmt_time(5e-9).ends_with("ns"));
-        assert!(fmt_time(5e-6).ends_with("µs"));
-        assert!(fmt_time(5e-3).ends_with("ms"));
-        assert!(fmt_time(5.0).ends_with('s'));
+    fn context_attachment_records_phase_breakdown() {
+        let ctx = ExecutionContext::new(1);
+        let mut t = Target::new("phases");
+        let mut g = t.group("phases/group");
+        g.sample_size(2).context(&ctx);
+        g.bench_function("ledgered", |b| {
+            b.iter(|| {
+                let mut delta = PhaseTimes::new();
+                delta.multiply = Duration::from_micros(50);
+                ctx.ledger_add(&delta);
+            })
+        });
+        let report = t.report();
+        let phases = report.samples[0].phases.expect("phase breakdown recorded");
+        assert!(phases.multiply > 0.0);
+        assert_eq!(phases.reduce, 0.0);
+        assert!(phases.iters >= 2);
+        // The snapshot drained the context ledger.
+        assert_eq!(ctx.ledger(), PhaseTimes::new());
+    }
+
+    #[test]
+    fn explicit_phase_attachment_lands_on_last_row() {
+        let mut t = Target::new("explicit");
+        let mut g = t.group("explicit/group");
+        g.sample_size(2);
+        g.bench_function("k", |b| b.iter(|| black_box(7)));
+        let mut times = PhaseTimes::new();
+        times.multiply = Duration::from_millis(3);
+        times.preprocess = Duration::from_millis(1);
+        g.phases_for_last(times);
+        let report = t.report();
+        let phases = report.samples[0].phases.expect("attached");
+        assert!((phases.multiply - 0.003).abs() < 1e-9);
+        assert!(phases.iters >= 3, "covers calibration + timed iterations");
+    }
+
+    #[test]
+    fn target_writes_parseable_ledger_artifact() {
+        let dir = std::env::temp_dir().join(format!("symspmv_bench_{}", std::process::id()));
+        let mut t = Target::new("artifact");
+        let mut g = t.group("artifact/group");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| black_box(0)));
+        g.finish();
+        let path = t.write_to(&dir).expect("ledger written");
+        assert!(path.ends_with("BENCH_artifact.json"));
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let parsed = BenchReport::from_json(&text).expect("valid bench-v1");
+        assert_eq!(parsed.target, "artifact");
+        assert_eq!(parsed.samples.len(), 1);
+        assert!(parsed.machine.ncpus >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

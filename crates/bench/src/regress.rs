@@ -1,0 +1,419 @@
+//! The statistical regression gate over two bench ledgers.
+//!
+//! Raw medians jitter between runs, so a naive "slower than baseline ⇒
+//! fail" rule would flap. The gate is noise-robust: a (group, id) pair
+//! regresses only when its median moved beyond
+//! `max(rel_tol · base_median, mad_k · max(base_MAD, cur_MAD), abs_floor)`
+//! — the relative tolerance absorbs machine-to-machine drift, the MAD term
+//! widens the band exactly when the measurement itself is noisy, and the
+//! absolute floor keeps nanosecond-scale benches from gating on scheduler
+//! quanta. Improvements beyond the same band are *also* surfaced (exit
+//! code 3) so the committed baseline gets refreshed instead of silently
+//! going stale and masking later regressions.
+
+use symspmv_harness::ledger::BenchReport;
+use symspmv_harness::report::{f, fmt_secs, Table};
+
+/// Gate tolerances. See the module docs for the composed threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Relative tolerance on the baseline median (e.g. `0.30` = 30 %).
+    pub rel_tol: f64,
+    /// Multiplier on the larger of the two MADs.
+    pub mad_k: f64,
+    /// Absolute threshold floor, seconds per iteration.
+    pub abs_floor: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            rel_tol: 0.30,
+            mad_k: 6.0,
+            abs_floor: 50e-9,
+        }
+    }
+}
+
+impl GateConfig {
+    /// Default tolerances with `SYMSPMV_BENCH_RTOL` / `SYMSPMV_BENCH_MADK`
+    /// environment overrides (CI can tighten or loosen without a rebuild).
+    pub fn from_env() -> GateConfig {
+        let mut cfg = GateConfig::default();
+        if let Some(v) = env_f64("SYMSPMV_BENCH_RTOL") {
+            cfg.rel_tol = v;
+        }
+        if let Some(v) = env_f64("SYMSPMV_BENCH_MADK") {
+            cfg.mad_k = v;
+        }
+        cfg
+    }
+
+    /// The composed threshold (seconds) for one baseline/current pair.
+    pub fn threshold(&self, base_median: f64, base_mad: f64, cur_mad: f64) -> f64 {
+        (self.rel_tol * base_median)
+            .max(self.mad_k * base_mad.max(cur_mad))
+            .max(self.abs_floor)
+    }
+}
+
+fn env_f64(key: &str) -> Option<f64> {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite() && *v >= 0.0)
+}
+
+/// Outcome for one (group, id) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Median shift within the noise band.
+    Pass,
+    /// Median slowed beyond the band — the gate fails.
+    Regression,
+    /// Median improved beyond the band — baseline refresh wanted.
+    Improvement,
+    /// Present now, absent from the baseline (new bench): refresh wanted.
+    New,
+    /// Present in the baseline, absent now: coverage loss, the gate fails.
+    Vanished,
+    /// One side has no samples; ungateable, reported but not failed.
+    NoData,
+}
+
+impl Verdict {
+    /// Short display tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "ok",
+            Verdict::Regression => "REGRESSION",
+            Verdict::Improvement => "improved",
+            Verdict::New => "new",
+            Verdict::Vanished => "VANISHED",
+            Verdict::NoData => "no data",
+        }
+    }
+}
+
+/// One row of the comparison: the pair, both medians, the applied
+/// threshold and the verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Group of the pair.
+    pub group: String,
+    /// Bench id of the pair.
+    pub id: String,
+    /// Baseline median (None when the pair is new or empty).
+    pub base_median: Option<f64>,
+    /// Current median (None when the pair vanished or is empty).
+    pub cur_median: Option<f64>,
+    /// Threshold applied, seconds (0 when not comparable).
+    pub threshold: f64,
+    /// `cur_median / base_median` when both exist.
+    pub ratio: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// The full comparison of a current report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// One row per (group, id) pair seen on either side, current order
+    /// first, vanished baseline entries last.
+    pub rows: Vec<CompareRow>,
+}
+
+impl Comparison {
+    /// Number of failing rows (regressions + vanished coverage).
+    pub fn failures(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Regression | Verdict::Vanished))
+            .count()
+    }
+
+    /// Number of rows asking for a baseline refresh (improvements + new).
+    pub fn refresh_wanted(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Improvement | Verdict::New))
+            .count()
+    }
+
+    /// Process exit code contract of `bench-ci`: `1` on any failure, `3`
+    /// when the only news is improvements/new benches (refresh the
+    /// baseline), `0` when everything is within noise.
+    pub fn exit_code(&self) -> i32 {
+        if self.failures() > 0 {
+            1
+        } else if self.refresh_wanted() > 0 {
+            3
+        } else {
+            0
+        }
+    }
+
+    /// Renders the diff as a column-aligned table (reused verbatim in the
+    /// CI job summary).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(&[
+            "group", "id", "baseline", "current", "ratio", "band", "verdict",
+        ]);
+        let time = |v: Option<f64>| v.map(fmt_secs).unwrap_or_else(|| "-".into());
+        for r in &self.rows {
+            t.row(vec![
+                r.group.clone(),
+                r.id.clone(),
+                time(r.base_median),
+                time(r.cur_median),
+                r.ratio.map(|v| f(v, 3)).unwrap_or_else(|| "-".into()),
+                if r.threshold > 0.0 {
+                    format!("±{}", fmt_secs(r.threshold))
+                } else {
+                    "-".into()
+                },
+                r.verdict.tag().into(),
+            ]);
+        }
+        t
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} compared, {} failing, {} wanting a baseline refresh",
+            self.rows.len(),
+            self.failures(),
+            self.refresh_wanted()
+        )
+    }
+}
+
+/// Compares every (group, id) pair of `current` against `baseline` under
+/// the gate tolerances.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, cfg: &GateConfig) -> Comparison {
+    let mut rows = Vec::new();
+    for cur in &current.samples {
+        let base = baseline.find(&cur.group, &cur.id);
+        let row = match base {
+            None => CompareRow {
+                group: cur.group.clone(),
+                id: cur.id.clone(),
+                base_median: None,
+                cur_median: cur.stats().map(|s| s.median),
+                threshold: 0.0,
+                ratio: None,
+                verdict: Verdict::New,
+            },
+            Some(base) => match (base.stats(), cur.stats()) {
+                (Some(b), Some(c)) => {
+                    let threshold = cfg.threshold(b.median, b.mad, c.mad);
+                    let delta = c.median - b.median;
+                    let verdict = if delta > threshold {
+                        Verdict::Regression
+                    } else if -delta > threshold {
+                        Verdict::Improvement
+                    } else {
+                        Verdict::Pass
+                    };
+                    CompareRow {
+                        group: cur.group.clone(),
+                        id: cur.id.clone(),
+                        base_median: Some(b.median),
+                        cur_median: Some(c.median),
+                        threshold,
+                        ratio: Some(c.median / b.median),
+                        verdict,
+                    }
+                }
+                (b, c) => CompareRow {
+                    group: cur.group.clone(),
+                    id: cur.id.clone(),
+                    base_median: b.map(|s| s.median),
+                    cur_median: c.map(|s| s.median),
+                    threshold: 0.0,
+                    ratio: None,
+                    verdict: Verdict::NoData,
+                },
+            },
+        };
+        rows.push(row);
+    }
+    // Baseline entries the current run no longer produces.
+    for base in &baseline.samples {
+        if current.find(&base.group, &base.id).is_none() {
+            rows.push(CompareRow {
+                group: base.group.clone(),
+                id: base.id.clone(),
+                base_median: base.stats().map(|s| s.median),
+                cur_median: None,
+                threshold: 0.0,
+                ratio: None,
+                verdict: Verdict::Vanished,
+            });
+        }
+    }
+    Comparison { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_harness::ledger::SampleSet;
+    use symspmv_harness::machine::MachineInfo;
+
+    /// A sample set whose samples cluster around `median` with spread
+    /// `half_spread` (deterministic, symmetric — median and MAD are exact).
+    fn set(group: &str, id: &str, median: f64, half_spread: f64) -> SampleSet {
+        SampleSet {
+            group: group.into(),
+            id: id.into(),
+            iters: 100,
+            samples: vec![
+                median - half_spread,
+                median - half_spread / 2.0,
+                median,
+                median + half_spread / 2.0,
+                median + half_spread,
+            ],
+            elements: None,
+            flops: None,
+            bytes: None,
+            phases: None,
+        }
+    }
+
+    fn report(samples: Vec<SampleSet>) -> BenchReport {
+        BenchReport {
+            target: "ci".into(),
+            machine: MachineInfo::for_tests(),
+            samples,
+        }
+    }
+
+    fn cfg() -> GateConfig {
+        GateConfig {
+            rel_tol: 0.10,
+            mad_k: 4.0,
+            abs_floor: 1e-9,
+        }
+    }
+
+    // The three behaviours the gate exists for, as a verdict table.
+    #[test]
+    fn known_shifts_trip_the_gate_and_noise_does_not() {
+        let base = report(vec![
+            set("g", "regressed", 100e-6, 1e-6),
+            set("g", "noisy", 100e-6, 1e-6),
+            set("g", "improved", 100e-6, 1e-6),
+        ]);
+        // rel band = 10 µs, MAD band = 4·0.5 µs = 2 µs ⇒ threshold 10 µs.
+        let cur = report(vec![
+            set("g", "regressed", 115e-6, 1e-6), // +15 % ⇒ fail
+            set("g", "noisy", 108e-6, 1e-6),     // +8 % ⇒ within band
+            set("g", "improved", 80e-6, 1e-6),   // −20 % ⇒ refresh
+        ]);
+        let cmp = compare(&base, &cur, &cfg());
+        let verdicts: Vec<Verdict> = cmp.rows.iter().map(|r| r.verdict).collect();
+        assert_eq!(
+            verdicts,
+            vec![Verdict::Regression, Verdict::Pass, Verdict::Improvement]
+        );
+        assert_eq!(cmp.failures(), 1);
+        assert_eq!(cmp.exit_code(), 1, "regression dominates");
+    }
+
+    #[test]
+    fn improvement_alone_requests_baseline_update() {
+        let base = report(vec![set("g", "k", 100e-6, 1e-6)]);
+        let cur = report(vec![set("g", "k", 60e-6, 1e-6)]);
+        let cmp = compare(&base, &cur, &cfg());
+        assert_eq!(cmp.rows[0].verdict, Verdict::Improvement);
+        assert_eq!(cmp.exit_code(), 3);
+        assert_eq!(cmp.refresh_wanted(), 1);
+    }
+
+    #[test]
+    fn within_noise_run_exits_zero() {
+        let base = report(vec![set("g", "k", 100e-6, 2e-6)]);
+        let cur = report(vec![set("g", "k", 104e-6, 2e-6)]);
+        let cmp = compare(&base, &cur, &cfg());
+        assert_eq!(cmp.rows[0].verdict, Verdict::Pass);
+        assert_eq!(cmp.exit_code(), 0);
+    }
+
+    #[test]
+    fn mad_band_widens_for_noisy_measurements() {
+        // A 15 % shift that the relative band alone would fail, excused
+        // because the measurement itself is wild: MAD 5 µs ⇒ band 20 µs.
+        let base = report(vec![set("g", "k", 100e-6, 10e-6)]);
+        let cur = report(vec![set("g", "k", 115e-6, 10e-6)]);
+        let cmp = compare(&base, &cur, &cfg());
+        assert_eq!(cmp.rows[0].verdict, Verdict::Pass);
+        // And the threshold actually came from the MAD term.
+        assert!(cmp.rows[0].threshold > 0.10 * 100e-6);
+    }
+
+    #[test]
+    fn abs_floor_protects_nanosecond_benches() {
+        let cfg = GateConfig {
+            rel_tol: 0.10,
+            mad_k: 4.0,
+            abs_floor: 50e-9,
+        };
+        // 10 ns → 25 ns is +150 %, but under the 50 ns floor.
+        let base = report(vec![set("g", "k", 10e-9, 0.0)]);
+        let cur = report(vec![set("g", "k", 25e-9, 0.0)]);
+        let cmp = compare(&base, &cur, &cfg);
+        assert_eq!(cmp.rows[0].verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn new_and_vanished_pairs_are_surfaced() {
+        let base = report(vec![set("g", "old", 100e-6, 1e-6)]);
+        let cur = report(vec![set("g", "fresh", 100e-6, 1e-6)]);
+        let cmp = compare(&base, &cur, &cfg());
+        assert_eq!(cmp.rows.len(), 2);
+        assert_eq!(cmp.rows[0].verdict, Verdict::New);
+        assert_eq!(cmp.rows[1].verdict, Verdict::Vanished);
+        // Coverage loss fails even though something new appeared.
+        assert_eq!(cmp.exit_code(), 1);
+    }
+
+    #[test]
+    fn empty_sample_sets_are_ungateable_not_failures() {
+        let mut empty = set("g", "k", 100e-6, 1e-6);
+        empty.samples.clear();
+        let base = report(vec![set("g", "k", 100e-6, 1e-6)]);
+        let cur = report(vec![empty]);
+        let cmp = compare(&base, &cur, &cfg());
+        assert_eq!(cmp.rows[0].verdict, Verdict::NoData);
+        assert_eq!(cmp.exit_code(), 0);
+    }
+
+    #[test]
+    fn diff_table_and_summary_render() {
+        let base = report(vec![set("g", "k", 100e-6, 1e-6)]);
+        let cur = report(vec![set("g", "k", 150e-6, 1e-6)]);
+        let cmp = compare(&base, &cur, &cfg());
+        let text = cmp.table().render();
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("1.500"));
+        assert!(cmp.summary().contains("1 failing"));
+    }
+
+    #[test]
+    fn threshold_composition() {
+        let cfg = GateConfig {
+            rel_tol: 0.25,
+            mad_k: 6.0,
+            abs_floor: 1e-7,
+        };
+        // Relative term dominates.
+        assert!((cfg.threshold(1e-3, 1e-6, 1e-6) - 0.25e-3).abs() < 1e-12);
+        // MAD term dominates (uses the larger MAD side).
+        assert!((cfg.threshold(1e-4, 1e-5, 2e-5) - 1.2e-4).abs() < 1e-12);
+        // Floor dominates.
+        assert!((cfg.threshold(1e-7, 0.0, 0.0) - 1e-7).abs() < 1e-20);
+    }
+}

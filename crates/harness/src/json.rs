@@ -1,0 +1,491 @@
+//! A minimal std-only JSON value model, writer and parser.
+//!
+//! The offline build environment rules out serde, so the bench ledger
+//! (`BENCH_*.json`, `bench/baseline.json`) is serialized through this small
+//! module instead — the same hand-rolled-serializer approach the verify
+//! crate uses for `RaceCertificate`, but in JSON so the artifacts are
+//! directly consumable by `jq`, spreadsheet imports and CI dashboards.
+//!
+//! Scope is exactly what the ledger needs: objects (insertion-ordered, so
+//! writes are stable and diffs are reviewable), arrays, finite numbers,
+//! strings, booleans and null. Writing a NaN or infinity is an **error**,
+//! not an `null`-coercion — a non-finite measurement is a bug upstream and
+//! must not silently enter a baseline.
+
+/// A parsed or in-construction JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (JSON has no NaN/inf; writing one fails).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on write and parse.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Why a JSON write or parse failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// A number being written is NaN or infinite.
+    NonFinite {
+        /// Path-ish context for the offending value (best effort).
+        context: String,
+    },
+    /// The input text is not valid JSON.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What the parser expected or found.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::NonFinite { context } => {
+                write!(fm, "refusing to serialize non-finite number at {context}")
+            }
+            JsonError::Parse { offset, reason } => {
+                write!(fm, "JSON parse error at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Convenience constructor for an object built field by field.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object (panics on non-objects — construction
+    /// bug, not data).
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => unreachable!("Json::push on a non-object"),
+        }
+        self
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional parts).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.write(&mut out, 0, "$")?;
+        out.push('\n');
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut String, depth: usize, context: &str) -> Result<(), JsonError> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if !v.is_finite() {
+                    return Err(JsonError::NonFinite {
+                        context: context.to_string(),
+                    });
+                }
+                // Rust's float Display is shortest-round-trip, so the
+                // parser recovers the bit pattern exactly.
+                let mut s = format!("{v}");
+                if !s.contains(['.', 'e', 'E']) {
+                    s.push_str(".0");
+                }
+                // Integers stay integers for readability.
+                if v.fract() == 0.0 && v.abs() < 2f64.powi(53) {
+                    s = format!("{}", *v as i64);
+                }
+                out.push_str(&s);
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return Ok(());
+                }
+                // Arrays of scalars stay on one line (sample vectors would
+                // otherwise dominate the file); nested structures indent.
+                let scalar = items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)));
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if !scalar {
+                        newline_indent(out, depth + 1);
+                    } else if i > 0 {
+                        out.push(' ');
+                    }
+                    item.write(out, depth + 1, &format!("{context}[{i}]"))?;
+                }
+                if !scalar {
+                    newline_indent(out, depth);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return Ok(());
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1, &format!("{context}.{key}"))?;
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing garbage after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn err(offset: usize, reason: &str) -> JsonError {
+    JsonError::Parse {
+        offset,
+        reason: reason.to_string(),
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, &format!("expected `{}`", byte as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, &format!("expected `{lit}`")))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "bad utf-8"))?;
+    let v: f64 = text.parse().map_err(|_| err(start, "malformed number"))?;
+    if !v.is_finite() {
+        // "1e999" parses to inf; reject it here rather than let a
+        // non-finite value sneak past the writer-side guarantee.
+        return Err(err(start, "number overflows to non-finite"));
+    }
+    Ok(Json::Num(v))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        // Surrogates are not needed for ledger content;
+                        // map unpaired ones to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err(*pos, "bad utf-8 in string"))?;
+                let c = rest.chars().next().ok_or_else(|| err(*pos, "empty"))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected `,` or `]`")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(err(*pos, "expected `,` or `}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-3.5),
+            Json::Num(1e-9),
+            Json::Num(123456789.0),
+            Json::Str("he\"llo\nworld \\ ü".into()),
+        ] {
+            let text = v.to_pretty().unwrap();
+            assert_eq!(Json::parse(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn shortest_round_trip_floats_survive_exactly() {
+        // The whole point of the ledger: medians written today parse back
+        // bit-identical for tomorrow's regression compare.
+        for v in [1.0 / 3.0, 2.2250738585072014e-308, 0.1 + 0.2, 6.02e23] {
+            let text = Json::Num(v).to_pretty().unwrap();
+            assert_eq!(Json::parse(&text).unwrap().as_f64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip_preserving_order() {
+        let mut inner = Json::obj();
+        inner.push("b", Json::Num(2.0)).push("a", Json::Num(1.0));
+        let mut doc = Json::obj();
+        doc.push("name", Json::Str("x".into()))
+            .push("arr", Json::Arr(vec![Json::Num(1.0), inner.clone()]))
+            .push("empty_arr", Json::Arr(vec![]))
+            .push("empty_obj", Json::obj());
+        let text = doc.to_pretty().unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        // Insertion order survives (b before a).
+        let arr = parsed.get("arr").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1], inner);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_write_errors() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut doc = Json::obj();
+            doc.push("median", Json::Num(v));
+            let e = doc.to_pretty().unwrap_err();
+            assert!(matches!(e, JsonError::NonFinite { ref context } if context == "$.median"));
+        }
+    }
+
+    #[test]
+    fn overflowing_literals_are_parse_errors() {
+        assert!(matches!(
+            Json::parse("[1e999]"),
+            Err(JsonError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1] trailing",
+            "\"unterminated",
+            "nul",
+            "{\"a\": +}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = Json::parse("{\"n\": 5, \"s\": \"x\", \"a\": [1.5], \"f\": 2.5}").unwrap();
+        assert_eq!(doc.get("n").unwrap().as_u64(), Some(5));
+        assert_eq!(doc.get("f").unwrap().as_u64(), None);
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 1);
+        assert!(doc.get("missing").is_none());
+    }
+}

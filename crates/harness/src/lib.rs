@@ -11,7 +11,9 @@
 pub mod error;
 pub mod experiments;
 pub mod framework;
+pub mod json;
 pub mod kernels;
+pub mod ledger;
 pub mod machine;
 pub mod plot;
 pub mod report;
@@ -19,3 +21,5 @@ pub mod report;
 pub use error::HarnessError;
 pub use framework::{measure, Measurement};
 pub use kernels::{build_kernel, KernelSpec};
+pub use ledger::{BenchReport, PhaseBreakdown, SampleSet};
+pub use machine::MachineInfo;

@@ -352,6 +352,19 @@ impl ExecutionContext {
         *lock_ignore_poison(&self.ledger)
     }
 
+    /// Atomically snapshots **and clears** the ledger.
+    ///
+    /// Repeated bench samples interleave measurement with accounting on a
+    /// long-lived context; reading [`ExecutionContext::ledger`] and then
+    /// calling [`ExecutionContext::reset_ledger`] separately would lose any
+    /// delta added between the two calls. The swap happens under one lock
+    /// acquisition, so consecutive snapshots partition the accumulated time
+    /// exactly: their sum equals what a single uninterrupted ledger read
+    /// would have seen.
+    pub fn take_snapshot(&self) -> PhaseTimes {
+        std::mem::take(&mut *lock_ignore_poison(&self.ledger))
+    }
+
     /// Clears the ledger.
     pub fn reset_ledger(&self) {
         *lock_ignore_poison(&self.ledger) = PhaseTimes::new();
@@ -542,6 +555,37 @@ mod tests {
         assert_eq!(ctx.ledger().multiply, std::time::Duration::from_millis(10));
         ctx.reset_ledger();
         assert_eq!(ctx.ledger(), PhaseTimes::new());
+    }
+
+    #[test]
+    fn consecutive_snapshots_partition_a_full_run() {
+        // A bench loop snapshots between samples without tearing down the
+        // context; the snapshots must tile the accumulated time exactly.
+        let ctx = ExecutionContext::new(1);
+        let mut full = PhaseTimes::new();
+
+        let mut a = PhaseTimes::new();
+        a.multiply = std::time::Duration::from_millis(7);
+        a.reduce = std::time::Duration::from_millis(3);
+        ctx.ledger_add(&a);
+        full.accumulate(&a);
+        let snap1 = ctx.take_snapshot();
+
+        let mut b = PhaseTimes::new();
+        b.multiply = std::time::Duration::from_millis(2);
+        b.vector_ops = std::time::Duration::from_millis(5);
+        ctx.ledger_add(&b);
+        full.accumulate(&b);
+        let snap2 = ctx.take_snapshot();
+
+        let mut sum = PhaseTimes::new();
+        sum.accumulate(&snap1);
+        sum.accumulate(&snap2);
+        assert_eq!(sum, full);
+        // The snapshot drained the ledger both times.
+        assert_eq!(ctx.ledger(), PhaseTimes::new());
+        assert_eq!(snap1, a);
+        assert_eq!(snap2, b);
     }
 
     #[test]
