@@ -1,0 +1,45 @@
+//! Block-CG cost per lane count: a fixed-iteration multi-RHS solve on an
+//! RCM-reordered structural matrix, the end-to-end consumer of the batched
+//! SpMM path. One `spmm` per iteration feeds k lane-lockstep recurrences,
+//! so the per-lane solve cost should fall as k grows while the iterate
+//! bits stay identical to k independent scalar solves.
+
+use symspmv_bench::{black_box, Target};
+use symspmv_core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
+use symspmv_reorder::rcm::rcm_reorder;
+use symspmv_runtime::ExecutionContext;
+use symspmv_solver::{block_cg, CgConfig};
+use symspmv_sparse::block::SUPPORTED_LANES;
+use symspmv_sparse::{suite, VectorBlock};
+
+fn main() {
+    let m = suite::generate(suite::spec_by_name("bmw7st_1").unwrap(), 0.003);
+    let coo = rcm_reorder(&m.coo).unwrap();
+    let n = coo.nrows() as usize;
+    let cfg = CgConfig {
+        max_iters: 16,
+        rel_tol: 0.0,
+        record_history: false,
+    };
+
+    let ctx = ExecutionContext::new(4);
+    let mut t = Target::new("block_cg");
+    let mut g = t.group("block_cg_16iters/bmw7st_1_rcm");
+    g.sample_size(10).context(&ctx);
+    let mut k = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss).unwrap();
+    for &lanes in &SUPPORTED_LANES {
+        let b_block = VectorBlock::seeded(n, lanes, 5);
+        g.model(
+            cfg.max_iters as u64 * 2 * k.nnz_full() as u64 * lanes as u64,
+            cfg.max_iters as u64 * (k.size_bytes() + 16 * n * lanes) as u64,
+        );
+        g.bench_function(format!("sss-idx/k{lanes}"), |bch| {
+            bch.iter(|| {
+                let mut x = VectorBlock::zeros(n, lanes);
+                black_box(block_cg(&mut k, &b_block, &mut x, &cfg))
+            })
+        });
+    }
+    g.finish();
+    t.finish().unwrap();
+}

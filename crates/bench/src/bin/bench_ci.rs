@@ -23,7 +23,7 @@ use std::path::PathBuf;
 
 use symspmv_bench::regress::{compare, GateConfig, Verdict};
 use symspmv_bench::{bench_dir, black_box, write_report, Target};
-use symspmv_core::{ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
+use symspmv_core::{ParallelSpmm, ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv_harness::kernels::{build_kernel, KernelSpec};
 use symspmv_harness::ledger::{BenchReport, SampleSet};
 use symspmv_harness::machine::MachineInfo;
@@ -235,7 +235,35 @@ fn run_smoke() -> BenchReport {
         g.finish();
     }
 
-    // Family 3: a short fixed-iteration CG solve (vector-op phases come
+    // Family 3: batched SpMM at k=1 and k=8 on the scattered matrix — the
+    // per-vector-speedup pair the block path is accountable for.
+    {
+        let mut g = t.group("ci/spmm/G3_circuit");
+        if let Ok(mut k) =
+            SymSpmv::from_coo(&m2.coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss)
+        {
+            for lanes in [1usize, 8] {
+                let mut x = symspmv_sparse::VectorBlock::seeded(n2, lanes, 1);
+                let mut y = symspmv_sparse::VectorBlock::zeros(n2, lanes);
+                g.throughput_elements(m2.coo.nnz() as u64 * lanes as u64);
+                g.model(
+                    2 * k.nnz_full() as u64 * lanes as u64,
+                    (k.size_bytes() + 16 * n2 * lanes) as u64,
+                );
+                k.reset_times();
+                g.bench_function(format!("sss-idx/k{lanes}"), |b| {
+                    b.iter(|| {
+                        k.spmm(&x, &mut y);
+                        std::mem::swap(&mut x, &mut y);
+                    })
+                });
+                g.phases_for_last(k.times());
+            }
+        }
+        g.finish();
+    }
+
+    // Family 4: a short fixed-iteration CG solve (vector-op phases come
     // from the context ledger).
     {
         let mut g = t.group("ci/cg/hood");
@@ -296,12 +324,15 @@ fn self_test() -> i32 {
         synth("shifted", 100.0),
         synth("steady", 100.0),
         synth("faster", 100.0),
+        synth("spmm/sss-idx/k8", 400.0),
     ]);
-    // +60 % regression, +5 % noise, −50 % improvement.
+    // +60 % regression, +5 % noise, −50 % improvement; the k>1 batched row
+    // regresses too — the gate must see block rows like any scalar row.
     let cur = rep(vec![
         synth("shifted", 160.0),
         synth("steady", 105.0),
         synth("faster", 50.0),
+        synth("spmm/sss-idx/k8", 700.0),
     ]);
 
     let cmp = compare(&base, &cur, &cfg);
@@ -330,6 +361,10 @@ fn self_test() -> i32 {
     check(
         "−50% improvement detected",
         verdict_of("faster") == Verdict::Improvement,
+    );
+    check(
+        "k>1 batched-SpMM row regression trips the gate",
+        verdict_of("spmm/sss-idx/k8") == Verdict::Regression,
     );
     check("regression dominates the exit code", cmp.exit_code() == 1);
     let improved_only = compare(

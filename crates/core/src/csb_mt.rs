@@ -18,7 +18,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use symspmv_csb::{CsbMatrix, CsbSymMatrix};
 use symspmv_runtime::timing::time_into;
-use symspmv_runtime::{balanced_ranges, ExecutionContext, PhaseTimes, Range};
+use symspmv_runtime::{balanced_ranges, ExecutionContext, ParallelSpmm, PhaseTimes, Range};
+use symspmv_sparse::block::VectorBlock;
 use symspmv_sparse::{CooMatrix, SparseError, Val};
 
 /// Blockrow-partitioned unsymmetric CSB SpMV.
@@ -316,6 +317,144 @@ impl ParallelSpmv for CsbSymParallel {
     }
 }
 
+impl ParallelSpmm for CsbSymParallel {
+    fn spmm(&mut self, x: &VectorBlock, y: &mut VectorBlock) {
+        let n = self.sym.n() as usize;
+        assert_eq!(x.n(), n);
+        assert_eq!(y.n(), n);
+        assert_eq!(x.lanes(), y.lanes());
+        let lanes = x.lanes();
+        let y_buf = SharedBuf::new(y.as_mut_slice());
+        // Lane-scaled band buffers: the scalar band slot (tid, r) becomes
+        // the lane group [(tid·band + r)·lanes, …+lanes). Leased zeroed,
+        // returned zeroed by the phase-C fold (and scrubbed on unwind).
+        let mut bands = self.ctx.lease(self.band * self.parts.len() * lanes);
+        let bands_buf = SharedBuf::new(&mut bands);
+        let sym = &self.sym;
+        let parts = &self.parts;
+        let row_starts = &self.row_starts;
+        let band = self.band;
+        let chunks = &self.chunks;
+        let p = parts.len();
+        let xs = x.as_slice();
+
+        // Phase A: diagonal init, row-parallel plain writes.
+        time_into(&mut self.times.multiply, || {
+            self.ctx.run(&|tid| {
+                let chunk = chunks[tid];
+                // SAFETY(cert: lane-lifted): chunks tile 0..N disjointly,
+                // so their lane groups tile 0..N*lanes disjointly.
+                let my = unsafe {
+                    y_buf.range_mut(chunk.start as usize * lanes, chunk.end as usize * lanes)
+                };
+                let dv = &sym.dvalues()[chunk.start as usize..chunk.end as usize];
+                for (i, &d) in dv.iter().enumerate() {
+                    let xr = &xs[(chunk.start as usize + i) * lanes..][..lanes];
+                    for (slot, &xj) in my[i * lanes..(i + 1) * lanes].iter_mut().zip(xr) {
+                        *slot = d * xj;
+                    }
+                }
+            });
+
+            // Phase B: off-diagonal products; same banded/atomic split as
+            // the scalar kernel, applied to each lane of the group.
+            self.ctx.run(&|tid| {
+                let part = parts[tid];
+                if part.is_empty() {
+                    return;
+                }
+                let lower = sym.lower();
+                let beta = lower.beta();
+                let start = row_starts[tid];
+                let band_lo = start.saturating_sub(band);
+                let band_w = band * lanes;
+                // SAFETY(cert: band-private): band region tid is
+                // thread-private until the merge barrier.
+                let my_band = unsafe { bands_buf.range_mut(tid * band_w, (tid + 1) * band_w) };
+                // SAFETY(cert: atomic-view): AtomicU64 shares u64/f64
+                // layout; phase A ended with a barrier, phase C starts
+                // with one.
+                let y_atomic: &[AtomicU64] = unsafe {
+                    std::slice::from_raw_parts(
+                        y_buf.full_mut().as_ptr() as *const AtomicU64,
+                        n * lanes,
+                    )
+                };
+                let mut scratch = vec![0.0; beta as usize * lanes];
+                for bi in part.start..part.end {
+                    let roff = (bi * beta) as usize;
+                    let rows_here = (beta as usize).min(n - roff);
+                    scratch[..rows_here * lanes].fill(0.0);
+                    for bj in 0..lower.nbc() {
+                        let coff = (bj * beta) as usize;
+                        for k in lower.block_range(bi, bj) {
+                            let (lr, lc, v) = sym.element(k);
+                            let (r, c) = (roff + lr, coff + lc);
+                            let xc = &xs[c * lanes..(c + 1) * lanes];
+                            let xr = &xs[r * lanes..(r + 1) * lanes];
+                            for (s, &xj) in scratch[lr * lanes..(lr + 1) * lanes].iter_mut().zip(xc)
+                            {
+                                *s += v * xj;
+                            }
+                            if c >= band_lo && c < start {
+                                let bb = (c - band_lo) * lanes;
+                                for (s, &xj) in my_band[bb..bb + lanes].iter_mut().zip(xr) {
+                                    *s += v * xj;
+                                }
+                            } else {
+                                for (j, &xj) in xr.iter().enumerate() {
+                                    atomic_add_f64(&y_atomic[c * lanes + j], v * xj);
+                                }
+                            }
+                        }
+                    }
+                    for lr in 0..rows_here {
+                        for (j, &s) in scratch[lr * lanes..(lr + 1) * lanes].iter().enumerate() {
+                            if s != 0.0 {
+                                atomic_add_f64(&y_atomic[(roff + lr) * lanes + j], s);
+                            }
+                        }
+                    }
+                }
+            });
+        });
+
+        // Phase C: fold the band buffers into y, lane group at a time.
+        time_into(&mut self.times.reduce, || {
+            self.ctx.run(&|tid| {
+                let chunk = chunks[tid];
+                for (i, &start) in row_starts.iter().enumerate().take(p).skip(1) {
+                    let band_lo = start.saturating_sub(band);
+                    let lo = band_lo.max(chunk.start as usize);
+                    let hi = start.min(chunk.end as usize);
+                    if lo >= hi {
+                        continue;
+                    }
+                    for r in lo..hi {
+                        let k = (i * band + (r - band_lo)) * lanes;
+                        for j in 0..lanes {
+                            // SAFETY(cert: lane-lifted): row r belongs to
+                            // this reduction thread; band lane slot
+                            // (i, r, j) is visited exactly once.
+                            unsafe {
+                                let v = bands_buf.get(k + j);
+                                if v != 0.0 {
+                                    y_buf.add(r * lanes + j, v);
+                                    bands_buf.set(k + j, 0.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        });
+    }
+
+    fn spmm_context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +511,48 @@ mod tests {
             let mut y = vec![0.0; 400];
             k.spmv(&x, &mut y);
             assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn csb_sym_spmm_single_thread_bitwise() {
+        let coo = symspmv_sparse::gen::banded_random(300, 15, 7.0, 13);
+        let ctx = ExecutionContext::new(1);
+        let mut k = CsbSymParallel::from_coo(&coo, &ctx).unwrap();
+        for lanes in [2usize, 4] {
+            let x = VectorBlock::seeded(300, lanes, 21);
+            let mut y = VectorBlock::zeros(300, lanes);
+            k.spmm(&x, &mut y);
+            for j in 0..lanes {
+                let mut yj = vec![0.0; 300];
+                k.spmv(&x.lane(j), &mut yj);
+                assert_eq!(
+                    y.lane(j).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    yj.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "lane {j} not bit-identical at p=1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csb_sym_spmm_parallel_matches_reference() {
+        let coo = symspmv_sparse::gen::mixed_bandwidth(400, 8.0, 0.3, 6, 17);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        for p in [2usize, 3, 8] {
+            let ctx = ExecutionContext::new(p);
+            let mut k = CsbSymParallel::from_coo(&coo, &ctx).unwrap();
+            let lanes = 4;
+            let x = VectorBlock::seeded(400, lanes, 5);
+            let mut y = VectorBlock::zeros(400, lanes);
+            k.spmm(&x, &mut y);
+            // Repeat to prove the lane-scaled bands were re-zeroed.
+            k.spmm(&x, &mut y);
+            for j in 0..lanes {
+                let mut y_ref = vec![0.0; 400];
+                sss.spmv(&x.lane(j), &mut y_ref);
+                assert_vec_close(&y.lane(j), &y_ref, 1e-12);
+            }
         }
     }
 

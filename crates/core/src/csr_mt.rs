@@ -10,8 +10,9 @@ use std::borrow::Cow;
 use std::sync::Arc;
 use symspmv_runtime::timing::time_into;
 use symspmv_runtime::{
-    balanced_ranges, partition::csr_row_weights, ExecutionContext, PhaseTimes, Range,
+    balanced_ranges, partition::csr_row_weights, ExecutionContext, ParallelSpmm, PhaseTimes, Range,
 };
+use symspmv_sparse::block::{VectorBlock, MAX_LANES};
 use symspmv_sparse::{CooMatrix, CsrMatrix, Val};
 
 /// A CSR matrix bound to an execution context and a static row partition.
@@ -110,6 +111,51 @@ impl ParallelSpmv for CsrParallel {
     }
 }
 
+impl ParallelSpmm for CsrParallel {
+    fn spmm(&mut self, x: &VectorBlock, y: &mut VectorBlock) {
+        assert_eq!(x.n(), self.csr.ncols() as usize);
+        assert_eq!(y.n(), self.csr.nrows() as usize);
+        assert_eq!(x.lanes(), y.lanes());
+        let lanes = x.lanes();
+        let buf = SharedBuf::new(y.as_mut_slice());
+        let csr = &self.csr;
+        let parts = &self.parts;
+        let xs = x.as_slice();
+        time_into(&mut self.times.multiply, || {
+            self.ctx.run(&|tid| {
+                let part = parts[tid];
+                if part.is_empty() {
+                    return;
+                }
+                // SAFETY(cert: lane-lifted): row partitions tile 0..N
+                // disjointly (certify_rows), so lane groups
+                // [r*lanes, (r+1)*lanes) tile 0..N*lanes disjointly.
+                let my_y = unsafe {
+                    buf.range_mut(part.start as usize * lanes, part.end as usize * lanes)
+                };
+                for r in part.start..part.end {
+                    let (cols, vals) = csr.row(r);
+                    // Per-lane accumulators run the exact op order of the
+                    // scalar kernel on each lane: bitwise-identical output.
+                    let mut acc = [0.0; MAX_LANES];
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        let xc = &xs[c as usize * lanes..(c as usize + 1) * lanes];
+                        for (a, &xj) in acc.iter_mut().zip(xc) {
+                            *a += v * xj;
+                        }
+                    }
+                    let yb = (r - part.start) as usize * lanes;
+                    my_y[yb..yb + lanes].copy_from_slice(&acc[..lanes]);
+                }
+            });
+        });
+    }
+
+    fn spmm_context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +216,31 @@ mod tests {
         assert_eq!(k.name(), "csr");
         assert_eq!(k.flops(), 2 * k.nnz_full() as u64);
         assert!(k.size_bytes() > 0);
+    }
+
+    #[test]
+    fn spmm_lanes_match_independent_spmv() {
+        let coo = symspmv_sparse::gen::banded_random(300, 12, 6.0, 11);
+        for p in [1, 3] {
+            let ctx = ExecutionContext::new(p);
+            let mut k = CsrParallel::from_coo(&coo, &ctx);
+            for lanes in [1usize, 2, 4, 8] {
+                let x = VectorBlock::seeded(300, lanes, 40);
+                let mut y = VectorBlock::zeros(300, lanes);
+                k.spmm(&x, &mut y);
+                for j in 0..lanes {
+                    let xj = x.lane(j);
+                    let mut yj = vec![0.0; 300];
+                    k.spmv(&xj, &mut yj);
+                    let got = y.lane(j);
+                    assert_eq!(
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        yj.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "p={p} lanes={lanes} lane {j} not bit-identical"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

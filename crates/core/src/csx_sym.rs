@@ -14,6 +14,7 @@ use symspmv_csx::encode::{CtlStream, ID_MASK, NR_BIT, RJMP_BIT};
 use symspmv_csx::pattern::{DeltaWidth, PatternKind};
 use symspmv_csx::varint::read_varint;
 use symspmv_runtime::Range;
+use symspmv_sparse::block::MAX_LANES;
 use symspmv_sparse::{CooMatrix, Idx, SssMatrix, Val};
 
 /// One per-thread chunk: the CSX stream of the partition's lower-triangle
@@ -360,6 +361,251 @@ pub fn spmv_sym_stream_local_only(stream: &CtlStream, x: &[Val], local: &mut [Va
         |r, c, v| {
             local[r as usize] += v * x[c as usize];
             local[c as usize] += v * x[r as usize];
+        },
+    );
+}
+
+/// The batched (`lanes` right-hand sides) twin of [`spmv_sym_stream`]: the
+/// same ctl decode and the same per-element op order per lane, with `x`,
+/// `my_y` and `local` holding lane-interleaved groups (element `(i, j)` at
+/// `i·lanes + j`). The stream — the expensive traffic — is decoded once
+/// for all lanes.
+pub fn spmm_sym_stream(
+    stream: &CtlStream,
+    x: &[Val],
+    my_y: &mut [Val],
+    y_off: usize,
+    local: &mut [Val],
+    lanes: usize,
+) {
+    let split = y_off;
+    let ctl = &stream.ctl;
+    let values = &stream.values;
+    let mut pos = 0usize;
+    let mut vi = 0usize;
+    let mut row: i64 = -1;
+    let mut col: Idx = 0;
+    while pos < ctl.len() {
+        let flags = ctl[pos];
+        pos += 1;
+        if flags & NR_BIT != 0 {
+            let extra = if flags & RJMP_BIT != 0 {
+                read_varint(ctl, &mut pos)
+            } else {
+                0
+            };
+            row += 1 + extra as i64;
+            col = 0;
+        }
+        let size = usize::from(ctl[pos]);
+        pos += 1;
+        let ucol = read_varint(ctl, &mut pos) as Idx;
+        let anchor = if flags & NR_BIT != 0 {
+            ucol
+        } else {
+            col + ucol
+        };
+        col = anchor;
+        let r = row as usize;
+        let id = flags & ID_MASK;
+
+        let unit_vals = &values[vi..vi + size];
+        if let Some(kind) = PatternKind::from_id(id) {
+            // Boundary legality (§IV-B) hoists the side branch exactly as
+            // in the scalar kernel.
+            let is_local = (anchor as usize) < split;
+            debug_assert!({
+                let (_, last_c) = kind.element(r as Idx, anchor, size as u32 - 1);
+                ((last_c as usize) < split) == is_local
+            });
+            macro_rules! run {
+                ($next:expr) => {{
+                    let mut rr = r;
+                    let mut cc = anchor as usize;
+                    if is_local {
+                        for &v in unit_vals {
+                            let yb = (rr - y_off) * lanes;
+                            let xb = cc * lanes;
+                            let xrb = rr * lanes;
+                            for j in 0..lanes {
+                                my_y[yb + j] += v * x[xb + j];
+                                local[xb + j] += v * x[xrb + j];
+                            }
+                            $next(&mut rr, &mut cc);
+                        }
+                    } else {
+                        for &v in unit_vals {
+                            let yb = (rr - y_off) * lanes;
+                            let xb = cc * lanes;
+                            let xrb = rr * lanes;
+                            let yt = (cc - y_off) * lanes;
+                            for j in 0..lanes {
+                                my_y[yb + j] += v * x[xb + j];
+                                my_y[yt + j] += v * x[xrb + j];
+                            }
+                            $next(&mut rr, &mut cc);
+                        }
+                    }
+                }};
+            }
+            match kind {
+                PatternKind::Horizontal { delta } => {
+                    let d = delta as usize;
+                    run!(|_rr: &mut usize, cc: &mut usize| *cc += d);
+                }
+                PatternKind::Vertical { delta } => {
+                    let d = delta as usize;
+                    run!(|rr: &mut usize, _cc: &mut usize| *rr += d);
+                }
+                PatternKind::Diagonal { delta } => {
+                    let d = delta as usize;
+                    run!(|rr: &mut usize, cc: &mut usize| {
+                        *rr += d;
+                        *cc += d;
+                    });
+                }
+                PatternKind::AntiDiagonal { delta } => {
+                    let d = delta as usize;
+                    run!(|rr: &mut usize, cc: &mut usize| {
+                        *rr += d;
+                        *cc = cc.wrapping_sub(d);
+                    });
+                }
+                PatternKind::Block { rows: 3, cols: 3 } => {
+                    let base = anchor as usize;
+                    let (x0, x1, x2) = (
+                        &x[base * lanes..(base + 1) * lanes],
+                        &x[(base + 1) * lanes..(base + 2) * lanes],
+                        &x[(base + 2) * lanes..(base + 3) * lanes],
+                    );
+                    let mut t = [[0.0; MAX_LANES]; 3];
+                    for (br, v) in unit_vals.chunks_exact(3).enumerate() {
+                        let rr = r + br;
+                        let yb = (rr - y_off) * lanes;
+                        let xrb = rr * lanes;
+                        for j in 0..lanes {
+                            let xr = x[xrb + j];
+                            my_y[yb + j] += v[0] * x0[j] + v[1] * x1[j] + v[2] * x2[j];
+                            t[0][j] += v[0] * xr;
+                            t[1][j] += v[1] * xr;
+                            t[2][j] += v[2] * xr;
+                        }
+                    }
+                    for (i, ti) in t.iter().enumerate() {
+                        if is_local {
+                            let lt = &mut local[(base + i) * lanes..(base + i + 1) * lanes];
+                            for j in 0..lanes {
+                                lt[j] += ti[j];
+                            }
+                        } else {
+                            let yb = (base + i - y_off) * lanes;
+                            for j in 0..lanes {
+                                my_y[yb + j] += ti[j];
+                            }
+                        }
+                    }
+                }
+                PatternKind::Block { rows: _, cols } => {
+                    let bc = cols as usize;
+                    let base = anchor as usize;
+                    for (br, row_vals) in unit_vals.chunks_exact(bc).enumerate() {
+                        let rr = r + br;
+                        let xrb = rr * lanes;
+                        let mut acc = [0.0; MAX_LANES];
+                        for (jj, &v) in row_vals.iter().enumerate() {
+                            let cb = (base + jj) * lanes;
+                            if is_local {
+                                for j in 0..lanes {
+                                    acc[j] += v * x[cb + j];
+                                    local[cb + j] += v * x[xrb + j];
+                                }
+                            } else {
+                                let yt = (base + jj - y_off) * lanes;
+                                for j in 0..lanes {
+                                    acc[j] += v * x[cb + j];
+                                    my_y[yt + j] += v * x[xrb + j];
+                                }
+                            }
+                        }
+                        let yb = (rr - y_off) * lanes;
+                        for j in 0..lanes {
+                            my_y[yb + j] += acc[j];
+                        }
+                    }
+                }
+            }
+            vi += size;
+        } else {
+            // Delta unit: per-element side check, as in the scalar kernel.
+            let width = PatternKind::delta_width_from_id(id)
+                .unwrap_or_else(|| unreachable!("invalid pattern id in ctl stream"));
+            let xrb = r * lanes;
+            let mut acc = [0.0; MAX_LANES];
+            let mut c = anchor as usize;
+            let mut emit = |c: usize, v: Val, acc: &mut [Val; MAX_LANES]| {
+                let cb = c * lanes;
+                if c < split {
+                    for j in 0..lanes {
+                        acc[j] += v * x[cb + j];
+                        local[cb + j] += v * x[xrb + j];
+                    }
+                } else {
+                    let yt = (c - y_off) * lanes;
+                    for j in 0..lanes {
+                        acc[j] += v * x[cb + j];
+                        my_y[yt + j] += v * x[xrb + j];
+                    }
+                }
+            };
+            emit(c, unit_vals[0], &mut acc);
+            let rest = &unit_vals[1..];
+            match width {
+                DeltaWidth::U8 => {
+                    let body = &ctl[pos..pos + size - 1];
+                    pos += size - 1;
+                    for (&d, &v) in body.iter().zip(rest) {
+                        c += usize::from(d);
+                        emit(c, v, &mut acc);
+                    }
+                }
+                DeltaWidth::U16 => {
+                    let body = &ctl[pos..pos + 2 * (size - 1)];
+                    pos += 2 * (size - 1);
+                    for (d, &v) in body.chunks_exact(2).zip(rest) {
+                        c += usize::from(u16::from_le_bytes([d[0], d[1]]));
+                        emit(c, v, &mut acc);
+                    }
+                }
+                DeltaWidth::U32 => {
+                    let body = &ctl[pos..pos + 4 * (size - 1)];
+                    pos += 4 * (size - 1);
+                    for (d, &v) in body.chunks_exact(4).zip(rest) {
+                        c += u32::from_le_bytes([d[0], d[1], d[2], d[3]]) as usize;
+                        emit(c, v, &mut acc);
+                    }
+                }
+            }
+            let yb = (r - y_off) * lanes;
+            for j in 0..lanes {
+                my_y[yb + j] += acc[j];
+            }
+            vi += size;
+        }
+    }
+}
+
+/// The batched twin of [`spmv_sym_stream_local_only`] (naive reduction):
+/// both symmetric contributions of every element go to the full-length
+/// lane-interleaved local block.
+pub fn spmm_sym_stream_local_only(stream: &CtlStream, x: &[Val], local: &mut [Val], lanes: usize) {
+    stream.walk(
+        |_| {},
+        |r, c, v| {
+            let (rb, cb) = (r as usize * lanes, c as usize * lanes);
+            for j in 0..lanes {
+                local[rb + j] += v * x[cb + j];
+                local[cb + j] += v * x[rb + j];
+            }
         },
     );
 }

@@ -56,4 +56,8 @@ pub use plan::CachedSymPlan;
 pub use sym::{ReductionMethod, SymFormat, SymSpmv};
 pub use sym_atomic::SssAtomicParallel;
 pub use sym_color::SssColorParallel;
-pub use traits::ParallelSpmv;
+pub use traits::{BlockKernel, ParallelSpmmExt, ParallelSpmv};
+
+// Re-exported so block-kernel callers need only this crate in scope.
+pub use symspmv_runtime::ParallelSpmm;
+pub use symspmv_sparse::VectorBlock;

@@ -19,7 +19,10 @@
 //! and different kernels sharing one context — recycle the same
 //! first-touch-initialized pages.
 
-use crate::csx_sym::{spmv_sym_stream, spmv_sym_stream_local_only, CsxSymMatrix};
+use crate::csx_sym::{
+    spmm_sym_stream, spmm_sym_stream_local_only, spmv_sym_stream, spmv_sym_stream_local_only,
+    CsxSymMatrix,
+};
 use crate::error::SymSpmvError;
 use crate::plan::CachedSymPlan;
 use crate::shared::SharedBuf;
@@ -30,7 +33,8 @@ use std::sync::Arc;
 use symspmv_csx::detect::DetectConfig;
 use symspmv_runtime::reduction::ReduceJob;
 use symspmv_runtime::timing::time_into;
-use symspmv_runtime::{ExecutionContext, PhaseTimes, Range, ReductionStrategy};
+use symspmv_runtime::{ExecutionContext, ParallelSpmm, PhaseTimes, Range, ReductionStrategy};
+use symspmv_sparse::block::{VectorBlock, MAX_LANES};
 use symspmv_sparse::{CooMatrix, SparseError, SssMatrix, Val};
 
 /// How local vectors are organized and reduced (Fig. 3 b/c/d).
@@ -103,6 +107,8 @@ pub struct SymSpmv {
     /// layout, conflict index, reduction chunks and the race certificate.
     /// The local store itself is leased from the arena per spmv call.
     plan: Arc<CachedSymPlan>,
+    /// Lane-lifted block-write certificates, one per SpMM lane count seen.
+    block_certs: std::collections::HashMap<usize, Arc<symspmv_verify::RaceCertificate>>,
     ctx: Arc<ExecutionContext>,
     times: PhaseTimes,
     size_bytes: usize,
@@ -286,6 +292,7 @@ impl SymSpmv {
             strategy,
             storage,
             plan,
+            block_certs: std::collections::HashMap::new(),
             ctx: Arc::clone(ctx),
             times,
             size_bytes,
@@ -305,6 +312,38 @@ impl SymSpmv {
     /// The race certificate proving the plan's write sets are disjoint.
     pub fn certificate(&self) -> &symspmv_verify::RaceCertificate {
         &self.plan.cert
+    }
+
+    /// The lane-lifted block-write certificate for a given lane count,
+    /// minted by the first [`ParallelSpmm::spmm`] call with that many
+    /// lanes (`None` before then). The scalar certificate's row conflicts
+    /// are lane-independent, so the lift re-checks only the lane scaling
+    /// of the layout (see `symspmv_verify::lift_sym_certificate`).
+    pub fn block_certificate(&self, lanes: usize) -> Option<&Arc<symspmv_verify::RaceCertificate>> {
+        self.block_certs.get(&lanes)
+    }
+
+    /// Obtains (and memoizes) the lane-lifted certificate for `lanes`.
+    fn obtain_block_certificate(&mut self, lanes: usize) -> Arc<symspmv_verify::RaceCertificate> {
+        if let Some(cert) = self.block_certs.get(&lanes) {
+            return Arc::clone(cert);
+        }
+        let block_offsets: Vec<usize> = self.plan.offsets.iter().map(|o| o * lanes).collect();
+        let cert = match symspmv_verify::lift_sym_certificate(
+            &self.plan.cert,
+            lanes,
+            &self.plan.offsets,
+            self.plan.local_len,
+            &block_offsets,
+            self.plan.local_len * lanes,
+        ) {
+            Ok(c) => Arc::new(c),
+            // The kernel derives the block layout by scaling the certified
+            // scalar plan, so a failed lift means the lifter itself broke.
+            Err(e) => unreachable!("lane-lifting a certified plan failed: {e}"),
+        };
+        self.block_certs.insert(lanes, Arc::clone(&cert));
+        cert
     }
 
     /// The reduction method in use (the paper family; custom registry
@@ -406,12 +445,14 @@ impl SymSpmv {
                     for r in part.start..part.end {
                         let (cols, vals) = sss.row(r);
                         let xr = x[r as usize];
-                        let mut acc = dv[r as usize] * xr;
+                        // Same op order as the direct-write path: diagonal
+                        // joins at the final fold, not the accumulator seed.
+                        let mut acc = 0.0;
                         for (&c, &v) in cols.iter().zip(vals) {
                             acc += v * x[c as usize];
                             l[c as usize] += v * xr;
                         }
-                        l[r as usize] += acc;
+                        l[r as usize] += dv[r as usize] * xr + acc;
                     }
                 });
             }
@@ -474,6 +515,13 @@ impl SymSpmv {
     }
 
     fn reduce(&self, y: &mut [Val], flat_buf: SharedBuf<'_>) {
+        self.reduce_lanes(y, flat_buf, 1);
+    }
+
+    /// The fold phase over lane-interleaved buffers: the strategy visits
+    /// each conflicting row once and folds all `lanes` of its group — the
+    /// Eq. 3–6 working-set win multiplied by `k`.
+    fn reduce_lanes(&self, y: &mut [Val], flat_buf: SharedBuf<'_>, lanes: usize) {
         let job = ReduceJob {
             y: SharedBuf::new(y),
             locals: flat_buf,
@@ -483,8 +531,145 @@ impl SymSpmv {
             row_chunks: &self.plan.reduce_chunks,
             entries: &self.plan.index.entries,
             splits: &self.plan.index.splits,
+            lanes,
         };
         self.ctx.with_pool(|pool| self.strategy.reduce(pool, &job));
+    }
+
+    /// The batched multiply phase: identical dispatch structure to
+    /// [`SymSpmv::multiply`], with every buffer lane-interleaved and every
+    /// storage arm delegating to its `_block` kernel. Per-thread regions
+    /// are the scalar plan's regions scaled by `lanes` — exactly the
+    /// scaling the lane-lifted certificate re-checks.
+    fn multiply_block(&self, x: &VectorBlock, y: &mut VectorBlock, flat_buf: SharedBuf<'_>) {
+        let lanes = x.lanes();
+        let y_buf = SharedBuf::new(y.as_mut_slice());
+        let x = x.as_slice();
+        let parts: &[Range] = &self.plan.parts;
+        let offsets = &self.plan.offsets;
+        let n = self.n;
+        let direct = self.strategy.direct_write();
+        match &self.storage {
+            Storage::Hybrid {
+                sss,
+                csx,
+                use_stream,
+            } => {
+                assert!(
+                    direct,
+                    "the hybrid format supports the direct-write methods only"
+                );
+                self.ctx.run(&|tid| {
+                    let part = parts[tid];
+                    if part.is_empty() {
+                        return;
+                    }
+                    let split = part.start as usize;
+                    // SAFETY(cert: lane-lifted): the scalar effective region
+                    // [off, off+split) scales to lane groups without overlap.
+                    let l = unsafe {
+                        flat_buf.range_mut(offsets[tid] * lanes, (offsets[tid] + split) * lanes)
+                    };
+                    // SAFETY(cert: lane-lifted): direct lane groups stay in
+                    // our own rows, scaled from the disjoint scalar tiling.
+                    let my_y = unsafe { y_buf.range_mut(split * lanes, part.end as usize * lanes) };
+                    if use_stream[tid] {
+                        init_diag_block(csx.dvalues(), part, lanes, x, my_y);
+                        spmm_sym_stream(&csx.chunks()[tid].stream, x, my_y, split, l, lanes);
+                    } else {
+                        sss_multiply_direct_block(sss, part, lanes, x, my_y, l);
+                    }
+                });
+            }
+            Storage::Sss(sss) if !direct => {
+                self.ctx.run(&|tid| {
+                    let part = parts[tid];
+                    // SAFETY(cert: lane-lifted): the naive layout's private
+                    // region [tid·n, (tid+1)·n) scales to lane groups.
+                    let l = unsafe {
+                        flat_buf.range_mut(offsets[tid] * lanes, (offsets[tid] + n) * lanes)
+                    };
+                    let dv = sss.dvalues();
+                    for r in part.start..part.end {
+                        let (cols, vals) = sss.row(r);
+                        let ru = r as usize;
+                        let xr = &x[ru * lanes..(ru + 1) * lanes];
+                        let mut acc = [0.0; MAX_LANES];
+                        for (&c, &v) in cols.iter().zip(vals) {
+                            let c = c as usize;
+                            let xc = &x[c * lanes..(c + 1) * lanes];
+                            let lt = &mut l[c * lanes..(c + 1) * lanes];
+                            for j in 0..lanes {
+                                acc[j] += v * xc[j];
+                                lt[j] += v * xr[j];
+                            }
+                        }
+                        let lr = &mut l[ru * lanes..(ru + 1) * lanes];
+                        let d = dv[ru];
+                        for j in 0..lanes {
+                            lr[j] += d * xr[j] + acc[j];
+                        }
+                    }
+                });
+            }
+            Storage::Sss(sss) => {
+                self.ctx.run(&|tid| {
+                    let part = parts[tid];
+                    if part.is_empty() {
+                        return;
+                    }
+                    let split = part.start as usize;
+                    // SAFETY(cert: lane-lifted): the scalar effective region
+                    // [off, off+split) scales to lane groups without overlap.
+                    let l = unsafe {
+                        flat_buf.range_mut(offsets[tid] * lanes, (offsets[tid] + split) * lanes)
+                    };
+                    // SAFETY(cert: lane-lifted): direct lane groups stay in
+                    // our own rows, scaled from the disjoint scalar tiling.
+                    let my_y = unsafe { y_buf.range_mut(split * lanes, part.end as usize * lanes) };
+                    sss_multiply_direct_block(sss, part, lanes, x, my_y, l);
+                });
+            }
+            Storage::CsxSym(m) if !direct => {
+                self.ctx.run(&|tid| {
+                    let part = parts[tid];
+                    // SAFETY(cert: lane-lifted): the naive layout's private
+                    // full-length region scales to lane groups.
+                    let l = unsafe {
+                        flat_buf.range_mut(offsets[tid] * lanes, (offsets[tid] + n) * lanes)
+                    };
+                    let dv = m.dvalues();
+                    for r in part.start..part.end {
+                        let ru = r as usize;
+                        let d = dv[ru];
+                        for j in 0..lanes {
+                            l[ru * lanes + j] += d * x[ru * lanes + j];
+                        }
+                    }
+                    spmm_sym_stream_local_only(&m.chunks()[tid].stream, x, l, lanes);
+                });
+            }
+            Storage::CsxSym(m) => {
+                self.ctx.run(&|tid| {
+                    let part = parts[tid];
+                    if part.is_empty() {
+                        return;
+                    }
+                    let split = part.start as usize;
+                    // SAFETY(cert: lane-lifted): the scalar effective region
+                    // [off, off+split) scales to lane groups without overlap.
+                    let l = unsafe {
+                        flat_buf.range_mut(offsets[tid] * lanes, (offsets[tid] + split) * lanes)
+                    };
+                    // SAFETY(cert: lane-lifted): the chunk's direct lane
+                    // groups all land in our own rows; the csx-boundary
+                    // check keeps encoded patterns from crossing the split.
+                    let my_y = unsafe { y_buf.range_mut(split * lanes, part.end as usize * lanes) };
+                    init_diag_block(m.dvalues(), part, lanes, x, my_y);
+                    spmm_sym_stream(&m.chunks()[tid].stream, x, my_y, split, l, lanes);
+                });
+            }
+        }
     }
 
     /// Whether the reduce phase has any work at all: with one thread (or a
@@ -517,7 +702,11 @@ fn sss_multiply_direct(
     for r in part.start..part.end {
         let (cols, vals) = sss.row(r);
         let xr = x[r as usize];
-        let mut acc = dv[r as usize] * xr;
+        // The accumulator starts at zero and the diagonal term joins at the
+        // final write — the exact op order of the serial reference
+        // (`SssMatrix::spmv`), so a single-thread direct-write run is
+        // bit-identical to it (the conformance oracle's exactness class).
+        let mut acc = 0.0;
         for (&c, &v) in cols.iter().zip(vals) {
             let c = c as usize;
             acc += v * x[c];
@@ -529,7 +718,63 @@ fn sss_multiply_direct(
         }
         // Assignment is sound: this thread's earlier transposed writes only
         // target rows below r.
-        my_y[r as usize - split] = acc;
+        my_y[r as usize - split] = dv[r as usize] * xr + acc;
+    }
+}
+
+/// The batched (`lanes` right-hand sides) twin of [`sss_multiply_direct`]:
+/// same traversal, same per-lane op order, with `x`/`my_y`/`local` holding
+/// lane-interleaved groups. One pass over the matrix updates all lanes, so
+/// the matrix traffic is amortized `lanes`-fold while every lane computes
+/// the scalar kernel's exact float sequence.
+fn sss_multiply_direct_block(
+    sss: &SssMatrix,
+    part: Range,
+    lanes: usize,
+    x: &[Val],
+    my_y: &mut [Val],
+    local: &mut [Val],
+) {
+    let split = part.start as usize;
+    let dv = sss.dvalues();
+    for r in part.start..part.end {
+        let (cols, vals) = sss.row(r);
+        let ru = r as usize;
+        let xr = &x[ru * lanes..(ru + 1) * lanes];
+        let mut acc = [0.0; MAX_LANES];
+        for (&c, &v) in cols.iter().zip(vals) {
+            let c = c as usize;
+            let xc = &x[c * lanes..(c + 1) * lanes];
+            let target = if c >= split {
+                &mut my_y[(c - split) * lanes..(c - split + 1) * lanes]
+            } else {
+                &mut local[c * lanes..(c + 1) * lanes]
+            };
+            for j in 0..lanes {
+                acc[j] += v * xc[j];
+                target[j] += v * xr[j];
+            }
+        }
+        let yr = &mut my_y[(ru - split) * lanes..(ru - split + 1) * lanes];
+        let d = dv[ru];
+        for j in 0..lanes {
+            yr[j] = d * xr[j] + acc[j];
+        }
+    }
+}
+
+/// Initializes a partition's slice of the block output with the diagonal
+/// term `y[r,·] = d_r · x[r,·]` — the batched twin of the scalar stream
+/// kernels' diagonal pre-pass.
+fn init_diag_block(dvalues: &[Val], part: Range, lanes: usize, x: &[Val], my_y: &mut [Val]) {
+    let split = part.start as usize;
+    for r in split..part.end as usize {
+        let d = dvalues[r];
+        let xr = &x[r * lanes..(r + 1) * lanes];
+        let yr = &mut my_y[(r - split) * lanes..(r - split + 1) * lanes];
+        for j in 0..lanes {
+            yr[j] = d * xr[j];
+        }
     }
 }
 
@@ -617,6 +862,52 @@ impl ParallelSpmv for SymSpmv {
     }
 }
 
+impl ParallelSpmm for SymSpmv {
+    fn spmm(&mut self, x: &VectorBlock, y: &mut VectorBlock) {
+        assert_eq!(x.n(), self.n, "x block dimension mismatch");
+        assert_eq!(y.n(), self.n, "y block dimension mismatch");
+        assert_eq!(x.lanes(), y.lanes(), "lane count mismatch");
+        let lanes = x.lanes();
+
+        // Mint (or fetch) the lane-lifted block-write certificate — every
+        // SpMM dispatch is covered by a certificate proving the scaled
+        // layout inherits the scalar plan's disjointness.
+        let cert = self.obtain_block_certificate(lanes);
+        debug_assert!(cert.proves("lane-lifted"));
+        #[cfg(debug_assertions)]
+        if let Storage::Sss(sss) | Storage::Hybrid { sss, .. } = &self.storage {
+            if let Err(e) = cert.validate_for(
+                sss.fingerprint(),
+                self.ctx.nthreads(),
+                "sym-sss",
+                &self.plan.cert.strategy,
+            ) {
+                unreachable!("dispatching SpMM with a stale block certificate: {e}");
+            }
+        }
+
+        let ctx = Arc::clone(&self.ctx);
+        let mut locals = ctx.lease(self.plan.local_len * lanes);
+        let flat_buf = SharedBuf::new(&mut locals);
+
+        let mut multiply = std::mem::take(&mut self.times.multiply);
+        time_into(&mut multiply, || self.multiply_block(x, y, flat_buf));
+        self.times.multiply = multiply;
+
+        if self.reduce_has_work() {
+            let mut reduce = std::mem::take(&mut self.times.reduce);
+            time_into(&mut reduce, || {
+                self.reduce_lanes(y.as_mut_slice(), flat_buf, lanes)
+            });
+            self.times.reduce = reduce;
+        }
+    }
+
+    fn spmm_context(&self) -> &Arc<ExecutionContext> {
+        &self.ctx
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -678,6 +969,63 @@ mod tests {
             let mut y = vec![0.0; 500];
             eng.spmv(&x, &mut y);
             assert_vec_close(&y, &y_ref, 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmm_lanes_bitwise_match_spmv_all_engines() {
+        let coo = symspmv_sparse::gen::mixed_bandwidth(350, 7.0, 0.25, 4, 33);
+        for p in [1usize, 3, 8] {
+            let ctx = ExecutionContext::new(p);
+            for mut eng in all_engines(&coo, &ctx) {
+                for lanes in [1usize, 2, 4] {
+                    let x = VectorBlock::seeded(350, lanes, 60);
+                    let mut y = VectorBlock::zeros(350, lanes);
+                    eng.spmm(&x, &mut y);
+                    let cert = eng.block_certificate(lanes).unwrap();
+                    assert!(cert.proves("lane-lifted"));
+                    assert_eq!(cert.lanes, lanes);
+                    for j in 0..lanes {
+                        let mut yj = vec![0.0; 350];
+                        eng.spmv(&x.lane(j), &mut yj);
+                        assert_eq!(
+                            y.lane(j).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            yj.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                            "{} p={p} lanes={lanes}: lane {j} not bit-identical",
+                            eng.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_hybrid_format_matches_spmv() {
+        let coo = symspmv_sparse::gen::block_structural(100, 3, 10.0, 15, 9);
+        let ctx = ExecutionContext::new(4);
+        let mut eng = SymSpmv::from_coo(
+            &coo,
+            &ctx,
+            ReductionMethod::Indexing,
+            SymFormat::Hybrid {
+                csx: csx_cfg(),
+                min_coverage: 0.0,
+            },
+        )
+        .unwrap();
+        let n = eng.n();
+        let x = VectorBlock::seeded(n, 8, 3);
+        let mut y = VectorBlock::zeros(n, 8);
+        eng.spmm(&x, &mut y);
+        for j in 0..8 {
+            let mut yj = vec![0.0; n];
+            eng.spmv(&x.lane(j), &mut yj);
+            assert_eq!(
+                y.lane(j).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                yj.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "hybrid lane {j} not bit-identical"
+            );
         }
     }
 

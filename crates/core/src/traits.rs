@@ -7,7 +7,8 @@
 use crate::error::SymSpmvError;
 use std::borrow::Cow;
 use std::sync::Arc;
-use symspmv_runtime::{ExecutionContext, PhaseTimes};
+use symspmv_runtime::{ExecutionContext, ParallelSpmm, PhaseTimes};
+use symspmv_sparse::block::VectorBlock;
 use symspmv_sparse::Val;
 
 /// A multithreaded SpMV kernel bound to one matrix and one
@@ -73,3 +74,41 @@ pub trait ParallelSpmv {
         2 * self.nnz_full() as u64
     }
 }
+
+/// Fallible batched multiplication, mirroring [`ParallelSpmv::try_spmv`]
+/// for the [`ParallelSpmm`] block path.
+///
+/// Lives in this crate (not `symspmv-runtime`, where `ParallelSpmm` is
+/// defined) because the structured error type is this crate's
+/// [`SymSpmvError`]. Blanket-implemented for every block kernel.
+pub trait ParallelSpmmExt: ParallelSpmm {
+    /// Computes `Y = A·X`, converting a worker-thread panic into a
+    /// structured [`SymSpmvError::WorkerPanicked`] instead of unwinding.
+    ///
+    /// On `Err`, the context's pool has fully drained the failed round,
+    /// every leased block buffer has been scrubbed back to the arena
+    /// (the arena all-free-zero invariant holds), and the kernel and
+    /// context remain usable; `y` holds unspecified partial results.
+    /// Caller-thread panics (e.g. lane-mismatch assertions) are not worker
+    /// deaths and continue to unwind.
+    fn try_spmm(&mut self, x: &VectorBlock, y: &mut VectorBlock) -> Result<(), SymSpmvError> {
+        let ctx = Arc::clone(self.spmm_context());
+        let _ = ctx.take_last_panic();
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.spmm(x, y))) {
+            Ok(()) => Ok(()),
+            Err(payload) => match ctx.take_last_panic() {
+                Some(info) => Err(SymSpmvError::from(info)),
+                None => std::panic::resume_unwind(payload),
+            },
+        }
+    }
+}
+
+impl<T: ParallelSpmm + ?Sized> ParallelSpmmExt for T {}
+
+/// A kernel exposing both the scalar ([`ParallelSpmv`]) and the batched
+/// ([`ParallelSpmm`]) multiplication paths — the object type of the
+/// conformance oracle and the block benchmarks.
+pub trait BlockKernel: ParallelSpmv + ParallelSpmm {}
+
+impl<T: ParallelSpmv + ParallelSpmm + ?Sized> BlockKernel for T {}

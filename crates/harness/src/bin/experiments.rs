@@ -17,6 +17,7 @@
 //!   fig14    Figure 14 — CG execution-time breakdown
 //!   ablation extension — CSX-Sym detection-config design space
 //!   atomics  extension — atomic updates vs local-vector reductions
+//!   spmm     extension — batched multi-RHS SpMM per-vector speedup
 //!   related  extension — related-work comparison (CSB, CSB-Sym, atomics)
 //!   verify   extension — every kernel vs reference on the full suite
 //!   plot     extension — re-render SVG figures from existing CSVs
@@ -30,14 +31,15 @@
 //!   --out <dir>      CSV output directory          (default results/)
 //!   --matrix <name>  restrict to one suite matrix  (repeatable)
 //!   --cg-iters <k>   CG iterations for fig14       (default 512)
+//!   --rhs <k>        right-hand sides for spmm     (default 8; one of 1,2,4,8,16)
 //! ```
 
 use std::process::ExitCode;
 use symspmv_harness::experiments::{self, ExpConfig};
 
-const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|related|verify|plot|machine|all>
+const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|spmm|related|verify|plot|machine|all>
                    [--scale f] [--iters k] [--threads p] [--out dir]
-                   [--matrix name]... [--cg-iters k]";
+                   [--matrix name]... [--cg-iters k] [--rhs k]";
 
 fn usage() -> ExitCode {
     eprintln!("{}", USAGE);
@@ -85,6 +87,12 @@ fn main() -> ExitCode {
                 Some(v) if v > 0 => cfg.cg_iters = v,
                 _ => return usage(),
             },
+            "--rhs" => match value("--rhs").and_then(|v| v.parse().ok()) {
+                // Full validation (supported lane counts) happens in the
+                // spmm driver, which knows the block layout's contract.
+                Some(v) if v > 0 => cfg.rhs = v,
+                _ => return usage(),
+            },
             other => {
                 eprintln!("unknown option: {other}");
                 return usage();
@@ -122,6 +130,7 @@ fn main() -> ExitCode {
         "fig14" => experiments::fig14(&cfg),
         "ablation" => experiments::ablation(&cfg),
         "atomics" => experiments::atomics(&cfg),
+        "spmm" => experiments::spmm(&cfg),
         "related" => experiments::related(&cfg),
         "verify" => experiments::verify(&cfg),
         "plot" => experiments::plot(&cfg),

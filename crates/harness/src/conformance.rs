@@ -1,0 +1,196 @@
+//! Differential conformance oracle: shared helpers for the exhaustive
+//! format × strategy × nthreads × lanes equivalence suite
+//! (`tests/conformance.rs` at the workspace root).
+//!
+//! The oracle's reference is the **serial SSS kernel** — the simplest
+//! implementation of the symmetric multiplication, against which every
+//! parallel format/strategy/thread-count/lane-count combination is
+//! compared on a seeded matrix suite. Two conformance classes exist:
+//!
+//! * **bitwise** — combinations proven to run the serial reference's exact
+//!   per-element operation order: the direct-write SSS strategies
+//!   (`sss-eff`, `sss-idx`) at one thread. These must match the reference
+//!   bit for bit, per lane.
+//! * **tolerance** — everything else accumulates in a different (but
+//!   fixed) order; results must agree within [`REL_TOL`], the documented
+//!   bound for re-associated double-precision sums on the suite's
+//!   conditioning (see DESIGN.md §14 for the ULP policy).
+//!
+//! Failures format a one-line minimal reproducer (matrix constructor,
+//! seed, format, thread count, lanes) so a failing combination can be
+//! re-run in isolation.
+
+use crate::kernels::{experiment_detect_config, KernelSpec};
+use std::sync::Arc;
+use symspmv_core::{BlockKernel, ReductionMethod, SymFormat, SymSpmv};
+use symspmv_runtime::ExecutionContext;
+use symspmv_sparse::dense::max_rel_diff;
+use symspmv_sparse::{CooMatrix, SparseError, SssMatrix};
+
+/// Relative tolerance for the non-bitwise conformance class: parallel
+/// partitioning and format-specific traversal re-associate sums, which for
+/// the suite's well-conditioned matrices stays within a few hundred ULPs —
+/// orders of magnitude below this bound, which exists to catch *logic*
+/// errors (wrong element, wrong lane, lost update), not rounding drift.
+pub const REL_TOL: f64 = 1e-12;
+
+/// Thread counts the oracle sweeps.
+pub const ORACLE_THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// Lane counts the oracle sweeps (the full supported set).
+pub const ORACLE_LANES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// One matrix of the seeded conformance suite.
+pub struct SuiteMatrix {
+    /// Reproducer text for the constructor call.
+    pub repro: &'static str,
+    /// Seed baked into the constructor (echoed in reproducers).
+    pub seed: u64,
+    /// The symmetric matrix itself.
+    pub coo: CooMatrix,
+}
+
+/// The seeded matrix suite: a banded matrix (conflicts stay near the
+/// partition boundaries), a scattered-bandwidth matrix (conflict-heavy,
+/// exercises the indexing path), and a 2-D Laplacian (the paper's
+/// model problem family).
+pub fn suite() -> Vec<SuiteMatrix> {
+    vec![
+        SuiteMatrix {
+            repro: "gen::banded_random(257, 16, 6.0, 91)",
+            seed: 91,
+            coo: symspmv_sparse::gen::banded_random(257, 16, 6.0, 91),
+        },
+        SuiteMatrix {
+            repro: "gen::mixed_bandwidth(301, 7.0, 0.3, 5, 92)",
+            seed: 92,
+            coo: symspmv_sparse::gen::mixed_bandwidth(301, 7.0, 0.3, 5, 92),
+        },
+        SuiteMatrix {
+            repro: "gen::laplacian_2d(18, 18)",
+            seed: 0,
+            coo: symspmv_sparse::gen::laplacian_2d(18, 18),
+        },
+    ]
+}
+
+/// The formats with a batched (SpMM) path — the oracle's format axis.
+pub fn block_specs() -> Vec<KernelSpec> {
+    use ReductionMethod::{EffectiveRanges as Eff, Indexing as Idx, Naive};
+    vec![
+        KernelSpec::Csr,
+        KernelSpec::Sss(Naive),
+        KernelSpec::Sss(Eff),
+        KernelSpec::Sss(Idx),
+        KernelSpec::CsxSym(Naive),
+        KernelSpec::CsxSym(Eff),
+        KernelSpec::CsxSym(Idx),
+        KernelSpec::Hybrid(Idx),
+        KernelSpec::CsbSym,
+    ]
+}
+
+/// Builds the block-capable kernel for `spec`. Returns `Ok(None)` for
+/// specs without a batched path (the factory in [`crate::kernels`] still
+/// builds their scalar kernels).
+pub fn build_block_kernel(
+    spec: KernelSpec,
+    coo: &CooMatrix,
+    ctx: &Arc<ExecutionContext>,
+) -> Result<Option<Box<dyn BlockKernel>>, SparseError> {
+    let cfg = experiment_detect_config();
+    Ok(Some(match spec {
+        KernelSpec::Csr => Box::new(symspmv_core::CsrParallel::from_coo(coo, ctx)),
+        KernelSpec::Sss(m) => Box::new(SymSpmv::from_coo(coo, ctx, m, SymFormat::Sss)?),
+        KernelSpec::CsxSym(m) => Box::new(SymSpmv::from_coo(coo, ctx, m, SymFormat::CsxSym(cfg))?),
+        KernelSpec::Hybrid(m) => Box::new(SymSpmv::from_coo(
+            coo,
+            ctx,
+            m,
+            SymFormat::Hybrid {
+                csx: cfg,
+                min_coverage: 0.5,
+            },
+        )?),
+        KernelSpec::CsbSym => Box::new(symspmv_core::CsbSymParallel::from_coo(coo, ctx)?),
+        _ => return Ok(None),
+    }))
+}
+
+/// Whether `(spec, nthreads)` is in the bitwise conformance class against
+/// the serial SSS reference: the direct-write SSS strategies at one thread
+/// run the reference's exact per-element op order.
+pub fn is_bitwise_class(spec: KernelSpec, nthreads: usize) -> bool {
+    nthreads == 1
+        && matches!(
+            spec,
+            KernelSpec::Sss(ReductionMethod::EffectiveRanges)
+                | KernelSpec::Sss(ReductionMethod::Indexing)
+        )
+}
+
+/// Whether `(spec, nthreads)` produces scheduling-dependent results even
+/// for repeated identical calls: CSB-Sym's far transposed updates are
+/// atomic adds whose interleaving varies run to run once more than one
+/// worker exists. Such combinations are held to [`REL_TOL`] everywhere —
+/// including the SpMM-vs-SpMV property, where every other format must be
+/// bit-identical per lane.
+pub fn is_nondeterministic(spec: KernelSpec, nthreads: usize) -> bool {
+    matches!(spec, KernelSpec::CsbSym) && nthreads > 1
+}
+
+/// The serial SSS reference result for one input vector.
+pub fn serial_reference(coo: &CooMatrix, x: &[f64]) -> Vec<f64> {
+    let sss = match SssMatrix::from_coo(coo, 0.0) {
+        Ok(s) => s,
+        Err(e) => unreachable!("suite matrices are symmetric: {e}"),
+    };
+    let mut y = vec![0.0; x.len()];
+    sss.spmv(x, &mut y);
+    y
+}
+
+/// One-line reproducer for a failing combination.
+pub fn repro_line(
+    matrix: &SuiteMatrix,
+    spec: KernelSpec,
+    nthreads: usize,
+    lanes: usize,
+    vec_seed: u64,
+) -> String {
+    format!(
+        "reproduce with: matrix={} (seed {}), format={}, nthreads={}, lanes={}, x=VectorBlock::seeded(n, {}, {})",
+        matrix.repro,
+        matrix.seed,
+        spec.name(),
+        nthreads,
+        lanes,
+        lanes,
+        vec_seed
+    )
+}
+
+/// Compares `got` to the serial reference `want` under the class rules.
+/// Returns the failure description (without reproducer) on mismatch.
+pub fn check_lane(got: &[f64], want: &[f64], bitwise: bool) -> Result<(), String> {
+    if bitwise {
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            if g.to_bits() != w.to_bits() {
+                return Err(format!(
+                    "bitwise class: element {i} differs ({g:e} vs {w:e}, \
+                     {:#018x} vs {:#018x})",
+                    g.to_bits(),
+                    w.to_bits()
+                ));
+            }
+        }
+        return Ok(());
+    }
+    let d = max_rel_diff(got, want);
+    if d > REL_TOL {
+        return Err(format!(
+            "tolerance class: max relative difference {d:e} exceeds {REL_TOL:e}"
+        ));
+    }
+    Ok(())
+}

@@ -32,6 +32,9 @@ pub enum HarnessError {
         /// Number of suite matrices with at least one mismatching kernel.
         failures: usize,
     },
+    /// An experiment was invoked with an unusable configuration value
+    /// (e.g. `--rhs` outside the supported lane counts).
+    Config(String),
 }
 
 impl std::fmt::Display for HarnessError {
@@ -52,6 +55,7 @@ impl std::fmt::Display for HarnessError {
                 "{failures} suite matrices FAILED kernel-vs-reference verification \
                  (see the table above for the offending rows)"
             ),
+            HarnessError::Config(msg) => write!(fm, "{msg}"),
         }
     }
 }
@@ -62,6 +66,7 @@ impl std::error::Error for HarnessError {
             HarnessError::Io { source, .. } => Some(source),
             HarnessError::Matrix { source, .. } => Some(source),
             HarnessError::VerificationFailed { .. } => None,
+            HarnessError::Config(_) => None,
         }
     }
 }

@@ -34,6 +34,9 @@ pub struct ExpConfig {
     pub matrices: Vec<String>,
     /// CG iterations for Fig. 14 (paper: 2048).
     pub cg_iters: usize,
+    /// Right-hand sides per multiplication for the batched (`spmm`)
+    /// experiment — must be a supported lane count (1, 2, 4, 8, 16).
+    pub rhs: usize,
 }
 
 impl Default for ExpConfig {
@@ -47,6 +50,7 @@ impl Default for ExpConfig {
             out_dir: PathBuf::from("results"),
             matrices: Vec::new(),
             cg_iters: 512,
+            rhs: 8,
         }
     }
 }
@@ -830,6 +834,67 @@ pub fn related(cfg: &ExpConfig) -> Result<(), HarnessError> {
     Ok(())
 }
 
+/// Extension — batched SpMM: per-vector throughput of `k = cfg.rhs`
+/// simultaneous right-hand sides against the scalar (`k = 1`) kernel, for
+/// every block-capable format at max threads. The matrix is read once per
+/// `spmm` regardless of `k`, so the per-vector speedup measures how much
+/// of the kernel was memory-bound on the matrix stream.
+pub fn spmm(cfg: &ExpConfig) -> Result<(), HarnessError> {
+    use crate::conformance::build_block_kernel;
+    use crate::framework::measure_spmm;
+
+    let k = cfg.rhs;
+    if !symspmv_sparse::block::SUPPORTED_LANES.contains(&k) {
+        return Err(HarnessError::Config(format!(
+            "--rhs {k} is not a supported lane count {:?}",
+            symspmv_sparse::block::SUPPORTED_LANES
+        )));
+    }
+    println!(
+        "== Extension: batched SpMM with {k} right-hand sides at {} threads ==\n",
+        cfg.max_threads
+    );
+    let lineup = [
+        KernelSpec::Csr,
+        KernelSpec::Sss(ReductionMethod::Indexing),
+        KernelSpec::CsxSym(ReductionMethod::Indexing),
+        KernelSpec::CsbSym,
+    ];
+    let mut t = Table::new(&[
+        "matrix",
+        "format",
+        "k=1 us/vec",
+        "k us/vec",
+        "per-vec speedup",
+        "Gflop/s",
+    ]);
+    let ctx = ExecutionContext::new(cfg.max_threads);
+    for m in cfg.suite() {
+        for &spec in &lineup {
+            let mut eng = build_block_kernel(spec, &m.coo, &ctx)
+                .map_err(|e| {
+                    HarnessError::matrix(format!("{} kernel", spec.name()), m.spec.name, e)
+                })?
+                .unwrap_or_else(|| unreachable!("lineup holds only block-capable specs"));
+            let scalar = measure_spmm(&mut *eng, cfg.iterations, 1);
+            let block = measure_spmm(&mut *eng, cfg.iterations, k);
+            let t1 = scalar.per_spmv().as_secs_f64() * 1e6;
+            let tk = block.per_spmv().as_secs_f64() * 1e6 / k as f64;
+            t.row(vec![
+                m.spec.name.to_string(),
+                spec.name().to_string(),
+                f(t1, 2),
+                f(tk, 2),
+                f(t1 / tk, 2),
+                f(block.gflops, 2),
+            ]);
+        }
+    }
+    cfg.emit("spmm", &t)?;
+    println!("(expectation: symmetric formats gain the most — their matrix\n stream is half of CSR's, so k vectors amortize it further)\n");
+    Ok(())
+}
+
 /// Extension — atomic-update symmetric SpMV versus the local-vector
 /// methods (the CSB-style alternative the paper's related work predicts is
 /// "bound by the atomic operations" on high-bandwidth matrices).
@@ -1067,6 +1132,7 @@ pub fn all(cfg: &ExpConfig) -> Result<(), HarnessError> {
     fig14(cfg)?;
     ablation(cfg)?;
     atomics(cfg)?;
+    spmm(cfg)?;
     related(cfg)
 }
 

@@ -1,9 +1,10 @@
 //! The §V-A measurement loop.
 
 use std::time::{Duration, Instant};
-use symspmv_core::ParallelSpmv;
+use symspmv_core::{BlockKernel, ParallelSpmv};
 use symspmv_runtime::PhaseTimes;
 use symspmv_sparse::dense::seeded_vector;
+use symspmv_sparse::VectorBlock;
 
 /// Default iteration count used throughout the paper's evaluation.
 pub const DEFAULT_ITERATIONS: usize = 128;
@@ -70,6 +71,51 @@ pub fn measure<K: ParallelSpmv + ?Sized>(kernel: &mut K, iterations: usize) -> M
     let (wall, mut times) = best;
     times.preprocess = preprocess;
     let flops = kernel.flops() as f64 * iterations as f64;
+    Measurement {
+        kernel: kernel.name().into_owned(),
+        nthreads: kernel.nthreads(),
+        iterations,
+        wall,
+        times,
+        gflops: flops / wall.as_secs_f64() / 1e9,
+        size_bytes: kernel.size_bytes(),
+    }
+}
+
+/// The batched analog of [`measure`]: `iterations` SpMMs over a seeded
+/// `lanes`-wide block, swapping input and output blocks every iteration.
+/// `gflops` counts all lanes (`2·NNZ·lanes·iters / wall`), so the
+/// per-vector benefit of batching shows up directly against the scalar
+/// [`measure`] number for the same kernel.
+pub fn measure_spmm<K: BlockKernel + ?Sized>(
+    kernel: &mut K,
+    iterations: usize,
+    lanes: usize,
+) -> Measurement {
+    let n = kernel.n();
+    let mut x = VectorBlock::seeded(n, lanes, 0xFEED);
+    let mut y = VectorBlock::zeros(n, lanes);
+
+    kernel.spmm(&x, &mut y);
+    std::mem::swap(&mut x, &mut y);
+    let preprocess = kernel.times().preprocess;
+
+    let mut best = (Duration::MAX, PhaseTimes::default());
+    for _ in 0..MEASURE_REPEATS.max(1) {
+        kernel.reset_times();
+        let t0 = Instant::now();
+        for _ in 0..iterations {
+            kernel.spmm(&x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+        }
+        let wall = t0.elapsed();
+        if wall < best.0 {
+            best = (wall, kernel.times());
+        }
+    }
+    let (wall, mut times) = best;
+    times.preprocess = preprocess;
+    let flops = kernel.flops() as f64 * lanes as f64 * iterations as f64;
     Measurement {
         kernel: kernel.name().into_owned(),
         nthreads: kernel.nthreads(),

@@ -8,6 +8,7 @@
 //! format factory; [`experiments`] regenerates every table and figure of
 //! the evaluation section (see DESIGN.md §6 for the index).
 
+pub mod conformance;
 pub mod error;
 pub mod experiments;
 pub mod framework;

@@ -38,6 +38,7 @@ pub mod pool;
 pub mod race;
 pub mod reduction;
 pub mod shared;
+pub mod spmm;
 pub mod timing;
 
 #[cfg(test)]
@@ -50,4 +51,5 @@ pub use partition::{balanced_ranges, Range};
 pub use pool::{WorkerPanic, WorkerPanicInfo, WorkerPool};
 pub use reduction::{IndexEntry, LocalLayout, ReduceJob, ReductionStrategy};
 pub use shared::SharedBuf;
+pub use spmm::ParallelSpmm;
 pub use timing::PhaseTimes;

@@ -23,6 +23,7 @@
 use crate::partition::Range;
 use crate::pool::WorkerPool;
 use crate::shared::SharedBuf;
+use symspmv_sparse::block::MAX_LANES;
 
 /// One conflicting local-vector element: thread (vector id) and row index.
 ///
@@ -67,6 +68,13 @@ pub struct ReduceJob<'a> {
     pub entries: &'a [IndexEntry],
     /// Per-thread splits into `entries` (`splits.len() == nthreads + 1`).
     pub splits: &'a [usize],
+    /// Right-hand-side lanes per element (1 for scalar SpMV). `y` and
+    /// `locals` are lane-interleaved: the scalar plan's slot `s` becomes
+    /// the group `[s·lanes, (s+1)·lanes)`, while `offsets` stay the
+    /// scalar per-element offsets. A conflicting row is therefore visited
+    /// **once** per reduction regardless of `lanes` — the indexing
+    /// strategy's working-set win (Eq. 6) multiplies by `k`.
+    pub lanes: usize,
 }
 
 /// A pluggable local-vectors reduction (Fig. 3 b/c/d).
@@ -133,24 +141,33 @@ impl ReductionStrategy for NaiveReduction {
     fn reduce(&self, pool: &mut WorkerPool, job: &ReduceJob<'_>) {
         let p = job.parts.len();
         let n = job.n;
+        let lanes = job.lanes;
+        debug_assert!((1..=MAX_LANES).contains(&lanes));
         let chunks = job.row_chunks;
         let y_buf = job.y;
         let flat_buf = job.locals;
         pool.run(&|tid| {
             let chunk = chunks[tid];
             for r in chunk.start as usize..chunk.end as usize {
-                let mut acc = 0.0;
+                let mut acc = [0.0; MAX_LANES];
                 for i in 0..p {
-                    let k = i * n + r;
+                    let k = (i * n + r) * lanes;
                     // SAFETY(cert: reduction-slice): row r is owned by this
-                    // reduction thread's chunk; slot (i, r) is visited once.
+                    // reduction thread's chunk; the lane group of slot
+                    // (i, r) is visited once.
                     unsafe {
-                        acc += flat_buf.get(k);
-                        flat_buf.set(k, 0.0);
+                        for (j, a) in acc.iter_mut().enumerate().take(lanes) {
+                            *a += flat_buf.get(k + j);
+                            flat_buf.set(k + j, 0.0);
+                        }
                     }
                 }
                 // SAFETY(cert: reduction-slice): row r is ours to fold.
-                unsafe { y_buf.set(r, acc) };
+                unsafe {
+                    for (j, a) in acc.iter().enumerate().take(lanes) {
+                        y_buf.set(r * lanes + j, *a);
+                    }
+                }
             }
         });
     }
@@ -175,28 +192,42 @@ impl ReductionStrategy for EffectiveRangesReduction {
     fn reduce(&self, pool: &mut WorkerPool, job: &ReduceJob<'_>) {
         let parts = job.parts;
         let offsets = job.offsets;
+        let lanes = job.lanes;
+        debug_assert!((1..=MAX_LANES).contains(&lanes));
         let chunks = job.row_chunks;
         let y_buf = job.y;
         let flat_buf = job.locals;
         pool.run(&|tid| {
             let chunk = chunks[tid];
             for r in chunk.start as usize..chunk.end as usize {
+                let mut acc = [0.0; MAX_LANES];
                 // SAFETY(cert: reduction-slice): row r is owned by this
                 // reduction thread's chunk.
-                let mut acc = unsafe { y_buf.get(r) };
+                unsafe {
+                    for (j, a) in acc.iter_mut().enumerate().take(lanes) {
+                        *a = y_buf.get(r * lanes + j);
+                    }
+                }
                 for (i, part) in parts.iter().enumerate().skip(1) {
                     if (part.start as usize) > r {
-                        let k = offsets[i] + r;
-                        // SAFETY(cert: reduction-slice): slot (i, r) of the
-                        // effective regions belongs to row r's folder alone.
+                        let k = (offsets[i] + r) * lanes;
+                        // SAFETY(cert: reduction-slice): the lane group of
+                        // slot (i, r) of the effective regions belongs to
+                        // row r's folder alone.
                         unsafe {
-                            acc += flat_buf.get(k);
-                            flat_buf.set(k, 0.0);
+                            for (j, a) in acc.iter_mut().enumerate().take(lanes) {
+                                *a += flat_buf.get(k + j);
+                                flat_buf.set(k + j, 0.0);
+                            }
                         }
                     }
                 }
                 // SAFETY(cert: reduction-slice): row r is ours to fold.
-                unsafe { y_buf.set(r, acc) };
+                unsafe {
+                    for (j, a) in acc.iter().enumerate().take(lanes) {
+                        y_buf.set(r * lanes + j, *a);
+                    }
+                }
             }
         });
     }
@@ -226,17 +257,22 @@ impl ReductionStrategy for IndexingReduction {
         let entries = job.entries;
         let splits = job.splits;
         let offsets = job.offsets;
+        let lanes = job.lanes;
+        debug_assert!((1..=MAX_LANES).contains(&lanes));
         let y_buf = job.y;
         let flat_buf = job.locals;
         pool.run(&|tid| {
             for e in &entries[splits[tid]..splits[tid + 1]] {
-                let k = offsets[e.vid as usize] + e.idx as usize;
+                let k = (offsets[e.vid as usize] + e.idx as usize) * lanes;
+                let yk = e.idx as usize * lanes;
                 // SAFETY(cert: reduction-slice): (vid, idx) pairs are unique
-                // and slices never share an idx, so both accesses are
+                // and slices never share an idx, so both lane groups are
                 // exclusive.
                 unsafe {
-                    y_buf.add(e.idx as usize, flat_buf.get(k));
-                    flat_buf.set(k, 0.0);
+                    for j in 0..lanes {
+                        y_buf.add(yk + j, flat_buf.get(k + j));
+                        flat_buf.set(k + j, 0.0);
+                    }
                 }
             }
         });
@@ -283,9 +319,42 @@ mod tests {
             row_chunks: &chunks,
             entries: &[],
             splits: &[],
+            lanes: 1,
         };
         NaiveReduction.reduce(&mut pool, &job);
         assert!(y.iter().all(|&v| v == 2.0), "{y:?}");
+        assert!(locals.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn naive_reduce_folds_lane_groups() {
+        let n = 5;
+        let lanes = 2;
+        let parts = balanced_ranges(&vec![1u64; n], 2);
+        let chunks = balanced_ranges(&vec![1u64; n], 2);
+        let layout = NaiveReduction.layout(n, &parts);
+        // Lane 0 carries 1.0 everywhere, lane 1 carries 3.0.
+        let mut locals: Vec<f64> = (0..layout.flat_len * lanes)
+            .map(|s| if s % 2 == 0 { 1.0 } else { 3.0 })
+            .collect();
+        let mut y = vec![0.0; n * lanes];
+        let mut pool = WorkerPool::new(2);
+        let job = ReduceJob {
+            y: SharedBuf::new(&mut y),
+            locals: SharedBuf::new(&mut locals),
+            n,
+            parts: &parts,
+            offsets: &layout.offsets,
+            row_chunks: &chunks,
+            entries: &[],
+            splits: &[],
+            lanes,
+        };
+        NaiveReduction.reduce(&mut pool, &job);
+        for r in 0..n {
+            assert_eq!(y[r * lanes], 2.0, "lane 0, row {r}");
+            assert_eq!(y[r * lanes + 1], 6.0, "lane 1, row {r}");
+        }
         assert!(locals.iter().all(|&v| v == 0.0));
     }
 }

@@ -1,0 +1,41 @@
+//! The batched multi-vector kernel interface (`Y = A·X`, `k` right-hand
+//! sides).
+//!
+//! [`ParallelSpmm`] is the SpMM twin of the scalar SpMV interface in
+//! `symspmv-core`: one matrix, one [`ExecutionContext`], and a
+//! [`VectorBlock`] of `k` lane-interleaved right-hand sides per call. It
+//! lives here (not in core) because the reduction layer below — the Fig. 3
+//! strategies in [`crate::reduction`] — is lane-aware and the solver's
+//! block-CG driver needs the trait without pulling in the format crates.
+//!
+//! Contract every implementation upholds:
+//!
+//! * `x.lanes() == y.lanes()` and `x.n() == y.n() == n`; implementations
+//!   assert this and panic on mismatch (caller bug, not a worker death).
+//! * Each output lane `j` is **bit-identical** to the kernel's scalar
+//!   `spmv` on input lane `j`: the batched kernels run the same
+//!   per-element accumulation order per lane, so batching never changes
+//!   the numerics — only the traffic.
+//! * Per-thread local blocks are leased from the context's `BufferArena`
+//!   scaled by `lanes`, so a worker panic mid-SpMM scrubs them on unwind
+//!   and the arena's all-free-buffers-are-zero invariant holds afterwards.
+
+use crate::context::ExecutionContext;
+use std::sync::Arc;
+use symspmv_sparse::VectorBlock;
+
+/// A multithreaded batched SpMM kernel bound to one matrix and one
+/// [`ExecutionContext`].
+pub trait ParallelSpmm {
+    /// Computes `y[·, j] = A · x[·, j]` for every lane `j`.
+    ///
+    /// # Panics
+    /// If the block shapes disagree with each other or with the matrix
+    /// dimension.
+    fn spmm(&mut self, x: &VectorBlock, y: &mut VectorBlock);
+
+    /// The execution context this kernel leases lane-scaled local blocks
+    /// from. Named distinctly from the scalar trait's `context()` so types
+    /// implementing both stay unambiguous under joint trait bounds.
+    fn spmm_context(&self) -> &Arc<ExecutionContext>;
+}

@@ -1,0 +1,350 @@
+//! Block Conjugate Gradient: `k` independent CG solves advanced in
+//! lockstep on one batched kernel.
+//!
+//! This is the end-to-end consumer of the batched SpMM path: each
+//! iteration performs **one** [`ParallelSpmm::spmm`] over all `k`
+//! right-hand sides — streaming the matrix once instead of `k` times — plus
+//! lane-wise vector operations. The recurrences are *not* coupled (no
+//! shared Krylov space, no block orthogonalization): lane `j` runs exactly
+//! the scalar CG of [`mod@crate::cg`] on `(A, b_j)`, with its own `alpha_j`,
+//! `beta_j` and residual, and freezes in place the moment it converges or
+//! breaks down while the other lanes continue. Because the batched kernels
+//! and the lane-wise vector ops reproduce the scalar op order per lane
+//! bit-exactly, every lane's iterates are bit-identical to a scalar CG
+//! solve of that lane — the property tests assert this.
+
+use crate::cg::{CgConfig, SolveStatus, DIVERGENCE_GROWTH};
+use crate::vecops;
+use std::sync::Arc;
+use symspmv_core::{ParallelSpmm, ParallelSpmv, VectorBlock};
+use symspmv_runtime::timing::time_into;
+use symspmv_runtime::PhaseTimes;
+use symspmv_sparse::block::MAX_LANES;
+
+/// Terminal state of one lane of a block solve.
+#[derive(Debug, Clone)]
+pub struct LaneOutcome {
+    /// Iterations this lane actually advanced (it freezes afterwards).
+    pub iterations: usize,
+    /// Whether the lane reached the relative tolerance.
+    pub converged: bool,
+    /// How the lane ended.
+    pub status: SolveStatus,
+    /// Final recurrence residual norm `‖b_j − A·x_j‖`.
+    pub residual_norm: f64,
+    /// Residual-norm history (if requested); one entry per iteration the
+    /// lane was active, plus the initial residual.
+    pub history: Vec<f64>,
+}
+
+/// Outcome of a block CG solve.
+#[derive(Debug, Clone)]
+pub struct BlockSolveOutcome {
+    /// Per-lane terminal states.
+    pub lanes: Vec<LaneOutcome>,
+    /// Iterations of the longest-running lane (= SpMM calls issued).
+    pub iterations: usize,
+    /// Phase breakdown over the whole block solve.
+    pub times: PhaseTimes,
+}
+
+impl BlockSolveOutcome {
+    /// Whether every lane converged.
+    pub fn all_converged(&self) -> bool {
+        self.lanes.iter().all(|l| l.converged)
+    }
+}
+
+/// Solves the `k` systems `A·x_j = b_j` in lockstep, starting from the
+/// initial guesses in `x`.
+///
+/// One SpMM per iteration advances every still-active lane; converged and
+/// broken-down lanes are frozen (their `x`, `r`, `p` lanes stop changing)
+/// and the loop ends when all lanes are frozen or `max_iters` is reached.
+pub fn block_cg<K: ParallelSpmm + ParallelSpmv + ?Sized>(
+    kernel: &mut K,
+    b: &VectorBlock,
+    x: &mut VectorBlock,
+    config: &CgConfig,
+) -> BlockSolveOutcome {
+    let n = kernel.n();
+    let lanes = b.lanes();
+    assert_eq!(b.n(), n);
+    assert_eq!(x.n(), n);
+    assert_eq!(x.lanes(), lanes);
+    let ctx = Arc::clone(kernel.spmm_context());
+
+    let preexisting = kernel.times();
+    let mut vec_time = std::time::Duration::ZERO;
+
+    // R = B − A·X ; P = R.
+    let mut r = VectorBlock::zeros(n, lanes);
+    let mut p = VectorBlock::zeros(n, lanes);
+    let mut ap = VectorBlock::zeros(n, lanes);
+    kernel.spmm(x, &mut r);
+    time_into(&mut vec_time, || {
+        vecops::sub_from_lanes(b, &mut r);
+        p.as_mut_slice().copy_from_slice(r.as_slice());
+    });
+
+    let b_norm_sq = vecops::norm2_sq_lanes(&ctx, b);
+    let mut tol_sq = [0.0; MAX_LANES];
+    for (t, &bn) in tol_sq.iter_mut().zip(&b_norm_sq).take(lanes) {
+        *t = config.rel_tol * config.rel_tol * bn;
+    }
+    let mut rs_old = vecops::norm2_sq_lanes(&ctx, &r);
+    let rs_initial = rs_old;
+
+    let mut outcomes: Vec<LaneOutcome> = (0..lanes)
+        .map(|j| LaneOutcome {
+            iterations: 0,
+            converged: config.rel_tol > 0.0 && rs_old[j] <= tol_sq[j],
+            status: SolveStatus::MaxIterations,
+            residual_norm: rs_old[j].sqrt(),
+            history: if config.record_history {
+                vec![rs_old[j].sqrt()]
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+    let mut active: Vec<bool> = outcomes.iter().map(|o| !o.converged).collect();
+
+    let mut iterations = 0;
+    while iterations < config.max_iters && active.iter().any(|&a| a) {
+        kernel.spmm(&p, &mut ap);
+        time_into(&mut vec_time, || {
+            let pap = vecops::dot_lanes(&ctx, &p, &ap);
+            let mut alpha = [0.0; MAX_LANES];
+            for j in 0..lanes {
+                if !active[j] {
+                    continue;
+                }
+                if !pap[j].is_finite() {
+                    outcomes[j].status = SolveStatus::NonFiniteResidual;
+                    active[j] = false;
+                    continue;
+                }
+                if pap[j] <= 0.0 && rs_old[j] > 0.0 {
+                    outcomes[j].status = SolveStatus::NotSpd { pap: pap[j] };
+                    active[j] = false;
+                    continue;
+                }
+                alpha[j] = if pap[j] != 0.0 {
+                    rs_old[j] / pap[j]
+                } else {
+                    0.0
+                };
+            }
+            vecops::axpy_lanes(&ctx, &alpha, &active, &p, x);
+            let mut neg_alpha = [0.0; MAX_LANES];
+            for (na, &a) in neg_alpha.iter_mut().zip(&alpha).take(lanes) {
+                *na = -a;
+            }
+            vecops::axpy_lanes(&ctx, &neg_alpha, &active, &ap, &mut r);
+            let rs_new = vecops::norm2_sq_lanes(&ctx, &r);
+            let mut beta = [0.0; MAX_LANES];
+            for j in 0..lanes {
+                if !active[j] {
+                    continue;
+                }
+                if !rs_new[j].is_finite() {
+                    outcomes[j].status = SolveStatus::NonFiniteResidual;
+                    outcomes[j].iterations += 1;
+                    active[j] = false;
+                    continue;
+                }
+                if rs_initial[j] > 0.0
+                    && rs_new[j] > DIVERGENCE_GROWTH * DIVERGENCE_GROWTH * rs_initial[j]
+                {
+                    outcomes[j].status = SolveStatus::Diverged {
+                        growth: (rs_new[j] / rs_initial[j]).sqrt(),
+                    };
+                    outcomes[j].iterations += 1;
+                    rs_old[j] = rs_new[j];
+                    active[j] = false;
+                    continue;
+                }
+                beta[j] = if rs_old[j] != 0.0 {
+                    rs_new[j] / rs_old[j]
+                } else {
+                    0.0
+                };
+                rs_old[j] = rs_new[j];
+            }
+            vecops::xpby_lanes(&ctx, &r, &beta, &active, &mut p);
+            for j in 0..lanes {
+                if !active[j] {
+                    continue;
+                }
+                outcomes[j].iterations += 1;
+                if config.record_history {
+                    outcomes[j].history.push(rs_old[j].sqrt());
+                }
+                if config.rel_tol > 0.0 && rs_old[j] <= tol_sq[j] {
+                    outcomes[j].converged = true;
+                    active[j] = false;
+                }
+            }
+        });
+        iterations += 1;
+    }
+
+    for (j, o) in outcomes.iter_mut().enumerate() {
+        o.residual_norm = rs_old[j].sqrt();
+        if o.converged {
+            o.status = SolveStatus::Converged;
+        }
+    }
+
+    let after = kernel.times();
+    let times = PhaseTimes {
+        multiply: after.multiply - preexisting.multiply,
+        reduce: after.reduce - preexisting.reduce,
+        vector_ops: vec_time,
+        preprocess: preexisting.preprocess,
+    };
+    ctx.ledger_add(&times);
+
+    BlockSolveOutcome {
+        lanes: outcomes,
+        iterations,
+        times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::cg;
+    use symspmv_core::{CsrParallel, ReductionMethod, SymFormat, SymSpmv};
+    use symspmv_runtime::ExecutionContext;
+    use symspmv_sparse::CooMatrix;
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn lanes_bitwise_match_independent_scalar_solves() {
+        let coo = symspmv_sparse::gen::banded_random(300, 15, 6.0, 11);
+        let n = 300;
+        let cfg = CgConfig {
+            max_iters: 800,
+            rel_tol: 1e-9,
+            record_history: false,
+        };
+        let ctx = ExecutionContext::new(3);
+        for method in [
+            ReductionMethod::Naive,
+            ReductionMethod::EffectiveRanges,
+            ReductionMethod::Indexing,
+        ] {
+            let mut k = SymSpmv::from_coo(&coo, &ctx, method, SymFormat::Sss).unwrap();
+            let lanes = 4;
+            let b = VectorBlock::seeded(n, lanes, 30);
+            let mut x = VectorBlock::zeros(n, lanes);
+            let res = block_cg(&mut k, &b, &mut x, &cfg);
+            assert!(res.all_converged(), "{method:?}: {:?}", res.lanes);
+            for j in 0..lanes {
+                let mut xj = vec![0.0; n];
+                let rj = cg(&mut k, &b.lane(j), &mut xj, &cfg);
+                assert!(rj.converged);
+                assert_eq!(
+                    res.lanes[j].iterations, rj.iterations,
+                    "{method:?} lane {j}: iteration counts differ"
+                );
+                assert_eq!(
+                    bits(&x.lane(j)),
+                    bits(&xj),
+                    "{method:?} lane {j}: iterates not bit-identical"
+                );
+                assert_eq!(
+                    res.lanes[j].residual_norm.to_bits(),
+                    rj.residual_norm.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn converged_lane_freezes_while_others_run() {
+        let coo = symspmv_sparse::gen::laplacian_2d(15, 15);
+        let n = 225;
+        let ctx = ExecutionContext::new(2);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        // Lane 0 is the zero system (converges at iteration 0); lane 1 is a
+        // real right-hand side.
+        let zero = vec![0.0; n];
+        let real = symspmv_sparse::dense::seeded_vector(n, 4);
+        let b = VectorBlock::from_lanes(&[&zero, &real]);
+        let mut x = VectorBlock::zeros(n, 2);
+        let res = block_cg(
+            &mut k,
+            &b,
+            &mut x,
+            &CgConfig {
+                max_iters: 1000,
+                rel_tol: 1e-10,
+                record_history: true,
+            },
+        );
+        assert!(res.all_converged());
+        assert_eq!(res.lanes[0].iterations, 0);
+        assert!(res.lanes[1].iterations > 0);
+        assert_eq!(res.iterations, res.lanes[1].iterations);
+        assert!(x.lane(0).iter().all(|&v| v == 0.0), "frozen lane touched");
+        assert_eq!(
+            res.lanes[1].history.len(),
+            res.lanes[1].iterations + 1,
+            "history covers active iterations only"
+        );
+    }
+
+    #[test]
+    fn breakdown_reported_per_lane() {
+        // -Laplacian is negative definite: every lane hits NotSpd on its
+        // first iteration.
+        let base = symspmv_sparse::gen::laplacian_2d(8, 8);
+        let mut coo = CooMatrix::new(64, 64);
+        for (r, c, v) in base.iter() {
+            coo.push(r, c, -v);
+        }
+        coo.canonicalize();
+        let ctx = ExecutionContext::new(2);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let b = VectorBlock::seeded(64, 2, 8);
+        let mut x = VectorBlock::zeros(64, 2);
+        let res = block_cg(&mut k, &b, &mut x, &CgConfig::default());
+        assert!(!res.all_converged());
+        for lane in &res.lanes {
+            assert!(lane.status.is_breakdown(), "{:?}", lane.status);
+            assert!(matches!(lane.status, SolveStatus::NotSpd { pap } if pap < 0.0));
+        }
+    }
+
+    #[test]
+    fn fixed_work_mode_runs_all_lanes_to_max_iters() {
+        let coo = symspmv_sparse::gen::laplacian_2d(8, 8);
+        let ctx = ExecutionContext::new(2);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let b = VectorBlock::seeded(64, 4, 1);
+        let mut x = VectorBlock::zeros(64, 4);
+        let res = block_cg(
+            &mut k,
+            &b,
+            &mut x,
+            &CgConfig {
+                max_iters: 40,
+                rel_tol: 0.0,
+                record_history: false,
+            },
+        );
+        assert_eq!(res.iterations, 40);
+        for lane in &res.lanes {
+            assert_eq!(lane.iterations, 40);
+            assert_eq!(lane.status, SolveStatus::MaxIterations);
+        }
+        assert!(res.times.multiply > std::time::Duration::ZERO);
+    }
+}

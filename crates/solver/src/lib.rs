@@ -11,9 +11,11 @@
 //! breakdown the paper charts: SpMV multiply, SpMV reduction, vector
 //! operations, and format preprocessing.
 
+pub mod block_cg;
 pub mod cg;
 pub mod pcg;
 pub mod vecops;
 
+pub use block_cg::{block_cg, BlockSolveOutcome, LaneOutcome};
 pub use cg::{cg, CgConfig, CgResult, SolveOutcome, SolveStatus};
 pub use pcg::{diagonal_of, pcg_jacobi};

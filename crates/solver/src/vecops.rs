@@ -6,6 +6,7 @@
 //! a separate thread-pool library keeps the whole solve on one pool.
 
 use symspmv_runtime::{ExecutionContext, SharedBuf};
+use symspmv_sparse::block::{VectorBlock, MAX_LANES};
 use symspmv_sparse::Val;
 
 /// Below this length every kernel runs serially — parallel overhead would
@@ -90,6 +91,159 @@ pub fn sub_from(x: &[Val], y: &mut [Val]) {
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi = xi - *yi;
     }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-wise block operations for block CG.
+//
+// Each function applies the scalar operation independently per lane, and —
+// critically — runs the *same per-element op order per lane* as its scalar
+// counterpart (rows ascending within the same thread spans, thresholded on
+// the row count, partials summed in thread order). Lane `j` of a block
+// operation is therefore bit-identical to the scalar operation on lane `j`,
+// which is what lets block CG reproduce k scalar CG solves exactly.
+// ---------------------------------------------------------------------------
+
+/// Per-lane dot products `a_jᵀ·b_j` for every lane `j`.
+pub fn dot_lanes(ctx: &ExecutionContext, a: &VectorBlock, b: &VectorBlock) -> [Val; MAX_LANES] {
+    assert_eq!(a.n(), b.n());
+    assert_eq!(a.lanes(), b.lanes());
+    let (n, lanes) = (a.n(), a.lanes());
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let mut out = [0.0; MAX_LANES];
+    if n < PAR_THRESHOLD {
+        for i in 0..n {
+            let ar = &ad[i * lanes..(i + 1) * lanes];
+            let br = &bd[i * lanes..(i + 1) * lanes];
+            for ((o, &x), &y) in out.iter_mut().zip(ar).zip(br) {
+                *o += x * y;
+            }
+        }
+        return out;
+    }
+    let p = ctx.nthreads();
+    let mut partials = vec![0.0; p * lanes];
+    let pb = SharedBuf::new(&mut partials);
+    ctx.run(&|tid| {
+        let (lo, hi) = span(n, tid, p);
+        let mut acc = [0.0; MAX_LANES];
+        for i in lo..hi {
+            let ar = &ad[i * lanes..(i + 1) * lanes];
+            let br = &bd[i * lanes..(i + 1) * lanes];
+            for ((o, &x), &y) in acc.iter_mut().zip(ar).zip(br) {
+                *o += x * y;
+            }
+        }
+        for (j, &s) in acc.iter().enumerate().take(lanes) {
+            // SAFETY(cert: disjoint-direct): lane group tid is
+            // thread-private.
+            unsafe { pb.set(tid * lanes + j, s) };
+        }
+    });
+    for tid in 0..p {
+        for (j, o) in out.iter_mut().enumerate().take(lanes) {
+            *o += partials[tid * lanes + j];
+        }
+    }
+    out
+}
+
+/// Per-lane squared Euclidean norms.
+pub fn norm2_sq_lanes(ctx: &ExecutionContext, a: &VectorBlock) -> [Val; MAX_LANES] {
+    dot_lanes(ctx, a, a)
+}
+
+/// `y_j += alpha[j]·x_j` for every lane `j` with `active[j]` — frozen
+/// lanes are left bit-exactly untouched.
+pub fn axpy_lanes(
+    ctx: &ExecutionContext,
+    alpha: &[Val; MAX_LANES],
+    active: &[bool],
+    x: &VectorBlock,
+    y: &mut VectorBlock,
+) {
+    assert_eq!(x.n(), y.n());
+    assert_eq!(x.lanes(), y.lanes());
+    let (n, lanes) = (x.n(), x.lanes());
+    let xd = x.as_slice();
+    if n < PAR_THRESHOLD {
+        let yd = y.as_mut_slice();
+        for i in 0..n {
+            let xr = &xd[i * lanes..(i + 1) * lanes];
+            for j in 0..lanes {
+                if active[j] {
+                    yd[i * lanes + j] += alpha[j] * xr[j];
+                }
+            }
+        }
+        return;
+    }
+    let p = ctx.nthreads();
+    let yb = SharedBuf::new(y.as_mut_slice());
+    ctx.run(&|tid| {
+        let (lo, hi) = span(n, tid, p);
+        // SAFETY(cert: lane-lifted): row spans tile 0..n disjointly, so
+        // their lane groups tile the block store disjointly.
+        let cy = unsafe { yb.range_mut(lo * lanes, hi * lanes) };
+        for i in lo..hi {
+            let xr = &xd[i * lanes..(i + 1) * lanes];
+            for j in 0..lanes {
+                if active[j] {
+                    cy[(i - lo) * lanes + j] += alpha[j] * xr[j];
+                }
+            }
+        }
+    });
+}
+
+/// `p_j = r_j + beta[j]·p_j` for every lane `j` with `active[j]`.
+pub fn xpby_lanes(
+    ctx: &ExecutionContext,
+    r: &VectorBlock,
+    beta: &[Val; MAX_LANES],
+    active: &[bool],
+    p: &mut VectorBlock,
+) {
+    assert_eq!(r.n(), p.n());
+    assert_eq!(r.lanes(), p.lanes());
+    let (n, lanes) = (r.n(), r.lanes());
+    let rd = r.as_slice();
+    if n < PAR_THRESHOLD {
+        let pd = p.as_mut_slice();
+        for i in 0..n {
+            let rr = &rd[i * lanes..(i + 1) * lanes];
+            for j in 0..lanes {
+                if active[j] {
+                    pd[i * lanes + j] = rr[j] + beta[j] * pd[i * lanes + j];
+                }
+            }
+        }
+        return;
+    }
+    let nt = ctx.nthreads();
+    let pb = SharedBuf::new(p.as_mut_slice());
+    ctx.run(&|tid| {
+        let (lo, hi) = span(n, tid, nt);
+        // SAFETY(cert: lane-lifted): row spans tile 0..n disjointly, so
+        // their lane groups tile the block store disjointly.
+        let cp = unsafe { pb.range_mut(lo * lanes, hi * lanes) };
+        for i in lo..hi {
+            let rr = &rd[i * lanes..(i + 1) * lanes];
+            for j in 0..lanes {
+                if active[j] {
+                    let k = (i - lo) * lanes + j;
+                    cp[k] = rr[j] + beta[j] * cp[k];
+                }
+            }
+        }
+    });
+}
+
+/// `y = x - y` in place on `y`, all lanes (used for `R = B - A·X`).
+pub fn sub_from_lanes(x: &VectorBlock, y: &mut VectorBlock) {
+    assert_eq!(x.n(), y.n());
+    assert_eq!(x.lanes(), y.lanes());
+    sub_from(x.as_slice(), y.as_mut_slice());
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //! indices and eight-byte floating-point values.
 
 pub mod bcsr;
+pub mod block;
 pub mod cache;
 pub mod coo;
 pub mod csr;
@@ -39,6 +40,7 @@ pub mod suite;
 pub mod validate;
 
 pub use bcsr::BcsrMatrix;
+pub use block::VectorBlock;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use error::SparseError;

@@ -45,6 +45,12 @@ pub const KNOWN_INVARIANTS: &[(&str, &str)] = &[
          (RaceCertificate invariant)",
     ),
     (
+        "lane-lifted",
+        "write-set verifier: a scalar proof lifted to k lanes — block slot \
+         row*lanes+lane inherits the scalar row's disjointness \
+         (lift_sym_certificate side conditions)",
+    ),
+    (
         "color-class",
         "coloring verifier: rows of one class have pairwise disjoint write \
          sets (RaceCertificate invariant)",

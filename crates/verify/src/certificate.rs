@@ -41,6 +41,11 @@ pub struct RaceCertificate {
     /// Distinct conflicting entries across all threads (the `(vid, idx)`
     /// index size for the indexing strategy).
     pub conflict_entries: usize,
+    /// Right-hand-side lanes the certified write sets cover: `1` for a
+    /// scalar SpMV plan; `k` for a block (SpMM) plan lane-lifted from a
+    /// scalar proof (see `lift_sym_certificate`). Footprint statistics
+    /// (`local_elems`, `conflict_entries`) are in lane-scaled elements.
+    pub lanes: usize,
 }
 
 impl RaceCertificate {
@@ -113,6 +118,7 @@ impl RaceCertificate {
         s.push_str(&format!("direct_rows={}\n", self.direct_rows));
         s.push_str(&format!("local_elems={}\n", self.local_elems));
         s.push_str(&format!("conflict_entries={}\n", self.conflict_entries));
+        s.push_str(&format!("lanes={}\n", self.lanes));
         s
     }
 
@@ -128,6 +134,9 @@ impl RaceCertificate {
             direct_rows: 0,
             local_elems: 0,
             conflict_entries: 0,
+            // Texts minted before the batched-SpMM era carry no `lanes`
+            // key; they certified scalar plans.
+            lanes: 1,
         };
         let mut header_seen = false;
         for (lineno, line) in text.lines().enumerate() {
@@ -164,6 +173,7 @@ impl RaceCertificate {
                 "direct_rows" => cert.direct_rows = parse_usize(value, lineno, line)?,
                 "local_elems" => cert.local_elems = parse_usize(value, lineno, line)?,
                 "conflict_entries" => cert.conflict_entries = parse_usize(value, lineno, line)?,
+                "lanes" => cert.lanes = parse_usize(value, lineno, line)?,
                 _ => return Err(malformed(lineno, line)),
             }
         }
@@ -216,6 +226,7 @@ mod tests {
             direct_rows: 1024,
             local_elems: 1536,
             conflict_entries: 96,
+            lanes: 1,
         }
     }
 

@@ -94,6 +94,7 @@ pub fn certify_csx_chunks<'a>(
         direct_rows: n as usize,
         local_elems: parts.iter().map(|r| r.start as usize).sum(),
         conflict_entries: 0,
+        lanes: 1,
     })
 }
 

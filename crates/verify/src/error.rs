@@ -97,6 +97,34 @@ pub enum VerifyError {
         /// Value of the configuration being dispatched.
         actual: u64,
     },
+    /// A block (SpMM) plan asked for a lane count the runtime does not
+    /// support — lane-lifting a scalar proof is only sound for the widths
+    /// the kernels are written for.
+    BadLaneCount {
+        /// The rejected lane count.
+        lanes: usize,
+    },
+    /// A block plan's local-store offset for thread `tid` is not the
+    /// scalar offset scaled by the lane count, so the lifted write sets
+    /// would not tile the block store the way the scalar proof tiles the
+    /// scalar store.
+    LaneOffsetMismatch {
+        /// The thread whose block offset is wrong.
+        tid: usize,
+        /// `base_offsets[tid] * lanes`, the only sound block offset.
+        expected: usize,
+        /// The offset the block plan actually declares.
+        actual: usize,
+    },
+    /// A block plan's leased-store length is not the scalar length scaled
+    /// by the lane count — the lifted regions would escape (too short) or
+    /// leave unproved slack (too long).
+    LaneRegionMismatch {
+        /// `base_local_len * lanes`, the only sound block store length.
+        expected: usize,
+        /// The length the block plan actually leases.
+        actual: usize,
+    },
     /// The plan is structurally malformed (wrong array lengths, unsorted
     /// index, out-of-bounds partition…) — rejected before any write-set
     /// reasoning applies.
@@ -157,6 +185,21 @@ impl std::fmt::Display for VerifyError {
             } => write!(
                 f,
                 "stale certificate: {field} recorded as {expected}, dispatching {actual}"
+            ),
+            VerifyError::BadLaneCount { lanes } => {
+                write!(f, "unsupported lane count {lanes} for block lifting")
+            }
+            VerifyError::LaneOffsetMismatch {
+                tid,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "block offset of thread {tid} is {actual}, lane-scaled proof requires {expected}"
+            ),
+            VerifyError::LaneRegionMismatch { expected, actual } => write!(
+                f,
+                "block local store is {actual} elements, lane-scaled proof requires {expected}"
             ),
             VerifyError::MalformedPlan { reason } => write!(f, "malformed plan: {reason}"),
         }

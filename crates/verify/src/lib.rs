@@ -35,4 +35,6 @@ pub mod writeset;
 pub use certificate::RaceCertificate;
 pub use csx_check::{certify_csx_chunk, certify_csx_chunks};
 pub use error::VerifyError;
-pub use writeset::{certify_color, certify_rows, certify_sym, SymPlanRef, SymStrategyKind};
+pub use writeset::{
+    certify_color, certify_rows, certify_sym, lift_sym_certificate, SymPlanRef, SymStrategyKind,
+};

@@ -299,7 +299,71 @@ pub fn certify_sym(sss: &SssMatrix, plan: &SymPlanRef<'_>) -> Result<RaceCertifi
             p * n as usize
         },
         conflict_entries,
+        lanes: 1,
     })
+}
+
+/// Lifts a scalar symmetric-plan certificate to a `lanes`-wide block
+/// (SpMM) certificate.
+///
+/// A row conflict is lane-independent: the block kernels write element
+/// `(row, lane)` at slot `row·lanes + lane`, so thread `i`'s scalar write
+/// set `W_i` becomes exactly `{ w·lanes + j : w ∈ W_i, j < lanes }`. Two
+/// lifted sets intersect iff the scalar sets intersect — disjointness (and
+/// therefore every race-freedom invariant of `base`) lifts verbatim,
+/// *provided* the block plan really is the scalar plan scaled: each block
+/// offset must be the scalar offset times `lanes`, and the block store
+/// must be the scalar store times `lanes`. This function checks those side
+/// conditions and returns a certificate carrying the extra `lane-lifted`
+/// invariant; it does not re-enumerate the structure.
+pub fn lift_sym_certificate(
+    base: &RaceCertificate,
+    lanes: usize,
+    base_offsets: &[usize],
+    base_local_len: usize,
+    block_offsets: &[usize],
+    block_local_len: usize,
+) -> Result<RaceCertificate, VerifyError> {
+    if !symspmv_sparse::block::SUPPORTED_LANES.contains(&lanes) {
+        return Err(VerifyError::BadLaneCount { lanes });
+    }
+    if base.lanes != 1 {
+        return Err(VerifyError::MalformedPlan {
+            reason: format!("cannot lift a certificate already at {} lanes", base.lanes),
+        });
+    }
+    if block_offsets.len() != base_offsets.len() {
+        return Err(VerifyError::MalformedPlan {
+            reason: format!(
+                "{} block offsets for {} scalar offsets",
+                block_offsets.len(),
+                base_offsets.len()
+            ),
+        });
+    }
+    for (tid, (&b, &s)) in block_offsets.iter().zip(base_offsets).enumerate() {
+        if b != s * lanes {
+            return Err(VerifyError::LaneOffsetMismatch {
+                tid,
+                expected: s * lanes,
+                actual: b,
+            });
+        }
+    }
+    if block_local_len != base_local_len * lanes {
+        return Err(VerifyError::LaneRegionMismatch {
+            expected: base_local_len * lanes,
+            actual: block_local_len,
+        });
+    }
+    let mut cert = base.clone();
+    cert.lanes = lanes;
+    cert.local_elems = base.local_elems * lanes;
+    cert.conflict_entries = base.conflict_entries * lanes;
+    if !cert.proves("lane-lifted") {
+        cert.invariants.push("lane-lifted".to_string());
+    }
+    Ok(cert)
 }
 
 /// Verifies the `(vid, idx)` index and its reduction splits against the
@@ -394,6 +458,7 @@ pub fn certify_rows(
         direct_rows: n as usize,
         local_elems: 0,
         conflict_entries: 0,
+        lanes: 1,
     })
 }
 
@@ -459,6 +524,7 @@ pub fn certify_color(
         direct_rows: n,
         local_elems: 0,
         conflict_entries: classes.len(),
+        lanes: 1,
     })
 }
 

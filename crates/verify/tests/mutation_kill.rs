@@ -1,7 +1,9 @@
-//! Mutation-kill suite: six deliberately corrupted plans, each of which the
+//! Mutation-kill suite: deliberately corrupted plans, each of which the
 //! verifier must reject — and each with a *distinct* [`VerifyError`]
 //! variant, proving the taxonomy actually discriminates failure modes
-//! instead of funnelling everything into one generic error.
+//! instead of funnelling everything into one generic error. Mutations 7–9
+//! target the lane-lifting path that turns a scalar proof into a block
+//! (SpMM) certificate.
 
 use std::sync::Arc;
 use symspmv_core::symbolic;
@@ -11,8 +13,8 @@ use symspmv_runtime::reduction::{IndexingReduction, ReductionStrategy};
 use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights, Range};
 use symspmv_sparse::{CooMatrix, Permutation, SssMatrix};
 use symspmv_verify::{
-    certify_color, certify_csx_chunk, certify_sym, RaceCertificate, SymPlanRef, SymStrategyKind,
-    VerifyError,
+    certify_color, certify_csx_chunk, certify_sym, lift_sym_certificate, RaceCertificate,
+    SymPlanRef, SymStrategyKind, VerifyError,
 };
 
 /// A banded symmetric test matrix with cross-partition conflicts.
@@ -240,8 +242,113 @@ fn mutation_stale_certificate_after_renumbering() {
     );
 }
 
-/// The six mutations map onto six *distinct* variants — the discriminants
-/// of the errors above are pairwise different.
+/// Correctly lane-scaled lifting succeeds and records what it proved.
+#[test]
+fn unmutated_lane_lifting_certifies() {
+    let sss = matrix(256);
+    let plan = good_plan(&sss, 4);
+    let base = certify(&sss, &plan, SymStrategyKind::Indexing).unwrap();
+    let lanes = 8;
+    let block_offsets: Vec<usize> = plan.offsets.iter().map(|o| o * lanes).collect();
+    let cert = lift_sym_certificate(
+        &base,
+        lanes,
+        &plan.offsets,
+        plan.local_len,
+        &block_offsets,
+        plan.local_len * lanes,
+    )
+    .unwrap();
+    assert_eq!(cert.lanes, lanes);
+    assert!(cert.proves("lane-lifted"));
+    assert_eq!(cert.local_elems, base.local_elems * lanes);
+    // The lifted certificate still validates for the same dispatch key.
+    cert.validate_for(sss.fingerprint(), 4, "sym-sss", "idx")
+        .unwrap();
+}
+
+/// Mutation 7 — lane-shifted block offset: thread 1's block region starts
+/// one element late, so its lane groups drift off the scalar proof's
+/// tiling (and its last group would escape into thread 2's region).
+#[test]
+fn mutation_shifted_block_offset_rejected() {
+    let sss = matrix(256);
+    let plan = good_plan(&sss, 4);
+    let base = certify(&sss, &plan, SymStrategyKind::Indexing).unwrap();
+    let lanes = 4;
+    let mut block_offsets: Vec<usize> = plan.offsets.iter().map(|o| o * lanes).collect();
+    block_offsets[1] += 1;
+    let err = lift_sym_certificate(
+        &base,
+        lanes,
+        &plan.offsets,
+        plan.local_len,
+        &block_offsets,
+        plan.local_len * lanes,
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::LaneOffsetMismatch {
+            tid: 1,
+            expected: plan.offsets[1] * lanes,
+            actual: plan.offsets[1] * lanes + 1,
+        }
+    );
+}
+
+/// Mutation 8 — short block store: the lease forgot to scale by the lane
+/// count, so the last thread's lifted region escapes the store.
+#[test]
+fn mutation_short_block_store_rejected() {
+    let sss = matrix(256);
+    let plan = good_plan(&sss, 4);
+    let base = certify(&sss, &plan, SymStrategyKind::Indexing).unwrap();
+    let lanes = 4;
+    let block_offsets: Vec<usize> = plan.offsets.iter().map(|o| o * lanes).collect();
+    let err = lift_sym_certificate(
+        &base,
+        lanes,
+        &plan.offsets,
+        plan.local_len,
+        &block_offsets,
+        plan.local_len, // unscaled — too short by (lanes-1)·local_len
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::LaneRegionMismatch {
+            expected: plan.local_len * lanes,
+            actual: plan.local_len,
+        }
+    );
+}
+
+/// Mutation 9 — unsupported lane count: lifting must refuse widths the
+/// block kernels are not written for (stack accumulators are MAX_LANES
+/// wide; a wider block would silently truncate).
+#[test]
+fn mutation_unsupported_lane_count_rejected() {
+    let sss = matrix(256);
+    let plan = good_plan(&sss, 4);
+    let base = certify(&sss, &plan, SymStrategyKind::Indexing).unwrap();
+    for lanes in [0usize, 3, 32] {
+        let block_offsets: Vec<usize> = plan.offsets.iter().map(|o| o * lanes).collect();
+        let err = lift_sym_certificate(
+            &base,
+            lanes,
+            &plan.offsets,
+            plan.local_len,
+            &block_offsets,
+            plan.local_len * lanes,
+        )
+        .unwrap_err();
+        assert_eq!(err, VerifyError::BadLaneCount { lanes });
+    }
+}
+
+/// The mutations map onto *distinct* variants — the discriminants of the
+/// errors above are pairwise different.
 #[test]
 fn mutations_produce_distinct_variants() {
     use std::mem::discriminant;
@@ -274,6 +381,16 @@ fn mutations_produce_distinct_variants() {
             expected: 0,
             actual: 0,
         }),
+        discriminant(&VerifyError::LaneOffsetMismatch {
+            tid: 0,
+            expected: 0,
+            actual: 0,
+        }),
+        discriminant(&VerifyError::LaneRegionMismatch {
+            expected: 0,
+            actual: 0,
+        }),
+        discriminant(&VerifyError::BadLaneCount { lanes: 0 }),
     ];
     for (i, a) in variants.iter().enumerate() {
         for b in variants.iter().skip(i + 1) {

@@ -1,0 +1,155 @@
+//! Differential conformance oracle (see `crates/harness/src/conformance.rs`
+//! for the shared helpers and the class definitions).
+//!
+//! Sweeps the **full** cross product
+//! `format × nthreads × lanes × suite matrix` and compares every
+//! combination against the serial SSS reference, per lane:
+//!
+//! * bitwise for the combinations proven to replay the reference's exact
+//!   op order (`sss-eff`/`sss-idx` at one thread);
+//! * within the documented `REL_TOL` everywhere else.
+//!
+//! A failing combination panics with a one-line minimal reproducer. A
+//! final counter assertion pins the number of executed combinations to the
+//! full cross product — the matrix cannot silently shrink (a skipped
+//! combination is a failure, not a gap).
+
+use symspmv_harness::conformance::{
+    block_specs, build_block_kernel, check_lane, is_bitwise_class, is_nondeterministic, repro_line,
+    serial_reference, suite, ORACLE_LANES, ORACLE_THREADS, REL_TOL,
+};
+use symspmv_runtime::ExecutionContext;
+use symspmv_sparse::dense::max_rel_diff;
+use symspmv_sparse::VectorBlock;
+
+const VEC_SEED: u64 = 1234;
+
+/// SpMV: every format × nthreads × matrix agrees with the serial SSS
+/// reference on a seeded input vector.
+#[test]
+fn spmv_conforms_to_serial_reference() {
+    let matrices = suite();
+    let specs = block_specs();
+    let mut executed = 0usize;
+    for m in &matrices {
+        let n = m.coo.nrows() as usize;
+        let x = symspmv_sparse::dense::seeded_vector(n, VEC_SEED);
+        let want = serial_reference(&m.coo, &x);
+        for &p in &ORACLE_THREADS {
+            let ctx = ExecutionContext::new(p);
+            for &spec in &specs {
+                let mut k = build_block_kernel(spec, &m.coo, &ctx)
+                    .expect("suite matrices build in every format")
+                    .expect("block_specs() only lists block-capable formats");
+                let mut y = vec![f64::NAN; n];
+                k.spmv(&x, &mut y);
+                if let Err(why) = check_lane(&y, &want, is_bitwise_class(spec, p)) {
+                    panic!(
+                        "spmv conformance failure: {why}\n  {}",
+                        repro_line(m, spec, p, 1, VEC_SEED)
+                    );
+                }
+                executed += 1;
+            }
+        }
+    }
+    assert_eq!(
+        executed,
+        suite().len() * block_specs().len() * ORACLE_THREADS.len(),
+        "conformance matrix silently shrank"
+    );
+}
+
+/// SpMM: every format × nthreads × lanes × matrix agrees with the serial
+/// SSS reference on every lane of a seeded block.
+#[test]
+fn spmm_conforms_to_serial_reference() {
+    let matrices = suite();
+    let specs = block_specs();
+    let mut executed = 0usize;
+    for m in &matrices {
+        let n = m.coo.nrows() as usize;
+        for &p in &ORACLE_THREADS {
+            let ctx = ExecutionContext::new(p);
+            for &spec in &specs {
+                let mut k = build_block_kernel(spec, &m.coo, &ctx)
+                    .expect("suite matrices build in every format")
+                    .expect("block_specs() only lists block-capable formats");
+                for &lanes in &ORACLE_LANES {
+                    let x = VectorBlock::seeded(n, lanes, VEC_SEED);
+                    let mut y = VectorBlock::zeros(n, lanes);
+                    k.spmm(&x, &mut y);
+                    for j in 0..lanes {
+                        let want = serial_reference(&m.coo, &x.lane(j));
+                        if let Err(why) = check_lane(&y.lane(j), &want, is_bitwise_class(spec, p)) {
+                            panic!(
+                                "spmm conformance failure on lane {j}: {why}\n  {}",
+                                repro_line(m, spec, p, lanes, VEC_SEED)
+                            );
+                        }
+                    }
+                    executed += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(
+        executed,
+        suite().len() * block_specs().len() * ORACLE_THREADS.len() * ORACLE_LANES.len(),
+        "conformance matrix silently shrank"
+    );
+}
+
+/// Property: `spmm(k)` is bit-identical to `k` independent `spmv` calls on
+/// the same context, for every block-capable format, lane by lane. The
+/// only exception is CSB-Sym beyond one thread, whose atomic accumulation
+/// makes even repeated `spmv` calls scheduling-dependent — there the lanes
+/// must still agree within `REL_TOL`.
+#[test]
+fn spmm_is_bitwise_k_spmv_calls() {
+    let matrices = suite();
+    let specs = block_specs();
+    let mut executed = 0usize;
+    for m in &matrices {
+        let n = m.coo.nrows() as usize;
+        for &p in &ORACLE_THREADS {
+            let ctx = ExecutionContext::new(p);
+            for &spec in &specs {
+                let mut k = build_block_kernel(spec, &m.coo, &ctx)
+                    .expect("suite matrices build in every format")
+                    .expect("block_specs() only lists block-capable formats");
+                for &lanes in &ORACLE_LANES {
+                    let x = VectorBlock::seeded(n, lanes, VEC_SEED);
+                    let mut y = VectorBlock::zeros(n, lanes);
+                    k.spmm(&x, &mut y);
+                    for j in 0..lanes {
+                        let mut yj = vec![f64::NAN; n];
+                        k.spmv(&x.lane(j), &mut yj);
+                        let got = y.lane(j);
+                        if is_nondeterministic(spec, p) {
+                            let d = max_rel_diff(&got, &yj);
+                            assert!(
+                                d <= REL_TOL,
+                                "lane {j} drifted {d:e} beyond {REL_TOL:e}\n  {}",
+                                repro_line(m, spec, p, lanes, VEC_SEED)
+                            );
+                        } else {
+                            assert_eq!(
+                                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                                yj.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                                "spmm lane {j} is not bit-identical to spmv\n  {}",
+                                repro_line(m, spec, p, lanes, VEC_SEED)
+                            );
+                        }
+                    }
+                    executed += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(
+        executed,
+        suite().len() * block_specs().len() * ORACLE_THREADS.len() * ORACLE_LANES.len(),
+        "property matrix silently shrank"
+    );
+}

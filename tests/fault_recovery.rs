@@ -101,6 +101,79 @@ fn reduction_phase_panic_is_caught_and_context_recovers_bit_identical() {
     }
 }
 
+/// The batched path under the same injection: a worker panic in the
+/// reduction phase of an SpMM must surface as `WorkerPanicked`, the leased
+/// block buffers (k lanes wide) must be scrubbed back to the arena
+/// mid-unwind, and a follow-up SpMM on the same context must be
+/// bit-identical to a fresh one.
+#[test]
+fn reduction_phase_panic_during_spmm_is_caught_and_context_recovers() {
+    use symspmv::core::ParallelSpmmExt;
+    use symspmv::sparse::VectorBlock;
+
+    let coo = test_matrix();
+    let n = coo.nrows() as usize;
+    let lanes = 4;
+    let x = VectorBlock::seeded(n, lanes, 11);
+
+    for method in [
+        ReductionMethod::Naive,
+        ReductionMethod::EffectiveRanges,
+        ReductionMethod::Indexing,
+    ] {
+        let ctx = ExecutionContext::new(4);
+        let mut eng = SymSpmv::try_from_coo(&coo, &ctx, method, SymFormat::Sss)
+            .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+
+        // Warm up so the k-lane-wide local buffer is already in the arena
+        // and the armed round lands in the reduction, not a first-touch.
+        let mut y_warm = VectorBlock::zeros(n, lanes);
+        eng.try_spmm(&x, &mut y_warm).expect("warm-up spmm");
+
+        ctx.fault_plan().arm_worker_panic(2, REDUCTION_ROUND_OFFSET);
+        let mut y_doomed = VectorBlock::zeros(n, lanes);
+        match eng.try_spmm(&x, &mut y_doomed) {
+            Err(SymSpmvError::WorkerPanicked { tid, message }) => {
+                assert_eq!(tid, 2, "{method:?}: wrong worker blamed");
+                assert!(
+                    message.contains("injected fault"),
+                    "{method:?}: panic payload lost: {message}"
+                );
+            }
+            Err(other) => panic!("{method:?}: expected WorkerPanicked, got {other:?}"),
+            Ok(()) => panic!("{method:?}: armed reduction panic did not surface"),
+        }
+        assert_eq!(ctx.fault_plan().fired(), 1);
+        assert_eq!(ctx.take_last_panic(), None);
+
+        // The lane-wide leases returned mid-unwind left the arena whole:
+        // every free buffer is back to all-zeros.
+        assert!(
+            ctx.arena_all_free_zero(),
+            "{method:?}: arena dirty after a panicked block reduction"
+        );
+
+        // Recovery: same engine, same context, bit-identical to fresh.
+        let mut y_recovered = VectorBlock::zeros(n, lanes);
+        eng.try_spmm(&x, &mut y_recovered)
+            .unwrap_or_else(|e| panic!("{method:?}: context not reusable: {e}"));
+
+        let fresh_ctx = ExecutionContext::new(4);
+        let mut fresh_eng = SymSpmv::try_from_coo(&coo, &fresh_ctx, method, SymFormat::Sss)
+            .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+        let mut y_fresh = VectorBlock::zeros(n, lanes);
+        fresh_eng.try_spmm(&x, &mut y_fresh).expect("fresh spmm");
+
+        let bits = |v: &VectorBlock| v.as_slice().iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&y_recovered),
+            bits(&y_fresh),
+            "{method:?}: recovered context diverges from a fresh one on the block path"
+        );
+        assert_eq!(bits(&y_recovered), bits(&y_warm));
+    }
+}
+
 #[test]
 fn panic_in_one_kernel_does_not_poison_siblings_on_the_shared_context() {
     // Two kernels share one context; a worker death inside the first must
