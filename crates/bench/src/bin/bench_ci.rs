@@ -24,7 +24,7 @@ use std::path::PathBuf;
 use symspmv_bench::regress::{compare, GateConfig, Verdict};
 use symspmv_bench::{bench_dir, black_box, write_report, Target};
 use symspmv_core::{ParallelSpmm, ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
-use symspmv_harness::kernels::{build_kernel, KernelSpec};
+use symspmv_harness::kernels::{build_kernel, build_kernel_kind, KernelSpec};
 use symspmv_harness::ledger::{BenchReport, SampleSet};
 use symspmv_harness::machine::MachineInfo;
 use symspmv_harness::report::ledger_table;
@@ -32,6 +32,7 @@ use symspmv_runtime::ExecutionContext;
 use symspmv_solver::{cg, CgConfig};
 use symspmv_sparse::dense::seeded_vector;
 use symspmv_sparse::suite;
+use symspmv_sparse::symmetry::SymmetryKind;
 
 /// Default committed baseline location, relative to the workspace root.
 const BASELINE: &str = "bench/baseline.json";
@@ -291,6 +292,77 @@ fn run_smoke() -> BenchReport {
         g.finish();
     }
 
+    // Family 5: symmetry kinds. The skew pair is the PARS3 experiment in
+    // miniature — the scrambled convection matrix natural vs RCM-reordered
+    // (the reordering recovers the band, shrinking the conflict region) —
+    // and the structural row covers the paired-values kernel. Every row
+    // carries its kind tag in the ledger.
+    {
+        let skew = suite::generate(
+            suite::spec_by_name("convection_skew").unwrap_or(&suite::KIND_SUITE[0]),
+            0.05,
+        );
+        let nk = skew.coo.nrows() as usize;
+        let mut g = t.group("ci/kinds/convection_skew");
+        g.kind(SymmetryKind::Skew.tag());
+        g.throughput_elements(skew.coo.nnz() as u64);
+        let reordered = symspmv_reorder::rcm::rcm_reorder(&skew.coo).ok();
+        for (id, coo) in [
+            ("sss-idx/natural", Some(&skew.coo)),
+            ("sss-idx/rcm", reordered.as_ref()),
+        ] {
+            let Some(coo) = coo else { continue };
+            let Ok(mut k) = build_kernel_kind(
+                KernelSpec::Sss(ReductionMethod::Indexing),
+                coo,
+                SymmetryKind::Skew,
+                &ctx,
+            ) else {
+                continue;
+            };
+            let mut x = seeded_vector(nk, 1);
+            let mut y = vec![0.0; nk];
+            g.model(2 * k.nnz_full() as u64, (k.size_bytes() + 16 * nk) as u64);
+            k.reset_times();
+            g.bench_function(id, |b| {
+                b.iter(|| {
+                    k.spmv(&x, &mut y);
+                    std::mem::swap(&mut x, &mut y);
+                })
+            });
+            g.phases_for_last(k.times());
+        }
+        g.finish();
+
+        let st = suite::generate(
+            suite::spec_by_name("circuit_structural").unwrap_or(&suite::KIND_SUITE[1]),
+            0.005,
+        );
+        let ns = st.coo.nrows() as usize;
+        let mut g = t.group("ci/kinds/circuit_structural");
+        g.kind(SymmetryKind::Structural.tag());
+        g.throughput_elements(st.coo.nnz() as u64);
+        if let Ok(mut k) = build_kernel_kind(
+            KernelSpec::Sss(ReductionMethod::Indexing),
+            &st.coo,
+            SymmetryKind::Structural,
+            &ctx,
+        ) {
+            let mut x = seeded_vector(ns, 1);
+            let mut y = vec![0.0; ns];
+            g.model(2 * k.nnz_full() as u64, (k.size_bytes() + 16 * ns) as u64);
+            k.reset_times();
+            g.bench_function("sss-idx", |b| {
+                b.iter(|| {
+                    k.spmv(&x, &mut y);
+                    std::mem::swap(&mut x, &mut y);
+                })
+            });
+            g.phases_for_last(k.times());
+        }
+        g.finish();
+    }
+
     t.report()
 }
 
@@ -305,10 +377,17 @@ fn self_test() -> i32 {
             id: id.into(),
             iters: 100,
             samples: vec![0.98 * m, 0.99 * m, m, 1.01 * m, 1.02 * m],
+            kind: None,
             elements: None,
             flops: None,
             bytes: None,
             phases: None,
+        }
+    }
+    fn synth_kind(id: &str, median_us: f64, kind: &str) -> SampleSet {
+        SampleSet {
+            kind: Some(kind.into()),
+            ..synth(id, median_us)
         }
     }
     fn rep(samples: Vec<SampleSet>) -> BenchReport {
@@ -325,14 +404,18 @@ fn self_test() -> i32 {
         synth("steady", 100.0),
         synth("faster", 100.0),
         synth("spmm/sss-idx/k8", 400.0),
+        synth_kind("kinds/skew/sss-idx", 120.0, "skew"),
     ]);
     // +60 % regression, +5 % noise, −50 % improvement; the k>1 batched row
     // regresses too — the gate must see block rows like any scalar row.
+    // ... and the kind-tagged skew row regresses — the gate must treat
+    // per-kind rows exactly like the symmetric ones.
     let cur = rep(vec![
         synth("shifted", 160.0),
         synth("steady", 105.0),
         synth("faster", 50.0),
         synth("spmm/sss-idx/k8", 700.0),
+        synth_kind("kinds/skew/sss-idx", 190.0, "skew"),
     ]);
 
     let cmp = compare(&base, &cur, &cfg);
@@ -365,6 +448,10 @@ fn self_test() -> i32 {
     check(
         "k>1 batched-SpMM row regression trips the gate",
         verdict_of("spmm/sss-idx/k8") == Verdict::Regression,
+    );
+    check(
+        "kind-tagged skew row regression trips the gate",
+        verdict_of("kinds/skew/sss-idx") == Verdict::Regression,
     );
     check("regression dominates the exit code", cmp.exit_code() == 1);
     let improved_only = compare(

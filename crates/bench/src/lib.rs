@@ -77,6 +77,7 @@ impl Target {
             target: self,
             name,
             sample_size: default_samples(10),
+            kind: None,
             elements: None,
             flops: None,
             bytes: None,
@@ -132,6 +133,7 @@ pub struct BenchGroup<'a> {
     target: &'a mut Target,
     name: String,
     sample_size: usize,
+    kind: Option<String>,
     elements: Option<u64>,
     flops: Option<u64>,
     bytes: Option<u64>,
@@ -156,6 +158,14 @@ impl BenchGroup<'_> {
     /// Number of timed samples per bench function (env override wins).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = default_samples(n);
+        self
+    }
+
+    /// Tags every subsequent row of this group with a symmetry-kind label
+    /// (`"symmetric"`, `"skew"`, `"structural"`). Sticky for the whole
+    /// group — a group benches one operator.
+    pub fn kind(&mut self, tag: &str) -> &mut Self {
+        self.kind = Some(tag.to_string());
         self
     }
 
@@ -230,6 +240,7 @@ impl BenchGroup<'_> {
             id: id.to_string(),
             iters,
             samples,
+            kind: self.kind.clone(),
             elements: self.elements,
             flops: self.flops.take(),
             bytes: self.bytes.take(),

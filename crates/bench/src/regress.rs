@@ -276,6 +276,7 @@ mod tests {
                 median + half_spread / 2.0,
                 median + half_spread,
             ],
+            kind: None,
             elements: None,
             flops: None,
             bytes: None,

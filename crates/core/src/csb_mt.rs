@@ -20,7 +20,8 @@ use symspmv_csb::{CsbMatrix, CsbSymMatrix};
 use symspmv_runtime::timing::time_into;
 use symspmv_runtime::{balanced_ranges, ExecutionContext, ParallelSpmm, PhaseTimes, Range};
 use symspmv_sparse::block::VectorBlock;
-use symspmv_sparse::{CooMatrix, SparseError, Val};
+use symspmv_sparse::symmetry::{SymmetryKind, SymmetryOps};
+use symspmv_sparse::{with_symmetry_ops, CooMatrix, SparseError, Val};
 
 /// Blockrow-partitioned unsymmetric CSB SpMV.
 pub struct CsbParallel {
@@ -141,7 +142,17 @@ pub struct CsbSymParallel {
 impl CsbSymParallel {
     /// Builds the kernel from a full symmetric COO matrix.
     pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Result<Self, SparseError> {
-        let sym = CsbSymMatrix::from_coo(coo, None)?;
+        Self::from_coo_kind(coo, SymmetryKind::Symmetric, ctx)
+    }
+
+    /// Builds the kernel from a full COO matrix with an explicit
+    /// [`SymmetryKind`].
+    pub fn from_coo_kind(
+        coo: &CooMatrix,
+        kind: SymmetryKind,
+        ctx: &Arc<ExecutionContext>,
+    ) -> Result<Self, SparseError> {
+        let sym = CsbSymMatrix::from_coo_kind(coo, kind, None)?;
         Ok(Self::from_matrix(sym, ctx))
     }
 
@@ -211,12 +222,16 @@ impl ParallelSpmv for CsbSymParallel {
             // Phase B: off-diagonal products. All y updates are atomic
             // (any row may receive far transposed updates from any
             // thread); band-local transposed updates go to plain buffers.
-            self.ctx.run(&|tid| {
+            // The transposed value is `O::transposed(v, u)` per the
+            // matrix's symmetry kind; the band/atomic split is structural
+            // and kind-independent.
+            with_symmetry_ops!(sym.kind(), O => self.ctx.run(&|tid| {
                 let part = parts[tid];
                 if part.is_empty() {
                     return;
                 }
                 let lower = sym.lower();
+                let paired = sym.paired_values();
                 let beta = lower.beta();
                 let start = row_starts[tid];
                 let band_lo = start.saturating_sub(band);
@@ -240,7 +255,7 @@ impl ParallelSpmv for CsbSymParallel {
                             let (lr, lc, v) = sym.element(k);
                             let (r, c) = (roff + lr, coff + lc);
                             scratch[lr] += v * x[c];
-                            let t = v * x[r];
+                            let t = O::transposed(v, paired[k]) * x[r];
                             if c >= band_lo && c < start {
                                 my_band[c - band_lo] += t;
                             } else {
@@ -254,7 +269,7 @@ impl ParallelSpmv for CsbSymParallel {
                         }
                     }
                 }
-            });
+            }));
         });
 
         // Phase C: fold the band buffers into y (row-parallel; a row may be
@@ -358,12 +373,13 @@ impl ParallelSpmm for CsbSymParallel {
 
             // Phase B: off-diagonal products; same banded/atomic split as
             // the scalar kernel, applied to each lane of the group.
-            self.ctx.run(&|tid| {
+            with_symmetry_ops!(sym.kind(), O => self.ctx.run(&|tid| {
                 let part = parts[tid];
                 if part.is_empty() {
                     return;
                 }
                 let lower = sym.lower();
+                let paired = sym.paired_values();
                 let beta = lower.beta();
                 let start = row_starts[tid];
                 let band_lo = start.saturating_sub(band);
@@ -396,14 +412,15 @@ impl ParallelSpmm for CsbSymParallel {
                             {
                                 *s += v * xj;
                             }
+                            let t = O::transposed(v, paired[k]);
                             if c >= band_lo && c < start {
                                 let bb = (c - band_lo) * lanes;
                                 for (s, &xj) in my_band[bb..bb + lanes].iter_mut().zip(xr) {
-                                    *s += v * xj;
+                                    *s += t * xj;
                                 }
                             } else {
                                 for (j, &xj) in xr.iter().enumerate() {
-                                    atomic_add_f64(&y_atomic[c * lanes + j], v * xj);
+                                    atomic_add_f64(&y_atomic[c * lanes + j], t * xj);
                                 }
                             }
                         }
@@ -416,7 +433,7 @@ impl ParallelSpmm for CsbSymParallel {
                         }
                     }
                 }
-            });
+            }));
         });
 
         // Phase C: fold the band buffers into y, lane group at a time.

@@ -15,6 +15,7 @@ use symspmv_csx::pattern::{DeltaWidth, PatternKind};
 use symspmv_csx::varint::read_varint;
 use symspmv_runtime::Range;
 use symspmv_sparse::block::MAX_LANES;
+use symspmv_sparse::symmetry::{SymmetryKind, SymmetryOps};
 use symspmv_sparse::{CooMatrix, Idx, SssMatrix, Val};
 
 /// One per-thread chunk: the CSX stream of the partition's lower-triangle
@@ -25,30 +26,58 @@ pub struct CsxSymChunk {
     pub part: Range,
     /// Encoded stream (absolute row/column coordinates).
     pub stream: CtlStream,
+    /// For structural symmetry: the upper-triangle values `a_cr`, in the
+    /// same stream order as `stream.values` (encoded against the same
+    /// detection, so the ctl bytes are shared). Empty for the numeric
+    /// kinds, whose mirror is `±v`.
+    pub upper_values: Vec<Val>,
     /// Fraction of the chunk's non-zeros covered by substructure units.
     pub coverage: f64,
+}
+
+impl CsxSymChunk {
+    /// The stream-ordered mirror values: `upper_values` when the matrix is
+    /// structurally symmetric, otherwise the stream's own values (the
+    /// kernels' `O::transposed` ignores or negates them).
+    pub fn paired_values(&self) -> &[Val] {
+        if self.upper_values.is_empty() {
+            &self.stream.values
+        } else {
+            &self.upper_values
+        }
+    }
 }
 
 /// A symmetric sparse matrix in the CSX-Sym format.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsxSymMatrix {
     n: Idx,
+    kind: SymmetryKind,
     dvalues: Vec<Val>,
     chunks: Vec<CsxSymChunk>,
     lower_nnz: usize,
 }
 
 impl CsxSymMatrix {
-    /// Encodes an SSS matrix into per-partition CSX-Sym chunks.
+    /// Encodes an SSS matrix into per-partition CSX-Sym chunks. The
+    /// matrix's [`SymmetryKind`] carries over; for structural symmetry the
+    /// paired upper values are encoded against the *same* detection result
+    /// (detection is structure-driven), giving a second stream-ordered
+    /// value array under the shared ctl bytes.
     pub fn from_sss(sss: &SssMatrix, parts: &[Range], config: &DetectConfig) -> Self {
+        let kind = sss.kind();
         let mut chunks = Vec::with_capacity(parts.len());
         for part in parts {
             // Materialize the partition's strict-lower rows as COO.
             let mut sub = CooMatrix::new(sss.n(), sss.n());
+            let mut sub_upper = CooMatrix::new(sss.n(), sss.n());
             for r in part.start..part.end {
-                let (cols, vals) = sss.row(r);
-                for (&c, &v) in cols.iter().zip(vals) {
+                let (cols, vals, pair) = sss.row_with_paired(r);
+                for ((&c, &v), &u) in cols.iter().zip(vals).zip(pair) {
                     sub.push(r, c, v);
+                    if kind.has_upper_values() {
+                        sub_upper.push(r, c, u);
+                    }
                 }
             }
             sub.canonicalize();
@@ -60,18 +89,36 @@ impl CsxSymMatrix {
             let coverage = det.coverage();
             let vm = CooIndex::new(&sub);
             let stream = CtlStream::encode(&det, &vm);
+            let upper_values = if kind.has_upper_values() {
+                sub_upper.canonicalize();
+                let vm_upper = CooIndex::new(&sub_upper);
+                let upper_stream = CtlStream::encode(&det, &vm_upper);
+                // Same coordinates, same detection: only the values differ.
+                debug_assert_eq!(upper_stream.ctl, stream.ctl);
+                debug_assert_eq!(upper_stream.values.len(), stream.values.len());
+                upper_stream.values
+            } else {
+                Vec::new()
+            };
             chunks.push(CsxSymChunk {
                 part: *part,
                 stream,
+                upper_values,
                 coverage,
             });
         }
         CsxSymMatrix {
             n: sss.n(),
+            kind,
             dvalues: sss.dvalues().to_vec(),
             chunks,
             lower_nnz: sss.lower_nnz(),
         }
+    }
+
+    /// The symmetry kind the stored mirror contributions follow.
+    pub fn kind(&self) -> SymmetryKind {
+        self.kind
     }
 
     /// Matrix dimension.
@@ -100,11 +147,12 @@ impl CsxSymMatrix {
         2 * self.lower_nnz + self.n as usize
     }
 
-    /// Bytes of the representation: all ctl streams, all values, dvalues.
+    /// Bytes of the representation: all ctl streams, all values (incl. the
+    /// structural upper array), dvalues.
     pub fn size_bytes(&self) -> usize {
         self.chunks
             .iter()
-            .map(|c| c.stream.size_bytes())
+            .map(|c| c.stream.size_bytes() + 8 * c.upper_values.len())
             .sum::<usize>()
             + 8 * self.n as usize
     }
@@ -145,12 +193,19 @@ impl CsxSymMatrix {
         for r in 0..n {
             y[r] = self.dvalues[r] * x[r];
         }
+        let kind = self.kind;
         for chunk in &self.chunks {
+            // The walk visits elements in stream (values) order, so a
+            // running cursor pairs each element with its mirror value.
+            let paired = chunk.paired_values();
+            let mut j = 0usize;
             chunk.stream.walk(
                 |_| {},
                 |r, c, v| {
+                    let u = paired[j];
+                    j += 1;
                     y[r as usize] += v * x[c as usize];
-                    y[c as usize] += v * x[r as usize];
+                    y[c as usize] += kind.transposed(v, u) * x[r as usize];
                 },
             );
         }
@@ -165,8 +220,13 @@ impl CsxSymMatrix {
 /// All direct writes provably land inside the partition — the row `r` by
 /// chunk construction, transposed targets `c ∈ [y_off, r]` by the legality
 /// rule — so the kernel works on plain `&mut` slices and stays safe.
-pub fn spmv_sym_stream(
+///
+/// `paired` is the stream-ordered mirror-value array
+/// ([`CsxSymChunk::paired_values`]); it aliases `stream.values` for the
+/// numeric kinds, whose `O::transposed` never reads it.
+pub fn spmv_sym_stream<O: SymmetryOps>(
     stream: &CtlStream,
+    paired: &[Val],
     x: &[Val],
     my_y: &mut [Val],
     y_off: usize,
@@ -204,6 +264,7 @@ pub fn spmv_sym_stream(
         let id = flags & ID_MASK;
 
         let unit_vals = &values[vi..vi + size];
+        let unit_pair = &paired[vi..vi + size];
         if let Some(kind) = PatternKind::from_id(id) {
             // Boundary legality (§IV-B): all transposed writes of a
             // substructure land on one side, so the branch hoists out of
@@ -220,15 +281,15 @@ pub fn spmv_sym_stream(
                     let mut rr = r;
                     let mut cc = anchor as usize;
                     if is_local {
-                        for &v in unit_vals {
+                        for (&v, &u) in unit_vals.iter().zip(unit_pair) {
                             my_y[rr - y_off] += v * x[cc];
-                            local[cc] += v * x[rr];
+                            local[cc] += O::transposed(v, u) * x[rr];
                             $next(&mut rr, &mut cc);
                         }
                     } else {
-                        for &v in unit_vals {
+                        for (&v, &u) in unit_vals.iter().zip(unit_pair) {
                             my_y[rr - y_off] += v * x[cc];
-                            my_y[cc - y_off] += v * x[rr];
+                            my_y[cc - y_off] += O::transposed(v, u) * x[rr];
                             $next(&mut rr, &mut cc);
                         }
                     }
@@ -263,13 +324,17 @@ pub fn spmv_sym_stream(
                     let base = anchor as usize;
                     let (x0, x1, x2) = (x[base], x[base + 1], x[base + 2]);
                     let (mut t0, mut t1, mut t2) = (0.0, 0.0, 0.0);
-                    for (br, v) in unit_vals.chunks_exact(3).enumerate() {
+                    for ((br, v), u) in unit_vals
+                        .chunks_exact(3)
+                        .enumerate()
+                        .zip(unit_pair.chunks_exact(3))
+                    {
                         let rr = r + br;
                         let xr = x[rr];
                         my_y[rr - y_off] += v[0] * x0 + v[1] * x1 + v[2] * x2;
-                        t0 += v[0] * xr;
-                        t1 += v[1] * xr;
-                        t2 += v[2] * xr;
+                        t0 += O::transposed(v[0], u[0]) * xr;
+                        t1 += O::transposed(v[1], u[1]) * xr;
+                        t2 += O::transposed(v[2], u[2]) * xr;
                     }
                     if is_local {
                         local[base] += t0;
@@ -284,19 +349,23 @@ pub fn spmv_sym_stream(
                 PatternKind::Block { rows: _, cols } => {
                     let bc = cols as usize;
                     let base = anchor as usize;
-                    for (br, row_vals) in unit_vals.chunks_exact(bc).enumerate() {
+                    for ((br, row_vals), row_pair) in unit_vals
+                        .chunks_exact(bc)
+                        .enumerate()
+                        .zip(unit_pair.chunks_exact(bc))
+                    {
                         let rr = r + br;
                         let xr = x[rr];
                         let mut acc = 0.0;
                         if is_local {
-                            for (j, &v) in row_vals.iter().enumerate() {
+                            for (j, (&v, &u)) in row_vals.iter().zip(row_pair).enumerate() {
                                 acc += v * x[base + j];
-                                local[base + j] += v * xr;
+                                local[base + j] += O::transposed(v, u) * xr;
                             }
                         } else {
-                            for (j, &v) in row_vals.iter().enumerate() {
+                            for (j, (&v, &u)) in row_vals.iter().zip(row_pair).enumerate() {
                                 acc += v * x[base + j];
-                                my_y[base + j - y_off] += v * xr;
+                                my_y[base + j - y_off] += O::transposed(v, u) * xr;
                             }
                         }
                         my_y[rr - y_off] += acc;
@@ -311,39 +380,41 @@ pub fn spmv_sym_stream(
             let xr = x[r];
             let mut acc = 0.0;
             let mut c = anchor as usize;
-            let mut emit = |c: usize, v: Val, acc: &mut Val| {
+            let mut emit = |c: usize, v: Val, u: Val, acc: &mut Val| {
                 *acc += v * x[c];
+                let t = O::transposed(v, u);
                 if c < split {
-                    local[c] += v * xr;
+                    local[c] += t * xr;
                 } else {
-                    my_y[c - y_off] += v * xr;
+                    my_y[c - y_off] += t * xr;
                 }
             };
-            emit(c, unit_vals[0], &mut acc);
+            emit(c, unit_vals[0], unit_pair[0], &mut acc);
             let rest = &unit_vals[1..];
+            let rest_pair = &unit_pair[1..];
             match width {
                 DeltaWidth::U8 => {
                     let body = &ctl[pos..pos + size - 1];
                     pos += size - 1;
-                    for (&d, &v) in body.iter().zip(rest) {
+                    for ((&d, &v), &u) in body.iter().zip(rest).zip(rest_pair) {
                         c += usize::from(d);
-                        emit(c, v, &mut acc);
+                        emit(c, v, u, &mut acc);
                     }
                 }
                 DeltaWidth::U16 => {
                     let body = &ctl[pos..pos + 2 * (size - 1)];
                     pos += 2 * (size - 1);
-                    for (d, &v) in body.chunks_exact(2).zip(rest) {
+                    for ((d, &v), &u) in body.chunks_exact(2).zip(rest).zip(rest_pair) {
                         c += usize::from(u16::from_le_bytes([d[0], d[1]]));
-                        emit(c, v, &mut acc);
+                        emit(c, v, u, &mut acc);
                     }
                 }
                 DeltaWidth::U32 => {
                     let body = &ctl[pos..pos + 4 * (size - 1)];
                     pos += 4 * (size - 1);
-                    for (d, &v) in body.chunks_exact(4).zip(rest) {
+                    for ((d, &v), &u) in body.chunks_exact(4).zip(rest).zip(rest_pair) {
                         c += u32::from_le_bytes([d[0], d[1], d[2], d[3]]) as usize;
-                        emit(c, v, &mut acc);
+                        emit(c, v, u, &mut acc);
                     }
                 }
             }
@@ -355,12 +426,22 @@ pub fn spmv_sym_stream(
 
 /// The symmetric multiply kernel variant for the *naive* reduction method:
 /// everything (including direct rows) goes into a full-length local vector.
-pub fn spmv_sym_stream_local_only(stream: &CtlStream, x: &[Val], local: &mut [Val]) {
+pub fn spmv_sym_stream_local_only<O: SymmetryOps>(
+    stream: &CtlStream,
+    paired: &[Val],
+    x: &[Val],
+    local: &mut [Val],
+) {
+    // The walk visits elements in stream (values) order; the cursor pairs
+    // each element with its mirror value.
+    let mut j = 0usize;
     stream.walk(
         |_| {},
         |r, c, v| {
+            let u = paired[j];
+            j += 1;
             local[r as usize] += v * x[c as usize];
-            local[c as usize] += v * x[r as usize];
+            local[c as usize] += O::transposed(v, u) * x[r as usize];
         },
     );
 }
@@ -370,8 +451,9 @@ pub fn spmv_sym_stream_local_only(stream: &CtlStream, x: &[Val], local: &mut [Va
 /// `my_y` and `local` holding lane-interleaved groups (element `(i, j)` at
 /// `i·lanes + j`). The stream — the expensive traffic — is decoded once
 /// for all lanes.
-pub fn spmm_sym_stream(
+pub fn spmm_sym_stream<O: SymmetryOps>(
     stream: &CtlStream,
+    paired: &[Val],
     x: &[Val],
     my_y: &mut [Val],
     y_off: usize,
@@ -410,6 +492,7 @@ pub fn spmm_sym_stream(
         let id = flags & ID_MASK;
 
         let unit_vals = &values[vi..vi + size];
+        let unit_pair = &paired[vi..vi + size];
         if let Some(kind) = PatternKind::from_id(id) {
             // Boundary legality (§IV-B) hoists the side branch exactly as
             // in the scalar kernel.
@@ -423,25 +506,27 @@ pub fn spmm_sym_stream(
                     let mut rr = r;
                     let mut cc = anchor as usize;
                     if is_local {
-                        for &v in unit_vals {
+                        for (&v, &u) in unit_vals.iter().zip(unit_pair) {
+                            let t = O::transposed(v, u);
                             let yb = (rr - y_off) * lanes;
                             let xb = cc * lanes;
                             let xrb = rr * lanes;
                             for j in 0..lanes {
                                 my_y[yb + j] += v * x[xb + j];
-                                local[xb + j] += v * x[xrb + j];
+                                local[xb + j] += t * x[xrb + j];
                             }
                             $next(&mut rr, &mut cc);
                         }
                     } else {
-                        for &v in unit_vals {
+                        for (&v, &u) in unit_vals.iter().zip(unit_pair) {
+                            let t = O::transposed(v, u);
                             let yb = (rr - y_off) * lanes;
                             let xb = cc * lanes;
                             let xrb = rr * lanes;
                             let yt = (cc - y_off) * lanes;
                             for j in 0..lanes {
                                 my_y[yb + j] += v * x[xb + j];
-                                my_y[yt + j] += v * x[xrb + j];
+                                my_y[yt + j] += t * x[xrb + j];
                             }
                             $next(&mut rr, &mut cc);
                         }
@@ -479,16 +564,20 @@ pub fn spmm_sym_stream(
                         &x[(base + 2) * lanes..(base + 3) * lanes],
                     );
                     let mut t = [[0.0; MAX_LANES]; 3];
-                    for (br, v) in unit_vals.chunks_exact(3).enumerate() {
+                    for ((br, v), u) in unit_vals
+                        .chunks_exact(3)
+                        .enumerate()
+                        .zip(unit_pair.chunks_exact(3))
+                    {
                         let rr = r + br;
                         let yb = (rr - y_off) * lanes;
                         let xrb = rr * lanes;
                         for j in 0..lanes {
                             let xr = x[xrb + j];
                             my_y[yb + j] += v[0] * x0[j] + v[1] * x1[j] + v[2] * x2[j];
-                            t[0][j] += v[0] * xr;
-                            t[1][j] += v[1] * xr;
-                            t[2][j] += v[2] * xr;
+                            t[0][j] += O::transposed(v[0], u[0]) * xr;
+                            t[1][j] += O::transposed(v[1], u[1]) * xr;
+                            t[2][j] += O::transposed(v[2], u[2]) * xr;
                         }
                     }
                     for (i, ti) in t.iter().enumerate() {
@@ -508,22 +597,27 @@ pub fn spmm_sym_stream(
                 PatternKind::Block { rows: _, cols } => {
                     let bc = cols as usize;
                     let base = anchor as usize;
-                    for (br, row_vals) in unit_vals.chunks_exact(bc).enumerate() {
+                    for ((br, row_vals), row_pair) in unit_vals
+                        .chunks_exact(bc)
+                        .enumerate()
+                        .zip(unit_pair.chunks_exact(bc))
+                    {
                         let rr = r + br;
                         let xrb = rr * lanes;
                         let mut acc = [0.0; MAX_LANES];
-                        for (jj, &v) in row_vals.iter().enumerate() {
+                        for (jj, (&v, &u)) in row_vals.iter().zip(row_pair).enumerate() {
+                            let t = O::transposed(v, u);
                             let cb = (base + jj) * lanes;
                             if is_local {
                                 for j in 0..lanes {
                                     acc[j] += v * x[cb + j];
-                                    local[cb + j] += v * x[xrb + j];
+                                    local[cb + j] += t * x[xrb + j];
                                 }
                             } else {
                                 let yt = (base + jj - y_off) * lanes;
                                 for j in 0..lanes {
                                     acc[j] += v * x[cb + j];
-                                    my_y[yt + j] += v * x[xrb + j];
+                                    my_y[yt + j] += t * x[xrb + j];
                                 }
                             }
                         }
@@ -542,46 +636,48 @@ pub fn spmm_sym_stream(
             let xrb = r * lanes;
             let mut acc = [0.0; MAX_LANES];
             let mut c = anchor as usize;
-            let mut emit = |c: usize, v: Val, acc: &mut [Val; MAX_LANES]| {
+            let mut emit = |c: usize, v: Val, u: Val, acc: &mut [Val; MAX_LANES]| {
+                let t = O::transposed(v, u);
                 let cb = c * lanes;
                 if c < split {
                     for j in 0..lanes {
                         acc[j] += v * x[cb + j];
-                        local[cb + j] += v * x[xrb + j];
+                        local[cb + j] += t * x[xrb + j];
                     }
                 } else {
                     let yt = (c - y_off) * lanes;
                     for j in 0..lanes {
                         acc[j] += v * x[cb + j];
-                        my_y[yt + j] += v * x[xrb + j];
+                        my_y[yt + j] += t * x[xrb + j];
                     }
                 }
             };
-            emit(c, unit_vals[0], &mut acc);
+            emit(c, unit_vals[0], unit_pair[0], &mut acc);
             let rest = &unit_vals[1..];
+            let rest_pair = &unit_pair[1..];
             match width {
                 DeltaWidth::U8 => {
                     let body = &ctl[pos..pos + size - 1];
                     pos += size - 1;
-                    for (&d, &v) in body.iter().zip(rest) {
+                    for ((&d, &v), &u) in body.iter().zip(rest).zip(rest_pair) {
                         c += usize::from(d);
-                        emit(c, v, &mut acc);
+                        emit(c, v, u, &mut acc);
                     }
                 }
                 DeltaWidth::U16 => {
                     let body = &ctl[pos..pos + 2 * (size - 1)];
                     pos += 2 * (size - 1);
-                    for (d, &v) in body.chunks_exact(2).zip(rest) {
+                    for ((d, &v), &u) in body.chunks_exact(2).zip(rest).zip(rest_pair) {
                         c += usize::from(u16::from_le_bytes([d[0], d[1]]));
-                        emit(c, v, &mut acc);
+                        emit(c, v, u, &mut acc);
                     }
                 }
                 DeltaWidth::U32 => {
                     let body = &ctl[pos..pos + 4 * (size - 1)];
                     pos += 4 * (size - 1);
-                    for (d, &v) in body.chunks_exact(4).zip(rest) {
+                    for ((d, &v), &u) in body.chunks_exact(4).zip(rest).zip(rest_pair) {
                         c += u32::from_le_bytes([d[0], d[1], d[2], d[3]]) as usize;
-                        emit(c, v, &mut acc);
+                        emit(c, v, u, &mut acc);
                     }
                 }
             }
@@ -597,14 +693,24 @@ pub fn spmm_sym_stream(
 /// The batched twin of [`spmv_sym_stream_local_only`] (naive reduction):
 /// both symmetric contributions of every element go to the full-length
 /// lane-interleaved local block.
-pub fn spmm_sym_stream_local_only(stream: &CtlStream, x: &[Val], local: &mut [Val], lanes: usize) {
+pub fn spmm_sym_stream_local_only<O: SymmetryOps>(
+    stream: &CtlStream,
+    paired: &[Val],
+    x: &[Val],
+    local: &mut [Val],
+    lanes: usize,
+) {
+    let mut j_elem = 0usize;
     stream.walk(
         |_| {},
         |r, c, v| {
+            let u = paired[j_elem];
+            j_elem += 1;
+            let t = O::transposed(v, u);
             let (rb, cb) = (r as usize * lanes, c as usize * lanes);
             for j in 0..lanes {
                 local[rb + j] += v * x[cb + j];
-                local[cb + j] += v * x[rb + j];
+                local[cb + j] += t * x[rb + j];
             }
         },
     );
@@ -687,7 +793,14 @@ mod tests {
         let mut locals: Vec<Vec<f64>> = parts.iter().map(|p| vec![0.0; p.start as usize]).collect();
         for (i, chunk) in m.chunks().iter().enumerate() {
             let (start, end) = (parts[i].start as usize, parts[i].end as usize);
-            spmv_sym_stream(&chunk.stream, &x, &mut y[start..end], start, &mut locals[i]);
+            spmv_sym_stream::<symspmv_sparse::symmetry::Sym>(
+                &chunk.stream,
+                chunk.paired_values(),
+                &x,
+                &mut y[start..end],
+                start,
+                &mut locals[i],
+            );
         }
         for local in &locals {
             for (c, &v) in local.iter().enumerate() {
@@ -711,7 +824,12 @@ mod tests {
             acc[r] = m.dvalues()[r] * x[r];
         }
         for chunk in m.chunks() {
-            spmv_sym_stream_local_only(&chunk.stream, &x, &mut acc);
+            spmv_sym_stream_local_only::<symspmv_sparse::symmetry::Sym>(
+                &chunk.stream,
+                chunk.paired_values(),
+                &x,
+                &mut acc,
+            );
         }
         let mut y_ref = vec![0.0; n];
         sss.spmv(&x, &mut y_ref);

@@ -35,7 +35,8 @@ use symspmv_runtime::reduction::ReduceJob;
 use symspmv_runtime::timing::time_into;
 use symspmv_runtime::{ExecutionContext, ParallelSpmm, PhaseTimes, Range, ReductionStrategy};
 use symspmv_sparse::block::{VectorBlock, MAX_LANES};
-use symspmv_sparse::{CooMatrix, SparseError, SssMatrix, Val};
+use symspmv_sparse::symmetry::{SymmetryKind, SymmetryOps};
+use symspmv_sparse::{with_symmetry_ops, CooMatrix, SparseError, SssMatrix, Val};
 
 /// How local vectors are organized and reduced (Fig. 3 b/c/d).
 ///
@@ -67,7 +68,11 @@ impl ReductionMethod {
 /// Storage format of the symmetric matrix.
 #[derive(Debug, Clone)]
 pub enum SymFormat {
-    /// Symmetric Sparse Skyline (§II-B).
+    /// Sparse Skyline storage (§II-B): dense diagonal plus the strict
+    /// lower triangle in CSR layout. Despite the traditional "Symmetric
+    /// Sparse Skyline" name, it carries any [`SymmetryKind`] — skew
+    /// matrices mirror with a sign flip, structurally symmetric ones
+    /// through a paired upper-value array.
     Sss,
     /// CSX-Sym with the given detection configuration (§IV-B).
     CsxSym(DetectConfig),
@@ -100,6 +105,7 @@ enum Storage {
 pub struct SymSpmv {
     n: usize,
     nnz_full: usize,
+    kind: SymmetryKind,
     method: ReductionMethod,
     strategy: Arc<dyn ReductionStrategy>,
     storage: Storage,
@@ -122,7 +128,20 @@ impl SymSpmv {
         method: ReductionMethod,
         format: SymFormat,
     ) -> Result<Self, SparseError> {
-        let sss = SssMatrix::from_coo(coo, 0.0)?;
+        Self::from_coo_kind(coo, SymmetryKind::Symmetric, ctx, method, format)
+    }
+
+    /// Builds the kernel from a full COO matrix under an explicit symmetry
+    /// kind: the matrix is validated against the kind (symmetric, skew or
+    /// pattern-symmetric) and the kernel's mirror contributions follow it.
+    pub fn from_coo_kind(
+        coo: &CooMatrix,
+        kind: SymmetryKind,
+        ctx: &Arc<ExecutionContext>,
+        method: ReductionMethod,
+        format: SymFormat,
+    ) -> Result<Self, SparseError> {
+        let sss = SssMatrix::from_coo_kind(coo, kind, 0.0)?;
         Ok(Self::from_sss(sss, ctx, method, format))
     }
 
@@ -136,11 +155,23 @@ impl SymSpmv {
         method: ReductionMethod,
         format: SymFormat,
     ) -> Result<Self, SymSpmvError> {
-        let sss = SssMatrix::try_from_coo(coo, 0.0)?;
+        Self::try_from_coo_kind(coo, SymmetryKind::Symmetric, ctx, method, format)
+    }
+
+    /// The kind-parameterized twin of [`SymSpmv::try_from_coo`].
+    pub fn try_from_coo_kind(
+        coo: &CooMatrix,
+        kind: SymmetryKind,
+        ctx: &Arc<ExecutionContext>,
+        method: ReductionMethod,
+        format: SymFormat,
+    ) -> Result<Self, SymSpmvError> {
+        let sss = SssMatrix::try_from_coo_kind(coo, kind, 0.0)?;
         Ok(Self::from_sss(sss, ctx, method, format))
     }
 
-    /// Builds the kernel from an SSS matrix (symmetry already established).
+    /// Builds the kernel from an SSS matrix (symmetry already established;
+    /// the matrix's [`SymmetryKind`] carries over to the kernel).
     ///
     /// The reduction strategy is looked up in the context's registry by the
     /// method's tag. Format preprocessing (CSX-Sym detection/encoding) and
@@ -208,6 +239,7 @@ impl SymSpmv {
         format: SymFormat,
     ) -> Self {
         let n = sss.n() as usize;
+        let kind = sss.kind();
         assert!(
             !matches!(format, SymFormat::Hybrid { .. }) || strategy.direct_write(),
             "the hybrid format supports the direct-write methods only"
@@ -280,6 +312,7 @@ impl SymSpmv {
                 &parts,
                 plan.fingerprint,
                 n as u32,
+                kind,
             ) {
                 unreachable!("CSX-Sym encoding failed boundary certification: {e}");
             }
@@ -288,6 +321,7 @@ impl SymSpmv {
         SymSpmv {
             n,
             nnz_full,
+            kind,
             method,
             strategy,
             storage,
@@ -346,6 +380,11 @@ impl SymSpmv {
         cert
     }
 
+    /// The symmetry kind the kernel's mirror contributions follow.
+    pub fn kind(&self) -> SymmetryKind {
+        self.kind
+    }
+
     /// The reduction method in use (the paper family; custom registry
     /// strategies report their nearest built-in).
     pub fn method(&self) -> ReductionMethod {
@@ -395,7 +434,15 @@ impl SymSpmv {
         }
     }
 
+    /// The multiply phase, monomorphized per [`SymmetryKind`] at the
+    /// dispatch boundary: the `Symmetric` instantiation compiles to the
+    /// pre-kind code (the mirror coefficient is the stored value itself and
+    /// the paired load folds away), so the hot path is unchanged.
     fn multiply(&self, x: &[Val], y: &mut [Val], flat_buf: SharedBuf<'_>) {
+        with_symmetry_ops!(self.kind, O => self.multiply_ops::<O>(x, y, flat_buf));
+    }
+
+    fn multiply_ops<O: SymmetryOps>(&self, x: &[Val], y: &mut [Val], flat_buf: SharedBuf<'_>) {
         let y_buf = SharedBuf::new(y);
         let parts: &[Range] = &self.plan.parts;
         let offsets = &self.plan.offsets;
@@ -424,14 +471,22 @@ impl SymSpmv {
                     // our own rows.
                     let my_y = unsafe { y_buf.range_mut(split, part.end as usize) };
                     if use_stream[tid] {
+                        let chunk = &csx.chunks()[tid];
                         let dv = &csx.dvalues()[split..part.end as usize];
                         let xs = &x[split..part.end as usize];
                         for ((slot, &d), &xi) in my_y.iter_mut().zip(dv).zip(xs) {
                             *slot = d * xi;
                         }
-                        spmv_sym_stream(&csx.chunks()[tid].stream, x, my_y, split, l);
+                        spmv_sym_stream::<O>(
+                            &chunk.stream,
+                            chunk.paired_values(),
+                            x,
+                            my_y,
+                            split,
+                            l,
+                        );
                     } else {
-                        sss_multiply_direct(sss, part, x, my_y, l);
+                        sss_multiply_direct::<O>(sss, part, x, my_y, l);
                     }
                 });
             }
@@ -443,14 +498,14 @@ impl SymSpmv {
                     let l = unsafe { flat_buf.range_mut(offsets[tid], offsets[tid] + n) };
                     let dv = sss.dvalues();
                     for r in part.start..part.end {
-                        let (cols, vals) = sss.row(r);
+                        let (cols, vals, pair) = sss.row_with_paired(r);
                         let xr = x[r as usize];
                         // Same op order as the direct-write path: diagonal
                         // joins at the final fold, not the accumulator seed.
                         let mut acc = 0.0;
-                        for (&c, &v) in cols.iter().zip(vals) {
+                        for ((&c, &v), &u) in cols.iter().zip(vals).zip(pair) {
                             acc += v * x[c as usize];
-                            l[c as usize] += v * xr;
+                            l[c as usize] += O::transposed(v, u) * xr;
                         }
                         l[r as usize] += dv[r as usize] * xr + acc;
                     }
@@ -472,7 +527,7 @@ impl SymSpmv {
                     // slice keeps the hot loop free of raw-pointer writes the
                     // compiler can't reason about.
                     let my_y = unsafe { y_buf.range_mut(split, part.end as usize) };
-                    sss_multiply_direct(sss, part, x, my_y, l);
+                    sss_multiply_direct::<O>(sss, part, x, my_y, l);
                 });
             }
             Storage::CsxSym(m) if !direct => {
@@ -485,7 +540,8 @@ impl SymSpmv {
                     for r in part.start..part.end {
                         l[r as usize] += dv[r as usize] * x[r as usize];
                     }
-                    spmv_sym_stream_local_only(&m.chunks()[tid].stream, x, l);
+                    let chunk = &m.chunks()[tid];
+                    spmv_sym_stream_local_only::<O>(&chunk.stream, chunk.paired_values(), x, l);
                 });
             }
             Storage::CsxSym(m) => {
@@ -508,7 +564,8 @@ impl SymSpmv {
                     for ((slot, &d), &xi) in my_y.iter_mut().zip(dv).zip(xs) {
                         *slot = d * xi;
                     }
-                    spmv_sym_stream(&m.chunks()[tid].stream, x, my_y, split, l);
+                    let chunk = &m.chunks()[tid];
+                    spmv_sym_stream::<O>(&chunk.stream, chunk.paired_values(), x, my_y, split, l);
                 });
             }
         }
@@ -542,6 +599,15 @@ impl SymSpmv {
     /// are the scalar plan's regions scaled by `lanes` — exactly the
     /// scaling the lane-lifted certificate re-checks.
     fn multiply_block(&self, x: &VectorBlock, y: &mut VectorBlock, flat_buf: SharedBuf<'_>) {
+        with_symmetry_ops!(self.kind, O => self.multiply_block_ops::<O>(x, y, flat_buf));
+    }
+
+    fn multiply_block_ops<O: SymmetryOps>(
+        &self,
+        x: &VectorBlock,
+        y: &mut VectorBlock,
+        flat_buf: SharedBuf<'_>,
+    ) {
         let lanes = x.lanes();
         let y_buf = SharedBuf::new(y.as_mut_slice());
         let x = x.as_slice();
@@ -574,10 +640,19 @@ impl SymSpmv {
                     // our own rows, scaled from the disjoint scalar tiling.
                     let my_y = unsafe { y_buf.range_mut(split * lanes, part.end as usize * lanes) };
                     if use_stream[tid] {
+                        let chunk = &csx.chunks()[tid];
                         init_diag_block(csx.dvalues(), part, lanes, x, my_y);
-                        spmm_sym_stream(&csx.chunks()[tid].stream, x, my_y, split, l, lanes);
+                        spmm_sym_stream::<O>(
+                            &chunk.stream,
+                            chunk.paired_values(),
+                            x,
+                            my_y,
+                            split,
+                            l,
+                            lanes,
+                        );
                     } else {
-                        sss_multiply_direct_block(sss, part, lanes, x, my_y, l);
+                        sss_multiply_direct_block::<O>(sss, part, lanes, x, my_y, l);
                     }
                 });
             }
@@ -591,17 +666,18 @@ impl SymSpmv {
                     };
                     let dv = sss.dvalues();
                     for r in part.start..part.end {
-                        let (cols, vals) = sss.row(r);
+                        let (cols, vals, pair) = sss.row_with_paired(r);
                         let ru = r as usize;
                         let xr = &x[ru * lanes..(ru + 1) * lanes];
                         let mut acc = [0.0; MAX_LANES];
-                        for (&c, &v) in cols.iter().zip(vals) {
+                        for ((&c, &v), &u) in cols.iter().zip(vals).zip(pair) {
                             let c = c as usize;
+                            let t = O::transposed(v, u);
                             let xc = &x[c * lanes..(c + 1) * lanes];
                             let lt = &mut l[c * lanes..(c + 1) * lanes];
                             for j in 0..lanes {
                                 acc[j] += v * xc[j];
-                                lt[j] += v * xr[j];
+                                lt[j] += t * xr[j];
                             }
                         }
                         let lr = &mut l[ru * lanes..(ru + 1) * lanes];
@@ -627,7 +703,7 @@ impl SymSpmv {
                     // SAFETY(cert: lane-lifted): direct lane groups stay in
                     // our own rows, scaled from the disjoint scalar tiling.
                     let my_y = unsafe { y_buf.range_mut(split * lanes, part.end as usize * lanes) };
-                    sss_multiply_direct_block(sss, part, lanes, x, my_y, l);
+                    sss_multiply_direct_block::<O>(sss, part, lanes, x, my_y, l);
                 });
             }
             Storage::CsxSym(m) if !direct => {
@@ -646,7 +722,14 @@ impl SymSpmv {
                             l[ru * lanes + j] += d * x[ru * lanes + j];
                         }
                     }
-                    spmm_sym_stream_local_only(&m.chunks()[tid].stream, x, l, lanes);
+                    let chunk = &m.chunks()[tid];
+                    spmm_sym_stream_local_only::<O>(
+                        &chunk.stream,
+                        chunk.paired_values(),
+                        x,
+                        l,
+                        lanes,
+                    );
                 });
             }
             Storage::CsxSym(m) => {
@@ -665,8 +748,17 @@ impl SymSpmv {
                     // groups all land in our own rows; the csx-boundary
                     // check keeps encoded patterns from crossing the split.
                     let my_y = unsafe { y_buf.range_mut(split * lanes, part.end as usize * lanes) };
+                    let chunk = &m.chunks()[tid];
                     init_diag_block(m.dvalues(), part, lanes, x, my_y);
-                    spmm_sym_stream(&m.chunks()[tid].stream, x, my_y, split, l, lanes);
+                    spmm_sym_stream::<O>(
+                        &chunk.stream,
+                        chunk.paired_values(),
+                        x,
+                        my_y,
+                        split,
+                        l,
+                        lanes,
+                    );
                 });
             }
         }
@@ -690,7 +782,12 @@ impl SymSpmv {
 /// in-partition transposed writes go to `my_y` (the partition's slice of
 /// the output vector, starting at the partition boundary), conflicting
 /// transposed writes to the thread's effective-region `local`.
-fn sss_multiply_direct(
+///
+/// Monomorphized per symmetry kind: the mirror coefficient is
+/// `O::transposed(v, u)` with `u` the paired upper value (aliasing `v` for
+/// the numeric kinds, so the `Symmetric` instantiation is the pre-kind
+/// loop, bit for bit).
+fn sss_multiply_direct<O: SymmetryOps>(
     sss: &SssMatrix,
     part: Range,
     x: &[Val],
@@ -700,20 +797,21 @@ fn sss_multiply_direct(
     let split = part.start as usize;
     let dv = sss.dvalues();
     for r in part.start..part.end {
-        let (cols, vals) = sss.row(r);
+        let (cols, vals, pair) = sss.row_with_paired(r);
         let xr = x[r as usize];
         // The accumulator starts at zero and the diagonal term joins at the
         // final write — the exact op order of the serial reference
         // (`SssMatrix::spmv`), so a single-thread direct-write run is
         // bit-identical to it (the conformance oracle's exactness class).
         let mut acc = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
+        for ((&c, &v), &u) in cols.iter().zip(vals).zip(pair) {
             let c = c as usize;
             acc += v * x[c];
+            let t = O::transposed(v, u);
             if c >= split {
-                my_y[c - split] += v * xr;
+                my_y[c - split] += t * xr;
             } else {
-                local[c] += v * xr;
+                local[c] += t * xr;
             }
         }
         // Assignment is sound: this thread's earlier transposed writes only
@@ -727,7 +825,7 @@ fn sss_multiply_direct(
 /// lane-interleaved groups. One pass over the matrix updates all lanes, so
 /// the matrix traffic is amortized `lanes`-fold while every lane computes
 /// the scalar kernel's exact float sequence.
-fn sss_multiply_direct_block(
+fn sss_multiply_direct_block<O: SymmetryOps>(
     sss: &SssMatrix,
     part: Range,
     lanes: usize,
@@ -738,12 +836,13 @@ fn sss_multiply_direct_block(
     let split = part.start as usize;
     let dv = sss.dvalues();
     for r in part.start..part.end {
-        let (cols, vals) = sss.row(r);
+        let (cols, vals, pair) = sss.row_with_paired(r);
         let ru = r as usize;
         let xr = &x[ru * lanes..(ru + 1) * lanes];
         let mut acc = [0.0; MAX_LANES];
-        for (&c, &v) in cols.iter().zip(vals) {
+        for ((&c, &v), &u) in cols.iter().zip(vals).zip(pair) {
             let c = c as usize;
+            let t = O::transposed(v, u);
             let xc = &x[c * lanes..(c + 1) * lanes];
             let target = if c >= split {
                 &mut my_y[(c - split) * lanes..(c - split + 1) * lanes]
@@ -752,7 +851,7 @@ fn sss_multiply_direct_block(
             };
             for j in 0..lanes {
                 acc[j] += v * xc[j];
-                target[j] += v * xr[j];
+                target[j] += t * xr[j];
             }
         }
         let yr = &mut my_y[(ru - split) * lanes..(ru - split + 1) * lanes];

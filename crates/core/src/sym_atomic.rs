@@ -18,7 +18,8 @@ use symspmv_runtime::timing::time_into;
 use symspmv_runtime::{
     balanced_ranges, partition::symmetric_row_weights, ExecutionContext, PhaseTimes, Range,
 };
-use symspmv_sparse::{CooMatrix, SparseError, SssMatrix, Val};
+use symspmv_sparse::symmetry::{SymmetryKind, SymmetryOps};
+use symspmv_sparse::{with_symmetry_ops, CooMatrix, SparseError, SssMatrix, Val};
 
 /// Symmetric SpMV over SSS storage with atomic conflicting updates.
 pub struct SssAtomicParallel {
@@ -31,7 +32,17 @@ pub struct SssAtomicParallel {
 impl SssAtomicParallel {
     /// Builds the kernel from a full symmetric COO matrix.
     pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Result<Self, SparseError> {
-        let sss = SssMatrix::from_coo(coo, 0.0)?;
+        Self::from_coo_kind(coo, SymmetryKind::Symmetric, ctx)
+    }
+
+    /// Builds the kernel from a full COO matrix with an explicit
+    /// [`SymmetryKind`].
+    pub fn from_coo_kind(
+        coo: &CooMatrix,
+        kind: SymmetryKind,
+        ctx: &Arc<ExecutionContext>,
+    ) -> Result<Self, SparseError> {
+        let sss = SssMatrix::from_coo_kind(coo, kind, 0.0)?;
         Ok(Self::from_sss(sss, ctx))
     }
 
@@ -95,8 +106,10 @@ impl ParallelSpmv for SssAtomicParallel {
             // accumulate in a register; every write to `y` is atomic,
             // because any element can simultaneously receive transposed
             // updates from other threads (mixing plain and atomic accesses
-            // to the same location would be a data race).
-            self.ctx.run(&|tid| {
+            // to the same location would be a data race). The transposed
+            // value is `O::transposed(v, u)` — `v`, `-v`, or the paired
+            // upper value depending on the matrix's symmetry kind.
+            with_symmetry_ops!(sss.kind(), O => self.ctx.run(&|tid| {
                 let part = parts[tid];
                 // SAFETY(cert: atomic-view): AtomicU64 has the same layout
                 // as u64/f64; after phase A's barrier, all phase-B
@@ -105,17 +118,17 @@ impl ParallelSpmv for SssAtomicParallel {
                     std::slice::from_raw_parts(y_buf.full_mut().as_ptr() as *const AtomicU64, n)
                 };
                 for r in part.start..part.end {
-                    let (cols, vals) = sss.row(r);
+                    let (cols, vals, pair) = sss.row_with_paired(r);
                     let xr = x[r as usize];
                     let mut acc = 0.0;
-                    for (&c, &v) in cols.iter().zip(vals) {
+                    for ((&c, &v), &u) in cols.iter().zip(vals).zip(pair) {
                         let c = c as usize;
                         acc += v * x[c];
-                        atomic_add_f64(&y_atomic[c], v * xr);
+                        atomic_add_f64(&y_atomic[c], O::transposed(v, u) * xr);
                     }
                     atomic_add_f64(&y_atomic[r as usize], acc);
                 }
-            });
+            }));
         });
     }
 

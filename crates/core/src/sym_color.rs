@@ -17,7 +17,8 @@ use std::borrow::Cow;
 use std::sync::Arc;
 use symspmv_runtime::timing::time_into;
 use symspmv_runtime::{balanced_ranges, ExecutionContext, PhaseTimes, Range};
-use symspmv_sparse::{CooMatrix, Idx, SparseError, SssMatrix, Val};
+use symspmv_sparse::symmetry::{SymmetryKind, SymmetryOps};
+use symspmv_sparse::{with_symmetry_ops, CooMatrix, Idx, SparseError, SssMatrix, Val};
 
 /// Result of the conflict coloring.
 #[derive(Debug, Clone)]
@@ -108,7 +109,18 @@ pub struct SssColorParallel {
 impl SssColorParallel {
     /// Builds the kernel from a full symmetric COO matrix.
     pub fn from_coo(coo: &CooMatrix, ctx: &Arc<ExecutionContext>) -> Result<Self, SparseError> {
-        let sss = SssMatrix::from_coo(coo, 0.0)?;
+        Self::from_coo_kind(coo, SymmetryKind::Symmetric, ctx)
+    }
+
+    /// Builds the kernel from a full COO matrix with an explicit
+    /// [`SymmetryKind`]. The coloring depends only on the sparsity pattern,
+    /// never on the kind.
+    pub fn from_coo_kind(
+        coo: &CooMatrix,
+        kind: SymmetryKind,
+        ctx: &Arc<ExecutionContext>,
+    ) -> Result<Self, SparseError> {
+        let sss = SssMatrix::from_coo_kind(coo, kind, 0.0)?;
         Ok(Self::from_sss(sss, ctx))
     }
 
@@ -173,26 +185,31 @@ impl ParallelSpmv for SssColorParallel {
             });
 
             // One parallel pass per color class; each run is the barrier.
-            for (rows, parts) in coloring.classes.iter().zip(class_parts) {
-                self.ctx.run(&|tid| {
-                    let part = parts[tid];
-                    for &r in &rows[part.start as usize..part.end as usize] {
-                        let (cols, vals) = sss.row(r);
-                        let xr = x[r as usize];
-                        let mut acc = 0.0;
-                        for (&c, &v) in cols.iter().zip(vals) {
-                            acc += v * x[c as usize];
-                            // SAFETY(cert: color-class): within a color
-                            // class no two rows share a write target, and
-                            // threads own disjoint rows of the class.
-                            unsafe { y_buf.add(c as usize, v * xr) };
+            // The transposed write carries `O::transposed(v, u)` — the
+            // coloring itself is kind-independent (write sets are pure
+            // structure).
+            with_symmetry_ops!(sss.kind(), O => {
+                for (rows, parts) in coloring.classes.iter().zip(class_parts) {
+                    self.ctx.run(&|tid| {
+                        let part = parts[tid];
+                        for &r in &rows[part.start as usize..part.end as usize] {
+                            let (cols, vals, pair) = sss.row_with_paired(r);
+                            let xr = x[r as usize];
+                            let mut acc = 0.0;
+                            for ((&c, &v), &u) in cols.iter().zip(vals).zip(pair) {
+                                acc += v * x[c as usize];
+                                // SAFETY(cert: color-class): within a color
+                                // class no two rows share a write target, and
+                                // threads own disjoint rows of the class.
+                                unsafe { y_buf.add(c as usize, O::transposed(v, u) * xr) };
+                            }
+                            // SAFETY(cert: color-class): row r's own slot is
+                            // part of its write set, disjoint within the class.
+                            unsafe { y_buf.add(r as usize, acc) };
                         }
-                        // SAFETY(cert: color-class): row r's own slot is
-                        // part of its write set, disjoint within the class.
-                        unsafe { y_buf.add(r as usize, acc) };
-                    }
-                });
-            }
+                    });
+                }
+            });
         });
     }
 

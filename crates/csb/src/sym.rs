@@ -5,8 +5,14 @@
 //! of ref. 27 (banded local buffers + atomic far updates) lives in
 //! `symspmv-core::csb_mt`, next to the other kernels; this module provides
 //! the storage, the serial kernel and the structural queries it needs.
+//!
+//! Like SSS, the storage carries a [`SymmetryKind`]: skew matrices flip
+//! the sign of the mirrored contribution, and structurally-symmetric ones
+//! keep a second block-ordered `upper_values` array paired element-for-
+//! element with the lower values.
 
 use crate::matrix::CsbMatrix;
+use symspmv_sparse::symmetry::SymmetryKind;
 use symspmv_sparse::{CooMatrix, Idx, SparseError, SssMatrix, Val};
 
 /// A symmetric matrix as dense diagonal + strict-lower-triangle CSB.
@@ -15,12 +21,25 @@ pub struct CsbSymMatrix {
     n: Idx,
     dvalues: Vec<Val>,
     lower: CsbMatrix,
+    kind: SymmetryKind,
+    /// For [`SymmetryKind::Structural`]: the upper-triangle values in the
+    /// same block order as `lower`'s values (empty otherwise).
+    upper_values: Vec<Val>,
 }
 
 impl CsbSymMatrix {
     /// Builds from a full symmetric COO matrix (checked).
     pub fn from_coo(coo: &CooMatrix, beta: Option<u32>) -> Result<Self, SparseError> {
-        let sss = SssMatrix::from_coo(coo, 0.0)?;
+        Self::from_coo_kind(coo, SymmetryKind::Symmetric, beta)
+    }
+
+    /// Builds from a full COO matrix with an explicit [`SymmetryKind`].
+    pub fn from_coo_kind(
+        coo: &CooMatrix,
+        kind: SymmetryKind,
+        beta: Option<u32>,
+    ) -> Result<Self, SparseError> {
+        let sss = SssMatrix::from_coo_kind(coo, kind, 0.0)?;
         Ok(Self::from_sss(&sss, beta))
     }
 
@@ -29,6 +48,15 @@ impl CsbSymMatrix {
     /// non-finite values, duplicate coordinates, index overflow and an
     /// out-of-range block size with a structured [`SparseError`].
     pub fn try_from_coo(coo: &CooMatrix, beta: Option<u32>) -> Result<Self, SparseError> {
+        Self::try_from_coo_kind(coo, SymmetryKind::Symmetric, beta)
+    }
+
+    /// The kind-aware twin of [`CsbSymMatrix::try_from_coo`].
+    pub fn try_from_coo_kind(
+        coo: &CooMatrix,
+        kind: SymmetryKind,
+        beta: Option<u32>,
+    ) -> Result<Self, SparseError> {
         if let Some(b) = beta {
             if b == 0 || b > 1 << 16 {
                 return Err(SparseError::InvalidArgument {
@@ -36,13 +64,15 @@ impl CsbSymMatrix {
                 });
             }
         }
-        let sss = SssMatrix::try_from_coo(coo, 0.0)?;
+        let sss = SssMatrix::try_from_coo_kind(coo, kind, 0.0)?;
         Ok(Self::from_sss(&sss, beta))
     }
 
-    /// Builds from SSS storage (symmetry already established).
+    /// Builds from SSS storage (symmetry already established). The SSS
+    /// matrix's [`SymmetryKind`] carries over.
     pub fn from_sss(sss: &SssMatrix, beta: Option<u32>) -> Self {
         let n = sss.n();
+        let kind = sss.kind();
         let mut lower_coo = CooMatrix::with_capacity(n, n, sss.lower_nnz());
         for r in 0..n {
             let (cols, vals) = sss.row(r);
@@ -54,16 +84,41 @@ impl CsbSymMatrix {
             Some(b) => CsbMatrix::with_beta(&lower_coo, b),
             None => CsbMatrix::from_coo(&lower_coo),
         };
+        // For structural matrices, run the *same coordinates* through a
+        // second CSB build carrying the upper values. The block layout and
+        // in-block ordering are pure functions of the coordinates and beta,
+        // so the element order is identical — asserted below.
+        let upper_values = if kind.has_upper_values() {
+            let mut upper_coo = CooMatrix::with_capacity(n, n, sss.lower_nnz());
+            for r in 0..n {
+                let (cols, _, pair) = sss.row_with_paired(r);
+                for (&c, &u) in cols.iter().zip(pair) {
+                    upper_coo.push(r, c, u);
+                }
+            }
+            let upper = CsbMatrix::with_beta(&upper_coo, lower.beta());
+            debug_assert_eq!(upper.locind_raw(), lower.locind_raw());
+            upper.values_raw().to_vec()
+        } else {
+            Vec::new()
+        };
         CsbSymMatrix {
             n,
             dvalues: sss.dvalues().to_vec(),
             lower,
+            kind,
+            upper_values,
         }
     }
 
     /// Matrix dimension.
     pub fn n(&self) -> Idx {
         self.n
+    }
+
+    /// The symmetry kind this storage carries.
+    pub fn kind(&self) -> SymmetryKind {
+        self.kind
     }
 
     /// Dense diagonal.
@@ -76,15 +131,27 @@ impl CsbSymMatrix {
         &self.lower
     }
 
+    /// The per-element mirror source: the upper-triangle values for
+    /// structural matrices, the lower values themselves otherwise (the
+    /// kernels apply the kind's sign through `SymmetryOps`).
+    pub fn paired_values(&self) -> &[Val] {
+        if self.upper_values.is_empty() {
+            self.lower.values_raw()
+        } else {
+            &self.upper_values
+        }
+    }
+
     /// Non-zeros of the represented operator (`2·lower + N`, diagonal
     /// stored densely).
     pub fn full_nnz(&self) -> usize {
         2 * self.lower.nnz() + self.n as usize
     }
 
-    /// Bytes: lower CSB plus the dense diagonal.
+    /// Bytes: lower CSB plus the dense diagonal (plus the paired upper
+    /// array for structural matrices).
     pub fn size_bytes(&self) -> usize {
-        self.lower.size_bytes() + 8 * self.n as usize
+        self.lower.size_bytes() + 8 * self.n as usize + 8 * self.upper_values.len()
     }
 
     /// Serial symmetric SpMV (`y = A·x`).
@@ -95,6 +162,8 @@ impl CsbSymMatrix {
         for r in 0..n {
             y[r] = self.dvalues[r] * x[r];
         }
+        let kind = self.kind;
+        let paired = self.paired_values();
         let beta = self.lower.beta();
         for bi in 0..self.lower.nbr() {
             let roff = (bi * beta) as usize;
@@ -104,7 +173,7 @@ impl CsbSymMatrix {
                     let (lr, lc, v) = self.element(k);
                     let (r, c) = (roff + lr, coff + lc);
                     y[r] += v * x[c];
-                    y[c] += v * x[r];
+                    y[c] += kind.transposed(v, paired[k]) * x[r];
                 }
             }
         }
@@ -134,7 +203,7 @@ impl CsbSymMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symspmv_sparse::dense::{assert_vec_close, seeded_vector};
+    use symspmv_sparse::dense::{assert_vec_close, seeded_vector, DenseMatrix};
 
     #[test]
     fn serial_matches_sss() {
@@ -163,5 +232,35 @@ mod tests {
         let mut coo = CooMatrix::new(3, 3);
         coo.push(0, 2, 1.0);
         assert!(CsbSymMatrix::from_coo(&coo, None).is_err());
+    }
+
+    #[test]
+    fn skew_serial_matches_dense() {
+        let coo = symspmv_sparse::gen::skew_convection(64, 7, 5.0, 17);
+        let n = coo.nrows() as usize;
+        let sym = CsbSymMatrix::from_coo_kind(&coo, SymmetryKind::Skew, Some(16)).unwrap();
+        assert_eq!(sym.kind(), SymmetryKind::Skew);
+        let x = seeded_vector(n, 4);
+        let mut y = vec![0.0; n];
+        sym.spmv_serial(&x, &mut y);
+        let mut y_ref = vec![0.0; n];
+        DenseMatrix::from_coo(&coo).matvec(&x, &mut y_ref);
+        assert_vec_close(&y, &y_ref, 1e-12);
+        let quad: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!(quad.abs() < 1e-10, "x'Ax = {quad} for skew A");
+    }
+
+    #[test]
+    fn structural_serial_matches_dense() {
+        let coo = symspmv_sparse::gen::structural_random(80, 6.0, 0.7, 10, 23);
+        let n = coo.nrows() as usize;
+        let sym = CsbSymMatrix::from_coo_kind(&coo, SymmetryKind::Structural, Some(8)).unwrap();
+        assert_eq!(sym.paired_values().len(), sym.lower().nnz());
+        let x = seeded_vector(n, 9);
+        let mut y = vec![0.0; n];
+        sym.spmv_serial(&x, &mut y);
+        let mut y_ref = vec![0.0; n];
+        DenseMatrix::from_coo(&coo).matvec(&x, &mut y_ref);
+        assert_vec_close(&y, &y_ref, 1e-12);
     }
 }

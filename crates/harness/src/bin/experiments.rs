@@ -18,6 +18,7 @@
 //!   ablation extension — CSX-Sym detection-config design space
 //!   atomics  extension — atomic updates vs local-vector reductions
 //!   spmm     extension — batched multi-RHS SpMM per-vector speedup
+//!   kinds    extension — skew/structural engines and the skew+RCM effect
 //!   related  extension — related-work comparison (CSB, CSB-Sym, atomics)
 //!   verify   extension — every kernel vs reference on the full suite
 //!   plot     extension — re-render SVG figures from existing CSVs
@@ -37,7 +38,7 @@
 use std::process::ExitCode;
 use symspmv_harness::experiments::{self, ExpConfig};
 
-const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|spmm|related|verify|plot|machine|all>
+const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|spmm|kinds|related|verify|plot|machine|all>
                    [--scale f] [--iters k] [--threads p] [--out dir]
                    [--matrix name]... [--cg-iters k] [--rhs k]";
 
@@ -131,6 +132,7 @@ fn main() -> ExitCode {
         "ablation" => experiments::ablation(&cfg),
         "atomics" => experiments::atomics(&cfg),
         "spmm" => experiments::spmm(&cfg),
+        "kinds" => experiments::kinds(&cfg),
         "related" => experiments::related(&cfg),
         "verify" => experiments::verify(&cfg),
         "plot" => experiments::plot(&cfg),

@@ -3,9 +3,10 @@
 //! (`tests/conformance.rs` at the workspace root).
 //!
 //! The oracle's reference is the **serial SSS kernel** — the simplest
-//! implementation of the symmetric multiplication, against which every
-//! parallel format/strategy/thread-count/lane-count combination is
-//! compared on a seeded matrix suite. Two conformance classes exist:
+//! implementation of each symmetry kind's mirror rule, against which
+//! every parallel kind/format/strategy/thread-count/lane-count
+//! combination is compared on a seeded matrix suite spanning
+//! `{symmetric, skew, structural}`. Two conformance classes exist:
 //!
 //! * **bitwise** — combinations proven to run the serial reference's exact
 //!   per-element operation order: the direct-write SSS strategies
@@ -25,6 +26,7 @@ use std::sync::Arc;
 use symspmv_core::{BlockKernel, ReductionMethod, SymFormat, SymSpmv};
 use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::dense::max_rel_diff;
+use symspmv_sparse::symmetry::SymmetryKind;
 use symspmv_sparse::{CooMatrix, SparseError, SssMatrix};
 
 /// Relative tolerance for the non-bitwise conformance class: parallel
@@ -46,32 +48,60 @@ pub struct SuiteMatrix {
     pub repro: &'static str,
     /// Seed baked into the constructor (echoed in reproducers).
     pub seed: u64,
-    /// The symmetric matrix itself.
+    /// The symmetry kind the matrix satisfies (and is validated against
+    /// when half-storage kernels are built from it).
+    pub kind: SymmetryKind,
+    /// The matrix itself (full expanded coordinates, both triangles).
     pub coo: CooMatrix,
 }
 
-/// The seeded matrix suite: a banded matrix (conflicts stay near the
-/// partition boundaries), a scattered-bandwidth matrix (conflict-heavy,
-/// exercises the indexing path), and a 2-D Laplacian (the paper's
-/// model problem family).
+/// The seeded symmetric matrix suite: a banded matrix (conflicts stay
+/// near the partition boundaries), a scattered-bandwidth matrix
+/// (conflict-heavy, exercises the indexing path), and a 2-D Laplacian
+/// (the paper's model problem family).
 pub fn suite() -> Vec<SuiteMatrix> {
     vec![
         SuiteMatrix {
             repro: "gen::banded_random(257, 16, 6.0, 91)",
             seed: 91,
+            kind: SymmetryKind::Symmetric,
             coo: symspmv_sparse::gen::banded_random(257, 16, 6.0, 91),
         },
         SuiteMatrix {
             repro: "gen::mixed_bandwidth(301, 7.0, 0.3, 5, 92)",
             seed: 92,
+            kind: SymmetryKind::Symmetric,
             coo: symspmv_sparse::gen::mixed_bandwidth(301, 7.0, 0.3, 5, 92),
         },
         SuiteMatrix {
             repro: "gen::laplacian_2d(18, 18)",
             seed: 0,
+            kind: SymmetryKind::Symmetric,
             coo: symspmv_sparse::gen::laplacian_2d(18, 18),
         },
     ]
+}
+
+/// The full kind-axis suite: the symmetric matrices of [`suite`] plus a
+/// skew-symmetric convection operator (zero diagonal, `a_ji = -a_ij`) and
+/// a structurally-symmetric matrix (symmetric pattern, independent paired
+/// values). Every oracle sweep crosses `{symmetric, skew, structural}`
+/// with the full format × thread × lane product.
+pub fn full_suite() -> Vec<SuiteMatrix> {
+    let mut v = suite();
+    v.push(SuiteMatrix {
+        repro: "gen::skew_convection(240, 11, 5.0, 93)",
+        seed: 93,
+        kind: SymmetryKind::Skew,
+        coo: symspmv_sparse::gen::skew_convection(240, 11, 5.0, 93),
+    });
+    v.push(SuiteMatrix {
+        repro: "gen::structural_random(263, 6.0, 0.4, 6, 94)",
+        seed: 94,
+        kind: SymmetryKind::Structural,
+        coo: symspmv_sparse::gen::structural_random(263, 6.0, 0.4, 6, 94),
+    });
+    v
 }
 
 /// The formats with a batched (SpMM) path — the oracle's format axis.
@@ -90,21 +120,41 @@ pub fn block_specs() -> Vec<KernelSpec> {
     ]
 }
 
-/// Builds the block-capable kernel for `spec`. Returns `Ok(None)` for
-/// specs without a batched path (the factory in [`crate::kernels`] still
-/// builds their scalar kernels).
+/// Builds the block-capable kernel for `spec` with the default
+/// `Symmetric` kind. Returns `Ok(None)` for specs without a batched path
+/// (the factory in [`crate::kernels`] still builds their scalar kernels).
 pub fn build_block_kernel(
     spec: KernelSpec,
     coo: &CooMatrix,
     ctx: &Arc<ExecutionContext>,
 ) -> Result<Option<Box<dyn BlockKernel>>, SparseError> {
+    build_block_kernel_kind(spec, coo, SymmetryKind::Symmetric, ctx)
+}
+
+/// Kind-aware block-kernel factory: the half-storage formats validate
+/// `coo` against `kind` and apply its mirror rule; the CSR baseline
+/// stores the full matrix and builds identically for every kind (which is
+/// what lets it serve as a universal cross-check on the kind kernels).
+pub fn build_block_kernel_kind(
+    spec: KernelSpec,
+    coo: &CooMatrix,
+    kind: SymmetryKind,
+    ctx: &Arc<ExecutionContext>,
+) -> Result<Option<Box<dyn BlockKernel>>, SparseError> {
     let cfg = experiment_detect_config();
     Ok(Some(match spec {
         KernelSpec::Csr => Box::new(symspmv_core::CsrParallel::from_coo(coo, ctx)),
-        KernelSpec::Sss(m) => Box::new(SymSpmv::from_coo(coo, ctx, m, SymFormat::Sss)?),
-        KernelSpec::CsxSym(m) => Box::new(SymSpmv::from_coo(coo, ctx, m, SymFormat::CsxSym(cfg))?),
-        KernelSpec::Hybrid(m) => Box::new(SymSpmv::from_coo(
+        KernelSpec::Sss(m) => Box::new(SymSpmv::from_coo_kind(coo, kind, ctx, m, SymFormat::Sss)?),
+        KernelSpec::CsxSym(m) => Box::new(SymSpmv::from_coo_kind(
             coo,
+            kind,
+            ctx,
+            m,
+            SymFormat::CsxSym(cfg),
+        )?),
+        KernelSpec::Hybrid(m) => Box::new(SymSpmv::from_coo_kind(
+            coo,
+            kind,
             ctx,
             m,
             SymFormat::Hybrid {
@@ -112,7 +162,9 @@ pub fn build_block_kernel(
                 min_coverage: 0.5,
             },
         )?),
-        KernelSpec::CsbSym => Box::new(symspmv_core::CsbSymParallel::from_coo(coo, ctx)?),
+        KernelSpec::CsbSym => {
+            Box::new(symspmv_core::CsbSymParallel::from_coo_kind(coo, kind, ctx)?)
+        }
         _ => return Ok(None),
     }))
 }
@@ -139,11 +191,18 @@ pub fn is_nondeterministic(spec: KernelSpec, nthreads: usize) -> bool {
     matches!(spec, KernelSpec::CsbSym) && nthreads > 1
 }
 
-/// The serial SSS reference result for one input vector.
+/// The serial SSS reference result for one input vector (`Symmetric`).
 pub fn serial_reference(coo: &CooMatrix, x: &[f64]) -> Vec<f64> {
-    let sss = match SssMatrix::from_coo(coo, 0.0) {
+    serial_reference_kind(coo, SymmetryKind::Symmetric, x)
+}
+
+/// The per-kind serial SSS reference: the simplest implementation of the
+/// kind's mirror rule (`+v`, `-v`, or the paired upper value), against
+/// which every parallel combination of that kind is compared.
+pub fn serial_reference_kind(coo: &CooMatrix, kind: SymmetryKind, x: &[f64]) -> Vec<f64> {
+    let sss = match SssMatrix::from_coo_kind(coo, kind, 0.0) {
         Ok(s) => s,
-        Err(e) => unreachable!("suite matrices are symmetric: {e}"),
+        Err(e) => unreachable!("suite matrices satisfy their declared kind: {e}"),
     };
     let mut y = vec![0.0; x.len()];
     sss.spmv(x, &mut y);
@@ -159,9 +218,10 @@ pub fn repro_line(
     vec_seed: u64,
 ) -> String {
     format!(
-        "reproduce with: matrix={} (seed {}), format={}, nthreads={}, lanes={}, x=VectorBlock::seeded(n, {}, {})",
+        "reproduce with: matrix={} (seed {}), kind={}, format={}, nthreads={}, lanes={}, x=VectorBlock::seeded(n, {}, {})",
         matrix.repro,
         matrix.seed,
+        matrix.kind.tag(),
         spec.name(),
         nthreads,
         lanes,

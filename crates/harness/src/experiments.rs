@@ -120,6 +120,18 @@ fn rcm_of(coo: &CooMatrix, matrix: &str) -> Result<CooMatrix, HarnessError> {
     rcm_reorder(coo).map_err(|e| HarnessError::matrix("RCM reorder", matrix, e))
 }
 
+/// Builds a kind-aware kernel with driver context attached to any failure.
+fn kernel_of_kind(
+    spec: KernelSpec,
+    coo: &CooMatrix,
+    kind: symspmv_sparse::symmetry::SymmetryKind,
+    ctx: &Arc<ExecutionContext>,
+    matrix: &str,
+) -> Result<Box<dyn symspmv_core::ParallelSpmv>, HarnessError> {
+    crate::kernels::build_kernel_kind(spec, coo, kind, ctx)
+        .map_err(|e| HarnessError::matrix(format!("{} kernel", spec.name()), matrix, e))
+}
+
 /// E1 — Table I: suite characteristics and compression ratios.
 pub fn table1(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!("== Table I: matrix suite and compression ratios ==\n");
@@ -1002,6 +1014,58 @@ pub fn verify(cfg: &ExpConfig) -> Result<(), HarnessError> {
     Ok(())
 }
 
+/// Extension — symmetry kinds: the generalized engine on the skew and
+/// structural [`symspmv_sparse::suite::KIND_SUITE`] entries, each row
+/// tagged with its kind, with the PARS3-style RCM comparison alongside
+/// (the scrambled convection matrix is where skew+RCM must win: the
+/// reordering recovers the band, shrinking the conflict region and the
+/// `x` working set at once).
+pub fn kinds(cfg: &ExpConfig) -> Result<(), HarnessError> {
+    println!(
+        "== Extension: symmetry kinds at {} threads (skew / structural engines, RCM effect) ==\n",
+        cfg.max_threads
+    );
+    let lineup = [
+        KernelSpec::Sss(ReductionMethod::Indexing),
+        KernelSpec::CsxSym(ReductionMethod::Indexing),
+        KernelSpec::CsbSym,
+    ];
+    let mut t = Table::new(&[
+        "matrix",
+        "kind",
+        "format",
+        "natural Gflop/s",
+        "RCM Gflop/s",
+        "RCM speedup",
+    ]);
+    let ctx = ExecutionContext::new(cfg.max_threads);
+    for spec in &symspmv_sparse::suite::KIND_SUITE {
+        if !cfg.matrices.is_empty() && !cfg.matrices.iter().any(|m| m == spec.name) {
+            continue;
+        }
+        let m = symspmv_sparse::suite::generate(spec, cfg.scale);
+        let reordered = rcm_of(&m.coo, spec.name)?;
+        for &ks in &lineup {
+            let mut k0 = kernel_of_kind(ks, &m.coo, spec.kind, &ctx, spec.name)?;
+            let g0 = measure(&mut *k0, cfg.iterations).gflops;
+            drop(k0);
+            let mut k1 = kernel_of_kind(ks, &reordered, spec.kind, &ctx, spec.name)?;
+            let g1 = measure(&mut *k1, cfg.iterations).gflops;
+            t.row(vec![
+                spec.name.to_string(),
+                spec.kind.tag().to_string(),
+                ks.name().to_string(),
+                f(g0, 2),
+                f(g1, 2),
+                f(g1 / g0, 2),
+            ]);
+        }
+    }
+    cfg.emit("kinds", &t)?;
+    println!("(expectation: skew+RCM beats skew-natural on the scrambled\n convection matrix — the PARS3 result; structural rows verify the\n paired-values engine runs at full-storage-competitive rates)\n");
+    Ok(())
+}
+
 /// Extension — host characterization (Table II substitute).
 pub fn machine(cfg: &ExpConfig) -> Result<(), HarnessError> {
     println!("== Host platform (Table II substitute) ==\n");
@@ -1133,6 +1197,7 @@ pub fn all(cfg: &ExpConfig) -> Result<(), HarnessError> {
     ablation(cfg)?;
     atomics(cfg)?;
     spmm(cfg)?;
+    kinds(cfg)?;
     related(cfg)
 }
 

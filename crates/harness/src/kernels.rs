@@ -5,6 +5,7 @@ use std::sync::Arc;
 use symspmv_core::{CsrParallel, CsxParallel, ParallelSpmv, ReductionMethod, SymFormat, SymSpmv};
 use symspmv_csx::detect::DetectConfig;
 use symspmv_runtime::ExecutionContext;
+use symspmv_sparse::symmetry::SymmetryKind;
 use symspmv_sparse::{CooMatrix, SparseError};
 
 /// The kernel configurations the evaluation section compares.
@@ -141,18 +142,43 @@ pub fn build_kernel(
     coo: &CooMatrix,
     ctx: &Arc<ExecutionContext>,
 ) -> Result<Box<dyn ParallelSpmv>, SparseError> {
+    build_kernel_kind(spec, coo, SymmetryKind::Symmetric, ctx)
+}
+
+/// The kind-aware factory: builds `spec` over `coo` validated against
+/// `kind`. The unsymmetric baselines (CSR, CSX, CSB, BCSR) store the full
+/// expanded matrix and are kind-independent — they build identically for
+/// every kind; the half-storage kernels thread the kind through their
+/// constructors.
+pub fn build_kernel_kind(
+    spec: KernelSpec,
+    coo: &CooMatrix,
+    kind: SymmetryKind,
+    ctx: &Arc<ExecutionContext>,
+) -> Result<Box<dyn ParallelSpmv>, SparseError> {
     let cfg = experiment_detect_config();
     Ok(match spec {
         KernelSpec::Csr => Box::new(CsrParallel::from_coo(coo, ctx)),
         KernelSpec::Csx => Box::new(CsxParallel::from_coo(coo, ctx, &cfg)),
-        KernelSpec::Sss(m) => Box::new(SymSpmv::from_coo(coo, ctx, m, SymFormat::Sss)?),
-        KernelSpec::CsxSym(m) => Box::new(SymSpmv::from_coo(coo, ctx, m, SymFormat::CsxSym(cfg))?),
-        KernelSpec::SssAtomic => Box::new(symspmv_core::SssAtomicParallel::from_coo(coo, ctx)?),
+        KernelSpec::Sss(m) => Box::new(SymSpmv::from_coo_kind(coo, kind, ctx, m, SymFormat::Sss)?),
+        KernelSpec::CsxSym(m) => Box::new(SymSpmv::from_coo_kind(
+            coo,
+            kind,
+            ctx,
+            m,
+            SymFormat::CsxSym(cfg),
+        )?),
+        KernelSpec::SssAtomic => Box::new(symspmv_core::SssAtomicParallel::from_coo_kind(
+            coo, kind, ctx,
+        )?),
         KernelSpec::Csb => Box::new(symspmv_core::CsbParallel::from_coo(coo, ctx)),
         KernelSpec::Bcsr => Box::new(symspmv_core::BcsrParallel::from_coo(coo, ctx)),
-        KernelSpec::SssColor => Box::new(symspmv_core::SssColorParallel::from_coo(coo, ctx)?),
-        KernelSpec::Hybrid(m) => Box::new(SymSpmv::from_coo(
+        KernelSpec::SssColor => Box::new(symspmv_core::SssColorParallel::from_coo_kind(
+            coo, kind, ctx,
+        )?),
+        KernelSpec::Hybrid(m) => Box::new(SymSpmv::from_coo_kind(
             coo,
+            kind,
             ctx,
             m,
             SymFormat::Hybrid {
@@ -160,7 +186,9 @@ pub fn build_kernel(
                 min_coverage: 0.5,
             },
         )?),
-        KernelSpec::CsbSym => Box::new(symspmv_core::CsbSymParallel::from_coo(coo, ctx)?),
+        KernelSpec::CsbSym => {
+            Box::new(symspmv_core::CsbSymParallel::from_coo_kind(coo, kind, ctx)?)
+        }
     })
 }
 

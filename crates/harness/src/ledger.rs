@@ -151,6 +151,11 @@ pub struct SampleSet {
     pub iters: u64,
     /// Seconds per iteration, one entry per sample, in measurement order.
     pub samples: Vec<f64>,
+    /// Symmetry-kind tag of the benchmarked operator (`"symmetric"`,
+    /// `"skew"`, `"structural"`), when the row measured a kind-aware
+    /// kernel. `None` on rows predating the kind axis and on rows where
+    /// the kind is not meaningful (e.g. pure encode benches).
+    pub kind: Option<String>,
     /// Elements processed per iteration (non-zeros), if declared.
     pub elements: Option<u64>,
     /// Floating-point operations per iteration (`2·nnz` for SpMV).
@@ -217,6 +222,9 @@ impl SampleSet {
                 "samples_s",
                 Json::Arr(self.samples.iter().map(|s| Json::Num(*s)).collect()),
             );
+        if let Some(kind) = &self.kind {
+            o.push("kind", Json::Str(kind.clone()));
+        }
         if let Some(s) = self.stats() {
             o.push("median_s", Json::Num(s.median))
                 .push("mad_s", Json::Num(s.mad))
@@ -276,6 +284,7 @@ impl SampleSet {
                 reason: format!("{ctx}: iters missing"),
             })?,
             samples,
+            kind: j.get("kind").and_then(Json::as_str).map(str::to_string),
             elements: opt_u64("elements"),
             flops: opt_u64("flops"),
             bytes: opt_u64("bytes"),
@@ -378,6 +387,7 @@ mod tests {
             id: "csxsym-idx".into(),
             iters: 37,
             samples: vec![1.25e-4, 1.5e-4, 1.3e-4, 9.9e-5, 2.0e-4],
+            kind: Some("skew".into()),
             elements: Some(1_000_000),
             flops: Some(2_000_000),
             bytes: Some(12_345_678),
@@ -402,6 +412,7 @@ mod tests {
                     id: "bare".into(),
                     iters: 1,
                     samples: vec![0.5],
+                    kind: None,
                     elements: None,
                     flops: None,
                     bytes: None,

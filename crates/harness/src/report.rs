@@ -228,6 +228,7 @@ mod tests {
                     id: "k".into(),
                     iters: 3,
                     samples: vec![1e-3, 2e-3, 3e-3],
+                    kind: None,
                     elements: Some(10),
                     flops: Some(4_000_000),
                     bytes: Some(2_000_000),
@@ -244,6 +245,7 @@ mod tests {
                     id: "empty".into(),
                     iters: 1,
                     samples: vec![],
+                    kind: None,
                     elements: None,
                     flops: None,
                     bytes: None,

@@ -203,6 +203,47 @@ impl CooMatrix {
         })
     }
 
+    /// Checks skew symmetry: every off-diagonal entry `(r, c, v)` must have
+    /// a matching `(c, r, -v)` entry (within `tol` absolute tolerance), and
+    /// every stored diagonal entry must be zero within `tol`.
+    ///
+    /// The matrix must be canonical; call [`CooMatrix::canonicalize`] first.
+    pub fn is_skew_symmetric(&self, tol: Val) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        debug_assert!(
+            self.is_canonical(),
+            "is_skew_symmetric requires canonical form"
+        );
+        self.iter().all(|(r, c, v)| {
+            if r == c {
+                v.abs() <= tol
+            } else {
+                match self.find(c, r) {
+                    Some(w) => (v + w).abs() <= tol,
+                    None => false,
+                }
+            }
+        })
+    }
+
+    /// Checks structural (pattern) symmetry: every off-diagonal entry
+    /// `(r, c)` must have a stored partner `(c, r)` — values are ignored.
+    ///
+    /// The matrix must be canonical; call [`CooMatrix::canonicalize`] first.
+    pub fn is_structurally_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        debug_assert!(
+            self.is_canonical(),
+            "is_structurally_symmetric requires canonical form"
+        );
+        self.iter()
+            .all(|(r, c, _)| r == c || self.find(c, r).is_some())
+    }
+
     /// Binary-searches a canonical matrix for entry `(row, col)`.
     pub fn find(&self, row: Idx, col: Idx) -> Option<Val> {
         // Find the row range by binary search, then the column inside it.
@@ -318,6 +359,64 @@ mod tests {
         asym.push(2, 0, 1.0);
         asym.canonicalize();
         assert!(!asym.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn skew_symmetry_detection() {
+        // [[0, -1, 0], [1, 0, 2], [0, -2, 0]]
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 1, -1.0);
+        m.push(1, 0, 1.0);
+        m.push(1, 2, 2.0);
+        m.push(2, 1, -2.0);
+        m.canonicalize();
+        assert!(m.is_skew_symmetric(0.0));
+        assert!(!m.is_symmetric(0.0));
+
+        // A nonzero diagonal breaks skew symmetry…
+        let mut d = m.clone();
+        d.push(0, 0, 3.0);
+        d.canonicalize();
+        assert!(!d.is_skew_symmetric(0.0));
+        // …but an explicit zero diagonal entry is fine.
+        let mut z = m.clone();
+        z.push(0, 0, 0.0);
+        z.canonicalize();
+        assert!(z.is_skew_symmetric(0.0));
+
+        // An unpaired entry breaks it.
+        let mut u = m.clone();
+        u.push(0, 2, 5.0);
+        u.canonicalize();
+        assert!(!u.is_skew_symmetric(0.0));
+
+        // A same-sign mirror breaks it (that would be symmetric).
+        let s = sample();
+        assert!(!s.is_skew_symmetric(0.0));
+    }
+
+    #[test]
+    fn structural_symmetry_detection() {
+        // Pattern symmetric, values unrelated.
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 0, 4.0);
+        m.push(0, 1, 7.0);
+        m.push(1, 0, -2.5);
+        m.push(1, 2, 1.0);
+        m.push(2, 1, 9.0);
+        m.canonicalize();
+        assert!(m.is_structurally_symmetric());
+        assert!(!m.is_symmetric(0.0));
+        assert!(!m.is_skew_symmetric(0.0));
+
+        // Numerically symmetric implies structurally symmetric.
+        assert!(sample().is_structurally_symmetric());
+
+        // Unpaired entry breaks the pattern.
+        let mut u = m.clone();
+        u.push(2, 0, 1.0);
+        u.canonicalize();
+        assert!(!u.is_structurally_symmetric());
     }
 
     #[test]

@@ -100,6 +100,39 @@ pub enum SparseError {
         /// Column index (0-based) of the offending entry.
         col: u32,
     },
+    /// The operation requires a skew-symmetric matrix
+    /// (`a_ji = -a_ij`, zero diagonal).
+    NotSkewSymmetric {
+        /// Row of the first offending entry found.
+        row: u32,
+        /// Column of the first offending entry found.
+        col: u32,
+    },
+    /// A skew-symmetric matrix carries a nonzero (or explicit, where
+    /// forbidden) diagonal entry.
+    SkewNonzeroDiagonal {
+        /// Index of the offending diagonal entry.
+        row: u32,
+        /// The offending value.
+        value: f64,
+    },
+    /// The operation requires a structurally symmetric pattern: every
+    /// off-diagonal entry `(r, c)` must have a stored partner `(c, r)`.
+    NotStructurallySymmetric {
+        /// Row of the first unpaired entry found.
+        row: u32,
+        /// Column of the first unpaired entry found.
+        col: u32,
+    },
+    /// A `skew-symmetric` MatrixMarket file stored a diagonal entry; the
+    /// diagonal of a skew-symmetric matrix is identically zero and the
+    /// format mandates strict-lower-triangle storage.
+    DiagonalInSkewSymmetric {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// Index of the offending diagonal entry.
+        row: u32,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -142,6 +175,22 @@ impl fmt::Display for SparseError {
             SparseError::UpperTriangleInSymmetric { line, row, col } => write!(
                 f,
                 "line {line}: entry ({row}, {col}) lies in the upper triangle of a `symmetric` file (lower-triangle storage is mandatory)"
+            ),
+            SparseError::NotSkewSymmetric { row, col } => write!(
+                f,
+                "matrix is not skew-symmetric: entry ({row}, {col}) has no negated mirror"
+            ),
+            SparseError::SkewNonzeroDiagonal { row, value } => write!(
+                f,
+                "skew-symmetric matrix has nonzero diagonal entry ({row}, {row}) = {value}"
+            ),
+            SparseError::NotStructurallySymmetric { row, col } => write!(
+                f,
+                "pattern is not symmetric: entry ({row}, {col}) has no stored partner ({col}, {row})"
+            ),
+            SparseError::DiagonalInSkewSymmetric { line, row } => write!(
+                f,
+                "line {line}: diagonal entry ({row}, {row}) in a `skew-symmetric` file (the diagonal is implicitly zero; strict-lower storage is mandatory)"
             ),
         }
     }

@@ -261,6 +261,91 @@ pub fn power_law(n: Idx, nnz_per_row: f64, hub_frac: f64, local_band: Idx, seed:
     spd_from_lower(&lower, 1.0)
 }
 
+/// Convection-style skew-symmetric generator (`a_ji = -a_ij`, zero
+/// diagonal): the discrete first-derivative (transport) operator of a
+/// convection–diffusion problem under central differences, whose
+/// off-diagonal couplings are banded and antisymmetric.
+///
+/// Entries are confined to `half_bandwidth` of the diagonal, with
+/// `nnz_per_row` full-matrix off-diagonal targets per row — the PARS3
+/// skew + RCM experiments pair this with [`scramble`] to hide the band.
+pub fn skew_convection(n: Idx, half_bandwidth: Idx, nnz_per_row: f64, seed: u64) -> CooMatrix {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_row_lower = (nnz_per_row / 2.0).max(0.5);
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * (n as f64 * per_row_lower) as usize + 16);
+    for r in 1..n {
+        let lo = r.saturating_sub(half_bandwidth);
+        let mut want = per_row_lower.floor() as usize;
+        if rng.random::<f64>() < per_row_lower.fract() {
+            want += 1;
+        }
+        let span = r - lo;
+        let want = want.min(span as usize);
+        for _ in 0..want {
+            let c = rng.random_range(lo..r);
+            // Transport coefficient: positive below the diagonal, negated
+            // mirror above — duplicates sum pairwise, preserving skewness.
+            let v = rng.random_range(0.1..1.0);
+            coo.push(r, c, v);
+            coo.push(c, r, -v);
+        }
+    }
+    coo.canonicalize();
+    coo
+}
+
+/// Structurally-symmetric generator: the sparsity pattern is symmetric but
+/// the paired values `(a_ij, a_ji)` are drawn independently — the circuit
+/// / unsymmetric-FEM class Batista et al. target. The diagonal is made
+/// dominant over both triangles so the matrix stays well-conditioned for
+/// the oracle's tolerance checks.
+///
+/// Off-diagonal placement follows [`mixed_bandwidth`]: `local_frac` of the
+/// pairs stay within `half_bandwidth` of the diagonal, the rest scatter.
+pub fn structural_random(
+    n: Idx,
+    nnz_per_row: f64,
+    local_frac: f64,
+    half_bandwidth: Idx,
+    seed: u64,
+) -> CooMatrix {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&local_frac));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_row_lower = (nnz_per_row / 2.0).max(0.5);
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * (n as f64 * per_row_lower) as usize + 16);
+    let mut rowsum = vec![0.0; n as usize];
+    for r in 1..n {
+        let mut want = per_row_lower.floor() as usize;
+        if rng.random::<f64>() < per_row_lower.fract() {
+            want += 1;
+        }
+        let want = want.min(r as usize);
+        for _ in 0..want {
+            let c = if rng.random::<f64>() < local_frac {
+                let lo = r.saturating_sub(half_bandwidth);
+                rng.random_range(lo..r)
+            } else {
+                rng.random_range(0..r)
+            };
+            // Independent pair values: the pattern is mirrored, the
+            // numbers are not.
+            let v_lower = -rng.random_range(0.1..1.0);
+            let v_upper = -rng.random_range(0.1..1.0);
+            coo.push(r, c, v_lower);
+            coo.push(c, r, v_upper);
+            rowsum[r as usize] += v_lower.abs();
+            rowsum[c as usize] += v_upper.abs();
+        }
+    }
+    for i in 0..n {
+        coo.push(i, i, rowsum[i as usize] + 1.0);
+    }
+    coo.canonicalize();
+    coo
+}
+
 /// Locally scrambles a block-structured matrix's *node* numbering: node
 /// labels are shuffled within windows of `window_nodes`, while each node's
 /// `block` consecutive rows (its degrees of freedom) move together.
@@ -434,6 +519,48 @@ mod tests {
         let max = *deg.iter().max().unwrap();
         let avg = deg.iter().sum::<usize>() as f64 / n as f64;
         assert!(max as f64 > 4.0 * avg, "max degree {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn skew_convection_is_skew_and_banded() {
+        let a = skew_convection(300, 12, 6.0, 21);
+        assert!(a.is_skew_symmetric(0.0));
+        assert!(!a.is_symmetric(0.0));
+        for (r, c, _) in a.iter() {
+            assert_ne!(r, c, "skew generator must not emit diagonal entries");
+            assert!((r as i64 - c as i64).unsigned_abs() <= 12);
+        }
+        // Determinism.
+        assert_eq!(skew_convection(300, 12, 6.0, 21), a);
+        assert_ne!(skew_convection(300, 12, 6.0, 22), a);
+        // Skewness survives a symmetric permutation (the RCM-experiment
+        // pipeline scrambles, reorders, and must stay skew throughout).
+        let s = scramble(&a, 3);
+        assert!(s.is_skew_symmetric(0.0));
+    }
+
+    #[test]
+    fn structural_random_pattern_symmetric_values_not() {
+        let a = structural_random(300, 7.0, 0.6, 8, 33);
+        assert!(a.is_structurally_symmetric());
+        assert!(!a.is_symmetric(0.0), "paired values must differ");
+        assert!(!a.is_skew_symmetric(0.0));
+        // Diagonal dominance over the full (unsymmetric) row values.
+        let n = a.nrows() as usize;
+        let mut diag = vec![0.0; n];
+        let mut off = vec![0.0; n];
+        for (r, c, v) in a.iter() {
+            if r == c {
+                diag[r as usize] = v;
+            } else {
+                off[r as usize] += v.abs();
+            }
+        }
+        for i in 0..n {
+            assert!(diag[i] > off[i], "row {i} not strictly dominant");
+        }
+        // Determinism.
+        assert_eq!(structural_random(300, 7.0, 0.6, 8, 33), a);
     }
 
     #[test]

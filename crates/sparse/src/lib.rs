@@ -37,6 +37,7 @@ pub mod rng;
 pub mod sss;
 pub mod stats;
 pub mod suite;
+pub mod symmetry;
 pub mod validate;
 
 pub use bcsr::BcsrMatrix;
@@ -46,6 +47,7 @@ pub use csr::CsrMatrix;
 pub use error::SparseError;
 pub use perm::Permutation;
 pub use sss::SssMatrix;
+pub use symmetry::{SymmetryKind, SymmetryOps};
 
 /// Index type used across all formats (paper: four-byte indices).
 pub type Idx = u32;

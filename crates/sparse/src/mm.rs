@@ -2,12 +2,15 @@
 //!
 //! Supports the subset needed for the paper's matrix suite: `matrix
 //! coordinate` files with `real`, `integer` or `pattern` fields and
-//! `general` or `symmetric` symmetry. Symmetric files are expanded to the
-//! full matrix on load (the storage formats re-extract the lower triangle
-//! themselves).
+//! `general`, `symmetric` or `skew-symmetric` symmetry. Symmetric files
+//! are expanded to the full matrix on load (the storage formats re-extract
+//! the lower triangle themselves); skew-symmetric files mirror each strict
+//! lower entry `(r, c, v)` to `(c, r, -v)` and must not store diagonal
+//! entries (the diagonal of a skew-symmetric matrix is identically zero).
 
 use crate::coo::CooMatrix;
 use crate::error::SparseError;
+use crate::symmetry::SymmetryKind;
 use crate::validate::checked_idx;
 use crate::Idx;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -31,6 +34,9 @@ pub enum MmSymmetry {
     General,
     /// Only the lower triangle stored; mirrored on load.
     Symmetric,
+    /// Only the strict lower triangle stored; mirrored with a sign flip on
+    /// load. Diagonal entries are forbidden.
+    SkewSymmetric,
 }
 
 /// Parsed MatrixMarket header.
@@ -38,8 +44,21 @@ pub enum MmSymmetry {
 pub struct MmHeader {
     /// Field type (real/integer/pattern).
     pub field: MmField,
-    /// Symmetry (general/symmetric).
+    /// Symmetry (general/symmetric/skew-symmetric).
     pub symmetry: MmSymmetry,
+}
+
+impl MmSymmetry {
+    /// The [`SymmetryKind`] a half-storage kernel should be built with, or
+    /// `None` for `general` files (no symmetry to exploit — `structural`
+    /// can only be asserted by the caller, never inferred from the header).
+    pub fn kind(self) -> Option<SymmetryKind> {
+        match self {
+            MmSymmetry::General => None,
+            MmSymmetry::Symmetric => Some(SymmetryKind::Symmetric),
+            MmSymmetry::SkewSymmetric => Some(SymmetryKind::Skew),
+        }
+    }
 }
 
 /// Reads a MatrixMarket matrix from any reader.
@@ -91,6 +110,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
     let symmetry = match toks[4].to_ascii_lowercase().as_str() {
         "general" => MmSymmetry::General,
         "symmetric" => MmSymmetry::Symmetric,
+        "skew-symmetric" => MmSymmetry::SkewSymmetric,
         other => {
             return Err(SparseError::Parse {
                 line: lineno,
@@ -98,6 +118,15 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
             })
         }
     };
+    if symmetry == MmSymmetry::SkewSymmetric && field == MmField::Pattern {
+        // A pattern file carries no signs, so the mirrored `-v` entries
+        // would be meaningless; the MM spec restricts `skew-symmetric` to
+        // valued fields.
+        return Err(SparseError::Parse {
+            line: lineno,
+            msg: "`pattern` field cannot be combined with `skew-symmetric`".into(),
+        });
+    }
 
     // Size line (skipping comments).
     let (size_lineno, size_line) = loop {
@@ -141,10 +170,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
         max: usize::MAX as u64,
     })?;
 
-    let expansion: usize = if symmetry == MmSymmetry::Symmetric {
-        2
-    } else {
+    let expansion: usize = if symmetry == MmSymmetry::General {
         1
+    } else {
+        2
     };
     // Cap the pre-reservation so a lying header cannot OOM the process
     // before a single entry is read; the vectors grow on demand past this.
@@ -198,14 +227,21 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
                 ncols,
             });
         }
-        if symmetry == MmSymmetry::Symmetric && c > r {
+        if symmetry != MmSymmetry::General && c > r {
             // The MatrixMarket spec mandates lower-triangle-only storage
-            // for `symmetric` files; mirroring an upper entry anyway would
-            // silently double-count it against its lower twin.
+            // for `symmetric` and `skew-symmetric` files; mirroring an
+            // upper entry anyway would silently double-count it against
+            // its lower twin.
             return Err(SparseError::UpperTriangleInSymmetric {
                 line: lineno,
                 row: r,
                 col: c,
+            });
+        }
+        if symmetry == MmSymmetry::SkewSymmetric && c == r {
+            return Err(SparseError::DiagonalInSkewSymmetric {
+                line: lineno,
+                row: r,
             });
         }
         if seen == nnz {
@@ -217,8 +253,14 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<(CooMatrix, MmHeader), S
             });
         }
         coo.push(r, c, v);
-        if symmetry == MmSymmetry::Symmetric && r != c {
-            coo.push(c, r, v);
+        match symmetry {
+            MmSymmetry::General => {}
+            MmSymmetry::Symmetric => {
+                if r != c {
+                    coo.push(c, r, v);
+                }
+            }
+            MmSymmetry::SkewSymmetric => coo.push(c, r, -v),
         }
         seen += 1;
     }
@@ -250,12 +292,46 @@ pub fn write_matrix_market<W: Write>(
     coo: &CooMatrix,
     symmetric: bool,
 ) -> Result<(), SparseError> {
-    let sym = if symmetric { "symmetric" } else { "general" };
+    let symmetry = if symmetric {
+        MmSymmetry::Symmetric
+    } else {
+        MmSymmetry::General
+    };
+    write_matrix_market_as(w, coo, symmetry)
+}
+
+/// Writes a matrix in MatrixMarket coordinate format under an explicit
+/// symmetry declaration.
+///
+/// `Symmetric` emits the lower triangle (incl. diagonal); `SkewSymmetric`
+/// emits the strict lower triangle only (diagonal and sign-flipped upper
+/// entries are implied by the format). The caller is responsible for the
+/// matrix actually having the declared symmetry; skew matrices with a
+/// nonzero diagonal are rejected because the format cannot represent one.
+pub fn write_matrix_market_as<W: Write>(
+    w: &mut W,
+    coo: &CooMatrix,
+    symmetry: MmSymmetry,
+) -> Result<(), SparseError> {
+    let sym = match symmetry {
+        MmSymmetry::General => "general",
+        MmSymmetry::Symmetric => "symmetric",
+        MmSymmetry::SkewSymmetric => "skew-symmetric",
+    };
     writeln!(w, "%%MatrixMarket matrix coordinate real {sym}")?;
     let entries: Vec<(Idx, Idx, f64)> = coo
         .iter()
-        .filter(|&(r, c, _)| !symmetric || c <= r)
+        .filter(|&(r, c, v)| match symmetry {
+            MmSymmetry::General => true,
+            MmSymmetry::Symmetric => c <= r,
+            MmSymmetry::SkewSymmetric => c < r || (c == r && v != 0.0),
+        })
         .collect();
+    if symmetry == MmSymmetry::SkewSymmetric {
+        if let Some(&(r, _, v)) = entries.iter().find(|&&(r, c, _)| r == c) {
+            return Err(SparseError::SkewNonzeroDiagonal { row: r, value: v });
+        }
+    }
     writeln!(w, "{} {} {}", coo.nrows(), coo.ncols(), entries.len())?;
     for (r, c, v) in entries {
         writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
@@ -266,6 +342,13 @@ pub fn write_matrix_market<W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn header_symmetry_maps_to_kind() {
+        assert_eq!(MmSymmetry::General.kind(), None);
+        assert_eq!(MmSymmetry::Symmetric.kind(), Some(SymmetryKind::Symmetric));
+        assert_eq!(MmSymmetry::SkewSymmetric.kind(), Some(SymmetryKind::Skew));
+    }
 
     #[test]
     fn parse_general_real() {
@@ -293,6 +376,86 @@ mod tests {
         assert_eq!(coo.find(0, 1), Some(1.0));
         assert_eq!(coo.find(1, 0), Some(1.0));
         assert!(coo.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn parse_skew_symmetric_expands_with_sign_flip() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    3 3 2\n\
+                    2 1 4.0\n\
+                    3 2 -1.5\n";
+        let (coo, hdr) = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(hdr.symmetry, MmSymmetry::SkewSymmetric);
+        assert_eq!(coo.nnz(), 4);
+        assert_eq!(coo.find(1, 0), Some(4.0));
+        assert_eq!(coo.find(0, 1), Some(-4.0));
+        assert_eq!(coo.find(2, 1), Some(-1.5));
+        assert_eq!(coo.find(1, 2), Some(1.5));
+        assert!(coo.is_skew_symmetric(0.0));
+    }
+
+    #[test]
+    fn skew_diagonal_entry_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 2\n\
+                    2 1 4.0\n\
+                    2 2 0.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::DiagonalInSkewSymmetric { line: 4, row: 1 })
+        ));
+    }
+
+    #[test]
+    fn skew_upper_triangle_rejected() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    1 2 -4.0\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::UpperTriangleInSymmetric { .. })
+        ));
+    }
+
+    #[test]
+    fn skew_pattern_field_rejected() {
+        let text = "%%MatrixMarket matrix coordinate pattern skew-symmetric\n\
+                    2 2 1\n\
+                    2 1\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(SparseError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn write_read_round_trip_skew() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(1, 0, 4.0);
+        coo.push(0, 1, -4.0);
+        coo.push(2, 1, -1.5);
+        coo.push(1, 2, 1.5);
+        coo.canonicalize();
+
+        let mut buf = Vec::new();
+        write_matrix_market_as(&mut buf, &coo, MmSymmetry::SkewSymmetric).unwrap();
+        let (back, hdr) = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(hdr.symmetry, MmSymmetry::SkewSymmetric);
+        assert_eq!(back, coo);
+    }
+
+    #[test]
+    fn write_skew_nonzero_diagonal_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 0, 4.0);
+        coo.push(0, 1, -4.0);
+        coo.push(0, 0, 3.0);
+        coo.canonicalize();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_matrix_market_as(&mut buf, &coo, MmSymmetry::SkewSymmetric),
+            Err(SparseError::SkewNonzeroDiagonal { row: 0, .. })
+        ));
     }
 
     #[test]

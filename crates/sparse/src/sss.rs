@@ -4,11 +4,19 @@
 //! triangle in CSR layout. Its size model is Eq. 2 of the paper:
 //! `S_SSS = 6·(NNZ + N) + 4` bytes, where `NNZ` counts the non-zeros of the
 //! *full* matrix.
+//!
+//! The same half storage carries all three [`SymmetryKind`]s: a skew
+//! matrix stores the strict lower triangle with an implicit sign flip on
+//! the mirror (and an identically zero diagonal); a structurally symmetric
+//! matrix stores a paired `upper_values` array alongside the lower values
+//! (`upper_values[j]` is `a[colind[j]][r]` for lower entry `j`).
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::error::SparseError;
+use crate::symmetry::{SymmetryKind, SymmetryOps};
 use crate::validate::{validate_coo, CooChecks};
+use crate::with_symmetry_ops;
 use crate::{Idx, Val};
 use std::sync::OnceLock;
 
@@ -30,10 +38,14 @@ use std::sync::OnceLock;
 #[derive(Debug, Clone)]
 pub struct SssMatrix {
     n: Idx,
+    kind: SymmetryKind,
     dvalues: Vec<Val>,
     rowptr: Vec<Idx>,
     colind: Vec<Idx>,
     values: Vec<Val>,
+    /// Paired upper-triangle values in lower-CSR order; empty unless
+    /// `kind == Structural`.
+    upper_values: Vec<Val>,
     /// Lazily computed structural fingerprint. The matrix is immutable
     /// after construction (no `&mut self` methods exist), so the cached
     /// value can never go stale.
@@ -45,10 +57,12 @@ pub struct SssMatrix {
 impl PartialEq for SssMatrix {
     fn eq(&self, other: &Self) -> bool {
         self.n == other.n
+            && self.kind == other.kind
             && self.dvalues == other.dvalues
             && self.rowptr == other.rowptr
             && self.colind == other.colind
             && self.values == other.values
+            && self.upper_values == other.upper_values
     }
 }
 
@@ -58,6 +72,24 @@ impl SssMatrix {
     /// The input must be square and numerically symmetric (checked with
     /// absolute tolerance `tol`; pass `0.0` for exact symmetry).
     pub fn from_coo(coo: &CooMatrix, tol: Val) -> Result<Self, SparseError> {
+        Self::from_coo_kind(coo, SymmetryKind::Symmetric, tol)
+    }
+
+    /// Builds the half storage for any [`SymmetryKind`] from a full COO
+    /// matrix.
+    ///
+    /// The input must be square and satisfy the kind's relation (numeric
+    /// checks use absolute tolerance `tol`): symmetric — `a_ji = a_ij`;
+    /// skew — `a_ji = -a_ij` with every stored diagonal entry zero
+    /// (nonzero diagonals are rejected as
+    /// [`SparseError::SkewNonzeroDiagonal`], and the stored diagonal is
+    /// identically zero); structural — every off-diagonal entry paired,
+    /// with the upper value of each pair kept in `upper_values`.
+    pub fn from_coo_kind(
+        coo: &CooMatrix,
+        kind: SymmetryKind,
+        tol: Val,
+    ) -> Result<Self, SparseError> {
         let mut c = coo.clone();
         c.canonicalize();
         if c.nrows() != c.ncols() {
@@ -66,26 +98,85 @@ impl SssMatrix {
                 ncols: c.ncols(),
             });
         }
-        if !c.is_symmetric(tol) {
-            // Locate the first offending entry for the error message.
-            for (r, col, v) in c.iter() {
-                if r != col {
-                    let m = c.find(col, r);
-                    if m.is_none_or(|w| (w - v).abs() > tol) {
-                        return Err(SparseError::NotSymmetric { row: r, col });
+        match kind {
+            SymmetryKind::Symmetric => {
+                if !c.is_symmetric(tol) {
+                    // Locate the first offending entry for the error message.
+                    for (r, col, v) in c.iter() {
+                        if r != col {
+                            let m = c.find(col, r);
+                            if m.is_none_or(|w| (w - v).abs() > tol) {
+                                return Err(SparseError::NotSymmetric { row: r, col });
+                            }
+                        }
                     }
+                    unreachable!("is_symmetric and scan disagree");
                 }
             }
-            unreachable!("is_symmetric and scan disagree");
+            SymmetryKind::Skew => {
+                if !c.is_skew_symmetric(tol) {
+                    for (r, col, v) in c.iter() {
+                        if r == col {
+                            if v.abs() > tol {
+                                return Err(SparseError::SkewNonzeroDiagonal { row: r, value: v });
+                            }
+                        } else {
+                            let m = c.find(col, r);
+                            if m.is_none_or(|w| (v + w).abs() > tol) {
+                                return Err(SparseError::NotSkewSymmetric { row: r, col });
+                            }
+                        }
+                    }
+                    unreachable!("is_skew_symmetric and scan disagree");
+                }
+            }
+            SymmetryKind::Structural => {
+                if !c.is_structurally_symmetric() {
+                    for (r, col, _) in c.iter() {
+                        if r != col && c.find(col, r).is_none() {
+                            return Err(SparseError::NotStructurallySymmetric { row: r, col });
+                        }
+                    }
+                    unreachable!("is_structurally_symmetric and scan disagree");
+                }
+            }
         }
         let (lower, dvalues) = c.split_lower_diag()?;
         let lower_csr = CsrMatrix::from_coo(&lower);
+        // Skew storage is exactly skew: the diagonal is identically zero
+        // (entries within `tol` of zero are clamped, not kept).
+        let dvalues = if kind.requires_zero_diagonal() {
+            vec![0.0; c.nrows() as usize]
+        } else {
+            dvalues
+        };
+        // Structural storage pairs each lower entry with its mirror value,
+        // in lower-CSR order, so the kernels' sequential value cursor
+        // walks both arrays in lockstep.
+        let upper_values = if kind.has_upper_values() {
+            let mut upper = Vec::with_capacity(lower_csr.colind().len());
+            for r in 0..c.nrows() {
+                let lo = lower_csr.rowptr()[r as usize] as usize;
+                let hi = lower_csr.rowptr()[r as usize + 1] as usize;
+                for &col in &lower_csr.colind()[lo..hi] {
+                    match c.find(col, r) {
+                        Some(u) => upper.push(u),
+                        None => unreachable!("pattern symmetry was just verified"),
+                    }
+                }
+            }
+            upper
+        } else {
+            Vec::new()
+        };
         Ok(SssMatrix {
             n: c.nrows(),
+            kind,
             dvalues,
             rowptr: lower_csr.rowptr().to_vec(),
             colind: lower_csr.colind().to_vec(),
             values: lower_csr.values().to_vec(),
+            upper_values,
             fp: OnceLock::new(),
         })
     }
@@ -97,6 +188,16 @@ impl SssMatrix {
     /// This is the entry point for matrices from outside the process;
     /// `from_coo` remains for trusted (generated) inputs.
     pub fn try_from_coo(coo: &CooMatrix, tol: Val) -> Result<Self, SparseError> {
+        Self::try_from_coo_kind(coo, SymmetryKind::Symmetric, tol)
+    }
+
+    /// Fully validated kind-aware constructor (see
+    /// [`SssMatrix::try_from_coo`] and [`SssMatrix::from_coo_kind`]).
+    pub fn try_from_coo_kind(
+        coo: &CooMatrix,
+        kind: SymmetryKind,
+        tol: Val,
+    ) -> Result<Self, SparseError> {
         if !tol.is_finite() || tol < 0.0 {
             return Err(SparseError::InvalidArgument {
                 msg: format!("symmetry tolerance must be finite and >= 0, got {tol}"),
@@ -104,12 +205,8 @@ impl SssMatrix {
         }
         let mut c = coo.clone();
         c.canonicalize();
-        let checks = CooChecks {
-            symmetric: Some(tol),
-            ..CooChecks::symmetric_format()
-        };
-        validate_coo(&c, &checks)?;
-        Self::from_coo(&c, tol)
+        validate_coo(&c, &CooChecks::for_kind(kind, tol))?;
+        Self::from_coo_kind(&c, kind, tol)
     }
 
     /// Builds an SSS matrix from triplets describing only the lower triangle
@@ -127,10 +224,12 @@ impl SssMatrix {
         let lower_csr = CsrMatrix::from_coo(&lower);
         Ok(SssMatrix {
             n: c.nrows(),
+            kind: SymmetryKind::Symmetric,
             dvalues,
             rowptr: lower_csr.rowptr().to_vec(),
             colind: lower_csr.colind().to_vec(),
             values: lower_csr.values().to_vec(),
+            upper_values: Vec::new(),
             fp: OnceLock::new(),
         })
     }
@@ -138,6 +237,31 @@ impl SssMatrix {
     /// Matrix dimension `N`.
     pub fn n(&self) -> Idx {
         self.n
+    }
+
+    /// The symmetry kind this storage satisfies.
+    pub fn kind(&self) -> SymmetryKind {
+        self.kind
+    }
+
+    /// The paired upper-triangle values, aligned with
+    /// [`SssMatrix::values`]: for a structural matrix this is the explicit
+    /// `upper_values` array (`paired_values()[j]` is `a[colind[j]][r]` for
+    /// lower entry `j` of row `r`); for the numeric kinds it aliases the
+    /// lower values (the mirror is `±values[j]`), so kernels can always
+    /// zip a pair slice.
+    pub fn paired_values(&self) -> &[Val] {
+        if self.kind.has_upper_values() {
+            &self.upper_values
+        } else {
+            &self.values
+        }
+    }
+
+    /// The raw structural `upper_values` array (empty unless the kind is
+    /// [`SymmetryKind::Structural`]).
+    pub fn upper_values(&self) -> &[Val] {
+        &self.upper_values
     }
 
     /// Dense diagonal array (`N` entries, zero where structurally absent).
@@ -177,8 +301,13 @@ impl SssMatrix {
     ///
     /// (Derivation: values+colind store `(NNZ − N)/2` entries at 12 bytes
     /// each, dvalues stores `N` doubles, rowptr `N + 1` four-byte indices.)
+    ///
+    /// A structural matrix additionally stores the paired upper values
+    /// (8 bytes per lower entry) — still well below full CSR, which pays
+    /// indices *and* row structure for both triangles.
     pub fn size_bytes(&self) -> usize {
-        12 * self.lower_nnz() + 8 * self.n as usize + 4 * (self.n as usize + 1)
+        let upper = 8 * self.upper_values.len();
+        12 * self.lower_nnz() + 8 * self.n as usize + 4 * (self.n as usize + 1) + upper
     }
 
     /// A deterministic 64-bit fingerprint of the sparsity *structure*
@@ -222,8 +351,29 @@ impl SssMatrix {
         (&self.colind[lo..hi], &self.values[lo..hi])
     }
 
-    /// Serial symmetric SpMV (`y = A·x`) — Alg. 2 of the paper.
+    /// Row `r` with its paired (mirror) values: for structural symmetry
+    /// the third slice holds the upper-triangle values `a_cr`; for the
+    /// numeric kinds it aliases the lower values (the mirror is `±v`).
+    pub fn row_with_paired(&self, r: Idx) -> (&[Idx], &[Val], &[Val]) {
+        let lo = self.rowptr[r as usize] as usize;
+        let hi = self.rowptr[r as usize + 1] as usize;
+        (
+            &self.colind[lo..hi],
+            &self.values[lo..hi],
+            &self.paired_values()[lo..hi],
+        )
+    }
+
+    /// Serial half-storage SpMV (`y = A·x`) — Alg. 2 of the paper,
+    /// generalized over the symmetry kind: the mirror contribution of a
+    /// stored entry is `+v` (symmetric), `-v` (skew) or the paired upper
+    /// value (structural). Monomorphized per kind; the symmetric
+    /// instantiation is bit-identical to the pre-kind kernel.
     pub fn spmv(&self, x: &[Val], y: &mut [Val]) {
+        with_symmetry_ops!(self.kind, O => self.spmv_ops::<O>(x, y));
+    }
+
+    fn spmv_ops<O: SymmetryOps>(&self, x: &[Val], y: &mut [Val]) {
         let n = self.n as usize;
         assert_eq!(x.len(), n);
         assert_eq!(y.len(), n);
@@ -231,22 +381,21 @@ impl SssMatrix {
             y[r] = self.dvalues[r] * x[r];
         }
         for r in 0..self.n {
-            let lo = self.rowptr[r as usize] as usize;
-            let hi = self.rowptr[r as usize + 1] as usize;
+            let (cols, vals, paired) = self.row_with_paired(r);
             let xr = x[r as usize];
             let mut acc = 0.0;
-            for j in lo..hi {
-                let c = self.colind[j] as usize;
-                let v = self.values[j];
+            for ((&c, &v), &u) in cols.iter().zip(vals).zip(paired) {
+                let c = c as usize;
                 acc += v * x[c];
-                y[c] += v * xr;
+                y[c] += O::transposed(v, u) * xr;
             }
             y[r as usize] += acc;
         }
     }
 
-    /// Reconstructs the full symmetric matrix as COO (for testing and
-    /// cross-format conversions).
+    /// Reconstructs the represented full matrix as COO (for testing and
+    /// cross-format conversions), applying the kind's mirror rule to the
+    /// upper triangle.
     pub fn to_full_coo(&self) -> CooMatrix {
         let mut coo = CooMatrix::with_capacity(self.n, self.n, self.full_nnz());
         for (i, &d) in self.dvalues.iter().enumerate() {
@@ -255,10 +404,10 @@ impl SssMatrix {
             }
         }
         for r in 0..self.n {
-            let (cols, vals) = self.row(r);
-            for (&c, &v) in cols.iter().zip(vals) {
+            let (cols, vals, paired) = self.row_with_paired(r);
+            for ((&c, &v), &u) in cols.iter().zip(vals).zip(paired) {
                 coo.push(r, c, v);
-                coo.push(c, r, v);
+                coo.push(c, r, self.kind.transposed(v, u));
             }
         }
         coo.canonicalize();
@@ -382,6 +531,203 @@ mod tests {
         let mut y = vec![0.0; 3];
         sss.spmv(&x, &mut y);
         assert_eq!(y, vec![2.0, 2.0, 0.0]);
+    }
+
+    fn skew_coo() -> CooMatrix {
+        // [[0, -1, 0, 0], [1, 0, 2, 0], [0, -2, 0, -3], [0, 0, 3, 0]]
+        let mut m = CooMatrix::new(4, 4);
+        for (r, c, v) in [
+            (0, 1, -1.0),
+            (1, 0, 1.0),
+            (1, 2, 2.0),
+            (2, 1, -2.0),
+            (2, 3, -3.0),
+            (3, 2, 3.0),
+        ] {
+            m.push(r, c, v);
+        }
+        m
+    }
+
+    fn structural_coo() -> CooMatrix {
+        // Symmetric pattern, unrelated values.
+        // [[4, 7, 0], [-2.5, 5, 1], [0, 9, 6]]
+        let mut m = CooMatrix::new(3, 3);
+        for (r, c, v) in [
+            (0, 0, 4.0),
+            (0, 1, 7.0),
+            (1, 0, -2.5),
+            (1, 1, 5.0),
+            (1, 2, 1.0),
+            (2, 1, 9.0),
+            (2, 2, 6.0),
+        ] {
+            m.push(r, c, v);
+        }
+        m
+    }
+
+    #[test]
+    fn default_kind_is_symmetric() {
+        let sss = SssMatrix::from_coo(&sym_coo(), 0.0).unwrap();
+        assert_eq!(sss.kind(), SymmetryKind::Symmetric);
+        assert!(sss.upper_values().is_empty());
+        // Paired slice aliases the lower values for numeric kinds.
+        assert_eq!(sss.paired_values(), sss.values());
+    }
+
+    #[test]
+    fn skew_construction_and_spmv() {
+        let coo = skew_coo();
+        let sss = SssMatrix::from_coo_kind(&coo, SymmetryKind::Skew, 0.0).unwrap();
+        assert_eq!(sss.kind(), SymmetryKind::Skew);
+        assert_eq!(sss.lower_nnz(), 3);
+        assert_eq!(sss.dvalues(), &[0.0; 4]);
+        assert!(sss.upper_values().is_empty());
+
+        let x = vec![1.0, -2.0, 0.5, 3.0];
+        let mut y = vec![f64::NAN; 4];
+        sss.spmv(&x, &mut y);
+        let mut c = coo.clone();
+        c.canonicalize();
+        let mut y_ref = vec![0.0; 4];
+        c.spmv_reference(&x, &mut y_ref);
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-12, "{y:?} vs {y_ref:?}");
+        }
+
+        // Round trip through the mirror rule.
+        let mut canon = coo.clone();
+        canon.canonicalize();
+        assert_eq!(sss.to_full_coo(), canon);
+    }
+
+    #[test]
+    fn skew_rejects_nonzero_diagonal_and_wrong_mirror() {
+        let mut d = skew_coo();
+        d.push(1, 1, 5.0);
+        let err = SssMatrix::from_coo_kind(&d, SymmetryKind::Skew, 0.0).unwrap_err();
+        assert_eq!(err, SparseError::SkewNonzeroDiagonal { row: 1, value: 5.0 });
+
+        let sym = sym_coo();
+        let err = SssMatrix::from_coo_kind(&sym, SymmetryKind::Skew, 0.0).unwrap_err();
+        assert!(matches!(
+            err,
+            SparseError::SkewNonzeroDiagonal { .. } | SparseError::NotSkewSymmetric { .. }
+        ));
+
+        // try_from_coo_kind reports the same structured error.
+        let err = SssMatrix::try_from_coo_kind(&d, SymmetryKind::Skew, 0.0).unwrap_err();
+        assert_eq!(err, SparseError::SkewNonzeroDiagonal { row: 1, value: 5.0 });
+    }
+
+    #[test]
+    fn structural_construction_and_spmv() {
+        let coo = structural_coo();
+        let sss = SssMatrix::from_coo_kind(&coo, SymmetryKind::Structural, 0.0).unwrap();
+        assert_eq!(sss.kind(), SymmetryKind::Structural);
+        assert_eq!(sss.lower_nnz(), 2);
+        // Lower entries in CSR order: (1,0) = -2.5, (2,1) = 9.0; their
+        // paired upper values are a_01 = 7.0 and a_12 = 1.0.
+        assert_eq!(sss.values(), &[-2.5, 9.0]);
+        assert_eq!(sss.upper_values(), &[7.0, 1.0]);
+        assert_eq!(sss.paired_values(), &[7.0, 1.0]);
+
+        let x = vec![1.0, -2.0, 0.5];
+        let mut y = vec![f64::NAN; 3];
+        sss.spmv(&x, &mut y);
+        let mut c = coo.clone();
+        c.canonicalize();
+        let mut y_ref = vec![0.0; 3];
+        c.spmv_reference(&x, &mut y_ref);
+        for (a, b) in y.iter().zip(&y_ref) {
+            assert!((a - b).abs() < 1e-12, "{y:?} vs {y_ref:?}");
+        }
+
+        // Full reconstruction restores the unsymmetric values.
+        assert_eq!(sss.to_full_coo(), c);
+
+        // The extra upper array is visible in the size model.
+        let plain = SssMatrix::from_coo(&sym_coo(), 0.0).unwrap();
+        assert_eq!(sss.size_bytes(), 12 * 2 + 8 * 3 + 4 * 4 + 8 * 2,);
+        assert!(plain.upper_values().is_empty());
+    }
+
+    #[test]
+    fn structural_rejects_unpaired_pattern() {
+        let mut m = structural_coo();
+        m.push(2, 0, 1.0);
+        let err = SssMatrix::from_coo_kind(&m, SymmetryKind::Structural, 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            SparseError::NotStructurallySymmetric { row: 2, col: 0 }
+        );
+    }
+
+    #[test]
+    fn kinds_share_structural_fingerprint() {
+        // Same pattern, different kinds/values → same fingerprint: plans,
+        // conflict indices and write-set proofs are structure-only and are
+        // legitimately shared across kinds.
+        let skew = SssMatrix::from_coo_kind(&skew_coo(), SymmetryKind::Skew, 0.0).unwrap();
+        let mut symmetric_same_pattern = CooMatrix::new(4, 4);
+        for (r, c, v) in skew_coo().iter() {
+            symmetric_same_pattern.push(r, c, v.abs());
+        }
+        let sym = SssMatrix::from_coo(&symmetric_same_pattern, 0.0).unwrap();
+        assert_eq!(skew.fingerprint(), sym.fingerprint());
+    }
+
+    #[test]
+    fn symmetric_kind_spmv_bit_identical_to_pre_kind_loop() {
+        // The monomorphized symmetric path must replay the historical op
+        // order exactly: re-run the original Alg. 2 loop here and compare
+        // bit for bit.
+        let coo = symmetric_like_random(257);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let n = sss.n() as usize;
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37 + 11) % 97) as f64 / 13.0).collect();
+        let mut y = vec![0.0; n];
+        sss.spmv(&x, &mut y);
+
+        let mut want = vec![0.0; n];
+        for r in 0..n {
+            want[r] = sss.dvalues()[r] * x[r];
+        }
+        for r in 0..n {
+            let lo = sss.rowptr()[r] as usize;
+            let hi = sss.rowptr()[r + 1] as usize;
+            let xr = x[r];
+            let mut acc = 0.0;
+            for j in lo..hi {
+                let c = sss.colind()[j] as usize;
+                let v = sss.values()[j];
+                acc += v * x[c];
+                want[c] += v * xr;
+            }
+            want[r] += acc;
+        }
+        assert_eq!(
+            y.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    fn symmetric_like_random(n: Idx) -> CooMatrix {
+        // Small deterministic symmetric matrix without pulling in gen's RNG.
+        let mut m = CooMatrix::new(n, n);
+        for i in 0..n {
+            m.push(i, i, 2.0 + (i % 7) as f64);
+            let j = (i * 13 + 5) % n;
+            let (r, c) = if i > j { (i, j) } else { (j, i) };
+            if r != c {
+                let v = 1.0 + ((i % 11) as f64) / 3.0;
+                m.push(r, c, v);
+                m.push(c, r, v);
+            }
+        }
+        m.canonicalize();
+        m
     }
 
     #[test]

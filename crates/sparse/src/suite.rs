@@ -8,6 +8,7 @@
 
 use crate::coo::CooMatrix;
 use crate::gen;
+use crate::symmetry::SymmetryKind;
 use crate::Idx;
 
 /// Structure class of a suite matrix, mapped to a generator.
@@ -41,6 +42,21 @@ pub enum StructureClass {
         /// Band half-width as a fraction of N.
         band_frac: f64,
     },
+    /// Skew-symmetric convection transport operator (banded antisymmetric
+    /// couplings, zero diagonal), scrambled like the mixed class so RCM
+    /// has a numbering to recover — the PARS3 experiment setup.
+    SkewConvection {
+        /// Band half-width as a fraction of N.
+        band_frac: f64,
+    },
+    /// Structurally symmetric circuit-like matrix: mirrored pattern,
+    /// independently drawn pair values (Batista et al.'s target class).
+    StructuralCircuit {
+        /// Fraction of pairs that stay within the local band.
+        local_frac: f64,
+        /// Local band half-width as a fraction of N.
+        band_frac: f64,
+    },
 }
 
 /// Static description of one Table I matrix.
@@ -62,6 +78,8 @@ pub struct SuiteSpec {
     pub problem: &'static str,
     /// Structure class used by the synthetic analog.
     pub class: StructureClass,
+    /// Symmetry kind of the generated matrix.
+    pub kind: SymmetryKind,
     /// Deterministic generator seed.
     pub seed: u64,
 }
@@ -87,6 +105,7 @@ pub const SUITE: [SuiteSpec; 12] = [
             local_frac: 0.80,
             band_frac: 1.0 / 64.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA001,
     },
     SuiteSpec {
@@ -101,6 +120,7 @@ pub const SUITE: [SuiteSpec; 12] = [
             local_frac: 0.90,
             band_frac: 1.0 / 32.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA002,
     },
     SuiteSpec {
@@ -115,6 +135,7 @@ pub const SUITE: [SuiteSpec; 12] = [
             node_degree: 23.0,
             band_frac: 1.0 / 20.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA003,
     },
     SuiteSpec {
@@ -129,6 +150,7 @@ pub const SUITE: [SuiteSpec; 12] = [
             node_degree: 16.3,
             band_frac: 1.0 / 40.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA004,
     },
     SuiteSpec {
@@ -140,6 +162,7 @@ pub const SUITE: [SuiteSpec; 12] = [
         paper_cr_max: 62.4,
         problem: "Circuit",
         class: StructureClass::PowerLaw { hub_frac: 0.002 },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA005,
     },
     SuiteSpec {
@@ -154,6 +177,7 @@ pub const SUITE: [SuiteSpec; 12] = [
             local_frac: 0.88,
             band_frac: 1.0 / 48.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA006,
     },
     SuiteSpec {
@@ -168,6 +192,7 @@ pub const SUITE: [SuiteSpec; 12] = [
             node_degree: 22.8,
             band_frac: 1.0 / 30.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA007,
     },
     SuiteSpec {
@@ -182,6 +207,7 @@ pub const SUITE: [SuiteSpec; 12] = [
             node_degree: 15.3,
             band_frac: 1.0 / 40.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA008,
     },
     SuiteSpec {
@@ -196,6 +222,7 @@ pub const SUITE: [SuiteSpec; 12] = [
             node_degree: 72.9,
             band_frac: 1.0 / 10.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA009,
     },
     SuiteSpec {
@@ -209,6 +236,7 @@ pub const SUITE: [SuiteSpec; 12] = [
         class: StructureClass::DenseBand {
             band_frac: 1.0 / 8.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA00A,
     },
     SuiteSpec {
@@ -223,6 +251,7 @@ pub const SUITE: [SuiteSpec; 12] = [
             node_degree: 23.4,
             band_frac: 1.0 / 40.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA00B,
     },
     SuiteSpec {
@@ -237,7 +266,46 @@ pub const SUITE: [SuiteSpec; 12] = [
             node_degree: 15.3,
             band_frac: 1.0 / 40.0,
         },
+        kind: SymmetryKind::Symmetric,
         seed: 0xA00C,
+    },
+];
+
+/// Kind-extension entries: synthetic analogs of the matrix classes the
+/// generalized symmetry engine opens up (not part of Table I). The skew
+/// entry models the PARS3 convection experiments; the structural entry
+/// models the circuit / unsymmetric-FEM class of Batista et al. The
+/// `paper_*` columns carry the *generator targets* (there is no Table I
+/// row to mirror).
+pub const KIND_SUITE: [SuiteSpec; 2] = [
+    SuiteSpec {
+        name: "convection_skew",
+        paper_rows: 400_000,
+        paper_nnz: 3_200_000,
+        paper_size_mib: 38.1,
+        paper_cr_csx_sym: 0.0,
+        paper_cr_max: 0.0,
+        problem: "Convection (ext.)",
+        class: StructureClass::SkewConvection {
+            band_frac: 1.0 / 64.0,
+        },
+        kind: SymmetryKind::Skew,
+        seed: 0xB001,
+    },
+    SuiteSpec {
+        name: "circuit_structural",
+        paper_rows: 600_000,
+        paper_nnz: 4_800_000,
+        paper_size_mib: 57.2,
+        paper_cr_csx_sym: 0.0,
+        paper_cr_max: 0.0,
+        problem: "Circuit (ext.)",
+        class: StructureClass::StructuralCircuit {
+            local_frac: 0.85,
+            band_frac: 1.0 / 48.0,
+        },
+        kind: SymmetryKind::Structural,
+        seed: 0xB002,
     },
 ];
 
@@ -291,18 +359,47 @@ pub fn generate(spec: &SuiteSpec, scale: f64) -> SuiteMatrix {
             let hbw = (((n_target as f64) * band_frac) as Idx).max(4);
             gen::banded_random(n_target, hbw, nnz_per_row, spec.seed)
         }
+        StructureClass::SkewConvection { band_frac } => {
+            let hbw = (((n_target as f64) * band_frac) as Idx).max(2);
+            let local = gen::skew_convection(n_target, hbw, nnz_per_row, spec.seed);
+            gen::scramble(&local, spec.seed ^ 0x5C5C)
+        }
+        StructureClass::StructuralCircuit {
+            local_frac,
+            band_frac,
+        } => {
+            let hbw = (((n_target as f64) * band_frac) as Idx).max(2);
+            let local = gen::structural_random(n_target, nnz_per_row, local_frac, hbw, spec.seed);
+            gen::scramble(&local, spec.seed ^ 0x5C5C)
+        }
     };
     SuiteMatrix { spec: *spec, coo }
 }
 
-/// Generates the whole suite at the given scale, in paper order.
+/// Generates the Table I suite at the given scale, in paper order (the
+/// twelve symmetric matrices; see [`generate_full_suite`] for the
+/// kind-extension entries).
 pub fn generate_suite(scale: f64) -> Vec<SuiteMatrix> {
     SUITE.iter().map(|s| generate(s, scale)).collect()
 }
 
-/// Looks up a suite spec by name (case-sensitive, as in Table I).
+/// Generates the Table I suite plus the [`KIND_SUITE`] extension entries
+/// (skew and structural analogs), in declaration order.
+pub fn generate_full_suite(scale: f64) -> Vec<SuiteMatrix> {
+    SUITE
+        .iter()
+        .chain(KIND_SUITE.iter())
+        .map(|s| generate(s, scale))
+        .collect()
+}
+
+/// Looks up a suite spec by name (case-sensitive, as in Table I),
+/// including the kind-extension entries.
 pub fn spec_by_name(name: &str) -> Option<&'static SuiteSpec> {
-    SUITE.iter().find(|s| s.name == name)
+    SUITE
+        .iter()
+        .chain(KIND_SUITE.iter())
+        .find(|s| s.name == name)
 }
 
 #[cfg(test)]
@@ -321,6 +418,36 @@ mod tests {
     fn lookup_by_name() {
         assert!(spec_by_name("hood").is_some());
         assert!(spec_by_name("not_a_matrix").is_none());
+        // Kind-extension entries resolve too.
+        assert_eq!(
+            spec_by_name("convection_skew").map(|s| s.kind),
+            Some(SymmetryKind::Skew)
+        );
+        assert_eq!(
+            spec_by_name("circuit_structural").map(|s| s.kind),
+            Some(SymmetryKind::Structural)
+        );
+    }
+
+    #[test]
+    fn kind_suite_entries_generate_their_kind() {
+        let skew = generate(spec_by_name("convection_skew").unwrap(), 0.004);
+        assert!(skew.coo.is_skew_symmetric(0.0), "convection_skew not skew");
+        assert!(skew.coo.nrows() >= 1024);
+
+        let st = generate(spec_by_name("circuit_structural").unwrap(), 0.003);
+        assert!(
+            st.coo.is_structurally_symmetric(),
+            "circuit_structural pattern not symmetric"
+        );
+        assert!(!st.coo.is_symmetric(0.0), "values must be unsymmetric");
+        assert!(st.coo.nrows() >= 1024);
+
+        // The full suite is the twelve plus the two, in order.
+        let full = generate_full_suite(0.002);
+        assert_eq!(full.len(), SUITE.len() + KIND_SUITE.len());
+        assert_eq!(full[12].spec.name, "convection_skew");
+        assert_eq!(full[13].spec.name, "circuit_structural");
     }
 
     #[test]

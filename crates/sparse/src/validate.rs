@@ -9,6 +9,7 @@
 
 use crate::coo::CooMatrix;
 use crate::error::SparseError;
+use crate::symmetry::SymmetryKind;
 use crate::{Idx, Val};
 
 /// Which structural properties a constructor requires of its input.
@@ -22,6 +23,11 @@ pub struct CooChecks {
     pub square: bool,
     /// Require numeric symmetry within this absolute tolerance.
     pub symmetric: Option<Val>,
+    /// Require skew symmetry (`a_ji = -a_ij`, zero diagonal) within this
+    /// absolute tolerance.
+    pub skew: Option<Val>,
+    /// Require a symmetric sparsity *pattern* (values unconstrained).
+    pub pattern_symmetric: bool,
     /// Require row-major sorted triplets with no duplicate coordinates.
     pub canonical: bool,
 }
@@ -34,6 +40,45 @@ impl CooChecks {
             square: true,
             symmetric: Some(0.0),
             canonical: true,
+            ..CooChecks::default()
+        }
+    }
+
+    /// The requirements of the skew-symmetric half-storage formats:
+    /// square, exactly skew (zero diagonal), canonical.
+    pub fn skew_format() -> Self {
+        CooChecks {
+            square: true,
+            skew: Some(0.0),
+            canonical: true,
+            ..CooChecks::default()
+        }
+    }
+
+    /// The requirements of the structurally symmetric half-storage
+    /// formats: square, pattern-symmetric, canonical.
+    pub fn structural_format() -> Self {
+        CooChecks {
+            square: true,
+            pattern_symmetric: true,
+            canonical: true,
+            ..CooChecks::default()
+        }
+    }
+
+    /// The half-storage requirements for a symmetry kind, with the numeric
+    /// checks (symmetric/skew) at tolerance `tol`.
+    pub fn for_kind(kind: SymmetryKind, tol: Val) -> Self {
+        match kind {
+            SymmetryKind::Symmetric => CooChecks {
+                symmetric: Some(tol),
+                ..CooChecks::symmetric_format()
+            },
+            SymmetryKind::Skew => CooChecks {
+                skew: Some(tol),
+                ..CooChecks::skew_format()
+            },
+            SymmetryKind::Structural => CooChecks::structural_format(),
         }
     }
 
@@ -44,6 +89,7 @@ impl CooChecks {
             square: false,
             symmetric: None,
             canonical: true,
+            ..CooChecks::default()
         }
     }
 }
@@ -75,9 +121,12 @@ pub fn validate_coo(coo: &CooMatrix, checks: &CooChecks) -> Result<(), SparseErr
     let cols = coo.col_indices();
     let vals = coo.values();
     let (nrows, ncols) = (coo.nrows(), coo.ncols());
-    // The symmetry scan binary-searches and therefore needs canonical
-    // order; requesting it implies the canonicity check.
-    let canonical = checks.canonical || checks.symmetric.is_some();
+    // The symmetry scans binary-search and therefore need canonical
+    // order; requesting one implies the canonicity check.
+    let canonical = checks.canonical
+        || checks.symmetric.is_some()
+        || checks.skew.is_some()
+        || checks.pattern_symmetric;
     let mut prev: Option<(Idx, Idx)> = None;
     for (i, ((&r, &c), &v)) in rows.iter().zip(cols).zip(vals).enumerate() {
         if r >= nrows || c >= ncols {
@@ -122,6 +171,35 @@ pub fn validate_coo(coo: &CooMatrix, checks: &CooChecks) -> Result<(), SparseErr
             }
             return Err(SparseError::NotSymmetric { row: 0, col: 0 });
         }
+    }
+
+    if let Some(tol) = checks.skew {
+        if !coo.is_skew_symmetric(tol) {
+            // Locate the first offending entry for the error message,
+            // distinguishing the diagonal violation from a missing mirror.
+            for (r, c, v) in coo.iter() {
+                if r == c {
+                    if v.abs() > tol {
+                        return Err(SparseError::SkewNonzeroDiagonal { row: r, value: v });
+                    }
+                    continue;
+                }
+                match coo.find(c, r) {
+                    Some(w) if (v + w).abs() <= tol => {}
+                    _ => return Err(SparseError::NotSkewSymmetric { row: r, col: c }),
+                }
+            }
+            return Err(SparseError::NotSkewSymmetric { row: 0, col: 0 });
+        }
+    }
+
+    if checks.pattern_symmetric && !coo.is_structurally_symmetric() {
+        for (r, c, _) in coo.iter() {
+            if r != c && coo.find(c, r).is_none() {
+                return Err(SparseError::NotStructurallySymmetric { row: r, col: c });
+            }
+        }
+        return Err(SparseError::NotStructurallySymmetric { row: 0, col: 0 });
     }
     Ok(())
 }
@@ -205,6 +283,87 @@ mod tests {
         let m = CooMatrix::new(2, 3);
         let err = validate_coo(&m, &CooChecks::symmetric_format()).unwrap_err();
         assert!(matches!(err, SparseError::NotSquare { .. }));
+    }
+
+    fn skew3() -> CooMatrix {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 1, -1.0);
+        m.push(1, 0, 1.0);
+        m.push(1, 2, 2.0);
+        m.push(2, 1, -2.0);
+        m.canonicalize();
+        m
+    }
+
+    #[test]
+    fn skew_checks() {
+        assert!(validate_coo(&skew3(), &CooChecks::skew_format()).is_ok());
+        assert!(validate_coo(&skew3(), &CooChecks::for_kind(SymmetryKind::Skew, 0.0)).is_ok());
+
+        // A nonzero diagonal is a distinct, named violation.
+        let mut d = skew3();
+        d.push(1, 1, 4.0);
+        d.canonicalize();
+        let err = validate_coo(&d, &CooChecks::skew_format()).unwrap_err();
+        assert_eq!(err, SparseError::SkewNonzeroDiagonal { row: 1, value: 4.0 });
+
+        // sym3 has a nonzero diagonal, flagged before the mirror scan.
+        let err = validate_coo(&sym3(), &CooChecks::skew_format()).unwrap_err();
+        assert!(matches!(err, SparseError::SkewNonzeroDiagonal { .. }));
+
+        // A same-sign mirror (zero diagonal) fails the skew relation itself.
+        let mut same_sign = CooMatrix::new(2, 2);
+        same_sign.push(0, 1, 1.0);
+        same_sign.push(1, 0, 1.0);
+        same_sign.canonicalize();
+        let err = validate_coo(&same_sign, &CooChecks::skew_format()).unwrap_err();
+        assert!(matches!(err, SparseError::NotSkewSymmetric { .. }));
+
+        // An unpaired entry fails it too.
+        let mut u = skew3();
+        u.push(0, 2, 5.0);
+        u.canonicalize();
+        let err = validate_coo(&u, &CooChecks::skew_format()).unwrap_err();
+        assert_eq!(err, SparseError::NotSkewSymmetric { row: 0, col: 2 });
+    }
+
+    #[test]
+    fn pattern_symmetry_checks() {
+        // Pattern symmetric with unrelated values passes structural but
+        // fails both numeric kinds.
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 1, 3.0);
+        m.push(1, 0, -7.5);
+        m.canonicalize();
+        assert!(validate_coo(&m, &CooChecks::structural_format()).is_ok());
+        assert!(validate_coo(&m, &CooChecks::for_kind(SymmetryKind::Structural, 0.0)).is_ok());
+        assert!(validate_coo(&m, &CooChecks::symmetric_format()).is_err());
+        assert!(validate_coo(&m, &CooChecks::skew_format()).is_err());
+
+        let mut u = m.clone();
+        u.push(1, 1, 1.0);
+        u.canonicalize();
+        assert!(validate_coo(&u, &CooChecks::structural_format()).is_ok());
+
+        let mut broken = CooMatrix::new(2, 2);
+        broken.push(0, 1, 3.0);
+        broken.canonicalize();
+        let err = validate_coo(&broken, &CooChecks::structural_format()).unwrap_err();
+        assert_eq!(
+            err,
+            SparseError::NotStructurallySymmetric { row: 0, col: 1 }
+        );
+    }
+
+    #[test]
+    fn for_kind_matches_format_constructors() {
+        let sym = CooChecks::for_kind(SymmetryKind::Symmetric, 0.0);
+        assert_eq!(sym.symmetric, Some(0.0));
+        assert!(sym.square && sym.canonical);
+        let skew = CooChecks::for_kind(SymmetryKind::Skew, 1e-9);
+        assert_eq!(skew.skew, Some(1e-9));
+        let st = CooChecks::for_kind(SymmetryKind::Structural, 0.0);
+        assert!(st.pattern_symmetric && st.symmetric.is_none() && st.skew.is_none());
     }
 
     #[test]

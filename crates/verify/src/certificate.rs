@@ -30,6 +30,12 @@ pub struct RaceCertificate {
     /// Reduction strategy tag (`"naive"`, `"eff"`, `"idx"`; empty when the
     /// family has no strategy dimension).
     pub strategy: String,
+    /// Symmetry-kind tag of the mirror writes the proof covers
+    /// (`"symmetric"`, `"skew"`, `"structural"`; `"none"` for row-parallel
+    /// kernels without transposed writes). The write sets themselves are
+    /// kind-independent — the kind enters only through side conditions
+    /// (zero diagonal for skew, paired upper array for structural).
+    pub symmetry: String,
     /// Names of the certificate invariants established by the verifier —
     /// the same names `SAFETY(cert: …)` annotations reference.
     pub invariants: Vec<String>,
@@ -114,6 +120,7 @@ impl RaceCertificate {
         s.push_str(&format!("nthreads={}\n", self.nthreads));
         s.push_str(&format!("family={}\n", self.family));
         s.push_str(&format!("strategy={}\n", self.strategy));
+        s.push_str(&format!("symmetry={}\n", self.symmetry));
         s.push_str(&format!("invariants={}\n", self.invariants.join(",")));
         s.push_str(&format!("direct_rows={}\n", self.direct_rows));
         s.push_str(&format!("local_elems={}\n", self.local_elems));
@@ -130,6 +137,9 @@ impl RaceCertificate {
             nthreads: 0,
             family: String::new(),
             strategy: String::new(),
+            // Texts minted before the symmetry-kind era carry no
+            // `symmetry` key; they certified numerically symmetric plans.
+            symmetry: "symmetric".to_string(),
             invariants: Vec::new(),
             direct_rows: 0,
             local_elems: 0,
@@ -163,6 +173,7 @@ impl RaceCertificate {
                 "nthreads" => cert.nthreads = parse_usize(value, lineno, line)?,
                 "family" => cert.family = value.to_string(),
                 "strategy" => cert.strategy = value.to_string(),
+                "symmetry" => cert.symmetry = value.to_string(),
                 "invariants" => {
                     cert.invariants = value
                         .split(',')
@@ -218,6 +229,7 @@ mod tests {
             nthreads: 4,
             family: "sym-sss".to_string(),
             strategy: "idx".to_string(),
+            symmetry: "symmetric".to_string(),
             invariants: vec![
                 "disjoint-direct".to_string(),
                 "effective-region".to_string(),

@@ -15,6 +15,7 @@ use crate::certificate::RaceCertificate;
 use crate::error::VerifyError;
 use symspmv_csx::encode::CtlStream;
 use symspmv_runtime::Range;
+use symspmv_sparse::symmetry::SymmetryKind;
 
 /// Verifies one chunk's stream against its row partition.
 ///
@@ -70,6 +71,7 @@ pub fn certify_csx_chunks<'a>(
     parts: &[Range],
     fingerprint: u64,
     n: u32,
+    kind: SymmetryKind,
 ) -> Result<RaceCertificate, VerifyError> {
     let mut count = 0usize;
     for (tid, stream) in streams.into_iter().enumerate() {
@@ -90,6 +92,7 @@ pub fn certify_csx_chunks<'a>(
         nthreads: parts.len(),
         family: "csx-sym".to_string(),
         strategy: String::new(),
+        symmetry: kind.tag().to_string(),
         invariants: vec!["csx-boundary".to_string(), "disjoint-direct".to_string()],
         direct_rows: n as usize,
         local_elems: parts.iter().map(|r| r.start as usize).sum(),

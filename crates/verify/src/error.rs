@@ -125,6 +125,16 @@ pub enum VerifyError {
         /// The length the block plan actually leases.
         actual: usize,
     },
+    /// A symmetry-kind side condition failed: the write-set proof itself is
+    /// kind-independent, but reusing it for a skew or structural matrix
+    /// requires the storage to honor the kind's contract (zero diagonal
+    /// for skew; a full paired upper array for structural).
+    KindSideCondition {
+        /// The symmetry-kind tag whose contract is violated.
+        kind: &'static str,
+        /// Human-readable description of the violated condition.
+        reason: String,
+    },
     /// The plan is structurally malformed (wrong array lengths, unsorted
     /// index, out-of-bounds partition…) — rejected before any write-set
     /// reasoning applies.
@@ -201,6 +211,9 @@ impl std::fmt::Display for VerifyError {
                 f,
                 "block local store is {actual} elements, lane-scaled proof requires {expected}"
             ),
+            VerifyError::KindSideCondition { kind, reason } => {
+                write!(f, "{kind} side condition violated: {reason}")
+            }
             VerifyError::MalformedPlan { reason } => write!(f, "malformed plan: {reason}"),
         }
     }

@@ -23,6 +23,7 @@ use crate::certificate::RaceCertificate;
 use crate::error::VerifyError;
 use symspmv_runtime::reduction::IndexEntry;
 use symspmv_runtime::Range;
+use symspmv_sparse::symmetry::SymmetryKind;
 use symspmv_sparse::SssMatrix;
 
 /// Which of the three Fig. 3 reduction families the plan drives.
@@ -275,6 +276,35 @@ pub fn certify_sym(sss: &SssMatrix, plan: &SymPlanRef<'_>) -> Result<RaceCertifi
     if direct {
         invariants.insert(0, "disjoint-direct".to_string());
     }
+    // Kind side conditions. The write sets proved above are pure structure
+    // — identical for every symmetry kind — so the proof transfers to skew
+    // and structural matrices provided the storage honors the kind's
+    // contract; check it here rather than trusting the constructor.
+    match sss.kind() {
+        SymmetryKind::Symmetric => {}
+        SymmetryKind::Skew => {
+            if let Some(r) = sss.dvalues().iter().position(|&d| d != 0.0) {
+                return Err(VerifyError::KindSideCondition {
+                    kind: "skew",
+                    reason: format!("diagonal entry {r} is {}, must be zero", sss.dvalues()[r]),
+                });
+            }
+            invariants.push("skew-zero-diagonal".to_string());
+        }
+        SymmetryKind::Structural => {
+            if sss.upper_values().len() != sss.lower_nnz() {
+                return Err(VerifyError::KindSideCondition {
+                    kind: "structural",
+                    reason: format!(
+                        "paired upper array has {} values for {} lower entries",
+                        sss.upper_values().len(),
+                        sss.lower_nnz()
+                    ),
+                });
+            }
+            invariants.push("structural-paired".to_string());
+        }
+    }
     let conflict_entries = if plan.strategy == SymStrategyKind::Indexing {
         plan.entries.len()
     } else {
@@ -291,6 +321,7 @@ pub fn certify_sym(sss: &SssMatrix, plan: &SymPlanRef<'_>) -> Result<RaceCertifi
             SymStrategyKind::Indexing => "idx",
         }
         .to_string(),
+        symmetry: sss.kind().tag().to_string(),
         invariants,
         direct_rows: if direct { n as usize } else { 0 },
         local_elems: if direct {
@@ -454,6 +485,7 @@ pub fn certify_rows(
         nthreads: parts.len(),
         family: family.to_string(),
         strategy: String::new(),
+        symmetry: "none".to_string(),
         invariants: vec!["disjoint-direct".to_string()],
         direct_rows: n as usize,
         local_elems: 0,
@@ -520,6 +552,7 @@ pub fn certify_color(
         nthreads: 0,
         family: "sym-color".to_string(),
         strategy: String::new(),
+        symmetry: sss.kind().tag().to_string(),
         invariants: vec!["color-class".to_string(), "disjoint-direct".to_string()],
         direct_rows: n,
         local_elems: 0,

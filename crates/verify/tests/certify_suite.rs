@@ -88,6 +88,7 @@ fn whole_suite_certifies_across_all_configurations() {
                 &parts,
                 fingerprint,
                 n,
+                sss.kind(),
             )
             .unwrap_or_else(|e| panic!("{} csx-sym p={p} rejected: {e}", m.spec.name));
             assert!(cert.proves("csx-boundary"));

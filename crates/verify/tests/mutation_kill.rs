@@ -11,6 +11,8 @@ use symspmv_csx::encode::encode_coo;
 use symspmv_csx::DetectConfig;
 use symspmv_runtime::reduction::{IndexingReduction, ReductionStrategy};
 use symspmv_runtime::{balanced_ranges, partition::symmetric_row_weights, Range};
+use symspmv_sparse::dense::seeded_vector;
+use symspmv_sparse::symmetry::SymmetryKind;
 use symspmv_sparse::{CooMatrix, Permutation, SssMatrix};
 use symspmv_verify::{
     certify_color, certify_csx_chunk, certify_sym, lift_sym_certificate, RaceCertificate,
@@ -347,6 +349,119 @@ fn mutation_unsupported_lane_count_rejected() {
     }
 }
 
+/// Mutation 10 — dropped sign flip: a kernel that forgets the skew mirror
+/// negation computes `D·x + L·x + Lᵀ·x` instead of `D·x + L·x − Lᵀ·x`.
+/// The mutant is simulated from the same storage the real kernel uses;
+/// the serial reference comparison (the oracle's 1e-12 check) must see a
+/// macroscopic difference, i.e. any such mutant is killed, not tolerated.
+#[test]
+fn mutation_dropped_skew_sign_flip_is_killed() {
+    let n = 128u32;
+    let coo = symspmv_sparse::gen::skew_convection(n, 9, 5.0, 7);
+    let skew = SssMatrix::from_coo_kind(&coo, SymmetryKind::Skew, 0.0).unwrap();
+    let x = seeded_vector(n as usize, 3);
+    let mut y = vec![0.0; n as usize];
+    skew.spmv(&x, &mut y);
+
+    // The mutant: identical storage, mirror contribution `+v` instead of
+    // `-v` (the Symmetric ops applied to Skew storage).
+    let mut y_mut = vec![0.0; n as usize];
+    for r in 0..n {
+        let (cols, vals) = skew.row(r);
+        let ru = r as usize;
+        y_mut[ru] += skew.dvalues()[ru] * x[ru];
+        for (&c, &v) in cols.iter().zip(vals) {
+            y_mut[ru] += v * x[c as usize];
+            y_mut[c as usize] += v * x[ru];
+        }
+    }
+    let max_diff = y
+        .iter()
+        .zip(&y_mut)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_diff > 1e-6,
+        "sign-flip mutant indistinguishable from the kernel: max diff {max_diff}"
+    );
+}
+
+/// Mutation 11 — pair array swapped: a kernel that mirrors a structural
+/// matrix with the *lower* value (ignoring the paired upper array)
+/// computes the symmetrized matrix, not A. Killed the same way.
+#[test]
+fn mutation_swapped_pair_array_is_killed() {
+    let n = 96u32;
+    let coo = symspmv_sparse::gen::structural_random(n, 6.0, 0.7, 10, 23);
+    let m = SssMatrix::from_coo_kind(&coo, SymmetryKind::Structural, 0.0).unwrap();
+    let x = seeded_vector(n as usize, 5);
+    let mut y = vec![0.0; n as usize];
+    m.spmv(&x, &mut y);
+
+    // The mutant: mirror with `v` (the lower value) where the paired
+    // upper value belongs.
+    let mut y_mut = vec![0.0; n as usize];
+    for r in 0..n {
+        let (cols, vals) = m.row(r);
+        let ru = r as usize;
+        y_mut[ru] += m.dvalues()[ru] * x[ru];
+        for (&c, &v) in cols.iter().zip(vals) {
+            y_mut[ru] += v * x[c as usize];
+            y_mut[c as usize] += v * x[ru];
+        }
+    }
+    let max_diff = y
+        .iter()
+        .zip(&y_mut)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_diff > 1e-6,
+        "pair-swap mutant indistinguishable from the kernel: max diff {max_diff}"
+    );
+}
+
+/// The kind side conditions and tags survive the certificate round trip.
+#[test]
+fn kind_certificates_round_trip_and_prove_side_conditions() {
+    let n = 128u32;
+    let skew = SssMatrix::from_coo_kind(
+        &symspmv_sparse::gen::skew_convection(n, 9, 5.0, 7),
+        SymmetryKind::Skew,
+        0.0,
+    )
+    .unwrap();
+    let plan = good_plan(&skew, 4);
+    let cert = certify(&skew, &plan, SymStrategyKind::Indexing).unwrap();
+    assert_eq!(cert.symmetry, "skew");
+    assert!(cert.proves("skew-zero-diagonal"));
+    let parsed = RaceCertificate::from_text(&cert.to_text()).unwrap();
+    assert_eq!(parsed, cert);
+
+    let st = SssMatrix::from_coo_kind(
+        &symspmv_sparse::gen::structural_random(n, 6.0, 0.7, 10, 23),
+        SymmetryKind::Structural,
+        0.0,
+    )
+    .unwrap();
+    let plan = good_plan(&st, 4);
+    let cert = certify(&st, &plan, SymStrategyKind::Indexing).unwrap();
+    assert_eq!(cert.symmetry, "structural");
+    assert!(cert.proves("structural-paired"));
+
+    // Pre-kind texts (no `symmetry` key) parse as symmetric.
+    let legacy = cert
+        .to_text()
+        .lines()
+        .filter(|l| !l.starts_with("symmetry="))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_eq!(
+        RaceCertificate::from_text(&legacy).unwrap().symmetry,
+        "symmetric"
+    );
+}
+
 /// The mutations map onto *distinct* variants — the discriminants of the
 /// errors above are pairwise different.
 #[test]
@@ -391,6 +506,10 @@ fn mutations_produce_distinct_variants() {
             actual: 0,
         }),
         discriminant(&VerifyError::BadLaneCount { lanes: 0 }),
+        discriminant(&VerifyError::KindSideCondition {
+            kind: "",
+            reason: String::new(),
+        }),
     ];
     for (i, a) in variants.iter().enumerate() {
         for b in variants.iter().skip(i + 1) {

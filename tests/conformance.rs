@@ -2,8 +2,9 @@
 //! for the shared helpers and the class definitions).
 //!
 //! Sweeps the **full** cross product
-//! `format × nthreads × lanes × suite matrix` and compares every
-//! combination against the serial SSS reference, per lane:
+//! `kind × format × nthreads × lanes × suite matrix` — the suite spans
+//! `{symmetric, skew, structural}` — and compares every combination
+//! against the per-kind serial SSS reference, per lane:
 //!
 //! * bitwise for the combinations proven to replay the reference's exact
 //!   op order (`sss-eff`/`sss-idx` at one thread);
@@ -15,8 +16,8 @@
 //! combination is a failure, not a gap).
 
 use symspmv_harness::conformance::{
-    block_specs, build_block_kernel, check_lane, is_bitwise_class, is_nondeterministic, repro_line,
-    serial_reference, suite, ORACLE_LANES, ORACLE_THREADS, REL_TOL,
+    block_specs, build_block_kernel_kind, check_lane, full_suite, is_bitwise_class,
+    is_nondeterministic, repro_line, serial_reference_kind, ORACLE_LANES, ORACLE_THREADS, REL_TOL,
 };
 use symspmv_runtime::ExecutionContext;
 use symspmv_sparse::dense::max_rel_diff;
@@ -24,21 +25,34 @@ use symspmv_sparse::VectorBlock;
 
 const VEC_SEED: u64 = 1234;
 
+/// The kind axis cannot silently shrink: the full suite covers every
+/// symmetry kind, and its size is pinned so a dropped matrix fails loudly
+/// (the per-test counter pins then scale from it).
+#[test]
+fn suite_spans_every_kind() {
+    use symspmv_sparse::symmetry::SymmetryKind;
+    let kinds: Vec<_> = full_suite().iter().map(|m| m.kind).collect();
+    for k in SymmetryKind::ALL {
+        assert!(kinds.contains(&k), "no suite matrix with kind {}", k.tag());
+    }
+    assert_eq!(full_suite().len(), 5);
+}
+
 /// SpMV: every format × nthreads × matrix agrees with the serial SSS
 /// reference on a seeded input vector.
 #[test]
 fn spmv_conforms_to_serial_reference() {
-    let matrices = suite();
+    let matrices = full_suite();
     let specs = block_specs();
     let mut executed = 0usize;
     for m in &matrices {
         let n = m.coo.nrows() as usize;
         let x = symspmv_sparse::dense::seeded_vector(n, VEC_SEED);
-        let want = serial_reference(&m.coo, &x);
+        let want = serial_reference_kind(&m.coo, m.kind, &x);
         for &p in &ORACLE_THREADS {
             let ctx = ExecutionContext::new(p);
             for &spec in &specs {
-                let mut k = build_block_kernel(spec, &m.coo, &ctx)
+                let mut k = build_block_kernel_kind(spec, &m.coo, m.kind, &ctx)
                     .expect("suite matrices build in every format")
                     .expect("block_specs() only lists block-capable formats");
                 let mut y = vec![f64::NAN; n];
@@ -55,7 +69,7 @@ fn spmv_conforms_to_serial_reference() {
     }
     assert_eq!(
         executed,
-        suite().len() * block_specs().len() * ORACLE_THREADS.len(),
+        full_suite().len() * block_specs().len() * ORACLE_THREADS.len(),
         "conformance matrix silently shrank"
     );
 }
@@ -64,7 +78,7 @@ fn spmv_conforms_to_serial_reference() {
 /// SSS reference on every lane of a seeded block.
 #[test]
 fn spmm_conforms_to_serial_reference() {
-    let matrices = suite();
+    let matrices = full_suite();
     let specs = block_specs();
     let mut executed = 0usize;
     for m in &matrices {
@@ -72,7 +86,7 @@ fn spmm_conforms_to_serial_reference() {
         for &p in &ORACLE_THREADS {
             let ctx = ExecutionContext::new(p);
             for &spec in &specs {
-                let mut k = build_block_kernel(spec, &m.coo, &ctx)
+                let mut k = build_block_kernel_kind(spec, &m.coo, m.kind, &ctx)
                     .expect("suite matrices build in every format")
                     .expect("block_specs() only lists block-capable formats");
                 for &lanes in &ORACLE_LANES {
@@ -80,7 +94,7 @@ fn spmm_conforms_to_serial_reference() {
                     let mut y = VectorBlock::zeros(n, lanes);
                     k.spmm(&x, &mut y);
                     for j in 0..lanes {
-                        let want = serial_reference(&m.coo, &x.lane(j));
+                        let want = serial_reference_kind(&m.coo, m.kind, &x.lane(j));
                         if let Err(why) = check_lane(&y.lane(j), &want, is_bitwise_class(spec, p)) {
                             panic!(
                                 "spmm conformance failure on lane {j}: {why}\n  {}",
@@ -95,7 +109,7 @@ fn spmm_conforms_to_serial_reference() {
     }
     assert_eq!(
         executed,
-        suite().len() * block_specs().len() * ORACLE_THREADS.len() * ORACLE_LANES.len(),
+        full_suite().len() * block_specs().len() * ORACLE_THREADS.len() * ORACLE_LANES.len(),
         "conformance matrix silently shrank"
     );
 }
@@ -107,7 +121,7 @@ fn spmm_conforms_to_serial_reference() {
 /// must still agree within `REL_TOL`.
 #[test]
 fn spmm_is_bitwise_k_spmv_calls() {
-    let matrices = suite();
+    let matrices = full_suite();
     let specs = block_specs();
     let mut executed = 0usize;
     for m in &matrices {
@@ -115,7 +129,7 @@ fn spmm_is_bitwise_k_spmv_calls() {
         for &p in &ORACLE_THREADS {
             let ctx = ExecutionContext::new(p);
             for &spec in &specs {
-                let mut k = build_block_kernel(spec, &m.coo, &ctx)
+                let mut k = build_block_kernel_kind(spec, &m.coo, m.kind, &ctx)
                     .expect("suite matrices build in every format")
                     .expect("block_specs() only lists block-capable formats");
                 for &lanes in &ORACLE_LANES {
@@ -149,7 +163,7 @@ fn spmm_is_bitwise_k_spmv_calls() {
     }
     assert_eq!(
         executed,
-        suite().len() * block_specs().len() * ORACLE_THREADS.len() * ORACLE_LANES.len(),
+        full_suite().len() * block_specs().len() * ORACLE_THREADS.len() * ORACLE_LANES.len(),
         "property matrix silently shrank"
     );
 }

@@ -174,6 +174,77 @@ fn reduction_phase_panic_during_spmm_is_caught_and_context_recovers() {
     }
 }
 
+/// The recovery contract is kind-independent: a reduction-phase worker
+/// panic on a skew or structurally symmetric engine surfaces as
+/// `WorkerPanicked` and the same context afterwards computes results
+/// bit-identical to a fresh one, exactly as the symmetric rows above.
+#[test]
+fn reduction_phase_panic_recovery_holds_per_kind() {
+    use symspmv::sparse::symmetry::SymmetryKind;
+
+    let cases = [
+        (
+            SymmetryKind::Skew,
+            symspmv::sparse::gen::skew_convection(600, 25, 9.0, 23),
+        ),
+        (
+            SymmetryKind::Structural,
+            symspmv::sparse::gen::structural_random(600, 9.0, 0.5, 25, 23),
+        ),
+    ];
+    for (kind, coo) in cases {
+        let n = coo.nrows() as usize;
+        let x = seeded_vector(n, 11);
+        let ctx = ExecutionContext::new(4);
+        let mut eng =
+            SymSpmv::try_from_coo_kind(&coo, kind, &ctx, ReductionMethod::Indexing, SymFormat::Sss)
+                .unwrap_or_else(|e| panic!("{kind:?}: valid matrix rejected: {e}"));
+
+        let mut y_warm = vec![0.0; n];
+        eng.try_spmv(&x, &mut y_warm).expect("warm-up spmv");
+
+        ctx.fault_plan().arm_worker_panic(2, REDUCTION_ROUND_OFFSET);
+        let mut y_doomed = vec![0.0; n];
+        match eng.try_spmv(&x, &mut y_doomed) {
+            Err(SymSpmvError::WorkerPanicked { tid, .. }) => {
+                assert_eq!(tid, 2, "{kind:?}: wrong worker blamed");
+            }
+            Err(other) => panic!("{kind:?}: expected WorkerPanicked, got {other:?}"),
+            Ok(()) => panic!("{kind:?}: armed reduction panic did not surface"),
+        }
+        assert_eq!(ctx.fault_plan().fired(), 1);
+        assert_eq!(ctx.take_last_panic(), None);
+        assert!(
+            ctx.arena_all_free_zero(),
+            "{kind:?}: arena dirty after a panicked reduction"
+        );
+
+        let mut y_recovered = vec![0.0; n];
+        eng.try_spmv(&x, &mut y_recovered)
+            .unwrap_or_else(|e| panic!("{kind:?}: context not reusable: {e}"));
+
+        let fresh_ctx = ExecutionContext::new(4);
+        let mut fresh_eng = SymSpmv::try_from_coo_kind(
+            &coo,
+            kind,
+            &fresh_ctx,
+            ReductionMethod::Indexing,
+            SymFormat::Sss,
+        )
+        .unwrap_or_else(|e| panic!("{kind:?}: valid matrix rejected: {e}"));
+        let mut y_fresh = vec![0.0; n];
+        fresh_eng.try_spmv(&x, &mut y_fresh).expect("fresh spmv");
+
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&y_recovered),
+            bits(&y_fresh),
+            "{kind:?}: recovered context diverges from a fresh one"
+        );
+        assert_eq!(bits(&y_recovered), bits(&y_warm));
+    }
+}
+
 #[test]
 fn panic_in_one_kernel_does_not_poison_siblings_on_the_shared_context() {
     // Two kernels share one context; a worker death inside the first must

@@ -22,6 +22,7 @@ enum Expect {
     NonFinite,
     OutOfBounds,
     UpperTriangle,
+    SkewDiagonal,
     Overflow,
 }
 
@@ -32,6 +33,7 @@ impl Expect {
             Expect::NonFinite => matches!(err, SparseError::NonFiniteValue { .. }),
             Expect::OutOfBounds => matches!(err, SparseError::IndexOutOfBounds { .. }),
             Expect::UpperTriangle => matches!(err, SparseError::UpperTriangleInSymmetric { .. }),
+            Expect::SkewDiagonal => matches!(err, SparseError::DiagonalInSkewSymmetric { .. }),
             Expect::Overflow => matches!(err, SparseError::IndexOverflow { .. }),
         }
     }
@@ -51,6 +53,9 @@ const TABLE: &[(&str, Expect)] = &[
     ("bad_value.mtx", Expect::Parse),
     ("index_out_of_bounds.mtx", Expect::OutOfBounds),
     ("upper_triangle_symmetric.mtx", Expect::UpperTriangle),
+    ("skew_diagonal_entry.mtx", Expect::SkewDiagonal),
+    ("skew_upper_triangle.mtx", Expect::UpperTriangle),
+    ("skew_pattern_field.mtx", Expect::Parse),
     ("nan_value.mtx", Expect::NonFinite),
     ("inf_value.mtx", Expect::NonFinite),
     ("index_overflow.mtx", Expect::Overflow),

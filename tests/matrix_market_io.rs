@@ -2,8 +2,8 @@
 //! drive the full kernel stack from the file — the path a user with real
 //! UF-collection matrices would take.
 
-use symspmv::sparse::dense::{assert_vec_close, seeded_vector};
-use symspmv::sparse::{mm, SssMatrix};
+use symspmv::sparse::dense::{assert_vec_close, seeded_vector, DenseMatrix};
+use symspmv::sparse::{mm, SssMatrix, SymmetryKind};
 use symspmv_harness::kernels::{build_kernel, KernelSpec};
 
 #[test]
@@ -61,4 +61,48 @@ fn general_header_loads_symmetric_content() {
     assert_eq!(hdr.symmetry, mm::MmSymmetry::General);
     assert!(loaded.is_symmetric(0.0));
     assert!(SssMatrix::from_coo(&loaded, 0.0).is_ok());
+}
+
+#[test]
+fn skew_fixture_loads_and_multiplies() {
+    // The README quickstart path: load a skew-symmetric MatrixMarket file
+    // and run the skew SSS kernel built from it.
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("convection_skew_5.mtx");
+    let (coo, hdr) = mm::read_matrix_market_file(&path).unwrap();
+    assert_eq!(hdr.symmetry, mm::MmSymmetry::SkewSymmetric);
+    assert!(coo.is_skew_symmetric(0.0));
+
+    let sss = SssMatrix::from_coo_kind(&coo, SymmetryKind::Skew, 0.0).unwrap();
+    let n = coo.nrows() as usize;
+    let x = seeded_vector(n, 7);
+    let mut y = vec![0.0; n];
+    sss.spmv(&x, &mut y);
+
+    // Against the dense reference of the expanded matrix.
+    let mut y_ref = vec![0.0; n];
+    DenseMatrix::from_coo(&coo).matvec(&x, &mut y_ref);
+    assert_vec_close(&y, &y_ref, 1e-13);
+
+    // x' * (A * x) vanishes for a skew-symmetric A.
+    let quad: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+    assert!(quad.abs() < 1e-12, "x'Ax = {quad} for skew A");
+}
+
+#[test]
+fn skew_round_trip_through_file() {
+    let coo = symspmv::sparse::gen::skew_convection(40, 5, 4.0, 11);
+    let dir = std::env::temp_dir().join("symspmv_mm_skew_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("skew.mtx");
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        mm::write_matrix_market_as(&mut f, &coo, mm::MmSymmetry::SkewSymmetric).unwrap();
+    }
+    let (loaded, hdr) = mm::read_matrix_market_file(&path).unwrap();
+    assert_eq!(hdr.symmetry, mm::MmSymmetry::SkewSymmetric);
+    assert_eq!(loaded, coo);
+    std::fs::remove_file(&path).ok();
 }
