@@ -20,7 +20,7 @@
 //! classification, so `?` works across the crate boundary.
 
 use std::fmt;
-use symspmv_runtime::WorkerPanicInfo;
+use symspmv_runtime::{Interrupt, WorkerPanicInfo};
 use symspmv_sparse::SparseError;
 
 /// Structured error for every failure mode of the symmetric-SpMV stack.
@@ -66,6 +66,28 @@ pub enum SymSpmvError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// The request's cancellation token was cancelled; the kernel stopped
+    /// at the next cooperative checkpoint and the context healed.
+    Cancelled,
+    /// The request's deadline passed before the kernel finished.
+    DeadlineExceeded {
+        /// `true` when a worker overran the deadline mid-round and the
+        /// round-watchdog marked the pool Wedged while it drained; `false`
+        /// when the deadline simply expired between rounds.
+        wedged: bool,
+    },
+    /// The shared pool is currently Wedged (a round is overrunning its
+    /// deadline); the request was refused without queueing on the pool so
+    /// it can be served by the degraded-mode fallback instead.
+    PoolWedged,
+    /// A bounded [`RetryPolicy`](crate::RetryPolicy) exhausted its attempts
+    /// without a successful run.
+    RetriesExhausted {
+        /// Attempts made (equal to the policy's `max_attempts`).
+        attempts: usize,
+        /// The error from the final attempt.
+        last: Box<SymSpmvError>,
+    },
 }
 
 impl fmt::Display for SymSpmvError {
@@ -95,6 +117,26 @@ impl fmt::Display for SymSpmvError {
             SymSpmvError::UnknownStrategy { name } => {
                 write!(f, "no reduction strategy named {name:?} is registered")
             }
+            SymSpmvError::Cancelled => {
+                write!(f, "request cancelled at a cooperative checkpoint")
+            }
+            SymSpmvError::DeadlineExceeded { wedged: true } => write!(
+                f,
+                "request deadline exceeded: a worker overran the deadline mid-round \
+                 (pool was marked Wedged while the round drained)"
+            ),
+            SymSpmvError::DeadlineExceeded { wedged: false } => {
+                write!(f, "request deadline exceeded between parallel rounds")
+            }
+            SymSpmvError::PoolWedged => write!(
+                f,
+                "worker pool is Wedged (a round is overrunning its deadline); \
+                 request refused — retry or use the serial fallback"
+            ),
+            SymSpmvError::RetriesExhausted { attempts, last } => write!(
+                f,
+                "retry policy exhausted after {attempts} attempt(s); last error: {last}"
+            ),
         }
     }
 }
@@ -103,6 +145,7 @@ impl std::error::Error for SymSpmvError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SymSpmvError::Parse(e) | SymSpmvError::InvalidStructure(e) => Some(e),
+            SymSpmvError::RetriesExhausted { last, .. } => Some(&**last),
             _ => None,
         }
     }
@@ -126,6 +169,17 @@ impl From<WorkerPanicInfo> for SymSpmvError {
         SymSpmvError::WorkerPanicked {
             tid: info.tid,
             message: info.message,
+        }
+    }
+}
+
+impl From<Interrupt> for SymSpmvError {
+    /// Maps a supervision interrupt (raised at a pool checkpoint and caught
+    /// by the fallible kernel entry points) to its typed error.
+    fn from(i: Interrupt) -> Self {
+        match i {
+            Interrupt::Cancelled => SymSpmvError::Cancelled,
+            Interrupt::DeadlineExceeded { wedged } => SymSpmvError::DeadlineExceeded { wedged },
         }
     }
 }
@@ -182,6 +236,40 @@ mod tests {
                 message: "boom".into()
             }
         );
+    }
+
+    #[test]
+    fn interrupts_convert_to_typed_errors() {
+        assert_eq!(
+            SymSpmvError::from(Interrupt::Cancelled),
+            SymSpmvError::Cancelled
+        );
+        assert_eq!(
+            SymSpmvError::from(Interrupt::DeadlineExceeded { wedged: true }),
+            SymSpmvError::DeadlineExceeded { wedged: true }
+        );
+    }
+
+    #[test]
+    fn resilience_errors_display_and_chain() {
+        use std::error::Error;
+        let e = SymSpmvError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(SymSpmvError::WorkerPanicked {
+                tid: 1,
+                message: "boom".into(),
+            }),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3 attempt"), "{msg}");
+        assert!(msg.contains("worker thread 1"), "{msg}");
+        assert!(e.source().is_some(), "last error is the source");
+
+        assert!(SymSpmvError::PoolWedged.to_string().contains("Wedged"));
+        assert!(SymSpmvError::Cancelled.to_string().contains("cancelled"));
+        assert!(SymSpmvError::DeadlineExceeded { wedged: true }
+            .to_string()
+            .contains("Wedged"));
     }
 
     #[test]

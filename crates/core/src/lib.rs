@@ -29,7 +29,10 @@
 //! * [`sym_atomic`] — an extension baseline: atomic conflicting updates
 //!   instead of local vectors (the CSB-style alternative discussed in the
 //!   paper's related work, §VI);
-//! * [`ws`] — the working-set models of Eq. 3–6 (Fig. 5).
+//! * [`ws`] — the working-set models of Eq. 3–6 (Fig. 5);
+//! * [`resilience`] — bounded retry ([`RetryPolicy`]), the serial
+//!   [`FallbackKernel`] of last resort, and the [`Resilient`] wrapper that
+//!   keeps serving when the pool degrades (DESIGN.md §16).
 
 pub mod bcsr_mt;
 pub mod csb_mt;
@@ -38,6 +41,7 @@ pub mod csx_mt;
 pub mod csx_sym;
 pub mod error;
 pub mod plan;
+pub mod resilience;
 pub mod shared;
 pub mod sym;
 pub mod sym_atomic;
@@ -53,10 +57,11 @@ pub use csx_mt::CsxParallel;
 pub use csx_sym::CsxSymMatrix;
 pub use error::SymSpmvError;
 pub use plan::CachedSymPlan;
+pub use resilience::{fallback_worthy, FallbackKernel, Resilient, RetryPolicy, Served};
 pub use sym::{ReductionMethod, SymFormat, SymSpmv};
 pub use sym_atomic::SssAtomicParallel;
 pub use sym_color::SssColorParallel;
-pub use traits::{BlockKernel, ParallelSpmmExt, ParallelSpmv};
+pub use traits::{classify_unwind, BlockKernel, ParallelSpmmExt, ParallelSpmv};
 
 // Re-exported so block-kernel callers need only this crate in scope.
 pub use symspmv_runtime::ParallelSpmm;

@@ -5,11 +5,37 @@
 //! vector multiplication interface" — this trait is that interface.
 
 use crate::error::SymSpmvError;
+use std::any::Any;
 use std::borrow::Cow;
 use std::sync::Arc;
-use symspmv_runtime::{ExecutionContext, ParallelSpmm, PhaseTimes};
+use symspmv_runtime::{ExecutionContext, Interrupt, ParallelSpmm, PhaseTimes};
 use symspmv_sparse::block::VectorBlock;
 use symspmv_sparse::Val;
+
+/// Classifies a caught unwind from a parallel kernel into the typed error
+/// it represents, shared by `try_spmv`, `try_spmm`, and the resilient
+/// solver wrappers (which catch unwinds around a whole solve):
+///
+/// 1. a supervision [`Interrupt`] (cancellation / deadline, raised on the
+///    calling thread at a pool checkpoint) becomes its typed error;
+/// 2. a recorded worker panic becomes [`SymSpmvError::WorkerPanicked`];
+/// 3. anything else is a genuine caller-thread panic (e.g. a dimension
+///    assertion) and resumes unwinding.
+pub fn classify_unwind(ctx: &ExecutionContext, payload: Box<dyn Any + Send>) -> SymSpmvError {
+    match payload.downcast::<Interrupt>() {
+        Ok(interrupt) => {
+            // The checkpoint fired before any worker was dispatched (or
+            // after the round drained); a panic recorded in the same call
+            // is subordinate to the interrupt but must not leak.
+            let _ = ctx.take_last_panic();
+            SymSpmvError::from(*interrupt)
+        }
+        Err(payload) => match ctx.take_last_panic() {
+            Some(info) => SymSpmvError::from(info),
+            None => std::panic::resume_unwind(payload),
+        },
+    }
+}
 
 /// A multithreaded SpMV kernel bound to one matrix and one
 /// [`ExecutionContext`] (which supplies the shared worker pool and buffer
@@ -23,9 +49,11 @@ pub trait ParallelSpmv {
     ///
     /// On `Err`, the context's pool has fully drained the failed round and
     /// the buffer arena invariant holds, so the kernel and context remain
-    /// usable; `y` holds unspecified partial results. Panics raised on the
-    /// *calling* thread (e.g. dimension-mismatch assertions) are not worker
-    /// deaths and continue to unwind.
+    /// usable; `y` holds unspecified partial results. Supervision
+    /// interrupts (cancellation, deadline) surface as
+    /// [`SymSpmvError::Cancelled`] / [`SymSpmvError::DeadlineExceeded`].
+    /// Panics raised on the *calling* thread (e.g. dimension-mismatch
+    /// assertions) are not worker deaths and continue to unwind.
     fn try_spmv(&mut self, x: &[Val], y: &mut [Val]) -> Result<(), SymSpmvError> {
         let ctx = Arc::clone(self.context());
         // Clear any stale record so a pre-existing panic from an unrelated
@@ -33,10 +61,7 @@ pub trait ParallelSpmv {
         let _ = ctx.take_last_panic();
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.spmv(x, y))) {
             Ok(()) => Ok(()),
-            Err(payload) => match ctx.take_last_panic() {
-                Some(info) => Err(SymSpmvError::from(info)),
-                None => std::panic::resume_unwind(payload),
-            },
+            Err(payload) => Err(classify_unwind(&ctx, payload)),
         }
     }
 
@@ -89,6 +114,8 @@ pub trait ParallelSpmmExt: ParallelSpmm {
     /// every leased block buffer has been scrubbed back to the arena
     /// (the arena all-free-zero invariant holds), and the kernel and
     /// context remain usable; `y` holds unspecified partial results.
+    /// Supervision interrupts (cancellation, deadline) surface as
+    /// [`SymSpmvError::Cancelled`] / [`SymSpmvError::DeadlineExceeded`].
     /// Caller-thread panics (e.g. lane-mismatch assertions) are not worker
     /// deaths and continue to unwind.
     fn try_spmm(&mut self, x: &VectorBlock, y: &mut VectorBlock) -> Result<(), SymSpmvError> {
@@ -96,10 +123,7 @@ pub trait ParallelSpmmExt: ParallelSpmm {
         let _ = ctx.take_last_panic();
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.spmm(x, y))) {
             Ok(()) => Ok(()),
-            Err(payload) => match ctx.take_last_panic() {
-                Some(info) => Err(SymSpmvError::from(info)),
-                None => std::panic::resume_unwind(payload),
-            },
+            Err(payload) => Err(classify_unwind(&ctx, payload)),
         }
     }
 }

@@ -21,6 +21,8 @@
 //!   kinds    extension — skew/structural engines and the skew+RCM effect
 //!   related  extension — related-work comparison (CSB, CSB-Sym, atomics)
 //!   verify   extension — every kernel vs reference on the full suite
+//!   chaos    extension — seeded fault-injection soak of the resilient
+//!                        service (build with --features fault-injection)
 //!   plot     extension — re-render SVG figures from existing CSVs
 //!   machine  extension — host characterization (Table II substitute)
 //!   all                — everything, in paper order
@@ -33,14 +35,23 @@
 //!   --matrix <name>  restrict to one suite matrix  (repeatable)
 //!   --cg-iters <k>   CG iterations for fig14       (default 512)
 //!   --rhs <k>        right-hand sides for spmm     (default 8; one of 1,2,4,8,16)
+//!   --seed <k>       chaos schedule seed           (default 0xC4A05)
 //! ```
 
 use std::process::ExitCode;
 use symspmv_harness::experiments::{self, ExpConfig};
 
-const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|spmm|kinds|related|verify|plot|machine|all>
+const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|spmm|kinds|related|verify|chaos|plot|machine|all>
                    [--scale f] [--iters k] [--threads p] [--out dir]
-                   [--matrix name]... [--cg-iters k] [--rhs k]";
+                   [--matrix name]... [--cg-iters k] [--rhs k] [--seed k]";
+
+/// Parses a seed in decimal or `0x`-prefixed hex.
+fn parse_seed(v: &str) -> Option<u64> {
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!("{}", USAGE);
@@ -94,6 +105,10 @@ fn main() -> ExitCode {
                 Some(v) if v > 0 => cfg.rhs = v,
                 _ => return usage(),
             },
+            "--seed" => match value("--seed").and_then(|v| parse_seed(&v)) {
+                Some(v) => cfg.seed = v,
+                None => return usage(),
+            },
             other => {
                 eprintln!("unknown option: {other}");
                 return usage();
@@ -135,6 +150,7 @@ fn main() -> ExitCode {
         "kinds" => experiments::kinds(&cfg),
         "related" => experiments::related(&cfg),
         "verify" => experiments::verify(&cfg),
+        "chaos" => experiments::chaos(&cfg),
         "plot" => experiments::plot(&cfg),
         "machine" => experiments::machine(&cfg),
         "all" => experiments::all(&cfg),

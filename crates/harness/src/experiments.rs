@@ -37,6 +37,9 @@ pub struct ExpConfig {
     /// Right-hand sides per multiplication for the batched (`spmm`)
     /// experiment — must be a supported lane count (1, 2, 4, 8, 16).
     pub rhs: usize,
+    /// Seed for the seeded drivers (the `chaos` fault schedule and its
+    /// retry jitter); the same seed replays the same run.
+    pub seed: u64,
 }
 
 impl Default for ExpConfig {
@@ -51,6 +54,7 @@ impl Default for ExpConfig {
             matrices: Vec::new(),
             cg_iters: 512,
             rhs: 8,
+            seed: 0xC4A05,
         }
     }
 }
@@ -87,7 +91,7 @@ impl ExpConfig {
         v
     }
 
-    fn emit(&self, name: &str, table: &Table) -> Result<(), HarnessError> {
+    pub(crate) fn emit(&self, name: &str, table: &Table) -> Result<(), HarnessError> {
         println!("{}", table.render());
         let p = table
             .write_csv(&self.out_dir, name)
@@ -1178,6 +1182,30 @@ pub fn plot(cfg: &ExpConfig) -> Result<(), HarnessError> {
     }
     println!("{rendered} figures rendered\n");
     Ok(())
+}
+
+/// Extension — resilience chaos soak: replays a seeded kill/delay/
+/// corrupt/wedge fault schedule against the [`symspmv_core::Resilient`]
+/// service on every kind-suite matrix, verifying that each request is
+/// served bit-identically (parallel vs the fault-free baseline, fallback
+/// vs the serial reference) and that availability stays 100%. See
+/// [`crate::chaos`] and DESIGN.md §16.
+#[cfg(feature = "fault-injection")]
+pub fn chaos(cfg: &ExpConfig) -> Result<(), HarnessError> {
+    crate::chaos::run(cfg)
+}
+
+/// Without the `fault-injection` feature the runtime carries no injection
+/// hooks, so the chaos driver cannot arm its schedule; explain how to get
+/// a soak instead of silently doing nothing.
+#[cfg(not(feature = "fault-injection"))]
+pub fn chaos(_cfg: &ExpConfig) -> Result<(), HarnessError> {
+    Err(HarnessError::Config(
+        "the chaos soak needs the runtime's fault-injection hooks; rebuild with \
+         `cargo run --release -p symspmv-harness --features fault-injection \
+         --bin experiments -- chaos`"
+            .into(),
+    ))
 }
 
 /// Runs every experiment in paper order, stopping at the first failure.

@@ -8,6 +8,8 @@
 //! format factory; [`experiments`] regenerates every table and figure of
 //! the evaluation section (see DESIGN.md §6 for the index).
 
+#[cfg(feature = "fault-injection")]
+pub mod chaos;
 pub mod conformance;
 pub mod error;
 pub mod experiments;

@@ -26,6 +26,7 @@ use crate::pool::{WorkerPanic, WorkerPanicInfo, WorkerPool};
 use crate::reduction::{
     EffectiveRangesReduction, IndexingReduction, NaiveReduction, ReductionStrategy,
 };
+use crate::supervisor::{HealthState, PoolHealth, Supervision, SupervisionCell};
 use crate::timing::PhaseTimes;
 
 /// Locks a mutex, tolerating poisoning.
@@ -38,14 +39,35 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Default high-water mark for arena-retained scratch, in `f64` elements
+/// (32 Mi elements = 256 MiB) — generous for every suite matrix, small
+/// enough that one huge tenant matrix cannot pin its scratch forever in a
+/// long-lived service.
+const ARENA_RETAINED_LIMIT_DEFAULT: usize = 32 << 20;
+
 /// Recycled `f64` buffers, handed out as [`BufferLease`]s.
 ///
 /// Invariant: every free buffer is entirely zero. Kernel-local leases rely
 /// on the reduction phase re-zeroing what it wrote (the cheap path — no
 /// per-call memset); scratch leases are scrubbed on drop.
-#[derive(Default)]
+///
+/// Retained memory is capped: when the free list exceeds `retained_limit`
+/// elements, the largest free buffers are dropped (they are zero by the
+/// invariant, so trimming cannot violate it) until the list fits again.
 struct BufferArena {
     free: Vec<Vec<f64>>,
+    retained_limit: usize,
+    trims: usize,
+}
+
+impl Default for BufferArena {
+    fn default() -> Self {
+        BufferArena {
+            free: Vec::new(),
+            retained_limit: ARENA_RETAINED_LIMIT_DEFAULT,
+            trims: 0,
+        }
+    }
 }
 
 impl BufferArena {
@@ -84,6 +106,33 @@ impl BufferArena {
     fn release(&mut self, buf: Vec<f64>) {
         if buf.capacity() > 0 {
             self.free.push(buf);
+            self.trim();
+        }
+    }
+
+    /// Sum of free-list capacities — the memory the arena is pinning.
+    fn retained_elements(&self) -> usize {
+        self.free.iter().map(|b| b.capacity()).sum()
+    }
+
+    /// Drops the largest free buffers until the retained total fits under
+    /// the high-water mark. Dropped buffers are zero by the arena
+    /// invariant, so trimming preserves it trivially.
+    fn trim(&mut self) {
+        while self.retained_elements() > self.retained_limit && !self.free.is_empty() {
+            let largest = self
+                .free
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            match largest {
+                Some(i) => {
+                    self.free.swap_remove(i);
+                    self.trims += 1;
+                }
+                None => break,
+            }
         }
     }
 }
@@ -107,6 +156,74 @@ pub struct PlanKey {
     pub strategy: String,
 }
 
+/// Default entry cap for the plan cache. Each entry is one (matrix,
+/// threads, strategy) artifact; a sweep over the whole suite at several
+/// thread counts stays far below this, while a long-lived service cycling
+/// tenant matrices no longer grows without bound.
+const PLAN_CACHE_CAPACITY_DEFAULT: usize = 256;
+
+/// LRU-bounded store of memoized plan artifacts.
+///
+/// Recency is tracked with a monotone clock stamped on every hit and
+/// insert; eviction removes the stalest entry. A linear scan on eviction is
+/// fine — it only runs when the cache is full, and the cap is small.
+struct PlanCache {
+    map: HashMap<PlanKey, (Arc<dyn Any + Send + Sync>, u64)>,
+    clock: u64,
+    capacity: usize,
+    evictions: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            map: HashMap::new(),
+            clock: 0,
+            capacity: PLAN_CACHE_CAPACITY_DEFAULT,
+            evictions: 0,
+        }
+    }
+}
+
+impl PlanCache {
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<dyn Any + Send + Sync>> {
+        self.clock += 1;
+        let stamp = self.clock;
+        self.map.get_mut(key).map(|entry| {
+            entry.1 = stamp;
+            Arc::clone(&entry.0)
+        })
+    }
+
+    fn put(&mut self, key: PlanKey, plan: Arc<dyn Any + Send + Sync>) {
+        self.clock += 1;
+        self.map.insert(key, (plan, self.clock));
+        self.shrink_to_capacity();
+    }
+
+    fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.shrink_to_capacity();
+    }
+
+    fn shrink_to_capacity(&mut self) {
+        while self.map.len() > self.capacity {
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone());
+            match stalest {
+                Some(k) => {
+                    self.map.remove(&k);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
 /// The shared runtime layer: one pool, one arena, one ledger, and the
 /// reduction-strategy registry.
 ///
@@ -126,10 +243,16 @@ pub struct ExecutionContext {
     dirty_returns: AtomicUsize,
     /// Memoized partition plans and race certificates, keyed by
     /// [`PlanKey`]. Values are type-erased so the runtime does not need to
-    /// know the kernel crates' plan types.
-    plans: Mutex<HashMap<PlanKey, Arc<dyn Any + Send + Sync>>>,
+    /// know the kernel crates' plan types. LRU-bounded (see [`PlanCache`]).
+    plans: Mutex<PlanCache>,
     plan_hits: AtomicUsize,
     plan_misses: AtomicUsize,
+    /// Supervision slot shared with the pool: installable/clearable without
+    /// the pool lock, consulted at every round checkpoint.
+    supervision: Arc<SupervisionCell>,
+    /// Health record shared with the pool: lock-free reads even while a
+    /// wedged round holds the pool mutex.
+    health: Arc<HealthState>,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: Arc<FaultPlan>,
 }
@@ -147,6 +270,8 @@ impl ExecutionContext {
         let mut pool = WorkerPool::new(nthreads);
         #[cfg(any(test, feature = "fault-injection"))]
         pool.set_fault_plan(Arc::clone(&fault));
+        let supervision = pool.supervision_cell();
+        let health = pool.health_state();
         let ctx = ExecutionContext {
             nthreads,
             pool: Mutex::new(pool),
@@ -154,9 +279,11 @@ impl ExecutionContext {
             ledger: Mutex::new(PhaseTimes::new()),
             strategies: RwLock::new(HashMap::new()),
             dirty_returns: AtomicUsize::new(0),
-            plans: Mutex::new(HashMap::new()),
+            plans: Mutex::new(PlanCache::default()),
             plan_hits: AtomicUsize::new(0),
             plan_misses: AtomicUsize::new(0),
+            supervision,
+            health,
             #[cfg(any(test, feature = "fault-injection"))]
             fault,
         };
@@ -223,7 +350,7 @@ impl ExecutionContext {
     /// (a foreign entry under the same key would be a fingerprint
     /// collision between kernels, which the `strategy` namespace prevents).
     pub fn plan_cache_get(&self, key: &PlanKey) -> Option<Arc<dyn Any + Send + Sync>> {
-        let found = lock_ignore_poison(&self.plans).get(key).cloned();
+        let found = lock_ignore_poison(&self.plans).get(key);
         match &found {
             Some(_) => self.plan_hits.fetch_add(1, Ordering::Relaxed),
             None => self.plan_misses.fetch_add(1, Ordering::Relaxed),
@@ -231,14 +358,32 @@ impl ExecutionContext {
         found
     }
 
-    /// Memoizes a plan artifact under `key` (last writer wins).
+    /// Memoizes a plan artifact under `key` (last writer wins). When the
+    /// cache exceeds its entry cap the least-recently-used entries are
+    /// evicted and counted ([`ExecutionContext::plan_cache_evictions`]).
     pub fn plan_cache_put(&self, key: PlanKey, plan: Arc<dyn Any + Send + Sync>) {
-        lock_ignore_poison(&self.plans).insert(key, plan);
+        lock_ignore_poison(&self.plans).put(key, plan);
     }
 
     /// Entries currently memoized.
     pub fn plan_cache_len(&self) -> usize {
-        lock_ignore_poison(&self.plans).len()
+        lock_ignore_poison(&self.plans).map.len()
+    }
+
+    /// Changes the plan-cache entry cap, evicting LRU entries immediately
+    /// if the cache is already over the new cap.
+    pub fn plan_cache_set_capacity(&self, capacity: usize) {
+        lock_ignore_poison(&self.plans).set_capacity(capacity);
+    }
+
+    /// The plan-cache entry cap currently in force.
+    pub fn plan_cache_capacity(&self) -> usize {
+        lock_ignore_poison(&self.plans).capacity
+    }
+
+    /// Entries evicted by the LRU bound since the context was created.
+    pub fn plan_cache_evictions(&self) -> usize {
+        lock_ignore_poison(&self.plans).evictions
     }
 
     /// Cache hits observed by [`ExecutionContext::plan_cache_get`].
@@ -255,7 +400,46 @@ impl ExecutionContext {
     /// for callers that renumber matrices in place and want to prove the
     /// stale-certificate path.
     pub fn clear_plan_cache(&self) {
-        lock_ignore_poison(&self.plans).clear();
+        lock_ignore_poison(&self.plans).map.clear();
+    }
+
+    /// Installs supervision (cancellation token and/or deadline) for the
+    /// request about to run on this context; the returned guard clears it
+    /// on drop, including when the request unwinds with an
+    /// [`Interrupt`](crate::Interrupt).
+    ///
+    /// The installation bypasses the pool lock, so supervision can be
+    /// (re)configured even while a wedged round is still draining.
+    pub fn supervise(&self, sup: Supervision) -> SupervisionGuard<'_> {
+        self.supervision.install(sup);
+        SupervisionGuard { ctx: self }
+    }
+
+    /// Current pool health (lock-free; readable while a wedged round holds
+    /// the pool mutex).
+    pub fn health(&self) -> PoolHealth {
+        self.health.health()
+    }
+
+    /// The shared health record — failure/respawn/wedge counters and the
+    /// MTBF estimate.
+    pub fn health_state(&self) -> &Arc<HealthState> {
+        &self.health
+    }
+
+    /// Worker failures (panics and wedges) observed on the shared pool.
+    pub fn pool_failures(&self) -> usize {
+        self.health.failures()
+    }
+
+    /// Workers respawned after failures on the shared pool.
+    pub fn pool_respawns(&self) -> usize {
+        self.health.respawns()
+    }
+
+    /// Mean time between worker failures, once two have been observed.
+    pub fn pool_mtbf(&self) -> Option<std::time::Duration> {
+        self.health.mtbf()
     }
 
     /// Leases a zeroed buffer of `len` elements for kernel local vectors.
@@ -342,6 +526,25 @@ impl ExecutionContext {
         self.dirty_returns.load(Ordering::Relaxed)
     }
 
+    /// Elements (sum of capacities) the arena free list is pinning.
+    pub fn arena_retained_elements(&self) -> usize {
+        lock_ignore_poison(&self.arena).retained_elements()
+    }
+
+    /// Changes the arena retained-memory high-water mark (in `f64`
+    /// elements), trimming immediately if already above it.
+    pub fn arena_set_retained_limit(&self, elements: usize) {
+        let mut arena = lock_ignore_poison(&self.arena);
+        arena.retained_limit = elements;
+        arena.trim();
+    }
+
+    /// Free buffers dropped by the retained-memory bound since the context
+    /// was created.
+    pub fn arena_trims(&self) -> usize {
+        lock_ignore_poison(&self.arena).trims
+    }
+
     /// Adds a per-kernel or per-solve [`PhaseTimes`] delta to the ledger.
     pub fn ledger_add(&self, delta: &PhaseTimes) {
         lock_ignore_poison(&self.ledger).accumulate(delta);
@@ -399,6 +602,19 @@ impl ExecutionContext {
             .collect();
         names.sort_unstable();
         names
+    }
+}
+
+/// RAII guard for installed supervision: clears the context's supervision
+/// slot on drop, so a request's deadline or token can never leak into the
+/// next request — including when the request unwinds.
+pub struct SupervisionGuard<'a> {
+    ctx: &'a ExecutionContext,
+}
+
+impl Drop for SupervisionGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.supervision.clear();
     }
 }
 
@@ -670,6 +886,97 @@ mod tests {
             hits.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn plan_cache_lru_evicts_and_counts() {
+        let ctx = ExecutionContext::new(1);
+        ctx.plan_cache_set_capacity(3);
+        let key = |i: u64| PlanKey {
+            matrix: i,
+            nthreads: 1,
+            strategy: "t".to_string(),
+        };
+        for i in 0..3 {
+            ctx.plan_cache_put(key(i), Arc::new(i));
+        }
+        assert_eq!(ctx.plan_cache_len(), 3);
+        assert_eq!(ctx.plan_cache_evictions(), 0);
+
+        // Touch key 0 so key 1 becomes the LRU, then overflow.
+        assert!(ctx.plan_cache_get(&key(0)).is_some());
+        ctx.plan_cache_put(key(3), Arc::new(3u64));
+        assert_eq!(ctx.plan_cache_len(), 3);
+        assert_eq!(ctx.plan_cache_evictions(), 1);
+        assert!(ctx.plan_cache_get(&key(1)).is_none(), "LRU entry evicted");
+        assert!(ctx.plan_cache_get(&key(0)).is_some(), "touched entry kept");
+        assert!(ctx.plan_cache_get(&key(3)).is_some());
+
+        // Shrinking the cap evicts immediately.
+        ctx.plan_cache_set_capacity(1);
+        assert_eq!(ctx.plan_cache_len(), 1);
+        assert_eq!(ctx.plan_cache_evictions(), 3);
+        assert_eq!(ctx.plan_cache_capacity(), 1);
+    }
+
+    #[test]
+    fn arena_trims_oversized_retained_buffers() {
+        let ctx = ExecutionContext::new(1);
+        ctx.arena_set_retained_limit(100);
+        drop(ctx.lease(80)); // fits: retained
+        assert_eq!(ctx.arena_free_buffers(), 1);
+        assert_eq!(ctx.arena_trims(), 0);
+
+        drop(ctx.lease_scratch(300)); // 80 + 300 > 100: largest dropped
+        assert!(ctx.arena_retained_elements() <= 100);
+        assert!(ctx.arena_trims() >= 1);
+        assert!(ctx.arena_all_free_zero(), "trim preserves the invariant");
+
+        // Lowering the limit below what is retained trims immediately.
+        ctx.arena_set_retained_limit(0);
+        assert_eq!(ctx.arena_free_buffers(), 0);
+        assert_eq!(ctx.arena_retained_elements(), 0);
+    }
+
+    #[test]
+    fn supervise_guard_installs_and_clears() {
+        use crate::supervisor::CancelToken;
+        let ctx = ExecutionContext::new(2);
+        let cancel = CancelToken::new();
+        {
+            let _guard = ctx.supervise(Supervision::with_cancel(cancel.clone()));
+            cancel.cancel();
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ctx.run(&|_| {});
+            }));
+            let payload = res.unwrap_err();
+            assert!(payload.downcast_ref::<crate::Interrupt>().is_some());
+        }
+        // Guard dropped: the same context runs unbounded again.
+        let hits = AtomicUsize::new(0);
+        ctx.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn health_counters_are_visible_on_the_context() {
+        let ctx = ExecutionContext::new(2);
+        assert_eq!(ctx.health(), PoolHealth::Healthy);
+        assert_eq!(ctx.pool_failures(), 0);
+        let err = ctx
+            .try_run(&|tid| {
+                if tid == 1 {
+                    panic!("die");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.tid(), 1);
+        assert_eq!(ctx.health(), PoolHealth::Degraded);
+        assert_eq!(ctx.pool_failures(), 1);
+        assert_eq!(ctx.pool_respawns(), 1);
+        assert_eq!(ctx.pool_mtbf(), None, "one failure gives no estimate");
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub enum WorkerFault {
     Panic,
     /// The worker sleeps before executing its share of the round.
     Delay(Duration),
+    /// The worker wedges: it sleeps long enough to overrun any reasonable
+    /// request deadline, exercising the watchdog/Wedged path. Semantically
+    /// identical to [`WorkerFault::Delay`] at the injection site; the
+    /// distinct variant keeps chaos schedules self-describing.
+    Wedge(Duration),
 }
 
 #[derive(Debug)]
@@ -78,6 +83,15 @@ impl FaultPlan {
     /// stretches a multiply or reduction phase without killing it.
     pub fn arm_worker_delay(&self, tid: usize, in_rounds: usize, delay: Duration) {
         self.arm_worker(tid, in_rounds, WorkerFault::Delay(delay));
+    }
+
+    /// Arms worker `tid` to wedge (sleep `sleep`, intended to exceed the
+    /// request deadline) in the `in_rounds`-th pool round from now (`0` =
+    /// the next round). The supervised dispatch watchdog must detect the
+    /// overrun at the deadline, mark the pool Wedged, and respawn the
+    /// worker once the round drains.
+    pub fn arm_worker_wedge(&self, tid: usize, in_rounds: usize, sleep: Duration) {
+        self.arm_worker(tid, in_rounds, WorkerFault::Wedge(sleep));
     }
 
     fn arm_worker(&self, tid: usize, in_rounds: usize, fault: WorkerFault) {
@@ -152,7 +166,7 @@ impl FaultPlan {
         for fault in to_apply {
             self.fired.fetch_add(1, Ordering::SeqCst);
             match fault {
-                WorkerFault::Delay(d) => std::thread::sleep(d),
+                WorkerFault::Delay(d) | WorkerFault::Wedge(d) => std::thread::sleep(d),
                 WorkerFault::Panic => {
                     panic!("injected fault: worker {tid} panicked in round {round}")
                 }
@@ -228,6 +242,17 @@ mod tests {
         assert_eq!(plan.lease_return_hook(), None);
         assert_eq!(plan.lease_return_hook(), Some(7.5));
         assert_eq!(plan.lease_return_hook(), None);
+        assert_eq!(plan.fired(), 1);
+    }
+
+    #[test]
+    fn wedge_fault_sleeps_the_target_worker() {
+        let plan = FaultPlan::new();
+        plan.arm_worker_wedge(0, 0, Duration::from_millis(10));
+        let r = plan.begin_round();
+        let start = std::time::Instant::now();
+        plan.worker_hook(r, 0);
+        assert!(start.elapsed() >= Duration::from_millis(10));
         assert_eq!(plan.fired(), 1);
     }
 

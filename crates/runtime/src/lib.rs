@@ -27,7 +27,11 @@
 //! * `race` *(`race-detector` feature)* — a shadow-memory dynamic race
 //!   detector mirroring every `SharedBuf` write with (round, worker)
 //!   attribution, used to adversarially cross-validate the static race
-//!   certificates emitted by the `symspmv-verify` crate.
+//!   certificates emitted by the `symspmv-verify` crate;
+//! * [`supervisor`] — deadlines, cooperative cancellation, the round
+//!   watchdog, and the Healthy → Degraded → Wedged pool health machine
+//!   with worker respawn, so a long-lived service bounds every request in
+//!   time and keeps serving after faults.
 
 pub mod context;
 #[cfg(any(test, feature = "fault-injection"))]
@@ -39,12 +43,13 @@ pub mod race;
 pub mod reduction;
 pub mod shared;
 pub mod spmm;
+pub mod supervisor;
 pub mod timing;
 
 #[cfg(test)]
 mod stress_tests;
 
-pub use context::{BufferLease, ExecutionContext, PlanKey};
+pub use context::{BufferLease, ExecutionContext, PlanKey, SupervisionGuard};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use fault::FaultPlan;
 pub use partition::{balanced_ranges, Range};
@@ -52,4 +57,7 @@ pub use pool::{WorkerPanic, WorkerPanicInfo, WorkerPool};
 pub use reduction::{IndexEntry, LocalLayout, ReduceJob, ReductionStrategy};
 pub use shared::SharedBuf;
 pub use spmm::ParallelSpmm;
+pub use supervisor::{
+    CancelToken, Deadline, HealthState, Interrupt, PoolHealth, Supervision, SupervisionCell,
+};
 pub use timing::PhaseTimes;

@@ -15,17 +15,35 @@
 //! `&mut self` prevents two overlapping `run` calls from interleaving jobs.
 //! A worker panic is caught, forwarded, and re-raised on the caller thread
 //! after all workers have finished the round.
+//!
+//! # Supervision
+//!
+//! Every round starts with a cooperative checkpoint against the pool's
+//! [`SupervisionCell`]: a cancelled token or expired [`Deadline`] unwinds
+//! the *calling* thread with an [`Interrupt`] payload before any worker is
+//! dispatched. A supervised round is additionally waited on with a timeout
+//! (the watchdog): the instant a worker overruns the deadline the shared
+//! [`HealthState`] is marked [`Wedged`](crate::PoolHealth::Wedged) —
+//! observable by concurrent callers without the pool lock — and the wait
+//! then *blocks* until the round drains, because the scoped-closure
+//! soundness argument above forbids returning while any worker still holds
+//! the erased borrow. Tardy and panicked workers are respawned before the
+//! caller regains control, so the pool is always reusable on every exit
+//! path. A worker that never returns keeps the caller blocked; bounding
+//! that requires process-level isolation, which is out of scope — the
+//! watchdog bounds *detection* latency and keeps concurrent requests
+//! routable to the serial fallback.
 
 use std::any::Any;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 #[cfg(any(test, feature = "fault-injection"))]
 use crate::fault::FaultPlan;
-#[cfg(any(test, feature = "fault-injection"))]
-use std::sync::Arc;
+use crate::supervisor::{Deadline, HealthState, Interrupt, SupervisionCell};
 
 /// Global count of pools ever constructed in this process.
 ///
@@ -43,9 +61,11 @@ enum Command {
     Shutdown,
 }
 
-/// Outcome of one worker round: `Ok` or the panicking worker's id with the
-/// captured panic payload.
-type RoundResult = Result<(), (usize, Box<dyn Any + Send>)>;
+/// Outcome of one worker round: the reporting worker's id plus `Ok` or the
+/// captured panic payload. Carrying the id on *success* too lets the
+/// watchdog identify exactly which workers were still outstanding when a
+/// deadline fired.
+type RoundResult = (usize, Result<(), Box<dyn Any + Send>>);
 
 /// Best-effort human-readable rendering of a panic payload.
 fn panic_message(payload: &(dyn Any + Send)) -> String {
@@ -138,9 +158,14 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
     cmd_txs: Vec<SyncSender<Command>>,
     done_rx: Receiver<RoundResult>,
+    /// Master clone of the result sender, kept so respawned workers can be
+    /// handed a fresh clone for the lifetime of the pool.
+    done_tx: SyncSender<RoundResult>,
     last_panic: Option<WorkerPanicInfo>,
     /// Rounds dispatched on this pool (including panicked ones).
     rounds: usize,
+    supervision: Arc<SupervisionCell>,
+    health: Arc<HealthState>,
     #[cfg(any(test, feature = "fault-injection"))]
     fault: Option<Arc<FaultPlan>>,
 }
@@ -156,12 +181,7 @@ impl WorkerPool {
         let mut cmd_txs = Vec::with_capacity(nthreads);
         let mut handles = Vec::with_capacity(nthreads);
         for tid in 0..nthreads {
-            let (tx, rx) = sync_channel::<Command>(1);
-            let done = done_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("symspmv-worker-{tid}"))
-                .spawn(move || worker_loop(tid, rx, done))
-                .unwrap_or_else(|e| panic!("failed to spawn worker thread {tid}: {e}"));
+            let (tx, handle) = spawn_worker(tid, done_tx.clone());
             cmd_txs.push(tx);
             handles.push(handle);
         }
@@ -169,8 +189,11 @@ impl WorkerPool {
             handles,
             cmd_txs,
             done_rx,
+            done_tx,
             last_panic: None,
             rounds: 0,
+            supervision: Arc::new(SupervisionCell::default()),
+            health: Arc::new(HealthState::default()),
             #[cfg(any(test, feature = "fault-injection"))]
             fault: None,
         }
@@ -195,6 +218,18 @@ impl WorkerPool {
         POOLS_CREATED.load(Ordering::Relaxed)
     }
 
+    /// The supervision slot consulted at every round checkpoint. The
+    /// context keeps a clone so a request's deadline/token can be installed
+    /// without the pool lock.
+    pub fn supervision_cell(&self) -> Arc<SupervisionCell> {
+        Arc::clone(&self.supervision)
+    }
+
+    /// The shared health record of this pool (lock-free reads).
+    pub fn health_state(&self) -> Arc<HealthState> {
+        Arc::clone(&self.health)
+    }
+
     /// Executes `body(tid)` on every worker and blocks until all complete.
     ///
     /// If any worker panics, the panic is re-raised here after the round has
@@ -209,6 +244,11 @@ impl WorkerPool {
     /// Like [`WorkerPool::run`], but a worker panic is returned as a
     /// [`WorkerPanic`] value instead of being re-raised. On `Err` the round
     /// has fully drained and the pool is immediately reusable.
+    ///
+    /// When supervision is installed on this pool, a cancelled token or
+    /// expired deadline instead unwinds the calling thread with an
+    /// [`Interrupt`] payload (never a worker panic) — the fallible kernel
+    /// entry points downcast it back into a typed error.
     pub fn try_run<'a>(&mut self, body: SpmdRef<'a>) -> Result<(), WorkerPanic> {
         #[cfg(any(test, feature = "fault-injection"))]
         if let Some(plan) = &self.fault {
@@ -224,6 +264,23 @@ impl WorkerPool {
     }
 
     fn dispatch<'a>(&mut self, body: SpmdRef<'a>) -> Result<(), WorkerPanic> {
+        // Cooperative checkpoint: a supervised request stops at the next
+        // phase boundary. The unwind passes through `BufferLease` drops,
+        // which scrub on panic, so the arena invariant survives.
+        let deadline = match self.supervision.snapshot() {
+            Some(sup) => {
+                if sup.cancel.poll() {
+                    std::panic::panic_any(Interrupt::Cancelled);
+                }
+                if let Some(d) = sup.deadline {
+                    if d.expired() {
+                        std::panic::panic_any(Interrupt::DeadlineExceeded { wedged: false });
+                    }
+                }
+                sup.deadline
+            }
+            None => None,
+        };
         self.rounds += 1;
         #[cfg(feature = "race-detector")]
         {
@@ -240,17 +297,23 @@ impl WorkerPool {
                 body(tid);
                 crate::race::clear_current();
             };
-            return self.dispatch_inner(&traced);
+            return self.dispatch_inner(&traced, deadline);
         }
         #[cfg(not(feature = "race-detector"))]
-        self.dispatch_inner(body)
+        self.dispatch_inner(body, deadline)
     }
 
-    fn dispatch_inner<'a>(&mut self, body: SpmdRef<'a>) -> Result<(), WorkerPanic> {
+    fn dispatch_inner<'a>(
+        &mut self,
+        body: SpmdRef<'a>,
+        deadline: Option<Deadline>,
+    ) -> Result<(), WorkerPanic> {
         // SAFETY(cert: pool-barrier): the classic scoped-pool argument (see
         // module docs) — the erased borrow cannot dangle because this frame
-        // blocks until every worker acknowledges completion below, and
-        // `&mut self` serializes rounds so no other job aliases the slot.
+        // blocks until every worker acknowledges completion below (the
+        // watchdog arm only flags health and then keeps blocking; no exit
+        // path skips the drain), and `&mut self` serializes rounds so no
+        // other job aliases the slot.
         let body_static: SpmdStatic = unsafe { std::mem::transmute(body) };
         for tx in &self.cmd_txs {
             // Workers only exit on an explicit Shutdown (they catch kernel
@@ -258,28 +321,86 @@ impl WorkerPool {
             tx.send(Command::Run(body_static))
                 .unwrap_or_else(|_| unreachable!("worker command channel closed mid-round"));
         }
+        let n = self.cmd_txs.len();
+        let mut reported = vec![false; n];
+        let mut panicked: Vec<usize> = Vec::new();
+        let mut tardy: Vec<usize> = Vec::new();
+        let mut wedged = false;
         let mut first: Option<WorkerPanic> = None;
-        for _ in 0..self.cmd_txs.len() {
-            let round = self
-                .done_rx
-                .recv()
-                .unwrap_or_else(|_| unreachable!("worker result channel closed mid-round"));
-            match round {
-                Ok(()) => {}
-                Err((tid, payload)) => {
-                    if first.is_none() {
-                        first = Some(WorkerPanic { tid, payload });
+        let mut received = 0usize;
+        while received < n {
+            let msg = match deadline.filter(|_| !wedged) {
+                Some(d) => match self.done_rx.recv_timeout(d.remaining()) {
+                    Ok(msg) => msg,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Watchdog: a worker overran the deadline. Mark the
+                        // pool Wedged *now* so concurrent requests observe
+                        // it and route to the fallback, then keep draining —
+                        // returning early would dangle the erased borrow.
+                        wedged = true;
+                        self.health.mark_wedged();
+                        tardy = (0..n).filter(|&t| !reported[t]).collect();
+                        continue;
                     }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("worker result channel closed mid-round")
+                    }
+                },
+                None => self
+                    .done_rx
+                    .recv()
+                    .unwrap_or_else(|_| unreachable!("worker result channel closed mid-round")),
+            };
+            received += 1;
+            let (tid, outcome) = msg;
+            reported[tid] = true;
+            if let Err(payload) = outcome {
+                panicked.push(tid);
+                if first.is_none() {
+                    first = Some(WorkerPanic { tid, payload });
                 }
             }
         }
-        match first {
-            Some(p) => {
-                self.last_panic = Some(p.info());
-                Err(p)
-            }
-            None => Ok(()),
+        // The round has drained; every exit path below leaves the pool
+        // reusable. Respawn every worker that panicked, and every worker
+        // that was still outstanding when the watchdog fired (a tardy
+        // worker finished eventually, but cannot be distinguished from one
+        // stuck in a slow-degrading state — a fresh thread is cheap).
+        for &tid in &panicked {
+            self.health.record_failure();
+            self.respawn_worker(tid);
         }
+        if let Some(p) = &first {
+            self.last_panic = Some(p.info());
+        }
+        if wedged {
+            for &tid in &tardy {
+                if !panicked.contains(&tid) {
+                    self.respawn_worker(tid);
+                }
+            }
+            self.health.unwedge();
+            std::panic::panic_any(Interrupt::DeadlineExceeded { wedged: true });
+        }
+        match first {
+            Some(p) => Err(p),
+            None => {
+                self.health.record_success();
+                Ok(())
+            }
+        }
+    }
+
+    /// Replaces worker `tid` with a freshly spawned thread: the old worker
+    /// (idle between rounds by the drain guarantee) is shut down and
+    /// joined, and the respawn is counted on the shared health record.
+    fn respawn_worker(&mut self, tid: usize) {
+        let (tx, handle) = spawn_worker(tid, self.done_tx.clone());
+        let old_tx = std::mem::replace(&mut self.cmd_txs[tid], tx);
+        let _ = old_tx.send(Command::Shutdown);
+        let old_handle = std::mem::replace(&mut self.handles[tid], handle);
+        let _ = old_handle.join();
+        self.health.record_respawn();
     }
 
     /// Takes (and clears) the record of the most recent worker panic.
@@ -299,16 +420,27 @@ impl WorkerPool {
     }
 }
 
+fn spawn_worker(
+    tid: usize,
+    done: SyncSender<RoundResult>,
+) -> (SyncSender<Command>, JoinHandle<()>) {
+    let (tx, rx) = sync_channel::<Command>(1);
+    let handle = std::thread::Builder::new()
+        .name(format!("symspmv-worker-{tid}"))
+        .spawn(move || worker_loop(tid, rx, done))
+        .unwrap_or_else(|e| panic!("failed to spawn worker thread {tid}: {e}"));
+    (tx, handle)
+}
+
 fn worker_loop(tid: usize, rx: Receiver<Command>, done: SyncSender<RoundResult>) {
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Command::Run(body) => {
-                let result = std::panic::catch_unwind(AssertUnwindSafe(|| body(tid)))
-                    .map_err(|payload| (tid, payload));
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| body(tid)));
                 // The caller counts acknowledgements; it cannot have dropped
                 // the receiver mid-round, but a panic on the caller side
                 // after the round is none of our business — ignore failures.
-                let _ = done.send(result);
+                let _ = done.send((tid, outcome));
             }
             Command::Shutdown => break,
         }
@@ -329,7 +461,9 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervisor::{CancelToken, PoolHealth, Supervision};
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn all_threads_run_with_distinct_ids() {
@@ -495,5 +629,143 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicked_worker_is_respawned_and_counted() {
+        let mut pool = WorkerPool::new(3);
+        let health = pool.health_state();
+        assert_eq!(health.health(), PoolHealth::Healthy);
+        let res = pool.try_run(&|tid| {
+            if tid == 0 {
+                panic!("die once");
+            }
+        });
+        assert!(res.is_err());
+        assert_eq!(health.failures(), 1);
+        assert_eq!(health.respawns(), 1);
+        assert_eq!(health.health(), PoolHealth::Degraded);
+
+        // The replacement worker serves subsequent rounds (all ids present).
+        let mask = AtomicUsize::new(0);
+        pool.run(&|tid| {
+            mask.fetch_or(1 << tid, Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), 0b111);
+
+        // Enough clean rounds heal the pool.
+        for _ in 0..HealthState::RECOVERY_STREAK {
+            pool.run(&|_| {});
+        }
+        assert_eq!(health.health(), PoolHealth::Healthy);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_at_the_next_checkpoint() {
+        let mut pool = WorkerPool::new(2);
+        let cancel = CancelToken::new();
+        pool.supervision_cell()
+            .install(Supervision::with_cancel(cancel.clone()));
+        cancel.cancel();
+        let ran = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        let payload = res.unwrap_err();
+        let interrupt = payload
+            .downcast_ref::<Interrupt>()
+            .unwrap_or_else(|| panic!("payload must be an Interrupt"));
+        assert_eq!(*interrupt, Interrupt::Cancelled);
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no worker was dispatched");
+
+        // Clearing supervision restores normal service on the same pool.
+        pool.supervision_cell().clear();
+        pool.run(&|_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_before_dispatch() {
+        let mut pool = WorkerPool::new(2);
+        pool.supervision_cell()
+            .install(Supervision::deadline_within(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|_| {});
+        }));
+        let payload = res.unwrap_err();
+        let interrupt = payload
+            .downcast_ref::<Interrupt>()
+            .unwrap_or_else(|| panic!("payload must be an Interrupt"));
+        assert_eq!(*interrupt, Interrupt::DeadlineExceeded { wedged: false });
+        pool.supervision_cell().clear();
+    }
+
+    #[test]
+    fn watchdog_marks_pool_wedged_drains_and_respawns() {
+        let mut pool = WorkerPool::new(3);
+        let health = pool.health_state();
+        pool.supervision_cell()
+            .install(Supervision::deadline_within(Duration::from_millis(40)));
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|tid| {
+                if tid == 1 {
+                    // Sleeps well past the deadline: the watchdog must fire
+                    // at ~40ms, not wait the full sleep before reporting.
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            });
+        }));
+        let payload = res.unwrap_err();
+        let interrupt = payload
+            .downcast_ref::<Interrupt>()
+            .unwrap_or_else(|| panic!("payload must be an Interrupt"));
+        assert_eq!(*interrupt, Interrupt::DeadlineExceeded { wedged: true });
+        assert_eq!(health.wedges(), 1);
+        assert!(health.respawns() >= 1, "tardy worker must be respawned");
+        // The drain completed and the wedge auto-downgraded.
+        assert_eq!(health.health(), PoolHealth::Degraded);
+
+        // The pool serves again immediately (supervision cleared).
+        pool.supervision_cell().clear();
+        let mask = AtomicUsize::new(0);
+        pool.run(&|tid| {
+            mask.fetch_or(1 << tid, Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), 0b111);
+    }
+
+    #[test]
+    fn fused_cancellation_lands_between_rounds() {
+        let mut pool = WorkerPool::new(2);
+        let cancel = CancelToken::new();
+        pool.supervision_cell()
+            .install(Supervision::with_cancel(cancel.clone()));
+        cancel.cancel_after_checkpoints(1);
+        let rounds = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            // First round passes its checkpoint; the second trips.
+            pool.run(&|tid| {
+                if tid == 0 {
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            pool.run(&|tid| {
+                if tid == 0 {
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }));
+        assert!(res.is_err());
+        assert_eq!(
+            rounds.load(Ordering::Relaxed),
+            1,
+            "exactly one round ran before the fuse tripped"
+        );
+        pool.supervision_cell().clear();
     }
 }

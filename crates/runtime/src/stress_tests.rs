@@ -71,13 +71,16 @@ fn pools_of_every_size_up_to_16() {
 }
 
 #[test]
-fn double_fault_rounds_leave_pool_usable_without_respawn() {
+fn double_fault_rounds_respawn_only_the_panicked_workers() {
     // Two *consecutive* panicked rounds — the second fault hits while the
-    // pool is freshly recovered from the first — must not wedge any worker,
-    // leak a stale panic payload, or force a pool re-creation.
+    // pool is freshly recovered from the first — must not wedge any worker
+    // or leak a stale panic payload. The supervisor respawns exactly the
+    // workers that died (fresh OS threads for their tids), keeps the
+    // survivors on their original threads, and never re-creates the pool.
     let plan = crate::fault::FaultPlan::new();
     let mut pool = WorkerPool::new(4);
     pool.set_fault_plan(std::sync::Arc::clone(&plan));
+    let health = pool.health_state();
 
     let ids_of_round = |pool: &mut WorkerPool| {
         let ids = std::sync::Mutex::new(vec![None; 4]);
@@ -98,11 +101,16 @@ fn double_fault_rounds_leave_pool_usable_without_respawn() {
     let p1 = pool.try_run(&|_| {}).unwrap_err();
     assert_eq!(p1.tid(), 3);
     assert_eq!(plan.fired(), 2);
+    assert_eq!(health.failures(), 2);
+    assert_eq!(health.respawns(), 2);
 
-    // A clean round runs on *the same four OS threads* as before the
-    // faults: recovery reused the workers, it did not respawn anything.
+    // A clean round still runs on all four tids: the panicked workers were
+    // replaced with fresh threads, the clean ones kept their OS threads.
     let ids_after = ids_of_round(&mut pool);
-    assert_eq!(ids_before, ids_after, "workers were respawned");
+    assert_ne!(ids_before[0], ids_after[0], "worker 0 must be respawned");
+    assert_ne!(ids_before[3], ids_after[3], "worker 3 must be respawned");
+    assert_eq!(ids_before[1], ids_after[1], "worker 1 kept its thread");
+    assert_eq!(ids_before[2], ids_after[2], "worker 2 kept its thread");
     assert_eq!(
         WorkerPool::pools_created(),
         created_before,

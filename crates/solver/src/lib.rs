@@ -14,8 +14,10 @@
 pub mod block_cg;
 pub mod cg;
 pub mod pcg;
+pub mod resilient;
 pub mod vecops;
 
 pub use block_cg::{block_cg, BlockSolveOutcome, LaneOutcome};
 pub use cg::{cg, CgConfig, CgResult, SolveOutcome, SolveStatus};
 pub use pcg::{diagonal_of, pcg_jacobi};
+pub use resilient::{resilient_block_cg, resilient_cg, resilient_pcg_jacobi, ServedSolve};

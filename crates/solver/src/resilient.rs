@@ -1,0 +1,775 @@
+//! Resilient solver entry points: bounded retry and degraded-mode serial
+//! reruns for [`cg`](crate::cg::cg), [`pcg_jacobi`](crate::pcg::pcg_jacobi)
+//! and [`block_cg`](crate::block_cg::block_cg).
+//!
+//! The plain solvers call the *panicking* kernel path (`spmv`/`spmm`) and
+//! the pool-backed vector operations, so a worker death or a supervision
+//! interrupt unwinds out of the whole solve. The wrappers here catch that
+//! unwind, classify it with [`classify_unwind`] (the same taxonomy as
+//! `try_spmv`), and then apply the resilience ladder of DESIGN.md §16:
+//!
+//! 1. **Retry** — the initial guess is restored and the solve is re-run
+//!    under the caller's [`RetryPolicy`] (transient failures only: a
+//!    worker panic, whose worker the supervisor has already respawned).
+//! 2. **Degrade** — when the policy is exhausted, the pool is Wedged, or
+//!    a deadline overran, the solve is re-run *serially* on the
+//!    [`FallbackKernel`]: serial SpMV and serial vector loops, touching
+//!    neither the worker pool nor the arena, so it completes even while a
+//!    wedged round is draining.
+//! 3. **Report** — cancellation and numerical breakdowns are never
+//!    retried or degraded: cancellation returns the typed error (with the
+//!    caller's `x` restored to the initial guess), and breakdowns come
+//!    back as a normal [`SolveOutcome`] / per-lane status, exactly as the
+//!    plain solvers report them.
+//!
+//! The serial rerun re-associates the vector reductions (a serial sum
+//! instead of the pool's per-thread partials), so its iterates are not
+//! bit-identical to the parallel solve — it is a fresh, well-formed CG on
+//! the same operator, and the tests bound both solutions against the same
+//! reference.
+
+use crate::block_cg::{block_cg, BlockSolveOutcome, LaneOutcome};
+use crate::cg::{cg, CgConfig, SolveOutcome, SolveStatus, DIVERGENCE_GROWTH};
+use crate::pcg::pcg_jacobi;
+use std::sync::Arc;
+use std::time::Duration;
+use symspmv_core::{
+    classify_unwind, fallback_worthy, FallbackKernel, ParallelSpmm, ParallelSpmv, RetryPolicy,
+    Served, SymSpmvError, VectorBlock,
+};
+use symspmv_runtime::timing::Stopwatch;
+use symspmv_runtime::{ExecutionContext, PhaseTimes, PoolHealth, Supervision};
+use symspmv_sparse::Val;
+
+/// A solve outcome annotated with *how* it was produced: by the parallel
+/// kernel (possibly after retries) or by the degraded-mode serial rerun.
+#[derive(Debug, Clone)]
+pub struct ServedSolve<O> {
+    /// The solve outcome (per-solver type).
+    pub outcome: O,
+    /// How the solve was served.
+    pub served: Served,
+}
+
+impl<O> ServedSolve<O> {
+    /// `true` when the solve was served by the serial fallback.
+    pub fn is_fallback(&self) -> bool {
+        self.served.is_fallback()
+    }
+}
+
+/// Runs one solve attempt under `catch_unwind`, classifying a worker
+/// panic or supervision interrupt into its typed error (caller-thread
+/// panics resume unwinding).
+fn attempt<T>(ctx: &ExecutionContext, f: impl FnOnce() -> T) -> Result<T, SymSpmvError> {
+    // Clear any stale record so a pre-existing panic from an unrelated
+    // kernel on the same context is not misattributed to this solve.
+    let _ = ctx.take_last_panic();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => Err(classify_unwind(ctx, payload)),
+    }
+}
+
+/// Solves `A·x = b` with CG resiliently: retried per `policy` on worker
+/// death, re-run serially on `fallback` when the parallel path is lost.
+///
+/// `sup` (deadline and/or cancellation token) is installed on the
+/// kernel's context for the parallel attempts and cleared before the
+/// degraded rerun — a deadline that already killed the parallel solve
+/// must not also kill the serial one, since late serving is the point.
+///
+/// On `Err` (cancellation, or a non-pool error), `x` is restored to the
+/// initial guess. Numerical breakdowns are *not* errors here: they come
+/// back as `Ok` with a breakdown [`SolveStatus`], exactly like
+/// [`cg`], and are never retried (they would reproduce identically).
+pub fn resilient_cg<K: ParallelSpmv + ?Sized>(
+    kernel: &mut K,
+    fallback: &mut FallbackKernel,
+    b: &[Val],
+    x: &mut [Val],
+    config: &CgConfig,
+    policy: &RetryPolicy,
+    sup: Option<Supervision>,
+) -> Result<ServedSolve<SolveOutcome>, SymSpmvError> {
+    assert_eq!(
+        kernel.n(),
+        ParallelSpmv::n(fallback),
+        "fallback must represent the same matrix as the kernel"
+    );
+    let ctx = Arc::clone(kernel.context());
+    let x0 = x.to_vec();
+    if ctx.health() == PoolHealth::Wedged {
+        return Ok(serve_fallback_scalar(
+            fallback,
+            None,
+            b,
+            x,
+            &x0,
+            config,
+            SymSpmvError::PoolWedged,
+        ));
+    }
+    let result = {
+        let _guard = sup.map(|s| ctx.supervise(s));
+        policy.run(|_| {
+            x.copy_from_slice(&x0);
+            attempt(&ctx, || cg(kernel, b, x, config))
+        })
+    };
+    match result {
+        Ok((outcome, attempts)) => Ok(ServedSolve {
+            outcome,
+            served: Served::Parallel { attempts },
+        }),
+        Err(e) if fallback_worthy(&e) => {
+            Ok(serve_fallback_scalar(fallback, None, b, x, &x0, config, e))
+        }
+        Err(e) => {
+            x.copy_from_slice(&x0);
+            Err(e)
+        }
+    }
+}
+
+/// Solves `A·x = b` with Jacobi-preconditioned CG resiliently; `diag`
+/// must be the (positive) diagonal of `A`. Semantics are identical to
+/// [`resilient_cg`]; the degraded rerun applies the same preconditioner
+/// serially.
+// One over the clippy arity limit: this mirrors pcg_jacobi's five solve
+// parameters plus the two resilience knobs shared by every wrapper here.
+#[allow(clippy::too_many_arguments)]
+pub fn resilient_pcg_jacobi<K: ParallelSpmv + ?Sized>(
+    kernel: &mut K,
+    fallback: &mut FallbackKernel,
+    diag: &[Val],
+    b: &[Val],
+    x: &mut [Val],
+    config: &CgConfig,
+    policy: &RetryPolicy,
+    sup: Option<Supervision>,
+) -> Result<ServedSolve<SolveOutcome>, SymSpmvError> {
+    assert_eq!(
+        kernel.n(),
+        ParallelSpmv::n(fallback),
+        "fallback must represent the same matrix as the kernel"
+    );
+    assert!(
+        diag.iter().all(|&d| d > 0.0),
+        "Jacobi needs a positive diagonal"
+    );
+    let inv_diag: Vec<Val> = diag.iter().map(|d| 1.0 / d).collect();
+    let ctx = Arc::clone(kernel.context());
+    let x0 = x.to_vec();
+    if ctx.health() == PoolHealth::Wedged {
+        return Ok(serve_fallback_scalar(
+            fallback,
+            Some(&inv_diag),
+            b,
+            x,
+            &x0,
+            config,
+            SymSpmvError::PoolWedged,
+        ));
+    }
+    let result = {
+        let _guard = sup.map(|s| ctx.supervise(s));
+        policy.run(|_| {
+            x.copy_from_slice(&x0);
+            attempt(&ctx, || pcg_jacobi(kernel, diag, b, x, config))
+        })
+    };
+    match result {
+        Ok((outcome, attempts)) => Ok(ServedSolve {
+            outcome,
+            served: Served::Parallel { attempts },
+        }),
+        Err(e) if fallback_worthy(&e) => Ok(serve_fallback_scalar(
+            fallback,
+            Some(&inv_diag),
+            b,
+            x,
+            &x0,
+            config,
+            e,
+        )),
+        Err(e) => {
+            x.copy_from_slice(&x0);
+            Err(e)
+        }
+    }
+}
+
+/// Solves the `k` systems `A·x_j = b_j` with block CG resiliently.
+/// Semantics are identical to [`resilient_cg`]; the degraded rerun
+/// solves the lanes one at a time with the serial scalar CG.
+pub fn resilient_block_cg<K: ParallelSpmm + ParallelSpmv + ?Sized>(
+    kernel: &mut K,
+    fallback: &mut FallbackKernel,
+    b: &VectorBlock,
+    x: &mut VectorBlock,
+    config: &CgConfig,
+    policy: &RetryPolicy,
+    sup: Option<Supervision>,
+) -> Result<ServedSolve<BlockSolveOutcome>, SymSpmvError> {
+    assert_eq!(
+        kernel.n(),
+        ParallelSpmv::n(fallback),
+        "fallback must represent the same matrix as the kernel"
+    );
+    let ctx = Arc::clone(kernel.spmm_context());
+    let x0 = x.as_slice().to_vec();
+    if ctx.health() == PoolHealth::Wedged {
+        return Ok(serve_fallback_block(
+            fallback,
+            b,
+            x,
+            &x0,
+            config,
+            SymSpmvError::PoolWedged,
+        ));
+    }
+    let result = {
+        let _guard = sup.map(|s| ctx.supervise(s));
+        policy.run(|_| {
+            x.as_mut_slice().copy_from_slice(&x0);
+            attempt(&ctx, || block_cg(kernel, b, x, config))
+        })
+    };
+    match result {
+        Ok((outcome, attempts)) => Ok(ServedSolve {
+            outcome,
+            served: Served::Parallel { attempts },
+        }),
+        Err(e) if fallback_worthy(&e) => Ok(serve_fallback_block(fallback, b, x, &x0, config, e)),
+        Err(e) => {
+            x.as_mut_slice().copy_from_slice(&x0);
+            Err(e)
+        }
+    }
+}
+
+fn serve_fallback_scalar(
+    fallback: &mut FallbackKernel,
+    inv_diag: Option<&[Val]>,
+    b: &[Val],
+    x: &mut [Val],
+    x0: &[Val],
+    config: &CgConfig,
+    cause: SymSpmvError,
+) -> ServedSolve<SolveOutcome> {
+    x.copy_from_slice(x0);
+    let outcome = serial_solve(fallback, inv_diag, b, x, config);
+    fallback.context().ledger_add(&outcome.times);
+    ServedSolve {
+        outcome,
+        served: Served::Fallback { cause },
+    }
+}
+
+fn serve_fallback_block(
+    fallback: &mut FallbackKernel,
+    b: &VectorBlock,
+    x: &mut VectorBlock,
+    x0: &[Val],
+    config: &CgConfig,
+    cause: SymSpmvError,
+) -> ServedSolve<BlockSolveOutcome> {
+    x.as_mut_slice().copy_from_slice(x0);
+    let n = b.n();
+    let lanes = b.lanes();
+    let mut total = PhaseTimes::new();
+    let mut outcomes = Vec::with_capacity(lanes);
+    let mut iterations = 0;
+    let mut bj = vec![0.0; n];
+    let mut xj = vec![0.0; n];
+    for j in 0..lanes {
+        b.copy_lane_into(j, &mut bj);
+        x.copy_lane_into(j, &mut xj);
+        let out = serial_solve(fallback, None, &bj, &mut xj, config);
+        x.copy_lane_from(j, &xj);
+        iterations = iterations.max(out.iterations);
+        total.multiply += out.times.multiply;
+        total.vector_ops += out.times.vector_ops;
+        outcomes.push(LaneOutcome {
+            iterations: out.iterations,
+            converged: out.converged,
+            status: out.status,
+            residual_norm: out.residual_norm,
+            history: out.history,
+        });
+    }
+    total.preprocess = fallback.times().preprocess;
+    fallback.context().ledger_add(&total);
+    ServedSolve {
+        outcome: BlockSolveOutcome {
+            lanes: outcomes,
+            iterations,
+            times: total,
+        },
+        served: Served::Fallback { cause },
+    }
+}
+
+fn serial_dot(a: &[Val], b: &[Val]) -> Val {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// The degraded-mode solve: plain (optionally Jacobi-preconditioned) CG
+/// with serial vector loops and the fallback's serial SpMV. No pool, no
+/// arena — plain allocations, so it shares nothing with the machinery
+/// that just failed. Breakdown detection (NotSpd, divergence, non-finite)
+/// matches the parallel solvers exactly.
+fn serial_solve(
+    fallback: &mut FallbackKernel,
+    inv_diag: Option<&[Val]>,
+    b: &[Val],
+    x: &mut [Val],
+    config: &CgConfig,
+) -> SolveOutcome {
+    let n = ParallelSpmv::n(fallback);
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+
+    let preexisting = fallback.times();
+    let mut vec_time = Duration::ZERO;
+
+    let mut r = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+    fallback.spmv(x, &mut r);
+    let sw = Stopwatch::start();
+    for (ri, &bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+    apply_precond(inv_diag, &r, &mut z);
+    p.copy_from_slice(&z);
+
+    let b_norm_sq = serial_dot(b, b);
+    let tol_sq = config.rel_tol * config.rel_tol * b_norm_sq;
+    let mut rz = serial_dot(&r, &z);
+    let mut r_norm_sq = serial_dot(&r, &r);
+    let mut history = Vec::new();
+    if config.record_history {
+        history.push(r_norm_sq.sqrt());
+    }
+    vec_time += sw.elapsed();
+
+    let rs_initial = r_norm_sq;
+    let mut iterations = 0;
+    let mut converged = config.rel_tol > 0.0 && r_norm_sq <= tol_sq;
+    let mut breakdown: Option<SolveStatus> = None;
+    while iterations < config.max_iters && !converged && breakdown.is_none() {
+        fallback.spmv(&p, &mut ap);
+        let sw = Stopwatch::start();
+        let pap = serial_dot(&p, &ap);
+        if !pap.is_finite() {
+            breakdown = Some(SolveStatus::NonFiniteResidual);
+        } else if pap <= 0.0 && r_norm_sq > 0.0 {
+            breakdown = Some(SolveStatus::NotSpd { pap });
+        } else {
+            let alpha = if pap != 0.0 { rz / pap } else { 0.0 };
+            for (xi, &pi) in x.iter_mut().zip(&p) {
+                *xi += alpha * pi;
+            }
+            for (ri, &api) in r.iter_mut().zip(&ap) {
+                *ri -= alpha * api;
+            }
+            apply_precond(inv_diag, &r, &mut z);
+            let rz_new = serial_dot(&r, &z);
+            let beta = if rz != 0.0 { rz_new / rz } else { 0.0 };
+            for (pi, &zi) in p.iter_mut().zip(&z) {
+                *pi = zi + beta * *pi;
+            }
+            rz = rz_new;
+            r_norm_sq = serial_dot(&r, &r);
+            if !r_norm_sq.is_finite() {
+                breakdown = Some(SolveStatus::NonFiniteResidual);
+            } else if rs_initial > 0.0
+                && r_norm_sq > DIVERGENCE_GROWTH * DIVERGENCE_GROWTH * rs_initial
+            {
+                breakdown = Some(SolveStatus::Diverged {
+                    growth: (r_norm_sq / rs_initial).sqrt(),
+                });
+            }
+        }
+        vec_time += sw.elapsed();
+        if breakdown.is_some() {
+            break;
+        }
+        if config.record_history {
+            history.push(r_norm_sq.sqrt());
+        }
+        iterations += 1;
+        if config.rel_tol > 0.0 && r_norm_sq <= tol_sq {
+            converged = true;
+        }
+    }
+
+    let after = fallback.times();
+    let times = PhaseTimes {
+        multiply: after.multiply - preexisting.multiply,
+        reduce: Duration::ZERO,
+        vector_ops: vec_time,
+        preprocess: preexisting.preprocess,
+    };
+    let status = breakdown.unwrap_or(if converged {
+        SolveStatus::Converged
+    } else {
+        SolveStatus::MaxIterations
+    });
+    SolveOutcome {
+        iterations,
+        converged,
+        status,
+        residual_norm: r_norm_sq.sqrt(),
+        times,
+        history,
+    }
+}
+
+/// `z = M⁻¹·r` (Jacobi) or `z = r` when unpreconditioned.
+fn apply_precond(inv_diag: Option<&[Val]>, r: &[Val], z: &mut [Val]) {
+    match inv_diag {
+        Some(inv) => {
+            for ((zi, &ri), &di) in z.iter_mut().zip(r).zip(inv) {
+                *zi = ri * di;
+            }
+        }
+        None => z.copy_from_slice(r),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcg::diagonal_of;
+    use std::borrow::Cow;
+    use symspmv_core::{CsrParallel, ReductionMethod, SymFormat, SymSpmv};
+    use symspmv_runtime::{CancelToken, ExecutionContext};
+    use symspmv_sparse::dense::seeded_vector;
+    use symspmv_sparse::{CooMatrix, SymmetryKind};
+
+    /// Wraps a kernel and kills a worker on the first `remaining` spmv (or
+    /// spmm) calls — the panic surfaces exactly like a genuine worker
+    /// death: recorded on the context, worker respawned by the pool.
+    struct Flaky<K> {
+        inner: K,
+        remaining: usize,
+    }
+
+    impl<K: ParallelSpmv> Flaky<K> {
+        fn trip(&mut self) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                self.inner.context().run(&|tid| {
+                    if tid == 0 {
+                        panic!("injected worker fault");
+                    }
+                });
+            }
+        }
+    }
+
+    impl<K: ParallelSpmv> ParallelSpmv for Flaky<K> {
+        fn spmv(&mut self, x: &[Val], y: &mut [Val]) {
+            self.trip();
+            self.inner.spmv(x, y);
+        }
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn nnz_full(&self) -> usize {
+            self.inner.nnz_full()
+        }
+        fn size_bytes(&self) -> usize {
+            self.inner.size_bytes()
+        }
+        fn times(&self) -> symspmv_runtime::PhaseTimes {
+            self.inner.times()
+        }
+        fn reset_times(&mut self) {
+            self.inner.reset_times();
+        }
+        fn name(&self) -> Cow<'static, str> {
+            Cow::Borrowed("flaky")
+        }
+        fn context(&self) -> &Arc<ExecutionContext> {
+            self.inner.context()
+        }
+    }
+
+    impl<K: ParallelSpmv + ParallelSpmm> ParallelSpmm for Flaky<K> {
+        fn spmm(&mut self, x: &VectorBlock, y: &mut VectorBlock) {
+            self.trip();
+            self.inner.spmm(x, y);
+        }
+        fn spmm_context(&self) -> &Arc<ExecutionContext> {
+            self.inner.spmm_context()
+        }
+    }
+
+    fn fast_policy(attempts: usize) -> RetryPolicy {
+        RetryPolicy::new(attempts).with_backoff(Duration::from_micros(1), Duration::from_micros(5))
+    }
+
+    fn setup(p: usize) -> (CooMatrix, Arc<ExecutionContext>, FallbackKernel) {
+        let coo = symspmv_sparse::gen::banded_random(300, 12, 7.0, 17);
+        let ctx = ExecutionContext::new(p);
+        let fb = FallbackKernel::from_coo_kind(&coo, SymmetryKind::Symmetric, Arc::clone(&ctx))
+            .expect("seed matrix is symmetric");
+        (coo, ctx, fb)
+    }
+
+    #[test]
+    fn clean_solve_is_served_parallel_and_matches_plain_cg() {
+        let (coo, ctx, mut fb) = setup(3);
+        let n = 300;
+        let b = seeded_vector(n, 5);
+        let cfg = CgConfig::default();
+
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let mut x_plain = vec![0.0; n];
+        let plain = cg(&mut k, &b, &mut x_plain, &cfg);
+        assert!(plain.converged);
+
+        let mut x = vec![0.0; n];
+        let served = resilient_cg(&mut k, &mut fb, &b, &mut x, &cfg, &fast_policy(3), None)
+            .expect("clean solve");
+        assert_eq!(served.served, Served::Parallel { attempts: 1 });
+        assert!(!served.is_fallback());
+        assert_eq!(served.outcome.iterations, plain.iterations);
+        for (a, bb) in x.iter().zip(&x_plain) {
+            assert_eq!(a.to_bits(), bb.to_bits(), "deterministic rerun");
+        }
+    }
+
+    #[test]
+    fn transient_worker_deaths_are_retried_to_success() {
+        let (coo, ctx, mut fb) = setup(4);
+        let n = 300;
+        let b = seeded_vector(n, 9);
+        let cfg = CgConfig::default();
+
+        let mut x_ref = vec![0.0; n];
+        let mut kr = CsrParallel::from_coo(&coo, &ctx);
+        assert!(cg(&mut kr, &b, &mut x_ref, &cfg).converged);
+
+        // The first two attempts die on their very first SpMV; the third
+        // runs clean from the restored initial guess.
+        let mut k = Flaky {
+            inner: CsrParallel::from_coo(&coo, &ctx),
+            remaining: 2,
+        };
+        let mut x = vec![0.0; n];
+        let served = resilient_cg(&mut k, &mut fb, &b, &mut x, &cfg, &fast_policy(3), None)
+            .expect("third attempt succeeds");
+        assert_eq!(served.served, Served::Parallel { attempts: 3 });
+        assert!(served.outcome.converged);
+        assert_eq!(ctx.pool_respawns(), 2, "each death respawned its worker");
+        for (a, bb) in x.iter().zip(&x_ref) {
+            assert!((a - bb).abs() < 1e-6, "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_the_serial_fallback() {
+        let (coo, ctx, mut fb) = setup(2);
+        let n = 300;
+        let b = seeded_vector(n, 2);
+        let cfg = CgConfig::default();
+
+        let mut x_ref = vec![0.0; n];
+        let mut kr = CsrParallel::from_coo(&coo, &ctx);
+        assert!(cg(&mut kr, &b, &mut x_ref, &cfg).converged);
+
+        let mut k = Flaky {
+            inner: CsrParallel::from_coo(&coo, &ctx),
+            remaining: usize::MAX,
+        };
+        let mut x = vec![0.0; n];
+        let served = resilient_cg(&mut k, &mut fb, &b, &mut x, &cfg, &fast_policy(2), None)
+            .expect("fallback keeps the request available");
+        match &served.served {
+            Served::Fallback {
+                cause: SymSpmvError::RetriesExhausted { attempts, .. },
+            } => assert_eq!(*attempts, 2),
+            other => panic!("expected exhausted-retries fallback, got {other:?}"),
+        }
+        assert!(served.outcome.converged, "{:?}", served.outcome.status);
+        for (a, bb) in x.iter().zip(&x_ref) {
+            assert!((a - bb).abs() < 1e-6, "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_the_serial_fallback() {
+        let (coo, ctx, mut fb) = setup(2);
+        let n = 300;
+        let b = seeded_vector(n, 3);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let mut x = vec![0.0; n];
+        let served = resilient_cg(
+            &mut k,
+            &mut fb,
+            &b,
+            &mut x,
+            &CgConfig::default(),
+            &fast_policy(3),
+            Some(Supervision::deadline_within(Duration::ZERO)),
+        )
+        .expect("late serving preserves availability");
+        assert!(matches!(
+            served.served,
+            Served::Fallback {
+                cause: SymSpmvError::DeadlineExceeded { .. }
+            }
+        ));
+        assert!(served.outcome.converged);
+    }
+
+    #[test]
+    fn cancellation_returns_the_typed_error_and_restores_x() {
+        let (coo, ctx, mut fb) = setup(2);
+        let n = 300;
+        let b = seeded_vector(n, 4);
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let token = CancelToken::new();
+        token.cancel();
+        let x0 = seeded_vector(n, 77);
+        let mut x = x0.clone();
+        let err = resilient_cg(
+            &mut k,
+            &mut fb,
+            &b,
+            &mut x,
+            &CgConfig::default(),
+            &fast_policy(3),
+            Some(Supervision::with_cancel(token)),
+        )
+        .unwrap_err();
+        assert_eq!(err, SymSpmvError::Cancelled);
+        assert_eq!(x, x0, "initial guess restored on error return");
+        // The supervision guard cleared on the error path: a plain solve
+        // on the same context runs to completion.
+        let mut x2 = vec![0.0; n];
+        assert!(cg(&mut k, &b, &mut x2, &CgConfig::default()).converged);
+    }
+
+    #[test]
+    fn numerical_breakdown_passes_through_without_retry_or_fallback() {
+        let base = symspmv_sparse::gen::laplacian_2d(8, 8);
+        let mut coo = CooMatrix::new(64, 64);
+        for (r, c, v) in base.iter() {
+            coo.push(r, c, -v);
+        }
+        coo.canonicalize();
+        let ctx = ExecutionContext::new(2);
+        let mut fb = FallbackKernel::from_coo_kind(&coo, SymmetryKind::Symmetric, Arc::clone(&ctx))
+            .expect("symmetric");
+        let mut k = CsrParallel::from_coo(&coo, &ctx);
+        let b = seeded_vector(64, 4);
+        let mut x = vec![0.0; 64];
+        let served = resilient_cg(
+            &mut k,
+            &mut fb,
+            &b,
+            &mut x,
+            &CgConfig::default(),
+            &fast_policy(5),
+            None,
+        )
+        .expect("breakdown is a report, not an error");
+        assert_eq!(served.served, Served::Parallel { attempts: 1 });
+        assert!(served.outcome.status.is_breakdown());
+        assert!(matches!(served.outcome.status, SolveStatus::NotSpd { .. }));
+    }
+
+    #[test]
+    fn pcg_variant_retries_and_falls_back_with_the_preconditioner() {
+        let (coo, ctx, mut fb) = setup(2);
+        let n = 300;
+        let b = seeded_vector(n, 6);
+        let diag = diagonal_of(&coo);
+        let cfg = CgConfig::default();
+
+        let mut x_ref = vec![0.0; n];
+        let mut kr = CsrParallel::from_coo(&coo, &ctx);
+        assert!(pcg_jacobi(&mut kr, &diag, &b, &mut x_ref, &cfg).converged);
+
+        // Clean path.
+        let mut x = vec![0.0; n];
+        let served = resilient_pcg_jacobi(
+            &mut kr,
+            &mut fb,
+            &diag,
+            &b,
+            &mut x,
+            &cfg,
+            &fast_policy(3),
+            None,
+        )
+        .expect("clean pcg");
+        assert_eq!(served.served, Served::Parallel { attempts: 1 });
+
+        // Permanently flaky → serial preconditioned rerun.
+        let mut k = Flaky {
+            inner: CsrParallel::from_coo(&coo, &ctx),
+            remaining: usize::MAX,
+        };
+        let mut x = vec![0.0; n];
+        let served = resilient_pcg_jacobi(
+            &mut k,
+            &mut fb,
+            &diag,
+            &b,
+            &mut x,
+            &cfg,
+            &fast_policy(2),
+            None,
+        )
+        .expect("fallback");
+        assert!(served.is_fallback());
+        assert!(served.outcome.converged);
+        for (a, bb) in x.iter().zip(&x_ref) {
+            assert!((a - bb).abs() < 1e-6, "{a} vs {bb}");
+        }
+    }
+
+    #[test]
+    fn block_variant_serves_every_lane_from_the_fallback() {
+        let (coo, ctx, mut fb) = setup(3);
+        let n = 300;
+        let lanes = 4;
+        let b = VectorBlock::seeded(n, lanes, 30);
+        let cfg = CgConfig::default();
+
+        let mut inner = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss)
+            .expect("seed matrix builds");
+
+        // Clean path first.
+        let mut x = VectorBlock::zeros(n, lanes);
+        let served =
+            resilient_block_cg(&mut inner, &mut fb, &b, &mut x, &cfg, &fast_policy(3), None)
+                .expect("clean block solve");
+        assert_eq!(served.served, Served::Parallel { attempts: 1 });
+        assert!(served.outcome.all_converged());
+        let x_ref = x.as_slice().to_vec();
+
+        // Permanently flaky → per-lane serial reruns.
+        let mut k = Flaky {
+            inner,
+            remaining: usize::MAX,
+        };
+        let mut x = VectorBlock::zeros(n, lanes);
+        let served = resilient_block_cg(&mut k, &mut fb, &b, &mut x, &cfg, &fast_policy(2), None)
+            .expect("fallback");
+        assert!(served.is_fallback());
+        assert!(served.outcome.all_converged());
+        assert_eq!(served.outcome.lanes.len(), lanes);
+        for (a, bb) in x.as_slice().iter().zip(&x_ref) {
+            assert!((a - bb).abs() < 1e-6, "{a} vs {bb}");
+        }
+    }
+}

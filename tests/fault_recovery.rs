@@ -245,6 +245,123 @@ fn reduction_phase_panic_recovery_holds_per_kind() {
     }
 }
 
+/// The supervision satellite: a request cancelled *mid-run* — the token
+/// trips at the checkpoint between the multiply and the reduction — must
+/// come back as the typed [`SymSpmvError::Cancelled`], leave the arena
+/// all-free-zero, and the very same context must then serve a bit-identical
+/// SpMV. Swept over every thread count and every symmetry kind, because
+/// both the checkpoint cadence (reduction rounds exist only at `p > 1`)
+/// and the mirror rule vary across that product.
+#[test]
+fn cancelled_mid_reduction_returns_typed_error_and_context_recovers() {
+    use symspmv::runtime::{CancelToken, Supervision};
+    use symspmv::sparse::symmetry::SymmetryKind;
+
+    let cases = [
+        (SymmetryKind::Symmetric, test_matrix()),
+        (
+            SymmetryKind::Skew,
+            symspmv::sparse::gen::skew_convection(600, 25, 9.0, 23),
+        ),
+        (
+            SymmetryKind::Structural,
+            symspmv::sparse::gen::structural_random(600, 9.0, 0.5, 25, 23),
+        ),
+    ];
+    for (kind, coo) in &cases {
+        let n = coo.nrows() as usize;
+        let x = seeded_vector(n, 11);
+        for p in [1usize, 2, 3, 4, 8] {
+            let ctx = ExecutionContext::new(p);
+            let mut eng = SymSpmv::try_from_coo_kind(
+                coo,
+                *kind,
+                &ctx,
+                ReductionMethod::Indexing,
+                SymFormat::Sss,
+            )
+            .unwrap_or_else(|e| panic!("{kind:?}: valid matrix rejected: {e}"));
+
+            let mut y_warm = vec![0.0; n];
+            eng.try_spmv(&x, &mut y_warm).expect("warm-up spmv");
+
+            // At p > 1 a warm spmv polls two checkpoints (multiply, then
+            // reduction); tripping the token after one poll cancels exactly
+            // between the phases. At p = 1 there is no reduction round, so
+            // the very next checkpoint is the only mid-run point.
+            let token = CancelToken::new();
+            token.cancel_after_checkpoints(if p > 1 { 1 } else { 0 });
+            let mut y_doomed = vec![0.0; n];
+            let res = {
+                let _guard = ctx.supervise(Supervision::with_cancel(token.clone()));
+                eng.try_spmv(&x, &mut y_doomed)
+            };
+            match res {
+                Err(SymSpmvError::Cancelled) => {}
+                other => panic!("{kind:?} p={p}: expected Cancelled, got {other:?}"),
+            }
+            assert!(token.is_cancelled());
+            // The interrupt is not a worker death: nothing to misattribute,
+            // nothing left dirty in the arena.
+            assert_eq!(ctx.take_last_panic(), None, "{kind:?} p={p}");
+            assert!(
+                ctx.arena_all_free_zero(),
+                "{kind:?} p={p}: arena dirty after a cancelled run"
+            );
+
+            // The supervision guard is gone; the same engine on the same
+            // context must agree bit-for-bit with its pre-cancel answer.
+            let mut y_recovered = vec![0.0; n];
+            eng.try_spmv(&x, &mut y_recovered)
+                .unwrap_or_else(|e| panic!("{kind:?} p={p}: context not reusable: {e}"));
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&y_recovered),
+                bits(&y_warm),
+                "{kind:?} p={p}: recovered context diverges after cancellation"
+            );
+        }
+    }
+}
+
+/// A deadline that is already expired when the request starts must be
+/// detected at the first checkpoint — before any worker round runs — and
+/// surface as the typed `DeadlineExceeded` with `wedged: false` (no round
+/// overran; the budget was simply gone). The context stays serviceable.
+#[test]
+fn expired_deadline_interrupts_at_the_first_checkpoint() {
+    use std::time::Duration;
+    use symspmv::runtime::Supervision;
+
+    let coo = test_matrix();
+    let n = coo.nrows() as usize;
+    let x = seeded_vector(n, 11);
+    let ctx = ExecutionContext::new(4);
+    let mut eng = SymSpmv::try_from_coo(&coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss)
+        .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+
+    let mut y_warm = vec![0.0; n];
+    eng.try_spmv(&x, &mut y_warm).expect("warm-up spmv");
+
+    let mut y_doomed = vec![0.0; n];
+    let res = {
+        let _guard = ctx.supervise(Supervision::deadline_within(Duration::ZERO));
+        eng.try_spmv(&x, &mut y_doomed)
+    };
+    match res {
+        Err(SymSpmvError::DeadlineExceeded { wedged: false }) => {}
+        other => panic!("expected DeadlineExceeded {{ wedged: false }}, got {other:?}"),
+    }
+    assert_eq!(ctx.take_last_panic(), None);
+    assert!(ctx.arena_all_free_zero());
+
+    let mut y_recovered = vec![0.0; n];
+    eng.try_spmv(&x, &mut y_recovered)
+        .unwrap_or_else(|e| panic!("context not reusable after deadline: {e}"));
+    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&y_recovered), bits(&y_warm));
+}
+
 #[test]
 fn panic_in_one_kernel_does_not_poison_siblings_on_the_shared_context() {
     // Two kernels share one context; a worker death inside the first must
