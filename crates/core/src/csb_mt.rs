@@ -114,9 +114,13 @@ impl ParallelSpmv for CsbParallel {
 /// Atomically performs `slot += v` on an `f64` viewed as bits.
 #[inline]
 fn atomic_add_f64(slot: &AtomicU64, v: Val) {
+    // RELAXED(only the slot's own value is contended — the CAS retry loop
+    // makes the read-modify-write atomic per slot, and the round barrier
+    // publishes all slots before any cross-thread read)
     let mut cur = slot.load(Ordering::Relaxed);
     loop {
         let new = f64::from_bits(cur) + v;
+        // RELAXED(same per-slot argument as the load above)
         match slot.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(seen) => cur = seen,

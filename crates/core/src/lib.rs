@@ -61,7 +61,7 @@ pub use resilience::{fallback_worthy, FallbackKernel, Resilient, RetryPolicy, Se
 pub use sym::{ReductionMethod, SymFormat, SymSpmv};
 pub use sym_atomic::SssAtomicParallel;
 pub use sym_color::SssColorParallel;
-pub use traits::{classify_unwind, BlockKernel, ParallelSpmmExt, ParallelSpmv};
+pub use traits::{classify_unwind, BlockKernel, ParallelSpmmExt, ParallelSpmv, SymbolicDescribe};
 
 // Re-exported so block-kernel callers need only this crate in scope.
 pub use symspmv_runtime::ParallelSpmm;

@@ -22,7 +22,9 @@ use symspmv_runtime::{
     ReductionStrategy,
 };
 use symspmv_sparse::SssMatrix;
-use symspmv_verify::{certify_sym, RaceCertificate, SymPlanRef, SymStrategyKind};
+use symspmv_verify::{
+    certify_sym_symbolic, RaceCertificate, StructureFacts, SymPlanRef, SymStrategyKind,
+};
 
 /// The pseudo-strategy namespace under which the shared row partition is
 /// memoized: every strategy for the same (matrix, nthreads) pair reuses it.
@@ -101,12 +103,17 @@ impl CachedSymPlan {
                 p
             });
 
+        // The conflict analysis runs for every strategy now: the symbolic
+        // certifier consumes the per-thread conflict profile, and index-free
+        // strategies keep their empty entry/split shape while carrying the
+        // real profile.
+        let analysis = symbolic::analyze(sss, &parts);
         let index = if strategy.needs_index() {
-            symbolic::analyze(sss, &parts)
+            analysis
         } else {
             ConflictIndex {
                 entries: Vec::new(),
-                conflicts: vec![Vec::new(); nthreads],
+                conflicts: analysis.conflicts,
                 splits: vec![0; nthreads + 1],
                 effective_region_len: parts.iter().map(|r| r.start as usize).sum(),
             }
@@ -121,24 +128,39 @@ impl CachedSymPlan {
         } else {
             SymStrategyKind::EffectiveRanges
         };
-        let cert = match certify_sym(
-            sss,
-            &SymPlanRef {
-                parts: &parts,
-                offsets: &layout.offsets,
-                local_len: layout.flat_len,
-                strategy: kind,
-                entries: &index.entries,
-                splits: &index.splits,
-                row_chunks: &reduce_chunks,
-            },
-        ) {
+        let plan_ref = SymPlanRef {
+            parts: &parts,
+            offsets: &layout.offsets,
+            local_len: layout.flat_len,
+            strategy: kind,
+            entries: &index.entries,
+            splits: &index.splits,
+            row_chunks: &reduce_chunks,
+        };
+        let facts = StructureFacts::of(sss);
+        let cert = match certify_sym_symbolic(&facts, &plan_ref, &index.conflicts) {
             Ok(cert) => cert,
             // The plan was just derived from the structure by construction;
             // a certification failure here is a bug in the planner (or the
             // verifier), never a user-input condition.
             Err(e) => unreachable!("freshly derived plan failed race certification: {e}"),
         };
+        // Debug builds re-prove by exhaustive enumeration and demand the two
+        // certifiers agree bit-for-bit (modulo the recorded proof form).
+        #[cfg(debug_assertions)]
+        {
+            match symspmv_verify::certify_sym(sss, &plan_ref) {
+                Ok(enumerated) => {
+                    let mut normalized = cert.clone();
+                    normalized.proof = symspmv_verify::ProofForm::Enumerative;
+                    assert_eq!(
+                        normalized, enumerated,
+                        "symbolic and enumerative certificates diverge"
+                    );
+                }
+                Err(e) => unreachable!("enumerative re-certification failed: {e}"),
+            }
+        }
 
         CachedSymPlan {
             fingerprint,

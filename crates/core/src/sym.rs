@@ -1007,6 +1007,41 @@ impl ParallelSpmm for SymSpmv {
     }
 }
 
+impl crate::traits::SymbolicDescribe for SymSpmv {
+    fn structure_facts(&self) -> Option<symspmv_verify::StructureFacts> {
+        match &self.storage {
+            Storage::Sss(sss) | Storage::Hybrid { sss, .. } => {
+                Some(symspmv_verify::StructureFacts::of(sss))
+            }
+            // The pure stream encoding discards the row-wise SSS structure
+            // the facts are distilled from; its boundary rule is certified
+            // by the CSX checker instead.
+            Storage::CsxSym(_) => None,
+        }
+    }
+
+    fn recertify_symbolic(
+        &self,
+    ) -> Option<Result<symspmv_verify::RaceCertificate, symspmv_verify::VerifyError>> {
+        let facts = self.structure_facts()?;
+        let kind = symspmv_verify::SymStrategyKind::from_tag(&self.plan.cert.strategy)?;
+        let plan_ref = symspmv_verify::SymPlanRef {
+            parts: &self.plan.parts,
+            offsets: &self.plan.offsets,
+            local_len: self.plan.local_len,
+            strategy: kind,
+            entries: &self.plan.index.entries,
+            splits: &self.plan.index.splits,
+            row_chunks: &self.plan.reduce_chunks,
+        };
+        Some(symspmv_verify::certify_sym_symbolic(
+            &facts,
+            &plan_ref,
+            &self.plan.index.conflicts,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -351,6 +351,8 @@ impl ExecutionContext {
     /// collision between kernels, which the `strategy` namespace prevents).
     pub fn plan_cache_get(&self, key: &PlanKey) -> Option<Arc<dyn Any + Send + Sync>> {
         let found = lock_ignore_poison(&self.plans).get(key);
+        // RELAXED(hit/miss telemetry counters; no other memory depends on
+        // their values and exact interleaving does not matter)
         match &found {
             Some(_) => self.plan_hits.fetch_add(1, Ordering::Relaxed),
             None => self.plan_misses.fetch_add(1, Ordering::Relaxed),
@@ -388,11 +390,13 @@ impl ExecutionContext {
 
     /// Cache hits observed by [`ExecutionContext::plan_cache_get`].
     pub fn plan_cache_hits(&self) -> usize {
+        // RELAXED(telemetry read; approximate freshness is acceptable)
         self.plan_hits.load(Ordering::Relaxed)
     }
 
     /// Cache misses observed by [`ExecutionContext::plan_cache_get`].
     pub fn plan_cache_misses(&self) -> usize {
+        // RELAXED(telemetry read; approximate freshness is acceptable)
         self.plan_misses.load(Ordering::Relaxed)
     }
 
@@ -523,6 +527,7 @@ impl ExecutionContext {
     /// How many leases came back dirty on the normal return path (broken
     /// lease contracts, healed and counted rather than recycled).
     pub fn dirty_lease_returns(&self) -> usize {
+        // RELAXED(telemetry read; approximate freshness is acceptable)
         self.dirty_returns.load(Ordering::Relaxed)
     }
 
@@ -675,6 +680,8 @@ impl Drop for BufferLease<'_> {
                 }
             }
             if dirty {
+                // RELAXED(telemetry counter; the scrub itself is ordered by
+                // the arena mutex on reinsertion)
                 self.ctx.dirty_returns.fetch_add(1, Ordering::Relaxed);
                 debug_assert!(
                     injected,

@@ -24,6 +24,10 @@
 //!   injection: make a chosen worker panic or stall in a chosen round, or
 //!   corrupt a buffer on its way back to the arena, so recovery paths can
 //!   be exercised on purpose;
+//! * `modelcheck` *(tests / `model-check` feature)* — a bounded-
+//!   interleaving model checker that exhausts every schedule of the
+//!   supervision protocol on miniature scenarios, with DPOR-lite pruning
+//!   and seeded protocol mutants as a fidelity gauge;
 //! * `race` *(`race-detector` feature)* — a shadow-memory dynamic race
 //!   detector mirroring every `SharedBuf` write with (round, worker)
 //!   attribution, used to adversarially cross-validate the static race
@@ -36,6 +40,8 @@
 pub mod context;
 #[cfg(any(test, feature = "fault-injection"))]
 pub mod fault;
+#[cfg(any(test, feature = "model-check"))]
+pub mod modelcheck;
 pub mod partition;
 pub mod pool;
 #[cfg(feature = "race-detector")]

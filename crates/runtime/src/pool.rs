@@ -176,6 +176,8 @@ impl WorkerPool {
     /// Panics if `nthreads == 0`.
     pub fn new(nthreads: usize) -> Self {
         assert!(nthreads > 0, "a pool needs at least one worker");
+        // RELAXED(process-lifetime telemetry counter; no other memory
+        // depends on its value)
         POOLS_CREATED.fetch_add(1, Ordering::Relaxed);
         let (done_tx, done_rx) = sync_channel::<RoundResult>(nthreads);
         let mut cmd_txs = Vec::with_capacity(nthreads);
@@ -215,6 +217,8 @@ impl WorkerPool {
 
     /// How many pools have ever been constructed in this process.
     pub fn pools_created() -> usize {
+        // RELAXED(telemetry read of a monotonic counter; approximate
+        // freshness is acceptable)
         POOLS_CREATED.load(Ordering::Relaxed)
     }
 

@@ -211,6 +211,9 @@ impl SupervisionCell {
 
     /// A clone of the currently installed supervision, if any.
     pub fn snapshot(&self) -> Option<Supervision> {
+        // RELAXED(advisory fast path: a stale false only delays the
+        // checkpoint by one round; install/clear publish via SeqCst and the
+        // slot mutex is the real synchronization point)
         if !self.active.load(Ordering::Relaxed) {
             return None;
         }

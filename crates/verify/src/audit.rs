@@ -56,6 +56,12 @@ pub const KNOWN_INVARIANTS: &[(&str, &str)] = &[
          sets (RaceCertificate invariant)",
     ),
     (
+        "coloring-disjoint",
+        "symbolic certifier: cyclic-coloring spacing theorem — same-class \
+         rows are one stride apart, write windows reach at most the \
+         bandwidth back (ProofForm::ColoringDisjoint)",
+    ),
+    (
         "csx-boundary",
         "CSX-Sym checker: no encoded pattern straddles the local-vs-direct \
          column split (RaceCertificate invariant)",
@@ -156,7 +162,7 @@ impl AuditReport {
 /// (preserving newlines and `//`-comment text, which the annotation lookup
 /// needs) so the keyword scan never fires inside them. Line comments are
 /// *kept*; block comments, strings and chars are blanked.
-fn mask_source(src: &str) -> String {
+pub(crate) fn mask_source(src: &str) -> String {
     let b = src.as_bytes();
     let mut out = Vec::with_capacity(b.len());
     let mut i = 0;

@@ -1,14 +1,28 @@
-//! Workspace unsafe-audit binary: `cargo run -p symspmv-verify --bin audit`.
+//! Workspace static-analysis binary: `cargo run -p symspmv-verify --bin audit`.
 //!
-//! Walks every `.rs` file from the workspace root, prints each `unsafe`
-//! site with its certificate invariant, and exits non-zero if any site is
-//! unannotated, names an unknown invariant, or is an `unsafe fn` without a
-//! `# Safety` doc section.
+//! Usage: `audit [ROOT] [--json FILE] [--markdown FILE]`
+//!
+//! Two passes over every `.rs` file reachable from the workspace root:
+//!
+//! 1. the **unsafe inventory** — prints each `unsafe` site with its
+//!    certificate invariant (the human report the binary has always
+//!    produced);
+//! 2. the **lint rule engine** ([`symspmv_verify::rules`]) — every
+//!    registered rule (unsafe annotation, checkpoint coverage, lock
+//!    order, atomic-ordering audit) over the workspace walk that also
+//!    covers `src/` and `crates/*/src/bin` targets.
+//!
+//! `--json FILE` additionally writes the findings as a machine-readable
+//! JSON document (rule, file, line, excerpt, message per finding);
+//! `--markdown FILE` writes a findings table suitable for a CI job
+//! summary. The exit code is non-zero iff any rule produced a finding.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use symspmv_verify::audit::{audit_workspace, UnsafeKind};
+use symspmv_verify::jsonio::Json;
+use symspmv_verify::rules::{default_rules, run_rules};
 
 fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR is crates/verify; the workspace root is two up.
@@ -18,19 +32,64 @@ fn workspace_root() -> PathBuf {
     dir
 }
 
+struct Cli {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    markdown: Option<PathBuf>,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        root: workspace_root(),
+        json: None,
+        markdown: None,
+    };
+    let mut args = std::env::args_os().skip(1);
+    let mut saw_root = false;
+    while let Some(arg) = args.next() {
+        match arg.to_str() {
+            Some("--json") => {
+                cli.json = Some(PathBuf::from(args.next().ok_or("--json needs a path")?));
+            }
+            Some("--markdown") => {
+                cli.markdown = Some(PathBuf::from(args.next().ok_or("--markdown needs a path")?));
+            }
+            Some(flag) if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            _ if !saw_root => {
+                cli.root = PathBuf::from(arg);
+                saw_root = true;
+            }
+            _ => return Err("at most one ROOT argument".to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+/// Escapes `|` so excerpts cannot break the markdown table.
+fn md_cell(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args_os()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(workspace_root);
-    let report = match audit_workspace(&root) {
-        Ok(r) => r,
+    let cli = match parse_cli() {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("audit: cannot walk {}: {e}", root.display());
+            eprintln!("audit: {e}");
+            eprintln!("usage: audit [ROOT] [--json FILE] [--markdown FILE]");
             return ExitCode::FAILURE;
         }
     };
 
+    // Pass 1: the unsafe inventory (human report).
+    let report = match audit_workspace(&cli.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: cannot walk {}: {e}", cli.root.display());
+            return ExitCode::FAILURE;
+        }
+    };
     let mut blocks = 0usize;
     let mut fns = 0usize;
     for site in &report.sites {
@@ -53,21 +112,114 @@ fn main() -> ExitCode {
             tag
         );
     }
-
-    let violations: Vec<_> = report.violations().collect();
     println!(
-        "\naudit: {} unsafe sites ({blocks} blocks/impls, {fns} fns/traits), {} violations",
+        "\naudit: {} unsafe sites ({blocks} blocks/impls, {fns} fns/traits)",
         report.sites.len(),
-        violations.len()
     );
-    if violations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        for site in violations {
-            if let Some(v) = &site.violation {
-                eprintln!("audit: {}:{}: {v}", site.file.display(), site.line);
+
+    // Pass 2: the full rule engine (subsumes the inventory's violations —
+    // the UnsafeAnnotation rule re-runs the same checker through the
+    // rule-engine walk, which also covers bin targets).
+    let rules = default_rules();
+    let findings = match run_rules(&cli.root, &rules) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("audit: rule engine failed on {}: {e}", cli.root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("\nrules: {} registered", rules.len());
+    for rule in &rules {
+        let count = findings.iter().filter(|f| f.rule == rule.name()).count();
+        println!(
+            "  {:<22} {:>3} findings — {}",
+            rule.name(),
+            count,
+            rule.description()
+        );
+    }
+    for f in &findings {
+        eprintln!(
+            "audit: {}:{}: [{}] {}",
+            f.file.display(),
+            f.line,
+            f.rule,
+            f.message
+        );
+    }
+
+    if let Some(path) = &cli.json {
+        let doc = Json::Obj(vec![
+            (
+                "root".to_string(),
+                Json::Str(cli.root.display().to_string()),
+            ),
+            (
+                "rules".to_string(),
+                Json::Arr(
+                    rules
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("name".to_string(), Json::Str(r.name().to_string())),
+                                (
+                                    "description".to_string(),
+                                    Json::Str(r.description().to_string()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "findings".to_string(),
+                Json::Arr(findings.iter().map(|f| f.to_json()).collect()),
+            ),
+        ]);
+        let text = match doc.write() {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("audit: cannot serialize findings: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, text + "\n") {
+            eprintln!("audit: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(path) = &cli.markdown {
+        let mut md = String::from("## Static analysis findings\n\n");
+        if findings.is_empty() {
+            md.push_str("No findings: every rule passed on the whole tree. :white_check_mark:\n");
+        } else {
+            md.push_str("| Rule | File | Line | Excerpt |\n|---|---|---|---|\n");
+            for f in &findings {
+                md.push_str(&format!(
+                    "| `{}` | `{}` | {} | `{}` |\n",
+                    md_cell(f.rule),
+                    md_cell(&f.file.display().to_string()),
+                    f.line,
+                    md_cell(&f.excerpt)
+                ));
             }
         }
+        if let Err(e) = std::fs::write(path, md) {
+            eprintln!("audit: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "\naudit: {} findings across {} rules",
+        findings.len(),
+        rules.len()
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }

@@ -11,7 +11,7 @@
 //! pattern straddles its chunk's local-vs-direct boundary, and that every
 //! write target stays inside the chunk's declared footprint.
 
-use crate::certificate::RaceCertificate;
+use crate::certificate::{ProofForm, RaceCertificate};
 use crate::error::VerifyError;
 use symspmv_csx::encode::CtlStream;
 use symspmv_runtime::Range;
@@ -98,6 +98,7 @@ pub fn certify_csx_chunks<'a>(
         local_elems: parts.iter().map(|r| r.start as usize).sum(),
         conflict_entries: 0,
         lanes: 1,
+        proof: ProofForm::Enumerative,
     })
 }
 

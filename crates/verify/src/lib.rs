@@ -20,21 +20,41 @@
 //!    behind the `race-detector` feature) — dynamic cross-validation: the
 //!    same corrupted plans the verifier rejects must also produce observed
 //!    write-write collisions when actually dispatched.
-//! 3. **Unsafe-audit lint** ([`audit`]) — every `unsafe` block in the
-//!    workspace must carry a `SAFETY(cert: <invariant>)` comment naming
-//!    one of the invariants the verifier establishes
-//!    ([`audit::KNOWN_INVARIANTS`]), closing the loop between the proofs
-//!    and the code that relies on them.
+//! 3. **Symbolic plan certifier** ([`symbolic`]) — re-derives the same
+//!    certificates from an interval/congruence abstract domain plus
+//!    structure axioms in `O(p + c)` instead of `O(nnz)`, pinned
+//!    bit-for-bit against the enumerative checker by a differential
+//!    suite, and adds the [`certificate::ProofForm::ColoringDisjoint`]
+//!    spacing proof for cyclic colorings.
+//! 4. **Shadow-memory race detector** (`symspmv-runtime`'s `race` module,
+//!    behind the `race-detector` feature) — dynamic cross-validation: the
+//!    same corrupted plans the verifier rejects must also produce observed
+//!    write-write collisions when actually dispatched.
+//! 5. **Multi-rule lint engine** ([`rules`], [`audit`]) — token-level
+//!    static checks over the workspace source: every `unsafe` block must
+//!    carry a `SAFETY(cert: <invariant>)` comment naming an invariant the
+//!    verifier establishes ([`audit::KNOWN_INVARIANTS`]), every pool-round
+//!    loop must hit a supervision checkpoint, locks must follow the
+//!    pool-before-health order, and every `Ordering::Relaxed` must justify
+//!    itself with a `RELAXED(reason)` annotation.
 
 pub mod audit;
 pub mod certificate;
 pub mod csx_check;
 pub mod error;
+pub mod jsonio;
+pub mod rules;
+pub mod symbolic;
 pub mod writeset;
 
-pub use certificate::RaceCertificate;
+pub use certificate::{ProofForm, RaceCertificate};
 pub use csx_check::{certify_csx_chunk, certify_csx_chunks};
 pub use error::VerifyError;
+pub use rules::{default_rules, run_rules, Finding, LintRule};
+pub use symbolic::{
+    certify_color_symbolic, certify_rows_symbolic, certify_sym_symbolic, lift_symbolic,
+    stride_classes, StructureFacts,
+};
 pub use writeset::{
     certify_color, certify_rows, certify_sym, lift_sym_certificate, SymPlanRef, SymStrategyKind,
 };

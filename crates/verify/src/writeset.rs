@@ -19,7 +19,7 @@
 //! The proof is returned as a [`RaceCertificate`]; any violated obligation
 //! aborts with the [`VerifyError`] variant naming the offending write.
 
-use crate::certificate::RaceCertificate;
+use crate::certificate::{ProofForm, RaceCertificate};
 use crate::error::VerifyError;
 use symspmv_runtime::reduction::IndexEntry;
 use symspmv_runtime::Range;
@@ -85,7 +85,7 @@ pub struct SymPlanRef<'a> {
 /// Verifies that `ranges` tile `0..n` contiguously: no gap (a row no
 /// thread owns) and no overlap (a row two threads own). Empty trailing
 /// ranges are legal.
-fn check_tiling(ranges: &[Range], n: u32) -> Result<(), VerifyError> {
+pub(crate) fn check_tiling(ranges: &[Range], n: u32) -> Result<(), VerifyError> {
     if ranges.is_empty() {
         return Err(VerifyError::MalformedPlan {
             reason: "empty partition list".to_string(),
@@ -130,7 +130,7 @@ fn check_tiling(ranges: &[Range], n: u32) -> Result<(), VerifyError> {
 /// Verifies the local-vector layout: each thread's declared region
 /// `[offsets[i], offsets[i] + region_len(i))` must lie inside the leased
 /// store and the regions must be pairwise disjoint.
-fn check_layout(
+pub(crate) fn check_layout(
     plan: &SymPlanRef<'_>,
     region_len: impl Fn(usize) -> usize,
 ) -> Result<(), VerifyError> {
@@ -331,6 +331,7 @@ pub fn certify_sym(sss: &SssMatrix, plan: &SymPlanRef<'_>) -> Result<RaceCertifi
         },
         conflict_entries,
         lanes: 1,
+        proof: ProofForm::Enumerative,
     })
 }
 
@@ -491,6 +492,7 @@ pub fn certify_rows(
         local_elems: 0,
         conflict_entries: 0,
         lanes: 1,
+        proof: ProofForm::Enumerative,
     })
 }
 
@@ -558,6 +560,7 @@ pub fn certify_color(
         local_elems: 0,
         conflict_entries: classes.len(),
         lanes: 1,
+        proof: ProofForm::Enumerative,
     })
 }
 

@@ -15,8 +15,9 @@ use symspmv_sparse::dense::seeded_vector;
 use symspmv_sparse::symmetry::SymmetryKind;
 use symspmv_sparse::{CooMatrix, Permutation, SssMatrix};
 use symspmv_verify::{
-    certify_color, certify_csx_chunk, certify_sym, lift_sym_certificate, RaceCertificate,
-    SymPlanRef, SymStrategyKind, VerifyError,
+    certify_color, certify_csx_chunk, certify_sym, certify_sym_symbolic, lift_sym_certificate,
+    lift_symbolic, ProofForm, RaceCertificate, StructureFacts, SymPlanRef, SymStrategyKind,
+    VerifyError,
 };
 
 /// A banded symmetric test matrix with cross-partition conflicts.
@@ -460,6 +461,210 @@ fn kind_certificates_round_trip_and_prove_side_conditions() {
         RaceCertificate::from_text(&legacy).unwrap().symmetry,
         "symmetric"
     );
+}
+
+/// Re-derives the per-thread conflict profiles the symbolic certifier
+/// consumes (the enumerative checker re-walks the matrix itself).
+fn conflicts_for(sss: &SssMatrix, parts: &[Range]) -> Vec<Vec<u32>> {
+    symbolic::analyze(sss, parts).conflicts
+}
+
+fn certify_symbolically(
+    sss: &SssMatrix,
+    plan: &GoodPlan,
+    kind: SymStrategyKind,
+) -> Result<RaceCertificate, VerifyError> {
+    certify_sym_symbolic(
+        &StructureFacts::of(sss),
+        &SymPlanRef {
+            parts: &plan.parts,
+            offsets: &plan.offsets,
+            local_len: plan.local_len,
+            strategy: kind,
+            entries: &plan.entries,
+            splits: &plan.splits,
+            row_chunks: &plan.row_chunks,
+        },
+        &conflicts_for(sss, &plan.parts),
+    )
+}
+
+/// The symbolic certifier kills the same plan mutants as the enumerative
+/// one, with the identical typed errors — replayed here for mutations 1,
+/// 2 and 5 (the plan-shape mutants the abstract domain must see through).
+#[test]
+fn symbolic_certifier_kills_the_same_plan_mutants() {
+    let sss = matrix(256);
+
+    let clean = good_plan(&sss, 4);
+    let cert = certify_symbolically(&sss, &clean, SymStrategyKind::Indexing).unwrap();
+    assert_eq!(cert.proof, ProofForm::Symbolic);
+
+    // Mutation 1 replay: shifted boundary.
+    let mut plan = good_plan(&sss, 4);
+    let orphan = plan.parts[1].start;
+    plan.parts[1].start += 1;
+    assert_eq!(
+        certify_symbolically(&sss, &plan, SymStrategyKind::Indexing).unwrap_err(),
+        VerifyError::PartitionGap { at: orphan }
+    );
+
+    // Mutation 2 replay: stolen row.
+    let mut plan = good_plan(&sss, 4);
+    plan.parts[1].start -= 1;
+    assert!(matches!(
+        certify_symbolically(&sss, &plan, SymStrategyKind::Indexing).unwrap_err(),
+        VerifyError::OverlappingDirectWrites {
+            first: 0,
+            second: 1,
+            ..
+        }
+    ));
+
+    // Mutation 5 replay: overlapping reduction slice (on the idx-heavy
+    // star matrix from mutation 5).
+    let n = 64u32;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0);
+    }
+    for r in 1..n {
+        coo.push(r, 0, -1.0);
+        coo.push(0, r, -1.0);
+    }
+    let star = SssMatrix::from_coo(&coo, 0.0).unwrap();
+    let mut plan = good_plan(&star, 4);
+    plan.splits = vec![
+        0,
+        1,
+        plan.entries.len(),
+        plan.entries.len(),
+        plan.entries.len(),
+    ];
+    assert_eq!(
+        certify_symbolically(&star, &plan, SymStrategyKind::Indexing).unwrap_err(),
+        VerifyError::ReductionSliceOverlap {
+            idx: 0,
+            first: 0,
+            second: 1
+        }
+    );
+}
+
+/// Mutation 12 — cross-axis (kind × lanes): a kind-flipped certificate
+/// request on a lane-lifted plan. The structure facts of a symmetric
+/// matrix (nonzero diagonal) are presented as skew; the symbolic
+/// certifier must refuse at the kind side condition *before* any lifting
+/// can launder the mismatch into a block certificate.
+#[test]
+fn mutation_kind_flipped_facts_on_lifted_plan_rejected() {
+    let sss = matrix(256);
+    let plan = good_plan(&sss, 4);
+
+    // The honest pipeline works: symbolic scalar proof, then lane lift.
+    let base = certify_symbolically(&sss, &plan, SymStrategyKind::Indexing).unwrap();
+    let lanes = 8;
+    let block_offsets: Vec<usize> = plan.offsets.iter().map(|o| o * lanes).collect();
+    let lifted = lift_symbolic(
+        &base,
+        lanes,
+        &plan.offsets,
+        plan.local_len,
+        &block_offsets,
+        plan.local_len * lanes,
+    )
+    .unwrap();
+    assert_eq!(lifted.proof, ProofForm::Symbolic);
+    assert!(lifted.proves("lane-lifted"));
+
+    // The mutant: same matrix, same plan, kind flipped to skew.
+    let mut facts = StructureFacts::of(&sss);
+    assert!(facts.nonzero_diag.is_some(), "banded_random has a diagonal");
+    facts.kind = SymmetryKind::Skew;
+    let err = certify_sym_symbolic(
+        &facts,
+        &SymPlanRef {
+            parts: &plan.parts,
+            offsets: &plan.offsets,
+            local_len: plan.local_len,
+            strategy: SymStrategyKind::Indexing,
+            entries: &plan.entries,
+            splits: &plan.splits,
+            row_chunks: &plan.row_chunks,
+        },
+        &conflicts_for(&sss, &plan.parts),
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, VerifyError::KindSideCondition { kind: "skew", .. }),
+        "{err:?}"
+    );
+}
+
+/// Mutation 13 — cross-axis (lanes × kind): a lane-offset mutant on a
+/// *skew* plan. The skew side conditions pass (the matrix really is
+/// skew), but the block region of thread 2 drifts off the lane-scaled
+/// image of the scalar proof; `lift_symbolic` must catch the drift.
+#[test]
+fn mutation_lane_offset_on_skew_plan_rejected() {
+    let n = 128u32;
+    let skew = SssMatrix::from_coo_kind(
+        &symspmv_sparse::gen::skew_convection(n, 9, 5.0, 7),
+        SymmetryKind::Skew,
+        0.0,
+    )
+    .unwrap();
+    let plan = good_plan(&skew, 4);
+    let base = certify_symbolically(&skew, &plan, SymStrategyKind::Indexing).unwrap();
+    assert_eq!(base.symmetry, "skew");
+    assert_eq!(base.proof, ProofForm::Symbolic);
+
+    let lanes = 4;
+    let mut block_offsets: Vec<usize> = plan.offsets.iter().map(|o| o * lanes).collect();
+    block_offsets[2] += 2;
+    let err = lift_symbolic(
+        &base,
+        lanes,
+        &plan.offsets,
+        plan.local_len,
+        &block_offsets,
+        plan.local_len * lanes,
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        VerifyError::LaneOffsetMismatch {
+            tid: 2,
+            expected: plan.offsets[2] * lanes,
+            actual: plan.offsets[2] * lanes + 2,
+        }
+    );
+}
+
+/// The kill-count pin: one entry per seeded mutant in this suite. A new
+/// mutant must be added here (and a removed one deleted), so the count
+/// can only change deliberately.
+#[test]
+fn mutation_kill_count_is_pinned() {
+    const KILLED: [&str; 13] = [
+        "shifted-boundary",
+        "stolen-row",
+        "bad-color",
+        "straddling-csx-pattern",
+        "overlapping-reduction-slice",
+        "stale-certificate",
+        "lane-shifted-block-offset",
+        "short-block-store",
+        "unsupported-lane-count",
+        "dropped-skew-sign-flip",
+        "swapped-pair-array",
+        "kind-flipped-facts-on-lifted-plan",
+        "lane-offset-on-skew-plan",
+    ];
+    assert_eq!(KILLED.len(), 13);
+    // And the symbolic replay above re-kills the plan-shape subset, so
+    // the symbolic certifier alone accounts for mutations 1, 2, 5, 12
+    // and 13 — every mutant whose error originates in plan geometry.
 }
 
 /// The mutations map onto *distinct* variants — the discriminants of the

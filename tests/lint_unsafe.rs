@@ -6,6 +6,7 @@
 //! bare `unsafe` slips in.
 
 use symspmv_verify::audit::{audit_source, audit_workspace, Violation, KNOWN_INVARIANTS};
+use symspmv_verify::rules::{default_rules, run_rules};
 
 fn workspace_root() -> std::path::PathBuf {
     std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -61,6 +62,63 @@ fn unknown_invariant_is_flagged() {
         sites[0].violation,
         Some(Violation::UnknownInvariant(_))
     ));
+}
+
+/// The workspace is clean under the full rule engine too — the registry
+/// that the `audit` binary and the CI `analysis` job run.
+#[test]
+fn workspace_is_clean_under_the_rule_engine() {
+    let rules = default_rules();
+    let findings = run_rules(&workspace_root(), &rules).expect("workspace scan must succeed");
+    assert!(
+        findings.is_empty(),
+        "rule findings:\n{}",
+        findings
+            .iter()
+            .map(|f| format!(
+                "  {}:{}: [{}] {}",
+                f.file.display(),
+                f.line,
+                f.rule,
+                f.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Regression for the walker gap: the original unsafe lint missed
+/// `crates/*/src/bin` targets (and the workspace `src/`). A violation
+/// planted in a synthetic bin target must be found by the rule engine's
+/// walk — if the walker regresses to `src/lib.rs`-only, this fails.
+#[test]
+fn violation_planted_in_a_bin_target_is_caught() {
+    let scratch = std::env::temp_dir().join(format!("symspmv-lint-walk-{}", std::process::id()));
+    let bin_dir = scratch.join("crates/tool/src/bin");
+    std::fs::create_dir_all(&bin_dir).expect("scratch tree");
+    std::fs::write(
+        bin_dir.join("planted.rs"),
+        "fn main() {\n    let p = std::ptr::null_mut::<u8>();\n    unsafe { *p = 0; }\n}\n",
+    )
+    .expect("planted source");
+    // A clean library file alongside, so the walk covers both layouts.
+    std::fs::write(
+        scratch.join("crates/tool/src").join("lib.rs"),
+        "pub fn fine() {}\n",
+    )
+    .expect("clean source");
+
+    let findings = run_rules(&scratch, &default_rules()).expect("scratch walk");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    assert!(
+        findings.iter().any(|f| f.rule == "unsafe-annotation"
+            && f.file
+                .to_string_lossy()
+                .replace('\\', "/")
+                .contains("src/bin/planted.rs")),
+        "the planted bin-target violation was not found: {findings:?}"
+    );
 }
 
 /// The invariant registry stays meaningful: every name the kernels cite is
