@@ -112,7 +112,13 @@ fn run() -> i32 {
                 return 2;
             }
         }
-        let text = match report.to_json() {
+        // The baseline is committed, so normalize the volatile `+dirty`
+        // marker out of its revision — otherwise a baseline refreshed
+        // from a modified tree records a revision no later clean checkout
+        // can reproduce, and comparisons look like lost coverage.
+        let mut committed = report.clone();
+        committed.machine = committed.machine.normalized();
+        let text = match committed.to_json() {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("bench-ci: cannot serialize baseline: {e}");
@@ -152,7 +158,7 @@ fn run() -> i32 {
         cfg.rel_tol * 100.0,
         cfg.mad_k,
         cfg.abs_floor * 1e9,
-        baseline.machine.git_rev
+        baseline.machine.git_rev_clean()
     );
     let cmp = compare(&baseline, &report, &cfg);
     println!("\n{}", cmp.table().render());

@@ -30,10 +30,14 @@
 //!   instead of local vectors (the CSB-style alternative discussed in the
 //!   paper's related work, §VI);
 //! * [`ws`] — the working-set models of Eq. 3–6 (Fig. 5);
+//! * [`auto`] — cost-model plan selection ([`SymSpmv::auto`]) and the
+//!   [`PlanAdvisor`] hook the persisted plan store plugs into
+//!   (DESIGN.md §18);
 //! * [`resilience`] — bounded retry ([`RetryPolicy`]), the serial
 //!   [`FallbackKernel`] of last resort, and the [`Resilient`] wrapper that
 //!   keeps serving when the pool degrades (DESIGN.md §16).
 
+pub mod auto;
 pub mod bcsr_mt;
 pub mod csb_mt;
 pub mod csr_mt;
@@ -50,6 +54,7 @@ pub mod symbolic;
 pub mod traits;
 pub mod ws;
 
+pub use auto::{AutoChoice, FormatTag, PlanAdvisor, PlanSource, PlanSpec};
 pub use bcsr_mt::BcsrParallel;
 pub use csb_mt::{CsbParallel, CsbSymParallel};
 pub use csr_mt::CsrParallel;

@@ -43,7 +43,7 @@ use symspmv_sparse::{with_symmetry_ops, CooMatrix, SparseError, SssMatrix, Val};
 /// Each variant names a strategy pre-registered with every
 /// [`ExecutionContext`]; custom strategies registered later are reachable
 /// through [`SymSpmv::from_sss_named`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReductionMethod {
     /// Full-length local vector per thread (Alg. 3).
     Naive,

@@ -19,6 +19,7 @@
 //!   atomics  extension — atomic updates vs local-vector reductions
 //!   spmm     extension — batched multi-RHS SpMM per-vector speedup
 //!   kinds    extension — skew/structural engines and the skew+RCM effect
+//!   tune     extension — measured plan search + persisted plan store
 //!   related  extension — related-work comparison (CSB, CSB-Sym, atomics)
 //!   verify   extension — every kernel vs reference on the full suite
 //!   chaos    extension — seeded fault-injection soak of the resilient
@@ -41,7 +42,7 @@
 use std::process::ExitCode;
 use symspmv_harness::experiments::{self, ExpConfig};
 
-const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|spmm|kinds|related|verify|chaos|plot|machine|all>
+const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|spmm|kinds|tune|related|verify|chaos|plot|machine|all>
                    [--scale f] [--iters k] [--threads p] [--out dir]
                    [--matrix name]... [--cg-iters k] [--rhs k] [--seed k]";
 
@@ -148,6 +149,7 @@ fn main() -> ExitCode {
         "atomics" => experiments::atomics(&cfg),
         "spmm" => experiments::spmm(&cfg),
         "kinds" => experiments::kinds(&cfg),
+        "tune" => experiments::tune(&cfg),
         "related" => experiments::related(&cfg),
         "verify" => experiments::verify(&cfg),
         "chaos" => experiments::chaos(&cfg),

@@ -8,7 +8,7 @@
 use crate::error::HarnessError;
 use crate::framework::{measure, serial_csr_spmv_time, Measurement};
 use crate::kernels::{build_kernel, experiment_detect_config, KernelSpec};
-use crate::report::{f, geomean, pct, Table};
+use crate::report::{f, fmt_secs, geomean, pct, Table};
 use std::path::PathBuf;
 use std::sync::Arc;
 use symspmv_core::SymFormat;
@@ -1208,6 +1208,220 @@ pub fn chaos(_cfg: &ExpConfig) -> Result<(), HarnessError> {
     ))
 }
 
+/// Extension — `experiments tune` (DESIGN.md §18): the measurement-driven
+/// plan search. For every suite matrix it prunes the `format × reduction
+/// method × thread count × lane width` space with the Eq. 1–2/3–6 traffic
+/// model, measures the survivors with short timed runs, persists the
+/// certified winner in the on-disk plan store, and proves the store works
+/// by re-running the search (which must hit, without re-measurement, and
+/// reproduce the same plan). The winner must never be slower than the
+/// paper's conventional recommendation (SSS + local-vectors indexing at
+/// full thread count) beyond `SYMSPMV_BENCH_RTOL` (default 30%, the
+/// bench-ci noise rule). Writes the full search table as `BENCH_tune.json`
+/// ledger rows into `SYMSPMV_BENCH_DIR` (default: the output directory).
+pub fn tune(cfg: &ExpConfig) -> Result<(), HarnessError> {
+    use symspmv_core::auto::FormatTag;
+    use symspmv_tune::{tune_and_store, PlanStore, TimedMeasurer, TuneOptions};
+
+    let store_dir = std::env::var_os("SYMSPMV_PLAN_STORE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| cfg.out_dir.join(".plan-store"));
+    let rtol = std::env::var("SYMSPMV_BENCH_RTOL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|r| r.is_finite() && *r >= 0.0)
+        .unwrap_or(0.30);
+    let mut opts = TuneOptions::for_machine(cfg.max_threads);
+    opts.thread_counts = cfg.thread_sweep();
+    opts.seed = cfg.seed;
+    let max_p = opts.thread_counts.iter().copied().max().unwrap_or(1);
+    let plan_err = |name: &str, e: symspmv_core::SymSpmvError| {
+        HarnessError::matrix("plan search", name.to_string(), e)
+    };
+
+    println!(
+        "== Auto-tuning: measured plan search (store: {}, schema v{}) ==\n",
+        store_dir.display(),
+        symspmv_tune::PLAN_STORE_VERSION,
+    );
+
+    let mut measurer = TimedMeasurer::new();
+    let mut search = Table::new(&[
+        "matrix",
+        "candidate",
+        "pred B/vec",
+        "measured",
+        "per-vector",
+        "note",
+    ]);
+    let mut summary = Table::new(&[
+        "matrix",
+        "source",
+        "plan",
+        "winner s/vec",
+        "default s/vec",
+        "win vs default",
+    ]);
+    let mut bench_rows: Vec<crate::ledger::SampleSet> = Vec::new();
+
+    for m in cfg.suite() {
+        let name = m.spec.name;
+        let mut store = PlanStore::open(&store_dir).map_err(|e| plan_err(name, e))?;
+        if store.ignored_version_mismatch() {
+            println!("[{name}: plan store has a different schema version; starting fresh]");
+        }
+        let (outcome, hit) = tune_and_store(&m.coo, &mut store, &opts, &mut measurer)
+            .map_err(|e| plan_err(name, e))?;
+
+        let default_row = outcome.rows.iter().find(|r| {
+            !r.pruned
+                && r.spec.lanes == 1
+                && r.spec.format == FormatTag::Sss
+                && r.spec.method == ReductionMethod::Indexing
+                && r.spec.nthreads == max_p
+        });
+        for row in &outcome.rows {
+            let is_winner = !row.pruned
+                && row.spec.format == outcome.winner.spec.format
+                && row.spec.method == outcome.winner.spec.method
+                && row.spec.nthreads == outcome.winner.spec.nthreads
+                && row.spec.lanes == 1;
+            let mut note = String::new();
+            if is_winner {
+                note.push_str("winner");
+            }
+            if default_row.is_some_and(|d| d.spec == row.spec) {
+                if !note.is_empty() {
+                    note.push_str(", ");
+                }
+                note.push_str("default");
+            }
+            search.row(vec![
+                name.into(),
+                row.spec.id(),
+                f(row.predicted_bytes, 0),
+                if row.pruned {
+                    "pruned".into()
+                } else {
+                    format!("{} samples", row.samples.len())
+                },
+                if row.pruned {
+                    "-".into()
+                } else {
+                    fmt_secs(row.per_vector_secs)
+                },
+                note,
+            ]);
+            if !row.pruned {
+                bench_rows.push(crate::ledger::SampleSet {
+                    group: format!("tune/{name}"),
+                    id: row.spec.id(),
+                    iters: opts.iterations as u64,
+                    samples: row.samples.clone(),
+                    kind: None,
+                    elements: Some(m.coo.nnz() as u64),
+                    flops: None,
+                    bytes: Some(row.predicted_bytes as u64),
+                    phases: None,
+                });
+            }
+        }
+
+        if hit {
+            summary.row(vec![
+                name.into(),
+                "store".into(),
+                outcome.winner.spec.id(),
+                fmt_secs(outcome.winner.measured_secs),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+
+        // The winner is the measured argmin over a set that always
+        // contains the conventional default, so losing to the default
+        // beyond noise means the search itself is broken — fail loudly.
+        let default_row = default_row.ok_or_else(|| {
+            HarnessError::Config(format!(
+                "tune({name}): the conventional sss-idx-p{max_p} default was never measured"
+            ))
+        })?;
+        if outcome.winner.measured_secs > default_row.per_vector_secs * (1.0 + rtol) {
+            return Err(HarnessError::Config(format!(
+                "tune({name}): tuned plan {} ({}) is slower than the conventional \
+                 sss-idx-p{max_p} default ({}) beyond the {:.0}% noise tolerance",
+                outcome.winner.spec.id(),
+                fmt_secs(outcome.winner.measured_secs),
+                fmt_secs(default_row.per_vector_secs),
+                rtol * 100.0,
+            )));
+        }
+
+        // Second run against the just-saved store: it must hit (no
+        // re-measurement) and serve back the identical certified plan.
+        let mut reloaded = PlanStore::open(&store_dir).map_err(|e| plan_err(name, e))?;
+        let (again, hit2) = tune_and_store(&m.coo, &mut reloaded, &opts, &mut measurer)
+            .map_err(|e| plan_err(name, e))?;
+        if !hit2 || again.measured != 0 || again.winner != outcome.winner {
+            return Err(HarnessError::Config(format!(
+                "tune({name}): the persisted plan did not reproduce on reload \
+                 (hit={hit2}, re-measured={}); the plan store is not round-tripping",
+                again.measured
+            )));
+        }
+
+        // Which path does the engine itself take now? `SymSpmv::auto`
+        // must consult the store and report it.
+        let (_, choice) =
+            symspmv_tune::auto_kernel(&m.coo, Some(&reloaded)).map_err(|e| plan_err(name, e))?;
+        summary.row(vec![
+            name.into(),
+            choice.source.tag().into(),
+            outcome.winner.spec.id(),
+            fmt_secs(outcome.winner.measured_secs),
+            fmt_secs(default_row.per_vector_secs),
+            format!(
+                "{:.2}x",
+                default_row.per_vector_secs / outcome.winner.measured_secs.max(1e-12)
+            ),
+        ]);
+    }
+
+    cfg.emit("tune", &search)?;
+    println!("== Tuned plans ==\n");
+    cfg.emit("tune_summary", &summary)?;
+
+    // The search table doubles as bench-ledger rows so CI can archive the
+    // measurements next to BENCH_ci.json. A run served entirely from the
+    // store measured nothing — leave the previous ledger in place rather
+    // than clobbering it with an empty one.
+    if bench_rows.is_empty() {
+        println!("[all plans served from the store; ledger left unchanged]\n");
+        return Ok(());
+    }
+    let report = crate::ledger::BenchReport {
+        target: "tune".into(),
+        machine: crate::machine::MachineInfo::detect(),
+        samples: bench_rows,
+    };
+    let bench_dir = std::env::var_os("SYMSPMV_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| cfg.out_dir.clone());
+    let io_err = |source: std::io::Error| HarnessError::Io {
+        path: bench_dir.join(report.file_name()),
+        source,
+    };
+    std::fs::create_dir_all(&bench_dir).map_err(io_err)?;
+    let text = report
+        .to_json()
+        .map_err(|e| HarnessError::Config(format!("tune ledger did not serialize: {e}")))?;
+    let ledger_path = bench_dir.join(report.file_name());
+    std::fs::write(&ledger_path, text).map_err(io_err)?;
+    println!("[ledger written to {}]\n", ledger_path.display());
+    Ok(())
+}
+
 /// Runs every experiment in paper order, stopping at the first failure.
 pub fn all(cfg: &ExpConfig) -> Result<(), HarnessError> {
     machine(cfg)?;
@@ -1226,6 +1440,7 @@ pub fn all(cfg: &ExpConfig) -> Result<(), HarnessError> {
     atomics(cfg)?;
     spmm(cfg)?;
     kinds(cfg)?;
+    tune(cfg)?;
     related(cfg)
 }
 

@@ -116,6 +116,23 @@ impl MachineInfo {
         }
     }
 
+    /// The revision with any `+dirty` suffix stripped — the form used in
+    /// committed baselines and comparison keys, so a run from a modified
+    /// tree is attributed to the commit it is based on instead of minting
+    /// a revision string no other run can ever match.
+    pub fn git_rev_clean(&self) -> &str {
+        self.git_rev.strip_suffix("+dirty").unwrap_or(&self.git_rev)
+    }
+
+    /// A copy with [`MachineInfo::git_rev_clean`] applied, for ledgers
+    /// that get committed (the bench baseline). Run artifacts keep the
+    /// raw `+dirty` marker — it is diagnostic there, and only harmful in
+    /// a file that outlives the working tree that produced it.
+    pub fn normalized(mut self) -> MachineInfo {
+        self.git_rev = self.git_rev_clean().to_string();
+        self
+    }
+
     /// Serializes into the ledger's `machine` block.
     pub fn to_json(&self) -> Json {
         let mut o = Json::obj();
@@ -234,6 +251,18 @@ mod tests {
         assert!(!m.cpu_model.is_empty());
         let parsed = MachineInfo::from_json(&m.to_json()).unwrap();
         assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn dirty_suffix_is_normalized_out_of_committed_revisions() {
+        let mut m = MachineInfo::for_tests();
+        m.git_rev = "deadbee+dirty".into();
+        assert_eq!(m.git_rev_clean(), "deadbee");
+        assert_eq!(m.clone().normalized().git_rev, "deadbee");
+        // Already-clean revisions pass through untouched.
+        m.git_rev = "deadbee".into();
+        assert_eq!(m.git_rev_clean(), "deadbee");
+        assert_eq!(m.normalized().git_rev, "deadbee");
     }
 
     #[test]

@@ -378,6 +378,20 @@ impl ExecutionContext {
         lock_ignore_poison(&self.plans).set_capacity(capacity);
     }
 
+    /// Grows the plan-cache entry cap to hold at least `entries` more
+    /// plans than are currently memoized, without ever shrinking it. A
+    /// tuning sweep calls this before building one candidate engine per
+    /// search point so the sweep cannot thrash its own LRU cache: every
+    /// candidate's partition/index/certificate stays memoized until the
+    /// winner is rebuilt and re-measured.
+    pub fn plan_cache_reserve(&self, entries: usize) {
+        let mut plans = lock_ignore_poison(&self.plans);
+        let needed = plans.map.len().saturating_add(entries);
+        if needed > plans.capacity {
+            plans.set_capacity(needed);
+        }
+    }
+
     /// The plan-cache entry cap currently in force.
     pub fn plan_cache_capacity(&self) -> usize {
         lock_ignore_poison(&self.plans).capacity

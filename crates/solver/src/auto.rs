@@ -1,0 +1,152 @@
+//! Solves on auto-selected kernels: CG/PCG entry points that take a
+//! *tuned plan* instead of a pre-built kernel.
+//!
+//! The solver layer cannot depend on the tuner (the tuner measures through
+//! kernels and solvers), so the coupling is inverted: anything that can
+//! turn a matrix into a [`ParallelSpmv`] — the cost model, a persisted
+//! plan store, a fixed conventional choice — implements [`KernelChooser`],
+//! and [`cg_auto`] / [`pcg_jacobi_auto`] run the solve on whatever it
+//! builds. `symspmv-tune` provides the store-backed chooser; the
+//! [`CostModelChooser`] here is the dependency-free default.
+
+use crate::cg::{cg, CgConfig, SolveOutcome};
+use crate::pcg::{diagonal_of, pcg_jacobi};
+use std::sync::Arc;
+use symspmv_core::auto::{AutoChoice, PlanAdvisor};
+use symspmv_core::{ParallelSpmv, SymSpmv, SymSpmvError};
+use symspmv_runtime::ExecutionContext;
+use symspmv_sparse::{CooMatrix, Val};
+
+/// A policy that turns a matrix into a ready SpMV kernel on a given
+/// context, reporting how the configuration was chosen. Object-safe so
+/// drivers can hold `&dyn KernelChooser` for either the cost model or a
+/// plan store without generics.
+pub trait KernelChooser {
+    /// Builds the kernel this policy selects for `coo` on `ctx`.
+    fn build(
+        &self,
+        coo: &CooMatrix,
+        ctx: &Arc<ExecutionContext>,
+    ) -> Result<(Box<dyn ParallelSpmv>, AutoChoice), SymSpmvError>;
+}
+
+/// The advisor-free default policy: [`SymSpmv::auto`]'s Eq. 1–2/3–6 cost
+/// model decides, no store is consulted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModelChooser;
+
+impl KernelChooser for CostModelChooser {
+    fn build(
+        &self,
+        coo: &CooMatrix,
+        ctx: &Arc<ExecutionContext>,
+    ) -> Result<(Box<dyn ParallelSpmv>, AutoChoice), SymSpmvError> {
+        let (engine, choice) = SymSpmv::auto(ctx, coo)?;
+        Ok((Box::new(engine), choice))
+    }
+}
+
+/// Adapts any [`PlanAdvisor`] (e.g. the persisted plan store) into a
+/// chooser: consult the advisor first, fall back to the cost model on a
+/// miss — the [`SymSpmv::auto_with`] contract.
+#[derive(Clone, Copy)]
+pub struct AdvisorChooser<'a>(pub &'a dyn PlanAdvisor);
+
+impl KernelChooser for AdvisorChooser<'_> {
+    fn build(
+        &self,
+        coo: &CooMatrix,
+        ctx: &Arc<ExecutionContext>,
+    ) -> Result<(Box<dyn ParallelSpmv>, AutoChoice), SymSpmvError> {
+        let (engine, choice) = SymSpmv::auto_with(ctx, coo, Some(self.0))?;
+        Ok((Box::new(engine), choice))
+    }
+}
+
+/// The outcome of an auto-kernel solve: the solve report plus the plan
+/// decision it ran under.
+#[derive(Debug)]
+pub struct AutoSolve {
+    /// The CG/PCG outcome.
+    pub outcome: SolveOutcome,
+    /// Which plan served the solve, and whether it came from the store or
+    /// the cost model.
+    pub choice: AutoChoice,
+}
+
+/// Runs non-preconditioned CG on a kernel built by `chooser`.
+pub fn cg_auto(
+    chooser: &dyn KernelChooser,
+    coo: &CooMatrix,
+    ctx: &Arc<ExecutionContext>,
+    b: &[Val],
+    x: &mut [Val],
+    config: &CgConfig,
+) -> Result<AutoSolve, SymSpmvError> {
+    let (mut kernel, choice) = chooser.build(coo, ctx)?;
+    let outcome = cg(kernel.as_mut(), b, x, config);
+    Ok(AutoSolve { outcome, choice })
+}
+
+/// Runs Jacobi-preconditioned CG on a kernel built by `chooser`; the
+/// diagonal is extracted from `coo`.
+pub fn pcg_jacobi_auto(
+    chooser: &dyn KernelChooser,
+    coo: &CooMatrix,
+    ctx: &Arc<ExecutionContext>,
+    b: &[Val],
+    x: &mut [Val],
+    config: &CgConfig,
+) -> Result<AutoSolve, SymSpmvError> {
+    let (mut kernel, choice) = chooser.build(coo, ctx)?;
+    let diag = diagonal_of(coo);
+    let outcome = pcg_jacobi(kernel.as_mut(), &diag, b, x, config);
+    Ok(AutoSolve { outcome, choice })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symspmv_core::auto::PlanSource;
+    use symspmv_sparse::gen;
+
+    #[test]
+    fn cg_auto_solves_on_the_cost_model_choice() {
+        let coo = gen::laplacian_2d(14, 14);
+        let ctx = ExecutionContext::new(2);
+        let n = coo.nrows() as usize;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let solve = cg_auto(
+            &CostModelChooser,
+            &coo,
+            &ctx,
+            &b,
+            &mut x,
+            &CgConfig::default(),
+        )
+        .unwrap();
+        assert!(solve.outcome.converged, "2-D Laplacian CG must converge");
+        assert_eq!(solve.choice.source, PlanSource::CostModel);
+    }
+
+    #[test]
+    fn pcg_auto_solves_and_reports_the_choice() {
+        let coo = gen::laplacian_2d(12, 12);
+        let ctx = ExecutionContext::new(2);
+        let n = coo.nrows() as usize;
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let solve = pcg_jacobi_auto(
+            &CostModelChooser,
+            &coo,
+            &ctx,
+            &b,
+            &mut x,
+            &CgConfig::default(),
+        )
+        .unwrap();
+        assert!(solve.outcome.converged);
+        assert_eq!(solve.choice.spec.nthreads, 2);
+    }
+}

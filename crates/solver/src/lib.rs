@@ -11,12 +11,16 @@
 //! breakdown the paper charts: SpMV multiply, SpMV reduction, vector
 //! operations, and format preprocessing.
 
+pub mod auto;
 pub mod block_cg;
 pub mod cg;
 pub mod pcg;
 pub mod resilient;
 pub mod vecops;
 
+pub use auto::{
+    cg_auto, pcg_jacobi_auto, AdvisorChooser, AutoSolve, CostModelChooser, KernelChooser,
+};
 pub use block_cg::{block_cg, BlockSolveOutcome, LaneOutcome};
 pub use cg::{cg, CgConfig, CgResult, SolveOutcome, SolveStatus};
 pub use pcg::{diagonal_of, pcg_jacobi};

@@ -66,7 +66,23 @@ pub fn matrix_stats(coo: &CooMatrix) -> MatrixStats {
 /// Size of the matrix as the paper's Table I "Size (MiB)" column: the CSR
 /// representation `12·NNZ + 4·(N+1)` in MiB.
 pub fn csr_size_mib(nrows: Idx, nnz: usize) -> f64 {
-    (12 * nnz + 4 * (nrows as usize + 1)) as f64 / (1024.0 * 1024.0)
+    csr_size_bytes(nrows, nnz) as f64 / (1024.0 * 1024.0)
+}
+
+/// Eq. 1 in bytes: the CSR representation `12·NNZ + 4·(N+1)` with `NNZ`
+/// the full-matrix non-zero count (8-byte values, 4-byte indices).
+pub fn csr_size_bytes(nrows: Idx, nnz: usize) -> usize {
+    12 * nnz + 4 * (nrows as usize + 1)
+}
+
+/// Eq. 2 in bytes: the SSS representation — `12` bytes per strict-lower
+/// entry (value + column index), the dense diagonal (`8·N`), and the row
+/// pointers (`4·(N+1)`). Matches `SssMatrix::size_bytes` for the plain
+/// symmetric kind (structural matrices pay an extra paired-upper-value
+/// array not modeled here).
+pub fn sss_size_bytes(nrows: Idx, lower_nnz: usize) -> usize {
+    let n = nrows as usize;
+    12 * lower_nnz + 8 * n + 4 * (n + 1)
 }
 
 #[cfg(test)]
