@@ -242,6 +242,32 @@ fn run_smoke() -> BenchReport {
         g.finish();
     }
 
+    // Family 2b: the coloring-scheduled strategy against the paper's best
+    // reduction strategy on the same scattered matrix — the pair the
+    // `sss-race` scheme is accountable to (it trades the reduction phase
+    // for one barrier per color group).
+    {
+        let mut g = t.group("ci/color/G3_circuit");
+        g.throughput_elements(m2.coo.nnz() as u64);
+        for method in [ReductionMethod::Race, ReductionMethod::Indexing] {
+            let Ok(mut k) = SymSpmv::from_coo(&m2.coo, &ctx, method, SymFormat::Sss) else {
+                continue;
+            };
+            let mut x = seeded_vector(n2, 1);
+            let mut y = vec![0.0; n2];
+            g.model(2 * k.nnz_full() as u64, (k.size_bytes() + 16 * n2) as u64);
+            k.reset_times();
+            g.bench_function(method.tag(), |b| {
+                b.iter(|| {
+                    k.spmv(&x, &mut y);
+                    std::mem::swap(&mut x, &mut y);
+                })
+            });
+            g.phases_for_last(k.times());
+        }
+        g.finish();
+    }
+
     // Family 3: batched SpMM at k=1 and k=8 on the scattered matrix — the
     // per-vector-speedup pair the block path is accountable for.
     {

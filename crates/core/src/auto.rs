@@ -107,8 +107,12 @@ impl PlanSpec {
     }
 
     /// Whether this spec is buildable at all: the hybrid format supports
-    /// only the direct-write reduction strategies.
+    /// only the direct-write reduction strategies, and the race schedule
+    /// supports the SSS format only.
     pub fn is_valid(&self) -> bool {
+        if self.method == ReductionMethod::Race {
+            return self.format == FormatTag::Sss;
+        }
         !(self.format == FormatTag::Hybrid && self.method == ReductionMethod::Naive)
     }
 }
@@ -206,6 +210,11 @@ pub fn predicted_ws_bytes(stats: &MatrixStats, method: ReductionMethod, p: usize
             let cross = (stats.avg_entry_distance * p as f64 / n.max(1) as f64).min(1.0);
             16.0 * lower as f64 * cross
         }
+        // The race schedule has no local vectors at all, but its group
+        // barriers re-touch `y` once per color phase; charge one extra
+        // `y`-sized stream so the scheme only wins where indexing's
+        // conflict working set actually dominates.
+        ReductionMethod::Race => 8.0 * n as f64,
     }
 }
 
@@ -237,6 +246,7 @@ pub fn enumerate_candidates(
         ReductionMethod::Naive,
         ReductionMethod::EffectiveRanges,
         ReductionMethod::Indexing,
+        ReductionMethod::Race,
     ];
     let mut out = Vec::new();
     for &format in &formats {
@@ -366,7 +376,7 @@ mod tests {
             .iter()
             .all(|(s, _)| !(s.format == FormatTag::Hybrid && s.method == ReductionMethod::Naive)));
         // 3 formats × 3 methods − hybrid-naive = 8 combos, × 2 threads × 2 lanes.
-        assert_eq!(all.len(), 8 * 2 * 2);
+        assert_eq!(all.len(), 9 * 2 * 2);
         assert!(all.iter().all(|(_, c)| c.is_finite() && *c > 0.0));
     }
 

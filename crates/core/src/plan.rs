@@ -23,12 +23,32 @@ use symspmv_runtime::{
 };
 use symspmv_sparse::SssMatrix;
 use symspmv_verify::{
-    certify_sym_symbolic, RaceCertificate, StructureFacts, SymPlanRef, SymStrategyKind,
+    certify_race_symbolic, certify_sym_symbolic, ColoringFacts, RaceCertificate, StructureFacts,
+    SymPlanRef, SymStrategyKind,
 };
 
 /// The pseudo-strategy namespace under which the shared row partition is
 /// memoized: every strategy for the same (matrix, nthreads) pair reuses it.
 const PARTS_NAMESPACE: &str = "parts";
+
+/// The RACE group schedule of a scheduled (coloring) strategy: the rows of
+/// each distance-2-disjoint group plus the per-thread split of every
+/// group's row list. The kernel runs the groups one barrier apart with all
+/// threads writing `y` directly.
+#[derive(Debug)]
+pub struct GroupSchedule {
+    /// Rows of each group, ascending; the groups partition `0..n`.
+    pub groups: Vec<Vec<u32>>,
+    /// Per-group, per-thread ranges into the group's row list,
+    /// nnz-balanced within the group.
+    pub group_parts: Vec<Vec<Range>>,
+    /// Group id of every row.
+    pub group_of: Vec<u32>,
+    /// BFS level of every row (axiom data for the symbolic certifier).
+    pub levels: Vec<u32>,
+    /// Within-level subcolor of every row (axiom data).
+    pub subcolors: Vec<u32>,
+}
 
 /// One fully-derived, certified plan for a (matrix, nthreads, strategy)
 /// configuration.
@@ -48,6 +68,9 @@ pub struct CachedSymPlan {
     pub reduce_chunks: Vec<Range>,
     /// The machine-checked race-freedom proof for this plan.
     pub cert: RaceCertificate,
+    /// RACE group schedule (scheduled strategies only; `None` for the
+    /// local-vectors reduction family).
+    pub schedule: Option<Arc<GroupSchedule>>,
 }
 
 impl CachedSymPlan {
@@ -102,6 +125,10 @@ impl CachedSymPlan {
                 ctx.plan_cache_put(parts_key, Arc::clone(&p) as Arc<dyn Any + Send + Sync>);
                 p
             });
+
+        if strategy.scheduled() {
+            return Self::derive_scheduled(sss, fingerprint, parts, nthreads);
+        }
 
         // The conflict analysis runs for every strategy now: the symbolic
         // certifier consumes the per-thread conflict profile, and index-free
@@ -170,6 +197,95 @@ impl CachedSymPlan {
             index,
             reduce_chunks,
             cert,
+            schedule: None,
+        }
+    }
+
+    /// Derives the plan of a scheduled (RACE coloring) strategy: a
+    /// recursive level coloring partitions the rows into
+    /// distance-2-disjoint groups, each group is nnz-balanced across the
+    /// threads, and the schedule is dual-certified — symbolically from the
+    /// coloring axioms, and (in debug builds) by exhaustive write-set
+    /// enumeration, with the two certificates required to agree exactly.
+    /// No local vectors exist: `local_len` is zero, so the kernel's reduce
+    /// phase vanishes.
+    fn derive_scheduled(
+        sss: &SssMatrix,
+        fingerprint: u64,
+        parts: Arc<Vec<Range>>,
+        nthreads: usize,
+    ) -> CachedSymPlan {
+        let n = sss.n() as usize;
+        let coloring = symspmv_reorder::level_color_lower(sss.n(), sss.rowptr(), sss.colind());
+        let group_parts: Vec<Vec<Range>> = coloring
+            .groups
+            .iter()
+            .map(|rows| {
+                let weights: Vec<u64> = rows
+                    .iter()
+                    .map(|&r| 2 * sss.row(r).0.len() as u64 + 1)
+                    .collect();
+                balanced_ranges(&weights, nthreads)
+            })
+            .collect();
+        let schedule = GroupSchedule {
+            groups: coloring.groups,
+            group_parts,
+            group_of: coloring.group_of,
+            levels: coloring.levels,
+            subcolors: coloring.subcolors,
+        };
+
+        let facts = StructureFacts::of(sss);
+        let cert = ColoringFacts::establish(sss, &schedule.levels, &schedule.subcolors)
+            .and_then(|coloring_facts| {
+                certify_race_symbolic(
+                    &facts,
+                    &coloring_facts,
+                    &schedule.group_of,
+                    &schedule.groups,
+                    &schedule.group_parts,
+                    nthreads,
+                )
+            })
+            .unwrap_or_else(|e| {
+                // The schedule was just derived from the structure by
+                // construction; a certification failure is a scheduler (or
+                // verifier) bug, never a user-input condition.
+                unreachable!("freshly derived schedule failed race certification: {e}")
+            });
+        // Debug builds re-prove by exhaustive enumeration; the two proofs
+        // are required to agree bit-for-bit, proof form included.
+        #[cfg(debug_assertions)]
+        {
+            match symspmv_verify::certify_race(
+                sss,
+                &schedule.groups,
+                &schedule.group_parts,
+                nthreads,
+            ) {
+                Ok(enumerated) => assert_eq!(
+                    cert, enumerated,
+                    "symbolic and enumerative race certificates diverge"
+                ),
+                Err(e) => unreachable!("enumerative re-certification failed: {e}"),
+            }
+        }
+
+        CachedSymPlan {
+            fingerprint,
+            parts,
+            offsets: vec![0; nthreads],
+            local_len: 0,
+            index: ConflictIndex {
+                entries: Vec::new(),
+                conflicts: vec![Vec::new(); nthreads],
+                splits: vec![0; nthreads + 1],
+                effective_region_len: 0,
+            },
+            reduce_chunks: balanced_ranges(&vec![1u64; n], nthreads),
+            cert,
+            schedule: Some(Arc::new(schedule)),
         }
     }
 }

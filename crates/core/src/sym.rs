@@ -24,7 +24,7 @@ use crate::csx_sym::{
     CsxSymMatrix,
 };
 use crate::error::SymSpmvError;
-use crate::plan::CachedSymPlan;
+use crate::plan::{CachedSymPlan, GroupSchedule};
 use crate::shared::SharedBuf;
 use crate::symbolic::ConflictIndex;
 use crate::traits::ParallelSpmv;
@@ -51,6 +51,10 @@ pub enum ReductionMethod {
     EffectiveRanges,
     /// Local-vectors indexing (§III-C — the paper's scheme).
     Indexing,
+    /// RACE-style coloring schedule (Alappat et al.): distance-2-disjoint
+    /// row groups run one barrier apart with direct writes — no local
+    /// vectors, no reduction phase at all. SSS format only.
+    Race,
 }
 
 impl ReductionMethod {
@@ -61,6 +65,7 @@ impl ReductionMethod {
             ReductionMethod::Naive => "naive",
             ReductionMethod::EffectiveRanges => "eff",
             ReductionMethod::Indexing => "idx",
+            ReductionMethod::Race => "race",
         }
     }
 }
@@ -183,7 +188,7 @@ impl SymSpmv {
         method: ReductionMethod,
         format: SymFormat,
     ) -> Self {
-        // The three built-ins are registered at context creation and the
+        // The built-ins are registered at context creation and the
         // registry never removes entries, so the lookup cannot fail.
         let strategy = ctx.reduction(method.tag()).unwrap_or_else(|| {
             unreachable!("built-in reduction strategy missing from the context registry")
@@ -205,7 +210,9 @@ impl SymSpmv {
         let strategy = ctx.reduction(strategy_name)?;
         // Classify the custom strategy into the nearest paper family so
         // `method()` keeps reporting something meaningful.
-        let method = if !strategy.direct_write() {
+        let method = if strategy.scheduled() {
+            ReductionMethod::Race
+        } else if !strategy.direct_write() {
             ReductionMethod::Naive
         } else if strategy.needs_index() {
             ReductionMethod::Indexing
@@ -243,6 +250,10 @@ impl SymSpmv {
         assert!(
             !matches!(format, SymFormat::Hybrid { .. }) || strategy.direct_write(),
             "the hybrid format supports the direct-write methods only"
+        );
+        assert!(
+            matches!(format, SymFormat::Sss) || !strategy.scheduled(),
+            "the race schedule supports the SSS format only"
         );
         let mut times = PhaseTimes::new();
 
@@ -396,6 +407,12 @@ impl SymSpmv {
         &self.strategy
     }
 
+    /// Number of color groups of a scheduled (race) plan; `None` for the
+    /// reduction-based strategies.
+    pub fn schedule_groups(&self) -> Option<usize> {
+        self.plan.schedule.as_ref().map(|s| s.groups.len())
+    }
+
     /// Elements of local-vector store leased from the arena per call —
     /// `p·N` for the naive layout, `Σ start_i` for the effective layouts
     /// (the working-set term of Eqs. 3/4/6).
@@ -444,6 +461,13 @@ impl SymSpmv {
 
     fn multiply_ops<O: SymmetryOps>(&self, x: &[Val], y: &mut [Val], flat_buf: SharedBuf<'_>) {
         let y_buf = SharedBuf::new(y);
+        if let Some(schedule) = &self.plan.schedule {
+            let Storage::Sss(sss) = &self.storage else {
+                unreachable!("the race schedule supports the SSS format only")
+            };
+            self.multiply_race::<O>(sss, schedule, x, y_buf);
+            return;
+        }
         let parts: &[Range] = &self.plan.parts;
         let offsets = &self.plan.offsets;
         let n = self.n;
@@ -611,6 +635,13 @@ impl SymSpmv {
         let lanes = x.lanes();
         let y_buf = SharedBuf::new(y.as_mut_slice());
         let x = x.as_slice();
+        if let Some(schedule) = &self.plan.schedule {
+            let Storage::Sss(sss) = &self.storage else {
+                unreachable!("the race schedule supports the SSS format only")
+            };
+            self.multiply_race_block::<O>(sss, schedule, lanes, x, y_buf);
+            return;
+        }
         let parts: &[Range] = &self.plan.parts;
         let offsets = &self.plan.offsets;
         let n = self.n;
@@ -761,6 +792,119 @@ impl SymSpmv {
                     );
                 });
             }
+        }
+    }
+
+    /// The reduction-free scheduled multiply (ROADMAP item 3, RACE): a
+    /// diagonal pre-pass over disjoint row chunks, then one barriered pool
+    /// round per group. Within a group the certificate proves the write
+    /// sets `{r} ∪ cols(r)` pairwise disjoint, so every thread scatters
+    /// into `y` directly — zero local vectors, zero atomics; the reduce
+    /// phase never runs (`local_len == 0`).
+    fn multiply_race<O: SymmetryOps>(
+        &self,
+        sss: &SssMatrix,
+        schedule: &GroupSchedule,
+        x: &[Val],
+        y_buf: SharedBuf<'_>,
+    ) {
+        let chunks: &[Range] = &self.plan.reduce_chunks;
+        let dv = sss.dvalues();
+        self.ctx.run(&|tid| {
+            let chunk = chunks[tid];
+            if chunk.is_empty() {
+                return;
+            }
+            // SAFETY(cert: disjoint-direct): the row chunks tile 0..n, so
+            // this diagonal pre-pass writes each y[r] exactly once.
+            let my_y = unsafe { y_buf.range_mut(chunk.start as usize, chunk.end as usize) };
+            let dvs = &dv[chunk.start as usize..chunk.end as usize];
+            let xs = &x[chunk.start as usize..chunk.end as usize];
+            for ((slot, &d), &xi) in my_y.iter_mut().zip(dvs).zip(xs) {
+                *slot = d * xi;
+            }
+        });
+        for (rows, parts) in schedule.groups.iter().zip(&schedule.group_parts) {
+            self.ctx.run(&|tid| {
+                let part = parts[tid];
+                for &r in &rows[part.start as usize..part.end as usize] {
+                    let (cols, vals, pair) = sss.row_with_paired(r);
+                    let xr = x[r as usize];
+                    let mut acc = 0.0;
+                    for ((&c, &v), &u) in cols.iter().zip(vals).zip(pair) {
+                        acc += v * x[c as usize];
+                        // SAFETY(cert: color-class): rows of one group never
+                        // share a write target, and the barrier between
+                        // group rounds orders cross-group writes.
+                        unsafe { y_buf.add(c as usize, O::transposed(v, u) * xr) };
+                    }
+                    // SAFETY(cert: color-class): y[r] is claimed by row r
+                    // alone within this group.
+                    unsafe { y_buf.add(r as usize, acc) };
+                }
+            });
+        }
+    }
+
+    /// The batched twin of [`SymSpmv::multiply_race`]: identical traversal
+    /// with lane-interleaved buffers and the lanes innermost, so every lane
+    /// computes the scalar schedule's exact float sequence.
+    fn multiply_race_block<O: SymmetryOps>(
+        &self,
+        sss: &SssMatrix,
+        schedule: &GroupSchedule,
+        lanes: usize,
+        x: &[Val],
+        y_buf: SharedBuf<'_>,
+    ) {
+        let chunks: &[Range] = &self.plan.reduce_chunks;
+        let dv = sss.dvalues();
+        self.ctx.run(&|tid| {
+            let chunk = chunks[tid];
+            if chunk.is_empty() {
+                return;
+            }
+            let (lo, hi) = (chunk.start as usize * lanes, chunk.end as usize * lanes);
+            // SAFETY(cert: lane-lifted): the disjoint row chunks scale to
+            // disjoint lane groups.
+            let my_y = unsafe { y_buf.range_mut(lo, hi) };
+            let split = chunk.start as usize;
+            for r in split..chunk.end as usize {
+                let d = dv[r];
+                let xr = &x[r * lanes..(r + 1) * lanes];
+                let yr = &mut my_y[(r - split) * lanes..(r - split + 1) * lanes];
+                for j in 0..lanes {
+                    yr[j] = d * xr[j];
+                }
+            }
+        });
+        for (rows, parts) in schedule.groups.iter().zip(&schedule.group_parts) {
+            self.ctx.run(&|tid| {
+                let part = parts[tid];
+                for &r in &rows[part.start as usize..part.end as usize] {
+                    let (cols, vals, pair) = sss.row_with_paired(r);
+                    let ru = r as usize;
+                    let xr = &x[ru * lanes..(ru + 1) * lanes];
+                    let mut acc = [0.0; MAX_LANES];
+                    for ((&c, &v), &u) in cols.iter().zip(vals).zip(pair) {
+                        let c = c as usize;
+                        let t = O::transposed(v, u);
+                        let xc = &x[c * lanes..(c + 1) * lanes];
+                        for j in 0..lanes {
+                            acc[j] += v * xc[j];
+                            // SAFETY(cert: color-class): lane groups of the
+                            // group's pairwise-disjoint targets never
+                            // overlap within a group round.
+                            unsafe { y_buf.add(c * lanes + j, t * xr[j]) };
+                        }
+                    }
+                    for (j, a) in acc.iter().enumerate().take(lanes) {
+                        // SAFETY(cert: color-class): y[r,·] is claimed by
+                        // row r alone within this group.
+                        unsafe { y_buf.add(ru * lanes + j, *a) };
+                    }
+                }
+            });
         }
     }
 
@@ -947,6 +1091,7 @@ impl ParallelSpmv for SymSpmv {
             ("sss", "naive") => Cow::Borrowed("sss-naive"),
             ("sss", "eff") => Cow::Borrowed("sss-eff"),
             ("sss", "idx") => Cow::Borrowed("sss-idx"),
+            ("sss", "race") => Cow::Borrowed("sss-race"),
             ("csxsym", "naive") => Cow::Borrowed("csxsym-naive"),
             ("csxsym", "eff") => Cow::Borrowed("csxsym-eff"),
             ("csxsym", "idx") => Cow::Borrowed("csxsym-idx"),
@@ -1024,6 +1169,28 @@ impl crate::traits::SymbolicDescribe for SymSpmv {
         &self,
     ) -> Option<Result<symspmv_verify::RaceCertificate, symspmv_verify::VerifyError>> {
         let facts = self.structure_facts()?;
+        if let Some(schedule) = &self.plan.schedule {
+            let Storage::Sss(sss) = &self.storage else {
+                unreachable!("the race schedule supports the SSS format only")
+            };
+            return Some(
+                symspmv_verify::ColoringFacts::establish(
+                    sss,
+                    &schedule.levels,
+                    &schedule.subcolors,
+                )
+                .and_then(|coloring| {
+                    symspmv_verify::certify_race_symbolic(
+                        &facts,
+                        &coloring,
+                        &schedule.group_of,
+                        &schedule.groups,
+                        &schedule.group_parts,
+                        self.ctx.nthreads(),
+                    )
+                }),
+            );
+        }
         let kind = symspmv_verify::SymStrategyKind::from_tag(&self.plan.cert.strategy)?;
         let plan_ref = symspmv_verify::SymPlanRef {
             parts: &self.plan.parts,
@@ -1064,6 +1231,8 @@ mod tests {
             v.push(SymSpmv::from_coo(coo, ctx, method, SymFormat::Sss).unwrap());
             v.push(SymSpmv::from_coo(coo, ctx, method, SymFormat::CsxSym(csx_cfg())).unwrap());
         }
+        // The scheduled strategy supports SSS only.
+        v.push(SymSpmv::from_coo(coo, ctx, ReductionMethod::Race, SymFormat::Sss).unwrap());
         v
     }
 
@@ -1537,6 +1706,80 @@ mod edge_tests {
         assert!(
             idx.local_len() < 3 * 256,
             "effective regions are Σ start_i < (p-1)N"
+        );
+    }
+
+    #[test]
+    fn race_schedule_is_reduction_free() {
+        // The tentpole property of the RACE scheme: zero local vectors,
+        // zero conflict index, no reduce round — just the diagonal
+        // pre-pass plus one barriered pool round per color group.
+        let coo = symspmv_sparse::gen::laplacian_2d(16, 16); // N = 256
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let x = seeded_vector(256, 11);
+        let mut y_ref = vec![0.0; 256];
+        sss.spmv(&x, &mut y_ref);
+
+        let ctx = ExecutionContext::new(4);
+        let mut eng = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Race, SymFormat::Sss).unwrap();
+        assert_eq!(eng.name(), "sss-race");
+        assert!(
+            matches!(eng.name(), Cow::Borrowed(_)),
+            "built-in names must not allocate"
+        );
+        assert_eq!(eng.method(), ReductionMethod::Race);
+        assert_eq!(eng.local_len(), 0, "race leases no local vectors");
+        assert!(eng.conflict_index().entries.is_empty());
+
+        let groups = eng.plan.schedule.as_ref().unwrap().groups.len();
+        assert!(groups >= 2, "a 2-D Laplacian needs at least two colors");
+
+        let rounds_before = ctx.pool_rounds();
+        let mut y = vec![f64::NAN; 256];
+        eng.spmv(&x, &mut y);
+        assert_vec_close(&y, &y_ref, 1e-12);
+        assert_eq!(
+            ctx.pool_rounds() - rounds_before,
+            1 + groups,
+            "one diagonal pre-pass plus one barriered round per group"
+        );
+        assert_eq!(eng.times().reduce, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn race_certificate_carries_coloring_proof() {
+        let coo = symspmv_sparse::gen::banded_random(300, 9, 5.0, 3);
+        let ctx = ExecutionContext::new(3);
+        let eng = SymSpmv::from_coo(&coo, &ctx, ReductionMethod::Race, SymFormat::Sss).unwrap();
+        let cert = eng.certificate().clone();
+        assert_eq!(cert.strategy, "race");
+        assert_eq!(cert.local_elems, 0);
+        assert!(cert.proves("color-class"));
+        assert!(cert.proves("disjoint-direct"));
+        assert!(matches!(
+            cert.proof,
+            symspmv_verify::ProofForm::ColoringDisjoint { reach: 2, .. }
+        ));
+        // The symbolic re-derivation must reproduce the plan-time
+        // certificate bit-for-bit.
+        use crate::traits::SymbolicDescribe;
+        let sym = eng.recertify_symbolic().unwrap().unwrap();
+        assert_eq!(sym, cert);
+    }
+
+    #[test]
+    #[should_panic(expected = "the race schedule supports the SSS format only")]
+    fn race_rejects_csxsym() {
+        let coo = symspmv_sparse::gen::laplacian_2d(8, 8);
+        let ctx = ExecutionContext::new(2);
+        let _ = SymSpmv::from_coo(
+            &coo,
+            &ctx,
+            ReductionMethod::Race,
+            SymFormat::CsxSym(DetectConfig {
+                min_coverage: 0.0,
+                ..DetectConfig::default()
+            }),
         );
     }
 }

@@ -42,7 +42,7 @@
 use std::process::ExitCode;
 use symspmv_harness::experiments::{self, ExpConfig};
 
-const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|spmm|kinds|tune|related|verify|chaos|plot|machine|all>
+const USAGE: &str = "usage: experiments <table1|fig4|fig5|fig9|fig10|fig11|fig12|table3|fig13|preproc|fig14|ablation|atomics|spmm|kinds|colors|tune|related|verify|chaos|plot|machine|all>
                    [--scale f] [--iters k] [--threads p] [--out dir]
                    [--matrix name]... [--cg-iters k] [--rhs k] [--seed k]";
 
@@ -149,6 +149,7 @@ fn main() -> ExitCode {
         "atomics" => experiments::atomics(&cfg),
         "spmm" => experiments::spmm(&cfg),
         "kinds" => experiments::kinds(&cfg),
+        "colors" => experiments::colors(&cfg),
         "tune" => experiments::tune(&cfg),
         "related" => experiments::related(&cfg),
         "verify" => experiments::verify(&cfg),

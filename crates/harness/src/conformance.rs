@@ -106,12 +106,13 @@ pub fn full_suite() -> Vec<SuiteMatrix> {
 
 /// The formats with a batched (SpMM) path — the oracle's format axis.
 pub fn block_specs() -> Vec<KernelSpec> {
-    use ReductionMethod::{EffectiveRanges as Eff, Indexing as Idx, Naive};
+    use ReductionMethod::{EffectiveRanges as Eff, Indexing as Idx, Naive, Race};
     vec![
         KernelSpec::Csr,
         KernelSpec::Sss(Naive),
         KernelSpec::Sss(Eff),
         KernelSpec::Sss(Idx),
+        KernelSpec::Sss(Race),
         KernelSpec::CsxSym(Naive),
         KernelSpec::CsxSym(Eff),
         KernelSpec::CsxSym(Idx),
@@ -171,7 +172,10 @@ pub fn build_block_kernel_kind(
 
 /// Whether `(spec, nthreads)` is in the bitwise conformance class against
 /// the serial SSS reference: the direct-write SSS strategies at one thread
-/// run the reference's exact per-element op order.
+/// run the reference's exact per-element op order. The scheduled `sss-race`
+/// kernel is *not* in the class even at one thread — its diagonal pre-pass
+/// initializes `y[r] = d·x[r]` before the grouped scatter, a different sum
+/// order than the reference's fused `d·x[r] + acc` final write.
 pub fn is_bitwise_class(spec: KernelSpec, nthreads: usize) -> bool {
     nthreads == 1
         && matches!(

@@ -471,6 +471,55 @@ pub fn fig10(cfg: &ExpConfig) -> Result<(), HarnessError> {
     Ok(())
 }
 
+/// E-COLOR — the coloring-scheduled strategy against the paper's best
+/// reduction strategy: per matrix at max threads, the schedule's group
+/// count (barriers per spmv), both kernels' times, and the `sss-idx`
+/// reduce share the schedule eliminates. `sss-race` runs all threads
+/// directly on `y` — no local vectors, no reduction phase — at the cost
+/// of one barrier per color group.
+pub fn colors(cfg: &ExpConfig) -> Result<(), HarnessError> {
+    println!(
+        "== Colors: reduction-free sss-race vs sss-idx at {} threads ==\n",
+        cfg.max_threads
+    );
+    let mut t = Table::new(&[
+        "matrix",
+        "groups",
+        "race(ms)",
+        "idx(ms)",
+        "idx reduce share",
+        "race/idx",
+    ]);
+    let ctx = ExecutionContext::new(cfg.max_threads);
+    for m in cfg.suite() {
+        let mut race = SymSpmv::from_coo(&m.coo, &ctx, ReductionMethod::Race, SymFormat::Sss)
+            .map_err(|e| HarnessError::matrix("SSS race kernel", m.spec.name, e))?;
+        let groups = race.schedule_groups().unwrap_or(0);
+        let mut idx = SymSpmv::from_coo(&m.coo, &ctx, ReductionMethod::Indexing, SymFormat::Sss)
+            .map_err(|e| HarnessError::matrix("SSS idx kernel", m.spec.name, e))?;
+        let mr = measure(&mut race, cfg.iterations);
+        let mi = measure(&mut idx, cfg.iterations);
+        let race_ms = mr.wall.as_secs_f64() * 1e3;
+        let idx_ms = mi.wall.as_secs_f64() * 1e3;
+        let mult = mi.times.multiply.as_secs_f64();
+        let red = mi.times.reduce.as_secs_f64();
+        t.row(vec![
+            m.spec.name.into(),
+            groups.to_string(),
+            f(race_ms, 2),
+            f(idx_ms, 2),
+            pct(red / (mult + red).max(1e-12)),
+            f(race_ms / idx_ms.max(1e-12), 2),
+        ]);
+    }
+    cfg.emit("colors", &t)?;
+    println!(
+        "(RACE-style level coloring: direct writes, zero locals — wins where \
+         sss-idx's reduction phase dominates)\n"
+    );
+    Ok(())
+}
+
 /// E6 — Fig. 11: CSX-Sym speedup versus CSR/CSX/SSS-idx.
 pub fn fig11(cfg: &ExpConfig) -> Result<(), HarnessError> {
     speedup_figure(
@@ -963,6 +1012,7 @@ pub fn verify(cfg: &ExpConfig) -> Result<(), HarnessError> {
         "sss-naive",
         "sss-eff",
         "sss-idx",
+        "sss-race",
         "sss-atomic",
         "sss-color",
         "csxsym-naive",
@@ -1440,6 +1490,7 @@ pub fn all(cfg: &ExpConfig) -> Result<(), HarnessError> {
     atomics(cfg)?;
     spmm(cfg)?;
     kinds(cfg)?;
+    colors(cfg)?;
     tune(cfg)?;
     related(cfg)
 }

@@ -39,13 +39,17 @@ impl KernelSpec {
     /// Spec name matching the kernels' `name()` output. Static — report
     /// loops over lineups never allocate for names.
     pub fn name(&self) -> &'static str {
-        use ReductionMethod::{EffectiveRanges as Eff, Indexing as Idx, Naive};
+        use ReductionMethod::{EffectiveRanges as Eff, Indexing as Idx, Naive, Race};
         match self {
             KernelSpec::Csr => "csr",
             KernelSpec::Csx => "csx",
             KernelSpec::Sss(Naive) => "sss-naive",
             KernelSpec::Sss(Eff) => "sss-eff",
             KernelSpec::Sss(Idx) => "sss-idx",
+            KernelSpec::Sss(Race) => "sss-race",
+            KernelSpec::CsxSym(Race) | KernelSpec::Hybrid(Race) => {
+                unreachable!("the race schedule supports the SSS format only")
+            }
             KernelSpec::SssAtomic => "sss-atomic",
             KernelSpec::Csb => "csb",
             KernelSpec::Bcsr => "bcsr",
@@ -72,6 +76,9 @@ impl KernelSpec {
         match s {
             "csr" => Some(KernelSpec::Csr),
             "csx" => Some(KernelSpec::Csx),
+            // The scheduled strategy exists for SSS only; `csxsym-race` and
+            // `hybrid-race` stay unparseable.
+            "sss-race" => Some(KernelSpec::Sss(ReductionMethod::Race)),
             "sss-atomic" => Some(KernelSpec::SssAtomic),
             "csb" => Some(KernelSpec::Csb),
             "bcsr" => Some(KernelSpec::Bcsr),
@@ -205,6 +212,7 @@ mod tests {
             KernelSpec::Sss(ReductionMethod::Naive),
             KernelSpec::Sss(ReductionMethod::EffectiveRanges),
             KernelSpec::Sss(ReductionMethod::Indexing),
+            KernelSpec::Sss(ReductionMethod::Race),
             KernelSpec::CsxSym(ReductionMethod::Indexing),
             KernelSpec::SssAtomic,
             KernelSpec::Csb,
@@ -216,6 +224,8 @@ mod tests {
         }
         assert_eq!(KernelSpec::parse("nope"), None);
         assert_eq!(KernelSpec::parse("sss-bogus"), None);
+        assert_eq!(KernelSpec::parse("csxsym-race"), None);
+        assert_eq!(KernelSpec::parse("hybrid-race"), None);
     }
 
     #[test]

@@ -44,6 +44,39 @@ impl AdjGraph {
         AdjGraph { n, xadj, adj }
     }
 
+    /// Builds the adjacency graph from a strict-lower-triangle CSR pattern
+    /// (the column layout of an SSS matrix): `colind[rowptr[r]..rowptr[r+1]]`
+    /// holds the columns `c < r` of row `r`. Every stored edge is mirrored,
+    /// so the graph is the full symmetric adjacency of the matrix.
+    pub fn from_lower_csr(n: Idx, rowptr: &[Idx], colind: &[Idx]) -> Self {
+        assert_eq!(
+            rowptr.len(),
+            n as usize + 1,
+            "rowptr must have n + 1 entries"
+        );
+        let mut edges: Vec<(Idx, Idx)> = Vec::with_capacity(colind.len() * 2);
+        for r in 0..n {
+            let lo = rowptr[r as usize] as usize;
+            let hi = rowptr[r as usize + 1] as usize;
+            for &c in &colind[lo..hi] {
+                assert!(c < r, "lower-CSR pattern stores only columns below the row");
+                edges.push((r, c));
+                edges.push((c, r));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let mut xadj = vec![0usize; n as usize + 1];
+        for &(r, _) in &edges {
+            xadj[r as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            xadj[i + 1] += xadj[i];
+        }
+        let adj = edges.into_iter().map(|(_, c)| c).collect();
+        AdjGraph { n, xadj, adj }
+    }
+
     /// Number of vertices.
     pub fn n(&self) -> Idx {
         self.n

@@ -8,8 +8,10 @@
 //! the adjacency-graph and BFS machinery it needs.
 
 pub mod bfs;
+pub mod color;
 pub mod graph;
 pub mod rcm;
 
+pub use color::{level_color, level_color_lower, LevelColoring};
 pub use graph::AdjGraph;
 pub use rcm::{rcm_order, rcm_permutation};

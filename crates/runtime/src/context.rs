@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use crate::fault::FaultPlan;
 use crate::pool::{WorkerPanic, WorkerPanicInfo, WorkerPool};
 use crate::reduction::{
-    EffectiveRangesReduction, IndexingReduction, NaiveReduction, ReductionStrategy,
+    EffectiveRangesReduction, IndexingReduction, NaiveReduction, RaceReduction, ReductionStrategy,
 };
 use crate::supervisor::{HealthState, PoolHealth, Supervision, SupervisionCell};
 use crate::timing::PhaseTimes;
@@ -290,6 +290,7 @@ impl ExecutionContext {
         ctx.register_reduction(Arc::new(NaiveReduction));
         ctx.register_reduction(Arc::new(EffectiveRangesReduction));
         ctx.register_reduction(Arc::new(IndexingReduction));
+        ctx.register_reduction(Arc::new(RaceReduction));
         Arc::new(ctx)
     }
 
@@ -776,8 +777,11 @@ mod tests {
     #[test]
     fn builtin_strategies_registered() {
         let ctx = ExecutionContext::new(1);
-        assert_eq!(ctx.reduction_names(), vec!["eff", "idx", "naive"]);
+        assert_eq!(ctx.reduction_names(), vec!["eff", "idx", "naive", "race"]);
         assert!(ctx.reduction("idx").unwrap().needs_index());
+        assert!(ctx.reduction("race").unwrap().scheduled());
+        assert!(ctx.reduction("race").unwrap().direct_write());
+        assert!(!ctx.reduction("idx").unwrap().scheduled());
         assert!(!ctx.reduction("naive").unwrap().direct_write());
         assert!(ctx.reduction("nope").is_none());
     }

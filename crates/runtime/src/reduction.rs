@@ -95,6 +95,15 @@ pub trait ReductionStrategy: Send + Sync {
         false
     }
 
+    /// Whether the strategy *schedules the conflict away* instead of
+    /// reducing it: the kernel executes precomputed distance-2-disjoint row
+    /// groups one barrier apart with every thread writing `y` directly, so
+    /// there are no local vectors and [`reduce`](ReductionStrategy::reduce)
+    /// never has work.
+    fn scheduled(&self) -> bool {
+        false
+    }
+
     /// Local-vector layout for a given dimension and partition.
     fn layout(&self, n: usize, parts: &[Range]) -> LocalLayout;
 
@@ -170,6 +179,37 @@ impl ReductionStrategy for NaiveReduction {
                 }
             }
         });
+    }
+}
+
+/// RACE-style coloring schedule (Alappat et al.): the kernel runs the rows
+/// group-by-group with all threads writing `y` directly, so no local
+/// vectors exist and the reduction phase vanishes entirely.
+pub struct RaceReduction;
+
+impl ReductionStrategy for RaceReduction {
+    fn name(&self) -> &'static str {
+        "race"
+    }
+
+    fn direct_write(&self) -> bool {
+        true
+    }
+
+    fn scheduled(&self) -> bool {
+        true
+    }
+
+    fn layout(&self, _n: usize, parts: &[Range]) -> LocalLayout {
+        LocalLayout {
+            flat_len: 0,
+            offsets: vec![0; parts.len()],
+        }
+    }
+
+    fn reduce(&self, _pool: &mut WorkerPool, job: &ReduceJob<'_>) {
+        // Nothing to fold: the schedule leaves no local vectors behind.
+        debug_assert_eq!(job.locals.len(), 0);
     }
 }
 

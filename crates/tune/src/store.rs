@@ -134,6 +134,7 @@ fn method_from_tag(tag: &str) -> Result<ReductionMethod, SymSpmvError> {
         "naive" => Ok(ReductionMethod::Naive),
         "eff" => Ok(ReductionMethod::EffectiveRanges),
         "idx" => Ok(ReductionMethod::Indexing),
+        "race" => Ok(ReductionMethod::Race),
         other => Err(parse_err(format!("unknown reduction method tag {other:?}"))),
     }
 }

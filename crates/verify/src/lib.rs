@@ -52,9 +52,10 @@ pub use csx_check::{certify_csx_chunk, certify_csx_chunks};
 pub use error::VerifyError;
 pub use rules::{default_rules, run_rules, Finding, LintRule};
 pub use symbolic::{
-    certify_color_symbolic, certify_rows_symbolic, certify_sym_symbolic, lift_symbolic,
-    stride_classes, StructureFacts,
+    certify_color_symbolic, certify_race_symbolic, certify_rows_symbolic, certify_sym_symbolic,
+    lift_symbolic, stride_classes, ColoringFacts, StructureFacts,
 };
 pub use writeset::{
-    certify_color, certify_rows, certify_sym, lift_sym_certificate, SymPlanRef, SymStrategyKind,
+    certify_color, certify_race, certify_rows, certify_sym, lift_sym_certificate, SymPlanRef,
+    SymStrategyKind,
 };

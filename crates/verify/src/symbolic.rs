@@ -565,6 +565,268 @@ pub fn certify_color_symbolic(
     })
 }
 
+/// Structure-derived axioms of a RACE level coloring, established once per
+/// `(matrix, coloring)` pair — the symbolic analogue of
+/// [`StructureFacts`] for the recursive scheduler.
+///
+/// Two axioms are walked from the structure (`O(nnz)`, amortized over
+/// every thread-count/lane configuration the plan cache derives):
+///
+/// 1. **Level locality** — every stored edge `(r, c)` spans at most one
+///    BFS level, so the write window of row `r` only touches rows whose
+///    level is within `level(r) ± 1`; rows whose levels differ by ≥ 3 can
+///    never conflict. This is what makes the `level % 3` phase folding of
+///    the group numbering sound.
+/// 2. **Subcolor disjointness** — within one `(level, subcolor)` class the
+///    write sets `{r} ∪ cols(r)` are pairwise disjoint.
+///
+/// Together: two rows share a group iff they agree on `level % 3` *and*
+/// subcolor, which by the axioms means either the same level (axiom 2) or
+/// levels ≥ 3 apart (axiom 1) — disjoint write sets either way. The
+/// per-plan check [`certify_race_symbolic`] then never touches the
+/// structure again: it only verifies the arithmetic of the group numbering
+/// and the tiling of the barriered rounds, in `O(n + p·groups)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColoringFacts {
+    /// Structural fingerprint of the matrix the axioms were walked on.
+    pub fingerprint: u64,
+    /// Matrix dimension.
+    pub n: u32,
+    /// BFS level of every row.
+    pub levels: Vec<u32>,
+    /// Within-level subcolor of every row.
+    pub subcolors: Vec<u32>,
+    /// Palette size of each `level % 3` phase (max subcolor count over the
+    /// levels congruent to that residue).
+    pub phase_sizes: [u32; 3],
+}
+
+impl ColoringFacts {
+    /// Walks the two coloring axioms on the structure, rejecting level or
+    /// subcolor assignments that do not support the distance-2 proof.
+    pub fn establish(
+        sss: &SssMatrix,
+        levels: &[u32],
+        subcolors: &[u32],
+    ) -> Result<Self, VerifyError> {
+        let n = sss.n() as usize;
+        if levels.len() != n || subcolors.len() != n {
+            return Err(VerifyError::MalformedPlan {
+                reason: format!(
+                    "{} levels / {} subcolors for {n} rows",
+                    levels.len(),
+                    subcolors.len()
+                ),
+            });
+        }
+        // Axiom 1: stored edges span at most one level.
+        for r in 0..sss.n() {
+            let (cols, _) = sss.row(r);
+            for &c in cols {
+                let (lr, lc) = (levels[r as usize], levels[c as usize]);
+                if lr.abs_diff(lc) > 1 {
+                    return Err(VerifyError::MalformedPlan {
+                        reason: format!(
+                            "edge ({r}, {c}) spans levels {lr} and {lc}; \
+                             BFS levels admit a span of at most 1"
+                        ),
+                    });
+                }
+            }
+        }
+        // Axiom 2: within one (level, subcolor) class, write sets are
+        // pairwise disjoint. Rows are grouped by class so the target
+        // stamps of one class are never clobbered by another's.
+        let mut order: Vec<u32> = (0..sss.n()).collect();
+        order.sort_unstable_by_key(|&r| (levels[r as usize], subcolors[r as usize], r));
+        let mut claimed_by = vec![u32::MAX; n];
+        let mut last_key = vec![u64::MAX; n];
+        for &r in &order {
+            let key = (u64::from(levels[r as usize]) << 32) | u64::from(subcolors[r as usize]);
+            let (cols, _) = sss.row(r);
+            for target in cols.iter().copied().chain(std::iter::once(r)) {
+                let t = target as usize;
+                if last_key[t] == key && claimed_by[t] != r {
+                    return Err(VerifyError::ColoringConflict {
+                        color: subcolors[r as usize],
+                        row_a: claimed_by[t],
+                        row_b: r,
+                        target,
+                    });
+                }
+                last_key[t] = key;
+                claimed_by[t] = r;
+            }
+        }
+        let mut phase_sizes = [0u32; 3];
+        for r in 0..n {
+            let ph = (levels[r] % 3) as usize;
+            phase_sizes[ph] = phase_sizes[ph].max(subcolors[r] + 1);
+        }
+        Ok(ColoringFacts {
+            fingerprint: sss.fingerprint(),
+            n: sss.n(),
+            levels: levels.to_vec(),
+            subcolors: subcolors.to_vec(),
+            phase_sizes,
+        })
+    }
+}
+
+/// Symbolically certifies a RACE schedule against established
+/// [`ColoringFacts`]: the group of every row must be exactly
+/// `base[level % 3] + subcolor` for the prefix-sum `base` of the phase
+/// palette sizes, the group table must mirror that map, and every group's
+/// per-thread parts must tile its row list. With the two axioms already on
+/// file, same-group rows provably have disjoint write sets, so the checks
+/// here never walk the structure — `O(n + p·groups)` per plan.
+///
+/// The certificate is field-for-field identical to
+/// [`crate::writeset::certify_race`]'s, with the same
+/// [`ProofForm::ColoringDisjoint`] proof (`stride` = group count,
+/// `reach` = 2).
+pub fn certify_race_symbolic(
+    facts: &StructureFacts,
+    coloring: &ColoringFacts,
+    group_of: &[u32],
+    groups: &[Vec<u32>],
+    group_parts: &[Vec<Range>],
+    nthreads: usize,
+) -> Result<RaceCertificate, VerifyError> {
+    if coloring.fingerprint != facts.fingerprint || coloring.n != facts.n {
+        return Err(VerifyError::MalformedPlan {
+            reason: format!(
+                "coloring facts for matrix {:#x} (n = {}) used with matrix {:#x} (n = {})",
+                coloring.fingerprint, coloring.n, facts.fingerprint, facts.n
+            ),
+        });
+    }
+    let n = facts.n as usize;
+    if group_of.len() != n {
+        return Err(VerifyError::MalformedPlan {
+            reason: format!("group map has {} entries for {n} rows", group_of.len()),
+        });
+    }
+    let sizes = coloring.phase_sizes;
+    let bases = [0, sizes[0], sizes[0] + sizes[1]];
+    let ngroups = (sizes[0] + sizes[1] + sizes[2]) as usize;
+    if groups.len() != ngroups {
+        return Err(VerifyError::MalformedPlan {
+            reason: format!(
+                "group table has {} groups for a palette of {ngroups}",
+                groups.len()
+            ),
+        });
+    }
+    for (r, &grp) in group_of.iter().enumerate().take(n) {
+        let (lv, sc) = (coloring.levels[r], coloring.subcolors[r]);
+        let ph = (lv % 3) as usize;
+        if sc >= sizes[ph] {
+            return Err(VerifyError::MalformedPlan {
+                reason: format!(
+                    "row {r} subcolor {sc} outside phase {ph} palette {}",
+                    sizes[ph]
+                ),
+            });
+        }
+        let expect = bases[ph] + sc;
+        if grp != expect {
+            return Err(VerifyError::MalformedPlan {
+                reason: format!(
+                    "row {r} grouped as {grp} but level {lv} subcolor {sc} prove group {expect}"
+                ),
+            });
+        }
+    }
+    // The group table must mirror the (now-proven) group map exactly.
+    let mut seen = vec![false; n];
+    let mut total = 0usize;
+    for (gid, rows) in groups.iter().enumerate() {
+        for &r in rows {
+            if (r as usize) >= n || group_of[r as usize] != gid as u32 {
+                return Err(VerifyError::MalformedPlan {
+                    reason: format!("group {gid} lists row {r} whose proven group differs"),
+                });
+            }
+            if seen[r as usize] {
+                return Err(VerifyError::MalformedPlan {
+                    reason: format!("row {r} listed twice in the group table"),
+                });
+            }
+            seen[r as usize] = true;
+            total += 1;
+        }
+    }
+    if total != n {
+        return Err(VerifyError::MalformedPlan {
+            reason: format!("group table covers {total} of {n} rows"),
+        });
+    }
+    if group_parts.len() != groups.len() {
+        return Err(VerifyError::MalformedPlan {
+            reason: format!(
+                "{} part lists for {} groups",
+                group_parts.len(),
+                groups.len()
+            ),
+        });
+    }
+    for (gid, (rows, parts)) in groups.iter().zip(group_parts).enumerate() {
+        if parts.len() != nthreads {
+            return Err(VerifyError::MalformedPlan {
+                reason: format!(
+                    "group {gid} has {} parts for {nthreads} threads",
+                    parts.len()
+                ),
+            });
+        }
+        check_tiling(parts, rows.len() as u32)?;
+    }
+
+    let mut invariants = vec!["color-class".to_string(), "disjoint-direct".to_string()];
+    match facts.kind {
+        SymmetryKind::Symmetric => {}
+        SymmetryKind::Skew => {
+            if let Some((r, d)) = facts.nonzero_diag {
+                return Err(VerifyError::KindSideCondition {
+                    kind: "skew",
+                    reason: format!("diagonal entry {r} is {d}, must be zero"),
+                });
+            }
+            invariants.push("skew-zero-diagonal".to_string());
+        }
+        SymmetryKind::Structural => {
+            if facts.paired_upper_len != facts.lower_nnz {
+                return Err(VerifyError::KindSideCondition {
+                    kind: "structural",
+                    reason: format!(
+                        "paired upper array has {} values for {} lower entries",
+                        facts.paired_upper_len, facts.lower_nnz
+                    ),
+                });
+            }
+            invariants.push("structural-paired".to_string());
+        }
+    }
+    Ok(RaceCertificate {
+        fingerprint: facts.fingerprint,
+        n,
+        nthreads,
+        family: "sym-sss".to_string(),
+        strategy: "race".to_string(),
+        symmetry: facts.kind.tag().to_string(),
+        invariants,
+        direct_rows: n,
+        local_elems: 0,
+        conflict_entries: groups.len(),
+        lanes: 1,
+        proof: ProofForm::ColoringDisjoint {
+            stride: groups.len() as u32,
+            reach: 2,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

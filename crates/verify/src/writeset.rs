@@ -564,6 +564,132 @@ pub fn certify_color(
     })
 }
 
+/// Certifies a RACE schedule for the reduction-free symmetric kernel by
+/// exhaustive write-set enumeration: the groups must partition the rows, no
+/// two rows of one group may share a write target (`{r} ∪ cols(r)` pairwise
+/// disjoint within the group — distance-2 disjointness of the scheduled
+/// rows), and every group's per-thread parts must tile its row list so the
+/// barriered rounds cover each row exactly once. The certificate carries a
+/// [`ProofForm::ColoringDisjoint`] proof and validates for the `"sym-sss"`
+/// family under strategy `"race"`.
+pub fn certify_race(
+    sss: &SssMatrix,
+    groups: &[Vec<u32>],
+    group_parts: &[Vec<Range>],
+    nthreads: usize,
+) -> Result<RaceCertificate, VerifyError> {
+    let n = sss.n() as usize;
+    let mut owner_group = vec![u32::MAX; n];
+    for (gid, rows) in groups.iter().enumerate() {
+        for &r in rows {
+            if (r as usize) >= n {
+                return Err(VerifyError::MalformedPlan {
+                    reason: format!("group {gid} names row {r} of {n}"),
+                });
+            }
+            if owner_group[r as usize] != u32::MAX {
+                return Err(VerifyError::MalformedPlan {
+                    reason: format!("row {r} in groups {} and {gid}", owner_group[r as usize]),
+                });
+            }
+            owner_group[r as usize] = gid as u32;
+        }
+    }
+    if let Some(r) = owner_group.iter().position(|&g| g == u32::MAX) {
+        return Err(VerifyError::MalformedPlan {
+            reason: format!("row {r} belongs to no group"),
+        });
+    }
+
+    // Per group: stamp each write target with the row that claimed it.
+    let mut claimed_by = vec![u32::MAX; n];
+    let mut epoch = vec![u32::MAX; n];
+    for (gid, rows) in groups.iter().enumerate() {
+        for &r in rows {
+            let (cols, _) = sss.row(r);
+            for target in cols.iter().copied().chain(std::iter::once(r)) {
+                let t = target as usize;
+                if epoch[t] == gid as u32 && claimed_by[t] != r {
+                    return Err(VerifyError::ColoringConflict {
+                        color: gid as u32,
+                        row_a: claimed_by[t],
+                        row_b: r,
+                        target,
+                    });
+                }
+                epoch[t] = gid as u32;
+                claimed_by[t] = r;
+            }
+        }
+    }
+
+    // The barriered rounds: each group's parts must tile its row list.
+    if group_parts.len() != groups.len() {
+        return Err(VerifyError::MalformedPlan {
+            reason: format!(
+                "{} part lists for {} groups",
+                group_parts.len(),
+                groups.len()
+            ),
+        });
+    }
+    for (gid, (rows, parts)) in groups.iter().zip(group_parts).enumerate() {
+        if parts.len() != nthreads {
+            return Err(VerifyError::MalformedPlan {
+                reason: format!(
+                    "group {gid} has {} parts for {nthreads} threads",
+                    parts.len()
+                ),
+            });
+        }
+        check_tiling(parts, rows.len() as u32)?;
+    }
+
+    let mut invariants = vec!["color-class".to_string(), "disjoint-direct".to_string()];
+    match sss.kind() {
+        SymmetryKind::Symmetric => {}
+        SymmetryKind::Skew => {
+            if let Some(r) = sss.dvalues().iter().position(|&d| d != 0.0) {
+                return Err(VerifyError::KindSideCondition {
+                    kind: "skew",
+                    reason: format!("diagonal entry {r} is {}, must be zero", sss.dvalues()[r]),
+                });
+            }
+            invariants.push("skew-zero-diagonal".to_string());
+        }
+        SymmetryKind::Structural => {
+            if sss.upper_values().len() != sss.lower_nnz() {
+                return Err(VerifyError::KindSideCondition {
+                    kind: "structural",
+                    reason: format!(
+                        "paired upper array has {} values for {} lower entries",
+                        sss.upper_values().len(),
+                        sss.lower_nnz()
+                    ),
+                });
+            }
+            invariants.push("structural-paired".to_string());
+        }
+    }
+    Ok(RaceCertificate {
+        fingerprint: sss.fingerprint(),
+        n,
+        nthreads,
+        family: "sym-sss".to_string(),
+        strategy: "race".to_string(),
+        symmetry: sss.kind().tag().to_string(),
+        invariants,
+        direct_rows: n,
+        local_elems: 0,
+        conflict_entries: groups.len(),
+        lanes: 1,
+        proof: ProofForm::ColoringDisjoint {
+            stride: groups.len() as u32,
+            reach: 2,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

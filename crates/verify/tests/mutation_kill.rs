@@ -15,9 +15,9 @@ use symspmv_sparse::dense::seeded_vector;
 use symspmv_sparse::symmetry::SymmetryKind;
 use symspmv_sparse::{CooMatrix, Permutation, SssMatrix};
 use symspmv_verify::{
-    certify_color, certify_csx_chunk, certify_sym, certify_sym_symbolic, lift_sym_certificate,
-    lift_symbolic, ProofForm, RaceCertificate, StructureFacts, SymPlanRef, SymStrategyKind,
-    VerifyError,
+    certify_color, certify_csx_chunk, certify_race, certify_race_symbolic, certify_sym,
+    certify_sym_symbolic, lift_sym_certificate, lift_symbolic, ColoringFacts, ProofForm,
+    RaceCertificate, StructureFacts, SymPlanRef, SymStrategyKind, VerifyError,
 };
 
 /// A banded symmetric test matrix with cross-partition conflicts.
@@ -641,12 +641,246 @@ fn mutation_lane_offset_on_skew_plan_rejected() {
     );
 }
 
+/// A path matrix `0 — 1 — … — n-1`: the lower-triangle write set of row
+/// `r` is `{r-1, r}`, so the mod-3 level grouping below is exactly
+/// distance-2 disjoint and any boundary slip collides two adjacent rows.
+fn path_matrix(n: u32) -> SssMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0);
+    }
+    for r in 1..n {
+        coo.push(r, r - 1, -1.0);
+        coo.push(r - 1, r, -1.0);
+    }
+    SssMatrix::from_coo(&coo, 0.0).unwrap()
+}
+
+/// A star matrix (hub 0, leaves 1..=k): every leaf's write set contains
+/// the hub, so any grouping that puts two leaves together is racy — the
+/// fixture on which a distance-*1* coloring is maximally wrong.
+fn star_matrix(k: u32) -> SssMatrix {
+    let n = k + 1;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 4.0);
+    }
+    for i in 1..n {
+        coo.push(i, 0, -1.0);
+        coo.push(0, i, -1.0);
+    }
+    SssMatrix::from_coo(&coo, 0.0).unwrap()
+}
+
+/// Single-thread per-group tilings for hand-built group tables.
+fn serial_parts(groups: &[Vec<u32>]) -> Vec<Vec<Range>> {
+    groups
+        .iter()
+        .map(|g| {
+            vec![Range {
+                start: 0,
+                end: g.len() as u32,
+            }]
+        })
+        .collect()
+}
+
+/// The hand-built mod-3 level grouping of the path: `levels[r] = r`,
+/// one subcolor per phase, `group_of[r] = r % 3`.
+fn path_grouping(n: u32) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<Vec<u32>>) {
+    let levels: Vec<u32> = (0..n).collect();
+    let subcolors = vec![0u32; n as usize];
+    let group_of: Vec<u32> = (0..n).map(|r| r % 3).collect();
+    let mut groups = vec![Vec::new(); 3];
+    for r in 0..n {
+        groups[(r % 3) as usize].push(r);
+    }
+    (levels, subcolors, group_of, groups)
+}
+
+/// The hand-built level grouping of the star: hub at level 0, leaves at
+/// level 1 with one subcolor each (they all conflict through the hub).
+fn star_grouping(k: u32) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<Vec<u32>>) {
+    let n = (k + 1) as usize;
+    let mut levels = vec![1u32; n];
+    levels[0] = 0;
+    let subcolors: Vec<u32> = (0..n as u32).map(|r| r.saturating_sub(1)).collect();
+    let group_of: Vec<u32> = (0..n as u32).collect();
+    let groups: Vec<Vec<u32>> = (0..n as u32).map(|r| vec![r]).collect();
+    (levels, subcolors, group_of, groups)
+}
+
+/// The unmutated colorings certify in both certifiers — and produce the
+/// *identical* certificate, so the kill tests below start from a proven
+/// baseline in each pipeline.
+#[test]
+fn unmutated_colorings_certify_in_both_certifiers() {
+    let path = path_matrix(12);
+    let (levels, subcolors, group_of, groups) = path_grouping(12);
+    let parts = serial_parts(&groups);
+    let enumerative = certify_race(&path, &groups, &parts, 1).unwrap();
+    let coloring = ColoringFacts::establish(&path, &levels, &subcolors).unwrap();
+    let symbolic_cert = certify_race_symbolic(
+        &StructureFacts::of(&path),
+        &coloring,
+        &group_of,
+        &groups,
+        &parts,
+        1,
+    )
+    .unwrap();
+    assert_eq!(enumerative, symbolic_cert);
+    assert!(matches!(
+        enumerative.proof,
+        ProofForm::ColoringDisjoint { reach: 2, .. }
+    ));
+
+    let star = star_matrix(6);
+    let (levels, subcolors, group_of, groups) = star_grouping(6);
+    let parts = serial_parts(&groups);
+    let enumerative = certify_race(&star, &groups, &parts, 1).unwrap();
+    let coloring = ColoringFacts::establish(&star, &levels, &subcolors).unwrap();
+    let symbolic_cert = certify_race_symbolic(
+        &StructureFacts::of(&star),
+        &coloring,
+        &group_of,
+        &groups,
+        &parts,
+        1,
+    )
+    .unwrap();
+    assert_eq!(enumerative, symbolic_cert);
+}
+
+/// Mutation 14 — merged adjacent groups: the hub's singleton group
+/// swallows leaf 1. Both rows write `y[0]`, so the enumerative stamping
+/// and the symbolic class axiom must each refuse.
+#[test]
+fn mutation_merged_adjacent_groups_killed_by_both() {
+    let star = star_matrix(6);
+    let (mut levels, mut subcolors, _, groups) = star_grouping(6);
+
+    // Enumerative form of the merge: one group table holding both rows.
+    let mut merged: Vec<Vec<u32>> = vec![vec![0, 1]];
+    merged.extend(groups[2..].iter().cloned());
+    let parts = serial_parts(&merged);
+    let err = certify_race(&star, &merged, &parts, 1).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::ColoringConflict {
+                row_a: 0,
+                row_b: 1,
+                target: 0,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // Symbolic form: leaf 1 claims the hub's (level, subcolor) class.
+    levels[1] = 0;
+    subcolors[1] = 0;
+    let err = ColoringFacts::establish(&star, &levels, &subcolors).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::ColoringConflict {
+                row_a: 0,
+                row_b: 1,
+                target: 0,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+/// Mutation 15 — group boundary off by one: row 3 of the path slips from
+/// its mod-3 group into the next one, landing beside its level-4
+/// neighbor. The enumerative checker sees rows 3 and 4 collide on target
+/// 3; the symbolic certifier sees the level structure itself break (the
+/// stored edge (3, 2) now spans two levels).
+#[test]
+fn mutation_group_boundary_off_by_one_killed_by_both() {
+    let path = path_matrix(12);
+    let (mut levels, subcolors, _, mut groups) = path_grouping(12);
+
+    // Enumerative form: move row 3 into the neighboring group.
+    groups[0].retain(|&r| r != 3);
+    groups[1].push(3);
+    groups[1].sort_unstable();
+    let parts = serial_parts(&groups);
+    let err = certify_race(&path, &groups, &parts, 1).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::ColoringConflict {
+                row_a: 3,
+                row_b: 4,
+                target: 3,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // Symbolic form: the same slip as a level boundary off by one.
+    levels[3] = 4;
+    let err = ColoringFacts::establish(&path, &levels, &subcolors).unwrap_err();
+    assert!(matches!(err, VerifyError::MalformedPlan { .. }), "{err:?}");
+}
+
+/// Mutation 16 — distance dropped from 2 to 1: a proper *vertex* coloring
+/// of the star (hub one color, all leaves the other) is distance-1 valid
+/// but distance-2 racy — every leaf writes the hub. Both certifiers must
+/// reject the two-group schedule it induces.
+#[test]
+fn mutation_distance_one_coloring_killed_by_both() {
+    let star = star_matrix(6);
+
+    // Enumerative form: the two distance-1 color classes as groups.
+    let groups: Vec<Vec<u32>> = vec![vec![0], (1..=6).collect()];
+    let parts = serial_parts(&groups);
+    let err = certify_race(&star, &groups, &parts, 1).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::ColoringConflict {
+                row_a: 1,
+                row_b: 2,
+                target: 0,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    // Symbolic form: all leaves share subcolor 0 in level 1 — the class
+    // axiom catches the shared hub target.
+    let (levels, _, _, _) = star_grouping(6);
+    let subcolors = vec![0u32; 7];
+    let err = ColoringFacts::establish(&star, &levels, &subcolors).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::ColoringConflict {
+                row_a: 1,
+                row_b: 2,
+                target: 0,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
+
 /// The kill-count pin: one entry per seeded mutant in this suite. A new
 /// mutant must be added here (and a removed one deleted), so the count
 /// can only change deliberately.
 #[test]
 fn mutation_kill_count_is_pinned() {
-    const KILLED: [&str; 13] = [
+    const KILLED: [&str; 16] = [
         "shifted-boundary",
         "stolen-row",
         "bad-color",
@@ -660,11 +894,16 @@ fn mutation_kill_count_is_pinned() {
         "swapped-pair-array",
         "kind-flipped-facts-on-lifted-plan",
         "lane-offset-on-skew-plan",
+        "merged-adjacent-groups",
+        "group-boundary-off-by-one",
+        "distance-one-coloring",
     ];
-    assert_eq!(KILLED.len(), 13);
-    // And the symbolic replay above re-kills the plan-shape subset, so
-    // the symbolic certifier alone accounts for mutations 1, 2, 5, 12
-    // and 13 — every mutant whose error originates in plan geometry.
+    assert_eq!(KILLED.len(), 16);
+    // And the symbolic replay above re-kills the plan-shape subset
+    // (mutations 1, 2, 5, 12, 13), while mutations 14–16 are killed by
+    // the enumerative *and* symbolic coloring certifiers independently —
+    // every mutant whose error originates in plan geometry has two
+    // independent killers.
 }
 
 /// The mutations map onto *distinct* variants — the discriminants of the

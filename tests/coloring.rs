@@ -1,0 +1,171 @@
+//! Property suite for the RACE-style recursive level-grouping coloring
+//! (`symspmv::reorder::color`) — the schedule behind the reduction-free
+//! `sss-race` strategy.
+//!
+//! Three properties, each checked on seeded random matrices **and** the
+//! conformance fixtures:
+//!
+//! 1. **Partition**: every row lands in exactly one group, the group
+//!    tables mirror `group_of`, and no group is empty.
+//! 2. **Distance-2 disjointness**: no two rows of one group share any
+//!    element of their full-adjacency write sets `{r} ∪ N(r)` — checked
+//!    against the *symmetric* pattern (both triangles), which is strictly
+//!    stronger than the lower-triangle write sets the kernel needs.
+//! 3. **Pinned group counts**: the number of groups per fixture is pinned,
+//!    so a regression that silently coarsens (more barriers) or merges
+//!    (racy!) the schedule fails loudly.
+
+use symspmv::reorder::{level_color_lower, LevelColoring};
+use symspmv::sparse::rng::StdRng;
+use symspmv::sparse::symmetry::SymmetryKind;
+use symspmv::sparse::{CooMatrix, SssMatrix};
+
+const CASES: u64 = 40;
+
+/// A random symmetric pattern: diagonally dominated symmetrization of a
+/// random strictly-lower sprinkle (same family as `proptest_invariants`).
+fn sym_matrix(rng: &mut StdRng) -> CooMatrix {
+    let n = rng.random_range(2u32..80);
+    let mut lower = CooMatrix::new(n, n);
+    for _ in 0..rng.random_range(0usize..220) {
+        let r = rng.random_range(0..n);
+        let c = rng.random_range(0..n);
+        if c < r {
+            lower.push(r, c, rng.random_range(-1.0..-0.01));
+        }
+    }
+    lower.canonicalize();
+    symspmv::sparse::gen::spd_from_lower(&lower, 1.0)
+}
+
+/// Full symmetric adjacency (both triangles, no diagonal) from the strict
+/// lower pattern of an SSS matrix.
+fn full_adjacency(sss: &SssMatrix) -> Vec<Vec<u32>> {
+    let n = sss.n() as usize;
+    let mut adj = vec![Vec::new(); n];
+    for r in 0..n {
+        let lo = sss.rowptr()[r] as usize;
+        let hi = sss.rowptr()[r + 1] as usize;
+        for &c in &sss.colind()[lo..hi] {
+            adj[r].push(c);
+            adj[c as usize].push(r as u32);
+        }
+    }
+    adj
+}
+
+/// Checks properties 1 and 2 on one matrix; panics with `tag` context.
+fn assert_coloring_sound(sss: &SssMatrix, coloring: &LevelColoring, tag: &str) {
+    let n = sss.n() as usize;
+
+    // Property 1: partition. Every row appears in exactly one group, and
+    // the group tables agree with the per-row assignment.
+    let mut seen = vec![false; n];
+    for (gid, rows) in coloring.groups.iter().enumerate() {
+        assert!(!rows.is_empty(), "{tag}: group {gid} is empty");
+        for &r in rows {
+            assert!(
+                !seen[r as usize],
+                "{tag}: row {r} appears in more than one group"
+            );
+            seen[r as usize] = true;
+            assert_eq!(
+                coloring.group_of[r as usize] as usize, gid,
+                "{tag}: group table and group_of disagree on row {r}"
+            );
+        }
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "{tag}: some row is missing from every group"
+    );
+
+    // Property 2: distance-2 disjointness against the full symmetric
+    // adjacency. Within one group, the write sets {r} ∪ N(r) of any two
+    // rows are disjoint — equivalently, no element of the matrix is
+    // claimed twice by one group.
+    let adj = full_adjacency(sss);
+    let mut claimed_in = vec![u32::MAX; n];
+    let mut claimed_by = vec![u32::MAX; n];
+    for (gid, rows) in coloring.groups.iter().enumerate() {
+        for &r in rows {
+            let mut targets = vec![r];
+            targets.extend_from_slice(&adj[r as usize]);
+            for t in targets {
+                let t = t as usize;
+                assert!(
+                    !(claimed_in[t] == gid as u32 && claimed_by[t] != r),
+                    "{tag}: rows {} and {r} of group {gid} share write target {t}",
+                    claimed_by[t]
+                );
+                claimed_in[t] = gid as u32;
+                claimed_by[t] = r;
+            }
+        }
+    }
+}
+
+#[test]
+fn coloring_is_partition_and_distance2_disjoint_random() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC010 + case);
+        let coo = sym_matrix(&mut rng);
+        let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+        let coloring = level_color_lower(sss.n(), sss.rowptr(), sss.colind());
+        assert_coloring_sound(&sss, &coloring, &format!("case {case}"));
+    }
+}
+
+#[test]
+fn coloring_sound_on_conformance_fixtures() {
+    for m in symspmv_harness::conformance::full_suite() {
+        let sss = SssMatrix::from_coo_kind(&m.coo, m.kind, 0.0).unwrap();
+        let coloring = level_color_lower(sss.n(), sss.rowptr(), sss.colind());
+        assert_coloring_sound(&sss, &coloring, m.repro);
+    }
+}
+
+/// The group count per fixture is an exact schedule fingerprint: fewer
+/// groups than pinned means two conflicting groups merged (a data race the
+/// certifiers must reject); more means the recursion degraded (extra
+/// barriers, a performance regression). Both fail here first.
+#[test]
+fn group_counts_pinned_per_fixture() {
+    let pinned: &[(&str, usize)] = &[
+        ("gen::banded_random(257, 16, 6.0, 91)", 32),
+        ("gen::mixed_bandwidth(301, 7.0, 0.3, 5, 92)", 90),
+        ("gen::laplacian_2d(18, 18)", 6),
+        ("gen::skew_convection(240, 11, 5.0, 93)", 23),
+        ("gen::structural_random(263, 6.0, 0.4, 6, 94)", 70),
+    ];
+    let suite = symspmv_harness::conformance::full_suite();
+    assert_eq!(suite.len(), pinned.len());
+    for (m, &(repro, want)) in suite.iter().zip(pinned) {
+        assert_eq!(m.repro, repro, "fixture order changed");
+        let sss = SssMatrix::from_coo_kind(&m.coo, m.kind, 0.0).unwrap();
+        let coloring = level_color_lower(sss.n(), sss.rowptr(), sss.colind());
+        assert_eq!(
+            coloring.num_groups(),
+            want,
+            "{repro}: group count drifted from the pinned schedule"
+        );
+    }
+}
+
+/// Degenerate inputs: a diagonal-only matrix needs exactly one group, and
+/// the empty matrix colors to zero groups without panicking.
+#[test]
+fn degenerate_patterns() {
+    let mut coo = CooMatrix::new(5, 5);
+    for i in 0..5 {
+        coo.push(i, i, 2.0);
+    }
+    let sss = SssMatrix::from_coo(&coo, 0.0).unwrap();
+    let c = level_color_lower(sss.n(), sss.rowptr(), sss.colind());
+    assert_eq!(c.num_groups(), 1, "isolated rows all fit one group");
+    assert_coloring_sound(&sss, &c, "diag-only");
+
+    let c0 = level_color_lower(0, &[0], &[]);
+    assert_eq!(c0.num_groups(), 0);
+    let _ = SymmetryKind::Symmetric; // kind axis exercised by the fixture test
+}

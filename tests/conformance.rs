@@ -38,6 +38,19 @@ fn suite_spans_every_kind() {
     assert_eq!(full_suite().len(), 5);
 }
 
+/// The format axis cannot silently shrink either: its size is pinned, and
+/// the reduction-free scheduled strategy must be on it (the per-test
+/// counters scale from this length).
+#[test]
+fn format_axis_includes_scheduled_strategy() {
+    let names: Vec<_> = block_specs().iter().map(|s| s.name()).collect();
+    assert!(
+        names.contains(&"sss-race"),
+        "the sss-race axis is missing from the oracle"
+    );
+    assert_eq!(block_specs().len(), 10, "format axis silently shrank");
+}
+
 /// SpMV: every format × nthreads × matrix agrees with the serial SSS
 /// reference on a seeded input vector.
 #[test]

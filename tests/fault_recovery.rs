@@ -362,6 +362,74 @@ fn expired_deadline_interrupts_at_the_first_checkpoint() {
     assert_eq!(bits(&y_recovered), bits(&y_warm));
 }
 
+/// The scheduled (race) strategy has no reduction phase to kill, so the
+/// fault is aimed mid-*schedule* instead: worker 2 dies inside a color
+/// group's pool round while every thread is writing `y` directly. The
+/// typed error, the clean arena and the bit-identical recovery must hold
+/// exactly as they do for the reduction-phase kills above.
+#[test]
+fn race_group_round_panic_is_caught_and_context_recovers_bit_identical() {
+    let coo = test_matrix();
+    let n = coo.nrows() as usize;
+    let x = seeded_vector(n, 11);
+
+    let ctx = ExecutionContext::new(4);
+    let mut eng = SymSpmv::try_from_coo(&coo, &ctx, ReductionMethod::Race, SymFormat::Sss)
+        .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+
+    let mut y_warm = vec![0.0; n];
+    eng.try_spmv(&x, &mut y_warm).expect("warm-up spmv");
+
+    // A race spmv dispatches round 0 (the diagonal pre-pass) and then one
+    // round per color group; arming two rounds ahead lands the panic
+    // inside the second group round — mid-schedule, with part of `y`
+    // already scattered.
+    ctx.fault_plan().arm_worker_panic(2, 2);
+    let mut y_doomed = vec![0.0; n];
+    match eng.try_spmv(&x, &mut y_doomed) {
+        Err(SymSpmvError::WorkerPanicked { tid, message }) => {
+            assert_eq!(tid, 2, "wrong worker blamed");
+            assert!(
+                message.contains("injected fault"),
+                "panic payload lost: {message}"
+            );
+        }
+        Err(other) => panic!("expected WorkerPanicked, got {other:?}"),
+        Ok(()) => panic!("armed mid-group panic did not surface"),
+    }
+    assert_eq!(ctx.fault_plan().fired(), 1);
+    assert_eq!(ctx.take_last_panic(), None);
+
+    // The race kernel leases nothing, but the invariant is global: the
+    // arena must still be all-free-zero after the unwind.
+    assert!(
+        ctx.arena_all_free_zero(),
+        "arena dirty after a panicked group round"
+    );
+
+    // Recovery: the fixed group order makes the race kernel
+    // deterministic, so the same engine on the same context must agree
+    // bit-for-bit with a fresh context — and with its pre-fault answer.
+    let mut y_recovered = vec![0.0; n];
+    eng.try_spmv(&x, &mut y_recovered)
+        .unwrap_or_else(|e| panic!("context not reusable: {e}"));
+
+    let fresh_ctx = ExecutionContext::new(4);
+    let mut fresh_eng =
+        SymSpmv::try_from_coo(&coo, &fresh_ctx, ReductionMethod::Race, SymFormat::Sss)
+            .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+    let mut y_fresh = vec![0.0; n];
+    fresh_eng.try_spmv(&x, &mut y_fresh).expect("fresh spmv");
+
+    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        bits(&y_recovered),
+        bits(&y_fresh),
+        "recovered context diverges from a fresh one"
+    );
+    assert_eq!(bits(&y_recovered), bits(&y_warm));
+}
+
 #[test]
 fn panic_in_one_kernel_does_not_poison_siblings_on_the_shared_context() {
     // Two kernels share one context; a worker death inside the first must

@@ -115,6 +115,71 @@ fn wedged_round_degrades_to_the_fallback_and_parallel_service_resumes() {
     assert_eq!(service.fallback_serves(), 1);
 }
 
+/// The same degradation contract for the *scheduled* strategy: a wedged
+/// worker inside a coloring run (the race kernel's barriered group
+/// rounds) trips the deadline watchdog, `Resilient` degrades the request
+/// onto the serial fallback bit-identically, and parallel race service
+/// resumes on the healed pool.
+#[test]
+fn wedged_coloring_run_degrades_to_the_fallback_and_race_service_resumes() {
+    let coo = test_matrix();
+    let n = coo.nrows() as usize;
+    let x = seeded_vector(n, 17);
+    let want = serial_reference(&coo, &x);
+
+    let ctx = ExecutionContext::new(3);
+    let policy =
+        RetryPolicy::new(2).with_backoff(Duration::from_micros(50), Duration::from_millis(1));
+    let kernel = SymSpmv::try_from_coo(&coo, &ctx, ReductionMethod::Race, SymFormat::Sss)
+        .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+    let fallback = FallbackKernel::from_coo_kind(
+        &coo,
+        symspmv::sparse::symmetry::SymmetryKind::Symmetric,
+        Arc::clone(&ctx),
+    )
+    .unwrap_or_else(|e| panic!("valid matrix rejected: {e}"));
+    let mut service = Resilient::new(kernel, fallback, policy);
+    let mut y = vec![0.0; n];
+
+    // Clean race request: the parallel baseline.
+    let served = service
+        .spmv_within(&x, &mut y, Supervision::deadline_within(DEADLINE))
+        .unwrap_or_else(|e| panic!("clean request failed: {e}"));
+    assert!(matches!(served, Served::Parallel { attempts: 1 }));
+    let y_base = y.clone();
+
+    // Wedge worker 1 in the next round (a group round of the schedule)
+    // well past a short deadline.
+    ctx.fault_plan()
+        .arm_worker_wedge(1, 1, Duration::from_millis(300));
+    let served = service
+        .spmv_within(
+            &x,
+            &mut y,
+            Supervision::deadline_within(Duration::from_millis(100)),
+        )
+        .unwrap_or_else(|e| panic!("wedged coloring run must be served, got {e}"));
+    match &served {
+        Served::Fallback {
+            cause: SymSpmvError::DeadlineExceeded { wedged: true },
+        } => {}
+        other => panic!("expected a wedged-deadline fallback serve, got {other:?}"),
+    }
+    assert_eq!(bits(&y), bits(&want), "fallback serve is not the reference");
+    assert_eq!(ctx.health(), PoolHealth::Degraded);
+    assert!(ctx.pool_respawns() >= 1);
+    assert!(ctx.arena_all_free_zero());
+
+    // Parallel race service resumes, bit-identical to the baseline.
+    let served = service
+        .spmv_within(&x, &mut y, Supervision::deadline_within(DEADLINE))
+        .unwrap_or_else(|e| panic!("post-wedge request failed: {e}"));
+    assert!(matches!(served, Served::Parallel { attempts: 1 }));
+    assert_eq!(bits(&y), bits(&y_base));
+    assert_eq!(service.parallel_serves(), 2);
+    assert_eq!(service.fallback_serves(), 1);
+}
+
 #[test]
 fn worker_kills_are_retried_transparently() {
     let coo = test_matrix();
